@@ -1,0 +1,40 @@
+//! Regenerate Fig. 10 (a/b/c): normalized performance of all 11
+//! applications on SNB, Nehalem and MIC after Grover disables local memory.
+
+use grover_bench::{fig10_cases, np_bar, paper_np, run_cases, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("FIG. 10: normalized performance np = t_with_lm / t_without_lm (scale: {scale:?})");
+    println!("np > 1: disabling local memory improved performance\n");
+    let cases = fig10_cases();
+    let results = run_cases(&cases, scale);
+    let mut cur_dev = String::new();
+    for r in &results {
+        match r {
+            Ok(r) => {
+                if r.device != cur_dev {
+                    cur_dev = r.device.clone();
+                    println!("--- Fig. 10 on {} ---", r.device);
+                    println!(
+                        "{:<11} {:>8} {:>9}  {}",
+                        "app", "np", "paper-np", "0        1.0        2.0"
+                    );
+                }
+                let pnp = paper_np(&r.app, &r.device)
+                    .map(|v| format!("{v:>9.2}"))
+                    .unwrap_or_else(|| format!("{:>9}", "-"));
+                println!("{:<11} {:>8.3} {}  {}", r.app, r.np, pnp, np_bar(r.np));
+            }
+            Err(e) => println!("ERROR: {e}"),
+        }
+    }
+    // Cycle summary for EXPERIMENTS.md bookkeeping.
+    println!("\nraw cycles (with_lm / without_lm):");
+    for r in results.iter().flatten() {
+        println!(
+            "  {:<11} {:<9} {:>14} {:>14}",
+            r.app, r.device, r.cycles_with, r.cycles_without
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerate Table I: the benchmark applications and their datasets.
+
+use grover_bench::scale_from_env;
+use grover_kernels::all_apps;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("TABLE I: Selected benchmarks (scale: {scale:?})");
+    println!("{:-<88}", "");
+    println!("{:<11} {:<44} {:<30}", "ID", "Application", "Dataset");
+    println!("{:-<88}", "");
+    for app in all_apps() {
+        println!("{:<11} {:<44} {:<30}", app.id, app.description, (app.dataset)(scale));
+    }
+    println!("{:-<88}", "");
+    println!("All applications use __local memory in their original versions.");
+}

@@ -1,0 +1,197 @@
+//! `grover` — command-line driver for the local-memory-removal toolchain.
+//!
+//! ```text
+//! grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]
+//!     Compile, run the Grover pass, print the report and the before/after IR.
+//!
+//! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper]
+//!     Simulate both kernel versions of a bundled benchmark on a device and
+//!     report which one wins (the paper's auto-tuning step).
+//!
+//! grover list
+//!     List the bundled benchmark applications.
+//! ```
+
+use std::process::ExitCode;
+
+use grover_core::Grover;
+use grover_devsim::Device;
+use grover_frontend::{compile, BuildOptions};
+use grover_ir::printer::function_to_string;
+use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("transform") => cmd_transform(&args[1..]),
+        Some("autotune") => cmd_autotune(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!("usage: grover <transform|autotune|classify|list> ...");
+            eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
+            eprintln!("  grover autotune <app-id> [--device NAME] [--scale test|small|paper]");
+            eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
+            eprintln!("  grover list");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_transform(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut opts = BuildOptions::new();
+    let mut kernel_name: Option<String> = None;
+    let mut keep_barriers = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-D" => {
+                let d = it.next().ok_or("-D needs an argument")?;
+                let (n, v) = d.split_once('=').unwrap_or((d.as_str(), "1"));
+                opts = opts.define(n, v);
+            }
+            "--kernel" => kernel_name = Some(it.next().ok_or("--kernel needs a name")?.clone()),
+            "--keep-barriers" => keep_barriers = true,
+            other if other.starts_with("-D") => {
+                let d = &other[2..];
+                let (n, v) = d.split_once('=').unwrap_or((d, "1"));
+                opts = opts.define(n, v);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("no input file")?;
+    let source =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
+
+    for kernel in &module.kernels {
+        if let Some(only) = &kernel_name {
+            if &kernel.name != only {
+                continue;
+            }
+        }
+        println!("==== original: {} ====", kernel.name);
+        println!("{}", function_to_string(kernel));
+        let mut transformed = kernel.clone();
+        let grover = Grover::with_options(grover_core::GroverOptions {
+            buffers: None,
+            keep_barriers,
+        });
+        let report = grover.run_on(&mut transformed);
+        println!("==== grover report ====");
+        print!("{}", report.to_text());
+        println!("==== transformed: {} ====", transformed.name);
+        println!("{}", function_to_string(&transformed));
+    }
+    Ok(())
+}
+
+fn cmd_autotune(args: &[String]) -> Result<(), String> {
+    let mut app_id = None;
+    let mut device = "SNB".to_string();
+    let mut scale = Scale::Small;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--device" => device = it.next().ok_or("--device needs a name")?.clone(),
+            "--scale" => {
+                scale = match it.next().ok_or("--scale needs a value")?.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            other if app_id.is_none() => app_id = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let app_id = app_id.ok_or("no application id (try `grover list`)")?;
+    let app = app_by_id(&app_id).ok_or_else(|| format!("unknown app `{app_id}`"))?;
+
+    println!("auto-tuning {} on {device} (scale {scale:?})", app.id);
+    let pair = prepare_pair(&app, scale)?;
+    let mut d =
+        Device::by_name(&device).ok_or_else(|| format!("unknown device `{device}`"))?;
+    run_prepared(&pair.original, (app.prepare)(scale), &mut d)?;
+    let with_lm = d.finish();
+    let mut d = Device::by_name(&device).expect("checked");
+    run_prepared(&pair.transformed, (app.prepare)(scale), &mut d)?;
+    let without_lm = d.finish();
+
+    let np = with_lm.cycles as f64 / without_lm.cycles.max(1) as f64;
+    println!("  with local memory   : {:>12} cycles", with_lm.cycles);
+    println!("  without local memory: {:>12} cycles", without_lm.cycles);
+    println!("  normalized performance np = {np:.3}");
+    if np > 1.05 {
+        println!("  verdict: use the GROVER-TRANSFORMED kernel (local memory disabled)");
+    } else if np < 0.95 {
+        println!("  verdict: keep the ORIGINAL kernel (local memory enabled)");
+    } else {
+        println!("  verdict: both versions perform similarly (within 5%)");
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut opts = BuildOptions::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-D" => {
+                let d = it.next().ok_or("-D needs an argument")?;
+                let (n, v) = d.split_once('=').unwrap_or((d.as_str(), "1"));
+                opts = opts.define(n, v);
+            }
+            other if other.starts_with("-D") => {
+                let d = &other[2..];
+                let (n, v) = d.split_once('=').unwrap_or((d, "1"));
+                opts = opts.define(n, v);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("no input file")?;
+    let source =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
+    for kernel in &module.kernels {
+        println!("kernel {}:", kernel.name);
+        let classes = grover_core::classify(kernel);
+        if classes.is_empty() {
+            println!("  (no __local buffers)");
+        }
+        for c in classes {
+            println!(
+                "  __local {:<12} {:<22?} {} loads, {} stores, {}  — {}",
+                c.buffer,
+                c.pattern,
+                c.loads,
+                c.stores,
+                if c.synchronised { "synchronised" } else { "NOT synchronised" },
+                c.pattern.describe()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<11} {}", "ID", "description");
+    for app in all_apps() {
+        println!("{:<11} {}", app.id, app.description);
+    }
+    Ok(())
+}

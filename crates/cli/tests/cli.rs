@@ -1,0 +1,146 @@
+//! End-to-end tests of the `grover` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_grover");
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("grover-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const MT: &str = r#"
+#define S 8
+__kernel void mt(__global float* in, __global float* out, int w) {
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly][lx] = in[(wy * S + ly) * w + (wx * S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[(wx * S + lx) * w + (wy * S + ly)] = lm[lx][ly];
+}
+"#;
+
+#[test]
+fn transform_prints_report_and_both_versions() {
+    let path = write_temp("mt.cl", MT);
+    let out = Command::new(BIN)
+        .args(["transform", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("original: mt"), "{stdout}");
+    assert!(stdout.contains("transformed: mt"), "{stdout}");
+    assert!(stdout.contains("(lx, ly) = (ly, lx)"), "{stdout}");
+    assert!(stdout.contains("removed 1 barrier"), "{stdout}");
+    // The transformed listing must not declare the local buffer.
+    let transformed = stdout.split("transformed: mt").nth(1).unwrap();
+    assert!(!transformed.contains("local @lm"), "{transformed}");
+}
+
+#[test]
+fn transform_with_define_option() {
+    let src = MT.replace("#define S 8\n", "");
+    let path = write_temp("mt_nodefine.cl", &src);
+    // Without -D S it must fail...
+    let out = Command::new(BIN)
+        .args(["transform", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // ...with it, succeed.
+    let out = Command::new(BIN)
+        .args(["transform", path.to_str().unwrap(), "-D", "S=16"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("16"));
+}
+
+#[test]
+fn keep_barriers_flag() {
+    let path = write_temp("mt_kb.cl", MT);
+    let out = Command::new(BIN)
+        .args(["transform", path.to_str().unwrap(), "--keep-barriers"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let transformed = stdout.split("transformed: mt").nth(1).unwrap();
+    assert!(transformed.contains("barrier"), "{transformed}");
+}
+
+#[test]
+fn classify_reports_patterns() {
+    let src = r#"
+__kernel void red(__global float* in, __global float* out) {
+    __local float acc[8];
+    int lx = get_local_id(0);
+    acc[lx] = in[lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 4; s > 0; s = s / 2) {
+        if (lx < s) { acc[lx] = acc[lx] + acc[lx + s]; }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lx == 0) { out[0] = acc[0]; }
+}
+"#;
+    let path = write_temp("red.cl", src);
+    let out = Command::new(BIN)
+        .args(["classify", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ReadWriteTemporary"), "{stdout}");
+}
+
+#[test]
+fn list_names_all_apps() {
+    let out = Command::new(BIN).arg("list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "AMD-SS", "AMD-MT", "NVD-MT", "AMD-RG", "AMD-MM", "NVD-MM-A", "NVD-MM-B", "NVD-MM-AB",
+        "NVD-NBody", "PAB-ST", "ROD-SC",
+    ] {
+        assert!(stdout.contains(id), "missing {id}: {stdout}");
+    }
+}
+
+#[test]
+fn autotune_runs_at_test_scale() {
+    let out = Command::new(BIN)
+        .args(["autotune", "NVD-MT", "--device", "SNB", "--scale", "test"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("normalized performance"), "{stdout}");
+    assert!(stdout.contains("verdict"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!Command::new(BIN).output().unwrap().status.success());
+    assert!(!Command::new(BIN)
+        .args(["autotune", "NOPE", "--scale", "test"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!Command::new(BIN)
+        .args(["transform", "/nonexistent/file.cl"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}

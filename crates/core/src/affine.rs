@@ -1,0 +1,429 @@
+//! Affine index forms (paper §III-B, Equations 1–3).
+//!
+//! A data index is modelled as a rational-coefficient linear combination of
+//! *atoms* plus a constant. Atoms are the work-item query functions
+//! (`get_local_id(d)`, `get_group_id(d)`, …) and — for right-hand sides —
+//! arbitrary opaque kernel values (loop counters, parameters, sub-trees the
+//! analysis does not need to see inside).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use grover_ir::ValueId;
+
+use crate::rational::Rational;
+
+/// A symbol an affine form can mention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Atom {
+    /// `get_local_id(d)` — the unknowns of the linear system.
+    LocalId(u8),
+    /// `get_group_id(d)`.
+    GroupId(u8),
+    /// `get_global_id(d)`.
+    GlobalId(u8),
+    /// `get_local_size(d)`.
+    LocalSize(u8),
+    /// `get_global_size(d)`.
+    GlobalSize(u8),
+    /// `get_num_groups(d)`.
+    NumGroups(u8),
+    /// Any other kernel value (loop phi, parameter, opaque sub-expression).
+    Value(ValueId),
+}
+
+impl Atom {
+    /// Whether this atom is `get_local_id(dim)`.
+    pub fn is_local_id(self) -> bool {
+        matches!(self, Atom::LocalId(_))
+    }
+
+    /// Short display name (`lx`, `wy`, `gz`, `v17`, …) following the paper's
+    /// notation.
+    pub fn display_name(self) -> String {
+        let dim_char = |d: u8| ["x", "y", "z"].get(d as usize).copied().unwrap_or("?");
+        match self {
+            Atom::LocalId(d) => format!("l{}", dim_char(d)),
+            Atom::GroupId(d) => format!("w{}", dim_char(d)),
+            Atom::GlobalId(d) => format!("g{}", dim_char(d)),
+            Atom::LocalSize(d) => format!("ls{}", dim_char(d)),
+            Atom::GlobalSize(d) => format!("gs{}", dim_char(d)),
+            Atom::NumGroups(d) => format!("ng{}", dim_char(d)),
+            Atom::Value(v) => format!("v{}", v.0),
+        }
+    }
+}
+
+/// An affine form `Σ cᵢ·atomᵢ + k` with exact rational coefficients.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Affine {
+    terms: BTreeMap<Atom, Rational>,
+    constant: Rational,
+}
+
+impl Affine {
+    /// The zero form.
+    pub fn zero() -> Affine {
+        Affine::default()
+    }
+
+    /// A constant form.
+    pub fn constant(k: impl Into<Rational>) -> Affine {
+        Affine { terms: BTreeMap::new(), constant: k.into() }
+    }
+
+    /// A single atom with coefficient 1.
+    pub fn atom(a: Atom) -> Affine {
+        let mut t = BTreeMap::new();
+        t.insert(a, Rational::ONE);
+        Affine { terms: t, constant: Rational::ZERO }
+    }
+
+    /// The constant term.
+    pub fn constant_part(&self) -> Rational {
+        self.constant
+    }
+
+    /// Coefficient of an atom (zero if absent).
+    pub fn coeff(&self, a: Atom) -> Rational {
+        self.terms.get(&a).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Iterate `(atom, coefficient)` pairs with nonzero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Atom, Rational)> + '_ {
+        self.terms.iter().map(|(&a, &c)| (a, c))
+    }
+
+    /// Number of atoms with nonzero coefficients.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True if every atom is `get_local_id(_)` — the requirement on LS
+    /// indices (Equation 2: `x = a·lx + b·ly + c·lz + d`).
+    pub fn is_local_id_only(&self) -> bool {
+        self.terms.keys().all(|a| a.is_local_id())
+    }
+
+    /// True if all coefficients and the constant are integers.
+    pub fn is_integral(&self) -> bool {
+        self.constant.is_integer() && self.terms.values().all(|c| c.is_integer())
+    }
+
+    fn insert(&mut self, a: Atom, c: Rational) {
+        if c.is_zero() {
+            self.terms.remove(&a);
+        } else {
+            self.terms.insert(a, c);
+        }
+    }
+
+    /// Sum of two forms.
+    pub fn add(&self, rhs: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.constant = out.constant + rhs.constant;
+        for (a, c) in rhs.terms() {
+            let nc = out.coeff(a) + c;
+            out.insert(a, nc);
+        }
+        out
+    }
+
+    /// Difference of two forms.
+    pub fn sub(&self, rhs: &Affine) -> Affine {
+        self.add(&rhs.scale(-Rational::ONE))
+    }
+
+    /// Multiply every coefficient and the constant by `s`.
+    pub fn scale(&self, s: Rational) -> Affine {
+        if s.is_zero() {
+            return Affine::zero();
+        }
+        Affine {
+            terms: self.terms.iter().map(|(&a, &c)| (a, c * s)).collect(),
+            constant: self.constant * s,
+        }
+    }
+
+    /// Product, defined only when at least one side is constant.
+    pub fn mul(&self, rhs: &Affine) -> Option<Affine> {
+        if rhs.is_constant() {
+            Some(self.scale(rhs.constant))
+        } else if self.is_constant() {
+            Some(rhs.scale(self.constant))
+        } else {
+            None
+        }
+    }
+
+    /// Substitute atoms via `f` (atoms mapping to `None` stay unchanged).
+    pub fn substitute(&self, f: impl Fn(Atom) -> Option<Affine>) -> Affine {
+        let mut out = Affine::constant(self.constant);
+        for (a, c) in self.terms() {
+            match f(a) {
+                Some(rep) => out = out.add(&rep.scale(c)),
+                None => {
+                    let nc = out.coeff(a) + c;
+                    out.insert(a, nc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Split this form by a constant stride: `self = high*stride + low`.
+    ///
+    /// This is the algebraic counterpart of the paper's `+ → *` tree
+    /// pattern (§IV-C). Each atom's coefficient must split *cleanly*: a
+    /// multiple of the stride goes entirely to `high`, a coefficient with
+    /// magnitude below the stride goes entirely (sign-preserved) to `low`.
+    /// Mixed coefficients are rejected: assigning the euclidean remainder
+    /// to `low` would keep the recomposition identity but break the value
+    /// ranges the dimensions stand for (e.g. `(7-ly)*S + (7-lx)` must
+    /// decompose as `(7-ly, 7-lx)`, not `(7-ly-lx, (S-1)·lx+7)`). The
+    /// constant term is split with euclidean division, matching offset
+    /// patterns like `(y+1)*S + (x+1)`.
+    pub fn split_by_stride(&self, stride: i64) -> Option<(Affine, Affine)> {
+        if stride <= 0 || !self.is_integral() {
+            return None;
+        }
+        let mut high = Affine::zero();
+        let mut low = Affine::zero();
+        let k = self.constant.as_integer()?;
+        high.constant = Rational::int(k.div_euclid(stride));
+        low.constant = Rational::int(k.rem_euclid(stride));
+        for (a, c) in self.terms() {
+            let c = c.as_integer()?;
+            if c % stride == 0 {
+                high.insert(a, Rational::int(c / stride));
+            } else if c.abs() < stride {
+                low.insert(a, Rational::int(c));
+            } else {
+                return None; // mixed coefficient: not cleanly separable
+            }
+        }
+        Some((high, low))
+    }
+
+    /// Evaluate given a valuation of atoms (used by tests/property checks).
+    pub fn eval(&self, mut v: impl FnMut(Atom) -> i64) -> Rational {
+        let mut acc = self.constant;
+        for (a, c) in self.terms() {
+            acc = acc + c * Rational::int(v(a));
+        }
+        acc
+    }
+}
+
+impl Affine {
+    /// Render with a custom atom-naming function (used to resolve opaque
+    /// [`Atom::Value`]s to their source-level names, e.g. loop counters).
+    pub fn display_with(&self, name_of: impl Fn(Atom) -> String) -> String {
+        use std::fmt::Write;
+        let mut f = String::new();
+        let mut first = true;
+        for (a, c) in self.terms() {
+            let name = name_of(a);
+            if first {
+                if c == Rational::ONE {
+                    let _ = write!(f, "{name}");
+                } else if c == -Rational::ONE {
+                    let _ = write!(f, "-{name}");
+                } else {
+                    let _ = write!(f, "{c}*{name}");
+                }
+                first = false;
+            } else if c == Rational::ONE {
+                let _ = write!(f, " + {name}");
+            } else if c == -Rational::ONE {
+                let _ = write!(f, " - {name}");
+            } else if c < Rational::ZERO {
+                let _ = write!(f, " - {}*{name}", c.abs());
+            } else {
+                let _ = write!(f, " + {c}*{name}");
+            }
+        }
+        if first {
+            let _ = write!(f, "{}", self.constant);
+        } else if self.constant > Rational::ZERO {
+            let _ = write!(f, " + {}", self.constant);
+        } else if self.constant < Rational::ZERO {
+            let _ = write!(f, " - {}", self.constant.abs());
+        }
+        f
+    }
+
+    /// Render, resolving opaque value atoms to their names in `f`.
+    pub fn display_in(&self, f: &grover_ir::Function) -> String {
+        self.display_with(|a| match a {
+            Atom::Value(v) => f
+                .value(v)
+                .name
+                .clone()
+                .unwrap_or_else(|| a.display_name()),
+            _ => a.display_name(),
+        })
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(Atom::display_name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lx() -> Atom {
+        Atom::LocalId(0)
+    }
+    fn ly() -> Atom {
+        Atom::LocalId(1)
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let a = Affine::atom(lx()).scale(Rational::int(2)).add(&Affine::constant(3));
+        let b = Affine::atom(ly()).sub(&Affine::constant(1));
+        let s = a.add(&b);
+        assert_eq!(s.coeff(lx()), Rational::int(2));
+        assert_eq!(s.coeff(ly()), Rational::ONE);
+        assert_eq!(s.constant_part(), Rational::int(2));
+    }
+
+    #[test]
+    fn mul_requires_constant_side() {
+        let a = Affine::atom(lx());
+        let c = Affine::constant(4);
+        assert_eq!(a.mul(&c).unwrap().coeff(lx()), Rational::int(4));
+        assert_eq!(c.mul(&a).unwrap().coeff(lx()), Rational::int(4));
+        assert!(a.mul(&a).is_none());
+    }
+
+    #[test]
+    fn zero_coefficients_vanish() {
+        let a = Affine::atom(lx());
+        let z = a.sub(&Affine::atom(lx()));
+        assert!(z.is_constant());
+        assert_eq!(z, Affine::zero());
+    }
+
+    #[test]
+    fn split_matrix_transpose_pattern() {
+        // lm[ly][lx] with row stride 16: index = 16*ly + lx.
+        let idx = Affine::atom(ly()).scale(Rational::int(16)).add(&Affine::atom(lx()));
+        let (h, l) = idx.split_by_stride(16).unwrap();
+        assert_eq!(h, Affine::atom(ly()));
+        assert_eq!(l, Affine::atom(lx()));
+    }
+
+    #[test]
+    fn split_with_mixed_constant() {
+        // 16*k + lx + 17 -> high = k + 1, low = lx + 1
+        let idx = Affine::atom(Atom::Value(ValueId(9)))
+            .scale(Rational::int(16))
+            .add(&Affine::atom(lx()))
+            .add(&Affine::constant(17));
+        let (h, l) = idx.split_by_stride(16).unwrap();
+        assert_eq!(h.coeff(Atom::Value(ValueId(9))), Rational::ONE);
+        assert_eq!(h.constant_part(), Rational::ONE);
+        assert_eq!(l.coeff(lx()), Rational::ONE);
+        assert_eq!(l.constant_part(), Rational::ONE);
+    }
+
+    #[test]
+    fn split_rejects_fractional() {
+        let idx = Affine::atom(lx()).scale(Rational::new(1, 2));
+        assert!(idx.split_by_stride(16).is_none());
+    }
+
+    #[test]
+    fn substitution() {
+        // 4*lx + ly, with lx := ly + 1  =>  4*ly + 4 + ly = 5*ly + 4
+        let e = Affine::atom(lx()).scale(Rational::int(4)).add(&Affine::atom(ly()));
+        let sub = e.substitute(|a| {
+            (a == lx()).then(|| Affine::atom(ly()).add(&Affine::constant(1)))
+        });
+        assert_eq!(sub.coeff(ly()), Rational::int(5));
+        assert_eq!(sub.constant_part(), Rational::int(4));
+        assert_eq!(sub.coeff(lx()), Rational::ZERO);
+    }
+
+    #[test]
+    fn local_id_only_check() {
+        let pure = Affine::atom(lx()).add(&Affine::atom(ly()));
+        assert!(pure.is_local_id_only());
+        let mixed = pure.add(&Affine::atom(Atom::GroupId(0)));
+        assert!(!mixed.is_local_id_only());
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let e = Affine::atom(lx())
+            .scale(Rational::int(3))
+            .add(&Affine::atom(ly()).scale(Rational::int(-2)))
+            .add(&Affine::constant(7));
+        let v = e.eval(|a| match a {
+            Atom::LocalId(0) => 5,
+            Atom::LocalId(1) => 4,
+            _ => 0,
+        });
+        assert_eq!(v, Rational::int(3 * 5 - 2 * 4 + 7));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Affine::atom(ly())
+            .scale(Rational::int(16))
+            .add(&Affine::atom(lx()))
+            .sub(&Affine::constant(2));
+        assert_eq!(e.to_string(), "lx + 16*ly - 2");
+        assert_eq!(Affine::zero().to_string(), "0");
+        assert_eq!(Affine::atom(Atom::GroupId(1)).to_string(), "wy");
+    }
+
+    #[test]
+    fn split_preserves_value() {
+        // high*stride + low == original for a sample valuation.
+        let idx = Affine::atom(ly())
+            .scale(Rational::int(32))
+            .add(&Affine::atom(lx()).scale(Rational::int(2)))
+            .add(&Affine::constant(5));
+        let (h, l) = idx.split_by_stride(16).unwrap();
+        let v = |a: Atom| match a {
+            Atom::LocalId(0) => 3,
+            Atom::LocalId(1) => 7,
+            _ => 0,
+        };
+        let recomposed = h.eval(v) * Rational::int(16) + l.eval(v);
+        assert_eq!(recomposed, idx.eval(v));
+    }
+
+    #[test]
+    fn split_keeps_negative_low_coefficients() {
+        // (7 - ly)*12 + (7 - lx): the reflection pattern must decompose
+        // into (7-ly, 7-lx) — euclidean per-coefficient splitting would
+        // produce an algebraically-equal but dimensionally-wrong pair.
+        let idx = Affine::constant(7)
+            .sub(&Affine::atom(ly()))
+            .scale(Rational::int(12))
+            .add(&Affine::constant(7).sub(&Affine::atom(lx())));
+        let (h, l) = idx.split_by_stride(12).unwrap();
+        assert_eq!(h, Affine::constant(7).sub(&Affine::atom(ly())));
+        assert_eq!(l, Affine::constant(7).sub(&Affine::atom(lx())));
+    }
+
+    #[test]
+    fn split_rejects_mixed_coefficients() {
+        // 33*ly cannot be split by 16 without breaking value ranges.
+        let idx = Affine::atom(ly()).scale(Rational::int(33));
+        assert!(idx.split_by_stride(16).is_none());
+    }
+}

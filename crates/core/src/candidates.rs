@@ -1,0 +1,284 @@
+//! Selecting the reversing candidates (paper §IV-A).
+//!
+//! For every `__local` buffer we locate the three operations of the
+//! software-cache pattern (paper Fig. 3):
+//!
+//! * `GL` — the global load whose result is staged,
+//! * `LS` — the local store that writes it into the buffer,
+//! * `LL` — every local load that reads the buffer afterwards.
+//!
+//! A buffer qualifies only if *every* store into it stages a freshly loaded
+//! global value; anything else (reductions, read-modify-write temporaries)
+//! is outside the pattern and the buffer is declined (paper §VI-D).
+
+use grover_ir::{AddressSpace, Function, Inst, LocalBufId, ValueId};
+
+/// The detected pattern for one local buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StagingPattern {
+    /// The buffer this pattern describes.
+    pub buf: LocalBufId,
+    /// The chosen `(GL, LS)` pair. When the kernel loads the buffer in
+    /// multiple passes, any pair gives the same correspondence (§IV-A);
+    /// we take the first in program order.
+    pub gl: ValueId,
+    /// The local store of the chosen staging pair.
+    pub ls: ValueId,
+    /// The index operand of the LS's gep.
+    pub ls_index: ValueId,
+    /// All local loads reading this buffer, in program order.
+    pub lls: Vec<ValueId>,
+    /// Every store into the buffer (all staging stores, including the
+    /// chosen one) — removed once the loads are rewired.
+    pub all_stores: Vec<ValueId>,
+}
+
+/// Why a buffer does not fit the pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CandidateError {
+    /// Nothing is ever stored to the buffer.
+    NeverWritten,
+    /// The buffer is never read; removing it is trivial but pointless.
+    NeverRead,
+    /// A store's value is not the result of a global load (e.g. a computed
+    /// value — the buffer is used as a read-write temporary).
+    NotStaged,
+    /// The buffer is accessed through something other than a single-level
+    /// gep of its base pointer.
+    IndirectAccess,
+}
+
+impl std::fmt::Display for CandidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CandidateError::NeverWritten => "local buffer is never written",
+            CandidateError::NeverRead => "local buffer is never read",
+            CandidateError::NotStaged => {
+                "local buffer is not a pure staging cache (stored values are not global loads)"
+            }
+            CandidateError::IndirectAccess => "local buffer is accessed through derived pointers",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CandidateError {}
+
+/// Resolve a pointer value to `(buffer, index)` if it is a (possibly
+/// zero-offset) access to the given local buffer.
+fn local_access(f: &Function, buf: LocalBufId, ptr: ValueId) -> Option<ValueId> {
+    let base = f.local_buf_value(buf);
+    if ptr == base {
+        // Direct use of the buffer pointer = element 0. Callers need a
+        // value; the constant is interned lazily by the transform, so we
+        // only signal with the base itself here.
+        return Some(base);
+    }
+    match f.inst(ptr) {
+        Some(Inst::Gep { base: b, index }) if *b == base => Some(*index),
+        _ => None,
+    }
+}
+
+/// True if `ptr` points into *some* local buffer (used to detect leftover
+/// local traffic before removing barriers).
+pub fn is_local_ptr(f: &Function, ptr: ValueId) -> bool {
+    f.ty(ptr).address_space() == Some(AddressSpace::Local)
+}
+
+/// Detect the staging pattern for one buffer.
+pub fn detect(f: &Function, buf: LocalBufId) -> Result<StagingPattern, CandidateError> {
+    let base = f.local_buf_value(buf);
+    let mut stores: Vec<(ValueId, ValueId, ValueId)> = Vec::new(); // (store, index, value)
+    let mut loads: Vec<ValueId> = Vec::new();
+
+    for (_, iv) in f.iter_insts() {
+        match f.inst(iv) {
+            Some(Inst::Store { ptr, value }) => {
+                if let Some(idx) = local_access(f, buf, *ptr) {
+                    stores.push((iv, idx, *value));
+                } else if is_local_ptr(f, *ptr) {
+                    // store to a different local buffer — ignore
+                } else {
+                    // Store of the buffer *pointer* itself would be exotic;
+                    // our IR cannot express it (pointers are not storable).
+                }
+            }
+            Some(Inst::Load { ptr }) => {
+                if local_access(f, buf, *ptr).is_some() {
+                    loads.push(iv);
+                }
+            }
+            Some(Inst::Gep { base: b, .. }) if *b == base => {
+                // A gep of the buffer is fine; a gep *of a gep* of the
+                // buffer would make index recovery multi-level.
+            }
+            _ => {}
+        }
+    }
+
+    // Multi-level geps: a gep whose base is itself a gep into the buffer.
+    for (_, iv) in f.iter_insts() {
+        if let Some(Inst::Gep { base: b, .. }) = f.inst(iv) {
+            if let Some(Inst::Gep { base: bb, .. }) = f.inst(*b) {
+                if *bb == base {
+                    return Err(CandidateError::IndirectAccess);
+                }
+            }
+        }
+    }
+
+    if stores.is_empty() {
+        return Err(CandidateError::NeverWritten);
+    }
+    if loads.is_empty() {
+        return Err(CandidateError::NeverRead);
+    }
+
+    // Every store must stage a global load's result.
+    let mut pair: Option<(ValueId, ValueId, ValueId)> = None; // (gl, ls, ls_index)
+    for &(st, idx, val) in &stores {
+        match f.inst(val) {
+            Some(Inst::Load { ptr }) if f.ty(*ptr).address_space() == Some(AddressSpace::Global) => {
+                if pair.is_none() {
+                    pair = Some((val, st, idx));
+                }
+            }
+            _ => return Err(CandidateError::NotStaged),
+        }
+    }
+    let (gl, ls, ls_index) = pair.expect("stores nonempty and all staged");
+
+    Ok(StagingPattern {
+        buf,
+        gl,
+        ls,
+        ls_index,
+        lls: loads,
+        all_stores: stores.iter().map(|&(s, _, _)| s).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+    use grover_ir::LocalBufId;
+
+    fn kernel(src: &str) -> Function {
+        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+    }
+
+    #[test]
+    fn detects_simple_staging() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 lm[lx] = in[gx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[gx] = lm[15 - lx];
+             }",
+        );
+        let p = detect(&f, LocalBufId(0)).unwrap();
+        assert_eq!(p.lls.len(), 1);
+        assert_eq!(p.all_stores.len(), 1);
+        assert!(matches!(f.inst(p.gl), Some(Inst::Load { .. })));
+        assert!(matches!(f.inst(p.ls), Some(Inst::Store { .. })));
+    }
+
+    #[test]
+    fn multiple_lls_collected() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[18];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 lm[lx + 1] = in[gx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[gx] = lm[lx] + lm[lx + 1] + lm[lx + 2];
+             }",
+        );
+        let p = detect(&f, LocalBufId(0)).unwrap();
+        assert_eq!(p.lls.len(), 3);
+    }
+
+    #[test]
+    fn reduction_declined() {
+        // Accumulating into local memory is a read-write temporary (§VI-D).
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float acc[16];
+                 int lx = get_local_id(0);
+                 acc[lx] = in[lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 acc[lx] = acc[lx] + 1.0f;
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[lx] = acc[lx];
+             }",
+        );
+        assert_eq!(detect(&f, LocalBufId(0)), Err(CandidateError::NotStaged));
+    }
+
+    #[test]
+    fn computed_store_declined() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 lm[lx] = in[lx] * 2.0f;
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[lx] = lm[lx];
+             }",
+        );
+        assert_eq!(detect(&f, LocalBufId(0)), Err(CandidateError::NotStaged));
+    }
+
+    #[test]
+    fn never_written_detected() {
+        let f = kernel(
+            "__kernel void k(__global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 out[lx] = 1.0f;
+                 if (lx < 0) { out[lx] = lm[lx]; }
+             }",
+        );
+        assert_eq!(detect(&f, LocalBufId(0)), Err(CandidateError::NeverWritten));
+    }
+
+    #[test]
+    fn never_read_detected() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 lm[lx] = in[lx];
+                 out[lx] = in[lx];
+             }",
+        );
+        assert_eq!(detect(&f, LocalBufId(0)), Err(CandidateError::NeverRead));
+    }
+
+    #[test]
+    fn multi_pass_staging_picks_first_pair() {
+        // Image-convolution style: two staging passes (§IV-A).
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[32];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 lm[lx] = in[gx];
+                 lm[lx + 16] = in[gx + 16];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[gx] = lm[lx] + lm[lx + 16];
+             }",
+        );
+        let p = detect(&f, LocalBufId(0)).unwrap();
+        assert_eq!(p.all_stores.len(), 2);
+        assert_eq!(p.lls.len(), 2);
+        // The first store in program order is the chosen LS.
+        assert_eq!(p.ls, p.all_stores[0]);
+    }
+}

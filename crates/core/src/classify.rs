@@ -1,0 +1,356 @@
+//! Local-memory usage-pattern classification.
+//!
+//! The paper restricts Grover to the *software-cache* pattern and notes
+//! (§VI-D) that other patterns — reductions, temporal read-write buffers —
+//! need different analyses. Inspired by the usage-pattern catalogue of the
+//! ELMO work the paper cites (reference \[4\]), this module classifies how each
+//! `__local` buffer is actually used, giving auto-tuners and diagnostics a
+//! sharper answer than a bare "declined".
+
+use grover_ir::{AddressSpace, BarrierScope, Function, Inst, LocalBufId, ValueId};
+
+/// How a `__local` buffer is used by its kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UsagePattern {
+    /// The paper's target: every store stages a fresh global load, every
+    /// load consumes staged data (Fig. 3). Grover can reverse this.
+    SoftwareCache,
+    /// Stores write computed values exactly once per location per phase and
+    /// loads read them back — a scratch buffer for exchanging *derived*
+    /// data between work-items (e.g. partial results shared once).
+    ComputedExchange,
+    /// The buffer is loaded and stored repeatedly with data dependences
+    /// between phases (classic tree reductions, scan buffers). Removing it
+    /// would change the algorithm (§VI-D: "such applications typically
+    /// benefit from using local memory on any platform").
+    ReadWriteTemporary,
+    /// Written but never read (dead staging — removable trivially).
+    WriteOnly,
+    /// Read but never written (reads see zero-initialised memory; almost
+    /// certainly a bug in the kernel).
+    ReadOnly,
+    /// No accesses at all.
+    Unused,
+}
+
+impl UsagePattern {
+    /// Whether Grover's reversing analysis applies to this pattern.
+    pub fn is_reversible_candidate(self) -> bool {
+        matches!(self, UsagePattern::SoftwareCache)
+    }
+
+    /// Human-readable explanation of the pattern.
+    pub fn describe(self) -> &'static str {
+        match self {
+            UsagePattern::SoftwareCache => {
+                "software cache: global data staged for reuse (Grover's target pattern)"
+            }
+            UsagePattern::ComputedExchange => {
+                "computed exchange: work-items share derived values once"
+            }
+            UsagePattern::ReadWriteTemporary => {
+                "read-write temporary: iterative updates (reduction/scan-like)"
+            }
+            UsagePattern::WriteOnly => "write-only: stores are dead",
+            UsagePattern::ReadOnly => "read-only: reads see zero-initialised memory",
+            UsagePattern::Unused => "unused",
+        }
+    }
+}
+
+/// Classification result for one buffer.
+#[derive(Clone, Debug)]
+pub struct BufferClass {
+    /// Buffer name.
+    pub buffer: String,
+    /// Detected usage pattern.
+    pub pattern: UsagePattern,
+    /// Number of load sites reading the buffer.
+    pub loads: usize,
+    /// Number of store sites writing the buffer.
+    pub stores: usize,
+    /// Barriers between the first store and the last load, program-order.
+    pub synchronised: bool,
+}
+
+/// Classify every local buffer of a kernel.
+pub fn classify(f: &Function) -> Vec<BufferClass> {
+    (0..f.local_bufs().len())
+        .map(|i| classify_buffer(f, LocalBufId(i as u32)))
+        .collect()
+}
+
+/// Classify one buffer.
+pub fn classify_buffer(f: &Function, buf: LocalBufId) -> BufferClass {
+    let base = f.local_buf_value(buf);
+    let name = f.local_buf(buf).name.clone();
+
+    let is_access = |ptr: ValueId| -> bool {
+        if ptr == base {
+            return true;
+        }
+        matches!(f.inst(ptr), Some(Inst::Gep { base: b, .. }) if *b == base)
+    };
+
+    // Program-order walk collecting accesses and barriers.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Ev {
+        Load,
+        StoreStaged,
+        StoreComputed,
+        StoreFromLocal,
+        Barrier,
+    }
+    let mut events = Vec::new();
+    for (_, iv) in f.iter_insts() {
+        match f.inst(iv) {
+            Some(Inst::Load { ptr }) if is_access(*ptr) => events.push(Ev::Load),
+            Some(Inst::Store { ptr, value }) if is_access(*ptr) => {
+                let ev = match f.inst(*value) {
+                    Some(Inst::Load { ptr: src }) => {
+                        match f.ty(*src).address_space() {
+                            Some(AddressSpace::Global) | Some(AddressSpace::Constant) => {
+                                Ev::StoreStaged
+                            }
+                            Some(AddressSpace::Local) => Ev::StoreFromLocal,
+                            _ => Ev::StoreComputed,
+                        }
+                    }
+                    _ => Ev::StoreComputed,
+                };
+                events.push(ev);
+            }
+            Some(Inst::Barrier { scope }) => {
+                if matches!(scope, BarrierScope::Local | BarrierScope::Both) {
+                    events.push(Ev::Barrier);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let loads = events.iter().filter(|&&e| e == Ev::Load).count();
+    let stores = events
+        .iter()
+        .filter(|&&e| matches!(e, Ev::StoreStaged | Ev::StoreComputed | Ev::StoreFromLocal))
+        .count();
+    let staged = events.iter().filter(|&&e| e == Ev::StoreStaged).count();
+
+    let synchronised = {
+        let first_store = events
+            .iter()
+            .position(|&e| matches!(e, Ev::StoreStaged | Ev::StoreComputed | Ev::StoreFromLocal));
+        let last_load = events.iter().rposition(|&e| e == Ev::Load);
+        match (first_store, last_load) {
+            (Some(s), Some(l)) if s < l => {
+                events[s..l].iter().any(|&e| e == Ev::Barrier)
+            }
+            _ => false,
+        }
+    };
+
+    let pattern = match (loads, stores) {
+        (0, 0) => UsagePattern::Unused,
+        (0, _) => UsagePattern::WriteOnly,
+        (_, 0) => UsagePattern::ReadOnly,
+        _ => {
+            let any_from_local =
+                events.iter().any(|&e| e == Ev::StoreFromLocal);
+            // A store that structurally depends on a prior load of the same
+            // buffer (load → compute → store) marks iterative update. We
+            // approximate with a dataflow reachability check below.
+            if any_from_local || store_depends_on_own_load(f, buf) {
+                UsagePattern::ReadWriteTemporary
+            } else if staged == stores {
+                UsagePattern::SoftwareCache
+            } else {
+                UsagePattern::ComputedExchange
+            }
+        }
+    };
+
+    BufferClass { buffer: name, pattern, loads, stores, synchronised }
+}
+
+/// Does any store into `buf` transitively depend on a load from `buf`?
+fn store_depends_on_own_load(f: &Function, buf: LocalBufId) -> bool {
+    let base = f.local_buf_value(buf);
+    let is_access = |ptr: ValueId| -> bool {
+        if ptr == base {
+            return true;
+        }
+        matches!(f.inst(ptr), Some(Inst::Gep { base: b, .. }) if *b == base)
+    };
+    // Taint = values derived from loads of this buffer.
+    let mut tainted: std::collections::HashSet<ValueId> = std::collections::HashSet::new();
+    loop {
+        let mut changed = false;
+        for (_, iv) in f.iter_insts() {
+            if tainted.contains(&iv) {
+                continue;
+            }
+            let inst = f.inst(iv).expect("inst");
+            let root = matches!(inst, Inst::Load { ptr } if is_access(*ptr));
+            let mut hit = root;
+            if !hit {
+                inst.visit_operands(|v| hit |= tainted.contains(&v));
+            }
+            if hit {
+                tainted.insert(iv);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (_, iv) in f.iter_insts() {
+        if let Some(Inst::Store { ptr, value }) = f.inst(iv) {
+            if is_access(*ptr) && tainted.contains(value) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+
+    fn kernel(src: &str) -> Function {
+        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+    }
+
+    #[test]
+    fn staging_is_software_cache() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 lm[lx] = in[lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[lx] = lm[15 - lx];
+             }",
+        );
+        let c = classify(&f);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pattern, UsagePattern::SoftwareCache);
+        assert!(c[0].pattern.is_reversible_candidate());
+        assert!(c[0].synchronised);
+        assert_eq!(c[0].loads, 1);
+        assert_eq!(c[0].stores, 1);
+    }
+
+    #[test]
+    fn reduction_is_read_write_temporary() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float acc[8];
+                 int lx = get_local_id(0);
+                 acc[lx] = in[lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 for (int s = 4; s > 0; s = s / 2) {
+                     if (lx < s) { acc[lx] = acc[lx] + acc[lx + s]; }
+                     barrier(CLK_LOCAL_MEM_FENCE);
+                 }
+                 out[0] = acc[0];
+             }",
+        );
+        let c = classify(&f);
+        assert_eq!(c[0].pattern, UsagePattern::ReadWriteTemporary);
+        assert!(!c[0].pattern.is_reversible_candidate());
+    }
+
+    #[test]
+    fn computed_values_are_exchange() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float sq[16];
+                 int lx = get_local_id(0);
+                 sq[lx] = in[lx] * in[lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[lx] = sq[15 - lx];
+             }",
+        );
+        let c = classify(&f);
+        assert_eq!(c[0].pattern, UsagePattern::ComputedExchange);
+    }
+
+    #[test]
+    fn write_only_detected() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float dead[16];
+                 int lx = get_local_id(0);
+                 dead[lx] = in[lx];
+                 out[lx] = in[lx];
+             }",
+        );
+        assert_eq!(classify(&f)[0].pattern, UsagePattern::WriteOnly);
+    }
+
+    #[test]
+    fn read_only_detected() {
+        let f = kernel(
+            "__kernel void k(__global float* out) {
+                 __local float ghost[16];
+                 int lx = get_local_id(0);
+                 out[lx] = ghost[lx];
+             }",
+        );
+        assert_eq!(classify(&f)[0].pattern, UsagePattern::ReadOnly);
+    }
+
+    #[test]
+    fn unsynchronised_staging_flagged() {
+        // Missing barrier: still a software cache structurally, but
+        // `synchronised` is false — a correctness smell worth surfacing.
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 lm[lx] = in[lx];
+                 out[lx] = lm[lx];
+             }",
+        );
+        let c = classify(&f);
+        assert_eq!(c[0].pattern, UsagePattern::SoftwareCache);
+        assert!(!c[0].synchronised);
+    }
+
+    #[test]
+    fn multiple_buffers_classified_independently() {
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float stage[8];
+                 __local float acc[8];
+                 int lx = get_local_id(0);
+                 stage[lx] = in[lx];
+                 acc[lx] = in[lx + 8];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 acc[lx] = acc[lx] + stage[7 - lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[lx] = acc[lx];
+             }",
+        );
+        let c = classify(&f);
+        assert_eq!(c[0].pattern, UsagePattern::SoftwareCache);
+        assert_eq!(c[1].pattern, UsagePattern::ReadWriteTemporary);
+    }
+
+    #[test]
+    fn describe_strings_exist() {
+        for p in [
+            UsagePattern::SoftwareCache,
+            UsagePattern::ComputedExchange,
+            UsagePattern::ReadWriteTemporary,
+            UsagePattern::WriteOnly,
+            UsagePattern::ReadOnly,
+            UsagePattern::Unused,
+        ] {
+            assert!(!p.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! # grover-core
+//!
+//! The Grover pass — *automatically disabling local-memory usage in OpenCL
+//! kernels* — reproducing Fang, Sips, Jääskeläinen & Varbanescu,
+//! "Grover: Looking for Performance Improvement by Disabling Local Memory
+//! Usage in OpenCL Kernels" (ICPP 2014).
+//!
+//! Grover targets the software-cache pattern (paper Fig. 3):
+//!
+//! ```text
+//!   GL (global load) → LS (local store) → barrier → LL (local load) → use
+//! ```
+//!
+//! It derives, for each `LL`, which work-item `(lx', ly', lz')` stored the
+//! element being read — by expressing the LS data index as an affine
+//! function of the local work-item index (Equation 2), forming a linear
+//! system whose right-hand side is the LL data index (Equation 3), and
+//! solving it exactly over the rationals. The GL index expression is then
+//! duplicated with the solution substituted for the work-item index
+//! (Algorithm 1), producing a *new global load* (`nGL`) that replaces the
+//! local load. The staging stores, the buffer, and the synchronising
+//! barriers become dead and are removed.
+//!
+//! ```
+//! use grover_frontend::{compile, BuildOptions};
+//! use grover_core::Grover;
+//!
+//! let mut module = compile(
+//!     "__kernel void mt(__global float* in, __global float* out, int w) {
+//!          __local float lm[16][16];
+//!          int lx = get_local_id(0);
+//!          int ly = get_local_id(1);
+//!          int wx = get_group_id(0);
+//!          int wy = get_group_id(1);
+//!          lm[ly][lx] = in[(wy*16 + ly)*w + (wx*16 + lx)];
+//!          barrier(CLK_LOCAL_MEM_FENCE);
+//!          out[(wx*16 + lx)*w + (wy*16 + ly)] = lm[lx][ly];
+//!      }",
+//!     &BuildOptions::new(),
+//! ).unwrap();
+//!
+//! let kernel = module.kernel_mut("mt").unwrap();
+//! let report = Grover::new().run_on(kernel);
+//! assert!(report.all_removed());
+//! assert_eq!(kernel.local_mem_bytes(), 0);
+//! assert_eq!(report.buffers[0].solutions[0], "(lx, ly) = (ly, lx)");
+//! ```
+
+pub mod affine;
+pub mod candidates;
+pub mod classify;
+pub mod linsys;
+pub mod pass;
+pub mod rational;
+pub mod transform;
+pub mod tree;
+
+pub use affine::{Affine, Atom};
+pub use candidates::{detect, CandidateError, StagingPattern};
+pub use classify::{classify, BufferClass, UsagePattern};
+pub use linsys::{solve, Solution, SolveError};
+pub use pass::{BufferOutcome, BufferReport, Grover, GroverOptions, GroverReport};
+pub use rational::Rational;
+pub use transform::{Decline, LlRewrite};
+pub use tree::{ExprTree, LeafKind, NodeId};

@@ -1,0 +1,331 @@
+//! Creating and solving the linear system (paper §III-B S2 and §IV-D).
+//!
+//! Each dimension of the local buffer contributes one equation
+//! `a·lx' + b·ly' + c·lz' + d = x_LL`, where the left-hand side comes from
+//! the LS data index (pure `get_local_id` affine form) and the right-hand
+//! side from the LL data index (an affine form over arbitrary atoms — a
+//! value the loading work-item knows at runtime). Solving for
+//! `(lx', ly', lz')` — the indices of the work-item that *stored* the
+//! element — uses Gauss–Jordan elimination over exact rationals with
+//! affine-valued right-hand sides.
+
+use std::collections::BTreeMap;
+
+use crate::affine::{Affine, Atom};
+use crate::rational::Rational;
+
+/// Why a system could not be solved (maps to paper §III-B: "when the system
+/// does not have a unique solution, Grover will not be able to cancel the
+/// use of the local memory").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// An LS dimension mentions something other than `get_local_id`.
+    NonLocalIdLhs,
+    /// Fewer independent equations than unknowns.
+    Underdetermined,
+    /// A constant-LHS row whose RHS is not the identical constant.
+    Inconsistent,
+    /// The solution involves non-integral coefficients, which cannot be
+    /// materialised with integer index arithmetic.
+    NonIntegralSolution,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveError::NonLocalIdLhs => "LS index is not a pure get_local_id expression",
+            SolveError::Underdetermined => "linear system has no unique solution",
+            SolveError::Inconsistent => "linear system is inconsistent",
+            SolveError::NonIntegralSolution => "solution has non-integral coefficients",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The unique solution: for every unknown `get_local_id(d)` of the storing
+/// work-item, the affine expression (over the loader's atoms) that equals it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Solution {
+    map: BTreeMap<u8, Affine>,
+}
+
+impl Solution {
+    /// Solution for dimension `d`, if that dimension was an unknown.
+    pub fn for_dim(&self, d: u8) -> Option<&Affine> {
+        self.map.get(&d)
+    }
+
+    /// Iterate `(dimension, solution expression)` pairs.
+    pub fn dims(&self) -> impl Iterator<Item = (u8, &Affine)> + '_ {
+        self.map.iter().map(|(&d, a)| (d, a))
+    }
+
+    /// Number of solved dimensions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no dimension was an unknown (constant staging maps).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Render as the paper writes it: `(lx, ly) = (ly, lx)`.
+    pub fn display(&self) -> String {
+        let lhs: Vec<String> = self
+            .map
+            .keys()
+            .map(|&d| Atom::LocalId(d).display_name())
+            .collect();
+        let rhs: Vec<String> = self.map.values().map(|a| a.to_string()).collect();
+        format!("({}) = ({})", lhs.join(", "), rhs.join(", "))
+    }
+
+    /// Render with opaque atoms resolved to their source names in `f`.
+    pub fn display_in(&self, f: &grover_ir::Function) -> String {
+        let lhs: Vec<String> = self
+            .map
+            .keys()
+            .map(|&d| Atom::LocalId(d).display_name())
+            .collect();
+        let rhs: Vec<String> = self.map.values().map(|a| a.display_in(f)).collect();
+        format!("({}) = ({})", lhs.join(", "), rhs.join(", "))
+    }
+}
+
+/// Solve `ls_dims[i](l') = ll_dims[i]` for the `get_local_id` unknowns.
+///
+/// `ls_dims` and `ll_dims` are the per-dimension data indices of the LS and
+/// LL operations (outermost dimension first); they must have equal length.
+pub fn solve(ls_dims: &[Affine], ll_dims: &[Affine]) -> Result<Solution, SolveError> {
+    assert_eq!(ls_dims.len(), ll_dims.len(), "dimension count mismatch");
+
+    // Collect unknowns: every get_local_id dimension mentioned by any LS row.
+    let mut unknowns: Vec<u8> = Vec::new();
+    for row in ls_dims {
+        if !row.is_local_id_only() {
+            return Err(SolveError::NonLocalIdLhs);
+        }
+        for (a, _) in row.terms() {
+            if let Atom::LocalId(d) = a {
+                if !unknowns.contains(&d) {
+                    unknowns.push(d);
+                }
+            }
+        }
+    }
+    unknowns.sort_unstable();
+    let n = unknowns.len();
+
+    // Build the augmented system: matrix rows over the unknowns, RHS =
+    // ll_dim - constant(ls_dim).
+    let mut mat: Vec<Vec<Rational>> = Vec::new();
+    let mut rhs: Vec<Affine> = Vec::new();
+    for (ls, ll) in ls_dims.iter().zip(ll_dims) {
+        let row: Vec<Rational> = unknowns.iter().map(|&d| ls.coeff(Atom::LocalId(d))).collect();
+        let r = ll.sub(&Affine::constant(ls.constant_part()));
+        if row.iter().all(|c| c.is_zero()) {
+            // 0 = r: verifiable only when symbolically zero.
+            if r != Affine::zero() {
+                return Err(SolveError::Inconsistent);
+            }
+            continue;
+        }
+        mat.push(row);
+        rhs.push(r);
+    }
+
+    if n == 0 {
+        return Ok(Solution::default());
+    }
+    if mat.len() < n {
+        return Err(SolveError::Underdetermined);
+    }
+
+    // Gauss–Jordan elimination with affine-valued right-hand sides.
+    let rows = mat.len();
+    let mut pivot_row_of_col: Vec<Option<usize>> = vec![None; n];
+    let mut r = 0;
+    for c in 0..n {
+        // Find a pivot.
+        let Some(p) = (r..rows).find(|&i| !mat[i][c].is_zero()) else {
+            continue;
+        };
+        mat.swap(r, p);
+        rhs.swap(r, p);
+        // Normalize pivot row.
+        let inv = mat[r][c].recip();
+        for x in &mut mat[r] {
+            *x = *x * inv;
+        }
+        rhs[r] = rhs[r].scale(inv);
+        // Eliminate the column everywhere else.
+        for i in 0..rows {
+            if i == r || mat[i][c].is_zero() {
+                continue;
+            }
+            let factor = mat[i][c];
+            for j in 0..n {
+                mat[i][j] = mat[i][j] - factor * mat[r][j];
+            }
+            rhs[i] = rhs[i].sub(&rhs[r].scale(factor));
+        }
+        pivot_row_of_col[c] = Some(r);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+
+    // Unique solution requires a pivot in every column.
+    if pivot_row_of_col.iter().any(Option::is_none) {
+        return Err(SolveError::Underdetermined);
+    }
+    // Leftover rows must have reduced to 0 = 0.
+    for i in r..rows {
+        if mat[i].iter().any(|c| !c.is_zero()) {
+            continue; // still has a pivot column handled above
+        }
+        if rhs[i] != Affine::zero() {
+            return Err(SolveError::Inconsistent);
+        }
+    }
+
+    let mut sol = Solution::default();
+    for (c, &d) in unknowns.iter().enumerate() {
+        let row = pivot_row_of_col[c].expect("checked");
+        let a = rhs[row].clone();
+        if !a.is_integral() {
+            return Err(SolveError::NonIntegralSolution);
+        }
+        sol.map.insert(d, a);
+    }
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_ir::ValueId;
+
+    fn lx() -> Affine {
+        Affine::atom(Atom::LocalId(0))
+    }
+    fn ly() -> Affine {
+        Affine::atom(Atom::LocalId(1))
+    }
+    fn val(n: u32) -> Affine {
+        Affine::atom(Atom::Value(ValueId(n)))
+    }
+
+    #[test]
+    fn matrix_transpose_swap() {
+        // Paper §III-C: LS = (lx, ly), LL = (ly, lx)  =>  (lx', ly') = (ly, lx).
+        let sol = solve(&[lx(), ly()], &[ly(), lx()]).unwrap();
+        assert_eq!(sol.for_dim(0), Some(&ly()));
+        assert_eq!(sol.for_dim(1), Some(&lx()));
+        assert_eq!(sol.display(), "(lx, ly) = (ly, lx)");
+    }
+
+    #[test]
+    fn identity_staging() {
+        // LS = (lx, ly), LL = (lx, ly)  =>  identity.
+        let sol = solve(&[lx(), ly()], &[lx(), ly()]).unwrap();
+        assert_eq!(sol.for_dim(0), Some(&lx()));
+        assert_eq!(sol.for_dim(1), Some(&ly()));
+    }
+
+    #[test]
+    fn loop_counter_rhs() {
+        // NVD-NBody: LS = (lx), LL = (k)  =>  lx' = k.
+        let k = val(42);
+        let sol = solve(&[lx()], &[k.clone()]).unwrap();
+        assert_eq!(sol.for_dim(0), Some(&k));
+    }
+
+    #[test]
+    fn offset_and_scale() {
+        // LS = (lx + 3), LL = (k)  =>  lx' = k - 3.
+        let sol = solve(&[lx().add(&Affine::constant(3))], &[val(9)]).unwrap();
+        assert_eq!(sol.for_dim(0), Some(&val(9).sub(&Affine::constant(3))));
+    }
+
+    #[test]
+    fn scaled_ls_gives_fractional_and_declines() {
+        // LS = (2*lx), LL = (k): lx' = k/2 is not materialisable.
+        let sol = solve(&[lx().scale(Rational::int(2))], &[val(5)]);
+        assert_eq!(sol, Err(SolveError::NonIntegralSolution));
+    }
+
+    #[test]
+    fn coupled_system() {
+        // LS = (lx + ly, ly), LL = (a, b)  =>  ly' = b, lx' = a - b.
+        let a = val(1);
+        let b = val(2);
+        let sol = solve(&[lx().add(&ly()), ly()], &[a.clone(), b.clone()]).unwrap();
+        assert_eq!(sol.for_dim(1), Some(&b));
+        assert_eq!(sol.for_dim(0), Some(&a.sub(&b)));
+    }
+
+    #[test]
+    fn singular_system_declines() {
+        // LS = (lx + ly, lx + ly): rank 1, two unknowns.
+        let sol = solve(&[lx().add(&ly()), lx().add(&ly())], &[val(1), val(2)]);
+        assert_eq!(sol, Err(SolveError::Underdetermined));
+    }
+
+    #[test]
+    fn underdetermined_single_row() {
+        let sol = solve(&[lx().add(&ly())], &[val(1)]);
+        assert_eq!(sol, Err(SolveError::Underdetermined));
+    }
+
+    #[test]
+    fn constant_row_consistent() {
+        // AMD-RG-like: LS = (0, ly), LL = (0, ly): first row drops out.
+        let zero = Affine::zero();
+        let sol = solve(&[zero.clone(), ly()], &[zero.clone(), ly()]).unwrap();
+        assert_eq!(sol.for_dim(1), Some(&ly()));
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn constant_row_inconsistent() {
+        // LS = (0, ly), LL = (k, ly): 0 = k unverifiable -> inconsistent.
+        let sol = solve(&[Affine::zero(), ly()], &[val(3), ly()]);
+        assert_eq!(sol, Err(SolveError::Inconsistent));
+    }
+
+    #[test]
+    fn non_local_lhs_declines() {
+        let bad = lx().add(&Affine::atom(Atom::GroupId(0)));
+        let sol = solve(&[bad], &[val(1)]);
+        assert_eq!(sol, Err(SolveError::NonLocalIdLhs));
+    }
+
+    #[test]
+    fn no_unknowns_no_equations() {
+        // All-constant LS that matches: empty solution (shared data block,
+        // e.g. AMD-SS pattern string where every work-item stores index k).
+        let sol = solve(&[], &[]).unwrap();
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn three_dim_permutation() {
+        let lz = Affine::atom(Atom::LocalId(2));
+        let sol = solve(
+            &[ly(), Affine::atom(Atom::LocalId(2)), lx()],
+            &[val(1), val(2), val(3)],
+        )
+        .unwrap();
+        assert_eq!(sol.for_dim(1), Some(&val(1)));
+        assert_eq!(sol.for_dim(2), Some(&val(2)));
+        assert_eq!(sol.for_dim(0), Some(&val(3)));
+        let _ = lz;
+    }
+
+    use crate::rational::Rational;
+}

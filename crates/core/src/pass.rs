@@ -1,0 +1,505 @@
+//! The Grover pass: orchestrates detection, solving, rewriting and cleanup
+//! for every `__local` buffer of a kernel, and produces the symbolic report
+//! behind the paper's Table III.
+
+use grover_ir::passes::{DeadCodeElim, FunctionPass, PassManager};
+use grover_ir::{AddressSpace, BarrierScope, Function, Inst, LocalBufId, ValueId};
+
+use crate::affine::Affine;
+use crate::candidates::{detect, CandidateError};
+use crate::transform::{lid_tainted, rewrite_ll, split_dims, Decline, LlRewrite};
+use crate::tree::ExprTree;
+
+/// Options controlling which buffers Grover disables.
+#[derive(Clone, Debug, Default)]
+pub struct GroverOptions {
+    /// Only disable the named buffers (`None` = all). This is how the
+    /// paper's NVD-MM-A / NVD-MM-B / NVD-MM-AB variants are produced from
+    /// the one `oclMatrixMul` kernel.
+    pub buffers: Option<Vec<String>>,
+    /// Keep local barriers even when no local memory remains. Used by the
+    /// barrier-elision ablation; default `false` (barriers are removed, as
+    /// in the paper's Fig. 1(b)).
+    pub keep_barriers: bool,
+}
+
+/// What happened to one buffer.
+#[derive(Clone, Debug)]
+pub enum BufferOutcome {
+    /// Local-memory usage was removed.
+    Removed,
+    /// The buffer did not match the staging pattern.
+    NotCandidate(CandidateError),
+    /// The reversing analysis declined.
+    Declined(Decline),
+    /// The buffer was excluded by [`GroverOptions::buffers`].
+    Skipped,
+}
+
+impl BufferOutcome {
+    /// Whether the buffer's local memory was removed.
+    pub fn is_removed(&self) -> bool {
+        matches!(self, BufferOutcome::Removed)
+    }
+}
+
+/// Per-buffer symbolic report (one row of the paper's Table III).
+#[derive(Clone, Debug)]
+pub struct BufferReport {
+    /// Buffer name.
+    pub buffer: String,
+    /// What happened to the buffer.
+    pub outcome: BufferOutcome,
+    /// Pretty-printed GL pointer expression.
+    pub gl: Option<String>,
+    /// Per-dimension LS data index.
+    pub ls_dims: Vec<Affine>,
+    /// Per-LL: per-dimension data index.
+    pub ll_dims: Vec<Vec<Affine>>,
+    /// Per-LL: rendered data index with source-level atom names.
+    pub ll_display: Vec<String>,
+    /// Per-LL: solved correspondence (`(lx, ly) = (ly, lx)`).
+    pub solutions: Vec<String>,
+    /// Per-LL: pretty-printed nGL pointer expression.
+    pub ngl: Vec<String>,
+}
+
+impl BufferReport {
+    /// Whether this buffer's handling modified the kernel.
+    pub fn changed(&self) -> bool {
+        self.outcome.is_removed()
+    }
+}
+
+/// Whole-kernel report.
+#[derive(Clone, Debug, Default)]
+pub struct GroverReport {
+    /// Kernel name the report describes.
+    pub kernel: String,
+    /// One entry per `__local` buffer, in declaration order.
+    pub buffers: Vec<BufferReport>,
+    /// Local barriers removed during cleanup.
+    pub barriers_removed: usize,
+    /// Instructions removed by the final DCE.
+    pub insts_removed: usize,
+}
+
+impl GroverReport {
+    /// Did every (selected) buffer get its local memory removed?
+    pub fn all_removed(&self) -> bool {
+        self.buffers
+            .iter()
+            .filter(|b| !matches!(b.outcome, BufferOutcome::Skipped))
+            .all(|b| b.outcome.is_removed())
+    }
+
+    /// Number of buffers removed.
+    pub fn removed_count(&self) -> usize {
+        self.buffers.iter().filter(|b| b.outcome.is_removed()).count()
+    }
+
+    /// Render the report as a human-readable table block.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "kernel {}:", self.kernel);
+        for b in &self.buffers {
+            let _ = write!(s, "  __local {}: ", b.buffer);
+            match &b.outcome {
+                BufferOutcome::Removed => {
+                    let _ = writeln!(s, "removed");
+                }
+                BufferOutcome::NotCandidate(e) => {
+                    let _ = writeln!(s, "not a candidate ({e})");
+                }
+                BufferOutcome::Declined(d) => {
+                    let _ = writeln!(s, "declined ({d})");
+                }
+                BufferOutcome::Skipped => {
+                    let _ = writeln!(s, "skipped");
+                }
+            }
+            if let Some(gl) = &b.gl {
+                let _ = writeln!(s, "    GL : {gl}");
+            }
+            if !b.ls_dims.is_empty() {
+                let d: Vec<String> = b.ls_dims.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(s, "    LS : ({})", d.join(", "));
+            }
+            for ((ll, sol), ngl) in b.ll_display.iter().zip(&b.solutions).zip(&b.ngl) {
+                let _ = writeln!(s, "    LL : ({ll})   solve {sol}   nGL: {ngl}");
+            }
+        }
+        if self.barriers_removed > 0 {
+            let _ = writeln!(s, "  removed {} barrier(s)", self.barriers_removed);
+        }
+        s
+    }
+}
+
+/// The Grover pass.
+#[derive(Clone, Debug, Default)]
+pub struct Grover {
+    /// Behaviour options.
+    pub options: GroverOptions,
+}
+
+impl Grover {
+    /// A pass instance with default options (disable every buffer).
+    pub fn new() -> Grover {
+        Grover::default()
+    }
+
+    /// A pass instance with explicit options.
+    pub fn with_options(options: GroverOptions) -> Grover {
+        Grover { options }
+    }
+
+    /// Restrict to specific buffers by name.
+    pub fn for_buffers(names: &[&str]) -> Grover {
+        Grover {
+            options: GroverOptions {
+                buffers: Some(names.iter().map(|s| s.to_string()).collect()),
+                keep_barriers: false,
+            },
+        }
+    }
+
+    /// Run on a kernel, returning the detailed report.
+    pub fn run_on(&self, f: &mut Function) -> GroverReport {
+        let mut report = GroverReport { kernel: f.name.clone(), ..Default::default() };
+        let n_bufs = f.local_bufs().len();
+        for i in 0..n_bufs {
+            let buf = LocalBufId(i as u32);
+            let name = f.local_buf(buf).name.clone();
+            if f.local_buf(buf).len() == 0 {
+                continue; // already removed
+            }
+            if let Some(sel) = &self.options.buffers {
+                if !sel.contains(&name) {
+                    report.buffers.push(BufferReport {
+                        buffer: name,
+                        outcome: BufferOutcome::Skipped,
+                        gl: None,
+                        ls_dims: Vec::new(),
+                        ll_dims: Vec::new(),
+                        ll_display: Vec::new(),
+                        solutions: Vec::new(),
+                        ngl: Vec::new(),
+                    });
+                    continue;
+                }
+            }
+            let br = self.disable_buffer(f, buf, name);
+            report.buffers.push(br);
+        }
+
+        // Cleanup only when something changed: a fully-declined kernel must
+        // be returned untouched (paper §VI-D — Grover never alters kernels
+        // it cannot reverse).
+        if report.buffers.iter().any(BufferReport::changed) {
+            let mut dce = DeadCodeElim::default();
+            dce.run(f);
+            report.insts_removed = dce.removed;
+            if !self.options.keep_barriers && !has_local_traffic(f) {
+                report.barriers_removed = remove_local_barriers(f);
+            }
+            // A final cleanup round folds the constants the rewrites introduced.
+            PassManager::cleanup_pipeline().run_to_fixpoint(f, 8);
+        }
+        report
+    }
+
+    fn disable_buffer(&self, f: &mut Function, buf: LocalBufId, name: String) -> BufferReport {
+        let mut br = BufferReport {
+            buffer: name,
+            outcome: BufferOutcome::Removed,
+            gl: None,
+            ls_dims: Vec::new(),
+            ll_dims: Vec::new(),
+            ll_display: Vec::new(),
+            solutions: Vec::new(),
+            ngl: Vec::new(),
+        };
+        let pattern = match detect(f, buf) {
+            Ok(p) => p,
+            Err(e) => {
+                br.outcome = BufferOutcome::NotCandidate(e);
+                return br;
+            }
+        };
+        // Symbolic GL for the report.
+        let gl_ptr = match f.inst(pattern.gl) {
+            Some(Inst::Load { ptr }) => *ptr,
+            _ => unreachable!(),
+        };
+        br.gl = Some(ExprTree::build(f, gl_ptr).display_root(f));
+
+        // LS data index (per dimension).
+        let dims = f.local_buf(buf).dims.clone();
+        let ls_flat = ExprTree::build(f, pattern.ls_index).affine(f);
+        let Some(ls_dims) = split_dims(&ls_flat, &dims) else {
+            br.outcome = BufferOutcome::Declined(Decline::SplitFailed);
+            return br;
+        };
+        br.ls_dims = ls_dims.clone();
+
+        let tainted = lid_tainted(f);
+
+        // Rewrite every LL. Collect rewrites; if any declines, the kernel
+        // must stay untouched — run on a scratch clone first.
+        let mut scratch = f.clone();
+        let mut rewrites: Vec<LlRewrite> = Vec::new();
+        for &ll in &pattern.lls {
+            match rewrite_ll(&mut scratch, &pattern, &ls_dims, ll, &tainted) {
+                Ok(r) => rewrites.push(r),
+                Err(d) => {
+                    br.outcome = BufferOutcome::Declined(d);
+                    return br;
+                }
+            }
+        }
+        // All succeeded: remove the staging stores and the buffer, commit.
+        for &st in &pattern.all_stores {
+            scratch.remove_inst(st);
+        }
+        scratch.mark_local_buf_removed(buf);
+        *f = scratch;
+
+        for r in rewrites {
+            br.solutions.push(r.solution.display_in(f));
+            br.ll_display.push(
+                r.ll_dims.iter().map(|a| a.display_in(f)).collect::<Vec<_>>().join(", "),
+            );
+            br.ll_dims.push(r.ll_dims);
+            br.ngl.push(r.ngl_display);
+        }
+        br
+    }
+}
+
+impl FunctionPass for Grover {
+    fn name(&self) -> &'static str {
+        "grover"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        let before = f.local_mem_bytes();
+        let _ = self.run_on(f);
+        f.local_mem_bytes() != before
+    }
+}
+
+/// Any load/store through a `__local` pointer left?
+pub fn has_local_traffic(f: &Function) -> bool {
+    for (_, iv) in f.iter_insts() {
+        match f.inst(iv) {
+            Some(Inst::Load { ptr }) | Some(Inst::Store { ptr, .. }) => {
+                if f.ty(*ptr).address_space() == Some(AddressSpace::Local) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Remove local barriers (Both-scope barriers are narrowed to Global).
+fn remove_local_barriers(f: &mut Function) -> usize {
+    let mut removed = 0;
+    let targets: Vec<ValueId> = f
+        .iter_insts()
+        .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Barrier { .. })))
+        .map(|(_, iv)| iv)
+        .collect();
+    for iv in targets {
+        let Some(Inst::Barrier { scope }) = f.inst(iv).cloned() else { continue };
+        match scope {
+            BarrierScope::Local => {
+                f.remove_inst(iv);
+                removed += 1;
+            }
+            BarrierScope::Both => {
+                if let Some(Inst::Barrier { scope }) = f.inst_mut(iv) {
+                    *scope = BarrierScope::Global;
+                }
+                removed += 1;
+            }
+            BarrierScope::Global => {}
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+
+    fn kernel(src: &str) -> Function {
+        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+    }
+
+    const MT: &str = "__kernel void mt(__global float* in, __global float* out, int w) {
+        __local float lm[16][16];
+        int lx = get_local_id(0);
+        int ly = get_local_id(1);
+        int wx = get_group_id(0);
+        int wy = get_group_id(1);
+        lm[ly][lx] = in[(wy * 16 + ly) * w + (wx * 16 + lx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[(wx * 16 + lx) * w + (wy * 16 + ly)] = lm[lx][ly];
+    }";
+
+    #[test]
+    fn transpose_fully_disabled() {
+        let mut f = kernel(MT);
+        let report = Grover::new().run_on(&mut f);
+        assert!(report.all_removed(), "{}", report.to_text());
+        assert_eq!(f.local_mem_bytes(), 0);
+        assert!(!has_local_traffic(&f));
+        assert_eq!(report.barriers_removed, 1);
+        // No barrier instruction remains.
+        let barriers = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Barrier { .. })))
+            .count();
+        assert_eq!(barriers, 0);
+        assert!(grover_ir::verify(&f).is_ok(), "{:?}", grover_ir::verify(&f));
+        assert_eq!(report.buffers[0].solutions[0], "(lx, ly) = (ly, lx)");
+    }
+
+    #[test]
+    fn pass_reports_change() {
+        let mut f = kernel(MT);
+        let mut g = Grover::new();
+        assert!(g.run(&mut f));
+        assert!(!g.run(&mut f)); // idempotent
+    }
+
+    #[test]
+    fn selective_buffer_removal_keeps_barrier() {
+        // Two staged buffers; only `a` removed -> barrier must remain.
+        let src = "__kernel void two(__global float* pa, __global float* pb, __global float* out) {
+            __local float a[16];
+            __local float b[16];
+            int lx = get_local_id(0);
+            int gx = get_global_id(0);
+            a[lx] = pa[gx];
+            b[lx] = pb[gx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[gx] = a[15 - lx] + b[15 - lx];
+        }";
+        let mut f = kernel(src);
+        let report = Grover::for_buffers(&["a"]).run_on(&mut f);
+        assert_eq!(report.removed_count(), 1);
+        assert!(has_local_traffic(&f));
+        assert_eq!(report.barriers_removed, 0);
+        let barriers = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Barrier { .. })))
+            .count();
+        assert_eq!(barriers, 1);
+        assert!(grover_ir::verify(&f).is_ok());
+        // Removing the second buffer afterwards also drops the barrier.
+        let report2 = Grover::new().run_on(&mut f);
+        assert!(report2.all_removed());
+        assert_eq!(report2.barriers_removed, 1);
+        assert_eq!(f.local_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn reduction_left_untouched() {
+        let src = "__kernel void red(__global float* in, __global float* out) {
+            __local float acc[16];
+            int lx = get_local_id(0);
+            acc[lx] = in[lx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            acc[lx] = acc[lx] + 1.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[lx] = acc[lx];
+        }";
+        let mut f = kernel(src);
+        let before = f.num_insts();
+        let report = Grover::new().run_on(&mut f);
+        assert!(!report.all_removed());
+        assert!(matches!(report.buffers[0].outcome, BufferOutcome::NotCandidate(_)));
+        assert!(has_local_traffic(&f));
+        assert_eq!(f.num_insts(), before);
+    }
+
+    #[test]
+    fn declined_kernel_unmodified() {
+        // Non-invertible: every work-item stores to slot 0.
+        let src = "__kernel void sing(__global float* in, __global float* out) {
+            __local float lm[16];
+            int lx = get_local_id(0);
+            lm[0] = in[lx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[lx] = lm[0];
+        }";
+        let mut f = kernel(src);
+        let report = Grover::new().run_on(&mut f);
+        // LS = (0): constant row with RHS 0 is consistent, no unknowns —
+        // but GL uses lx with no solution — MissingDim.
+        assert!(!report.all_removed(), "{}", report.to_text());
+        assert!(has_local_traffic(&f));
+    }
+
+    #[test]
+    fn report_text_is_informative() {
+        let mut f = kernel(MT);
+        let report = Grover::new().run_on(&mut f);
+        let text = report.to_text();
+        assert!(text.contains("GL"), "{text}");
+        assert!(text.contains("LS : (ly, lx)"), "{text}");
+        assert!(text.contains("nGL"), "{text}");
+    }
+
+    #[test]
+    fn three_dimensional_staging() {
+        // 3-D tile with a cyclic axis permutation: the full 3x3 system.
+        let src = "__kernel void t3(__global float* in, __global float* out, int nx, int ny) {
+            __local float lm[4][4][4];
+            int lx = get_local_id(0);
+            int ly = get_local_id(1);
+            int lz = get_local_id(2);
+            int gx = get_global_id(0);
+            int gy = get_global_id(1);
+            int gz = get_global_id(2);
+            lm[lz][ly][lx] = in[(gz * ny + gy) * nx + gx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[(gz * ny + gy) * nx + gx] = lm[lx][lz][ly];
+        }";
+        let mut f = kernel(src);
+        let report = Grover::new().run_on(&mut f);
+        assert!(report.all_removed(), "{}", report.to_text());
+        // lm[lx][lz][ly]: dims = (lx, lz, ly) → solve lz'=lx, ly'=lz, lx'=ly.
+        assert_eq!(report.buffers[0].solutions[0], "(lx, ly, lz) = (ly, lz, lx)");
+        assert!(grover_ir::verify(&f).is_ok());
+    }
+
+    #[test]
+    fn shared_block_pattern() {
+        // AMD-SS style: every work-item stages the same shared pattern; the
+        // work-group index part is zero and LL uses a loop counter.
+        let src = "__kernel void ss(__global int* pat, __global int* text, __global int* out) {
+            __local int lpat[16];
+            int lx = get_local_id(0);
+            int gx = get_global_id(0);
+            if (lx < 16) { lpat[lx] = pat[lx]; }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int m = 1;
+            for (int k = 0; k < 16; k++) {
+                if (text[gx + k] != lpat[k]) { m = 0; }
+            }
+            out[gx] = m;
+        }";
+        let mut f = kernel(src);
+        let report = Grover::new().run_on(&mut f);
+        assert!(report.all_removed(), "{}", report.to_text());
+        assert!(!has_local_traffic(&f));
+        assert!(grover_ir::verify(&f).is_ok(), "{:?}", grover_ir::verify(&f));
+    }
+}

@@ -1,0 +1,220 @@
+//! Exact rational arithmetic for the linear-system solver (paper §IV-D).
+//!
+//! Gaussian elimination over floats would mis-detect singular systems;
+//! over machine integers it would overflow. `Rational` keeps every
+//! intermediate value exact with an `i64/i64` normalized fraction.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den`, always normalized: `den > 0`,
+/// `gcd(|num|, den) == 1`, and zero is `0/1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den`. Panics on a zero denominator.
+    pub fn new(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// An integer as a rational.
+    pub fn int(v: i64) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+
+    /// The (normalized) numerator.
+    pub fn numerator(self) -> i64 {
+        self.num
+    }
+
+    /// The (normalized, positive) denominator.
+    pub fn denominator(self) -> i64 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The integer value, if this rational is integral.
+    pub fn as_integer(self) -> Option<i64> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// Whether the denominator is one.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(self) -> Rational {
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rational::new((self.num / g1) * (rhs.num / g2), (self.den / g2) * (rhs.den / g1))
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Default for Rational {
+    /// Zero (`0/1`) — a derived default would produce an invalid `0/0`.
+    fn default() -> Rational {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational::int(v)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> std::cmp::Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn integrality() {
+        assert_eq!(Rational::new(6, 3).as_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).as_integer(), None);
+        assert!(Rational::int(5).is_integer());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn recip_and_zero() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert!(Rational::ZERO.is_zero());
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn cross_reduction_avoids_overflow() {
+        // (2^40 / 3) * (3 / 2^40) must not overflow.
+        let a = Rational::new(1 << 40, 3);
+        let b = Rational::new(3, 1 << 40);
+        assert_eq!(a * b, Rational::ONE);
+    }
+}

@@ -1,0 +1,453 @@
+//! Index expression trees (paper §III-C and §IV-B, Fig. 6).
+//!
+//! An [`ExprTree`] represents one data-index computation. Leaves are the
+//! values the recursive builder stops at — call instructions, constants,
+//! function arguments and phi nodes — exactly the stop set of the paper's
+//! algorithm. Internal nodes are ordinary arithmetic instructions. Each node
+//! carries the paper's *state* flag (`needs_update`) used during instruction
+//! duplication (§IV-E).
+
+use grover_ir::{BinOp, Builtin, CastKind, ConstVal, Function, Inst, ValueDef, ValueId};
+
+use crate::affine::{Affine, Atom};
+use crate::rational::Rational;
+
+/// Index of a node within its tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One tree node (paper Fig. 6: value, state, children, parent).
+#[derive(Clone, Debug)]
+pub struct ExprNode {
+    /// The IR value this node stands for.
+    pub value: ValueId,
+    /// The paper's `state` field: does this node need to be re-created when
+    /// duplicating the expression for the new global load?
+    pub needs_update: bool,
+    /// Child nodes (operands), in operand order.
+    pub children: Vec<NodeId>,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+}
+
+/// An index expression tree rooted at a data-index value.
+#[derive(Clone, Debug)]
+pub struct ExprTree {
+    nodes: Vec<ExprNode>,
+    root: NodeId,
+}
+
+/// Classification of a leaf node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LeafKind {
+    /// A constant.
+    Const(ConstVal),
+    /// A work-item query call with a constant dimension argument.
+    Query(Builtin, u8),
+    /// A call whose dimension is not constant, or a non-query builtin call.
+    OtherCall,
+    /// A kernel parameter.
+    Param,
+    /// A phi node (loop counters etc.).
+    Phi,
+    /// Pointer to a local buffer (appears only in pointer trees).
+    LocalBuf,
+}
+
+impl ExprTree {
+    /// Build the tree for `index` in `f`, recursing through arithmetic and
+    /// stopping at calls, constants, arguments and phi nodes (§IV-B).
+    pub fn build(f: &Function, index: ValueId) -> ExprTree {
+        let mut t = ExprTree { nodes: Vec::new(), root: NodeId(0) };
+        let root = t.build_node(f, index, None);
+        t.root = root;
+        t
+    }
+
+    fn build_node(&mut self, f: &Function, v: ValueId, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(ExprNode { value: v, needs_update: false, children: Vec::new(), parent });
+        let is_internal = matches!(
+            f.value(v).def,
+            ValueDef::Inst(ref i) if !matches!(i, Inst::Call { .. } | Inst::Phi { .. })
+        );
+        if is_internal {
+            let operands = f.inst(v).expect("inst").operands();
+            for op in operands {
+                let c = self.build_node(f, op, Some(id));
+                self.nodes[id.index()].children.push(c);
+            }
+        }
+        id
+    }
+
+    /// The root node (the whole index expression).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// One node by id.
+    pub fn node(&self, n: NodeId) -> &ExprNode {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut ExprNode {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `n` is a leaf (call / const / argument / phi).
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.node(n).children.is_empty()
+    }
+
+    /// Classify a leaf node.
+    pub fn leaf_kind(&self, f: &Function, n: NodeId) -> Option<LeafKind> {
+        if !self.is_leaf(n) {
+            return None;
+        }
+        let v = self.node(n).value;
+        Some(match &f.value(v).def {
+            ValueDef::Const(c) => LeafKind::Const(*c),
+            ValueDef::Param(_) => LeafKind::Param,
+            ValueDef::LocalBuf(_) => LeafKind::LocalBuf,
+            ValueDef::Inst(Inst::Call { builtin, args }) if builtin.is_workitem_query() => {
+                match f.as_const_int(args[0]) {
+                    Some(d) if (0..3).contains(&d) => LeafKind::Query(*builtin, d as u8),
+                    _ => LeafKind::OtherCall,
+                }
+            }
+            ValueDef::Inst(Inst::Call { .. }) => LeafKind::OtherCall,
+            ValueDef::Inst(Inst::Phi { .. }) => LeafKind::Phi,
+            ValueDef::Inst(_) => {
+                // A leaf can only be a stop-set value; internal instructions
+                // always have children.
+                unreachable!("internal node classified as leaf")
+            }
+        })
+    }
+
+    /// Iterate node ids in post-order (children before parents), the order
+    /// Algorithm 1 duplicates instructions in.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.post_order_from(self.root, &mut out);
+        out
+    }
+
+    fn post_order_from(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        for &c in &self.node(n).children {
+            self.post_order_from(c, out);
+        }
+        out.push(n);
+    }
+
+    /// Mark `n` and all its ancestors as needing update (used after a leaf
+    /// substitution: the paper "backtracks the tree until the root node").
+    pub fn mark_path_to_root(&mut self, n: NodeId) {
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            self.node_mut(c).needs_update = true;
+            cur = self.node(c).parent;
+        }
+    }
+
+    /// Lower the tree to an affine form over [`Atom`]s.
+    ///
+    /// Unsupported operations (non-constant multiplies, divisions, selects…)
+    /// collapse into opaque [`Atom::Value`] atoms of the node's own value —
+    /// sound for right-hand sides (the value is known to the executing
+    /// work-item) and rejected later for LS indices, which must be pure
+    /// `get_local_id` combinations.
+    pub fn to_affine(&self, f: &Function, n: NodeId) -> Affine {
+        let v = self.node(n).value;
+        if self.is_leaf(n) {
+            return match self.leaf_kind(f, n).expect("leaf") {
+                LeafKind::Const(c) => match c.as_int() {
+                    Some(k) => Affine::constant(k),
+                    None => Affine::atom(Atom::Value(v)),
+                },
+                LeafKind::Query(b, d) => Affine::atom(query_atom(b, d)),
+                LeafKind::OtherCall | LeafKind::Param | LeafKind::Phi | LeafKind::LocalBuf => {
+                    Affine::atom(Atom::Value(v))
+                }
+            };
+        }
+        let inst = f.inst(v).expect("internal node is an instruction");
+        let ch = &self.node(n).children;
+        match inst {
+            Inst::Bin { op, .. } => {
+                let l = self.to_affine(f, ch[0]);
+                let r = self.to_affine(f, ch[1]);
+                match op {
+                    BinOp::Add => l.add(&r),
+                    BinOp::Sub => l.sub(&r),
+                    BinOp::Mul => l.mul(&r).unwrap_or_else(|| Affine::atom(Atom::Value(v))),
+                    BinOp::Shl => match r.is_constant().then(|| r.constant_part().as_integer()) {
+                        Some(Some(s)) if (0..31).contains(&s) => {
+                            l.scale(Rational::int(1 << s))
+                        }
+                        _ => Affine::atom(Atom::Value(v)),
+                    },
+                    _ => Affine::atom(Atom::Value(v)),
+                }
+            }
+            Inst::Cast { kind, .. } => match kind {
+                // Index arithmetic in the kernels stays well inside 32 bits;
+                // width changes are value-preserving there.
+                CastKind::SExt | CastKind::ZExt | CastKind::Trunc => self.to_affine(f, ch[0]),
+                _ => Affine::atom(Atom::Value(v)),
+            },
+            _ => Affine::atom(Atom::Value(v)),
+        }
+    }
+
+    /// Affine form of the whole tree.
+    pub fn affine(&self, f: &Function) -> Affine {
+        self.to_affine(f, self.root)
+    }
+
+    /// Pretty-print the tree as a C-like expression.
+    pub fn display(&self, f: &Function, n: NodeId) -> String {
+        let v = self.node(n).value;
+        if self.is_leaf(n) {
+            return match self.leaf_kind(f, n).expect("leaf") {
+                LeafKind::Const(c) => match c.as_int() {
+                    Some(k) => k.to_string(),
+                    None => format!("{:?}", c),
+                },
+                LeafKind::Query(b, d) => query_atom(b, d).display_name(),
+                _ => f
+                    .value(v)
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("v{}", v.0)),
+            };
+        }
+        let inst = f.inst(v).expect("inst");
+        let ch = &self.node(n).children;
+        match inst {
+            Inst::Bin { op, .. } => {
+                let sym = match op {
+                    BinOp::Add | BinOp::FAdd => "+",
+                    BinOp::Sub | BinOp::FSub => "-",
+                    BinOp::Mul | BinOp::FMul => "*",
+                    BinOp::SDiv | BinOp::UDiv | BinOp::FDiv => "/",
+                    BinOp::SRem | BinOp::URem => "%",
+                    BinOp::Shl => "<<",
+                    BinOp::LShr | BinOp::AShr => ">>",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::FMin => "min",
+                    BinOp::FMax => "max",
+                };
+                format!("({} {} {})", self.display(f, ch[0]), sym, self.display(f, ch[1]))
+            }
+            Inst::Cast { .. } => self.display(f, ch[0]),
+            Inst::Gep { .. } => {
+                format!("{}[{}]", self.display(f, ch[0]), self.display(f, ch[1]))
+            }
+            _ => format!("v{}", v.0),
+        }
+    }
+
+    /// Pretty-print from the root.
+    pub fn display_root(&self, f: &Function) -> String {
+        self.display(f, self.root)
+    }
+}
+
+/// Map a work-item query call to its atom.
+pub fn query_atom(b: Builtin, d: u8) -> Atom {
+    match b {
+        Builtin::LocalId => Atom::LocalId(d),
+        Builtin::GroupId => Atom::GroupId(d),
+        Builtin::GlobalId => Atom::GlobalId(d),
+        Builtin::LocalSize => Atom::LocalSize(d),
+        Builtin::GlobalSize => Atom::GlobalSize(d),
+        Builtin::NumGroups => Atom::NumGroups(d),
+        _ => unreachable!("not a work-item query"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+
+    fn kernel(src: &str) -> Function {
+        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+    }
+
+    /// Find the index operand of the first store to __local memory.
+    fn ls_index(f: &Function) -> ValueId {
+        for (_, iv) in f.iter_insts() {
+            if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                if f.ty(*ptr).address_space() == Some(grover_ir::AddressSpace::Local) {
+                    if let Some(Inst::Gep { index, .. }) = f.inst(*ptr) {
+                        return *index;
+                    }
+                }
+            }
+        }
+        panic!("no local store found");
+    }
+
+    #[test]
+    fn mt_ls_tree_is_affine() {
+        let f = kernel(
+            "__kernel void mt(__global float* in) {
+                 __local float lm[16][16];
+                 int lx = get_local_id(0);
+                 int ly = get_local_id(1);
+                 lm[ly][lx] = in[0];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 in[0] = lm[lx][ly];
+             }",
+        );
+        let idx = ls_index(&f);
+        let t = ExprTree::build(&f, idx);
+        let a = t.affine(&f);
+        // flat index = ly*16 + lx
+        assert_eq!(a.coeff(Atom::LocalId(1)), Rational::int(16));
+        assert_eq!(a.coeff(Atom::LocalId(0)), Rational::ONE);
+        assert!(a.is_local_id_only());
+        let (h, l) = a.split_by_stride(16).unwrap();
+        assert_eq!(h, Affine::atom(Atom::LocalId(1)));
+        assert_eq!(l, Affine::atom(Atom::LocalId(0)));
+    }
+
+    #[test]
+    fn loop_var_becomes_opaque_atom() {
+        let f = kernel(
+            "__kernel void k(__global float* in) {
+                 __local float lm[8];
+                 int lx = get_local_id(0);
+                 lm[lx] = in[lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 float acc = 0.0f;
+                 for (int i = 0; i < 8; i++) { acc += lm[i]; }
+                 in[lx] = acc;
+             }",
+        );
+        // Find the local load index (inside the loop): it is the phi `i`.
+        for (_, iv) in f.iter_insts() {
+            if let Some(Inst::Load { ptr }) = f.inst(iv) {
+                if f.ty(*ptr).address_space() == Some(grover_ir::AddressSpace::Local) {
+                    let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { panic!() };
+                    let t = ExprTree::build(&f, *index);
+                    let a = t.affine(&f);
+                    assert_eq!(a.num_terms(), 1);
+                    let (atom, c) = a.terms().next().unwrap();
+                    assert!(matches!(atom, Atom::Value(_)));
+                    assert_eq!(c, Rational::ONE);
+                    return;
+                }
+            }
+        }
+        panic!("no local load");
+    }
+
+    #[test]
+    fn post_order_visits_children_first() {
+        let f = kernel(
+            "__kernel void k(__global float* a) {
+                 int lx = get_local_id(0);
+                 int ly = get_local_id(1);
+                 a[ly * 16 + lx] = 1.0f;
+             }",
+        );
+        // index tree for the store
+        for (_, iv) in f.iter_insts() {
+            if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let t = ExprTree::build(&f, *index);
+                let po = t.post_order();
+                assert_eq!(*po.last().unwrap(), t.root());
+                // Every child appears before its parent.
+                for (i, &n) in po.iter().enumerate() {
+                    if let Some(p) = t.node(n).parent {
+                        let pi = po.iter().position(|&x| x == p).unwrap();
+                        assert!(pi > i);
+                    }
+                }
+                return;
+            }
+        }
+        panic!("no store");
+    }
+
+    #[test]
+    fn mark_path_sets_state() {
+        let f = kernel(
+            "__kernel void k(__global float* a) {
+                 int lx = get_local_id(0);
+                 a[lx * 4 + 1] = 1.0f;
+             }",
+        );
+        for (_, iv) in f.iter_insts() {
+            if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let mut t = ExprTree::build(&f, *index);
+                // find the lx leaf (a Query leaf behind the trunc internal node)
+                let leaf = t
+                    .post_order()
+                    .into_iter()
+                    .find(|&n| matches!(t.leaf_kind(&f, n), Some(LeafKind::Query(Builtin::LocalId, 0))))
+                    .expect("lx leaf");
+                t.mark_path_to_root(leaf);
+                assert!(t.node(t.root()).needs_update);
+                assert!(t.node(leaf).needs_update);
+                // The constant leaf `1` must remain clean.
+                let const_leaf = t
+                    .post_order()
+                    .into_iter()
+                    .find(|&n| matches!(t.leaf_kind(&f, n), Some(LeafKind::Const(_))))
+                    .map(|n| t.node(n).needs_update);
+                // (some constant leaf untouched — the `4` or the `1`)
+                assert_eq!(const_leaf, Some(false));
+                return;
+            }
+        }
+        panic!("no store");
+    }
+
+    #[test]
+    fn display_is_c_like() {
+        let f = kernel(
+            "__kernel void k(__global float* a) {
+                 int lx = get_local_id(0);
+                 int ly = get_local_id(1);
+                 a[ly * 16 + lx] = 1.0f;
+             }",
+        );
+        for (_, iv) in f.iter_insts() {
+            if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let t = ExprTree::build(&f, *index);
+                let s = t.display_root(&f);
+                assert!(s.contains("lx"), "{s}");
+                assert!(s.contains("ly"), "{s}");
+                assert!(s.contains("16"), "{s}");
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax tree and source-level types for the OpenCL C subset.
+
+use grover_ir::AddressSpace;
+
+/// Source-level scalar kinds. Signedness lives here (the IR folds both into
+/// `i32`/`i64` and keeps unsignedness in the opcode choice).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CScalar {
+    /// `bool`.
+    Bool,
+    /// `int`.
+    Int,
+    /// `uint` / `unsigned int`.
+    UInt,
+    /// `long`.
+    Long,
+    /// `ulong` / `size_t`.
+    ULong,
+    /// `float`.
+    Float,
+}
+
+impl CScalar {
+    /// Whether the kind is unsigned.
+    pub fn is_unsigned(self) -> bool {
+        matches!(self, CScalar::UInt | CScalar::ULong)
+    }
+
+    /// Whether the kind is floating point.
+    pub fn is_float(self) -> bool {
+        self == CScalar::Float
+    }
+
+    /// Whether the kind is an integer (including bool).
+    pub fn is_integer(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Conversion rank for usual arithmetic conversions.
+    pub fn rank(self) -> u8 {
+        match self {
+            CScalar::Bool => 0,
+            CScalar::Int => 1,
+            CScalar::UInt => 2,
+            CScalar::Long => 3,
+            CScalar::ULong => 4,
+            CScalar::Float => 5,
+        }
+    }
+
+    /// OpenCL source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CScalar::Bool => "bool",
+            CScalar::Int => "int",
+            CScalar::UInt => "uint",
+            CScalar::Long => "long",
+            CScalar::ULong => "ulong",
+            CScalar::Float => "float",
+        }
+    }
+}
+
+/// A source-level type: scalar, short vector, or pointer-to-(scalar|vector).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CType {
+    /// Scalar element kind.
+    pub scalar: CScalar,
+    /// 1 for scalars; 2/3/4/8/16 for vectors.
+    pub lanes: u8,
+    /// `Some(space)` if this is a pointer to the (scalar, lanes) element.
+    pub ptr: Option<AddressSpace>,
+}
+
+impl CType {
+    /// A scalar type.
+    pub fn scalar(s: CScalar) -> CType {
+        CType { scalar: s, lanes: 1, ptr: None }
+    }
+
+    /// A short-vector type.
+    pub fn vector(s: CScalar, lanes: u8) -> CType {
+        CType { scalar: s, lanes, ptr: None }
+    }
+
+    /// Pointer to this element type in the given address space.
+    pub fn pointer_to(self, space: AddressSpace) -> CType {
+        CType { ptr: Some(space), ..self }
+    }
+
+    /// The element type a pointer refers to.
+    pub fn deref(self) -> CType {
+        CType { ptr: None, ..self }
+    }
+
+    /// `int`.
+    pub const INT: CType = CType { scalar: CScalar::Int, lanes: 1, ptr: None };
+    /// `uint`.
+    pub const UINT: CType = CType { scalar: CScalar::UInt, lanes: 1, ptr: None };
+    /// `long`.
+    pub const LONG: CType = CType { scalar: CScalar::Long, lanes: 1, ptr: None };
+    /// `ulong`.
+    pub const ULONG: CType = CType { scalar: CScalar::ULong, lanes: 1, ptr: None };
+    /// `float`.
+    pub const FLOAT: CType = CType { scalar: CScalar::Float, lanes: 1, ptr: None };
+    /// `bool`.
+    pub const BOOL: CType = CType { scalar: CScalar::Bool, lanes: 1, ptr: None };
+
+    /// Whether this is a pointer type.
+    pub fn is_ptr(self) -> bool {
+        self.ptr.is_some()
+    }
+
+    /// Whether this is a vector type.
+    pub fn is_vector(self) -> bool {
+        self.lanes > 1
+    }
+}
+
+/// Binary operators at source level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // standard C operators name themselves
+pub enum CBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CUnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+    /// Unary plus (no-op, kept for fidelity).
+    Plus,
+}
+
+/// Expressions. Every node carries the 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The shapes an expression can take.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f32),
+    /// Variable/parameter reference.
+    Ident(String),
+    /// Unary operation.
+    Un(CUnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(CBinOp, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` or `lhs op= rhs`. Also used as the desugaring of `++`/`--`.
+    Assign(Box<Expr>, Option<CBinOp>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call (builtins only in this subset).
+    Call(String, Vec<Expr>),
+    /// `base[index]` — base is a pointer or an array variable.
+    Index(Box<Expr>, Box<Expr>),
+    /// `.x`/`.y`/`.z`/`.w`/`.sN` single-lane vector access.
+    Member(Box<Expr>, String),
+    /// `(type) expr`
+    Cast(CType, Box<Expr>),
+    /// `(float4)(a, b, c, d)` — also splat form with one argument.
+    VecCtor(CType, Vec<Expr>),
+}
+
+impl Expr {
+    /// Attach a source line to an expression node.
+    pub fn new(kind: ExprKind, line: usize) -> Expr {
+        Expr { kind, line }
+    }
+}
+
+/// One declarator in a declaration statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarDecl {
+    /// Declared name.
+    pub name: String,
+    /// Base type (element type for arrays).
+    pub ty: CType,
+    /// Address-space qualifier on the declaration (`__local float lm[..]`).
+    pub space: Option<AddressSpace>,
+    /// Array dimensions (must be constant expressions), outermost first.
+    pub dims: Vec<Expr>,
+    /// Optional initialiser expression.
+    pub init: Option<Expr>,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// One or more variable declarations.
+    Decl(Vec<VarDecl>),
+    /// Expression statement (assignments, calls).
+    Expr(Expr),
+    /// `if (cond) { then } else { else }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for (init; cond; step) { body }`.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// `do { body } while (cond);`.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `return;` (kernels are void).
+    Return,
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A braced block with its own scope.
+    Block(Vec<Stmt>),
+    /// `barrier(CLK_LOCAL_MEM_FENCE | ...)`
+    Barrier(grover_ir::BarrierScope),
+}
+
+/// A kernel parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A `__kernel` function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<KernelParam>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// 1-based source line of the definition.
+    pub line: usize,
+}
+
+/// A parsed translation unit (one or more kernels).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// All kernels in the unit.
+    pub kernels: Vec<KernelDef>,
+}

@@ -1,0 +1,1448 @@
+//! AST → SSA IR code generation.
+
+use std::collections::HashMap;
+
+use grover_ir::{
+    AddressSpace, BinOp, BlockId, Builder, Builtin, CastKind, CmpPred, ConstVal, Function, Inst,
+    LocalBuf, Param, Scalar, Type, ValueId,
+};
+
+use crate::ast::*;
+use crate::ssa::{SsaBuilder, VarId};
+use crate::CompileError;
+
+/// Lower one kernel definition to an IR function.
+pub fn lower_kernel(def: &KernelDef) -> Result<Function, CompileError> {
+    let params: Vec<Param> = def
+        .params
+        .iter()
+        .map(|p| Param { name: p.name.clone(), ty: ir_type(p.ty) })
+        .collect();
+    let f = Function::new(def.name.clone(), params);
+    let entry = f.entry;
+    let mut cg = CodeGen {
+        f,
+        ssa: SsaBuilder::new(),
+        scopes: vec![HashMap::new()],
+        cur: entry,
+        reachable: true,
+        loops: Vec::new(),
+        var_names: Vec::new(),
+    };
+    cg.ssa.seal(&mut cg.f, entry).map_err(|_| CompileError::new("internal: entry seal", 0))?;
+    // Bind parameters.
+    for (i, p) in def.params.iter().enumerate() {
+        let v = cg.f.param_value(i);
+        if p.ty.is_ptr() {
+            cg.bind(p.name.clone(), Binding::Ptr { value: v, cty: p.ty });
+        } else {
+            let var = cg.ssa.new_var(ir_type(p.ty));
+            cg.var_names.push(p.name.clone());
+            cg.ssa.write(var, entry, v);
+            cg.bind(p.name.clone(), Binding::Var { var, cty: p.ty });
+        }
+    }
+    cg.gen_stmts(&def.body)?;
+    if cg.reachable {
+        cg.f.append_inst(cg.cur, Inst::Ret, Type::Void);
+    }
+    // Name surviving phi nodes after the source variables they merge, so
+    // diagnostics (Table III reports, IR dumps) read `i`/`k` rather than
+    // `v42`. Duplicate names get a numeric suffix.
+    let mut seen: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    // Reserve parameter names so a loop variable named like a parameter
+    // gets a suffixed phi name instead of colliding.
+    for p in def.params.iter() {
+        seen.insert(p.name.clone(), 1);
+    }
+    let phi_names: Vec<(grover_ir::ValueId, String)> = cg
+        .ssa
+        .phi_vars()
+        .filter(|(p, _)| cg.f.position_of(*p).is_some())
+        .filter_map(|(p, var)| {
+            cg.var_names.get(var.0 as usize).map(|n| (p, n.clone()))
+        })
+        .collect();
+    for (p, base) in phi_names {
+        let n = seen.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 { base.clone() } else { format!("{base}.{n}") };
+        *n += 1;
+        cg.f.set_name(p, name);
+    }
+    Ok(cg.f)
+}
+
+/// Map a source type to its IR type.
+pub fn ir_type(ct: CType) -> Type {
+    let s = ir_scalar(ct.scalar);
+    match ct.ptr {
+        Some(space) => Type::ptr(s, ct.lanes, space),
+        None if ct.lanes > 1 => Type::Vector(s, ct.lanes),
+        None => Type::Scalar(s),
+    }
+}
+
+fn ir_scalar(cs: CScalar) -> Scalar {
+    match cs {
+        CScalar::Bool => Scalar::Bool,
+        CScalar::Int | CScalar::UInt => Scalar::I32,
+        CScalar::Long | CScalar::ULong => Scalar::I64,
+        CScalar::Float => Scalar::F32,
+    }
+}
+
+#[derive(Clone)]
+enum Binding {
+    /// SSA-converted mutable scalar/vector variable.
+    Var { var: VarId, cty: CType },
+    /// Pointer kernel argument.
+    Ptr { value: ValueId, cty: CType },
+    /// `__local` array (pointer to its first element plus shape).
+    Array { ptr: ValueId, cty: CType, dims: Vec<i64> },
+}
+
+struct CodeGen {
+    f: Function,
+    ssa: SsaBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    cur: BlockId,
+    reachable: bool,
+    /// (continue target, break target)
+    loops: Vec<(BlockId, BlockId)>,
+    var_names: Vec<String>,
+}
+
+impl CodeGen {
+    fn bind(&mut self, name: String, b: Binding) {
+        self.scopes.last_mut().expect("scope").insert(name, b);
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> Result<Binding, CompileError> {
+        for s in self.scopes.iter().rev() {
+            if let Some(b) = s.get(name) {
+                return Ok(b.clone());
+            }
+        }
+        Err(CompileError::new(format!("unknown identifier `{name}`"), line))
+    }
+
+    fn builder(&mut self) -> Builder<'_> {
+        Builder::new(&mut self.f, self.cur)
+    }
+
+    fn seal(&mut self, b: BlockId) -> Result<(), CompileError> {
+        self.ssa
+            .seal(&mut self.f, b)
+            .map_err(|u| self.undef_err(u))
+    }
+
+    fn undef_err(&self, u: crate::ssa::UndefRead) -> CompileError {
+        let name = self
+            .var_names
+            .get(u.0 .0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("var{}", u.0 .0));
+        CompileError::new(format!("variable `{name}` may be read before assignment"), 0)
+    }
+
+    fn read_var(&mut self, var: VarId) -> Result<ValueId, CompileError> {
+        let cur = self.cur;
+        self.ssa
+            .read(&mut self.f, var, cur)
+            .map_err(|u| self.undef_err(u))
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn gen_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            if !self.reachable {
+                break;
+            }
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                self.gen_stmts(stmts)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    self.gen_decl(d)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.gen_expr(e)?;
+                Ok(())
+            }
+            Stmt::Return => {
+                self.builder().ret();
+                self.reachable = false;
+                Ok(())
+            }
+            Stmt::Break => {
+                let (_, brk) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new("break outside loop", 0))?;
+                self.builder().br(brk);
+                self.reachable = false;
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new("continue outside loop", 0))?;
+                self.builder().br(cont);
+                self.reachable = false;
+                Ok(())
+            }
+            Stmt::Barrier(scope) => {
+                self.builder().barrier(*scope);
+                Ok(())
+            }
+            Stmt::If(cond, then_s, else_s) => self.gen_if(cond, then_s, else_s),
+            Stmt::While(cond, body) => self.gen_while(cond, body),
+            Stmt::DoWhile(body, cond) => self.gen_do_while(body, cond),
+            Stmt::For(init, cond, step, body) => self.gen_for(init, cond, step, body),
+        }
+    }
+
+    fn gen_decl(&mut self, d: &VarDecl) -> Result<(), CompileError> {
+        if !d.dims.is_empty() {
+            if d.space != Some(AddressSpace::Local) {
+                return Err(CompileError::new(
+                    "only __local arrays are supported (private arrays are not)",
+                    d.line,
+                ));
+            }
+            if d.init.is_some() {
+                return Err(CompileError::new("__local arrays cannot have initialisers", d.line));
+            }
+            let dims: Vec<i64> = d
+                .dims
+                .iter()
+                .map(|e| {
+                    const_eval(e).ok_or_else(|| {
+                        CompileError::new("array dimensions must be constant", d.line)
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if dims.iter().any(|&x| x <= 0) {
+                return Err(CompileError::new("array dimensions must be positive", d.line));
+            }
+            let buf = LocalBuf {
+                name: d.name.clone(),
+                elem: ir_scalar(d.ty.scalar),
+                lanes: d.ty.lanes,
+                dims: dims.iter().map(|&x| x as u64).collect(),
+            };
+            let ptr = self.f.add_local_buf(buf);
+            self.bind(d.name.clone(), Binding::Array { ptr, cty: d.ty, dims });
+            return Ok(());
+        }
+        if d.space == Some(AddressSpace::Local) {
+            return Err(CompileError::new(
+                "scalar __local variables are not supported; use a 1-element array",
+                d.line,
+            ));
+        }
+        if d.ty.is_ptr() {
+            // Pointer alias: `__global float* p = base;` — bind directly.
+            let init = d.init.as_ref().ok_or_else(|| {
+                CompileError::new("pointer variables must be initialised", d.line)
+            })?;
+            let (v, cty) = self.gen_expr(init)?;
+            if !cty.is_ptr() {
+                return Err(CompileError::new("pointer initialiser is not a pointer", d.line));
+            }
+            self.bind(d.name.clone(), Binding::Ptr { value: v, cty: d.ty });
+            return Ok(());
+        }
+        let var = self.ssa.new_var(ir_type(d.ty));
+        self.var_names.push(d.name.clone());
+        if let Some(init) = &d.init {
+            let (v, cty) = self.gen_expr(init)?;
+            let v = self.convert(v, cty, d.ty, d.line)?;
+            let cur = self.cur;
+            self.ssa.write(var, cur, v);
+        }
+        self.bind(d.name.clone(), Binding::Var { var, cty: d.ty });
+        Ok(())
+    }
+
+    fn gen_if(
+        &mut self,
+        cond: &Expr,
+        then_s: &[Stmt],
+        else_s: &[Stmt],
+    ) -> Result<(), CompileError> {
+        let (cv, cty) = self.gen_expr(cond)?;
+        let c = self.to_bool(cv, cty, cond.line)?;
+        let then_b = self.f.add_block("if.then");
+        let merge = self.f.add_block("if.end");
+        let else_b = if else_s.is_empty() { merge } else { self.f.add_block("if.else") };
+        self.builder().cond_br(c, then_b, else_b);
+        self.seal(then_b)?;
+        if else_b != merge {
+            self.seal(else_b)?;
+        }
+        // then arm
+        self.cur = then_b;
+        self.reachable = true;
+        self.scopes.push(HashMap::new());
+        self.gen_stmts(then_s)?;
+        self.scopes.pop();
+        let then_reaches = self.reachable;
+        if then_reaches {
+            self.builder().br(merge);
+        }
+        // else arm
+        if else_b != merge {
+            self.cur = else_b;
+            self.reachable = true;
+            self.scopes.push(HashMap::new());
+            self.gen_stmts(else_s)?;
+            self.scopes.pop();
+            if self.reachable {
+                self.builder().br(merge);
+            }
+        }
+        self.seal(merge)?;
+        self.cur = merge;
+        // merge is reachable if any arm reaches it (or the cond falls through).
+        self.reachable = !self.f.predecessors()[merge.index()].is_empty();
+        Ok(())
+    }
+
+    fn gen_while(&mut self, cond: &Expr, body: &[Stmt]) -> Result<(), CompileError> {
+        let header = self.f.add_block("while.header");
+        let body_b = self.f.add_block("while.body");
+        let exit = self.f.add_block("while.exit");
+        self.builder().br(header);
+        self.cur = header; // header left unsealed until the latch exists
+        let (cv, cty) = self.gen_expr(cond)?;
+        let c = self.to_bool(cv, cty, cond.line)?;
+        self.builder().cond_br(c, body_b, exit);
+        self.seal(body_b)?;
+        self.cur = body_b;
+        self.reachable = true;
+        self.loops.push((header, exit));
+        self.scopes.push(HashMap::new());
+        self.gen_stmts(body)?;
+        self.scopes.pop();
+        self.loops.pop();
+        if self.reachable {
+            self.builder().br(header);
+        }
+        self.seal(header)?;
+        self.seal(exit)?;
+        self.cur = exit;
+        self.reachable = true;
+        Ok(())
+    }
+
+    fn gen_do_while(&mut self, body: &[Stmt], cond: &Expr) -> Result<(), CompileError> {
+        let body_b = self.f.add_block("do.body");
+        let header = self.f.add_block("do.cond");
+        let exit = self.f.add_block("do.exit");
+        self.builder().br(body_b);
+        self.cur = body_b; // unsealed: back edge from header
+        self.reachable = true;
+        self.loops.push((header, exit));
+        self.scopes.push(HashMap::new());
+        self.gen_stmts(body)?;
+        self.scopes.pop();
+        self.loops.pop();
+        if self.reachable {
+            self.builder().br(header);
+        }
+        self.seal(header)?;
+        self.cur = header;
+        let (cv, cty) = self.gen_expr(cond)?;
+        let c = self.to_bool(cv, cty, cond.line)?;
+        self.builder().cond_br(c, body_b, exit);
+        self.seal(body_b)?;
+        self.seal(exit)?;
+        self.cur = exit;
+        self.reachable = true;
+        Ok(())
+    }
+
+    fn gen_for(
+        &mut self,
+        init: &Option<Box<Stmt>>,
+        cond: &Option<Expr>,
+        step: &Option<Expr>,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new()); // scope for the init declaration
+        if let Some(i) = init {
+            self.gen_stmt(i)?;
+        }
+        let header = self.f.add_block("for.header");
+        let body_b = self.f.add_block("for.body");
+        let step_b = self.f.add_block("for.step");
+        let exit = self.f.add_block("for.exit");
+        self.builder().br(header);
+        self.cur = header; // unsealed until step block branches back
+        match cond {
+            Some(c) => {
+                let (cv, cty) = self.gen_expr(c)?;
+                let cb = self.to_bool(cv, cty, c.line)?;
+                self.builder().cond_br(cb, body_b, exit);
+            }
+            None => {
+                self.builder().br(body_b);
+            }
+        }
+        self.seal(body_b)?;
+        self.cur = body_b;
+        self.reachable = true;
+        self.loops.push((step_b, exit));
+        self.scopes.push(HashMap::new());
+        self.gen_stmts(body)?;
+        self.scopes.pop();
+        self.loops.pop();
+        if self.reachable {
+            self.builder().br(step_b);
+        }
+        self.seal(step_b)?;
+        self.cur = step_b;
+        self.reachable = true;
+        if let Some(s) = step {
+            self.gen_expr(s)?;
+        }
+        self.builder().br(header);
+        self.seal(header)?;
+        self.seal(exit)?;
+        self.scopes.pop();
+        self.cur = exit;
+        self.reachable = true;
+        Ok(())
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn gen_expr(&mut self, e: &Expr) -> Result<(ValueId, CType), CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                if *v >= i32::MIN as i64 && *v <= i32::MAX as i64 {
+                    Ok((self.f.const_i32(*v as i32), CType::INT))
+                } else {
+                    Ok((self.f.const_i64(*v), CType::LONG))
+                }
+            }
+            ExprKind::FloatLit(v) => Ok((self.f.const_f32(*v), CType::FLOAT)),
+            ExprKind::Ident(name) => match self.lookup(name, e.line)? {
+                Binding::Var { var, cty } => Ok((self.read_var(var)?, cty)),
+                Binding::Ptr { value, cty } => Ok((value, cty)),
+                Binding::Array { .. } => Err(CompileError::new(
+                    format!("array `{name}` used without an index"),
+                    e.line,
+                )),
+            },
+            ExprKind::Un(op, inner) => self.gen_unary(*op, inner, e.line),
+            ExprKind::Bin(op, l, r) => self.gen_binary(*op, l, r, e.line),
+            ExprKind::Assign(lhs, op, rhs) => self.gen_assign(lhs, *op, rhs, e.line),
+            ExprKind::Ternary(c, t, el) => {
+                let (cv, cty) = self.gen_expr(c)?;
+                let cb = self.to_bool(cv, cty, e.line)?;
+                let (tv, tty) = self.gen_expr(t)?;
+                let (ev, ety) = self.gen_expr(el)?;
+                let common = usual_conversions(tty, ety, e.line)?;
+                let tv = self.convert(tv, tty, common, e.line)?;
+                let ev = self.convert(ev, ety, common, e.line)?;
+                Ok((self.builder().select(cb, tv, ev), common))
+            }
+            ExprKind::Call(name, args) => self.gen_call(name, args, e.line),
+            ExprKind::Index(..) => {
+                let (ptr, elem) = self.gen_addr(e)?;
+                Ok((self.builder().load(ptr), elem))
+            }
+            ExprKind::Member(base, field) => {
+                let lane = lane_of(field, e.line)?;
+                let (v, cty) = self.gen_expr(base)?;
+                if !cty.is_vector() || lane >= cty.lanes {
+                    return Err(CompileError::new(
+                        format!("invalid vector member `.{field}`"),
+                        e.line,
+                    ));
+                }
+                let out = self.builder().extract_lane(v, lane);
+                Ok((out, CType::scalar(cty.scalar)))
+            }
+            ExprKind::Cast(to, inner) => {
+                let (v, from) = self.gen_expr(inner)?;
+                let v = self.convert(v, from, *to, e.line)?;
+                Ok((v, *to))
+            }
+            ExprKind::VecCtor(ty, args) => {
+                let elem = CType::scalar(ty.scalar);
+                let mut lanes = Vec::with_capacity(ty.lanes as usize);
+                if args.len() == 1 {
+                    let (v, f) = self.gen_expr(&args[0])?;
+                    let v = self.convert(v, f, elem, e.line)?;
+                    lanes = vec![v; ty.lanes as usize];
+                } else if args.len() == ty.lanes as usize {
+                    for a in args {
+                        let (v, f) = self.gen_expr(a)?;
+                        lanes.push(self.convert(v, f, elem, e.line)?);
+                    }
+                } else {
+                    return Err(CompileError::new(
+                        format!("vector constructor needs 1 or {} arguments", ty.lanes),
+                        e.line,
+                    ));
+                }
+                Ok((self.builder().build_vector(lanes), *ty))
+            }
+        }
+    }
+
+    fn gen_unary(
+        &mut self,
+        op: CUnOp,
+        inner: &Expr,
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        let (v, cty) = self.gen_expr(inner)?;
+        match op {
+            CUnOp::Plus => Ok((v, cty)),
+            CUnOp::Neg => {
+                if cty.scalar.is_float() {
+                    let zero = self.f.const_f32(0.0);
+                    let zero = self.convert(zero, CType::FLOAT, cty, line)?;
+                    Ok((self.builder().bin(BinOp::FSub, zero, v), cty))
+                } else {
+                    let zero = self.f.const_i32(0);
+                    let zero = self.convert(zero, CType::INT, cty, line)?;
+                    Ok((self.builder().bin(BinOp::Sub, zero, v), cty))
+                }
+            }
+            CUnOp::Not => {
+                let b = self.to_bool(v, cty, line)?;
+                let t = self.f.const_bool(true);
+                Ok((self.builder().bin(BinOp::Xor, b, t), CType::BOOL))
+            }
+            CUnOp::BitNot => {
+                if !cty.scalar.is_integer() {
+                    return Err(CompileError::new("~ on non-integer", line));
+                }
+                let m1 = self.f.const_i32(-1);
+                let m1 = self.convert(m1, CType::INT, cty, line)?;
+                Ok((self.builder().bin(BinOp::Xor, v, m1), cty))
+            }
+        }
+    }
+
+    fn gen_binary(
+        &mut self,
+        op: CBinOp,
+        l: &Expr,
+        r: &Expr,
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        // Pointer arithmetic: p + i
+        if matches!(op, CBinOp::Add | CBinOp::Sub) {
+            let (lv, lty) = self.gen_expr(l)?;
+            if lty.is_ptr() {
+                let (rv, rty) = self.gen_expr(r)?;
+                if !rty.scalar.is_integer() || rty.is_ptr() {
+                    return Err(CompileError::new("pointer offset must be an integer", line));
+                }
+                let idx = if op == CBinOp::Sub {
+                    let zero = self.f.const_i32(0);
+                    let zero = self.convert(zero, CType::INT, rty, line)?;
+                    self.builder().bin(BinOp::Sub, zero, rv)
+                } else {
+                    rv
+                };
+                return Ok((self.builder().gep(lv, idx), lty));
+            }
+            // fall through with lv computed
+            return self.gen_binary_with(op, lv, lty, r, line);
+        }
+        let (lv, lty) = self.gen_expr(l)?;
+        self.gen_binary_with(op, lv, lty, r, line)
+    }
+
+    fn gen_binary_with(
+        &mut self,
+        op: CBinOp,
+        lv: ValueId,
+        lty: CType,
+        r: &Expr,
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        let (rv, rty) = self.gen_expr(r)?;
+        self.apply_bin(op, lv, lty, rv, rty, line)
+    }
+
+    fn apply_bin(
+        &mut self,
+        op: CBinOp,
+        lv: ValueId,
+        lty: CType,
+        rv: ValueId,
+        rty: CType,
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        use CBinOp::*;
+        if matches!(op, LogAnd | LogOr) {
+            let lb = self.to_bool(lv, lty, line)?;
+            let rb = self.to_bool(rv, rty, line)?;
+            let o = if op == LogAnd { BinOp::And } else { BinOp::Or };
+            return Ok((self.builder().bin(o, lb, rb), CType::BOOL));
+        }
+        let common = usual_conversions(lty, rty, line)?;
+        let lv = self.convert(lv, lty, common, line)?;
+        let rv = self.convert(rv, rty, common, line)?;
+        let is_f = common.scalar.is_float();
+        let uns = common.scalar.is_unsigned();
+        let cmp = |pred_s: CmpPred, pred_u: CmpPred, pred_f: CmpPred| {
+            if is_f {
+                pred_f
+            } else if uns {
+                pred_u
+            } else {
+                pred_s
+            }
+        };
+        match op {
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                let pred = match op {
+                    Lt => cmp(CmpPred::Slt, CmpPred::Ult, CmpPred::FLt),
+                    Le => cmp(CmpPred::Sle, CmpPred::Ule, CmpPred::FLe),
+                    Gt => cmp(CmpPred::Sgt, CmpPred::Ugt, CmpPred::FGt),
+                    Ge => cmp(CmpPred::Sge, CmpPred::Uge, CmpPred::FGe),
+                    Eq => {
+                        if is_f {
+                            CmpPred::FEq
+                        } else {
+                            CmpPred::Eq
+                        }
+                    }
+                    _ => {
+                        if is_f {
+                            CmpPred::FNe
+                        } else {
+                            CmpPred::Ne
+                        }
+                    }
+                };
+                let out = self.builder().cmp(pred, lv, rv);
+                let ty = if common.lanes > 1 {
+                    CType { scalar: CScalar::Bool, lanes: common.lanes, ptr: None }
+                } else {
+                    CType::BOOL
+                };
+                Ok((out, ty))
+            }
+            _ => {
+                let bop = match op {
+                    Add => {
+                        if is_f {
+                            BinOp::FAdd
+                        } else {
+                            BinOp::Add
+                        }
+                    }
+                    Sub => {
+                        if is_f {
+                            BinOp::FSub
+                        } else {
+                            BinOp::Sub
+                        }
+                    }
+                    Mul => {
+                        if is_f {
+                            BinOp::FMul
+                        } else {
+                            BinOp::Mul
+                        }
+                    }
+                    Div => {
+                        if is_f {
+                            BinOp::FDiv
+                        } else if uns {
+                            BinOp::UDiv
+                        } else {
+                            BinOp::SDiv
+                        }
+                    }
+                    Rem => {
+                        if is_f {
+                            return Err(CompileError::new("% on floats is unsupported", line));
+                        } else if uns {
+                            BinOp::URem
+                        } else {
+                            BinOp::SRem
+                        }
+                    }
+                    Shl => BinOp::Shl,
+                    Shr => {
+                        if uns {
+                            BinOp::LShr
+                        } else {
+                            BinOp::AShr
+                        }
+                    }
+                    BitAnd => BinOp::And,
+                    BitOr => BinOp::Or,
+                    BitXor => BinOp::Xor,
+                    _ => unreachable!(),
+                };
+                if !is_f && common.scalar.is_float() {
+                    unreachable!()
+                }
+                if matches!(bop, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr)
+                    && !common.scalar.is_integer()
+                {
+                    return Err(CompileError::new("bitwise op on non-integer", line));
+                }
+                Ok((self.builder().bin(bop, lv, rv), common))
+            }
+        }
+    }
+
+    fn gen_assign(
+        &mut self,
+        lhs: &Expr,
+        op: Option<CBinOp>,
+        rhs: &Expr,
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        match &lhs.kind {
+            ExprKind::Ident(name) => {
+                let binding = self.lookup(name, line)?;
+                match binding {
+                    Binding::Var { var, cty } => {
+                        let newv = self.rhs_value(lhs, op, rhs, cty, line)?;
+                        let cur = self.cur;
+                        self.ssa.write(var, cur, newv);
+                        Ok((newv, cty))
+                    }
+                    Binding::Ptr { .. } | Binding::Array { .. } => Err(CompileError::new(
+                        format!("cannot assign to `{name}`"),
+                        line,
+                    )),
+                }
+            }
+            ExprKind::Index(..) => {
+                let (ptr, elem) = self.gen_addr(lhs)?;
+                let newv = if let Some(bop) = op {
+                    let old = self.builder().load(ptr);
+                    let (rv, rty) = self.gen_expr(rhs)?;
+                    let (v, vt) = self.apply_bin(bop, old, elem, rv, rty, line)?;
+                    self.convert(v, vt, elem, line)?
+                } else {
+                    let (rv, rty) = self.gen_expr(rhs)?;
+                    self.convert(rv, rty, elem, line)?
+                };
+                self.builder().store(ptr, newv);
+                Ok((newv, elem))
+            }
+            ExprKind::Member(base, field) => {
+                let lane = lane_of(field, line)?;
+                match &base.kind {
+                    ExprKind::Ident(name) => {
+                        let binding = self.lookup(name, line)?;
+                        let Binding::Var { var, cty } = binding else {
+                            return Err(CompileError::new("swizzle store target invalid", line));
+                        };
+                        if !cty.is_vector() || lane >= cty.lanes {
+                            return Err(CompileError::new("invalid swizzle store", line));
+                        }
+                        let elem = CType::scalar(cty.scalar);
+                        let old_vec = self.read_var(var)?;
+                        let newv = if let Some(bop) = op {
+                            let old = self.builder().extract_lane(old_vec, lane);
+                            let (rv, rty) = self.gen_expr(rhs)?;
+                            let (v, vt) = self.apply_bin(bop, old, elem, rv, rty, line)?;
+                            self.convert(v, vt, elem, line)?
+                        } else {
+                            let (rv, rty) = self.gen_expr(rhs)?;
+                            self.convert(rv, rty, elem, line)?
+                        };
+                        let nv = self.builder().insert_lane(old_vec, lane, newv);
+                        let cur = self.cur;
+                        self.ssa.write(var, cur, nv);
+                        Ok((newv, elem))
+                    }
+                    ExprKind::Index(..) => {
+                        let (ptr, vty) = self.gen_addr(base)?;
+                        if !vty.is_vector() || lane >= vty.lanes {
+                            return Err(CompileError::new("invalid swizzle store", line));
+                        }
+                        let elem = CType::scalar(vty.scalar);
+                        let old_vec = self.builder().load(ptr);
+                        let newv = if let Some(bop) = op {
+                            let old = self.builder().extract_lane(old_vec, lane);
+                            let (rv, rty) = self.gen_expr(rhs)?;
+                            let (v, vt) = self.apply_bin(bop, old, elem, rv, rty, line)?;
+                            self.convert(v, vt, elem, line)?
+                        } else {
+                            let (rv, rty) = self.gen_expr(rhs)?;
+                            self.convert(rv, rty, elem, line)?
+                        };
+                        let nv = self.builder().insert_lane(old_vec, lane, newv);
+                        self.builder().store(ptr, nv);
+                        Ok((newv, elem))
+                    }
+                    _ => Err(CompileError::new("unsupported swizzle store target", line)),
+                }
+            }
+            _ => Err(CompileError::new("invalid assignment target", line)),
+        }
+    }
+
+    /// RHS of an assignment to an lvalue of type `to`, honouring `op=`.
+    fn rhs_value(
+        &mut self,
+        lhs: &Expr,
+        op: Option<CBinOp>,
+        rhs: &Expr,
+        to: CType,
+        line: usize,
+    ) -> Result<ValueId, CompileError> {
+        match op {
+            None => {
+                let (rv, rty) = self.gen_expr(rhs)?;
+                self.convert(rv, rty, to, line)
+            }
+            Some(bop) => {
+                let (ov, oty) = self.gen_expr(lhs)?;
+                let (rv, rty) = self.gen_expr(rhs)?;
+                let (v, vt) = self.apply_bin(bop, ov, oty, rv, rty, line)?;
+                self.convert(v, vt, to, line)
+            }
+        }
+    }
+
+    /// Address of an indexed element: returns the element pointer and type.
+    fn gen_addr(&mut self, e: &Expr) -> Result<(ValueId, CType), CompileError> {
+        // Collect the index chain: lm[a][b] => root `lm`, indices [a, b].
+        let mut indices: Vec<&Expr> = Vec::new();
+        let mut root = e;
+        while let ExprKind::Index(base, idx) = &root.kind {
+            indices.push(idx);
+            root = base;
+        }
+        indices.reverse();
+        match &root.kind {
+            ExprKind::Ident(name) => match self.lookup(name, e.line)? {
+                Binding::Array { ptr, cty, dims } => {
+                    if indices.len() != dims.len() {
+                        return Err(CompileError::new(
+                            format!(
+                                "array `{name}` has {} dimensions, {} indices given",
+                                dims.len(),
+                                indices.len()
+                            ),
+                            e.line,
+                        ));
+                    }
+                    let mut flat: Option<ValueId> = None;
+                    for (k, idx) in indices.iter().enumerate() {
+                        let (iv, ity) = self.gen_expr(idx)?;
+                        let iv = self.convert(iv, ity, CType::INT, e.line)?;
+                        flat = Some(match flat {
+                            None => iv,
+                            Some(acc) => {
+                                let d = self.f.const_i32(dims[k] as i32);
+                                let scaled = self.builder().mul(acc, d);
+                                self.builder().add(scaled, iv)
+                            }
+                        });
+                    }
+                    let flat = flat.expect("at least one index");
+                    Ok((self.builder().gep(ptr, flat), cty))
+                }
+                Binding::Ptr { value, cty } => {
+                    if indices.len() != 1 {
+                        return Err(CompileError::new(
+                            "multi-dimensional indexing requires a __local array",
+                            e.line,
+                        ));
+                    }
+                    let (iv, ity) = self.gen_expr(indices[0])?;
+                    if !ity.scalar.is_integer() {
+                        return Err(CompileError::new("index must be an integer", e.line));
+                    }
+                    Ok((self.builder().gep(value, iv), cty.deref()))
+                }
+                Binding::Var { .. } => Err(CompileError::new(
+                    format!("`{name}` is not indexable"),
+                    e.line,
+                )),
+            },
+            // (p + off)[i] style: evaluate root as a pointer expression.
+            _ => {
+                let (pv, pty) = self.gen_expr(root)?;
+                if !pty.is_ptr() || indices.len() != 1 {
+                    return Err(CompileError::new("invalid indexing expression", e.line));
+                }
+                let (iv, ity) = self.gen_expr(indices[0])?;
+                if !ity.scalar.is_integer() {
+                    return Err(CompileError::new("index must be an integer", e.line));
+                }
+                Ok((self.builder().gep(pv, iv), pty.deref()))
+            }
+        }
+    }
+
+    fn gen_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<(ValueId, CType), CompileError> {
+        // Work-item queries.
+        let wi = match name {
+            "get_global_id" => Some(Builtin::GlobalId),
+            "get_local_id" => Some(Builtin::LocalId),
+            "get_group_id" => Some(Builtin::GroupId),
+            "get_local_size" => Some(Builtin::LocalSize),
+            "get_global_size" => Some(Builtin::GlobalSize),
+            "get_num_groups" => Some(Builtin::NumGroups),
+            _ => None,
+        };
+        if let Some(b) = wi {
+            if args.len() != 1 {
+                return Err(CompileError::new(format!("{name} takes one argument"), line));
+            }
+            let (d, dty) = self.gen_expr(&args[0])?;
+            let d = self.convert(d, dty, CType::INT, line)?;
+            let v = self.builder().call(b, vec![d]);
+            return Ok((v, CType::ULONG));
+        }
+        // Unary float math.
+        let fm = match name {
+            "sqrt" | "native_sqrt" | "half_sqrt" => Some(Builtin::Sqrt),
+            "rsqrt" | "native_rsqrt" => Some(Builtin::Rsqrt),
+            "fabs" => Some(Builtin::Fabs),
+            "exp" | "native_exp" => Some(Builtin::Exp),
+            "log" | "native_log" => Some(Builtin::Log),
+            "floor" => Some(Builtin::Floor),
+            _ => None,
+        };
+        if let Some(b) = fm {
+            if args.len() != 1 {
+                return Err(CompileError::new(format!("{name} takes one argument"), line));
+            }
+            let (v, vt) = self.gen_expr(&args[0])?;
+            let target = CType { scalar: CScalar::Float, lanes: vt.lanes, ptr: None };
+            let v = self.convert(v, vt, target, line)?;
+            return Ok((self.builder().call(b, vec![v]), target));
+        }
+        match name {
+            "min" | "max" | "fmin" | "fmax" => {
+                if args.len() != 2 {
+                    return Err(CompileError::new(format!("{name} takes two arguments"), line));
+                }
+                let (a, at) = self.gen_expr(&args[0])?;
+                let (b, bt) = self.gen_expr(&args[1])?;
+                let common = usual_conversions(at, bt, line)?;
+                let a = self.convert(a, at, common, line)?;
+                let b = self.convert(b, bt, common, line)?;
+                if common.scalar.is_float() || name.starts_with('f') {
+                    let fcommon = CType { scalar: CScalar::Float, lanes: common.lanes, ptr: None };
+                    let a = self.convert(a, common, fcommon, line)?;
+                    let b = self.convert(b, common, fcommon, line)?;
+                    let op = if name.ends_with("in") { BinOp::FMin } else { BinOp::FMax };
+                    Ok((self.builder().bin(op, a, b), fcommon))
+                } else {
+                    let b_ = if name == "min" { Builtin::IMin } else { Builtin::IMax };
+                    Ok((self.builder().call(b_, vec![a, b]), common))
+                }
+            }
+            "mad" => {
+                if args.len() != 3 {
+                    return Err(CompileError::new("mad takes three arguments", line));
+                }
+                let mut vs = Vec::new();
+                let mut lanes = 1u8;
+                let mut parts = Vec::new();
+                for a in args {
+                    let (v, t) = self.gen_expr(a)?;
+                    lanes = lanes.max(t.lanes);
+                    parts.push((v, t));
+                }
+                let target = CType { scalar: CScalar::Float, lanes, ptr: None };
+                for (v, t) in parts {
+                    vs.push(self.convert(v, t, target, line)?);
+                }
+                Ok((self.builder().call(Builtin::Mad, vs), target))
+            }
+            "clamp" => {
+                if args.len() != 3 {
+                    return Err(CompileError::new("clamp takes three arguments", line));
+                }
+                let (x, xt) = self.gen_expr(&args[0])?;
+                let (lo, lot) = self.gen_expr(&args[1])?;
+                let (hi, hit) = self.gen_expr(&args[2])?;
+                let c1 = usual_conversions(xt, lot, line)?;
+                let common = usual_conversions(c1, hit, line)?;
+                let x = self.convert(x, xt, common, line)?;
+                let lo = self.convert(lo, lot, common, line)?;
+                let hi = self.convert(hi, hit, common, line)?;
+                Ok((self.builder().call(Builtin::Clamp, vec![x, lo, hi]), common))
+            }
+            "dot" => {
+                if args.len() != 2 {
+                    return Err(CompileError::new("dot takes two arguments", line));
+                }
+                let (a, at) = self.gen_expr(&args[0])?;
+                let (b, bt) = self.gen_expr(&args[1])?;
+                if !at.is_vector() || at != bt {
+                    return Err(CompileError::new("dot needs two equal vector types", line));
+                }
+                let v = self.builder().call(Builtin::Dot, vec![a, b]);
+                Ok((v, CType::scalar(at.scalar)))
+            }
+            "mul24" => {
+                if args.len() != 2 {
+                    return Err(CompileError::new("mul24 takes two arguments", line));
+                }
+                let (a, at) = self.gen_expr(&args[0])?;
+                let (b, bt) = self.gen_expr(&args[1])?;
+                let common = usual_conversions(at, bt, line)?;
+                let a = self.convert(a, at, common, line)?;
+                let b = self.convert(b, bt, common, line)?;
+                Ok((self.builder().mul(a, b), common))
+            }
+            "mad24" => {
+                if args.len() != 3 {
+                    return Err(CompileError::new("mad24 takes three arguments", line));
+                }
+                let (a, at) = self.gen_expr(&args[0])?;
+                let (b, bt) = self.gen_expr(&args[1])?;
+                let (c, ct) = self.gen_expr(&args[2])?;
+                let common = usual_conversions(usual_conversions(at, bt, line)?, ct, line)?;
+                let a = self.convert(a, at, common, line)?;
+                let b = self.convert(b, bt, common, line)?;
+                let c = self.convert(c, ct, common, line)?;
+                let m = self.builder().mul(a, b);
+                Ok((self.builder().add(m, c), common))
+            }
+            other => Err(CompileError::new(format!("unknown function `{other}`"), line)),
+        }
+    }
+
+    // ---- conversions ------------------------------------------------------
+
+    fn to_bool(&mut self, v: ValueId, cty: CType, line: usize) -> Result<ValueId, CompileError> {
+        if cty.is_ptr() || cty.is_vector() {
+            return Err(CompileError::new("condition must be scalar", line));
+        }
+        match cty.scalar {
+            CScalar::Bool => Ok(v),
+            CScalar::Float => {
+                let z = self.f.const_f32(0.0);
+                Ok(self.builder().cmp(CmpPred::FNe, v, z))
+            }
+            CScalar::Long | CScalar::ULong => {
+                let z = self.f.const_i64(0);
+                Ok(self.builder().cmp(CmpPred::Ne, v, z))
+            }
+            _ => {
+                let z = self.f.const_i32(0);
+                Ok(self.builder().cmp(CmpPred::Ne, v, z))
+            }
+        }
+    }
+
+    /// Emit whatever casts are needed to turn `v: from` into a `to`.
+    fn convert(
+        &mut self,
+        v: ValueId,
+        from: CType,
+        to: CType,
+        line: usize,
+    ) -> Result<ValueId, CompileError> {
+        if from == to {
+            return Ok(v);
+        }
+        if from.is_ptr() || to.is_ptr() {
+            if from.is_ptr() && to.is_ptr() && from.scalar == to.scalar && from.lanes == to.lanes {
+                return Ok(v); // address-space-compatible alias
+            }
+            return Err(CompileError::new("invalid pointer conversion", line));
+        }
+        // Scalar -> vector: convert the scalar kind, then splat.
+        if from.lanes == 1 && to.lanes > 1 {
+            let s = self.convert(v, from, CType::scalar(to.scalar), line)?;
+            let lanes = vec![s; to.lanes as usize];
+            return Ok(self.builder().build_vector(lanes));
+        }
+        if from.lanes != to.lanes {
+            return Err(CompileError::new(
+                format!("cannot convert {}-lane to {}-lane vector", from.lanes, to.lanes),
+                line,
+            ));
+        }
+        // Vector with different scalar kind: convert lane-wise.
+        if from.lanes > 1 {
+            let fs = CType::scalar(from.scalar);
+            let ts = CType::scalar(to.scalar);
+            let mut lanes = Vec::with_capacity(from.lanes as usize);
+            for i in 0..from.lanes {
+                let l = self.builder().extract_lane(v, i);
+                lanes.push(self.convert(l, fs, ts, line)?);
+            }
+            return Ok(self.builder().build_vector(lanes));
+        }
+        // Scalar conversions.
+        let fk = ir_scalar(from.scalar);
+        let tk = ir_scalar(to.scalar);
+        if fk == tk {
+            return Ok(v); // signedness-only change
+        }
+        let target = Type::Scalar(tk);
+        let out = match (fk, tk) {
+            (Scalar::Bool, Scalar::I32) | (Scalar::Bool, Scalar::I64) => {
+                self.builder().cast(CastKind::ZExt, v, target)
+            }
+            (Scalar::Bool, Scalar::F32) => {
+                let i = self.builder().cast(CastKind::ZExt, v, Type::I32);
+                self.builder().cast(CastKind::SiToFp, i, target)
+            }
+            (Scalar::I32, Scalar::I64) => {
+                let kind = if from.scalar.is_unsigned() { CastKind::ZExt } else { CastKind::SExt };
+                self.builder().cast(kind, v, target)
+            }
+            (Scalar::I64, Scalar::I32) => self.builder().cast(CastKind::Trunc, v, target),
+            (Scalar::I32, Scalar::F32) | (Scalar::I64, Scalar::F32) => {
+                self.builder().cast(CastKind::SiToFp, v, target)
+            }
+            (Scalar::F32, Scalar::I32) | (Scalar::F32, Scalar::I64) => {
+                self.builder().cast(CastKind::FpToSi, v, target)
+            }
+            (Scalar::I32, Scalar::Bool) | (Scalar::I64, Scalar::Bool) => {
+                let z = if fk == Scalar::I64 { self.f.const_i64(0) } else { self.f.const_i32(0) };
+                self.builder().cmp(CmpPred::Ne, v, z)
+            }
+            (Scalar::F32, Scalar::Bool) => {
+                let z = self.f.const_f32(0.0);
+                self.builder().cmp(CmpPred::FNe, v, z)
+            }
+            _ => {
+                return Err(CompileError::new(
+                    format!("unsupported conversion {:?} -> {:?}", from.scalar, to.scalar),
+                    line,
+                ))
+            }
+        };
+        Ok(out)
+    }
+}
+
+/// Usual arithmetic conversions: pick the common type of two operands.
+fn usual_conversions(a: CType, b: CType, line: usize) -> Result<CType, CompileError> {
+    if a.is_ptr() || b.is_ptr() {
+        return Err(CompileError::new("pointer in arithmetic expression", line));
+    }
+    let lanes = match (a.lanes, b.lanes) {
+        (x, y) if x == y => x,
+        (1, y) => y,
+        (x, 1) => x,
+        _ => return Err(CompileError::new("vector lane count mismatch", line)),
+    };
+    let scalar = if a.scalar.rank() >= b.scalar.rank() { a.scalar } else { b.scalar };
+    // Bool promotes to int in arithmetic.
+    let scalar = if scalar == CScalar::Bool { CScalar::Int } else { scalar };
+    Ok(CType { scalar, lanes, ptr: None })
+}
+
+/// Evaluate a constant integer expression (array dimensions).
+pub fn const_eval(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::Un(CUnOp::Neg, x) => Some(-const_eval(x)?),
+        ExprKind::Un(CUnOp::Plus, x) => const_eval(x),
+        ExprKind::Bin(op, l, r) => {
+            let l = const_eval(l)?;
+            let r = const_eval(r)?;
+            Some(match op {
+                CBinOp::Add => l + r,
+                CBinOp::Sub => l - r,
+                CBinOp::Mul => l * r,
+                CBinOp::Div => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l / r
+                }
+                CBinOp::Shl => l << r,
+                CBinOp::Shr => l >> r,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Lane index of a swizzle member name.
+fn lane_of(field: &str, line: usize) -> Result<u8, CompileError> {
+    match field {
+        "x" => Ok(0),
+        "y" => Ok(1),
+        "z" => Ok(2),
+        "w" => Ok(3),
+        _ => {
+            if let Some(rest) = field.strip_prefix('s') {
+                if let Ok(n) = u8::from_str_radix(rest, 16) {
+                    if n < 16 {
+                        return Ok(n);
+                    }
+                }
+            }
+            Err(CompileError::new(format!("unknown vector member `.{field}`"), line))
+        }
+    }
+}
+
+/// Fold `x op= c` helpers used by `ConstVal` in tests.
+#[allow(dead_code)]
+fn _unused(_: ConstVal) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn lower(src: &str) -> Function {
+        let tu = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+        let f = lower_kernel(&tu.kernels[0]).unwrap_or_else(|e| panic!("lower: {e}"));
+        if let Err(errs) = grover_ir::verify(&f) {
+            panic!("IR verification failed: {errs:?}\n{}", grover_ir::printer::function_to_string(&f));
+        }
+        f
+    }
+
+    #[test]
+    fn lowers_copy_kernel() {
+        let f = lower(
+            "__kernel void copy(__global float* in, __global float* out) {
+                 int i = get_global_id(0);
+                 out[i] = in[i];
+             }",
+        );
+        assert_eq!(f.name, "copy");
+        // expect: call, trunc, gep, load, gep, store, ret (+ consts)
+        assert!(f.num_insts() >= 6);
+    }
+
+    #[test]
+    fn lowers_for_loop_with_phi() {
+        let f = lower(
+            "__kernel void sum(__global float* a, __global float* out, int n) {
+                 float acc = 0.0f;
+                 for (int i = 0; i < n; i++) { acc += a[i]; }
+                 out[0] = acc;
+             }",
+        );
+        let phis = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Phi { .. })))
+            .count();
+        assert!(phis >= 2, "expected loop phis for acc and i, got {phis}");
+    }
+
+    #[test]
+    fn lowers_local_array_and_barrier() {
+        let f = lower(
+            "__kernel void stage(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int l = get_local_id(0);
+                 int g = get_global_id(0);
+                 lm[l] = in[g];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[g] = lm[15 - l];
+             }",
+        );
+        assert_eq!(f.local_bufs().len(), 1);
+        assert_eq!(f.local_mem_bytes(), 64);
+        let barriers = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Barrier { .. })))
+            .count();
+        assert_eq!(barriers, 1);
+    }
+
+    #[test]
+    fn two_dim_local_array_flattens() {
+        let f = lower(
+            "__kernel void t(__global float* in) {
+                 __local float lm[4][8];
+                 int x = get_local_id(0);
+                 int y = get_local_id(1);
+                 lm[y][x] = in[0];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 in[0] = lm[x][y];
+             }",
+        );
+        assert_eq!(f.local_bufs()[0].dims, vec![4, 8]);
+    }
+
+    #[test]
+    fn if_else_merges_values() {
+        let f = lower(
+            "__kernel void m(__global int* a) {
+                 int x;
+                 if (a[0] > 0) { x = 1; } else { x = 2; }
+                 a[1] = x;
+             }",
+        );
+        let phis = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Phi { .. })))
+            .count();
+        assert_eq!(phis, 1);
+    }
+
+    #[test]
+    fn while_and_break() {
+        lower(
+            "__kernel void w(__global int* a) {
+                 int i = 0;
+                 while (1) {
+                     if (i >= 10) break;
+                     a[i] = i;
+                     i++;
+                 }
+             }",
+        );
+    }
+
+    #[test]
+    fn continue_in_for() {
+        lower(
+            "__kernel void c(__global int* a, int n) {
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] < 0) continue;
+                     a[i] = 2 * a[i];
+                 }
+             }",
+        );
+    }
+
+    #[test]
+    fn vector_kernel() {
+        let f = lower(
+            "__kernel void v(__global float4* in, __global float4* out) {
+                 int i = get_global_id(0);
+                 float4 x = in[i];
+                 float4 y = x * 2.0f;
+                 y.x = 0.0f;
+                 out[i] = y;
+             }",
+        );
+        assert!(f.num_insts() > 5);
+    }
+
+    #[test]
+    fn uninitialised_read_rejected() {
+        let tu = parse(
+            "__kernel void u(__global int* a) { int x; a[0] = x; }",
+        )
+        .unwrap();
+        assert!(lower_kernel(&tu.kernels[0]).is_err());
+    }
+
+    #[test]
+    fn private_array_rejected() {
+        let tu = parse("__kernel void p() { float t[4]; t[0] = 1.0f; }").unwrap();
+        assert!(lower_kernel(&tu.kernels[0]).is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let tu = parse("__kernel void q(__global float* a) { a[0] = frobnicate(1.0f); }").unwrap();
+        assert!(lower_kernel(&tu.kernels[0]).is_err());
+    }
+
+    #[test]
+    fn unsigned_division_uses_udiv() {
+        let f = lower(
+            "__kernel void d(__global uint* a) {
+                 uint x = a[0];
+                 a[1] = x / 3;
+             }",
+        );
+        let has_udiv = f
+            .iter_insts()
+            .any(|(_, iv)| matches!(f.inst(iv), Some(Inst::Bin { op: BinOp::UDiv, .. })));
+        assert!(has_udiv);
+    }
+
+    #[test]
+    fn signed_division_uses_sdiv() {
+        let f = lower(
+            "__kernel void d(__global int* a) {
+                 int x = a[0];
+                 a[1] = x / 3;
+             }",
+        );
+        let has_sdiv = f
+            .iter_insts()
+            .any(|(_, iv)| matches!(f.inst(iv), Some(Inst::Bin { op: BinOp::SDiv, .. })));
+        assert!(has_sdiv);
+    }
+
+    #[test]
+    fn ternary_becomes_select() {
+        let f = lower("__kernel void t(__global int* a) { a[0] = a[1] > 0 ? 1 : 2; }");
+        let has_select = f
+            .iter_insts()
+            .any(|(_, iv)| matches!(f.inst(iv), Some(Inst::Select { .. })));
+        assert!(has_select);
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        lower(
+            "__kernel void mm(__global float* a, __global float* b, __global float* c, int n) {
+                 int row = get_global_id(1);
+                 int col = get_global_id(0);
+                 float acc = 0.0f;
+                 for (int k = 0; k < n; k++) {
+                     acc += a[row * n + k] * b[k * n + col];
+                 }
+                 c[row * n + col] = acc;
+             }",
+        );
+    }
+
+    #[test]
+    fn do_while_lowering() {
+        lower(
+            "__kernel void dw(__global int* a) {
+                 int i = 0;
+                 do { a[i] = i; i++; } while (i < 4);
+             }",
+        );
+    }
+
+    #[test]
+    fn const_eval_dims() {
+        let e = |src: &str| {
+            let tu = parse(&format!("__kernel void k() {{ __local float x[{src}]; x[0]=0.0f; }}"))
+                .unwrap();
+            let Stmt::Decl(d) = &tu.kernels[0].body[0] else { panic!() };
+            const_eval(&d[0].dims[0])
+        };
+        assert_eq!(e("16"), Some(16));
+        assert_eq!(e("4*4"), Some(16));
+        assert_eq!(e("1 << 4"), Some(16));
+    }
+}

@@ -1,0 +1,322 @@
+//! Lexer for the OpenCL C subset.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // punctuation/operator variants name themselves
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (suffixes consumed).
+    IntLit(i64),
+    /// Float literal (`f` suffix consumed).
+    FloatLit(f32),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+/// Token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenize preprocessed source.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'0'..=b'9' => {
+                let (tok, len) = lex_number(&src[i..], line)?;
+                toks.push(Token { tok, line });
+                i += len;
+            }
+            b'.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
+                let (tok, len) = lex_number(&src[i..], line)?;
+                toks.push(Token { tok, line });
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+            }
+            _ => {
+                let (tok, len) = lex_punct(&src[i..], line)?;
+                toks.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    toks.push(Token { tok: Tok::Eof, line });
+    Ok(toks)
+}
+
+fn lex_number(s: &str, line: usize) -> Result<(Tok, usize), CompileError> {
+    let bytes = s.as_bytes();
+    // Hex?
+    if bytes.len() > 2 && bytes[0] == b'0' && (bytes[1] == b'x' || bytes[1] == b'X') {
+        let mut j = 2;
+        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+            j += 1;
+        }
+        let v = i64::from_str_radix(&s[2..j], 16)
+            .map_err(|_| CompileError::new("bad hex literal", line))?;
+        // Swallow integer suffixes.
+        while j < bytes.len() && matches!(bytes[j], b'u' | b'U' | b'l' | b'L') {
+            j += 1;
+        }
+        return Ok((Tok::IntLit(v), j));
+    }
+    let mut j = 0;
+    let mut is_float = false;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'.' {
+        is_float = true;
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+        let mut k = j + 1;
+        if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    if is_float {
+        let v: f32 = s[..j]
+            .parse()
+            .map_err(|_| CompileError::new("bad float literal", line))?;
+        // f/F suffix
+        let mut end = j;
+        if end < bytes.len() && matches!(bytes[end], b'f' | b'F') {
+            end += 1;
+        }
+        Ok((Tok::FloatLit(v), end))
+    } else {
+        let v: i64 = s[..j]
+            .parse()
+            .map_err(|_| CompileError::new("bad int literal", line))?;
+        let mut end = j;
+        if end < bytes.len() && matches!(bytes[end], b'f' | b'F') {
+            // `1f` style float
+            return Ok((Tok::FloatLit(v as f32), end + 1));
+        }
+        while end < bytes.len() && matches!(bytes[end], b'u' | b'U' | b'l' | b'L') {
+            end += 1;
+        }
+        Ok((Tok::IntLit(v), end))
+    }
+}
+
+fn lex_punct(s: &str, line: usize) -> Result<(Tok, usize), CompileError> {
+    let b = s.as_bytes();
+    let two = if b.len() >= 2 { &s[..2] } else { "" };
+    let three = if b.len() >= 3 { &s[..3] } else { "" };
+    let t = match three {
+        "<<=" => return Ok((Tok::ShlAssign, 3)),
+        ">>=" => return Ok((Tok::ShrAssign, 3)),
+        _ => two,
+    };
+    let tok2 = match t {
+        "+=" => Some(Tok::PlusAssign),
+        "-=" => Some(Tok::MinusAssign),
+        "*=" => Some(Tok::StarAssign),
+        "/=" => Some(Tok::SlashAssign),
+        "&=" => Some(Tok::AmpAssign),
+        "|=" => Some(Tok::PipeAssign),
+        "^=" => Some(Tok::CaretAssign),
+        "++" => Some(Tok::PlusPlus),
+        "--" => Some(Tok::MinusMinus),
+        "<<" => Some(Tok::Shl),
+        ">>" => Some(Tok::Shr),
+        "<=" => Some(Tok::Le),
+        ">=" => Some(Tok::Ge),
+        "==" => Some(Tok::EqEq),
+        "!=" => Some(Tok::NotEq),
+        "&&" => Some(Tok::AndAnd),
+        "||" => Some(Tok::OrOr),
+        _ => None,
+    };
+    if let Some(t) = tok2 {
+        return Ok((t, 2));
+    }
+    let tok1 = match b[0] {
+        b'(' => Tok::LParen,
+        b')' => Tok::RParen,
+        b'{' => Tok::LBrace,
+        b'}' => Tok::RBrace,
+        b'[' => Tok::LBracket,
+        b']' => Tok::RBracket,
+        b';' => Tok::Semi,
+        b',' => Tok::Comma,
+        b'.' => Tok::Dot,
+        b'+' => Tok::Plus,
+        b'-' => Tok::Minus,
+        b'*' => Tok::Star,
+        b'/' => Tok::Slash,
+        b'%' => Tok::Percent,
+        b'&' => Tok::Amp,
+        b'|' => Tok::Pipe,
+        b'^' => Tok::Caret,
+        b'~' => Tok::Tilde,
+        b'!' => Tok::Bang,
+        b'?' => Tok::Question,
+        b':' => Tok::Colon,
+        b'=' => Tok::Assign,
+        b'<' => Tok::Lt,
+        b'>' => Tok::Gt,
+        other => {
+            return Err(CompileError::new(
+                format!("unexpected character `{}`", other as char),
+                line,
+            ))
+        }
+    };
+    Ok((tok1, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1.5")[0], Tok::FloatLit(1.5));
+        assert_eq!(kinds("1.5f")[0], Tok::FloatLit(1.5));
+        assert_eq!(kinds(".25")[0], Tok::FloatLit(0.25));
+        assert_eq!(kinds("2e3")[0], Tok::FloatLit(2000.0));
+        assert_eq!(kinds("1e-2")[0], Tok::FloatLit(0.01));
+        assert_eq!(kinds("3f")[0], Tok::FloatLit(3.0));
+    }
+
+    #[test]
+    fn int_forms() {
+        assert_eq!(kinds("0x10")[0], Tok::IntLit(16));
+        assert_eq!(kinds("7u")[0], Tok::IntLit(7));
+        assert_eq!(kinds("7UL")[0], Tok::IntLit(7));
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds("a += b << 2 >= c && d")
+                .into_iter()
+                .filter(|t| !matches!(t, Tok::Ident(_) | Tok::IntLit(_) | Tok::Eof))
+                .collect::<Vec<_>>(),
+            vec![Tok::PlusAssign, Tok::Shl, Tok::Ge, Tok::AndAnd]
+        );
+        assert_eq!(kinds("x <<= 1")[1], Tok::ShlAssign);
+    }
+
+    #[test]
+    fn member_access_vs_float() {
+        // `v.x` must lex Dot, `1.x` would be weird but `v.s0` common.
+        assert_eq!(
+            kinds("v.x"),
+            vec![Tok::Ident("v".into()), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("int x @").is_err());
+    }
+}

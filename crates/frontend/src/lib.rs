@@ -1,0 +1,128 @@
+#![warn(missing_docs)]
+//! # grover-frontend
+//!
+//! A from-scratch front-end for the OpenCL C subset the Grover paper's
+//! benchmarks use, standing in for Clang in the paper's pipeline
+//! (OpenCL C → Clang → SPIR → Grover; here OpenCL C → `grover-frontend` →
+//! [`grover_ir`] → `grover-core`).
+//!
+//! Pipeline: [`preprocess`] (comments, `#define`, `-D` options) →
+//! [`lex`] → [`parse`] (recursive descent) → [`codegen`] (Braun-style SSA
+//! construction straight into the IR).
+//!
+//! ```
+//! use grover_frontend::{compile, BuildOptions};
+//!
+//! let module = compile(
+//!     "__kernel void copy(__global float* in, __global float* out) {
+//!          int i = get_global_id(0);
+//!          out[i] = in[i];
+//!      }",
+//!     &BuildOptions::new(),
+//! ).unwrap();
+//! assert!(module.kernel("copy").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lex;
+pub mod parse;
+pub mod preprocess;
+pub mod ssa;
+
+pub use preprocess::BuildOptions;
+
+use grover_ir::Module;
+
+/// A compilation failure with a 1-based source line (0 = unknown).
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 = unknown).
+    pub line: usize,
+}
+
+impl CompileError {
+    /// Construct an error at a source line (0 = unknown).
+    pub fn new(message: impl Into<String>, line: usize) -> CompileError {
+        CompileError { message: message.into(), line }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile OpenCL C source into an IR [`Module`].
+///
+/// Every kernel in the translation unit is lowered and verified.
+pub fn compile(source: &str, options: &BuildOptions) -> Result<Module, CompileError> {
+    let pre = preprocess::preprocess(source, options)?;
+    let tu = parse::parse(&pre)?;
+    let mut module = Module::new();
+    for k in &tu.kernels {
+        let f = codegen::lower_kernel(k)?;
+        if let Err(errs) = grover_ir::verify(&f) {
+            return Err(CompileError::new(
+                format!("internal: generated IR for `{}` failed verification: {:?}", k.name, errs),
+                k.line,
+            ));
+        }
+        module.add_kernel(f);
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let m = compile(
+            "#define S 8\n\
+             __kernel void k(__global float* in, __global float* out) {\n\
+                 __local float lm[S][S];\n\
+                 int lx = get_local_id(0);\n\
+                 int ly = get_local_id(1);\n\
+                 int gx = get_global_id(0);\n\
+                 int gy = get_global_id(1);\n\
+                 int w = get_global_size(0);\n\
+                 lm[ly][lx] = in[gy * w + gx];\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 out[gy * w + gx] = lm[lx][ly];\n\
+             }",
+            &BuildOptions::new(),
+        )
+        .unwrap();
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.local_bufs()[0].dims, vec![8, 8]);
+    }
+
+    #[test]
+    fn build_option_changes_tile() {
+        let src = "__kernel void k() { __local float lm[S]; lm[0] = 0.0f; }";
+        let m = compile(src, &BuildOptions::new().define("S", 32)).unwrap();
+        assert_eq!(m.kernel("k").unwrap().local_bufs()[0].dims, vec![32]);
+        assert!(compile(src, &BuildOptions::new()).is_err()); // S undefined
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = compile(
+            "__kernel void k(__global float* a) {\n a[0] = unknown_fn(); \n}",
+            &BuildOptions::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,778 @@
+//! Recursive-descent parser for the OpenCL C subset.
+
+use grover_ir::AddressSpace;
+
+use crate::ast::*;
+use crate::lex::{lex, Tok, Token};
+use crate::CompileError;
+
+/// Parse preprocessed source into a translation unit.
+pub fn parse(src: &str) -> Result<TranslationUnit, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.translation_unit()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                format!("expected {what}, found {:?}", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(w) if w == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Tok::Ident(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(w) => Ok(w),
+            other => Err(CompileError::new(
+                format!("expected {what}, found {other:?}"),
+                self.line(),
+            )),
+        }
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    /// Try to parse an address-space qualifier.
+    fn try_space(&mut self) -> Option<AddressSpace> {
+        for (words, space) in [
+            (&["__global", "global"][..], AddressSpace::Global),
+            (&["__local", "local"][..], AddressSpace::Local),
+            (&["__constant", "constant"][..], AddressSpace::Constant),
+            (&["__private", "private"][..], AddressSpace::Private),
+        ] {
+            for w in words {
+                if self.eat_ident(w) {
+                    return Some(space);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether an identifier begins a type.
+    fn is_type_word(w: &str) -> bool {
+        Self::base_scalar(w).is_some()
+            || Self::vector_type(w).is_some()
+            || matches!(w, "unsigned" | "void")
+    }
+
+    fn base_scalar(w: &str) -> Option<CScalar> {
+        match w {
+            "bool" => Some(CScalar::Bool),
+            "int" => Some(CScalar::Int),
+            "uint" => Some(CScalar::UInt),
+            "long" => Some(CScalar::Long),
+            "ulong" | "size_t" => Some(CScalar::ULong),
+            "float" => Some(CScalar::Float),
+            _ => None,
+        }
+    }
+
+    fn vector_type(w: &str) -> Option<(CScalar, u8)> {
+        for (prefix, s) in [
+            ("float", CScalar::Float),
+            ("int", CScalar::Int),
+            ("uint", CScalar::UInt),
+            ("long", CScalar::Long),
+        ] {
+            if let Some(rest) = w.strip_prefix(prefix) {
+                if let Ok(n) = rest.parse::<u8>() {
+                    if matches!(n, 2 | 3 | 4 | 8 | 16) {
+                        return Some((s, n));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Parse a type name (after qualifiers), plus optional `*`.
+    fn parse_type(&mut self, space: Option<AddressSpace>) -> Result<CType, CompileError> {
+        self.eat_ident("const");
+        let w = self.expect_ident("type name")?;
+        let base = if w == "unsigned" {
+            match self.peek_ident() {
+                Some("int") => {
+                    self.bump();
+                    CType::UINT
+                }
+                Some("long") => {
+                    self.bump();
+                    CType::ULONG
+                }
+                _ => CType::UINT,
+            }
+        } else if let Some((s, n)) = Self::vector_type(&w) {
+            CType::vector(s, n)
+        } else if let Some(s) = Self::base_scalar(&w) {
+            CType::scalar(s)
+        } else {
+            return Err(CompileError::new(format!("unknown type `{w}`"), self.line()));
+        };
+        self.eat_ident("const");
+        if self.eat(&Tok::Star) {
+            self.eat_ident("restrict");
+            self.eat_ident("const");
+            let sp = space.unwrap_or(AddressSpace::Private);
+            Ok(base.pointer_to(sp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn translation_unit(&mut self) -> Result<TranslationUnit, CompileError> {
+        let mut tu = TranslationUnit::default();
+        while self.peek() != &Tok::Eof {
+            tu.kernels.push(self.kernel()?);
+        }
+        if tu.kernels.is_empty() {
+            return Err(CompileError::new("no kernels in translation unit", 0));
+        }
+        Ok(tu)
+    }
+
+    fn kernel(&mut self) -> Result<KernelDef, CompileError> {
+        let line = self.line();
+        if !(self.eat_ident("__kernel") || self.eat_ident("kernel")) {
+            return Err(CompileError::new(
+                format!("expected `__kernel`, found {:?}", self.peek()),
+                line,
+            ));
+        }
+        // Ignore attributes like __attribute__((reqd_work_group_size(...)))
+        if !self.eat_ident("void") {
+            return Err(CompileError::new("kernels must return void", self.line()));
+        }
+        let name = self.expect_ident("kernel name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let pline = self.line();
+                let space = self.try_space();
+                let ty = self.parse_type(space)?;
+                let pname = self.expect_ident("parameter name")?;
+                params.push(KernelParam { name: pname, ty, line: pline });
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(KernelDef { name, params, body, line })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(CompileError::new("unexpected end of input in block", self.line()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            Tok::Ident(w) => match w.as_str() {
+                "if" => self.if_stmt(),
+                "for" => self.for_stmt(),
+                "while" => self.while_stmt(),
+                "do" => self.do_while_stmt(),
+                "return" => {
+                    self.bump();
+                    self.expect(&Tok::Semi, "`;` after return")?;
+                    Ok(Stmt::Return)
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Continue)
+                }
+                "barrier" => self.barrier_stmt(),
+                _ if self.starts_decl() => self.decl_stmt(),
+                _ => {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi, "`;` after expression")?;
+                    Ok(Stmt::Expr(e))
+                }
+            },
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "`;` after expression")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Lookahead: does the current position start a declaration?
+    fn starts_decl(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(w) => {
+                if matches!(
+                    w.as_str(),
+                    "__global" | "global" | "__local" | "local" | "__constant" | "constant"
+                        | "__private" | "private" | "const"
+                ) {
+                    return true;
+                }
+                if Self::is_type_word(w) {
+                    // `float x` vs `float4)(...` — a type word followed by an
+                    // identifier (or `*`) is a declaration.
+                    matches!(self.peek2(), Tok::Ident(_) | Tok::Star)
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let space = self.try_space();
+        self.eat_ident("const");
+        let base = self.parse_type(space)?;
+        let mut decls = Vec::new();
+        loop {
+            let line = self.line();
+            let name = self.expect_ident("variable name")?;
+            let mut dims = Vec::new();
+            while self.eat(&Tok::LBracket) {
+                dims.push(self.expr()?);
+                self.expect(&Tok::RBracket, "`]`")?;
+            }
+            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            decls.push(VarDecl { name, ty: base, space, dims, init, line });
+            if self.eat(&Tok::Semi) {
+                break;
+            }
+            self.expect(&Tok::Comma, "`,` or `;` in declaration")?;
+        }
+        Ok(Stmt::Decl(decls))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // if
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let then_b = self.stmt_as_block()?;
+        let else_b = if self.eat_ident("else") { self.stmt_as_block()? } else { Vec::new() };
+        Ok(Stmt::If(cond, then_b, else_b))
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // for
+        self.expect(&Tok::LParen, "`(`")?;
+        let init = if self.eat(&Tok::Semi) {
+            None
+        } else if self.starts_decl() {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+        self.expect(&Tok::Semi, "`;`")?;
+        let step = if self.peek() == &Tok::RParen { None } else { Some(self.expr()?) };
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For(init, cond, step, body))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump();
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::While(cond, body))
+    }
+
+    fn do_while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump();
+        let body = self.stmt_as_block()?;
+        if !self.eat_ident("while") {
+            return Err(CompileError::new("expected `while` after do-body", self.line()));
+        }
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::DoWhile(body, cond))
+    }
+
+    fn barrier_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // barrier
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut local = false;
+        let mut global = false;
+        loop {
+            let w = self.expect_ident("memory fence flag")?;
+            match w.as_str() {
+                "CLK_LOCAL_MEM_FENCE" => local = true,
+                "CLK_GLOBAL_MEM_FENCE" => global = true,
+                other => {
+                    return Err(CompileError::new(
+                        format!("unknown fence flag `{other}`"),
+                        self.line(),
+                    ))
+                }
+            }
+            if !self.eat(&Tok::Pipe) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Semi, "`;`")?;
+        let scope = match (local, global) {
+            (true, true) => grover_ir::BarrierScope::Both,
+            (false, true) => grover_ir::BarrierScope::Global,
+            _ => grover_ir::BarrierScope::Local,
+        };
+        Ok(Stmt::Barrier(scope))
+    }
+
+    // ---- expressions (Pratt) ----------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(CBinOp::Add),
+            Tok::MinusAssign => Some(CBinOp::Sub),
+            Tok::StarAssign => Some(CBinOp::Mul),
+            Tok::SlashAssign => Some(CBinOp::Div),
+            Tok::AmpAssign => Some(CBinOp::BitAnd),
+            Tok::PipeAssign => Some(CBinOp::BitOr),
+            Tok::CaretAssign => Some(CBinOp::BitXor),
+            Tok::ShlAssign => Some(CBinOp::Shl),
+            Tok::ShrAssign => Some(CBinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?;
+        Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), line))
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let cond = self.binary(0)?;
+        if self.eat(&Tok::Question) {
+            let t = self.expr()?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let e = self.ternary()?;
+            Ok(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)), line))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op_prec(t: &Tok) -> Option<(CBinOp, u8)> {
+        Some(match t {
+            Tok::OrOr => (CBinOp::LogOr, 1),
+            Tok::AndAnd => (CBinOp::LogAnd, 2),
+            Tok::Pipe => (CBinOp::BitOr, 3),
+            Tok::Caret => (CBinOp::BitXor, 4),
+            Tok::Amp => (CBinOp::BitAnd, 5),
+            Tok::EqEq => (CBinOp::Eq, 6),
+            Tok::NotEq => (CBinOp::Ne, 6),
+            Tok::Lt => (CBinOp::Lt, 7),
+            Tok::Le => (CBinOp::Le, 7),
+            Tok::Gt => (CBinOp::Gt, 7),
+            Tok::Ge => (CBinOp::Ge, 7),
+            Tok::Shl => (CBinOp::Shl, 8),
+            Tok::Shr => (CBinOp::Shr, 8),
+            Tok::Plus => (CBinOp::Add, 9),
+            Tok::Minus => (CBinOp::Sub, 9),
+            Tok::Star => (CBinOp::Mul, 10),
+            Tok::Slash => (CBinOp::Div, 10),
+            Tok::Percent => (CBinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_prec(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Un(CUnOp::Neg, Box::new(e)), line))
+            }
+            Tok::Plus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Un(CUnOp::Plus, Box::new(e)), line))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Un(CUnOp::Not, Box::new(e)), line))
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::new(ExprKind::Un(CUnOp::BitNot, Box::new(e)), line))
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                let e = self.unary()?;
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(e), Some(CBinOp::Add), Box::new(one)),
+                    line,
+                ))
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                let e = self.unary()?;
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(e), Some(CBinOp::Sub), Box::new(one)),
+                    line,
+                ))
+            }
+            Tok::LParen => {
+                // Cast or vector constructor or parenthesised expression.
+                if let Tok::Ident(w) = self.peek2() {
+                    if Self::is_type_word(w) {
+                        return self.cast_or_ctor();
+                    }
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.postfix(e)
+            }
+            _ => {
+                let p = self.primary()?;
+                self.postfix(p)
+            }
+        }
+    }
+
+    fn cast_or_ctor(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::LParen, "`(`")?;
+        let ty = self.parse_type(None)?;
+        self.expect(&Tok::RParen, "`)` after cast type")?;
+        if ty.is_vector() && self.peek() == &Tok::LParen {
+            // (float4)(a, b, c, d)
+            self.bump();
+            let mut args = Vec::new();
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+            return self.postfix(Expr::new(ExprKind::VecCtor(ty, args), line));
+        }
+        let e = self.unary()?;
+        Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), line))
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::new(ExprKind::IntLit(v), line)),
+            Tok::FloatLit(v) => Ok(Expr::new(ExprKind::FloatLit(v), line)),
+            Tok::Ident(w) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,`")?;
+                        }
+                    }
+                    Ok(Expr::new(ExprKind::Call(w, args), line))
+                } else {
+                    Ok(Expr::new(ExprKind::Ident(w), line))
+                }
+            }
+            other => Err(CompileError::new(
+                format!("expected expression, found {other:?}"),
+                line,
+            )),
+        }
+    }
+
+    fn postfix(&mut self, mut e: Expr) -> Result<Expr, CompileError> {
+        loop {
+            let line = self.line();
+            if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
+            } else if self.eat(&Tok::Dot) {
+                let field = self.expect_ident("member name")?;
+                e = Expr::new(ExprKind::Member(Box::new(e), field), line);
+            } else if self.eat(&Tok::PlusPlus) {
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                e = Expr::new(
+                    ExprKind::Assign(Box::new(e), Some(CBinOp::Add), Box::new(one)),
+                    line,
+                );
+            } else if self.eat(&Tok::MinusMinus) {
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                e = Expr::new(
+                    ExprKind::Assign(Box::new(e), Some(CBinOp::Sub), Box::new(one)),
+                    line,
+                );
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> TranslationUnit {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}"))
+    }
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let tu = parse_ok("__kernel void k(__global float* out) { out[0] = 1.0f; }");
+        assert_eq!(tu.kernels.len(), 1);
+        let k = &tu.kernels[0];
+        assert_eq!(k.name, "k");
+        assert_eq!(k.params.len(), 1);
+        assert_eq!(k.params[0].ty.ptr, Some(AddressSpace::Global));
+    }
+
+    #[test]
+    fn parses_local_array_decl() {
+        let tu = parse_ok(
+            "__kernel void k() { __local float lm[16][16]; lm[1][2] = 0.0f; }",
+        );
+        match &tu.kernels[0].body[0] {
+            Stmt::Decl(ds) => {
+                assert_eq!(ds[0].name, "lm");
+                assert_eq!(ds[0].space, Some(AddressSpace::Local));
+                assert_eq!(ds[0].dims.len(), 2);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_increment() {
+        let tu = parse_ok(
+            "__kernel void k(__global int* a) { for (int i = 0; i < 10; i++) { a[i] = i; } }",
+        );
+        match &tu.kernels[0].body[0] {
+            Stmt::For(init, cond, step, body) => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_barrier_flags() {
+        let tu = parse_ok(
+            "__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }",
+        );
+        assert_eq!(tu.kernels[0].body[0], Stmt::Barrier(grover_ir::BarrierScope::Local));
+        assert_eq!(tu.kernels[0].body[1], Stmt::Barrier(grover_ir::BarrierScope::Both));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let tu = parse_ok("__kernel void k(__global int* a) { a[0] = 1 + 2 * 3; }");
+        let Stmt::Expr(e) = &tu.kernels[0].body[0] else { panic!() };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
+        let ExprKind::Bin(CBinOp::Add, l, r) = &rhs.kind else { panic!("{rhs:?}") };
+        assert!(matches!(l.kind, ExprKind::IntLit(1)));
+        assert!(matches!(r.kind, ExprKind::Bin(CBinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn vector_ctor_and_swizzle() {
+        let tu = parse_ok(
+            "__kernel void k(__global float4* v) { float4 x = (float4)(1.0f, 2.0f, 3.0f, 4.0f); v[0] = x; float s = x.y; v[1].x = s; }",
+        );
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
+        assert!(matches!(ds[0].init.as_ref().unwrap().kind, ExprKind::VecCtor(_, _)));
+    }
+
+    #[test]
+    fn cast_expression() {
+        let tu = parse_ok("__kernel void k(__global float* a) { int i = (int)a[0]; a[1] = (float)i; }");
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
+        assert!(matches!(ds[0].init.as_ref().unwrap().kind, ExprKind::Cast(_, _)));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        parse_ok("__kernel void k(__global int* a) { a[0] = a[1] > 0 && a[2] < 5 ? 1 : 0; }");
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let tu = parse_ok("__kernel void k(__global float* a) { a[0] += 2.0f; }");
+        let Stmt::Expr(e) = &tu.kernels[0].body[0] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Assign(_, Some(CBinOp::Add), _)));
+    }
+
+    #[test]
+    fn while_and_do_while() {
+        parse_ok("__kernel void k(__global int* a) { int i = 0; while (i < 4) { i++; } do { i--; } while (i > 0); }");
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let tu = parse_ok("__kernel void a() { } __kernel void b() { }");
+        assert_eq!(tu.kernels.len(), 2);
+    }
+
+    #[test]
+    fn unsigned_types() {
+        let tu = parse_ok("__kernel void k(__global uint* a, unsigned int n) { a[0] = n; }");
+        assert_eq!(tu.kernels[0].params[0].ty.scalar, CScalar::UInt);
+        assert_eq!(tu.kernels[0].params[1].ty.scalar, CScalar::UInt);
+    }
+
+    #[test]
+    fn size_t_maps_to_ulong() {
+        let tu = parse_ok("__kernel void k() { size_t i = get_global_id(0); i = i; }");
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
+        assert_eq!(ds[0].ty.scalar, CScalar::ULong);
+    }
+
+    #[test]
+    fn error_on_missing_semi() {
+        assert!(parse("__kernel void k() { int x = 1 }").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_fence() {
+        assert!(parse("__kernel void k() { barrier(WHAT); }").is_err());
+    }
+
+    #[test]
+    fn error_on_non_void_kernel() {
+        assert!(parse("__kernel int k() { }").is_err());
+    }
+
+    #[test]
+    fn if_else_chains() {
+        parse_ok(
+            "__kernel void k(__global int* a) { if (a[0] > 0) a[1] = 1; else if (a[0] < 0) a[1] = 2; else { a[1] = 3; } }",
+        );
+    }
+}

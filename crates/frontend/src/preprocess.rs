@@ -1,0 +1,278 @@
+//! A miniature C preprocessor: comment stripping, object-like `#define`
+//! macros, `#undef`, `#ifdef`/`#ifndef`/`#else`/`#endif`, and build-option
+//! definitions (the `-D NAME=value` strings OpenCL's `clBuildProgram`
+//! accepts — how hosts parameterise tile sizes like `S`).
+
+use std::collections::HashMap;
+
+use crate::CompileError;
+
+/// Build options, mirroring OpenCL's `-D` compile definitions.
+#[derive(Clone, Debug, Default)]
+pub struct BuildOptions {
+    defines: Vec<(String, String)>,
+}
+
+impl BuildOptions {
+    /// Empty option set.
+    pub fn new() -> BuildOptions {
+        BuildOptions::default()
+    }
+
+    /// Add `-D name=value`.
+    pub fn define(mut self, name: &str, value: impl ToString) -> BuildOptions {
+        self.defines.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Parse an OpenCL-style option string: `-D A=1 -D B -DC=2`.
+    pub fn parse(opts: &str) -> Result<BuildOptions, CompileError> {
+        let mut b = BuildOptions::new();
+        let mut it = opts.split_whitespace().peekable();
+        while let Some(tok) = it.next() {
+            let def = if tok == "-D" {
+                it.next()
+                    .ok_or_else(|| CompileError::new("-D requires an argument", 0))?
+                    .to_string()
+            } else if let Some(rest) = tok.strip_prefix("-D") {
+                rest.to_string()
+            } else {
+                return Err(CompileError::new(
+                    format!("unsupported build option `{tok}`"),
+                    0,
+                ));
+            };
+            match def.split_once('=') {
+                Some((n, v)) => b.defines.push((n.to_string(), v.to_string())),
+                None => b.defines.push((def, "1".to_string())),
+            }
+        }
+        Ok(b)
+    }
+
+    /// The accumulated `(name, value)` definitions.
+    pub fn defines(&self) -> &[(String, String)] {
+        &self.defines
+    }
+}
+
+/// Strip `//` and `/* */` comments, preserving line structure.
+pub fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            out.push(' ');
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Substitute macros in one line of code (token-boundary aware, iterated so
+/// macros can reference other macros, with a depth bound against cycles).
+fn substitute(line: &str, macros: &HashMap<String, String>) -> String {
+    let mut cur = line.to_string();
+    for _ in 0..16 {
+        let bytes = cur.as_bytes();
+        let mut out = String::with_capacity(cur.len());
+        let mut i = 0;
+        let mut changed = false;
+        while i < bytes.len() {
+            if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let word = &cur[start..i];
+                match macros.get(word) {
+                    Some(rep) => {
+                        out.push_str(rep);
+                        changed = true;
+                    }
+                    None => out.push_str(word),
+                }
+            } else {
+                out.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+        cur = out;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Run the preprocessor. Produces source with the same number of lines (so
+/// downstream error line numbers remain meaningful).
+pub fn preprocess(src: &str, options: &BuildOptions) -> Result<String, CompileError> {
+    let stripped = strip_comments(src);
+    let mut macros: HashMap<String, String> = HashMap::new();
+    for (n, v) in options.defines() {
+        macros.insert(n.clone(), v.clone());
+    }
+    let mut out = String::with_capacity(stripped.len());
+    // Conditional-inclusion stack: each entry = "is this branch active?".
+    let mut active_stack: Vec<bool> = Vec::new();
+    for (lineno, line) in stripped.lines().enumerate() {
+        let lineno = lineno + 1;
+        let trimmed = line.trim_start();
+        let active = active_stack.iter().all(|&a| a);
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            let (directive, args) =
+                rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            match directive {
+                "define" if active => {
+                    let args = args.trim();
+                    let (name, value) =
+                        args.split_once(char::is_whitespace).unwrap_or((args, "1"));
+                    if name.is_empty() || name.contains('(') {
+                        return Err(CompileError::new(
+                            "only object-like #define is supported",
+                            lineno,
+                        ));
+                    }
+                    macros.insert(name.to_string(), value.trim().to_string());
+                }
+                "undef" if active => {
+                    macros.remove(args.trim());
+                }
+                "ifdef" => active_stack.push(macros.contains_key(args.trim())),
+                "ifndef" => active_stack.push(!macros.contains_key(args.trim())),
+                "else" => {
+                    let top = active_stack
+                        .last_mut()
+                        .ok_or_else(|| CompileError::new("#else without #if", lineno))?;
+                    *top = !*top;
+                }
+                "endif" => {
+                    active_stack
+                        .pop()
+                        .ok_or_else(|| CompileError::new("#endif without #if", lineno))?;
+                }
+                "pragma" | "include" => {} // ignored
+                "define" | "undef" => {}   // inactive branch
+                other => {
+                    return Err(CompileError::new(
+                        format!("unsupported preprocessor directive #{other}"),
+                        lineno,
+                    ))
+                }
+            }
+            out.push('\n'); // keep line count stable
+        } else if active {
+            out.push_str(&substitute(line, &macros));
+            out.push('\n');
+        } else {
+            out.push('\n');
+        }
+    }
+    if !active_stack.is_empty() {
+        return Err(CompileError::new("unterminated #if block", 0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments("a // hi\nb /* x\ny */ c");
+        assert_eq!(s, "a \nb \n  c");
+    }
+
+    #[test]
+    fn define_substitutes_on_token_boundaries() {
+        let src = "#define S 16\nint x = S; int y = S1 + AS;\n";
+        let out = preprocess(src, &BuildOptions::new()).unwrap();
+        assert!(out.contains("int x = 16;"));
+        assert!(out.contains("S1 + AS")); // no partial substitution
+    }
+
+    #[test]
+    fn build_options_override() {
+        let src = "int x = TILE;\n";
+        let opts = BuildOptions::new().define("TILE", 32);
+        let out = preprocess(src, &opts).unwrap();
+        assert!(out.contains("int x = 32;"));
+    }
+
+    #[test]
+    fn parse_option_string() {
+        let b = BuildOptions::parse("-D A=1 -DB=2 -D C").unwrap();
+        assert_eq!(
+            b.defines(),
+            &[
+                ("A".to_string(), "1".to_string()),
+                ("B".to_string(), "2".to_string()),
+                ("C".to_string(), "1".to_string())
+            ]
+        );
+        assert!(BuildOptions::parse("--weird").is_err());
+    }
+
+    #[test]
+    fn nested_macros_resolve() {
+        let src = "#define A B\n#define B 7\nint x = A;\n";
+        let out = preprocess(src, &BuildOptions::new()).unwrap();
+        assert!(out.contains("int x = 7;"));
+    }
+
+    #[test]
+    fn ifdef_blocks() {
+        let src = "#define USE_LM 1\n#ifdef USE_LM\nint a;\n#else\nint b;\n#endif\n";
+        let out = preprocess(src, &BuildOptions::new()).unwrap();
+        assert!(out.contains("int a;"));
+        assert!(!out.contains("int b;"));
+    }
+
+    #[test]
+    fn ifndef_and_undef() {
+        let src = "#define X 1\n#undef X\n#ifndef X\nint yes;\n#endif\n";
+        let out = preprocess(src, &BuildOptions::new()).unwrap();
+        assert!(out.contains("int yes;"));
+    }
+
+    #[test]
+    fn unbalanced_endif_is_error() {
+        assert!(preprocess("#endif\n", &BuildOptions::new()).is_err());
+        assert!(preprocess("#ifdef A\n", &BuildOptions::new()).is_err());
+    }
+
+    #[test]
+    fn function_like_define_rejected() {
+        assert!(preprocess("#define F(x) x\n", &BuildOptions::new()).is_err());
+    }
+
+    #[test]
+    fn line_numbers_preserved() {
+        let src = "#define S 4\n\nint x = S;\n";
+        let out = preprocess(src, &BuildOptions::new()).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert_eq!(out.lines().nth(2).unwrap(), "int x = 4;");
+    }
+}

@@ -1,0 +1,245 @@
+//! Edge-case coverage for the OpenCL C front-end: operator precedence,
+//! scoping, preprocessor interactions, and diagnostics.
+
+use grover_frontend::{compile, BuildOptions};
+
+fn ok(src: &str) -> grover_ir::Module {
+    compile(src, &BuildOptions::new()).unwrap_or_else(|e| panic!("{e}\n---\n{src}"))
+}
+
+fn err(src: &str) -> String {
+    match compile(src, &BuildOptions::new()) {
+        Ok(_) => panic!("expected a compile error:\n{src}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn shadowing_in_nested_scopes() {
+    let m = ok(
+        "__kernel void s(__global int* a) {
+             int x = 1;
+             {
+                 int x = 2;
+                 a[0] = x;
+             }
+             a[1] = x;
+         }",
+    );
+    assert!(m.kernel("s").is_some());
+}
+
+#[test]
+fn for_init_variable_scoped_to_loop() {
+    err(
+        "__kernel void s(__global int* a) {
+             for (int i = 0; i < 4; i++) { a[i] = i; }
+             a[0] = i;
+         }",
+    );
+}
+
+#[test]
+fn full_precedence_chain() {
+    // Must parse and verify: mixes every precedence level.
+    ok(
+        "__kernel void p(__global int* a) {
+             int x = a[0];
+             a[1] = x + 2 * 3 - 4 / 2 % 3 << 1 >> 1 & 7 | 8 ^ 3;
+             a[2] = x < 3 == 1 != 0;
+             a[3] = x > 1 && x < 10 || x == 0;
+         }",
+    );
+}
+
+#[test]
+fn unary_chains() {
+    ok(
+        "__kernel void u(__global int* a) {
+             a[0] = - - a[1];
+             a[2] = !!a[3] ? 1 : 0;
+             a[4] = ~~a[5];
+             a[6] = -~a[7];
+         }",
+    );
+}
+
+#[test]
+fn comments_inside_expressions() {
+    ok(
+        "__kernel void c(__global int* a) {
+             a[0] = /* left */ 1 + // right
+                    2;
+         }",
+    );
+}
+
+#[test]
+fn define_inside_conditional_block() {
+    let m = compile(
+        "#ifdef FAST\n#define W 8\n#else\n#define W 4\n#endif\n\
+         __kernel void k() { __local float lm[W]; lm[0] = 0.0f; }",
+        &BuildOptions::new(),
+    )
+    .unwrap();
+    assert_eq!(m.kernels[0].local_bufs()[0].dims, vec![4]);
+    let m = compile(
+        "#ifdef FAST\n#define W 8\n#else\n#define W 4\n#endif\n\
+         __kernel void k() { __local float lm[W]; lm[0] = 0.0f; }",
+        &BuildOptions::new().define("FAST", 1),
+    )
+    .unwrap();
+    assert_eq!(m.kernels[0].local_bufs()[0].dims, vec![8]);
+}
+
+#[test]
+fn nested_ifdef_blocks() {
+    let m = compile(
+        "#define A 1\n#ifdef A\n#ifdef B\n#define N 1\n#else\n#define N 2\n#endif\n#else\n#define N 3\n#endif\n\
+         __kernel void k() { __local float lm[N]; lm[0] = 0.0f; }",
+        &BuildOptions::new(),
+    )
+    .unwrap();
+    assert_eq!(m.kernels[0].local_bufs()[0].dims, vec![2]);
+}
+
+#[test]
+fn hex_and_suffixed_literals() {
+    ok(
+        "__kernel void h(__global int* a) {
+             a[0] = 0xFF;
+             a[1] = 16u;
+             a[2] = (int)4294967295u;
+         }",
+    );
+}
+
+#[test]
+fn assignment_is_right_associative() {
+    let m = ok(
+        "__kernel void r(__global int* a) {
+             int x;
+             int y;
+             x = y = 5;
+             a[0] = x + y;
+         }",
+    );
+    let _ = m;
+}
+
+#[test]
+fn chained_member_and_index() {
+    ok(
+        "__kernel void m(__global float4* v, __global float* out) {
+             out[0] = v[1].y + v[0].s2;
+         }",
+    );
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    assert!(err("__kernel void k() { int x = ; }").contains("expression"));
+    assert!(err("__kernel void k(__global floot* a) { }").contains("unknown type"));
+    assert!(err("kernel_void k() { }").contains("__kernel"));
+    assert!(err("__kernel void k() { barrier(); }").contains("fence"));
+    assert!(err("__kernel void k(__global int* a) { a[zzz] = 1; }").contains("zzz"));
+}
+
+#[test]
+fn break_outside_loop_rejected() {
+    assert!(err("__kernel void k() { break; }").contains("break"));
+    assert!(err("__kernel void k() { continue; }").contains("continue"));
+}
+
+#[test]
+fn vector_lane_out_of_range_rejected() {
+    assert!(err(
+        "__kernel void k(__global float4* v, __global float* o) { o[0] = v[0].s7; }"
+    )
+    .contains("member"));
+}
+
+#[test]
+fn assignment_to_parameter_pointer_rejected() {
+    assert!(err("__kernel void k(__global int* a) { a = a; }").contains("assign"));
+}
+
+#[test]
+fn float2_and_float8_types_parse() {
+    ok(
+        "__kernel void v(__global float2* a, __global float* o) {
+             float2 x = a[0];
+             o[0] = x.x + x.y;
+         }",
+    );
+}
+
+#[test]
+fn empty_statements_and_blocks() {
+    ok("__kernel void e(__global int* a) { ;; { } a[0] = 1; ; }");
+}
+
+#[test]
+fn dangling_else_binds_to_nearest_if() {
+    // if (a) if (b) x=1; else x=2;  — the else belongs to the inner if.
+    let m = ok(
+        "__kernel void d(__global int* a) {
+             int x = 0;
+             if (a[0] > 0)
+                 if (a[1] > 0) x = 1;
+                 else x = 2;
+             a[2] = x;
+         }",
+    );
+    let _ = m;
+}
+
+#[test]
+fn line_numbers_in_errors_after_preprocessing() {
+    let e = compile(
+        "#define S 4\n\n\n__kernel void k(__global int* a) {\n a[0] = nope();\n}",
+        &BuildOptions::new(),
+    )
+    .unwrap_err();
+    assert_eq!(e.line, 5, "{e}");
+}
+
+#[test]
+fn deeply_nested_control_flow_compiles_and_verifies() {
+    ok(
+        "__kernel void deep(__global int* a, int n) {
+             int acc = 0;
+             for (int i = 0; i < n; i++) {
+                 for (int j = 0; j < n; j++) {
+                     if (i == j) {
+                         for (int k = 0; k < 3; k++) {
+                             while (acc < 100) {
+                                 acc += k;
+                                 if (acc % 7 == 0) { break; }
+                             }
+                         }
+                     } else {
+                         acc -= 1;
+                     }
+                 }
+             }
+             a[0] = acc;
+         }",
+    );
+}
+
+#[test]
+fn barrier_in_loop_compiles() {
+    ok(
+        "__kernel void b(__global float* x) {
+             __local float lm[8];
+             int lx = get_local_id(0);
+             for (int i = 0; i < 4; i++) {
+                 lm[lx] = x[i * 8 + lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 x[i * 8 + lx] = lm[7 - lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+             }
+         }",
+    );
+}

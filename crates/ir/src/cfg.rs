@@ -1,0 +1,204 @@
+//! Control-flow-graph utilities: reachability, reverse post-order, and a
+//! simple iterative dominator computation (Cooper–Harvey–Kennedy).
+
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// Blocks reachable from entry, in reverse post-order.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let n = f.num_blocks();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+    visited[f.entry.index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.successors(b);
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Set of blocks reachable from entry.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut r = vec![false; f.num_blocks()];
+    for b in reverse_post_order(f) {
+        r[b.index()] = true;
+    }
+    r
+}
+
+/// Immediate-dominator tree over reachable blocks.
+///
+/// `idom[b] == None` for the entry block and for unreachable blocks.
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Compute dominators with the CHK iterative algorithm.
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_post_order(f);
+        let n = f.num_blocks();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Entry's idom is conventionally None externally.
+        idom[f.entry.index()] = None;
+        DomTree { idom }
+    }
+
+    /// Immediate dominator of `b` (None for entry/unreachable).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Does `a` dominate `b`? (Reflexive: a block dominates itself.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::function::Function;
+
+    /// entry -> (then | else) -> join -> ret
+    fn diamond() -> (Function, BlockId, BlockId, BlockId) {
+        let mut f = Function::new("d", vec![]);
+        let then_b = f.add_block("then");
+        let else_b = f.add_block("else");
+        let join = f.add_block("join");
+        let mut b = Builder::at_entry(&mut f);
+        let c = b.bool(true);
+        b.cond_br(c, then_b, else_b);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(else_b);
+        b.br(join);
+        b.switch_to(join);
+        b.ret();
+        (f, then_b, else_b, join)
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (f, ..) = diamond();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let (mut f, ..) = diamond();
+        let dead = f.add_block("dead");
+        let mut b = Builder::new(&mut f, dead);
+        b.ret();
+        let r = reachable(&f);
+        assert!(!r[dead.index()]);
+        assert!(r[f.entry.index()]);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, then_b, else_b, join) = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(f.entry), None);
+        assert_eq!(dt.idom(then_b), Some(f.entry));
+        assert_eq!(dt.idom(else_b), Some(f.entry));
+        assert_eq!(dt.idom(join), Some(f.entry));
+        assert!(dt.dominates(f.entry, join));
+        assert!(!dt.dominates(then_b, join));
+        assert!(dt.dominates(join, join));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header <-> body ; header -> exit
+        let mut f = Function::new("l", vec![]);
+        let header = f.add_block("header");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        let mut b = Builder::at_entry(&mut f);
+        b.br(header);
+        b.switch_to(header);
+        let c = b.bool(true);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(header), Some(f.entry));
+        assert_eq!(dt.idom(body), Some(header));
+        assert_eq!(dt.idom(exit), Some(header));
+        assert!(dt.dominates(header, body));
+        assert!(!dt.dominates(body, exit));
+    }
+}

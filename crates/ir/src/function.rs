@@ -1,0 +1,537 @@
+//! Kernel functions: the value arena, basic blocks, and editing utilities.
+
+use std::collections::HashMap;
+
+use crate::types::{Scalar, Type};
+use crate::value::{
+    BlockId, ConstVal, Inst, LocalBuf, LocalBufId, Param, ValueData, ValueDef, ValueId,
+};
+
+/// A basic block: an ordered list of instruction value ids, ending in a
+/// terminator once construction is finished.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Unique display name (label in the textual form).
+    pub name: String,
+    /// Instructions in execution order; the last is the terminator.
+    pub insts: Vec<ValueId>,
+}
+
+/// A kernel function in SSA form.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Kernel name.
+    pub name: String,
+    params: Vec<Param>,
+    /// Value ids of the parameters (parallel to `params`).
+    param_values: Vec<ValueId>,
+    values: Vec<ValueData>,
+    blocks: Vec<Block>,
+    local_bufs: Vec<LocalBuf>,
+    local_buf_values: Vec<ValueId>,
+    const_map: HashMap<ConstVal, ValueId>,
+    /// Entry block (always `BlockId(0)` once created).
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Create an empty function with the given parameters. An entry block is
+    /// created automatically.
+    pub fn new(name: impl Into<String>, params: Vec<Param>) -> Function {
+        let mut f = Function {
+            name: name.into(),
+            params: Vec::new(),
+            param_values: Vec::new(),
+            values: Vec::new(),
+            blocks: Vec::new(),
+            local_bufs: Vec::new(),
+            local_buf_values: Vec::new(),
+            const_map: HashMap::new(),
+            entry: BlockId(0),
+        };
+        for p in params {
+            let id = f.push_value(ValueData {
+                def: ValueDef::Param(f.params.len() as u32),
+                ty: p.ty,
+                name: Some(p.name.clone()),
+            });
+            f.params.push(p);
+            f.param_values.push(id);
+        }
+        f.entry = f.add_block("entry");
+        f
+    }
+
+    fn push_value(&mut self, data: ValueData) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(data);
+        id
+    }
+
+    // ---- parameters & locals -------------------------------------------------
+
+    /// The kernel's parameters, in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Value id of the `i`-th parameter.
+    pub fn param_value(&self, i: usize) -> ValueId {
+        self.param_values[i]
+    }
+
+    /// Look up a parameter's value id by name.
+    pub fn param_by_name(&self, name: &str) -> Option<ValueId> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| self.param_values[i])
+    }
+
+    /// Declare a `__local` buffer; returns the pointer value to its start.
+    pub fn add_local_buf(&mut self, buf: LocalBuf) -> ValueId {
+        let id = LocalBufId(self.local_bufs.len() as u32);
+        let ty = Type::ptr(buf.elem, buf.lanes, crate::types::AddressSpace::Local);
+        let name = buf.name.clone();
+        self.local_bufs.push(buf);
+        let v = self.push_value(ValueData { def: ValueDef::LocalBuf(id), ty, name: Some(name) });
+        self.local_buf_values.push(v);
+        v
+    }
+
+    /// The kernel's `__local` buffers.
+    pub fn local_bufs(&self) -> &[LocalBuf] {
+        &self.local_bufs
+    }
+
+    /// One `__local` buffer by id.
+    pub fn local_buf(&self, id: LocalBufId) -> &LocalBuf {
+        &self.local_bufs[id.index()]
+    }
+
+    /// Value id of the pointer to a local buffer.
+    pub fn local_buf_value(&self, id: LocalBufId) -> ValueId {
+        self.local_buf_values[id.index()]
+    }
+
+    /// Remove a local buffer *declaration*. The pointer value remains in the
+    /// arena (it must already be unused); the buffer no longer contributes to
+    /// the kernel's local-memory footprint.
+    pub fn mark_local_buf_removed(&mut self, id: LocalBufId) {
+        self.local_bufs[id.index()].dims = vec![0];
+    }
+
+    /// Total `__local` bytes the kernel still allocates.
+    pub fn local_mem_bytes(&self) -> u64 {
+        self.local_bufs.iter().map(|b| b.size_bytes()).sum()
+    }
+
+    // ---- constants -----------------------------------------------------------
+
+    /// Intern a constant.
+    pub fn const_val(&mut self, c: ConstVal) -> ValueId {
+        if let Some(&v) = self.const_map.get(&c) {
+            return v;
+        }
+        let v = self.push_value(ValueData { def: ValueDef::Const(c), ty: c.ty(), name: None });
+        self.const_map.insert(c, v);
+        v
+    }
+
+    /// Intern an `i32` constant.
+    pub fn const_i32(&mut self, v: i32) -> ValueId {
+        self.const_val(ConstVal::I32(v))
+    }
+
+    /// Intern an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.const_val(ConstVal::I64(v))
+    }
+
+    /// Intern an `f32` constant.
+    pub fn const_f32(&mut self, v: f32) -> ValueId {
+        self.const_val(ConstVal::f32(v))
+    }
+
+    /// Intern a boolean constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.const_val(ConstVal::Bool(v))
+    }
+
+    /// If `v` is a constant, return it.
+    pub fn as_const(&self, v: ValueId) -> Option<ConstVal> {
+        match self.value(v).def {
+            ValueDef::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// If `v` is an integer constant, return its value.
+    pub fn as_const_int(&self, v: ValueId) -> Option<i64> {
+        self.as_const(v).and_then(ConstVal::as_int)
+    }
+
+    // ---- blocks ----------------------------------------------------------------
+
+    /// Add a block. Names are made unique (a `.N` suffix is appended on
+    /// collision) so the textual form is unambiguous.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let base: String = name.into();
+        let mut candidate = base.clone();
+        let mut n = 0;
+        while self.blocks.iter().any(|b| b.name == candidate) {
+            n += 1;
+            candidate = format!("{base}.{n}");
+        }
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { name: candidate, insts: Vec::new() });
+        id
+    }
+
+    /// Iterate all block ids (including unreachable blocks).
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// One block by id.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to one block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// The terminator of a block, if construction has placed one.
+    pub fn terminator(&self, b: BlockId) -> Option<&Inst> {
+        let last = *self.block(b).insts.last()?;
+        match &self.value(last).def {
+            ValueDef::Inst(i) if i.is_terminator() => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.terminator(b).map(Inst::successors).unwrap_or_default()
+    }
+
+    /// Predecessor map for all blocks.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.blocks() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    // ---- values & instructions -------------------------------------------------
+
+    /// Size of the value arena (params + constants + buffers + insts).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// One value by id.
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// Mutable access to one value.
+    pub fn value_mut(&mut self, v: ValueId) -> &mut ValueData {
+        &mut self.values[v.index()]
+    }
+
+    /// The type of a value.
+    pub fn ty(&self, v: ValueId) -> Type {
+        self.value(v).ty
+    }
+
+    /// The instruction behind a value, if it is one.
+    pub fn inst(&self, v: ValueId) -> Option<&Inst> {
+        match &self.value(v).def {
+            ValueDef::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the instruction behind a value, if it is one.
+    pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
+        match &mut self.values[v.index()].def {
+            ValueDef::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Create an instruction value and append it to block `b`.
+    pub fn append_inst(&mut self, b: BlockId, inst: Inst, ty: Type) -> ValueId {
+        let v = self.push_value(ValueData { def: ValueDef::Inst(inst), ty, name: None });
+        self.blocks[b.index()].insts.push(v);
+        v
+    }
+
+    /// Create an instruction value and insert it in block `b` at position
+    /// `pos` (0 = front).
+    pub fn insert_inst(&mut self, b: BlockId, pos: usize, inst: Inst, ty: Type) -> ValueId {
+        let v = self.push_value(ValueData { def: ValueDef::Inst(inst), ty, name: None });
+        self.blocks[b.index()].insts.insert(pos, v);
+        v
+    }
+
+    /// Locate an instruction: `(block, index-within-block)`.
+    pub fn position_of(&self, inst: ValueId) -> Option<(BlockId, usize)> {
+        for b in self.blocks() {
+            if let Some(i) = self.block(b).insts.iter().position(|&v| v == inst) {
+                return Some((b, i));
+            }
+        }
+        None
+    }
+
+    /// Remove an instruction from its block (the value stays in the arena but
+    /// is no longer executed; callers ensure it has no remaining uses).
+    pub fn remove_inst(&mut self, inst: ValueId) -> bool {
+        for b in 0..self.blocks.len() {
+            let insts = &mut self.blocks[b].insts;
+            if let Some(i) = insts.iter().position(|&v| v == inst) {
+                insts.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Replace all uses of `old` with `new` in every instruction.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) -> usize {
+        let mut n = 0;
+        for vd in &mut self.values {
+            if let ValueDef::Inst(i) = &mut vd.def {
+                i.map_operands(|v| {
+                    if v == old {
+                        n += 1;
+                        new
+                    } else {
+                        v
+                    }
+                });
+            }
+        }
+        n
+    }
+
+    /// Collect the instructions (as value ids) that use `target` as an
+    /// operand, in block program order.
+    pub fn uses_of(&self, target: ValueId) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        for b in self.blocks() {
+            for &iv in &self.block(b).insts {
+                if let Some(inst) = self.inst(iv) {
+                    let mut used = false;
+                    inst.visit_operands(|v| used |= v == target);
+                    if used {
+                        out.push(iv);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Count instructions across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterate `(block, inst value id)` in program order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, ValueId)> + '_ {
+        self.blocks().flat_map(move |b| {
+            self.block(b).insts.iter().map(move |&v| (b, v))
+        })
+    }
+
+    /// Assign a debug name to a value.
+    pub fn set_name(&mut self, v: ValueId, name: impl Into<String>) {
+        self.value_mut(v).name = Some(name.into());
+    }
+
+    /// Helper: make a `LocalBuf` quickly (used by tests).
+    pub fn local_buf_spec(name: &str, elem: Scalar, dims: &[u64]) -> LocalBuf {
+        LocalBuf { name: name.into(), elem, lanes: 1, dims: dims.to_vec() }
+    }
+}
+
+/// A module: a set of kernels compiled together.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The kernels, in definition order.
+    pub kernels: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Append a kernel; returns its index.
+    pub fn add_kernel(&mut self, f: Function) -> usize {
+        self.kernels.push(f);
+        self.kernels.len() - 1
+    }
+
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Function> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Mutable lookup of a kernel by name.
+    pub fn kernel_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.kernels.iter_mut().find(|k| k.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AddressSpace;
+    use crate::value::BinOp;
+
+    fn sample() -> Function {
+        Function::new(
+            "k",
+            vec![
+                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+                Param { name: "n".into(), ty: Type::I32 },
+            ],
+        )
+    }
+
+    #[test]
+    fn params_are_values() {
+        let f = sample();
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.ty(f.param_value(1)), Type::I32);
+        assert_eq!(f.param_by_name("in"), Some(f.param_value(0)));
+        assert_eq!(f.param_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut f = sample();
+        let a = f.const_i32(42);
+        let b = f.const_i32(42);
+        let c = f.const_i32(7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(f.as_const_int(a), Some(42));
+    }
+
+    #[test]
+    fn append_and_find_inst() {
+        let mut f = sample();
+        let one = f.const_i32(1);
+        let two = f.const_i32(2);
+        let e = f.entry;
+        let add = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: two }, Type::I32);
+        assert_eq!(f.position_of(add), Some((e, 0)));
+        assert_eq!(f.num_insts(), 1);
+        assert!(f.remove_inst(add));
+        assert_eq!(f.num_insts(), 0);
+        assert!(!f.remove_inst(add));
+    }
+
+    #[test]
+    fn rauw_rewrites_uses() {
+        let mut f = sample();
+        let one = f.const_i32(1);
+        let two = f.const_i32(2);
+        let e = f.entry;
+        let add = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: one }, Type::I32);
+        let n = f.replace_all_uses(one, two);
+        assert_eq!(n, 2);
+        assert_eq!(f.inst(add).unwrap().operands(), vec![two, two]);
+        assert_eq!(f.uses_of(two), vec![add]);
+        assert!(f.uses_of(one).is_empty());
+    }
+
+    #[test]
+    fn local_buf_roundtrip() {
+        let mut f = sample();
+        let v = f.add_local_buf(Function::local_buf_spec("lm", Scalar::F32, &[16, 16]));
+        assert_eq!(f.local_mem_bytes(), 1024);
+        assert_eq!(f.ty(v), Type::ptr_scalar(Scalar::F32, AddressSpace::Local));
+        assert_eq!(f.local_buf_value(LocalBufId(0)), v);
+        f.mark_local_buf_removed(LocalBufId(0));
+        assert_eq!(f.local_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn successors_and_preds() {
+        let mut f = sample();
+        let b1 = f.add_block("b1");
+        let b2 = f.add_block("b2");
+        let cond = f.const_bool(true);
+        let e = f.entry;
+        f.append_inst(e, Inst::CondBr { cond, then_blk: b1, else_blk: b2 }, Type::Void);
+        f.append_inst(b1, Inst::Br { target: b2 }, Type::Void);
+        f.append_inst(b2, Inst::Ret, Type::Void);
+        assert_eq!(f.successors(e), vec![b1, b2]);
+        assert_eq!(f.successors(b2), Vec::<BlockId>::new());
+        let preds = f.predecessors();
+        assert_eq!(preds[b2.index()], vec![e, b1]);
+    }
+
+    #[test]
+    fn block_names_are_unique() {
+        let mut f = sample();
+        let a = f.add_block("if.then");
+        let b = f.add_block("if.then");
+        let c = f.add_block("if.then");
+        assert_eq!(f.block(a).name, "if.then");
+        assert_eq!(f.block(b).name, "if.then.1");
+        assert_eq!(f.block(c).name, "if.then.2");
+        // And a literal name that collides with a generated suffix.
+        let d = f.add_block("if.then.1");
+        assert_eq!(f.block(d).name, "if.then.1.1");
+    }
+
+    #[test]
+    fn insert_inst_positions() {
+        let mut f = sample();
+        let one = f.const_i32(1);
+        let e = f.entry;
+        let a = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: one }, Type::I32);
+        let b = f.insert_inst(e, 0, Inst::Bin { op: BinOp::Mul, lhs: one, rhs: one }, Type::I32);
+        assert_eq!(f.position_of(b), Some((e, 0)));
+        assert_eq!(f.position_of(a), Some((e, 1)));
+        assert_eq!(f.block(e).insts, vec![b, a]);
+    }
+
+    #[test]
+    fn uses_of_in_program_order() {
+        let mut f = sample();
+        let n = f.param_value(1);
+        let e = f.entry;
+        let a = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: n, rhs: n }, Type::I32);
+        let b = f.append_inst(e, Inst::Bin { op: BinOp::Mul, lhs: n, rhs: a }, Type::I32);
+        assert_eq!(f.uses_of(n), vec![a, b]);
+        assert_eq!(f.uses_of(a), vec![b]);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        m.add_kernel(sample());
+        assert!(m.kernel("k").is_some());
+        assert!(m.kernel_mut("k").is_some());
+        assert!(m.kernel("nope").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # grover-ir
+//!
+//! A typed SSA intermediate representation for OpenCL kernels, playing the
+//! role LLVM/SPIR plays in the Grover paper (Fang et al., ICPP 2014).
+//!
+//! The IR models exactly the constructs the Grover pass reasons about:
+//!
+//! * loads and stores through pointers qualified by an OpenCL
+//!   [`AddressSpace`] (`__global` / `__local` / `__constant` / `__private`),
+//! * GEP-style element-typed pointer arithmetic,
+//! * calls to the work-item query builtins (`get_local_id`, `get_group_id`,
+//!   …) that form the symbols of the index algebra,
+//! * work-group [`value::BarrierScope`] barriers,
+//! * ordinary SSA scaffolding: blocks, phis, branches.
+//!
+//! Alongside the data structures it provides a [`builder::Builder`], a
+//! [`verifier`], a textual [`printer`], CFG/dominator analyses ([`mod@cfg`]) and
+//! a small [`passes`] framework with the cleanup passes (DCE, constant
+//! folding, CFG simplification) the Grover transformation relies on.
+
+pub mod builder;
+pub mod cfg;
+pub mod function;
+pub mod passes;
+pub mod printer;
+pub mod text_parser;
+pub mod types;
+pub mod value;
+pub mod verifier;
+
+pub use builder::Builder;
+pub use function::{Block, Function, Module};
+pub use types::{AddressSpace, Scalar, Type};
+pub use value::{
+    BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Inst, LocalBuf,
+    LocalBufId, Param, ValueData, ValueDef, ValueId,
+};
+pub use text_parser::{parse_function, ParseError};
+pub use verifier::verify;

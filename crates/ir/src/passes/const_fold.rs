@@ -1,0 +1,331 @@
+//! Constant folding and trivial algebraic simplification.
+
+use crate::function::Function;
+use crate::passes::FunctionPass;
+use crate::value::{BinOp, CastKind, CmpPred, ConstVal, Inst, ValueId};
+
+/// Constant-folding / algebraic-simplification pass.
+#[derive(Default)]
+pub struct ConstFold {
+    /// Number of instructions folded by the last run.
+    pub folded: usize,
+}
+
+impl FunctionPass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        self.folded = 0;
+        loop {
+            let mut replaced = false;
+            let insts: Vec<ValueId> = f.iter_insts().map(|(_, iv)| iv).collect();
+            for iv in insts {
+                let Some(inst) = f.inst(iv).cloned() else { continue };
+                if let Some(result) = fold(f, &inst) {
+                    let cv = f.const_val(result);
+                    f.replace_all_uses(iv, cv);
+                    f.remove_inst(iv);
+                    self.folded += 1;
+                    replaced = true;
+                } else if let Some(simpler) = simplify(f, &inst) {
+                    f.replace_all_uses(iv, simpler);
+                    f.remove_inst(iv);
+                    self.folded += 1;
+                    replaced = true;
+                }
+            }
+            if !replaced {
+                break;
+            }
+        }
+        self.folded > 0
+    }
+}
+
+/// Evaluate an instruction whose operands are all constants.
+fn fold(f: &Function, inst: &Inst) -> Option<ConstVal> {
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            let l = f.as_const(*lhs)?;
+            let r = f.as_const(*rhs)?;
+            fold_bin(*op, l, r)
+        }
+        Inst::Cmp { pred, lhs, rhs } => {
+            let l = f.as_const(*lhs)?;
+            let r = f.as_const(*rhs)?;
+            fold_cmp(*pred, l, r)
+        }
+        Inst::Cast { kind, value, to } => {
+            let v = f.as_const(*value)?;
+            fold_cast(*kind, v, *to)
+        }
+        Inst::Select { cond, then_val, else_val } => {
+            let c = f.as_const(*cond)?;
+            match c {
+                ConstVal::Bool(true) => f.as_const(*then_val),
+                ConstVal::Bool(false) => f.as_const(*else_val),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn fold_bin(op: BinOp, l: ConstVal, r: ConstVal) -> Option<ConstVal> {
+    use BinOp::*;
+    if let (Some(a), Some(b)) = (l.as_int(), r.as_int()) {
+        let wide = matches!(l, ConstVal::I64(_));
+        let v: i64 = match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            SDiv => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            UDiv => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) / (b as u64)) as i64
+            }
+            SRem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            URem => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) % (b as u64)) as i64
+            }
+            Shl => a.wrapping_shl(b as u32),
+            LShr => {
+                if wide {
+                    ((a as u64) >> (b as u32 & 63)) as i64
+                } else {
+                    (((a as u32) >> (b as u32 & 31)) as i32) as i64
+                }
+            }
+            AShr => a.wrapping_shr(b as u32),
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            _ => return None,
+        };
+        return Some(if wide { ConstVal::I64(v) } else { ConstVal::I32(v as i32) });
+    }
+    if let (Some(a), Some(b)) = (l.as_f32(), r.as_f32()) {
+        let v = match op {
+            FAdd => a + b,
+            FSub => a - b,
+            FMul => a * b,
+            FDiv => a / b,
+            FMin => a.min(b),
+            FMax => a.max(b),
+            _ => return None,
+        };
+        return Some(ConstVal::f32(v));
+    }
+    None
+}
+
+fn fold_cmp(pred: CmpPred, l: ConstVal, r: ConstVal) -> Option<ConstVal> {
+    use CmpPred::*;
+    if let (Some(a), Some(b)) = (l.as_int(), r.as_int()) {
+        let (ua, ub) = (a as u64, b as u64);
+        let v = match pred {
+            Eq => a == b,
+            Ne => a != b,
+            Slt => a < b,
+            Sle => a <= b,
+            Sgt => a > b,
+            Sge => a >= b,
+            Ult => ua < ub,
+            Ule => ua <= ub,
+            Ugt => ua > ub,
+            Uge => ua >= ub,
+            _ => return None,
+        };
+        return Some(ConstVal::Bool(v));
+    }
+    if let (Some(a), Some(b)) = (l.as_f32(), r.as_f32()) {
+        let v = match pred {
+            FEq => a == b,
+            FNe => a != b,
+            FLt => a < b,
+            FLe => a <= b,
+            FGt => a > b,
+            FGe => a >= b,
+            _ => return None,
+        };
+        return Some(ConstVal::Bool(v));
+    }
+    None
+}
+
+fn fold_cast(kind: CastKind, v: ConstVal, to: crate::types::Type) -> Option<ConstVal> {
+    use crate::types::{Scalar, Type};
+    let target = match to {
+        Type::Scalar(s) => s,
+        _ => return None,
+    };
+    match (kind, v, target) {
+        (CastKind::SExt, ConstVal::I32(x), Scalar::I64) => Some(ConstVal::I64(x as i64)),
+        (CastKind::ZExt, ConstVal::I32(x), Scalar::I64) => Some(ConstVal::I64(x as u32 as i64)),
+        (CastKind::ZExt, ConstVal::Bool(x), Scalar::I32) => Some(ConstVal::I32(x as i32)),
+        (CastKind::Trunc, ConstVal::I64(x), Scalar::I32) => Some(ConstVal::I32(x as i32)),
+        (CastKind::SiToFp, ConstVal::I32(x), Scalar::F32) => Some(ConstVal::f32(x as f32)),
+        (CastKind::SiToFp, ConstVal::I64(x), Scalar::F32) => Some(ConstVal::f32(x as f32)),
+        (CastKind::FpToSi, ConstVal::F32Bits(_), Scalar::I32) => {
+            Some(ConstVal::I32(v.as_f32()? as i32))
+        }
+        (CastKind::Bitcast, ConstVal::I32(x), Scalar::F32) => {
+            Some(ConstVal::F32Bits(x as u32))
+        }
+        (CastKind::Bitcast, ConstVal::F32Bits(b), Scalar::I32) => Some(ConstVal::I32(b as i32)),
+        _ => None,
+    }
+}
+
+/// Algebraic identities returning an existing value: `x+0`, `x*1`, `x*0` is
+/// handled by fold when both sides constant; here one side is constant.
+fn simplify(f: &Function, inst: &Inst) -> Option<ValueId> {
+    // trunc(sext/zext(x)) == x when the truncation returns to x's type —
+    // the round-trip the Grover substitution introduces around solutions.
+    if let Inst::Cast { kind: CastKind::Trunc, value, to } = inst {
+        if let Some(Inst::Cast { kind: CastKind::SExt | CastKind::ZExt, value: orig, .. }) =
+            f.inst(*value)
+        {
+            if f.ty(*orig) == *to {
+                return Some(*orig);
+            }
+        }
+    }
+    if let Inst::Bin { op, lhs, rhs } = inst {
+        let lc = f.as_const_int(*lhs);
+        let rc = f.as_const_int(*rhs);
+        match op {
+            BinOp::Add => {
+                if rc == Some(0) {
+                    return Some(*lhs);
+                }
+                if lc == Some(0) {
+                    return Some(*rhs);
+                }
+            }
+            BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                if rc == Some(0) {
+                    return Some(*lhs);
+                }
+            }
+            BinOp::Mul => {
+                if rc == Some(1) {
+                    return Some(*lhs);
+                }
+                if lc == Some(1) {
+                    return Some(*rhs);
+                }
+            }
+            BinOp::SDiv | BinOp::UDiv => {
+                if rc == Some(1) {
+                    return Some(*lhs);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::Type;
+    use crate::value::CmpPred;
+
+    #[test]
+    fn folds_int_arith() {
+        let mut f = Function::new("k", vec![]);
+        let mut b = Builder::at_entry(&mut f);
+        let x = b.i32(6);
+        let y = b.i32(7);
+        let m = b.mul(x, y);
+        let p = f.param_by_name("none"); // no params; just exercise API
+        assert!(p.is_none());
+        let mut bb = Builder::at_entry(&mut f);
+        bb.ret();
+        let mut cf = ConstFold::default();
+        assert!(cf.run(&mut f));
+        // `m` should now be gone and unused.
+        assert!(f.position_of(m).is_none());
+    }
+
+    #[test]
+    fn folds_comparison_chain() {
+        let mut f = Function::new("k", vec![]);
+        let mut b = Builder::at_entry(&mut f);
+        let x = b.i32(3);
+        let y = b.i32(4);
+        let c = b.cmp(CmpPred::Slt, x, y);
+        let t = b.f32(1.0);
+        let e = b.f32(2.0);
+        let s = b.select(c, t, e);
+        b.ret();
+        let mut cf = ConstFold::default();
+        assert!(cf.run(&mut f));
+        assert!(f.position_of(s).is_none());
+        assert!(f.position_of(c).is_none());
+    }
+
+    #[test]
+    fn add_zero_simplifies() {
+        use crate::types::{AddressSpace, Scalar};
+        use crate::value::Param;
+        let mut f = Function::new(
+            "k",
+            vec![Param { name: "n".into(), ty: Type::I32 },
+                 Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+        );
+        let n = f.param_value(0);
+        let p = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let z = b.i32(0);
+        let a = b.add(n, z); // n + 0 -> n
+        let g = b.gep(p, a);
+        let v = b.load(g);
+        b.store(g, v);
+        b.ret();
+        let mut cf = ConstFold::default();
+        assert!(cf.run(&mut f));
+        assert!(f.position_of(a).is_none());
+        // gep now uses n directly
+        let gi = f.inst(g).unwrap().operands();
+        assert_eq!(gi[1], n);
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        assert_eq!(fold_bin(BinOp::SDiv, ConstVal::I32(1), ConstVal::I32(0)), None);
+        assert_eq!(fold_bin(BinOp::URem, ConstVal::I32(1), ConstVal::I32(0)), None);
+    }
+
+    #[test]
+    fn casts_fold() {
+        assert_eq!(
+            fold_cast(CastKind::Trunc, ConstVal::I64(0x1_0000_0005), Type::I32),
+            Some(ConstVal::I32(5))
+        );
+        assert_eq!(
+            fold_cast(CastKind::SiToFp, ConstVal::I32(3), Type::F32),
+            Some(ConstVal::f32(3.0))
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Dead-code elimination.
+//!
+//! Removes unused side-effect-free instructions, iterating until stable.
+//! After Grover rewires every `LL` use to the new global load, the whole
+//! `GL -> LS` staging chain (and its index arithmetic) dies here.
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::passes::FunctionPass;
+use crate::value::ValueId;
+
+/// Dead-code-elimination pass.
+#[derive(Default)]
+pub struct DeadCodeElim {
+    /// Number of instructions removed by the last run.
+    pub removed: usize,
+}
+
+impl FunctionPass for DeadCodeElim {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        self.removed = 0;
+        loop {
+            // Count uses of every value.
+            let mut use_count: HashMap<ValueId, usize> = HashMap::new();
+            for (_, iv) in f.iter_insts() {
+                f.inst(iv)
+                    .expect("inst")
+                    .visit_operands(|v| *use_count.entry(v).or_insert(0) += 1);
+            }
+            let dead: Vec<ValueId> = f
+                .iter_insts()
+                .map(|(_, iv)| iv)
+                .filter(|&iv| {
+                    let inst = f.inst(iv).expect("inst");
+                    !inst.has_side_effects()
+                        && !matches!(inst, crate::value::Inst::Load { .. } if false)
+                        && use_count.get(&iv).copied().unwrap_or(0) == 0
+                })
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for iv in dead {
+                if f.remove_inst(iv) {
+                    self.removed += 1;
+                }
+            }
+        }
+        self.removed > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{AddressSpace, Scalar, Type};
+    use crate::value::Param;
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut f = Function::new("k", vec![]);
+        let mut b = Builder::at_entry(&mut f);
+        let x = b.i32(1);
+        let y = b.i32(2);
+        let s = b.add(x, y);
+        let _dead = b.mul(s, s); // unused; `s` then becomes unused too
+        b.ret();
+        let mut dce = DeadCodeElim::default();
+        assert!(dce.run(&mut f));
+        assert_eq!(dce.removed, 2);
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn keeps_stores_and_their_inputs() {
+        let mut f = Function::new(
+            "k",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+            }],
+        );
+        let p = f.param_value(0);
+        let mut b = Builder::at_entry(&mut f);
+        let i = b.i32(4);
+        let g = b.gep(p, i);
+        let v = b.f32(1.0);
+        b.store(g, v);
+        b.ret();
+        let before = f.num_insts();
+        let mut dce = DeadCodeElim::default();
+        assert!(!dce.run(&mut f));
+        assert_eq!(f.num_insts(), before);
+    }
+
+    #[test]
+    fn dead_load_is_removed() {
+        // Loads are side-effect-free in our model; an unused load dies.
+        let mut f = Function::new(
+            "k",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+            }],
+        );
+        let p = f.param_value(0);
+        let mut b = Builder::at_entry(&mut f);
+        let i = b.i32(4);
+        let g = b.gep(p, i);
+        let _v = b.load(g);
+        b.ret();
+        let mut dce = DeadCodeElim::default();
+        assert!(dce.run(&mut f));
+        assert_eq!(f.num_insts(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Global value numbering / common-subexpression elimination.
+//!
+//! Pure instructions with identical operands are deduplicated when an
+//! existing computation dominates the redundant one. Loads are excluded
+//! (no alias analysis); calls are included because every builtin in this
+//! IR is pure.
+
+use std::collections::HashMap;
+
+use crate::cfg::{reverse_post_order, DomTree};
+use crate::function::Function;
+use crate::passes::FunctionPass;
+use crate::types::Type;
+use crate::value::{BinOp, BlockId, Builtin, CastKind, CmpPred, Inst, ValueId};
+
+/// Global-value-numbering (CSE) pass.
+#[derive(Default)]
+pub struct Gvn {
+    /// Number of instructions replaced by the last run.
+    pub replaced: usize,
+}
+
+/// Hashable canonical form of a pure instruction.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, ValueId, ValueId),
+    Cmp(CmpPred, ValueId, ValueId),
+    Select(ValueId, ValueId, ValueId),
+    Cast(CastKind, ValueId, Type),
+    Call(Builtin, Vec<ValueId>),
+    Gep(ValueId, ValueId),
+    Extract(ValueId, ValueId),
+    Insert(ValueId, ValueId, ValueId),
+    Build(Vec<ValueId>),
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    Some(match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            let (mut l, mut r) = (*lhs, *rhs);
+            if op.is_commutative() && r < l {
+                std::mem::swap(&mut l, &mut r);
+            }
+            Key::Bin(*op, l, r)
+        }
+        Inst::Cmp { pred, lhs, rhs } => Key::Cmp(*pred, *lhs, *rhs),
+        Inst::Select { cond, then_val, else_val } => Key::Select(*cond, *then_val, *else_val),
+        Inst::Cast { kind, value, to } => Key::Cast(*kind, *value, *to),
+        Inst::Call { builtin, args } => Key::Call(*builtin, args.clone()),
+        Inst::Gep { base, index } => Key::Gep(*base, *index),
+        Inst::ExtractLane { vector, lane } => Key::Extract(*vector, *lane),
+        Inst::InsertLane { vector, lane, value } => Key::Insert(*vector, *lane, *value),
+        Inst::BuildVector { lanes } => Key::Build(lanes.clone()),
+        _ => return None,
+    })
+}
+
+impl FunctionPass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        self.replaced = 0;
+        loop {
+            let dt = DomTree::compute(f);
+            let rpo = reverse_post_order(f);
+            // position map for same-block ordering
+            let mut pos: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
+            for &b in &rpo {
+                for (i, &iv) in f.block(b).insts.iter().enumerate() {
+                    pos.insert(iv, (b, i));
+                }
+            }
+            let dominates = |a: ValueId, b: ValueId| -> bool {
+                let (ab, ai) = pos[&a];
+                let (bb, bi) = pos[&b];
+                if ab == bb {
+                    ai < bi
+                } else {
+                    dt.dominates(ab, bb)
+                }
+            };
+            let mut table: HashMap<Key, Vec<ValueId>> = HashMap::new();
+            let mut replace: Vec<(ValueId, ValueId)> = Vec::new();
+            for &b in &rpo {
+                for &iv in &f.block(b).insts {
+                    let Some(inst) = f.inst(iv) else { continue };
+                    let Some(key) = key_of(inst) else { continue };
+                    let entry = table.entry(key).or_default();
+                    if let Some(&existing) = entry.iter().find(|&&e| dominates(e, iv)) {
+                        replace.push((iv, existing));
+                    } else {
+                        entry.push(iv);
+                    }
+                }
+            }
+            if replace.is_empty() {
+                break;
+            }
+            for (old, new) in replace {
+                f.replace_all_uses(old, new);
+                f.remove_inst(old);
+                self.replaced += 1;
+            }
+        }
+        self.replaced > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{AddressSpace, Scalar};
+    use crate::value::Param;
+
+    #[test]
+    fn dedups_identical_adds() {
+        let mut f = Function::new(
+            "k",
+            vec![Param { name: "n".into(), ty: Type::I32 },
+                 Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+        );
+        let n = f.param_value(0);
+        let p = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let one = b.i32(1);
+        let a1 = b.add(n, one);
+        let a2 = b.add(n, one); // redundant
+        let g1 = b.gep(p, a1);
+        let g2 = b.gep(p, a2);
+        let v = b.load(g1);
+        b.store(g2, v);
+        b.ret();
+        let mut gvn = Gvn::default();
+        assert!(gvn.run(&mut f));
+        // a2 and then g2 fold into a1/g1.
+        assert_eq!(gvn.replaced, 2);
+        assert!(f.position_of(a2).is_none());
+        assert!(f.position_of(g2).is_none());
+    }
+
+    #[test]
+    fn commutative_operands_canonicalise() {
+        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
+            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }]);
+        let n = f.param_value(0);
+        let p = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let two = b.i32(2);
+        let a1 = b.add(n, two);
+        let a2 = b.add(two, n); // same value, swapped operands
+        let g1 = b.gep(p, a1);
+        let g2 = b.gep(p, a2);
+        let v = b.load(g1);
+        b.store(g2, v);
+        b.ret();
+        let mut gvn = Gvn::default();
+        assert!(gvn.run(&mut f));
+        assert!(f.position_of(a2).is_none());
+    }
+
+    #[test]
+    fn sub_is_not_commutative() {
+        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
+            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let n = f.param_value(0);
+        let p = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let two = b.i32(2);
+        let s1 = b.sub(n, two);
+        let s2 = b.sub(two, n);
+        let g1 = b.gep(p, s1);
+        let g2 = b.gep(p, s2);
+        b.store(g1, s1);
+        b.store(g2, s2);
+        b.ret();
+        let mut gvn = Gvn::default();
+        assert!(!gvn.run(&mut f));
+    }
+
+    #[test]
+    fn cross_block_requires_dominance() {
+        // Computation in the then-branch must not replace one in the
+        // else-branch (no dominance either way).
+        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
+            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let n = f.param_value(0);
+        let p = f.param_value(1);
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let mut b = Builder::at_entry(&mut f);
+        let c = b.bool(true);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.i32(1);
+        let a1 = b.add(n, one);
+        let g1 = b.gep(p, a1);
+        b.store(g1, a1);
+        b.ret();
+        b.switch_to(e);
+        let a2 = b.add(n, one);
+        let g2 = b.gep(p, a2);
+        b.store(g2, a2);
+        b.ret();
+        let mut gvn = Gvn::default();
+        assert!(!gvn.run(&mut f));
+        assert!(f.position_of(a1).is_some());
+        assert!(f.position_of(a2).is_some());
+    }
+
+    #[test]
+    fn dedups_workitem_calls() {
+        let mut f = Function::new("k", vec![Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let p = f.param_value(0);
+        let mut b = Builder::at_entry(&mut f);
+        let l1 = b.local_id_i32(0);
+        let l2 = b.local_id_i32(0); // call + trunc, both redundant
+        let g1 = b.gep(p, l1);
+        let g2 = b.gep(p, l2);
+        b.store(g1, l1);
+        b.store(g2, l2);
+        b.ret();
+        let mut gvn = Gvn::default();
+        assert!(gvn.run(&mut f));
+        assert_eq!(gvn.replaced, 3); // call, trunc, gep
+    }
+
+    #[test]
+    fn loads_never_merged() {
+        let mut f = Function::new("k", vec![Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }]);
+        let p = f.param_value(0);
+        let mut b = Builder::at_entry(&mut f);
+        let i = b.i32(0);
+        let g = b.gep(p, i);
+        let v1 = b.load(g);
+        b.store(g, v1);
+        let v2 = b.load(g); // may observe the store; must stay
+        let one = b.i32(1);
+        let g1 = b.gep(p, one);
+        b.store(g1, v2);
+        b.ret();
+        let mut gvn = Gvn::default();
+        gvn.run(&mut f);
+        assert!(f.position_of(v2).is_some());
+    }
+}

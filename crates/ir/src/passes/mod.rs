@@ -1,0 +1,137 @@
+//! Generic function-pass framework and the standard cleanup passes the
+//! Grover transformation relies on (paper §IV-F removes the now-dead GL/LS
+//! chain with ordinary dead-code elimination).
+
+mod const_fold;
+mod dce;
+mod gvn;
+mod licm;
+mod simplify_cfg;
+
+pub use const_fold::ConstFold;
+pub use dce::DeadCodeElim;
+pub use gvn::Gvn;
+pub use licm::Licm;
+pub use simplify_cfg::SimplifyCfg;
+
+use crate::function::Function;
+
+/// A transformation over a single function.
+pub trait FunctionPass {
+    /// Human-readable pass name.
+    fn name(&self) -> &'static str;
+
+    /// Run the pass; return `true` if the function changed.
+    fn run(&mut self, f: &mut Function) -> bool;
+}
+
+/// Runs a pipeline of passes, optionally iterating to a fixed point.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn FunctionPass>>,
+    /// Verify the IR after every pass (on by default in debug builds).
+    pub verify_each: bool,
+}
+
+impl PassManager {
+    /// An empty pipeline (verification-on-change in debug builds).
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new(), verify_each: cfg!(debug_assertions) }
+    }
+
+    /// The standard cleanup pipeline: constant folding, DCE, CFG simplify.
+    pub fn cleanup_pipeline() -> PassManager {
+        let mut pm = PassManager::new();
+        pm.add(ConstFold::default());
+        pm.add(DeadCodeElim::default());
+        pm.add(SimplifyCfg::default());
+        pm
+    }
+
+    /// The standard optimisation pipeline (an `-O2` stand-in): cleanup plus
+    /// global value numbering and loop-invariant code motion. Kernel pairs
+    /// are run through this before being compared, mirroring the vendor
+    /// compilers in the paper's pipeline.
+    pub fn optimize_pipeline() -> PassManager {
+        let mut pm = PassManager::new();
+        pm.add(ConstFold::default());
+        pm.add(Gvn::default());
+        pm.add(Licm::default());
+        pm.add(DeadCodeElim::default());
+        pm.add(SimplifyCfg::default());
+        pm
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn add(&mut self, p: impl FunctionPass + 'static) -> &mut Self {
+        self.passes.push(Box::new(p));
+        self
+    }
+
+    /// Run every pass once, in order. Returns whether anything changed.
+    pub fn run(&mut self, f: &mut Function) -> bool {
+        let mut changed = false;
+        for p in &mut self.passes {
+            let c = p.run(f);
+            changed |= c;
+            if self.verify_each && c {
+                if let Err(errs) = crate::verifier::verify(f) {
+                    panic!("pass {} broke the IR: {:?}", p.name(), errs);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Iterate the pipeline until no pass changes anything (bounded).
+    pub fn run_to_fixpoint(&mut self, f: &mut Function, max_iters: usize) -> bool {
+        let mut any = false;
+        for _ in 0..max_iters {
+            if !self.run(f) {
+                return any;
+            }
+            any = true;
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::function::Function;
+
+    struct Nop;
+    impl FunctionPass for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&mut self, _f: &mut Function) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_reports_no_change() {
+        let mut f = Function::new("k", vec![]);
+        Builder::at_entry(&mut f).ret();
+        let mut pm = PassManager::new();
+        pm.add(Nop);
+        assert!(!pm.run(&mut f));
+        assert!(!pm.run_to_fixpoint(&mut f, 10));
+    }
+
+    #[test]
+    fn cleanup_pipeline_runs() {
+        let mut f = Function::new("k", vec![]);
+        let mut b = Builder::at_entry(&mut f);
+        let x = b.i32(2);
+        let y = b.i32(3);
+        let _dead = b.add(x, y);
+        b.ret();
+        let mut pm = PassManager::cleanup_pipeline();
+        assert!(pm.run_to_fixpoint(&mut f, 8));
+        assert_eq!(f.num_insts(), 1); // only ret remains
+    }
+}

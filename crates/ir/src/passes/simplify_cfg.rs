@@ -1,0 +1,154 @@
+//! CFG simplification: fold constant conditional branches and drop
+//! unreachable blocks' instructions.
+
+use crate::cfg::reachable;
+use crate::function::Function;
+use crate::passes::FunctionPass;
+use crate::value::{ConstVal, Inst, ValueId};
+
+/// CFG-simplification pass.
+#[derive(Default)]
+pub struct SimplifyCfg {
+    /// Number of CFG edits made by the last run.
+    pub changes: usize,
+}
+
+impl FunctionPass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        self.changes = 0;
+
+        // Fold `condbr const, a, b` into `br`.
+        let insts: Vec<ValueId> = f.iter_insts().map(|(_, iv)| iv).collect();
+        for iv in insts {
+            let Some(Inst::CondBr { cond, then_blk, else_blk }) = f.inst(iv).cloned() else {
+                continue;
+            };
+            if let Some(ConstVal::Bool(c)) = f.as_const(cond) {
+                let target = if c { then_blk } else { else_blk };
+                let dropped = if c { else_blk } else { then_blk };
+                *f.inst_mut(iv).expect("inst") = Inst::Br { target };
+                // Remove the dropped edge from phis in the no-longer-successor
+                // (only if the edge is really gone, i.e. the two targets differ).
+                if target != dropped {
+                    remove_phi_edges(f, dropped, iv);
+                }
+                self.changes += 1;
+            }
+        }
+
+        // Empty out unreachable blocks (and fix phis that referenced them).
+        let reach = reachable(f);
+        for b in f.blocks().collect::<Vec<_>>() {
+            if reach[b.index()] || f.block(b).insts.is_empty() {
+                continue;
+            }
+            f.block_mut(b).insts.clear();
+            self.changes += 1;
+        }
+        // Drop phi edges coming from unreachable blocks.
+        let reach = reachable(f);
+        let phis: Vec<ValueId> = f
+            .iter_insts()
+            .filter(|&(_, iv)| matches!(f.inst(iv), Some(Inst::Phi { .. })))
+            .map(|(_, iv)| iv)
+            .collect();
+        for iv in phis {
+            if let Some(Inst::Phi { incoming }) = f.inst_mut(iv) {
+                let before = incoming.len();
+                incoming.retain(|(p, _)| reach[p.index()]);
+                if incoming.len() != before {
+                    self.changes += 1;
+                }
+                // Single-entry phi becomes a copy.
+                if incoming.len() == 1 {
+                    let only = incoming[0].1;
+                    f.replace_all_uses(iv, only);
+                    f.remove_inst(iv);
+                    self.changes += 1;
+                }
+            }
+        }
+
+        self.changes > 0
+    }
+}
+
+/// After an edge `from_term`'s block -> `blk` disappears, drop the matching
+/// phi entries in `blk`.
+fn remove_phi_edges(f: &mut Function, blk: crate::value::BlockId, from_term: ValueId) {
+    let Some((from_blk, _)) = f.position_of(from_term) else { return };
+    let phis: Vec<ValueId> = f.block(blk).insts.clone();
+    for iv in phis {
+        if let Some(Inst::Phi { incoming }) = f.inst_mut(iv) {
+            incoming.retain(|(p, _)| *p != from_blk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::Type;
+
+    #[test]
+    fn constant_branch_folds() {
+        let mut f = Function::new("k", vec![]);
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let mut b = Builder::at_entry(&mut f);
+        let c = b.bool(true);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        let mut p = SimplifyCfg::default();
+        assert!(p.run(&mut f));
+        assert_eq!(f.successors(f.entry), vec![t]);
+        // Block e is now unreachable and was emptied.
+        assert!(f.block(e).insts.is_empty());
+    }
+
+    #[test]
+    fn single_entry_phi_collapses() {
+        let mut f = Function::new("k", vec![]);
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let j = f.add_block("j");
+        let one = f.const_i32(1);
+        let two = f.const_i32(2);
+        let mut b = Builder::at_entry(&mut f);
+        let c = b.bool(false);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I32, vec![(t, one), (e, two)]);
+        let s = b.add(phi, phi);
+        let g = f.entry; // silence unused warnings path
+        let _ = g;
+        let mut bb = Builder::new(&mut f, j);
+        bb.ret();
+        let mut p = SimplifyCfg::default();
+        assert!(p.run(&mut f));
+        // cond is false -> only edge from e survives; phi collapsed to `two`.
+        assert!(f.position_of(phi).is_none());
+        let ops = f.inst(s).unwrap().operands();
+        assert_eq!(ops, vec![two, two]);
+    }
+
+    #[test]
+    fn no_change_on_clean_cfg() {
+        let mut f = Function::new("k", vec![]);
+        Builder::at_entry(&mut f).ret();
+        let mut p = SimplifyCfg::default();
+        assert!(!p.run(&mut f));
+    }
+}

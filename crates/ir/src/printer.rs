@@ -1,0 +1,177 @@
+//! Textual form of the IR, LLVM-flavoured. Used by the CLI, test
+//! expectations and the paper's Fig. 1-style before/after listings.
+
+use std::fmt::Write;
+
+use crate::function::Function;
+use crate::value::{ConstVal, Inst, ValueDef, ValueId};
+
+/// Render a value reference, preferring its debug name.
+pub fn value_ref(f: &Function, v: ValueId) -> String {
+    let vd = f.value(v);
+    match &vd.def {
+        ValueDef::Const(c) => match c {
+            ConstVal::Bool(b) => b.to_string(),
+            ConstVal::I32(i) => i.to_string(),
+            ConstVal::I64(i) => format!("{i}L"),
+            ConstVal::F32Bits(b) => {
+                let x = f32::from_bits(*b);
+                if x == x.trunc() && x.abs() < 1e9 {
+                    format!("{x:.1}")
+                } else {
+                    format!("{x}")
+                }
+            }
+        },
+        ValueDef::Param(_) => format!("%{}", vd.name.as_deref().unwrap_or("param")),
+        ValueDef::LocalBuf(_) => format!("@{}", vd.name.as_deref().unwrap_or("local")),
+        ValueDef::Inst(_) => match &vd.name {
+            Some(n) => format!("%{n}"),
+            None => format!("%v{}", v.0),
+        },
+    }
+}
+
+/// Render one instruction.
+pub fn inst_to_string(f: &Function, v: ValueId) -> String {
+    let inst = f.inst(v).expect("not an instruction");
+    let r = |x: ValueId| value_ref(f, x);
+    let result = value_ref(f, v);
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            format!("{result} = {} {} {}, {}", op.mnemonic(), f.ty(v), r(*lhs), r(*rhs))
+        }
+        Inst::Cmp { pred, lhs, rhs } => {
+            format!("{result} = cmp {} {} {}, {}", pred.mnemonic(), f.ty(*lhs), r(*lhs), r(*rhs))
+        }
+        Inst::Select { cond, then_val, else_val } => {
+            format!("{result} = select {}, {}, {}", r(*cond), r(*then_val), r(*else_val))
+        }
+        Inst::Cast { kind, value, to } => {
+            format!("{result} = {} {} to {to}", kind.mnemonic(), r(*value))
+        }
+        Inst::Call { builtin, args } => {
+            let a: Vec<_> = args.iter().map(|&x| r(x)).collect();
+            format!("{result} = call {}({})", builtin.name(), a.join(", "))
+        }
+        Inst::Gep { base, index } => {
+            format!("{result} = gep {} {}, {}", f.ty(*base), r(*base), r(*index))
+        }
+        Inst::Load { ptr } => format!("{result} = load {} {}", f.ty(v), r(*ptr)),
+        Inst::Store { ptr, value } => format!("store {} {}, {}", f.ty(*value), r(*value), r(*ptr)),
+        Inst::Barrier { scope } => format!("barrier {scope:?}"),
+        Inst::Phi { incoming } => {
+            let parts: Vec<_> = incoming
+                .iter()
+                .map(|(b, val)| format!("[{}: {}]", f.block(*b).name, r(*val)))
+                .collect();
+            format!("{result} = phi {} {}", f.ty(v), parts.join(", "))
+        }
+        Inst::ExtractLane { vector, lane } => {
+            format!("{result} = extractlane {}, {}", r(*vector), r(*lane))
+        }
+        Inst::InsertLane { vector, lane, value } => {
+            format!("{result} = insertlane {}, {}, {}", r(*vector), r(*lane), r(*value))
+        }
+        Inst::BuildVector { lanes } => {
+            let a: Vec<_> = lanes.iter().map(|&x| r(x)).collect();
+            format!("{result} = buildvector <{}>", a.join(", "))
+        }
+        Inst::Br { target } => format!("br {}", f.block(*target).name),
+        Inst::CondBr { cond, then_blk, else_blk } => format!(
+            "condbr {}, {}, {}",
+            r(*cond),
+            f.block(*then_blk).name,
+            f.block(*else_blk).name
+        ),
+        Inst::Ret => "ret".to_string(),
+    }
+}
+
+/// Render the whole function.
+pub fn function_to_string(f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<_> = f
+        .params()
+        .iter()
+        .map(|p| format!("{} %{}", p.ty, p.name))
+        .collect();
+    let _ = writeln!(s, "kernel @{}({}) {{", f.name, params.join(", "));
+    for (i, lb) in f.local_bufs().iter().enumerate() {
+        if lb.len() == 0 {
+            continue;
+        }
+        let dims: Vec<_> = lb.dims.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            s,
+            "  local @{} : {}{}[{}]   ; {} bytes",
+            lb.name,
+            lb.elem,
+            if lb.lanes > 1 { format!("x{}", lb.lanes) } else { String::new() },
+            dims.join("]["),
+            lb.size_bytes()
+        );
+        let _ = i;
+    }
+    for b in f.blocks() {
+        let _ = writeln!(s, "{}:", f.block(b).name);
+        for &iv in &f.block(b).insts {
+            let _ = writeln!(s, "  {}", inst_to_string(f, iv));
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{AddressSpace, Scalar, Type};
+    use crate::value::Param;
+
+    #[test]
+    fn prints_a_small_kernel() {
+        let mut f = Function::new(
+            "copy",
+            vec![
+                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+                Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+            ],
+        );
+        let inp = f.param_value(0);
+        let outp = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let gid = b.global_id_i32(0);
+        let src = b.gep(inp, gid);
+        let v = b.load(src);
+        let dst = b.gep(outp, gid);
+        b.store(dst, v);
+        b.ret();
+        let text = function_to_string(&f);
+        assert!(text.contains("kernel @copy"), "{text}");
+        assert!(text.contains("call get_global_id(0)"), "{text}");
+        assert!(text.contains("store f32"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn prints_local_buffers() {
+        let mut f = Function::new("k", vec![]);
+        f.add_local_buf(Function::local_buf_spec("lm", Scalar::F32, &[16, 16]));
+        let mut b = Builder::at_entry(&mut f);
+        b.ret();
+        let text = function_to_string(&f);
+        assert!(text.contains("local @lm : f32[16][16]"), "{text}");
+        assert!(text.contains("1024 bytes"), "{text}");
+    }
+
+    #[test]
+    fn float_consts_render_compactly() {
+        let mut f = Function::new("k", vec![]);
+        let c = f.const_f32(2.0);
+        assert_eq!(value_ref(&f, c), "2.0");
+        let c2 = f.const_f32(0.25);
+        assert_eq!(value_ref(&f, c2), "0.25");
+    }
+}

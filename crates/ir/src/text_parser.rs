@@ -1,0 +1,800 @@
+//! Parser for the textual IR form produced by [`crate::printer`] — the
+//! "export" leg of the paper's pipeline (Fig. 9 ships SPIR between the
+//! compiler and the vendor runtime; we ship this text form between tools).
+//!
+//! `parse_function(&function_to_string(&f))` reconstructs a function that
+//! prints identically (round-trip property, tested here and with proptest
+//! at the workspace level).
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::types::{AddressSpace, Scalar, Type};
+use crate::value::{
+    BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, Inst, LocalBuf, Param, ValueId,
+};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line of the failure (0 = unknown).
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr<T>(msg: impl Into<String>, line: usize) -> Result<T, ParseError> {
+    Err(ParseError { message: msg.into(), line })
+}
+
+/// Parse one function from the printer's textual form.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+
+    // Header: kernel @name(params...) {
+    let (lno, header) = loop {
+        match lines.next() {
+            Some((n, l)) if !l.trim().is_empty() => break (n + 1, l.trim()),
+            Some(_) => continue,
+            None => return perr("empty input", 0),
+        }
+    };
+    let header = header
+        .strip_prefix("kernel @")
+        .ok_or(ParseError { message: "expected `kernel @name(...)`".into(), line: lno })?;
+    let open = header.find('(').ok_or(ParseError { message: "missing `(`".into(), line: lno })?;
+    let close =
+        header.rfind(')').ok_or(ParseError { message: "missing `)`".into(), line: lno })?;
+    let name = header[..open].to_string();
+    let params_src = &header[open + 1..close];
+    let mut params = Vec::new();
+    if !params_src.trim().is_empty() {
+        for p in params_src.split(',') {
+            let p = p.trim();
+            let pct = p
+                .rfind('%')
+                .ok_or(ParseError { message: format!("bad param `{p}`"), line: lno })?;
+            let ty = parse_type(p[..pct].trim(), lno)?;
+            let pname = p[pct + 1..].to_string();
+            params.push(Param { name: pname, ty });
+        }
+    }
+    let mut f = Function::new(name, params);
+
+    // Symbol tables.
+    let mut values: HashMap<String, ValueId> = HashMap::new();
+    for (i, p) in f.params().iter().enumerate() {
+        values.insert(format!("%{}", p.name), f.param_value(i));
+    }
+    // Pre-create blocks in *label-definition order* so block ids (and hence
+    // re-printed order) match the input text — making print∘parse a
+    // fixpoint even with forward branch references.
+    let mut blocks: HashMap<String, BlockId> = HashMap::new();
+    for l in text.lines() {
+        let l = l.trim();
+        if let Some(lbl) = l.strip_suffix(':') {
+            if !lbl.is_empty() && !lbl.contains(' ') && !lbl.contains('=') {
+                if blocks.is_empty() {
+                    // The first label is the entry block (already created).
+                    blocks.insert(lbl.to_string(), f.entry);
+                    if f.block(f.entry).name != lbl {
+                        // keep printer-visible name in sync
+                        let id = f.entry;
+                        f.block_mut(id).name = lbl.to_string();
+                    }
+                } else if !blocks.contains_key(lbl) {
+                    let id = f.add_block(lbl);
+                    blocks.insert(lbl.to_string(), id);
+                }
+            }
+        }
+    }
+    if blocks.is_empty() {
+        blocks.insert("entry".to_string(), f.entry);
+    }
+    // Pending phi incoming lists to resolve after all values exist.
+    let mut pending_phis: Vec<(ValueId, Vec<(String, String)>, usize)> = Vec::new();
+    // Pending operand references (forward refs are only legal via phis).
+    let mut cur_block = f.entry;
+
+    for (n, raw) in lines {
+        let lno = n + 1;
+        let line = raw.trim();
+        if line.is_empty() || line == "}" {
+            continue;
+        }
+        // Local buffer decl: local @lm : f32[16][16]   ; 1024 bytes
+        if let Some(rest) = line.strip_prefix("local @") {
+            let (lname, spec) = rest
+                .split_once(':')
+                .ok_or(ParseError { message: "bad local decl".into(), line: lno })?;
+            let spec = spec.split(';').next().unwrap_or(spec).trim();
+            // f32[16][16]  or f32x4[8]
+            let bracket = spec
+                .find('[')
+                .ok_or(ParseError { message: "bad local dims".into(), line: lno })?;
+            let (kind_s, dims_s) = spec.split_at(bracket);
+            let (elem, lanes) = match kind_s.trim().split_once('x') {
+                Some((k, l)) => (
+                    parse_scalar(k.trim(), lno)?,
+                    l.trim().parse::<u8>().map_err(|_| ParseError {
+                        message: "bad lane count".into(),
+                        line: lno,
+                    })?,
+                ),
+                None => (parse_scalar(kind_s.trim(), lno)?, 1),
+            };
+            let mut dims = Vec::new();
+            for d in dims_s.trim_matches(['[', ']']).split("][") {
+                dims.push(d.parse::<u64>().map_err(|_| ParseError {
+                    message: format!("bad dimension `{d}`"),
+                    line: lno,
+                })?);
+            }
+            let v = f.add_local_buf(LocalBuf { name: lname.trim().to_string(), elem, lanes, dims });
+            values.insert(format!("@{}", lname.trim()), v);
+            continue;
+        }
+        // Block label:  name:
+        if let Some(lbl) = line.strip_suffix(':') {
+            if !lbl.contains(' ') && !lbl.contains('=') {
+                cur_block = *blocks.get(lbl).expect("pre-scanned label");
+                continue;
+            }
+        }
+        // Instruction.
+        parse_inst(
+            &mut f,
+            line,
+            lno,
+            cur_block,
+            &mut values,
+            &mut blocks,
+            &mut pending_phis,
+        )?;
+    }
+
+    // Resolve phis.
+    for (phi, incoming, lno) in pending_phis {
+        let mut resolved = Vec::new();
+        for (blk, val) in incoming {
+            let b = *blocks
+                .get(&blk)
+                .ok_or(ParseError { message: format!("unknown block `{blk}`"), line: lno })?;
+            let v = resolve(&mut f, &values, &val, lno)?;
+            resolved.push((b, v));
+        }
+        if let Some(Inst::Phi { incoming: slot }) = f.inst_mut(phi) {
+            *slot = resolved;
+        }
+    }
+    Ok(f)
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<Scalar, ParseError> {
+    match s {
+        "bool" => Ok(Scalar::Bool),
+        "i32" => Ok(Scalar::I32),
+        "i64" => Ok(Scalar::I64),
+        "f32" => Ok(Scalar::F32),
+        other => perr(format!("unknown scalar `{other}`"), line),
+    }
+}
+
+fn parse_space(s: &str, line: usize) -> Result<AddressSpace, ParseError> {
+    match s {
+        "__global" => Ok(AddressSpace::Global),
+        "__local" => Ok(AddressSpace::Local),
+        "__constant" => Ok(AddressSpace::Constant),
+        "__private" => Ok(AddressSpace::Private),
+        other => perr(format!("unknown address space `{other}`"), line),
+    }
+}
+
+/// Parse a type as the printer writes it:
+/// `f32`, `<4 x f32>`, `f32 __global*`, `<4 x f32> __local*`, `void`.
+fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
+    let s = s.trim();
+    if s == "void" {
+        return Ok(Type::Void);
+    }
+    if let Some(body) = s.strip_suffix('*') {
+        // "<4 x f32> __local" or "f32 __global"
+        let body = body.trim();
+        let space_at = body
+            .rfind("__")
+            .ok_or(ParseError { message: format!("bad pointer `{s}`"), line })?;
+        let space = parse_space(body[space_at..].trim(), line)?;
+        let elem_ty = parse_type(body[..space_at].trim(), line)?;
+        let (elem, lanes) = match elem_ty {
+            Type::Scalar(k) => (k, 1),
+            Type::Vector(k, n) => (k, n),
+            _ => return perr(format!("bad pointee in `{s}`"), line),
+        };
+        return Ok(Type::Ptr { elem, lanes, space });
+    }
+    if let Some(inner) = s.strip_prefix('<').and_then(|x| x.strip_suffix('>')) {
+        let (n, k) = inner
+            .split_once(" x ")
+            .ok_or(ParseError { message: format!("bad vector `{s}`"), line })?;
+        let lanes = n.trim().parse::<u8>().map_err(|_| ParseError {
+            message: format!("bad lane count in `{s}`"),
+            line,
+        })?;
+        return Ok(Type::Vector(parse_scalar(k.trim(), line)?, lanes));
+    }
+    Ok(Type::Scalar(parse_scalar(s, line)?))
+}
+
+/// Resolve an operand token: `%name`, `@local`, or a constant literal.
+fn resolve(
+    f: &mut Function,
+    values: &HashMap<String, ValueId>,
+    tok: &str,
+    line: usize,
+) -> Result<ValueId, ParseError> {
+    let tok = tok.trim();
+    if tok.starts_with('%') || tok.starts_with('@') {
+        return values
+            .get(tok)
+            .copied()
+            .ok_or(ParseError { message: format!("unknown value `{tok}`"), line });
+    }
+    if tok == "true" {
+        return Ok(f.const_bool(true));
+    }
+    if tok == "false" {
+        return Ok(f.const_bool(false));
+    }
+    if let Some(i) = tok.strip_suffix('L') {
+        return i
+            .parse::<i64>()
+            .map(|v| f.const_i64(v))
+            .map_err(|_| ParseError { message: format!("bad i64 `{tok}`"), line });
+    }
+    if tok.contains('.') || tok.contains("inf") || tok.contains("NaN") || tok.contains('e') {
+        return tok
+            .parse::<f32>()
+            .map(|v| f.const_f32(v))
+            .map_err(|_| ParseError { message: format!("bad f32 `{tok}`"), line });
+    }
+    tok.parse::<i32>()
+        .map(|v| f.const_i32(v))
+        .map_err(|_| ParseError { message: format!("bad operand `{tok}`"), line })
+}
+
+fn builtin_by_name(name: &str) -> Option<Builtin> {
+    use Builtin::*;
+    Some(match name {
+        "get_global_id" => GlobalId,
+        "get_local_id" => LocalId,
+        "get_group_id" => GroupId,
+        "get_local_size" => LocalSize,
+        "get_global_size" => GlobalSize,
+        "get_num_groups" => NumGroups,
+        "sqrt" => Sqrt,
+        "rsqrt" => Rsqrt,
+        "fabs" => Fabs,
+        "exp" => Exp,
+        "log" => Log,
+        "floor" => Floor,
+        "mad" => Mad,
+        "min" => IMin,
+        "max" => IMax,
+        "clamp" => Clamp,
+        "dot" => Dot,
+        _ => return None,
+    })
+}
+
+fn bin_op_by_name(m: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match m {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "sdiv" => SDiv,
+        "udiv" => UDiv,
+        "srem" => SRem,
+        "urem" => URem,
+        "shl" => Shl,
+        "lshr" => LShr,
+        "ashr" => AShr,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "fadd" => FAdd,
+        "fsub" => FSub,
+        "fmul" => FMul,
+        "fdiv" => FDiv,
+        "fmin" => FMin,
+        "fmax" => FMax,
+        _ => return None,
+    })
+}
+
+fn cmp_pred_by_name(m: &str) -> Option<CmpPred> {
+    use CmpPred::*;
+    Some(match m {
+        "eq" => Eq,
+        "ne" => Ne,
+        "slt" => Slt,
+        "sle" => Sle,
+        "sgt" => Sgt,
+        "sge" => Sge,
+        "ult" => Ult,
+        "ule" => Ule,
+        "ugt" => Ugt,
+        "uge" => Uge,
+        "feq" => FEq,
+        "fne" => FNe,
+        "flt" => FLt,
+        "fle" => FLe,
+        "fgt" => FGt,
+        "fge" => FGe,
+        _ => return None,
+    })
+}
+
+fn cast_by_name(m: &str) -> Option<CastKind> {
+    use CastKind::*;
+    Some(match m {
+        "sext" => SExt,
+        "zext" => ZExt,
+        "trunc" => Trunc,
+        "sitofp" => SiToFp,
+        "fptosi" => FpToSi,
+        "bitcast" => Bitcast,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_inst(
+    f: &mut Function,
+    line: &str,
+    lno: usize,
+    blk: BlockId,
+    values: &mut HashMap<String, ValueId>,
+    blocks: &mut HashMap<String, BlockId>,
+    pending_phis: &mut Vec<(ValueId, Vec<(String, String)>, usize)>,
+) -> Result<(), ParseError> {
+    let block_of = |name: &str, blocks: &HashMap<String, BlockId>| -> Result<BlockId, ParseError> {
+        blocks
+            .get(name)
+            .copied()
+            .ok_or(ParseError { message: format!("unknown block `{name}`"), line: lno })
+    };
+
+    // Result-less instructions first.
+    if let Some(rest) = line.strip_prefix("store ") {
+        // store <ty> <val>, <ptr>
+        let (lhs, ptr_s) = rest
+            .rsplit_once(", ")
+            .ok_or(ParseError { message: "bad store".into(), line: lno })?;
+        let val_tok = lhs
+            .rsplit(' ')
+            .next()
+            .ok_or(ParseError { message: "bad store value".into(), line: lno })?;
+        let value = resolve(f, values, val_tok, lno)?;
+        let ptr = resolve(f, values, ptr_s, lno)?;
+        f.append_inst(blk, Inst::Store { ptr, value }, Type::Void);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("barrier ") {
+        let scope = match rest.trim() {
+            "Local" => BarrierScope::Local,
+            "Global" => BarrierScope::Global,
+            "Both" => BarrierScope::Both,
+            other => return perr(format!("unknown barrier scope `{other}`"), lno),
+        };
+        f.append_inst(blk, Inst::Barrier { scope }, Type::Void);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        let target = block_of(rest.trim(), blocks)?;
+        f.append_inst(blk, Inst::Br { target }, Type::Void);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("condbr ") {
+        let parts: Vec<&str> = rest.split(", ").collect();
+        if parts.len() != 3 {
+            return perr("bad condbr", lno);
+        }
+        let cond = resolve(f, values, parts[0], lno)?;
+        let then_blk = block_of(parts[1].trim(), blocks)?;
+        let else_blk = block_of(parts[2].trim(), blocks)?;
+        f.append_inst(blk, Inst::CondBr { cond, then_blk, else_blk }, Type::Void);
+        return Ok(());
+    }
+    if line == "ret" {
+        f.append_inst(blk, Inst::Ret, Type::Void);
+        return Ok(());
+    }
+
+    // `%name = <op> ...`
+    let (res, body) = line
+        .split_once(" = ")
+        .ok_or(ParseError { message: format!("unrecognised instruction `{line}`"), line: lno })?;
+    let (op, rest) = body.split_once(' ').unwrap_or((body, ""));
+
+    let (inst, ty) = if let Some(bop) = bin_op_by_name(op) {
+        // add <ty> <lhs>, <rhs>
+        let (ty_s, ops) = split_type_operands(rest, lno)?;
+        let ty = parse_type(ty_s, lno)?;
+        let (a, b) = two(&ops, lno)?;
+        let lhs = resolve(f, values, &a, lno)?;
+        let rhs = resolve(f, values, &b, lno)?;
+        (Inst::Bin { op: bop, lhs, rhs }, ty)
+    } else if op == "cmp" {
+        // cmp <pred> <ty> <lhs>, <rhs>
+        let (pred_s, rest2) = rest
+            .split_once(' ')
+            .ok_or(ParseError { message: "bad cmp".into(), line: lno })?;
+        let pred = cmp_pred_by_name(pred_s)
+            .ok_or(ParseError { message: format!("bad predicate `{pred_s}`"), line: lno })?;
+        let (ty_s, ops) = split_type_operands(rest2, lno)?;
+        let opty = parse_type(ty_s, lno)?;
+        let (a, b) = two(&ops, lno)?;
+        let lhs = resolve(f, values, &a, lno)?;
+        let rhs = resolve(f, values, &b, lno)?;
+        let ty = if opty.lanes() > 1 {
+            Type::Vector(Scalar::Bool, opty.lanes())
+        } else {
+            Type::BOOL
+        };
+        (Inst::Cmp { pred, lhs, rhs }, ty)
+    } else if op == "select" {
+        let ops: Vec<&str> = rest.split(", ").collect();
+        if ops.len() != 3 {
+            return perr("bad select", lno);
+        }
+        let cond = resolve(f, values, ops[0], lno)?;
+        let then_val = resolve(f, values, ops[1], lno)?;
+        let else_val = resolve(f, values, ops[2], lno)?;
+        let ty = f.ty(then_val);
+        (Inst::Select { cond, then_val, else_val }, ty)
+    } else if let Some(kind) = cast_by_name(op) {
+        // sext <val> to <ty>
+        let (val_s, ty_s) = rest
+            .split_once(" to ")
+            .ok_or(ParseError { message: "bad cast".into(), line: lno })?;
+        let value = resolve(f, values, val_s, lno)?;
+        let to = parse_type(ty_s, lno)?;
+        (Inst::Cast { kind, value, to }, to)
+    } else if op == "call" {
+        // call name(arg, arg)
+        let open = rest
+            .find('(')
+            .ok_or(ParseError { message: "bad call".into(), line: lno })?;
+        let fname = &rest[..open];
+        let args_s = rest[open + 1..]
+            .strip_suffix(')')
+            .ok_or(ParseError { message: "bad call args".into(), line: lno })?;
+        let builtin = builtin_by_name(fname)
+            .ok_or(ParseError { message: format!("unknown builtin `{fname}`"), line: lno })?;
+        let mut args = Vec::new();
+        if !args_s.trim().is_empty() {
+            for a in args_s.split(", ") {
+                args.push(resolve(f, values, a, lno)?);
+            }
+        }
+        let ty = if builtin.is_workitem_query() {
+            Type::I64
+        } else if builtin == Builtin::Dot {
+            Type::Scalar(f.ty(args[0]).scalar_kind().unwrap_or(Scalar::F32))
+        } else {
+            f.ty(args[0])
+        };
+        (Inst::Call { builtin, args }, ty)
+    } else if op == "gep" {
+        // gep <ptrty> <base>, <idx>   (ptrty ends with `*`)
+        let star = rest
+            .rfind("* ")
+            .ok_or(ParseError { message: "bad gep type".into(), line: lno })?;
+        let ty = parse_type(&rest[..star + 1], lno)?;
+        let ops = &rest[star + 2..];
+        let (a, b) = two(ops, lno)?;
+        let base = resolve(f, values, &a, lno)?;
+        let index = resolve(f, values, &b, lno)?;
+        (Inst::Gep { base, index }, ty)
+    } else if op == "load" {
+        // load <ty> <ptr>
+        let (ty_s, ptr_s) = rest
+            .rsplit_once(' ')
+            .ok_or(ParseError { message: "bad load".into(), line: lno })?;
+        let ty = parse_type(ty_s, lno)?;
+        let ptr = resolve(f, values, ptr_s, lno)?;
+        (Inst::Load { ptr }, ty)
+    } else if op == "phi" {
+        // phi <ty> [blk: val], [blk: val]
+        let bracket = rest
+            .find('[')
+            .ok_or(ParseError { message: "bad phi".into(), line: lno })?;
+        let ty = parse_type(rest[..bracket].trim(), lno)?;
+        let mut incoming = Vec::new();
+        for part in rest[bracket..].split("], ") {
+            let part = part.trim_matches(['[', ']']);
+            let (b, v) = part
+                .split_once(": ")
+                .ok_or(ParseError { message: "bad phi edge".into(), line: lno })?;
+            incoming.push((b.trim().to_string(), v.trim().to_string()));
+        }
+        let v = f.append_inst(blk, Inst::Phi { incoming: Vec::new() }, ty);
+        pending_phis.push((v, incoming, lno));
+        bind_result(f, values, res, v, lno)?;
+        return Ok(());
+    } else if op == "extractlane" {
+        let (a, b) = two(rest, lno)?;
+        let vector = resolve(f, values, &a, lno)?;
+        let lane = resolve(f, values, &b, lno)?;
+        let ty = Type::Scalar(f.ty(vector).scalar_kind().unwrap_or(Scalar::F32));
+        (Inst::ExtractLane { vector, lane }, ty)
+    } else if op == "insertlane" {
+        let ops: Vec<&str> = rest.split(", ").collect();
+        if ops.len() != 3 {
+            return perr("bad insertlane", lno);
+        }
+        let vector = resolve(f, values, ops[0], lno)?;
+        let lane = resolve(f, values, ops[1], lno)?;
+        let value = resolve(f, values, ops[2], lno)?;
+        let ty = f.ty(vector);
+        (Inst::InsertLane { vector, lane, value }, ty)
+    } else if op == "buildvector" {
+        let inner = rest
+            .trim()
+            .strip_prefix('<')
+            .and_then(|x| x.strip_suffix('>'))
+            .ok_or(ParseError { message: "bad buildvector".into(), line: lno })?;
+        let mut lanes = Vec::new();
+        for a in inner.split(", ") {
+            lanes.push(resolve(f, values, a, lno)?);
+        }
+        let k = f.ty(lanes[0]).scalar_kind().unwrap_or(Scalar::F32);
+        let ty = Type::Vector(k, lanes.len() as u8);
+        (Inst::BuildVector { lanes }, ty)
+    } else {
+        return perr(format!("unknown opcode `{op}`"), lno);
+    };
+
+    let v = f.append_inst(blk, inst, ty);
+    bind_result(f, values, res, v, lno)?;
+    Ok(())
+}
+
+fn bind_result(
+    f: &mut Function,
+    values: &mut HashMap<String, ValueId>,
+    res: &str,
+    v: ValueId,
+    lno: usize,
+) -> Result<(), ParseError> {
+    let res = res.trim();
+    if !res.starts_with('%') {
+        return perr(format!("bad result name `{res}`"), lno);
+    }
+    // Preserve human-readable names (anything not matching the default
+    // `%vNN` numbering).
+    let bare = &res[1..];
+    let is_default = bare.strip_prefix('v').is_some_and(|n| n.parse::<u32>().is_ok());
+    if !is_default {
+        f.set_name(v, bare);
+    }
+    if values.insert(res.to_string(), v).is_some() {
+        return perr(format!("duplicate definition of `{res}`"), lno);
+    }
+    Ok(())
+}
+
+/// Split "`<ty>` op1, op2" where ty may contain spaces (vector types).
+fn split_type_operands(s: &str, lno: usize) -> Result<(&str, String), ParseError> {
+    // The operand list is everything after the last space before the first
+    // operand; operands never contain '<' but vector types do, so split at
+    // the first token after the closing '>' (or the first space for scalars).
+    let s = s.trim();
+    if let Some(close) = s.find('>') {
+        if s.starts_with('<') {
+            let ty = &s[..=close];
+            return Ok((ty, s[close + 1..].trim().to_string()));
+        }
+    }
+    let (ty, rest) = s
+        .split_once(' ')
+        .ok_or(ParseError { message: "missing operands".into(), line: lno })?;
+    Ok((ty, rest.trim().to_string()))
+}
+
+fn two(s: &str, lno: usize) -> Result<(String, String), ParseError> {
+    let (a, b) = s
+        .split_once(", ")
+        .ok_or(ParseError { message: format!("expected two operands in `{s}`"), line: lno })?;
+    Ok((a.trim().to_string(), b.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::function_to_string;
+
+    fn roundtrip(f: &Function) {
+        // Default `%vNN` numbering may shift across a parse (constants are
+        // interned in reference order), so exact equality holds from the
+        // *second* round on: print∘parse must be a fixpoint.
+        let text0 = function_to_string(f);
+        let parsed1 = parse_function(&text0)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{text0}"));
+        crate::verifier::verify(&parsed1)
+            .unwrap_or_else(|e| panic!("verify failed: {e:?}\n---\n{text0}"));
+        let text1 = function_to_string(&parsed1);
+        let parsed2 = parse_function(&text1)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text1}"));
+        let text2 = function_to_string(&parsed2);
+        assert_eq!(text1, text2, "print∘parse is not a fixpoint");
+        // Structure must be preserved exactly.
+        assert_eq!(f.num_blocks(), parsed1.num_blocks());
+        assert_eq!(f.num_insts(), parsed1.num_insts());
+        assert_eq!(f.params().len(), parsed1.params().len());
+        assert_eq!(f.local_mem_bytes(), parsed1.local_mem_bytes());
+    }
+
+    #[test]
+    fn roundtrips_straightline_kernel() {
+        use crate::builder::Builder;
+        let mut f = Function::new(
+            "copy",
+            vec![
+                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+                Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+            ],
+        );
+        let a = f.param_value(0);
+        let o = f.param_value(1);
+        let mut b = Builder::at_entry(&mut f);
+        let g = b.global_id_i32(0);
+        let src = b.gep(a, g);
+        let v = b.load(src);
+        let dst = b.gep(o, g);
+        b.store(dst, v);
+        b.ret();
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn roundtrips_control_flow_and_phis() {
+        use crate::builder::Builder;
+        let mut f = Function::new(
+            "loopy",
+            vec![Param { name: "n".into(), ty: Type::I32 },
+                 Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }],
+        );
+        let n = f.param_value(0);
+        let out = f.param_value(1);
+        let header = f.add_block("header");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        let zero = f.const_i32(0);
+        let mut b = Builder::at_entry(&mut f);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I32, vec![]);
+        let c = b.cmp(CmpPred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let one = b.i32(1);
+        let ni = b.add(i, one);
+        let g = b.gep(out, i);
+        b.store(g, i);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret();
+        let entry = f.entry;
+        if let Some(Inst::Phi { incoming }) = f.inst_mut(i) {
+            *incoming = vec![(entry, zero), (body, ni)];
+        }
+        f.set_name(i, "i");
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn roundtrips_local_buffers_and_barriers() {
+        use crate::builder::Builder;
+        let mut f = Function::new(
+            "stage",
+            vec![Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+        );
+        let inp = f.param_value(0);
+        let lm = f.add_local_buf(LocalBuf {
+            name: "lm".into(),
+            elem: Scalar::F32,
+            lanes: 1,
+            dims: vec![8, 8],
+        });
+        let mut b = Builder::at_entry(&mut f);
+        let l = b.local_id_i32(0);
+        let src = b.gep(inp, l);
+        let v = b.load(src);
+        let dst = b.gep(lm, l);
+        b.store(dst, v);
+        b.barrier(BarrierScope::Local);
+        b.ret();
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn roundtrips_vectors_and_math() {
+        use crate::builder::Builder;
+        let mut f = Function::new(
+            "vec",
+            vec![Param {
+                name: "buf".into(),
+                ty: Type::ptr(Scalar::F32, 4, AddressSpace::Global),
+            }],
+        );
+        let buf = f.param_value(0);
+        let mut b = Builder::at_entry(&mut f);
+        let zero = b.i32(0);
+        let p = b.gep(buf, zero);
+        let v = b.load(p);
+        let e = b.extract_lane(v, 2);
+        let s = b.call(Builtin::Sqrt, vec![e]);
+        let v2 = b.insert_lane(v, 0, s);
+        let d = b.call(Builtin::Dot, vec![v2, v2]);
+        let halves = b.fmul(d, d);
+        let c = b.cmp(CmpPred::FGt, halves, d);
+        let sel = b.select(c, d, halves);
+        let bv = b.build_vector(vec![sel, sel, sel, sel]);
+        b.store(p, bv);
+        b.ret();
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn roundtrips_compiled_benchmark_kernels() {
+        // The strongest test: every bundled benchmark kernel round-trips,
+        // before and after Grover.
+        // (grover-frontend/core are dev-deps of other crates; here we only
+        // exercise hand-built functions — the cross-crate version lives in
+        // the workspace tests.)
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse_function("").is_err());
+        assert!(parse_function("kernel @k() {\nentry:\n  %x = frobnicate 1\n}")
+            .unwrap_err()
+            .message
+            .contains("unknown opcode"));
+        assert!(parse_function("kernel @k() {\nentry:\n  %x = add i32 %nope, 1\n}")
+            .unwrap_err()
+            .message
+            .contains("unknown value"));
+    }
+
+    #[test]
+    fn constants_parse_back() {
+        let mut f = Function::new("k", vec![]);
+        use crate::builder::Builder;
+        let mut b = Builder::at_entry(&mut f);
+        let x = b.f32(0.1);
+        let y = b.f32(2.0);
+        let s = b.fadd(x, y);
+        let i = b.i64(1 << 40);
+        let t = b.cast(CastKind::Trunc, i, Type::I32);
+        let u = b.add(t, t);
+        let c = b.cmp(CmpPred::Slt, u, t);
+        let sel = b.select(c, u, t);
+        let fv = b.cast(CastKind::SiToFp, sel, Type::F32);
+        let z = b.fmul(s, fv);
+        let _ = z;
+        b.ret();
+        roundtrip(&f);
+    }
+}

@@ -1,0 +1,275 @@
+//! Type system for the Grover IR.
+//!
+//! The IR is deliberately close to the subset of LLVM/SPIR types that OpenCL
+//! C kernels produce: scalars, short vectors, and pointers qualified by an
+//! OpenCL address space. Aggregates never appear as SSA values; arrays only
+//! exist as buffer objects (kernel arguments or `__local` allocations) that
+//! are accessed through pointers.
+
+use std::fmt;
+
+/// OpenCL address space of a pointer.
+///
+/// The Grover pass keys almost everything on this distinction: a load from a
+/// [`AddressSpace::Local`] pointer is an `LL`, a store to one is an `LS`, and
+/// a load from a [`AddressSpace::Global`] pointer is a `GL` (paper §III-A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum AddressSpace {
+    /// `__global` — device-wide memory, visible to all work-items.
+    Global,
+    /// `__local` — per-work-group scratch-pad memory.
+    Local,
+    /// `__constant` — read-only device-wide memory.
+    Constant,
+    /// `__private` — per-work-item memory (spills, private arrays).
+    Private,
+}
+
+impl AddressSpace {
+    /// Short OpenCL-style qualifier string.
+    pub fn qualifier(self) -> &'static str {
+        match self {
+            AddressSpace::Global => "__global",
+            AddressSpace::Local => "__local",
+            AddressSpace::Constant => "__constant",
+            AddressSpace::Private => "__private",
+        }
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.qualifier())
+    }
+}
+
+/// Scalar value kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scalar {
+    /// 1-bit boolean (comparison results).
+    Bool,
+    /// 32-bit signed integer (`int`). Unsigned OpenCL types are represented
+    /// with the same bits; unsigned semantics live in the opcode
+    /// (`UDiv`, `LShr`, unsigned comparisons).
+    I32,
+    /// 64-bit signed integer (`long`, and `size_t` results of the work-item
+    /// functions before truncation).
+    I64,
+    /// 32-bit IEEE float (`float`).
+    F32,
+}
+
+impl Scalar {
+    /// Size of the scalar in bytes. `Bool` occupies one byte in memory.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Scalar::Bool => 1,
+            Scalar::I32 | Scalar::F32 => 4,
+            Scalar::I64 => 8,
+        }
+    }
+
+    /// Whether this is one of the integer kinds (including `Bool`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Scalar::Bool | Scalar::I32 | Scalar::I64)
+    }
+
+    /// Whether this is a floating-point kind.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::F32)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scalar::Bool => "bool",
+            Scalar::I32 => "i32",
+            Scalar::I64 => "i64",
+            Scalar::F32 => "f32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An IR type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// No value (only as a call/function result).
+    Void,
+    /// A scalar.
+    Scalar(Scalar),
+    /// A short vector of 2, 4, 8 or 16 scalar lanes (OpenCL `floatN` etc.).
+    Vector(Scalar, u8),
+    /// A pointer to elements of a scalar or vector type in an address space.
+    ///
+    /// Pointee is restricted to non-pointer, non-void types, which is all
+    /// OpenCL kernels in our subset need; this keeps `Type` `Copy`.
+    Ptr {
+        /// Element scalar kind.
+        elem: Scalar,
+        /// Number of lanes of the pointee (1 = scalar pointee).
+        lanes: u8,
+        /// Address space the pointer refers to.
+        space: AddressSpace,
+    },
+}
+
+impl Type {
+    /// The boolean scalar type.
+    pub const BOOL: Type = Type::Scalar(Scalar::Bool);
+    /// The 32-bit integer scalar type.
+    pub const I32: Type = Type::Scalar(Scalar::I32);
+    /// The 64-bit integer scalar type.
+    pub const I64: Type = Type::Scalar(Scalar::I64);
+    /// The 32-bit float scalar type.
+    pub const F32: Type = Type::Scalar(Scalar::F32);
+
+    /// Build a pointer type to `lanes` lanes of `elem` in `space`.
+    pub fn ptr(elem: Scalar, lanes: u8, space: AddressSpace) -> Type {
+        Type::Ptr { elem, lanes, space }
+    }
+
+    /// Pointer to a scalar element.
+    pub fn ptr_scalar(elem: Scalar, space: AddressSpace) -> Type {
+        Type::ptr(elem, 1, space)
+    }
+
+    /// The type loaded/stored through a pointer of this type.
+    pub fn pointee(self) -> Option<Type> {
+        match self {
+            Type::Ptr { elem, lanes: 1, .. } => Some(Type::Scalar(elem)),
+            Type::Ptr { elem, lanes, .. } => Some(Type::Vector(elem, lanes)),
+            _ => None,
+        }
+    }
+
+    /// The address space of a pointer type.
+    pub fn address_space(self) -> Option<AddressSpace> {
+        match self {
+            Type::Ptr { space, .. } => Some(space),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes of a value of this type when stored to memory.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Scalar(s) => s.size_bytes(),
+            Type::Vector(s, n) => s.size_bytes() * n as u64,
+            Type::Ptr { .. } => 8,
+        }
+    }
+
+    /// The scalar kind of a scalar or vector type.
+    pub fn scalar_kind(self) -> Option<Scalar> {
+        match self {
+            Type::Scalar(s) | Type::Vector(s, _) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of lanes (1 for scalars).
+    pub fn lanes(self) -> u8 {
+        match self {
+            Type::Vector(_, n) => n,
+            _ => 1,
+        }
+    }
+
+    /// True for `i32`/`i64`/`bool` scalars and vectors thereof.
+    pub fn is_int(self) -> bool {
+        self.scalar_kind().map_or(false, Scalar::is_int)
+    }
+
+    /// True for `f32` scalars and vectors thereof.
+    pub fn is_float(self) -> bool {
+        self.scalar_kind().map_or(false, Scalar::is_float)
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr { .. })
+    }
+
+    /// Vector type with the same lane count but a different scalar kind.
+    /// Scalars map to scalars.
+    pub fn with_scalar(self, s: Scalar) -> Type {
+        match self {
+            Type::Vector(_, n) => Type::Vector(s, n),
+            _ => Type::Scalar(s),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Vector(s, n) => write!(f, "<{n} x {s}>"),
+            Type::Ptr { elem, lanes: 1, space } => write!(f, "{elem} {space}*"),
+            Type::Ptr { elem, lanes, space } => write!(f, "<{lanes} x {elem}> {space}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Scalar::Bool.size_bytes(), 1);
+        assert_eq!(Scalar::I32.size_bytes(), 4);
+        assert_eq!(Scalar::I64.size_bytes(), 8);
+        assert_eq!(Scalar::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn vector_sizes() {
+        assert_eq!(Type::Vector(Scalar::F32, 4).size_bytes(), 16);
+        assert_eq!(Type::Vector(Scalar::I64, 2).size_bytes(), 16);
+        assert_eq!(Type::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn pointee_roundtrip() {
+        let p = Type::ptr_scalar(Scalar::F32, AddressSpace::Local);
+        assert_eq!(p.pointee(), Some(Type::F32));
+        assert_eq!(p.address_space(), Some(AddressSpace::Local));
+        let v = Type::ptr(Scalar::F32, 4, AddressSpace::Global);
+        assert_eq!(v.pointee(), Some(Type::Vector(Scalar::F32, 4)));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I32.is_int());
+        assert!(!Type::I32.is_float());
+        assert!(Type::F32.is_float());
+        assert!(Type::Vector(Scalar::F32, 4).is_float());
+        assert!(Type::ptr_scalar(Scalar::F32, AddressSpace::Global).is_ptr());
+        assert!(!Type::Void.is_int());
+    }
+
+    #[test]
+    fn with_scalar_preserves_lanes() {
+        assert_eq!(
+            Type::Vector(Scalar::F32, 4).with_scalar(Scalar::I32),
+            Type::Vector(Scalar::I32, 4)
+        );
+        assert_eq!(Type::F32.with_scalar(Scalar::I64), Type::I64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::F32.to_string(), "f32");
+        assert_eq!(Type::Vector(Scalar::F32, 4).to_string(), "<4 x f32>");
+        assert_eq!(
+            Type::ptr_scalar(Scalar::F32, AddressSpace::Local).to_string(),
+            "f32 __local*"
+        );
+        assert_eq!(AddressSpace::Global.to_string(), "__global");
+    }
+}

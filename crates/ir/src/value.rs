@@ -1,0 +1,744 @@
+//! Values, constants and instructions.
+//!
+//! Everything an instruction can reference is a [`ValueId`]: function
+//! parameters, interned constants, `__local` buffer pointers, and the results
+//! of other instructions. Instructions themselves are values stored in the
+//! per-function arena (see [`crate::function::Function`]); a block is an
+//! ordered list of instruction value ids.
+
+use crate::types::{Scalar, Type};
+
+/// Index of a value in a function's value arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Index of a basic block in a function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Index of a `__local` buffer declared by a kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LocalBufId(pub u32);
+
+impl ValueId {
+    /// The arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The block index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LocalBufId {
+    /// The buffer index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A compile-time constant.
+///
+/// `F32` stores raw bits so constants can be interned (`Eq`/`Hash`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstVal {
+    /// Boolean constant.
+    Bool(bool),
+    /// 32-bit integer constant.
+    I32(i32),
+    /// 64-bit integer constant.
+    I64(i64),
+    /// IEEE-754 bits of an `f32`.
+    F32Bits(u32),
+}
+
+impl ConstVal {
+    /// Make an `f32` constant (stored as bits).
+    pub fn f32(v: f32) -> ConstVal {
+        ConstVal::F32Bits(v.to_bits())
+    }
+
+    /// The float value, if this is an `f32` constant.
+    pub fn as_f32(self) -> Option<f32> {
+        match self {
+            ConstVal::F32Bits(b) => Some(f32::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    /// Integer value if this is an integer constant (bool counts as 0/1).
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ConstVal::Bool(b) => Some(b as i64),
+            ConstVal::I32(v) => Some(v as i64),
+            ConstVal::I64(v) => Some(v),
+            ConstVal::F32Bits(_) => None,
+        }
+    }
+
+    /// The IR type of this constant.
+    pub fn ty(self) -> Type {
+        match self {
+            ConstVal::Bool(_) => Type::BOOL,
+            ConstVal::I32(_) => Type::I32,
+            ConstVal::I64(_) => Type::I64,
+            ConstVal::F32Bits(_) => Type::F32,
+        }
+    }
+}
+
+/// Binary opcodes. Integer ops wrap on overflow (OpenCL semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Signed integer division (truncating).
+    SDiv,
+    /// Unsigned integer division.
+    UDiv,
+    /// Signed remainder (C semantics).
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Shift left.
+    Shl,
+    /// Logical (zero-filling) shift right.
+    LShr,
+    /// Arithmetic (sign-filling) shift right.
+    AShr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+}
+
+impl BinOp {
+    /// Whether this is one of the floating-point opcodes.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FMin | BinOp::FMax
+        )
+    }
+
+    /// Whether operand order is irrelevant (used by GVN canonicalisation).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::FMin
+                | BinOp::FMax
+        )
+    }
+
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::FMin => "fmin",
+            BinOp::FMax => "fmax",
+        }
+    }
+}
+
+/// Comparison predicates. `U*` are unsigned integer comparisons, `S*` signed,
+/// `F*` ordered float comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpPred {
+    /// Integer equality.
+    Eq,
+    /// Integer inequality.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+    /// Float equality (ordered).
+    FEq,
+    /// Float inequality.
+    FNe,
+    /// Float less-than.
+    FLt,
+    /// Float less-or-equal.
+    FLe,
+    /// Float greater-than.
+    FGt,
+    /// Float greater-or-equal.
+    FGe,
+}
+
+impl CmpPred {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+            CmpPred::FEq => "feq",
+            CmpPred::FNe => "fne",
+            CmpPred::FLt => "flt",
+            CmpPred::FLe => "fle",
+            CmpPred::FGt => "fgt",
+            CmpPred::FGe => "fge",
+        }
+    }
+}
+
+/// Conversion opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CastKind {
+    /// Sign-extend an integer to a wider integer type.
+    SExt,
+    /// Zero-extend an integer to a wider integer type.
+    ZExt,
+    /// Truncate an integer to a narrower integer type.
+    Trunc,
+    /// Signed integer to float.
+    SiToFp,
+    /// Float to signed integer (round toward zero).
+    FpToSi,
+    /// Reinterpret bits (same size).
+    Bitcast,
+}
+
+impl CastKind {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastKind::SExt => "sext",
+            CastKind::ZExt => "zext",
+            CastKind::Trunc => "trunc",
+            CastKind::SiToFp => "sitofp",
+            CastKind::FpToSi => "fptosi",
+            CastKind::Bitcast => "bitcast",
+        }
+    }
+}
+
+/// OpenCL built-in functions callable from kernels.
+///
+/// The work-item query functions are the load-bearing ones for Grover's
+/// analysis: they are the symbols of the affine index algebra (paper §III-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// `get_global_id(dim)`
+    GlobalId,
+    /// `get_local_id(dim)`
+    LocalId,
+    /// `get_group_id(dim)`
+    GroupId,
+    /// `get_local_size(dim)`
+    LocalSize,
+    /// `get_global_size(dim)`
+    GlobalSize,
+    /// `get_num_groups(dim)`
+    NumGroups,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `rsqrt(x)` — reciprocal square root
+    Rsqrt,
+    /// `fabs(x)`
+    Fabs,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)`
+    Log,
+    /// `floor(x)`
+    Floor,
+    /// `mad(a, b, c)` = a*b + c
+    Mad,
+    /// `min(a, b)` — integer minimum
+    IMin,
+    /// `max(a, b)` — integer maximum
+    IMax,
+    /// `clamp(x, lo, hi)`
+    Clamp,
+    /// `dot(a, b)` — vector dot product, scalar result
+    Dot,
+}
+
+impl Builtin {
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::GlobalId
+            | Builtin::LocalId
+            | Builtin::GroupId
+            | Builtin::LocalSize
+            | Builtin::GlobalSize
+            | Builtin::NumGroups => 1,
+            Builtin::Sqrt | Builtin::Rsqrt | Builtin::Fabs | Builtin::Exp | Builtin::Log
+            | Builtin::Floor => 1,
+            Builtin::IMin | Builtin::IMax | Builtin::Dot => 2,
+            Builtin::Mad | Builtin::Clamp => 3,
+        }
+    }
+
+    /// True for the work-item index/shape query functions.
+    pub fn is_workitem_query(self) -> bool {
+        matches!(
+            self,
+            Builtin::GlobalId
+                | Builtin::LocalId
+                | Builtin::GroupId
+                | Builtin::LocalSize
+                | Builtin::GlobalSize
+                | Builtin::NumGroups
+        )
+    }
+
+    /// The OpenCL source-level function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::GlobalId => "get_global_id",
+            Builtin::LocalId => "get_local_id",
+            Builtin::GroupId => "get_group_id",
+            Builtin::LocalSize => "get_local_size",
+            Builtin::GlobalSize => "get_global_size",
+            Builtin::NumGroups => "get_num_groups",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Rsqrt => "rsqrt",
+            Builtin::Fabs => "fabs",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Floor => "floor",
+            Builtin::Mad => "mad",
+            Builtin::IMin => "min",
+            Builtin::IMax => "max",
+            Builtin::Clamp => "clamp",
+            Builtin::Dot => "dot",
+        }
+    }
+}
+
+/// Barrier scope flags (`barrier(CLK_*_MEM_FENCE)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BarrierScope {
+    /// `CLK_LOCAL_MEM_FENCE`
+    Local,
+    /// `CLK_GLOBAL_MEM_FENCE`
+    Global,
+    /// Both fences.
+    Both,
+}
+
+/// An instruction.
+///
+/// Terminators (`Br`, `CondBr`, `Ret`) appear only as the last instruction of
+/// a block; the verifier enforces this.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Inst {
+    /// Binary arithmetic/logic.
+    Bin {
+        /// Opcode.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Comparison producing a `bool` (or bool vector).
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// `cond ? then_val : else_val`.
+    Select {
+        /// Boolean selector.
+        cond: ValueId,
+        /// Value when `cond` is true.
+        then_val: ValueId,
+        /// Value when `cond` is false.
+        else_val: ValueId,
+    },
+    /// Type conversion.
+    Cast {
+        /// Conversion kind.
+        kind: CastKind,
+        /// Operand.
+        value: ValueId,
+        /// Target type.
+        to: Type,
+    },
+    /// Call to an OpenCL builtin.
+    Call {
+        /// Callee.
+        builtin: Builtin,
+        /// Arguments, in order.
+        args: Vec<ValueId>,
+    },
+    /// Pointer arithmetic: `base + index` elements (element-typed, like an
+    /// LLVM GEP with a single index).
+    Gep {
+        /// Base pointer.
+        base: ValueId,
+        /// Element offset (integer).
+        index: ValueId,
+    },
+    /// Load through a pointer.
+    Load {
+        /// Source pointer.
+        ptr: ValueId,
+    },
+    /// Store through a pointer.
+    Store {
+        /// Destination pointer.
+        ptr: ValueId,
+        /// Value to store.
+        value: ValueId,
+    },
+    /// Work-group barrier.
+    Barrier {
+        /// Which fences the barrier implies.
+        scope: BarrierScope,
+    },
+    /// SSA phi node.
+    Phi {
+        /// `(predecessor block, incoming value)` pairs.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+    /// Extract one lane of a vector (lane must be a constant value).
+    ExtractLane {
+        /// Source vector.
+        vector: ValueId,
+        /// Constant lane index.
+        lane: ValueId,
+    },
+    /// Replace one lane of a vector (lane must be a constant value).
+    InsertLane {
+        /// Source vector.
+        vector: ValueId,
+        /// Constant lane index.
+        lane: ValueId,
+        /// Replacement scalar.
+        value: ValueId,
+    },
+    /// Build a vector from scalar lanes.
+    BuildVector {
+        /// Scalar lanes, low to high.
+        lanes: Vec<ValueId>,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Conditional branch.
+    CondBr {
+        /// Boolean condition.
+        cond: ValueId,
+        /// Destination when true.
+        then_blk: BlockId,
+        /// Destination when false.
+        else_blk: BlockId,
+    },
+    /// Return from the kernel (kernels return void, so no operand).
+    Ret,
+}
+
+impl Inst {
+    /// True for `Br`/`CondBr`/`Ret`.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret)
+    }
+
+    /// Whether the instruction has observable side effects (and so must not
+    /// be removed by DCE even when unused).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Barrier { .. } | Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret
+        )
+    }
+
+    /// Collect operand value ids in order.
+    pub fn operands(&self) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        self.visit_operands(|v| out.push(v));
+        out
+    }
+
+    /// Visit operand value ids in order.
+    pub fn visit_operands(&self, mut f: impl FnMut(ValueId)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Select { cond, then_val, else_val } => {
+                f(*cond);
+                f(*then_val);
+                f(*else_val);
+            }
+            Inst::Cast { value, .. } => f(*value),
+            Inst::Call { args, .. } => args.iter().copied().for_each(f),
+            Inst::Gep { base, index } => {
+                f(*base);
+                f(*index);
+            }
+            Inst::Load { ptr } => f(*ptr),
+            Inst::Store { ptr, value } => {
+                f(*ptr);
+                f(*value);
+            }
+            Inst::Barrier { .. } | Inst::Br { .. } | Inst::Ret => {}
+            Inst::Phi { incoming } => incoming.iter().for_each(|(_, v)| f(*v)),
+            Inst::ExtractLane { vector, lane } => {
+                f(*vector);
+                f(*lane);
+            }
+            Inst::InsertLane { vector, lane, value } => {
+                f(*vector);
+                f(*lane);
+                f(*value);
+            }
+            Inst::BuildVector { lanes } => lanes.iter().copied().for_each(f),
+            Inst::CondBr { cond, .. } => f(*cond),
+        }
+    }
+
+    /// Rewrite every operand through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Inst::Select { cond, then_val, else_val } => {
+                *cond = f(*cond);
+                *then_val = f(*then_val);
+                *else_val = f(*else_val);
+            }
+            Inst::Cast { value, .. } => *value = f(*value),
+            Inst::Call { args, .. } => args.iter_mut().for_each(|a| *a = f(*a)),
+            Inst::Gep { base, index } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            Inst::Load { ptr } => *ptr = f(*ptr),
+            Inst::Store { ptr, value } => {
+                *ptr = f(*ptr);
+                *value = f(*value);
+            }
+            Inst::Barrier { .. } | Inst::Br { .. } | Inst::Ret => {}
+            Inst::Phi { incoming } => incoming.iter_mut().for_each(|(_, v)| *v = f(*v)),
+            Inst::ExtractLane { vector, lane } => {
+                *vector = f(*vector);
+                *lane = f(*lane);
+            }
+            Inst::InsertLane { vector, lane, value } => {
+                *vector = f(*vector);
+                *lane = f(*lane);
+                *value = f(*value);
+            }
+            Inst::BuildVector { lanes } => lanes.iter_mut().for_each(|l| *l = f(*l)),
+            Inst::CondBr { cond, .. } => *cond = f(*cond),
+        }
+    }
+
+    /// Successor blocks of a terminator (empty for non-terminators and `Ret`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Br { target } => vec![*target],
+            Inst::CondBr { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// How a value came to exist.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValueDef {
+    /// The `index`-th kernel parameter.
+    Param(u32),
+    /// An interned constant.
+    Const(ConstVal),
+    /// Pointer to the start of a `__local` buffer.
+    LocalBuf(LocalBufId),
+    /// Result of (or the effect of) an instruction.
+    Inst(Inst),
+}
+
+/// A value plus its type and optional user-facing name.
+#[derive(Clone, Debug)]
+pub struct ValueData {
+    /// How the value is produced.
+    pub def: ValueDef,
+    /// The value's type.
+    pub ty: Type,
+    /// Optional source-level name (params, locals, named phis).
+    pub name: Option<String>,
+}
+
+/// A kernel parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Source-level parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A `__local` buffer declared by the kernel, e.g. `__local float lm[16][16]`.
+///
+/// The buffer is flat in the IR; `dims` records the declared shape for
+/// diagnostics and for the pass's knowledge of row widths.
+#[derive(Clone, Debug)]
+pub struct LocalBuf {
+    /// Source-level buffer name.
+    pub name: String,
+    /// Element scalar kind.
+    pub elem: Scalar,
+    /// Lanes per element (e.g. 4 for `__local float4 tile[..]`).
+    pub lanes: u8,
+    /// Declared dimensions, outermost first. Product = element count.
+    pub dims: Vec<u64>,
+}
+
+impl LocalBuf {
+    /// Total number of elements.
+    pub fn len(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// True if the buffer has zero elements (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() * self.elem.size_bytes() * self.lanes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_interning_keys() {
+        assert_eq!(ConstVal::f32(1.5), ConstVal::f32(1.5));
+        assert_ne!(ConstVal::f32(1.5), ConstVal::f32(-1.5));
+        assert_eq!(ConstVal::f32(2.0).as_f32(), Some(2.0));
+        assert_eq!(ConstVal::I32(7).as_int(), Some(7));
+        assert_eq!(ConstVal::Bool(true).as_int(), Some(1));
+        assert_eq!(ConstVal::f32(1.0).as_int(), None);
+    }
+
+    #[test]
+    fn operand_iteration() {
+        let i = Inst::Select {
+            cond: ValueId(0),
+            then_val: ValueId(1),
+            else_val: ValueId(2),
+        };
+        assert_eq!(i.operands(), vec![ValueId(0), ValueId(1), ValueId(2)]);
+        let s = Inst::Store { ptr: ValueId(3), value: ValueId(4) };
+        assert_eq!(s.operands(), vec![ValueId(3), ValueId(4)]);
+        assert!(s.has_side_effects());
+        assert!(!i.has_side_effects());
+    }
+
+    #[test]
+    fn map_operands_rewrites() {
+        let mut i = Inst::Bin { op: BinOp::Add, lhs: ValueId(1), rhs: ValueId(1) };
+        i.map_operands(|v| if v == ValueId(1) { ValueId(9) } else { v });
+        assert_eq!(i.operands(), vec![ValueId(9), ValueId(9)]);
+    }
+
+    #[test]
+    fn successor_lists() {
+        assert_eq!(Inst::Br { target: BlockId(2) }.successors(), vec![BlockId(2)]);
+        assert_eq!(
+            Inst::CondBr { cond: ValueId(0), then_blk: BlockId(1), else_blk: BlockId(2) }
+                .successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert!(Inst::Ret.successors().is_empty());
+        assert!(Inst::Ret.is_terminator());
+    }
+
+    #[test]
+    fn localbuf_geometry() {
+        let b = LocalBuf { name: "lm".into(), elem: Scalar::F32, lanes: 1, dims: vec![16, 16] };
+        assert_eq!(b.len(), 256);
+        assert_eq!(b.size_bytes(), 1024);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn builtin_metadata() {
+        assert!(Builtin::LocalId.is_workitem_query());
+        assert!(!Builtin::Sqrt.is_workitem_query());
+        assert_eq!(Builtin::Mad.arity(), 3);
+        assert_eq!(Builtin::GlobalId.name(), "get_global_id");
+    }
+}

@@ -1,0 +1,905 @@
+//! The benchmark applications: sources, datasets, launch configurations
+//! and scalar reference implementations (paper Table I).
+
+use grover_frontend::BuildOptions;
+use grover_runtime::{ArgValue, Buffer, Context, NdRange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dataset scale.
+///
+/// The paper's datasets (Table I) run for minutes under an interpreter, so
+/// the default experiments use `Small`; the shapes of the results are
+/// scale-stable (see EXPERIMENTS.md). `Paper` approaches the paper's sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests.
+    Test,
+    /// Bench-harness default.
+    Small,
+    /// Close to the paper's Table I datasets.
+    Paper,
+}
+
+/// Expected kernel output.
+#[derive(Clone, Debug)]
+pub enum Expected {
+    /// Floating-point output with a relative tolerance.
+    F32(Vec<f32>),
+    /// Integer output compared exactly.
+    I32(Vec<i32>),
+}
+
+/// A ready-to-launch workload.
+pub struct Prepared {
+    /// Context owning the input/output buffers.
+    pub ctx: Context,
+    /// Kernel arguments, in parameter order.
+    pub args: Vec<ArgValue>,
+    /// Launch geometry (the benchmark's default work-group size).
+    pub nd: NdRange,
+    /// The buffer holding the kernel's result.
+    pub out: Buffer,
+    /// Reference output for `out`.
+    pub expected: Expected,
+    /// Relative tolerance for float comparison.
+    pub tolerance: f32,
+}
+
+/// One benchmark application (one row of Table I).
+pub struct App {
+    /// Paper ID (Table I).
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Kernel function name inside `source`.
+    pub kernel: &'static str,
+    /// OpenCL C source.
+    pub source: &'static str,
+    /// Buffers Grover should disable (`None` = all). This is how the three
+    /// NVD-MM variants share one kernel.
+    pub disable: Option<&'static [&'static str]>,
+    /// Human-readable dataset description for the given scale (Table I).
+    pub dataset: fn(Scale) -> String,
+    /// Build options (tile sizes) per scale.
+    pub options: fn(Scale) -> BuildOptions,
+    /// Build a fresh workload at a scale.
+    pub prepare: fn(Scale) -> Prepared,
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x9e3779b97f4a7c15)
+}
+
+fn randf(r: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+}
+
+// ===================== AMD-SS: StringSearch =====================
+
+const AMD_SS_SRC: &str = r#"
+__kernel void amd_ss(__global int* text, __global int* pattern,
+                     __global int* out, int tlen) {
+    __local int lpat[PL];
+    int gx = get_global_id(0);
+    int lx = get_local_id(0);
+    if (lx < PL) {
+        lpat[lx] = pattern[lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int m = 1;
+    for (int k = 0; k < PL; k++) {
+        if (gx + k >= tlen) {
+            m = 0;
+        } else {
+            if (text[gx + k] != lpat[k]) {
+                m = 0;
+            }
+        }
+    }
+    out[gx] = m;
+}
+"#;
+
+const SS_PL: usize = 16;
+
+fn ss_tlen(s: Scale) -> usize {
+    match s {
+        Scale::Test => 256,
+        Scale::Small => 8192,
+        Scale::Paper => 65536,
+    }
+}
+
+fn ss_prepare(s: Scale) -> Prepared {
+    let tlen = ss_tlen(s);
+    let mut r = rng();
+    // Random text over a small alphabet, with the pattern planted a few times.
+    let mut text: Vec<i32> = (0..tlen).map(|_| r.gen_range(0..4)).collect();
+    let pattern: Vec<i32> = (0..SS_PL).map(|_| r.gen_range(0..4)).collect();
+    for p in [tlen / 7, tlen / 3, tlen / 2] {
+        text[p..p + SS_PL].copy_from_slice(&pattern);
+    }
+    let mut expected = vec![0i32; tlen];
+    for i in 0..tlen {
+        let m = (0..SS_PL).all(|k| i + k < tlen && text[i + k] == pattern[k]);
+        expected[i] = m as i32;
+    }
+    let mut ctx = Context::new();
+    let bt = ctx.buffer_i32(&text);
+    let bp = ctx.buffer_i32(&pattern);
+    let bo = ctx.zeros_i32(tlen);
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(bt),
+            ArgValue::Buffer(bp),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(tlen as i32),
+        ],
+        nd: NdRange::d1(tlen as u64, 64),
+        out: bo,
+        expected: Expected::I32(expected),
+        tolerance: 0.0,
+    }
+}
+
+// ===================== AMD-MT: MatrixTranspose (float4) =====================
+
+const AMD_MT_SRC: &str = r#"
+__kernel void amd_mt(__global float4* in, __global float* out, int w4, int h) {
+    __local float4 tile[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    tile[ly][lx] = in[(wy * S + ly) * w4 + (wx * S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float4 v = tile[lx][ly];
+    int row = wy * S + lx;
+    int col4 = wx * S + ly;
+    out[(4 * col4 + 0) * h + row] = v.x;
+    out[(4 * col4 + 1) * h + row] = v.y;
+    out[(4 * col4 + 2) * h + row] = v.z;
+    out[(4 * col4 + 3) * h + row] = v.w;
+}
+"#;
+
+fn amd_mt_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 256,
+        Scale::Paper => 1024,
+    }
+}
+
+fn amd_mt_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 4,
+        Scale::Small => 8,
+        Scale::Paper => 16,
+    }
+}
+
+fn amd_mt_prepare(s: Scale) -> Prepared {
+    let n = amd_mt_n(s); // matrix is n x n floats
+    let w4 = n / 4;
+    let mut r = rng();
+    let input = randf(&mut r, n * n);
+    // expected: out[c * n + r] = in[r * n + c]
+    let mut expected = vec![0.0f32; n * n];
+    for row in 0..n {
+        for col in 0..n {
+            expected[col * n + row] = input[row * n + col];
+        }
+    }
+    let mut ctx = Context::new();
+    let bi = ctx.buffer_f32(&input);
+    let bo = ctx.zeros_f32(n * n);
+    let tile = amd_mt_s(s) as u64;
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(bi),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(w4 as i32),
+            ArgValue::I32(n as i32),
+        ],
+        nd: NdRange::d2(w4 as u64, n as u64, tile, tile),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 0.0,
+    }
+}
+
+// ===================== NVD-MT: MatrixTranspose (staging) =====================
+
+const NVD_MT_SRC: &str = r#"
+__kernel void nvd_mt(__global float* in, __global float* out, int w, int h) {
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    int gx = wx * S + lx;
+    int gy = wy * S + ly;
+    lm[ly][lx] = in[gy * w + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int ox = wy * S + lx;
+    int oy = wx * S + ly;
+    out[oy * h + ox] = lm[lx][ly];
+}
+"#;
+
+fn nvd_mt_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 256,
+        Scale::Paper => 1024,
+    }
+}
+
+fn nvd_mt_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 8,
+        Scale::Small => 16,
+        Scale::Paper => 16,
+    }
+}
+
+fn nvd_mt_prepare(s: Scale) -> Prepared {
+    let n = nvd_mt_n(s);
+    let mut r = rng();
+    let input = randf(&mut r, n * n);
+    let mut expected = vec![0.0f32; n * n];
+    for row in 0..n {
+        for col in 0..n {
+            expected[col * n + row] = input[row * n + col];
+        }
+    }
+    let mut ctx = Context::new();
+    let bi = ctx.buffer_f32(&input);
+    let bo = ctx.zeros_f32(n * n);
+    let tile = nvd_mt_s(s) as u64;
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(bi),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(n as i32),
+            ArgValue::I32(n as i32),
+        ],
+        nd: NdRange::d2(n as u64, n as u64, tile, tile),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 0.0,
+    }
+}
+
+// ===================== AMD-RG: RecursiveGaussian =====================
+
+const AMD_RG_SRC: &str = r#"
+__kernel void amd_rg(__global float* in, __global float* out, int w) {
+    __local float lm[S];
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly] = in[(wy * S + ly) * w + wx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float a = lm[ly];
+    out[(wy * S + ly) * w + wx] = a * 0.8f + fabs(a) * 0.1f + 0.05f;
+}
+"#;
+
+fn rg_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 256,
+        Scale::Paper => 1024,
+    }
+}
+
+fn rg_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 8,
+        Scale::Small => 64,
+        Scale::Paper => 64,
+    }
+}
+
+fn rg_prepare(s: Scale) -> Prepared {
+    let n = rg_n(s);
+    let mut r = rng();
+    let input = randf(&mut r, n * n);
+    let expected: Vec<f32> = input.iter().map(|&a| a * 0.8 + a.abs() * 0.1 + 0.05).collect();
+    let mut ctx = Context::new();
+    let bi = ctx.buffer_f32(&input);
+    let bo = ctx.zeros_f32(n * n);
+    let tile = rg_s(s) as u64;
+    Prepared {
+        ctx,
+        args: vec![ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+        nd: NdRange::d2(n as u64, n as u64, 1, tile),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 1e-5,
+    }
+}
+
+// ===================== AMD-MM: MatrixMultiplication =====================
+
+const AMD_MM_SRC: &str = r#"
+__kernel void amd_mm(__global float* a, __global float* b,
+                     __global float* c, int n) {
+    __local float bl[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    int col = wx * S + ly;
+    int row = wy * S + lx;
+    float acc = 0.0f;
+    for (int i = 0; i < n / S; i++) {
+        bl[lx][ly] = b[(i * S + lx) * n + col];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < S; k++) {
+            acc += a[row * n + i * S + k] * bl[k][ly];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    c[row * n + col] = acc;
+}
+"#;
+
+// ===================== NVD-MM: oclMatrixMul =====================
+
+const NVD_MM_SRC: &str = r#"
+__kernel void nvd_mm(__global float* a, __global float* b,
+                     __global float* c, int n) {
+    __local float ta[S][S];
+    __local float tb[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    int row = wy * S + ly;
+    int col = wx * S + lx;
+    float acc = 0.0f;
+    for (int i = 0; i < n / S; i++) {
+        ta[ly][lx] = a[row * n + i * S + lx];
+        tb[ly][lx] = b[(i * S + ly) * n + col];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < S; k++) {
+            acc += ta[ly][k] * tb[k][lx];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    c[row * n + col] = acc;
+}
+"#;
+
+fn mm_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        // 512 gives the 2 KiB column stride whose L1 set aliasing drives
+        // the paper's AMD-MM / NVD-MM-B losses; only a 64-row slice of C is
+        // computed to keep interpreter time reasonable.
+        Scale::Small => 512,
+        Scale::Paper => 1024,
+    }
+}
+
+/// Rows of C actually computed (the launch covers a horizontal slice).
+fn mm_rows(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 64,
+        Scale::Paper => 1024,
+    }
+}
+
+fn mm_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 8,
+        Scale::Small => 16,
+        Scale::Paper => 16,
+    }
+}
+
+fn mm_prepare(s: Scale) -> Prepared {
+    let n = mm_n(s);
+    let rows = mm_rows(s);
+    let mut r = rng();
+    let a = randf(&mut r, n * n);
+    let b = randf(&mut r, n * n);
+    // Reference, accumulating in the same k-order as the kernels. Only the
+    // launched row slice is computed; the rest of C stays zero.
+    let mut expected = vec![0.0f32; n * n];
+    for row in 0..rows {
+        for col in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[row * n + k] * b[k * n + col];
+            }
+            expected[row * n + col] = acc;
+        }
+    }
+    let mut ctx = Context::new();
+    let ba = ctx.buffer_f32(&a);
+    let bb = ctx.buffer_f32(&b);
+    let bc = ctx.zeros_f32(n * n);
+    let tile = mm_s(s) as u64;
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(ba),
+            ArgValue::Buffer(bb),
+            ArgValue::Buffer(bc),
+            ArgValue::I32(n as i32),
+        ],
+        nd: NdRange::d2(n as u64, rows as u64, tile, tile),
+        out: bc,
+        expected: Expected::F32(expected),
+        tolerance: 1e-3,
+    }
+}
+
+// ===================== NVD-NBody =====================
+
+const NVD_NBODY_SRC: &str = r#"
+__kernel void nvd_nbody(__global float4* pos, __global float4* acc, int n) {
+    __local float4 tile[S];
+    int gx = get_global_id(0);
+    int lx = get_local_id(0);
+    float4 p = pos[gx];
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+    for (int i = 0; i < n / S; i++) {
+        tile[lx] = pos[i * S + lx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < S; k++) {
+            float4 q = tile[k];
+            float dx = q.x - p.x;
+            float dy = q.y - p.y;
+            float dz = q.z - p.z;
+            float inv = rsqrt(dx * dx + dy * dy + dz * dz + 0.01f);
+            float s = q.w * inv * inv * inv;
+            ax += dx * s;
+            ay += dy * s;
+            az += dz * s;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    acc[gx] = (float4)(ax, ay, az, 0.0f);
+}
+"#;
+
+fn nbody_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 64,
+        Scale::Small => 1024,
+        Scale::Paper => 8192,
+    }
+}
+
+fn nbody_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 16,
+        Scale::Small => 64,
+        Scale::Paper => 64,
+    }
+}
+
+fn nbody_prepare(s: Scale) -> Prepared {
+    let n = nbody_n(s);
+    let mut r = rng();
+    // xyzm packed as float4.
+    let pos: Vec<f32> = (0..n * 4)
+        .map(|i| if i % 4 == 3 { r.gen_range(0.1f32..1.0) } else { r.gen_range(-1.0f32..1.0) })
+        .collect();
+    let mut expected = vec![0.0f32; n * 4];
+    for i in 0..n {
+        let (px, py, pz) = (pos[i * 4], pos[i * 4 + 1], pos[i * 4 + 2]);
+        let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
+        for k in 0..n {
+            let dx = pos[k * 4] - px;
+            let dy = pos[k * 4 + 1] - py;
+            let dz = pos[k * 4 + 2] - pz;
+            let inv = 1.0 / (dx * dx + dy * dy + dz * dz + 0.01).sqrt();
+            let s = pos[k * 4 + 3] * inv * inv * inv;
+            ax += dx * s;
+            ay += dy * s;
+            az += dz * s;
+        }
+        expected[i * 4] = ax;
+        expected[i * 4 + 1] = ay;
+        expected[i * 4 + 2] = az;
+    }
+    let mut ctx = Context::new();
+    let bp = ctx.buffer_f32(&pos);
+    let ba = ctx.zeros_f32(n * 4);
+    Prepared {
+        ctx,
+        args: vec![ArgValue::Buffer(bp), ArgValue::Buffer(ba), ArgValue::I32(n as i32)],
+        nd: NdRange::d1(n as u64, nbody_s(s) as u64),
+        out: ba,
+        expected: Expected::F32(expected),
+        tolerance: 2e-2,
+    }
+}
+
+// ===================== PAB-ST: Stencil =====================
+
+const PAB_ST_SRC: &str = r#"
+__kernel void pab_st(__global float* in, __global float* out, int w) {
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    lm[ly][lx] = in[gy * w + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int xl = max(lx - 1, 0);
+    int xr = min(lx + 1, S - 1);
+    int yu = max(ly - 1, 0);
+    int yd = min(ly + 1, S - 1);
+    out[gy * w + gx] = 0.5f * lm[ly][lx]
+        + 0.125f * lm[ly][xl] + 0.125f * lm[ly][xr]
+        + 0.125f * lm[yu][lx] + 0.125f * lm[yd][lx];
+}
+"#;
+
+fn st_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 128,
+        Scale::Paper => 512,
+    }
+}
+
+fn st_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 8,
+        Scale::Small => 16,
+        Scale::Paper => 16,
+    }
+}
+
+fn st_prepare(s: Scale) -> Prepared {
+    let n = st_n(s);
+    let tile = st_s(s);
+    let mut r = rng();
+    let input = randf(&mut r, n * n);
+    // Reference: neighbours clamped to the work-group tile (the kernel
+    // reads only its own tile's staged data).
+    let mut expected = vec![0.0f32; n * n];
+    for gy in 0..n {
+        for gx in 0..n {
+            let ty0 = gy / tile * tile;
+            let tx0 = gx / tile * tile;
+            let cl = |v: isize, lo: usize, hi: usize| -> usize {
+                (v.max(lo as isize) as usize).min(hi)
+            };
+            let xl = cl(gx as isize - 1, tx0, tx0 + tile - 1);
+            let xr = cl(gx as isize + 1, tx0, tx0 + tile - 1);
+            let yu = cl(gy as isize - 1, ty0, ty0 + tile - 1);
+            let yd = cl(gy as isize + 1, ty0, ty0 + tile - 1);
+            expected[gy * n + gx] = 0.5 * input[gy * n + gx]
+                + 0.125 * input[gy * n + xl]
+                + 0.125 * input[gy * n + xr]
+                + 0.125 * input[yu * n + gx]
+                + 0.125 * input[yd * n + gx];
+        }
+    }
+    let mut ctx = Context::new();
+    let bi = ctx.buffer_f32(&input);
+    let bo = ctx.zeros_f32(n * n);
+    Prepared {
+        ctx,
+        args: vec![ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+        nd: NdRange::d2(n as u64, n as u64, tile as u64, tile as u64),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 1e-5,
+    }
+}
+
+// ===================== ROD-SC: StreamCluster =====================
+
+const ROD_SC_SRC: &str = r#"
+__kernel void rod_sc(__global float* pts, __global float* centers,
+                     __global float* out, int stride) {
+    __local float c[D];
+    int gx = get_global_id(0);
+    int lx = get_local_id(0);
+    if (lx < D) {
+        c[lx] = centers[lx * stride];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int k = 0; k < D; k++) {
+        float d = pts[gx * D + k] - c[k];
+        acc += d * d;
+    }
+    out[gx] = acc;
+}
+"#;
+
+const SC_D: usize = 16;
+
+fn sc_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 128,
+        Scale::Small => 2048,
+        Scale::Paper => 16384,
+    }
+}
+
+fn sc_prepare(s: Scale) -> Prepared {
+    let n = sc_n(s);
+    let stride = n; // centre coordinates live in a column of an n x D matrix
+    let mut r = rng();
+    let pts = randf(&mut r, n * SC_D);
+    // centers buffer: D coordinates strided `stride` apart.
+    let centers = randf(&mut r, SC_D * stride);
+    let centre: Vec<f32> = (0..SC_D).map(|k| centers[k * stride]).collect();
+    let expected: Vec<f32> = (0..n)
+        .map(|i| {
+            (0..SC_D)
+                .map(|k| {
+                    let d = pts[i * SC_D + k] - centre[k];
+                    d * d
+                })
+                .sum()
+        })
+        .collect();
+    let mut ctx = Context::new();
+    let bp = ctx.buffer_f32(&pts);
+    let bc = ctx.buffer_f32(&centers);
+    let bo = ctx.zeros_f32(n);
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(bp),
+            ArgValue::Buffer(bc),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(stride as i32),
+        ],
+        nd: NdRange::d1(n as u64, 64),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 1e-4,
+    }
+}
+
+// ===================== EXT-CONV: image convolution (extension) ==========
+
+/// Extension benchmark (not in the paper's Table I): a 3×3 convolution with
+/// *halo* staging — the multi-pass loading case §IV-A discusses ("there are
+/// applications — such as image convolution — where multiple passes are
+/// required to load data from global memory to local memory... using any of
+/// the pairs leads to the same correspondence").
+const EXT_CONV_SRC: &str = r#"
+__kernel void conv3x3(__global float* in, __global float* out,
+                      __constant float* filt, int n) {
+    __local float lm[S + 2][S + 2];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    int gx = wx * S + lx;
+    int gy = wy * S + ly;
+    int w = n + 2;
+    lm[ly + 1][lx + 1] = in[(gy + 1) * w + (gx + 1)];
+    if (lx == 0) { lm[ly + 1][0] = in[(gy + 1) * w + (wx * S)]; }
+    if (lx == S - 1) { lm[ly + 1][S + 1] = in[(gy + 1) * w + (wx * S + S + 1)]; }
+    if (ly == 0) { lm[0][lx + 1] = in[(wy * S) * w + (gx + 1)]; }
+    if (ly == S - 1) { lm[S + 1][lx + 1] = in[(wy * S + S + 1) * w + (gx + 1)]; }
+    if (lx == 0) { if (ly == 0) { lm[0][0] = in[(wy * S) * w + (wx * S)]; } }
+    if (lx == S - 1) { if (ly == 0) { lm[0][S + 1] = in[(wy * S) * w + (wx * S + S + 1)]; } }
+    if (lx == 0) { if (ly == S - 1) { lm[S + 1][0] = in[(wy * S + S + 1) * w + (wx * S)]; } }
+    if (lx == S - 1) { if (ly == S - 1) { lm[S + 1][S + 1] = in[(wy * S + S + 1) * w + (wx * S + S + 1)]; } }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int dy = 0; dy < 3; dy++) {
+        for (int dx = 0; dx < 3; dx++) {
+            acc += filt[dy * 3 + dx] * lm[ly + dy][lx + dx];
+        }
+    }
+    out[gy * n + gx] = acc;
+}
+"#;
+
+fn conv_n(s: Scale) -> usize {
+    match s {
+        Scale::Test => 32,
+        Scale::Small => 256,
+        Scale::Paper => 1024,
+    }
+}
+
+fn conv_s(s: Scale) -> usize {
+    match s {
+        Scale::Test => 8,
+        Scale::Small => 16,
+        Scale::Paper => 16,
+    }
+}
+
+fn conv_prepare(s: Scale) -> Prepared {
+    let n = conv_n(s);
+    let w = n + 2;
+    let mut r = rng();
+    let padded = randf(&mut r, w * w);
+    let filt: Vec<f32> =
+        vec![0.05, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05];
+    let mut expected = vec![0.0f32; n * n];
+    for gy in 0..n {
+        for gx in 0..n {
+            let mut acc = 0.0f32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    acc += filt[dy * 3 + dx] * padded[(gy + dy) * w + (gx + dx)];
+                }
+            }
+            expected[gy * n + gx] = acc;
+        }
+    }
+    let mut ctx = Context::new();
+    let bi = ctx.buffer_f32(&padded);
+    let bo = ctx.zeros_f32(n * n);
+    let bf = ctx.buffer_f32(&filt);
+    let tile = conv_s(s) as u64;
+    Prepared {
+        ctx,
+        args: vec![
+            ArgValue::Buffer(bi),
+            ArgValue::Buffer(bo),
+            ArgValue::Buffer(bf),
+            ArgValue::I32(n as i32),
+        ],
+        nd: NdRange::d2(n as u64, n as u64, tile, tile),
+        out: bo,
+        expected: Expected::F32(expected),
+        tolerance: 1e-4,
+    }
+}
+
+/// Extension applications beyond the paper's Table I.
+pub fn extension_apps() -> Vec<App> {
+    vec![App {
+        id: "EXT-CONV",
+        description: "3x3 convolution with halo staging (multi-pass GL/LS, §IV-A)",
+        kernel: "conv3x3",
+        source: EXT_CONV_SRC,
+        disable: None,
+        dataset: |s| format!("{0}x{0} image (padded)", conv_n(s)),
+        options: |s| BuildOptions::new().define("S", conv_s(s)),
+        prepare: conv_prepare,
+    }]
+}
+
+// ===================== registry =====================
+
+/// All 11 test applications (Table I; `oclMatrixMul` appears as its three
+/// disabling variants, as in the paper's Fig. 10).
+pub fn all_apps() -> Vec<App> {
+    vec![
+        App {
+            id: "AMD-SS",
+            description: "StringSearch: match a 16-char pattern against text",
+            kernel: "amd_ss",
+            source: AMD_SS_SRC,
+            disable: None,
+            dataset: |s| format!("{} B text, 16 B pattern", ss_tlen(s)),
+            options: |_| BuildOptions::new().define("PL", SS_PL),
+            prepare: ss_prepare,
+        },
+        App {
+            id: "AMD-MT",
+            description: "MatrixTranspose with float4 tiles",
+            kernel: "amd_mt",
+            source: AMD_MT_SRC,
+            disable: None,
+            dataset: |s| format!("{0}x{0} matrix (float4)", amd_mt_n(s)),
+            options: |s| BuildOptions::new().define("S", amd_mt_s(s)),
+            prepare: amd_mt_prepare,
+        },
+        App {
+            id: "NVD-MT",
+            description: "MatrixTranspose, scalar staging (paper Fig. 1)",
+            kernel: "nvd_mt",
+            source: NVD_MT_SRC,
+            disable: None,
+            dataset: |s| format!("{0}x{0} matrix", nvd_mt_n(s)),
+            options: |s| BuildOptions::new().define("S", nvd_mt_s(s)),
+            prepare: nvd_mt_prepare,
+        },
+        App {
+            id: "AMD-RG",
+            description: "RecursiveGaussian column filter",
+            kernel: "amd_rg",
+            source: AMD_RG_SRC,
+            disable: None,
+            dataset: |s| format!("{0}x{0} image", rg_n(s)),
+            options: |s| BuildOptions::new().define("S", rg_s(s)),
+            prepare: rg_prepare,
+        },
+        App {
+            id: "AMD-MM",
+            description: "MatrixMultiplication, column-accessed B staged",
+            kernel: "amd_mm",
+            source: AMD_MM_SRC,
+            disable: None,
+            dataset: |s| format!("{0}x{0} matrices ({1}-row slice)", mm_n(s), mm_rows(s)),
+            options: |s| BuildOptions::new().define("S", mm_s(s)),
+            prepare: mm_prepare,
+        },
+        App {
+            id: "NVD-MM-A",
+            description: "oclMatrixMul with tile A de-localised",
+            kernel: "nvd_mm",
+            source: NVD_MM_SRC,
+            disable: Some(&["ta"]),
+            dataset: |s| format!("{0}x{0} matrices ({1}-row slice)", mm_n(s), mm_rows(s)),
+            options: |s| BuildOptions::new().define("S", mm_s(s)),
+            prepare: mm_prepare,
+        },
+        App {
+            id: "NVD-MM-B",
+            description: "oclMatrixMul with tile B de-localised",
+            kernel: "nvd_mm",
+            source: NVD_MM_SRC,
+            disable: Some(&["tb"]),
+            dataset: |s| format!("{0}x{0} matrices ({1}-row slice)", mm_n(s), mm_rows(s)),
+            options: |s| BuildOptions::new().define("S", mm_s(s)),
+            prepare: mm_prepare,
+        },
+        App {
+            id: "NVD-MM-AB",
+            description: "oclMatrixMul with both tiles de-localised",
+            kernel: "nvd_mm",
+            source: NVD_MM_SRC,
+            disable: Some(&["ta", "tb"]),
+            dataset: |s| format!("{0}x{0} matrices ({1}-row slice)", mm_n(s), mm_rows(s)),
+            options: |s| BuildOptions::new().define("S", mm_s(s)),
+            prepare: mm_prepare,
+        },
+        App {
+            id: "NVD-NBody",
+            description: "All-pairs N-body with body tiles staged",
+            kernel: "nvd_nbody",
+            source: NVD_NBODY_SRC,
+            disable: None,
+            dataset: |s| format!("{} bodies", nbody_n(s)),
+            options: |s| BuildOptions::new().define("S", nbody_s(s)),
+            prepare: nbody_prepare,
+        },
+        App {
+            id: "PAB-ST",
+            description: "5-point stencil, tile staged in local memory",
+            kernel: "pab_st",
+            source: PAB_ST_SRC,
+            disable: None,
+            dataset: |s| format!("{0}x{0} grid", st_n(s)),
+            options: |s| BuildOptions::new().define("S", st_s(s)),
+            prepare: st_prepare,
+        },
+        App {
+            id: "ROD-SC",
+            description: "StreamCluster distance kernel, shared centre staged",
+            kernel: "rod_sc",
+            source: ROD_SC_SRC,
+            disable: None,
+            dataset: |s| format!("{} points, {}-d", sc_n(s), SC_D),
+            options: |_| BuildOptions::new().define("D", SC_D),
+            prepare: sc_prepare,
+        },
+    ]
+}
+
+/// Look up an application by its paper ID.
+pub fn app_by_id(id: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.id == id)
+}

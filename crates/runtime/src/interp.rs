@@ -1,0 +1,951 @@
+//! The NDRange interpreter: executes kernels with OpenCL work-group
+//! semantics. Work-items of a group run serially between barriers (the way
+//! CPU OpenCL runtimes schedule them [paper §VI-C]); at a barrier every
+//! item of the group must arrive before any proceeds.
+
+use grover_ir::{
+    AddressSpace, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Function, Inst, Scalar,
+    Type, ValueDef, ValueId,
+};
+
+use crate::buffer::{Buffer, BufferData, Context};
+use crate::trace::{AccessEvent, TraceOp, TraceSink};
+use crate::val::{PtrVal, Val};
+use crate::ExecError;
+
+/// Kernel launch geometry (`clEnqueueNDRangeKernel`).
+#[derive(Clone, Copy, Debug)]
+pub struct NdRange {
+    /// Global work size per dimension.
+    pub global: [u64; 3],
+    /// Work-group size per dimension.
+    pub local: [u64; 3],
+}
+
+impl NdRange {
+    /// A 1-D launch.
+    pub fn d1(global: u64, local: u64) -> NdRange {
+        NdRange { global: [global, 1, 1], local: [local, 1, 1] }
+    }
+
+    /// A 2-D launch.
+    pub fn d2(gx: u64, gy: u64, lx: u64, ly: u64) -> NdRange {
+        NdRange { global: [gx, gy, 1], local: [lx, ly, 1] }
+    }
+
+    /// A 3-D launch.
+    pub fn d3(g: [u64; 3], l: [u64; 3]) -> NdRange {
+        NdRange { global: g, local: l }
+    }
+
+    /// Work-groups per dimension.
+    pub fn num_groups(&self) -> [u64; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Work-items per group.
+    pub fn items_per_group(&self) -> u64 {
+        self.local.iter().product()
+    }
+
+    /// Total work-items in the launch.
+    pub fn total_items(&self) -> u64 {
+        self.global.iter().product()
+    }
+
+    fn validate(&self) -> Result<(), ExecError> {
+        for d in 0..3 {
+            if self.local[d] == 0 || self.global[d] == 0 {
+                return Err(ExecError::BadNdRange("zero dimension".into()));
+            }
+            if self.global[d] % self.local[d] != 0 {
+                return Err(ExecError::BadNdRange(format!(
+                    "global size {} not divisible by local size {} in dim {d}",
+                    self.global[d], self.local[d]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A kernel argument.
+#[derive(Clone, Copy, Debug)]
+pub enum ArgValue {
+    /// A device buffer (pointer parameters).
+    Buffer(Buffer),
+    /// A 32-bit integer scalar.
+    I32(i32),
+    /// A 64-bit integer scalar.
+    I64(i64),
+    /// A 32-bit float scalar.
+    F32(f32),
+}
+
+/// Aggregate statistics of one launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Total IR instructions executed.
+    pub instructions: u64,
+    /// Barrier rendezvous executed (one per group per barrier).
+    pub barriers: u64,
+    /// Work-items run.
+    pub work_items: u64,
+    /// Work-groups run.
+    pub work_groups: u64,
+}
+
+/// Execution limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum total IR instructions across the launch.
+    pub max_instructions: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_instructions: 20_000_000_000 }
+    }
+}
+
+enum Stop {
+    Barrier(ValueId),
+    Done,
+}
+
+struct WorkItem {
+    regs: Vec<Option<Val>>,
+    block: BlockId,
+    inst_idx: usize,
+    prev_block: Option<BlockId>,
+    done: bool,
+    insts: u64,
+    lid: [u64; 3],
+    wg: [u64; 3],
+}
+
+struct GroupCtx<'a> {
+    f: &'a Function,
+    nd: NdRange,
+    group_linear: u32,
+    local_mem: Vec<BufferData>,
+    local_bases: Vec<u64>,
+    /// Device base address of each global buffer (copied from the Context).
+    global_bases: Vec<u64>,
+}
+
+/// Launch a kernel (the `clEnqueueNDRangeKernel` + `clFinish` pair).
+pub fn enqueue(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+) -> Result<LaunchStats, ExecError> {
+    nd.validate()?;
+    validate_args(ctx, kernel, args)?;
+
+    let mut stats = LaunchStats::default();
+    let ng = nd.num_groups();
+    let mut budget = limits.max_instructions;
+
+    for wz in 0..ng[2] {
+        for wy in 0..ng[1] {
+            for wx in 0..ng[0] {
+                let group_linear = (wz * ng[1] * ng[0] + wy * ng[0] + wx) as u32;
+                let n = run_group(
+                    ctx,
+                    kernel,
+                    args,
+                    *nd,
+                    [wx, wy, wz],
+                    group_linear,
+                    sink,
+                    &mut budget,
+                    &mut stats,
+                )?;
+                stats.work_items += n;
+                stats.work_groups += 1;
+                sink.workgroup_done(group_linear);
+            }
+        }
+    }
+    Ok(stats)
+}
+
+fn validate_args(ctx: &Context, kernel: &Function, args: &[ArgValue]) -> Result<(), ExecError> {
+    if args.len() != kernel.params().len() {
+        return Err(ExecError::ArgCount { expected: kernel.params().len(), got: args.len() });
+    }
+    for (p, a) in kernel.params().iter().zip(args) {
+        let ok = match (p.ty, a) {
+            (Type::Ptr { elem, space, .. }, ArgValue::Buffer(b)) => {
+                if space == AddressSpace::Local || space == AddressSpace::Private {
+                    return Err(ExecError::Unsupported(
+                        "local/private pointer kernel arguments".into(),
+                    ));
+                }
+                ctx.scalar_of(*b) == elem
+            }
+            (Type::Scalar(Scalar::I32), ArgValue::I32(_)) => true,
+            (Type::Scalar(Scalar::I64), ArgValue::I64(_)) => true,
+            (Type::Scalar(Scalar::F32), ArgValue::F32(_)) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(ExecError::TypeMismatch(format!(
+                "argument `{}` expects {}, got {a:?}",
+                p.name, p.ty
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    ctx: &mut Context,
+    f: &Function,
+    args: &[ArgValue],
+    nd: NdRange,
+    wg: [u64; 3],
+    group_linear: u32,
+    sink: &mut dyn TraceSink,
+    budget: &mut u64,
+    stats: &mut LaunchStats,
+) -> Result<u64, ExecError> {
+    // Allocate this group's local memory (zero-initialised).
+    let mut local_mem = Vec::new();
+    let mut local_bases = Vec::new();
+    let mut off = 0u64;
+    for lb in f.local_bufs() {
+        let elems = (lb.len() * lb.lanes as u64) as usize;
+        local_bases.push(off);
+        off += lb.size_bytes();
+        local_mem.push(match lb.elem {
+            Scalar::F32 => BufferData::F32(vec![0.0; elems]),
+            Scalar::I32 | Scalar::Bool => BufferData::I32(vec![0; elems]),
+            Scalar::I64 => BufferData::I64(vec![0; elems]),
+        });
+    }
+    let global_bases: Vec<u64> = (0..)
+        .map(Buffer)
+        .take_while(|b| (b.0 as usize) < ctx_num_buffers(ctx))
+        .map(|b| ctx.base_addr(b))
+        .collect();
+    let mut g = GroupCtx { f, nd, group_linear, local_mem, local_bases, global_bases };
+
+    // Spawn work-item states.
+    let (lsx, lsy, lsz) = (nd.local[0], nd.local[1], nd.local[2]);
+    let n_items = (lsx * lsy * lsz) as usize;
+    let mut items: Vec<WorkItem> = Vec::with_capacity(n_items);
+    for lz in 0..lsz {
+        for ly in 0..lsy {
+            for lx in 0..lsx {
+                let mut regs = vec![None; f.num_values()];
+                seed_params(f, args, &mut regs)?;
+                items.push(WorkItem {
+                    regs,
+                    block: f.entry,
+                    inst_idx: 0,
+                    prev_block: None,
+                    done: false,
+                    insts: 0,
+                    lid: [lx, ly, lz],
+                    wg,
+                });
+            }
+        }
+    }
+
+    // Barrier-synchronised rounds.
+    loop {
+        let mut barrier_at: Option<ValueId> = None;
+        let mut all_done = true;
+        for (i, wi) in items.iter_mut().enumerate() {
+            if wi.done {
+                continue;
+            }
+            let stop = run_item(ctx, &mut g, wi, sink, budget)?;
+            match stop {
+                Stop::Done => {
+                    wi.done = true;
+                    let local_linear = i as u32;
+                    sink.workitem_done(group_linear, local_linear, wi.insts);
+                    stats.instructions += wi.insts;
+                    wi.insts = 0;
+                }
+                Stop::Barrier(at) => {
+                    all_done = false;
+                    match barrier_at {
+                        None => barrier_at = Some(at),
+                        Some(prev) if prev == at => {}
+                        Some(_) => return Err(ExecError::BarrierDivergence),
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if barrier_at.is_some() && items.iter().any(|w| w.done) {
+            // Some items returned while others wait at a barrier.
+            return Err(ExecError::BarrierDivergence);
+        }
+        stats.barriers += 1;
+        sink.barrier(group_linear, n_items as u32);
+    }
+    Ok(n_items as u64)
+}
+
+fn run_item(
+    ctx: &mut Context,
+    g: &mut GroupCtx<'_>,
+    wi: &mut WorkItem,
+    sink: &mut dyn TraceSink,
+    budget: &mut u64,
+) -> Result<Stop, ExecError> {
+    loop {
+        // Batch-evaluate phis at a block head (parallel-copy semantics).
+        if wi.inst_idx == 0 {
+            let insts = &g.f.block(wi.block).insts;
+            let mut updates: Vec<(ValueId, Val)> = Vec::new();
+            let mut n_phis = 0;
+            for &iv in insts {
+                let Some(Inst::Phi { incoming }) = g.f.inst(iv) else { break };
+                let prev = wi.prev_block.ok_or_else(|| {
+                    ExecError::Internal("phi executed with no predecessor".into())
+                })?;
+                let (_, v) = incoming
+                    .iter()
+                    .find(|(b, _)| *b == prev)
+                    .ok_or_else(|| ExecError::Internal("phi missing incoming edge".into()))?;
+                updates.push((iv, value_of(ctx, g, wi, *v)?));
+                n_phis += 1;
+            }
+            for (iv, v) in updates {
+                wi.regs[iv.index()] = Some(v);
+            }
+            wi.inst_idx = n_phis;
+            wi.insts += n_phis as u64;
+        }
+
+        let insts = &g.f.block(wi.block).insts;
+        if wi.inst_idx >= insts.len() {
+            return Err(ExecError::Internal("fell off the end of a block".into()));
+        }
+        let iv = insts[wi.inst_idx];
+        let inst = g.f.inst(iv).expect("block entries are instructions");
+        wi.insts += 1;
+        if *budget == 0 {
+            return Err(ExecError::InstructionLimit);
+        }
+        *budget -= 1;
+
+        match inst {
+            Inst::Barrier { .. } => {
+                wi.inst_idx += 1;
+                return Ok(Stop::Barrier(iv));
+            }
+            Inst::Ret => return Ok(Stop::Done),
+            Inst::Br { target } => {
+                wi.prev_block = Some(wi.block);
+                wi.block = *target;
+                wi.inst_idx = 0;
+                continue;
+            }
+            Inst::CondBr { cond, then_blk, else_blk } => {
+                let c = value_of(ctx, g, wi, *cond)?
+                    .as_bool()
+                    .ok_or_else(|| ExecError::TypeMismatch("condbr on non-bool".into()))?;
+                wi.prev_block = Some(wi.block);
+                wi.block = if c { *then_blk } else { *else_blk };
+                wi.inst_idx = 0;
+                continue;
+            }
+            _ => {}
+        }
+
+        let result = eval_inst(ctx, g, wi, iv, inst, sink)?;
+        if let Some(v) = result {
+            wi.regs[iv.index()] = Some(v);
+        }
+        wi.inst_idx += 1;
+    }
+}
+
+fn value_of(
+    ctx: &Context,
+    g: &GroupCtx<'_>,
+    wi: &WorkItem,
+    v: ValueId,
+) -> Result<Val, ExecError> {
+    match &g.f.value(v).def {
+        ValueDef::Const(c) => Ok(match c {
+            ConstVal::Bool(b) => Val::Bool(*b),
+            ConstVal::I32(x) => Val::I32(*x),
+            ConstVal::I64(x) => Val::I64(*x),
+            ConstVal::F32Bits(b) => Val::F32(f32::from_bits(*b)),
+        }),
+        ValueDef::Param(_) => wi.regs[v.index()]
+            .ok_or_else(|| ExecError::Internal("parameter not seeded".into())),
+        ValueDef::LocalBuf(id) => Ok(Val::Ptr(PtrVal {
+            space: AddressSpace::Local,
+            buf: id.0,
+            offset: 0,
+        })),
+        ValueDef::Inst(_) => wi.regs[v.index()]
+            .ok_or_else(|| ExecError::Internal(format!("use of unevaluated value v{}", v.0))),
+    }
+    .map(|val| {
+        let _ = ctx;
+        val
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn eval_inst(
+    ctx: &mut Context,
+    g: &mut GroupCtx<'_>,
+    wi: &WorkItem,
+    iv: ValueId,
+    inst: &Inst,
+    sink: &mut dyn TraceSink,
+) -> Result<Option<Val>, ExecError> {
+    let val = |ctx: &Context, g: &GroupCtx<'_>, v: ValueId| value_of(ctx, g, wi, v);
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            let l = val(ctx, g, *lhs)?;
+            let r = val(ctx, g, *rhs)?;
+            Ok(Some(eval_bin(*op, l, r)?))
+        }
+        Inst::Cmp { pred, lhs, rhs } => {
+            let l = val(ctx, g, *lhs)?;
+            let r = val(ctx, g, *rhs)?;
+            Ok(Some(eval_cmp(*pred, l, r)?))
+        }
+        Inst::Select { cond, then_val, else_val } => {
+            let c = val(ctx, g, *cond)?
+                .as_bool()
+                .ok_or_else(|| ExecError::TypeMismatch("select on non-bool".into()))?;
+            Ok(Some(if c { val(ctx, g, *then_val)? } else { val(ctx, g, *else_val)? }))
+        }
+        Inst::Cast { kind, value, to } => {
+            let v = val(ctx, g, *value)?;
+            Ok(Some(eval_cast(*kind, v, *to)?))
+        }
+        Inst::Call { builtin, args } => {
+            let a: Vec<Val> = args
+                .iter()
+                .map(|&x| val(ctx, g, x))
+                .collect::<Result<_, _>>()?;
+            Ok(Some(eval_call(g, wi, *builtin, &a)?))
+        }
+        Inst::Gep { base, index } => {
+            let p = val(ctx, g, *base)?
+                .as_ptr()
+                .ok_or_else(|| ExecError::TypeMismatch("gep base not a pointer".into()))?;
+            let idx = val(ctx, g, *index)?
+                .as_int()
+                .ok_or_else(|| ExecError::TypeMismatch("gep index not an integer".into()))?;
+            let elem = g
+                .f
+                .ty(*base)
+                .pointee()
+                .ok_or_else(|| ExecError::TypeMismatch("gep through non-pointer type".into()))?;
+            Ok(Some(Val::Ptr(PtrVal {
+                space: p.space,
+                buf: p.buf,
+                offset: p.offset + idx * elem.size_bytes() as i64,
+            })))
+        }
+        Inst::Load { ptr } => {
+            let p = val(ctx, g, *ptr)?
+                .as_ptr()
+                .ok_or_else(|| ExecError::TypeMismatch("load through non-pointer".into()))?;
+            let ty = g.f.ty(iv);
+            let lanes = ty.lanes();
+            let v = mem_load(ctx, g, p, lanes)?;
+            emit(sink, g, wi, TraceOp::Load, p, ty.size_bytes() as u32, iv);
+            Ok(Some(v))
+        }
+        Inst::Store { ptr, value } => {
+            let p = val(ctx, g, *ptr)?
+                .as_ptr()
+                .ok_or_else(|| ExecError::TypeMismatch("store through non-pointer".into()))?;
+            let v = val(ctx, g, *value)?;
+            let bytes = g.f.ty(*value).size_bytes() as u32;
+            mem_store(ctx, g, p, v)?;
+            emit(sink, g, wi, TraceOp::Store, p, bytes, iv);
+            Ok(None)
+        }
+        Inst::ExtractLane { vector, lane } => {
+            let v = val(ctx, g, *vector)?;
+            let i = val(ctx, g, *lane)?.as_int().unwrap_or(0) as usize;
+            v.lane(i)
+                .map(Some)
+                .ok_or_else(|| ExecError::TypeMismatch("extractlane out of range".into()))
+        }
+        Inst::InsertLane { vector, lane, value } => {
+            let v = val(ctx, g, *vector)?;
+            let i = val(ctx, g, *lane)?.as_int().unwrap_or(0) as usize;
+            let x = val(ctx, g, *value)?;
+            v.with_lane(i, x)
+                .map(Some)
+                .ok_or_else(|| ExecError::TypeMismatch("insertlane mismatch".into()))
+        }
+        Inst::BuildVector { lanes } => {
+            if lanes.len() > 4 {
+                return Err(ExecError::Unsupported("vectors wider than 4 lanes".into()));
+            }
+            let vals: Vec<Val> = lanes
+                .iter()
+                .map(|&x| val(ctx, g, x))
+                .collect::<Result<_, _>>()?;
+            let n = vals.len() as u8;
+            match vals[0] {
+                Val::F32(_) => {
+                    let mut a = [0.0f32; 4];
+                    for (i, v) in vals.iter().enumerate() {
+                        a[i] = v.as_f32().ok_or_else(|| {
+                            ExecError::TypeMismatch("mixed vector lanes".into())
+                        })?;
+                    }
+                    Ok(Some(Val::VF32(a, n)))
+                }
+                Val::I32(_) => {
+                    let mut a = [0i32; 4];
+                    for (i, v) in vals.iter().enumerate() {
+                        a[i] = v.as_i32().ok_or_else(|| {
+                            ExecError::TypeMismatch("mixed vector lanes".into())
+                        })?;
+                    }
+                    Ok(Some(Val::VI32(a, n)))
+                }
+                _ => Err(ExecError::Unsupported("vector of this kind".into())),
+            }
+        }
+        Inst::Phi { .. } => Err(ExecError::Internal("phi outside block head".into())),
+        Inst::Barrier { .. } | Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret => {
+            Err(ExecError::Internal("control handled by run_item".into()))
+        }
+    }
+}
+
+fn mem_load(ctx: &Context, g: &GroupCtx<'_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
+    match p.space {
+        AddressSpace::Global | AddressSpace::Constant => ctx.load(Buffer(p.buf), p.offset, lanes),
+        AddressSpace::Local => local_load(g, p, lanes),
+        AddressSpace::Private => Err(ExecError::Unsupported("private memory pointers".into())),
+    }
+}
+
+fn mem_store(
+    ctx: &mut Context,
+    g: &mut GroupCtx<'_>,
+    p: PtrVal,
+    v: Val,
+) -> Result<(), ExecError> {
+    match p.space {
+        AddressSpace::Global => ctx.store(Buffer(p.buf), p.offset, v),
+        AddressSpace::Constant => Err(ExecError::TypeMismatch("store to __constant".into())),
+        AddressSpace::Local => local_store(g, p, v),
+        AddressSpace::Private => Err(ExecError::Unsupported("private memory pointers".into())),
+    }
+}
+
+fn local_load(g: &GroupCtx<'_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
+    let data = &g.local_mem[p.buf as usize];
+    load_from(data, p.offset, lanes)
+}
+
+fn local_store(g: &mut GroupCtx<'_>, p: PtrVal, v: Val) -> Result<(), ExecError> {
+    let data = &mut g.local_mem[p.buf as usize];
+    store_to(data, p.offset, v)
+}
+
+fn load_from(data: &BufferData, offset: i64, lanes: u8) -> Result<Val, ExecError> {
+    let esz = data.scalar().size_bytes() as i64;
+    if offset < 0 || offset % esz != 0 {
+        return Err(ExecError::BadAddress(offset));
+    }
+    let idx = (offset / esz) as usize;
+    let n = lanes as usize;
+    if idx + n > data.len() {
+        return Err(ExecError::OutOfBounds { buffer: u32::MAX, index: idx + n - 1, len: data.len() });
+    }
+    Ok(match data {
+        BufferData::F32(v) => {
+            if n == 1 {
+                Val::F32(v[idx])
+            } else {
+                let mut a = [0.0f32; 4];
+                a[..n].copy_from_slice(&v[idx..idx + n]);
+                Val::VF32(a, lanes)
+            }
+        }
+        BufferData::I32(v) => {
+            if n == 1 {
+                Val::I32(v[idx])
+            } else {
+                let mut a = [0i32; 4];
+                a[..n].copy_from_slice(&v[idx..idx + n]);
+                Val::VI32(a, lanes)
+            }
+        }
+        BufferData::I64(v) => Val::I64(v[idx]),
+    })
+}
+
+fn store_to(data: &mut BufferData, offset: i64, v: Val) -> Result<(), ExecError> {
+    let esz = data.scalar().size_bytes() as i64;
+    if offset < 0 || offset % esz != 0 {
+        return Err(ExecError::BadAddress(offset));
+    }
+    let idx = (offset / esz) as usize;
+    let n = v.lanes() as usize;
+    if idx + n > data.len() {
+        return Err(ExecError::OutOfBounds { buffer: u32::MAX, index: idx + n - 1, len: data.len() });
+    }
+    match (data, v) {
+        (BufferData::F32(d), Val::F32(x)) => d[idx] = x,
+        (BufferData::F32(d), Val::VF32(a, l)) => {
+            d[idx..idx + l as usize].copy_from_slice(&a[..l as usize])
+        }
+        (BufferData::I32(d), Val::I32(x)) => d[idx] = x,
+        (BufferData::I32(d), Val::Bool(x)) => d[idx] = x as i32,
+        (BufferData::I32(d), Val::VI32(a, l)) => {
+            d[idx..idx + l as usize].copy_from_slice(&a[..l as usize])
+        }
+        (BufferData::I64(d), Val::I64(x)) => d[idx] = x,
+        _ => return Err(ExecError::TypeMismatch("local store kind mismatch".into())),
+    }
+    Ok(())
+}
+
+fn emit(
+    sink: &mut dyn TraceSink,
+    g: &GroupCtx<'_>,
+    wi: &WorkItem,
+    op: TraceOp,
+    p: PtrVal,
+    bytes: u32,
+    pc: ValueId,
+) {
+    let addr = match p.space {
+        AddressSpace::Local => g.local_bases[p.buf as usize].wrapping_add(p.offset as u64),
+        _ => {
+            // Device-wide address: buffer base + offset.
+            let base = gbase(g, p.buf);
+            base.wrapping_add(p.offset as u64)
+        }
+    };
+    let nd = &g.nd;
+    let local_linear =
+        (wi.lid[2] * nd.local[1] * nd.local[0] + wi.lid[1] * nd.local[0] + wi.lid[0]) as u32;
+    sink.access(&AccessEvent {
+        op,
+        space: p.space,
+        addr,
+        bytes,
+        group: g.group_linear,
+        local: local_linear,
+        pc: pc.0,
+    });
+}
+
+fn gbase(g: &GroupCtx<'_>, buf: u32) -> u64 {
+    g.global_bases.get(buf as usize).copied().unwrap_or(0)
+}
+
+fn ctx_num_buffers(ctx: &Context) -> usize {
+    ctx.num_buffers()
+}
+
+fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
+    // Vector ops: elementwise over lanes.
+    if l.lanes() > 1 || r.lanes() > 1 {
+        let n = l.lanes().max(r.lanes());
+        let mut out: Option<Val> = None;
+        for i in 0..n as usize {
+            let a = l.lane(if l.lanes() > 1 { i } else { 0 }).unwrap();
+            let b = r.lane(if r.lanes() > 1 { i } else { 0 }).unwrap();
+            let x = eval_bin(op, a, b)?;
+            out = Some(match out {
+                None => match x {
+                    Val::F32(v) => {
+                        let mut a = [0.0f32; 4];
+                        a[0] = v;
+                        Val::VF32(a, n)
+                    }
+                    Val::I32(v) => {
+                        let mut a = [0i32; 4];
+                        a[0] = v;
+                        Val::VI32(a, n)
+                    }
+                    _ => return Err(ExecError::Unsupported("vector bin kind".into())),
+                },
+                Some(acc) => acc.with_lane(i, x).ok_or_else(|| {
+                    ExecError::TypeMismatch("vector lane mismatch".into())
+                })?,
+            });
+        }
+        return Ok(out.unwrap());
+    }
+
+    use BinOp::*;
+    match op {
+        FAdd | FSub | FMul | FDiv | FMin | FMax => {
+            let (a, b) = match (l.as_f32(), r.as_f32()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(ExecError::TypeMismatch("float op on non-floats".into())),
+            };
+            Ok(Val::F32(match op {
+                FAdd => a + b,
+                FSub => a - b,
+                FMul => a * b,
+                FDiv => a / b,
+                FMin => a.min(b),
+                FMax => a.max(b),
+                _ => unreachable!(),
+            }))
+        }
+        _ => {
+            // Integer ops preserve the width of the left operand.
+            let wide = matches!(l, Val::I64(_));
+            let (a, b) = match (l.as_int(), r.as_int()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(ExecError::TypeMismatch("int op on non-ints".into())),
+            };
+            if matches!(op, SDiv | UDiv | SRem | URem) && b == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            // Bool And/Or/Xor keep bool.
+            if matches!(l, Val::Bool(_)) && matches!(op, And | Or | Xor) {
+                let v = match op {
+                    And => a & b,
+                    Or => a | b,
+                    Xor => a ^ b,
+                    _ => unreachable!(),
+                };
+                return Ok(Val::Bool(v != 0));
+            }
+            let v: i64 = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                SDiv => a.wrapping_div(b),
+                UDiv => {
+                    if wide {
+                        ((a as u64) / (b as u64)) as i64
+                    } else {
+                        ((a as u32) / (b as u32)) as i64
+                    }
+                }
+                SRem => a.wrapping_rem(b),
+                URem => {
+                    if wide {
+                        ((a as u64) % (b as u64)) as i64
+                    } else {
+                        ((a as u32) % (b as u32)) as i64
+                    }
+                }
+                Shl => a.wrapping_shl(b as u32),
+                LShr => {
+                    if wide {
+                        ((a as u64) >> (b as u32 & 63)) as i64
+                    } else {
+                        (((a as u32) >> (b as u32 & 31)) as i32) as i64
+                    }
+                }
+                AShr => a.wrapping_shr(b as u32),
+                And => a & b,
+                Or => a | b,
+                Xor => a ^ b,
+                _ => unreachable!(),
+            };
+            Ok(if wide { Val::I64(v) } else { Val::I32(v as i32) })
+        }
+    }
+}
+
+fn eval_cmp(pred: CmpPred, l: Val, r: Val) -> Result<Val, ExecError> {
+    use CmpPred::*;
+    if let (Some(a), Some(b)) = (l.as_f32(), r.as_f32()) {
+        let v = match pred {
+            FEq => a == b,
+            FNe => a != b,
+            FLt => a < b,
+            FLe => a <= b,
+            FGt => a > b,
+            FGe => a >= b,
+            _ => return Err(ExecError::TypeMismatch("int predicate on floats".into())),
+        };
+        return Ok(Val::Bool(v));
+    }
+    let (a, b) = match (l.as_int(), r.as_int()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(ExecError::TypeMismatch("cmp kind mismatch".into())),
+    };
+    // Unsigned comparisons act on the operand width.
+    let wide = matches!(l, Val::I64(_));
+    let (ua, ub) = if wide {
+        (a as u64, b as u64)
+    } else {
+        (a as u32 as u64, b as u32 as u64)
+    };
+    let v = match pred {
+        Eq => a == b,
+        Ne => a != b,
+        Slt => a < b,
+        Sle => a <= b,
+        Sgt => a > b,
+        Sge => a >= b,
+        Ult => ua < ub,
+        Ule => ua <= ub,
+        Ugt => ua > ub,
+        Uge => ua >= ub,
+        _ => return Err(ExecError::TypeMismatch("float predicate on ints".into())),
+    };
+    Ok(Val::Bool(v))
+}
+
+fn eval_cast(kind: CastKind, v: Val, to: Type) -> Result<Val, ExecError> {
+    use CastKind::*;
+    let t = match to {
+        Type::Scalar(s) => s,
+        _ => return Err(ExecError::Unsupported("vector casts".into())),
+    };
+    Ok(match (kind, v, t) {
+        (SExt, Val::I32(x), Scalar::I64) => Val::I64(x as i64),
+        (SExt, Val::Bool(x), Scalar::I32) => Val::I32(-(x as i32)),
+        (ZExt, Val::I32(x), Scalar::I64) => Val::I64(x as u32 as i64),
+        (ZExt, Val::Bool(x), Scalar::I32) => Val::I32(x as i32),
+        (ZExt, Val::Bool(x), Scalar::I64) => Val::I64(x as i64),
+        (Trunc, Val::I64(x), Scalar::I32) => Val::I32(x as i32),
+        (Trunc, Val::I32(x), Scalar::Bool) => Val::Bool(x & 1 != 0),
+        (SiToFp, Val::I32(x), Scalar::F32) => Val::F32(x as f32),
+        (SiToFp, Val::I64(x), Scalar::F32) => Val::F32(x as f32),
+        (FpToSi, Val::F32(x), Scalar::I32) => Val::I32(x as i32),
+        (FpToSi, Val::F32(x), Scalar::I64) => Val::I64(x as i64),
+        (Bitcast, Val::I32(x), Scalar::F32) => Val::F32(f32::from_bits(x as u32)),
+        (Bitcast, Val::F32(x), Scalar::I32) => Val::I32(x.to_bits() as i32),
+        (k, v, t) => {
+            return Err(ExecError::Unsupported(format!("cast {k:?} {v:?} -> {t:?}")))
+        }
+    })
+}
+
+fn eval_call(
+    g: &GroupCtx<'_>,
+    wi: &WorkItem,
+    b: Builtin,
+    args: &[Val],
+) -> Result<Val, ExecError> {
+    use Builtin::*;
+    if b.is_workitem_query() {
+        let d = args[0]
+            .as_int()
+            .ok_or_else(|| ExecError::TypeMismatch("query dim not integer".into()))?;
+        if !(0..3).contains(&d) {
+            return Err(ExecError::TypeMismatch(format!("query dim {d} out of range")));
+        }
+        let d = d as usize;
+        let nd = &g.nd;
+        let v = match b {
+            LocalId => wi.lid[d],
+            GroupId => wi.wg[d],
+            GlobalId => wi.wg[d] * nd.local[d] + wi.lid[d],
+            LocalSize => nd.local[d],
+            GlobalSize => nd.global[d],
+            NumGroups => nd.global[d] / nd.local[d],
+            _ => unreachable!(),
+        };
+        return Ok(Val::I64(v as i64));
+    }
+    let f1 = |x: Val| {
+        x.as_f32()
+            .ok_or_else(|| ExecError::TypeMismatch("math builtin on non-float".into()))
+    };
+    // Vector math: elementwise.
+    if args[0].lanes() > 1 && matches!(b, Sqrt | Rsqrt | Fabs | Exp | Log | Floor | Mad) {
+        let n = args[0].lanes();
+        let mut out = args[0];
+        for i in 0..n as usize {
+            let la: Vec<Val> = args.iter().map(|a| a.lane(i).unwrap()).collect();
+            let x = eval_call(g, wi, b, &la)?;
+            out = out
+                .with_lane(i, x)
+                .ok_or_else(|| ExecError::TypeMismatch("vector math lanes".into()))?;
+        }
+        return Ok(out);
+    }
+    Ok(match b {
+        Sqrt => Val::F32(f1(args[0])?.sqrt()),
+        Rsqrt => Val::F32(1.0 / f1(args[0])?.sqrt()),
+        Fabs => Val::F32(f1(args[0])?.abs()),
+        Exp => Val::F32(f1(args[0])?.exp()),
+        Log => Val::F32(f1(args[0])?.ln()),
+        Floor => Val::F32(f1(args[0])?.floor()),
+        Mad => Val::F32(f1(args[0])? * f1(args[1])? + f1(args[2])?),
+        IMin | IMax => {
+            let (a, bb) = (
+                args[0].as_int().ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
+                args[1].as_int().ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
+            );
+            let v = if b == IMin { a.min(bb) } else { a.max(bb) };
+            match args[0] {
+                Val::I64(_) => Val::I64(v),
+                _ => Val::I32(v as i32),
+            }
+        }
+        Clamp => {
+            if let (Some(x), Some(lo), Some(hi)) =
+                (args[0].as_f32(), args[1].as_f32(), args[2].as_f32())
+            {
+                Val::F32(x.clamp(lo, hi))
+            } else {
+                let x = args[0].as_int().unwrap_or(0);
+                let lo = args[1].as_int().unwrap_or(0);
+                let hi = args[2].as_int().unwrap_or(0);
+                Val::I32(x.clamp(lo, hi) as i32)
+            }
+        }
+        Dot => {
+            let n = args[0].lanes() as usize;
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += f1(args[0].lane(i).unwrap())? * f1(args[1].lane(i).unwrap())?;
+            }
+            Val::F32(acc)
+        }
+        _ => return Err(ExecError::Unsupported(format!("builtin {}", b.name()))),
+    })
+}
+
+/// Seed a work item's registers with its parameter values.
+pub(crate) fn seed_params(
+    f: &Function,
+    args: &[ArgValue],
+    regs: &mut [Option<Val>],
+) -> Result<(), ExecError> {
+    for (i, _) in f.params().iter().enumerate() {
+        let pv = f.param_value(i);
+        let v = match (f.ty(pv), args[i]) {
+            (Type::Ptr { space, .. }, ArgValue::Buffer(b)) => {
+                Val::Ptr(PtrVal { space, buf: b.0, offset: 0 })
+            }
+            (_, ArgValue::I32(x)) => Val::I32(x),
+            (_, ArgValue::I64(x)) => Val::I64(x),
+            (_, ArgValue::F32(x)) => Val::F32(x),
+            _ => return Err(ExecError::TypeMismatch("param seed".into())),
+        };
+        regs[pv.index()] = Some(v);
+    }
+    Ok(())
+}

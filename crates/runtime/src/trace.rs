@@ -1,0 +1,174 @@
+//! Memory-trace capture: the interpreter streams one event per memory
+//! access into a [`TraceSink`]; the device simulator replays them against
+//! its cache/SPM models. Streaming (rather than buffering) keeps memory use
+//! flat for large launches.
+
+use grover_ir::AddressSpace;
+
+/// Kind of memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// A memory read.
+    Load,
+    /// A memory write.
+    Store,
+}
+
+/// One memory access.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessEvent {
+    /// Load or store.
+    pub op: TraceOp,
+    /// OpenCL address space of the access.
+    pub space: AddressSpace,
+    /// Byte address. For global/constant buffers this is a device-wide
+    /// address (buffer bases are laid out by the [`crate::Context`]); for
+    /// `__local` accesses it is the offset inside the work-group's local
+    /// region (the device model decides where that region physically lives).
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    /// Linearised work-group id.
+    pub group: u32,
+    /// Linearised local work-item id within the group.
+    pub local: u32,
+    /// The load/store instruction's value id — a stable "program counter"
+    /// used by the GPU coalescing model to group accesses issued by the
+    /// same instruction across the work-items of a warp.
+    pub pc: u32,
+}
+
+/// Consumer of the execution trace.
+pub trait TraceSink {
+    /// Called for every memory access, in per-work-item program order.
+    /// Work-items of a group are interleaved at barrier granularity (all
+    /// accesses of item A between two barriers precede item B's — matching
+    /// how CPU OpenCL runtimes serialise work-items between barriers).
+    fn access(&mut self, ev: &AccessEvent);
+
+    /// A work-group-wide barrier was executed by group `group`.
+    fn barrier(&mut self, group: u32, items: u32) {
+        let _ = (group, items);
+    }
+
+    /// A work-item finished, having executed `instructions` IR instructions.
+    fn workitem_done(&mut self, group: u32, local: u32, instructions: u64) {
+        let _ = (group, local, instructions);
+    }
+
+    /// A work-group finished.
+    fn workgroup_done(&mut self, group: u32) {
+        let _ = group;
+    }
+}
+
+/// Discards everything (functional runs).
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn access(&mut self, _ev: &AccessEvent) {}
+}
+
+/// Counts accesses by space and op; cheap sanity-level statistics.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct CountingSink {
+    /// `__global` loads.
+    pub global_loads: u64,
+    /// `__global` stores.
+    pub global_stores: u64,
+    /// `__local` loads.
+    pub local_loads: u64,
+    /// `__local` stores.
+    pub local_stores: u64,
+    /// `__constant` loads.
+    pub constant_loads: u64,
+    /// Barrier rendezvous.
+    pub barriers: u64,
+    /// IR instructions executed.
+    pub instructions: u64,
+    /// Bytes read.
+    pub bytes_loaded: u64,
+    /// Bytes written.
+    pub bytes_stored: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn access(&mut self, ev: &AccessEvent) {
+        match (ev.space, ev.op) {
+            (AddressSpace::Global, TraceOp::Load) => self.global_loads += 1,
+            (AddressSpace::Global, TraceOp::Store) => self.global_stores += 1,
+            (AddressSpace::Local, TraceOp::Load) => self.local_loads += 1,
+            (AddressSpace::Local, TraceOp::Store) => self.local_stores += 1,
+            (AddressSpace::Constant, TraceOp::Load) => self.constant_loads += 1,
+            _ => {}
+        }
+        match ev.op {
+            TraceOp::Load => self.bytes_loaded += ev.bytes as u64,
+            TraceOp::Store => self.bytes_stored += ev.bytes as u64,
+        }
+    }
+
+    fn barrier(&mut self, _group: u32, _items: u32) {
+        self.barriers += 1;
+    }
+
+    fn workitem_done(&mut self, _group: u32, _local: u32, instructions: u64) {
+        self.instructions += instructions;
+    }
+}
+
+/// Buffers all events in memory (tests and small traces only).
+#[derive(Default)]
+pub struct VecSink {
+    /// All access events, in emission order.
+    pub events: Vec<AccessEvent>,
+    /// `(group, items)` of each barrier rendezvous.
+    pub barriers: Vec<(u32, u32)>,
+}
+
+impl TraceSink for VecSink {
+    fn access(&mut self, ev: &AccessEvent) {
+        self.events.push(*ev);
+    }
+
+    fn barrier(&mut self, group: u32, items: u32) {
+        self.barriers.push((group, items));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(space: AddressSpace, op: TraceOp, bytes: u32) -> AccessEvent {
+        AccessEvent { op, space, addr: 0, bytes, group: 0, local: 0, pc: 0 }
+    }
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::default();
+        s.access(&ev(AddressSpace::Global, TraceOp::Load, 4));
+        s.access(&ev(AddressSpace::Global, TraceOp::Store, 4));
+        s.access(&ev(AddressSpace::Local, TraceOp::Load, 16));
+        s.barrier(0, 64);
+        s.workitem_done(0, 0, 100);
+        assert_eq!(s.global_loads, 1);
+        assert_eq!(s.global_stores, 1);
+        assert_eq!(s.local_loads, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.instructions, 100);
+        assert_eq!(s.bytes_loaded, 20);
+        assert_eq!(s.bytes_stored, 4);
+    }
+
+    #[test]
+    fn vec_sink_records_order() {
+        let mut s = VecSink::default();
+        s.access(&ev(AddressSpace::Global, TraceOp::Load, 4));
+        s.access(&ev(AddressSpace::Local, TraceOp::Store, 8));
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].op, TraceOp::Load);
+        assert_eq!(s.events[1].bytes, 8);
+    }
+}

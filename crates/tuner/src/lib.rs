@@ -1,0 +1,352 @@
+#![warn(missing_docs)]
+//! # grover-tuner
+//!
+//! The auto-tuning framework the paper sketches as future work (§VIII):
+//! *"Ultimately, we aim to incorporate Grover into a high-level auto-tuning
+//! framework for OpenCL kernels, where code specialization is automated for
+//! different classes of platforms."*
+//!
+//! Given a kernel and a representative workload, the [`Tuner`]:
+//!
+//! 1. runs the Grover pass to obtain the local-memory-free version,
+//! 2. races both versions on the target device model,
+//! 3. returns the winning kernel — and caches the decision per
+//!    `(kernel, device)` so later launches pay nothing.
+//!
+//! ```
+//! use grover_frontend::{compile, BuildOptions};
+//! use grover_runtime::{ArgValue, Context, NdRange};
+//! use grover_tuner::{Tuner, Workload};
+//!
+//! let module = compile(
+//!     "__kernel void rev(__global float* in, __global float* out) {
+//!          __local float lm[16];
+//!          int lx = get_local_id(0);
+//!          int wx = get_group_id(0);
+//!          lm[lx] = in[wx * 16 + lx];
+//!          barrier(CLK_LOCAL_MEM_FENCE);
+//!          out[wx * 16 + lx] = lm[15 - lx];
+//!      }",
+//!     &BuildOptions::new(),
+//! ).unwrap();
+//! let kernel = module.kernel("rev").unwrap();
+//!
+//! let mut tuner = Tuner::new();
+//! let workload = Workload::new(|| {
+//!     let mut ctx = Context::new();
+//!     let a = ctx.buffer_f32(&[0.0; 64]);
+//!     let b = ctx.zeros_f32(64);
+//!     (ctx, vec![ArgValue::Buffer(a), ArgValue::Buffer(b)], NdRange::d1(64, 16))
+//! });
+//! let decision = tuner.tune(kernel, "SNB", &workload).unwrap();
+//! assert!(decision.np > 0.0);
+//! let _best = tuner.best_kernel(kernel, "SNB", &workload).unwrap();
+//! ```
+
+use std::collections::HashMap;
+
+use grover_core::{Grover, GroverReport};
+use grover_devsim::Device;
+use grover_ir::Function;
+use grover_runtime::{enqueue, ArgValue, Context, Limits, NdRange};
+
+/// Which kernel version won.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Choice {
+    /// Keep the original (local memory enabled).
+    WithLocalMemory,
+    /// Use the Grover-transformed version.
+    WithoutLocalMemory,
+    /// Within the similarity threshold — either works; the tuner returns
+    /// the original for stability.
+    Similar,
+}
+
+/// Outcome of one tuning run.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Device the decision applies to.
+    pub device: String,
+    /// The winning version.
+    pub choice: Choice,
+    /// `np = t_with / t_without` (paper §VI-B).
+    pub np: f64,
+    /// Simulated cycles with local memory.
+    pub cycles_with: u64,
+    /// Simulated cycles without local memory.
+    pub cycles_without: u64,
+    /// What Grover did to the kernel.
+    pub report: GroverReport,
+}
+
+/// A representative workload: a factory producing a fresh context,
+/// argument list and launch geometry for each measurement run.
+pub struct Workload {
+    make: Box<dyn Fn() -> (Context, Vec<ArgValue>, NdRange)>,
+}
+
+impl Workload {
+    /// Wrap a workload factory.
+    pub fn new(make: impl Fn() -> (Context, Vec<ArgValue>, NdRange) + 'static) -> Workload {
+        Workload { make: Box::new(make) }
+    }
+
+    fn instantiate(&self) -> (Context, Vec<ArgValue>, NdRange) {
+        (self.make)()
+    }
+}
+
+/// Tuning failures.
+#[derive(Clone, Debug)]
+pub enum TuneError {
+    /// Grover could not remove any local memory — there is nothing to tune.
+    NothingToDisable(String),
+    /// No device model of that name exists.
+    UnknownDevice(String),
+    /// The interpreter failed while measuring.
+    Execution(String),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NothingToDisable(r) => {
+                write!(f, "kernel has no removable local memory:\n{r}")
+            }
+            TuneError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            TuneError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// The auto-tuner. Decisions are cached per `(kernel name, device)`.
+#[derive(Default)]
+pub struct Tuner {
+    /// Similarity threshold (paper uses 5 %).
+    pub threshold: f64,
+    cache: HashMap<(String, String), Decision>,
+    transformed: HashMap<String, Function>,
+}
+
+impl Tuner {
+    /// A tuner with the paper's 5 % similarity threshold.
+    pub fn new() -> Tuner {
+        Tuner { threshold: 0.05, cache: HashMap::new(), transformed: HashMap::new() }
+    }
+
+    /// Number of cached decisions.
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Tune `kernel` for `device` using `workload`; cached after the first
+    /// call.
+    pub fn tune(
+        &mut self,
+        kernel: &Function,
+        device: &str,
+        workload: &Workload,
+    ) -> Result<Decision, TuneError> {
+        let key = (kernel.name.clone(), device.to_string());
+        if let Some(d) = self.cache.get(&key) {
+            return Ok(d.clone());
+        }
+        let (transformed, report) = self.transform(kernel)?;
+
+        let cycles_with = simulate(kernel, device, workload)?;
+        let cycles_without = simulate(&transformed, device, workload)?;
+        let np = cycles_with as f64 / cycles_without.max(1) as f64;
+        let choice = if np > 1.0 + self.threshold {
+            Choice::WithoutLocalMemory
+        } else if np < 1.0 - self.threshold {
+            Choice::WithLocalMemory
+        } else {
+            Choice::Similar
+        };
+        let d = Decision {
+            device: device.to_string(),
+            choice,
+            np,
+            cycles_with,
+            cycles_without,
+            report,
+        };
+        self.cache.insert(key, d.clone());
+        Ok(d)
+    }
+
+    /// The kernel version the tuner recommends for `device`.
+    pub fn best_kernel(
+        &mut self,
+        kernel: &Function,
+        device: &str,
+        workload: &Workload,
+    ) -> Result<Function, TuneError> {
+        let d = self.tune(kernel, device, workload)?;
+        Ok(match d.choice {
+            Choice::WithoutLocalMemory => self
+                .transformed
+                .get(&kernel.name)
+                .cloned()
+                .expect("transform cached by tune()"),
+            _ => kernel.clone(),
+        })
+    }
+
+    /// Tune across several devices at once (the per-platform specialisation
+    /// table the paper's future work describes).
+    pub fn tune_all(
+        &mut self,
+        kernel: &Function,
+        devices: &[&str],
+        workload: &Workload,
+    ) -> Vec<(String, Result<Decision, TuneError>)> {
+        devices
+            .iter()
+            .map(|&d| (d.to_string(), self.tune(kernel, d, workload)))
+            .collect()
+    }
+
+    fn transform(&mut self, kernel: &Function) -> Result<(Function, GroverReport), TuneError> {
+        if let Some(t) = self.transformed.get(&kernel.name) {
+            // Re-run for the report only on a scratch copy (cheap).
+            let mut scratch = kernel.clone();
+            let report = Grover::new().run_on(&mut scratch);
+            return Ok((t.clone(), report));
+        }
+        let mut transformed = kernel.clone();
+        let report = Grover::new().run_on(&mut transformed);
+        if report.removed_count() == 0 {
+            return Err(TuneError::NothingToDisable(report.to_text()));
+        }
+        grover_ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut transformed, 8);
+        self.transformed.insert(kernel.name.clone(), transformed.clone());
+        Ok((transformed, report))
+    }
+}
+
+fn simulate(kernel: &Function, device: &str, workload: &Workload) -> Result<u64, TuneError> {
+    let mut dev =
+        Device::by_name(device).ok_or_else(|| TuneError::UnknownDevice(device.to_string()))?;
+    let (mut ctx, args, nd) = workload.instantiate();
+    enqueue(&mut ctx, kernel, &args, &nd, &mut dev, &Limits::default())
+        .map_err(|e| TuneError::Execution(e.to_string()))?;
+    Ok(dev.finish().cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+
+    fn staged_kernel() -> Function {
+        compile(
+            "__kernel void rev(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 int wx = get_group_id(0);
+                 lm[lx] = in[wx * 16 + lx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[wx * 16 + lx] = lm[15 - lx];
+             }",
+            &BuildOptions::new(),
+        )
+        .unwrap()
+        .kernels
+        .remove(0)
+    }
+
+    fn workload() -> Workload {
+        Workload::new(|| {
+            let mut ctx = Context::new();
+            let a = ctx.buffer_f32(&vec![1.0; 256]);
+            let b = ctx.zeros_f32(256);
+            (ctx, vec![ArgValue::Buffer(a), ArgValue::Buffer(b)], NdRange::d1(256, 16))
+        })
+    }
+
+    #[test]
+    fn tunes_and_caches() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        let d1 = t.tune(&k, "SNB", &w).unwrap();
+        assert_eq!(t.cached_decisions(), 1);
+        let d2 = t.tune(&k, "SNB", &w).unwrap();
+        assert_eq!(d1.np, d2.np);
+        assert!(d1.cycles_with > 0 && d1.cycles_without > 0);
+    }
+
+    #[test]
+    fn decisions_differ_across_devices() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        let all = t.tune_all(&k, &["SNB", "Fermi"], &w);
+        assert_eq!(all.len(), 2);
+        assert_eq!(t.cached_decisions(), 2);
+        for (_, d) in &all {
+            assert!(d.is_ok());
+        }
+    }
+
+    #[test]
+    fn best_kernel_has_no_local_memory_when_transformed_wins() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        let d = t.tune(&k, "SNB", &w).unwrap();
+        let best = t.best_kernel(&k, "SNB", &w).unwrap();
+        match d.choice {
+            Choice::WithoutLocalMemory => assert_eq!(best.local_mem_bytes(), 0),
+            _ => assert_eq!(best.local_mem_bytes(), k.local_mem_bytes()),
+        }
+    }
+
+    #[test]
+    fn untunable_kernel_reports_cleanly() {
+        let k = compile(
+            "__kernel void plain(__global float* a) { a[0] = 1.0f; }",
+            &BuildOptions::new(),
+        )
+        .unwrap()
+        .kernels
+        .remove(0);
+        let w = Workload::new(|| {
+            let mut ctx = Context::new();
+            let a = ctx.zeros_f32(4);
+            (ctx, vec![ArgValue::Buffer(a)], NdRange::d1(1, 1))
+        });
+        let mut t = Tuner::new();
+        assert!(matches!(t.tune(&k, "SNB", &w), Err(TuneError::NothingToDisable(_))));
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        assert!(matches!(t.tune(&k, "TPU", &w), Err(TuneError::UnknownDevice(_))));
+    }
+
+    #[test]
+    fn gpu_prefers_local_memory_for_uncoalesced_reads() {
+        // The reversal makes the transformed version read backwards within
+        // each warp-chunk; the GPU should tend to keep local memory or be
+        // similar, while SNB drops it. At minimum the decisions must be
+        // internally consistent with np.
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        for dev in ["SNB", "Fermi"] {
+            let d = t.tune(&k, dev, &w).unwrap();
+            match d.choice {
+                Choice::WithoutLocalMemory => assert!(d.np > 1.05),
+                Choice::WithLocalMemory => assert!(d.np < 0.95),
+                Choice::Similar => assert!(d.np >= 0.95 && d.np <= 1.05),
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full paper pipeline
+//! (compile → Grover → execute → simulate) for every benchmark.
+
+use grover::devsim::{Device, CPU_DEVICES};
+use grover::kernels::{all_apps, app_by_id, prepare_pair, run_prepared, validate_app, Scale};
+use grover::runtime::CountingSink;
+
+#[test]
+fn all_eleven_apps_transform_and_validate() {
+    // The paper's Table III claim: Grover succeeds on all 11 applications
+    // and "each benchmark still runs correctly".
+    for app in all_apps() {
+        let pair = validate_app(&app, Scale::Test).unwrap_or_else(|e| panic!("{e}"));
+        assert!(pair.report.all_removed(), "{}: {}", app.id, pair.report.to_text());
+    }
+}
+
+#[test]
+fn transformed_kernels_pass_ir_verification() {
+    for app in all_apps() {
+        let pair = prepare_pair(&app, Scale::Test).unwrap();
+        grover::ir::verify(&pair.original).unwrap_or_else(|e| panic!("{}: {e:?}", app.id));
+        grover::ir::verify(&pair.transformed).unwrap_or_else(|e| panic!("{}: {e:?}", app.id));
+    }
+}
+
+#[test]
+fn table3_solutions_match_paper() {
+    // The derived correspondences for the structurally-distinct rows of
+    // Table III.
+    let expect = [
+        ("NVD-MT", "(lx, ly) = (ly, lx)"),
+        ("AMD-MT", "(lx, ly) = (ly, lx)"),
+        ("AMD-RG", "(ly) = (ly)"),
+    ];
+    for (id, want) in expect {
+        let app = app_by_id(id).unwrap();
+        let pair = prepare_pair(&app, Scale::Test).unwrap();
+        let sols = &pair.report.buffers[0].solutions;
+        assert_eq!(sols[0], want, "{id}");
+    }
+}
+
+#[test]
+fn loop_counter_solutions_reference_the_phi() {
+    // AMD-SS / ROD-SC / NVD-NBody solve (lx) = (k) where k is a loop phi.
+    for id in ["AMD-SS", "ROD-SC", "NVD-NBody"] {
+        let app = app_by_id(id).unwrap();
+        let pair = prepare_pair(&app, Scale::Test).unwrap();
+        let sol = &pair.report.buffers[0].solutions[0];
+        assert!(sol.starts_with("(lx) = "), "{id}: {sol}");
+        assert!(!sol.contains("= (lx)"), "{id}: solution should not be the identity: {sol}");
+    }
+}
+
+#[test]
+fn stencil_has_five_rewired_loads() {
+    let app = app_by_id("PAB-ST").unwrap();
+    let pair = prepare_pair(&app, Scale::Test).unwrap();
+    let b = &pair.report.buffers[0];
+    assert_eq!(b.ngl.len(), 5, "five LLs: centre + four neighbours");
+    assert_eq!(b.solutions.len(), 5);
+}
+
+#[test]
+fn np_is_finite_and_positive_on_every_device() {
+    for app in all_apps() {
+        let pair = prepare_pair(&app, Scale::Test).unwrap();
+        for dev_name in CPU_DEVICES {
+            let mut dev = Device::by_name(dev_name).unwrap();
+            run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut dev)
+                .unwrap_or_else(|e| panic!("{} on {dev_name}: {e}", app.id));
+            let with_lm = dev.finish();
+            let mut dev = Device::by_name(dev_name).unwrap();
+            run_prepared(&pair.transformed, (app.prepare)(Scale::Test), &mut dev)
+                .unwrap_or_else(|e| panic!("{} on {dev_name}: {e}", app.id));
+            let without = dev.finish();
+            assert!(with_lm.cycles > 0, "{} {dev_name}", app.id);
+            assert!(without.cycles > 0, "{} {dev_name}", app.id);
+        }
+    }
+}
+
+#[test]
+fn transformed_version_reduces_memory_operations_for_mt() {
+    let app = app_by_id("NVD-MT").unwrap();
+    let pair = prepare_pair(&app, Scale::Test).unwrap();
+    let count = |k| {
+        let mut s = CountingSink::default();
+        run_prepared(k, (app.prepare)(Scale::Test), &mut s).unwrap();
+        s
+    };
+    let with_lm = count(&pair.original);
+    let without = count(&pair.transformed);
+    // Same global traffic, zero local traffic, zero barriers, fewer insts.
+    assert_eq!(with_lm.global_loads, without.global_loads);
+    assert_eq!(with_lm.global_stores, without.global_stores);
+    assert_eq!(without.local_loads + without.local_stores, 0);
+    assert_eq!(without.barriers, 0);
+    assert!(without.instructions < with_lm.instructions);
+}
+
+#[test]
+fn gpu_prefers_local_memory_for_mt_at_scale() {
+    // Fig. 2's left side at Small scale: Fermi/Kepler lose when Grover
+    // removes MT's staging (uncoalesced loads appear).
+    let app = app_by_id("NVD-MT").unwrap();
+    let pair = prepare_pair(&app, Scale::Small).unwrap();
+    for dev_name in ["Fermi", "Kepler"] {
+        let mut dev = Device::by_name(dev_name).unwrap();
+        run_prepared(&pair.original, (app.prepare)(Scale::Small), &mut dev).unwrap();
+        let with_lm = dev.finish();
+        let mut dev = Device::by_name(dev_name).unwrap();
+        run_prepared(&pair.transformed, (app.prepare)(Scale::Small), &mut dev).unwrap();
+        let without = dev.finish();
+        assert!(
+            without.cycles > with_lm.cycles,
+            "{dev_name}: removing local memory should hurt the GPU \
+             (with={}, without={})",
+            with_lm.cycles,
+            without.cycles
+        );
+        // And the mechanism is the transaction count.
+        assert!(without.transactions > with_lm.transactions, "{dev_name}");
+    }
+}
+
+#[test]
+fn cpu_prefers_no_local_memory_for_mt_at_scale() {
+    // Fig. 2's right side: SNB and Nehalem gain.
+    let app = app_by_id("NVD-MT").unwrap();
+    let pair = prepare_pair(&app, Scale::Small).unwrap();
+    for dev_name in ["SNB", "Nehalem"] {
+        let mut dev = Device::by_name(dev_name).unwrap();
+        run_prepared(&pair.original, (app.prepare)(Scale::Small), &mut dev).unwrap();
+        let with_lm = dev.finish();
+        let mut dev = Device::by_name(dev_name).unwrap();
+        run_prepared(&pair.transformed, (app.prepare)(Scale::Small), &mut dev).unwrap();
+        let without = dev.finish();
+        assert!(
+            with_lm.cycles > without.cycles,
+            "{dev_name}: removing local memory should help the CPU"
+        );
+    }
+}
+
+#[test]
+fn partial_variants_keep_the_other_buffer() {
+    for (id, kept) in [("NVD-MM-A", "tb"), ("NVD-MM-B", "ta")] {
+        let app = app_by_id(id).unwrap();
+        let pair = prepare_pair(&app, Scale::Test).unwrap();
+        let lb = pair
+            .transformed
+            .local_bufs()
+            .iter()
+            .find(|l| l.name == kept)
+            .unwrap_or_else(|| panic!("{id}: buffer {kept} missing"));
+        assert!(lb.len() > 0, "{id}: {kept} should remain allocated");
+        assert!(pair.transformed.local_mem_bytes() > 0, "{id}");
+    }
+    let app = app_by_id("NVD-MM-AB").unwrap();
+    let pair = prepare_pair(&app, Scale::Test).unwrap();
+    assert_eq!(pair.transformed.local_mem_bytes(), 0);
+}
+
+#[test]
+fn report_text_round_trips_key_information() {
+    let app = app_by_id("AMD-MM").unwrap();
+    let pair = prepare_pair(&app, Scale::Test).unwrap();
+    let text = pair.report.to_text();
+    assert!(text.contains("__local bl"), "{text}");
+    assert!(text.contains("removed"), "{text}");
+    assert!(text.contains("GL"), "{text}");
+    assert!(text.contains("nGL"), "{text}");
+}

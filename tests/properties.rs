@@ -1,0 +1,442 @@
+//! Property-based tests (proptest) over the core machinery:
+//!
+//! * exact rational arithmetic obeys field axioms,
+//! * affine algebra is a faithful homomorphism under evaluation,
+//! * the linear-system solver inverts arbitrary unimodular staging maps,
+//! * randomly generated staging kernels survive Grover semantically,
+//! * the optimisation pipeline (GVN/LICM/fold) preserves kernel results,
+//! * the cache model satisfies counting and inclusion-style invariants.
+
+use proptest::prelude::*;
+
+use grover::devsim::{Cache, CacheConfig};
+use grover::frontend::{compile, BuildOptions};
+use grover::pass::{solve, Affine, Atom, Grover, Rational};
+use grover::runtime::{enqueue, ArgValue, Context, Limits, NdRange, NullSink};
+
+// ---------------- rationals ----------------
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (-1000i64..1000, 1i64..100).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in rational(), b in rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_commutes(a in rational(), b in rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn rational_add_associates(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_distributes(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_mul_inverse(a in rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn rational_sub_add_roundtrip(a in rational(), b in rational()) {
+        prop_assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn rational_normalised(n in -1000i64..1000, d in 1i64..100) {
+        let r = Rational::new(n, d);
+        prop_assert!(r.denominator() > 0);
+        let g = gcd(r.numerator().abs(), r.denominator());
+        prop_assert!(g <= 1 || r.numerator() == 0);
+    }
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// ---------------- affine forms ----------------
+
+fn small_affine() -> impl Strategy<Value = Affine> {
+    (
+        -8i64..8, // lx coeff
+        -8i64..8, // ly coeff
+        -64i64..64,
+    )
+        .prop_map(|(a, b, k)| {
+            Affine::atom(Atom::LocalId(0))
+                .scale(Rational::int(a))
+                .add(&Affine::atom(Atom::LocalId(1)).scale(Rational::int(b)))
+                .add(&Affine::constant(k))
+        })
+}
+
+proptest! {
+    #[test]
+    fn affine_eval_is_additive(a in small_affine(), b in small_affine(),
+                               lx in 0i64..16, ly in 0i64..16) {
+        let v = |at: Atom| match at {
+            Atom::LocalId(0) => lx,
+            Atom::LocalId(1) => ly,
+            _ => 0,
+        };
+        prop_assert_eq!(a.add(&b).eval(v), a.eval(v) + b.eval(v));
+    }
+
+    #[test]
+    fn affine_eval_scales(a in small_affine(), s in -8i64..8,
+                          lx in 0i64..16, ly in 0i64..16) {
+        let v = |at: Atom| match at {
+            Atom::LocalId(0) => lx,
+            Atom::LocalId(1) => ly,
+            _ => 0,
+        };
+        prop_assert_eq!(a.scale(Rational::int(s)).eval(v),
+                        a.eval(v) * Rational::int(s));
+    }
+
+    #[test]
+    fn split_by_stride_recomposes(a in small_affine(), stride in 1i64..64,
+                                  lx in 0i64..16, ly in 0i64..16) {
+        if let Some((hi, lo)) = a.split_by_stride(stride) {
+            let v = |at: Atom| match at {
+                Atom::LocalId(0) => lx,
+                Atom::LocalId(1) => ly,
+                _ => 0,
+            };
+            prop_assert_eq!(hi.eval(v) * Rational::int(stride) + lo.eval(v), a.eval(v));
+        }
+    }
+
+    #[test]
+    fn substitution_matches_eval(a in small_affine(), rx in -8i64..8, rk in -8i64..8,
+                                 ly in 0i64..16) {
+        // Substitute lx := rx*ly + rk and compare against direct evaluation.
+        let rep = Affine::atom(Atom::LocalId(1))
+            .scale(Rational::int(rx))
+            .add(&Affine::constant(rk));
+        let sub = a.substitute(|at| (at == Atom::LocalId(0)).then(|| rep.clone()));
+        let v_orig = |at: Atom| match at {
+            Atom::LocalId(0) => rx * ly + rk,
+            Atom::LocalId(1) => ly,
+            _ => 0,
+        };
+        let v_sub = |at: Atom| match at {
+            Atom::LocalId(1) => ly,
+            _ => 0,
+        };
+        prop_assert_eq!(sub.eval(v_sub), a.eval(v_orig));
+    }
+}
+
+// ---------------- solver round-trip ----------------
+
+proptest! {
+    /// For any unimodular 2x2 integer map M and offset d, solving
+    /// `M·l' + d = rhs` and substituting the solution back must reproduce
+    /// the right-hand side exactly.
+    #[test]
+    fn solver_inverts_unimodular_maps(
+        a in -3i64..4, b in -3i64..4, k in -3i64..4,
+        d0 in -8i64..8, d1 in -8i64..8,
+    ) {
+        // Unimodular construction: [[1, a],[b, 1+ab]] has determinant 1;
+        // scale rows by ±1 via k parity for variety.
+        let m = [[1, a], [b, 1 + a * b]];
+        let sign = if k % 2 == 0 { 1 } else { -1 };
+        let m = [[m[0][0] * sign, m[0][1] * sign], m[1]];
+        let lx = Affine::atom(Atom::LocalId(0));
+        let ly = Affine::atom(Atom::LocalId(1));
+        let ls0 = lx.scale(Rational::int(m[0][0]))
+            .add(&ly.scale(Rational::int(m[0][1])))
+            .add(&Affine::constant(d0));
+        let ls1 = lx.scale(Rational::int(m[1][0]))
+            .add(&ly.scale(Rational::int(m[1][1])))
+            .add(&Affine::constant(d1));
+        // Symbolic RHS: two opaque atoms (the loader's index values).
+        let r0 = Affine::atom(Atom::Value(grover::ir::ValueId(9000)));
+        let r1 = Affine::atom(Atom::Value(grover::ir::ValueId(9001)));
+        let sol = solve(&[ls0.clone(), ls1.clone()], &[r0.clone(), r1.clone()])
+            .expect("unimodular systems always solve");
+        // Substitute back: ls_i(sol) must equal r_i.
+        let back0 = ls0.substitute(|at| match at {
+            Atom::LocalId(d) => sol.for_dim(d).cloned(),
+            _ => None,
+        });
+        let back1 = ls1.substitute(|at| match at {
+            Atom::LocalId(d) => sol.for_dim(d).cloned(),
+            _ => None,
+        });
+        prop_assert_eq!(back0, r0);
+        prop_assert_eq!(back1, r1);
+    }
+
+    /// Singular maps must be rejected, never "solved".
+    #[test]
+    fn solver_rejects_singular_maps(a in -3i64..4, b in -3i64..4, s in -3i64..4) {
+        // Rows are scalar multiples: rank <= 1 with two unknowns.
+        let lx = Affine::atom(Atom::LocalId(0));
+        let ly = Affine::atom(Atom::LocalId(1));
+        let row = lx.scale(Rational::int(a)).add(&ly.scale(Rational::int(b)));
+        let row2 = row.scale(Rational::int(s));
+        let r0 = Affine::atom(Atom::Value(grover::ir::ValueId(9000)));
+        let r1 = Affine::atom(Atom::Value(grover::ir::ValueId(9001)));
+        prop_assume!(a != 0 || b != 0);
+        let out = solve(&[row, row2], &[r0, r1]);
+        prop_assert!(out.is_err());
+    }
+}
+
+// ---------------- randomly generated staging kernels ----------------
+
+/// Generate a staging kernel whose LL reads a bijective remapping of the
+/// written window (`LS` stores at `(ly+oy, lx+ox)`), transform it with
+/// Grover, run both versions and compare. Variants cover identity, swap,
+/// and the two reflections — all affine, all invertible, all staying
+/// inside the staged region (the pattern's own precondition).
+fn staging_roundtrip(variant: u8, ox: i64, oy: i64) {
+    const S: i64 = 8;
+    let (py, px) = match variant % 4 {
+        0 => ("ly".to_string(), "lx".to_string()),
+        1 => ("lx".to_string(), "ly".to_string()),
+        2 => (format!("{} - ly", S - 1), format!("{} - lx", S - 1)),
+        _ => (format!("{} - lx", S - 1), format!("{} - ly", S - 1)),
+    };
+    let src = format!(
+        "__kernel void gen(__global float* in, __global float* out, int w) {{
+             __local float lm[{sx}][{sx}];
+             int lx = get_local_id(0);
+             int ly = get_local_id(1);
+             int gx = get_global_id(0);
+             int gy = get_global_id(1);
+             lm[ly + {oy}][lx + {ox}] = in[gy * w + gx];
+             barrier(CLK_LOCAL_MEM_FENCE);
+             out[gy * w + gx] = lm[({py}) + {oy}][({px}) + {ox}];
+         }}",
+        sx = S + 4, // room for offsets
+    );
+    let module = compile(&src, &BuildOptions::new()).expect("compile");
+    let original = module.kernel("gen").unwrap().clone();
+    let mut transformed = original.clone();
+    let report = Grover::new().run_on(&mut transformed);
+    assert!(report.all_removed(), "{}\n{src}", report.to_text());
+
+    let n = 16u64;
+    let input: Vec<f32> = (0..n * n).map(|i| (i as f32).sin()).collect();
+    let run = |kernel: &grover::ir::Function| -> Vec<f32> {
+        let mut ctx = Context::new();
+        let bi = ctx.buffer_f32(&input);
+        let bo = ctx.zeros_f32((n * n) as usize);
+        enqueue(
+            &mut ctx,
+            kernel,
+            &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+            &NdRange::d2(n, n, S as u64, S as u64),
+            &mut NullSink,
+            &Limits::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        ctx.read_f32(bo).to_vec()
+    };
+    assert_eq!(run(&original), run(&transformed), "{src}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_staging_kernels_roundtrip(variant in 0u8..4,
+                                        ox in 0i64..4, oy in 0i64..4) {
+        staging_roundtrip(variant, ox, oy);
+    }
+}
+
+// ---------------- optimisation pipeline preserves semantics ----------------
+
+fn arith_kernel(c1: i32, c2: i32, c3: i32, use_loop: bool) -> String {
+    let body = if use_loop {
+        format!(
+            "float acc = 0.0f;
+             for (int i = 0; i < 8; i++) {{
+                 acc += in[(gx + i) % n] * {c1}.0f + {c2}.0f;
+             }}
+             out[gx] = acc * {c3}.0f;"
+        )
+    } else {
+        format!(
+            "float t = in[gx] * {c1}.0f + {c2}.0f;
+             float u = in[gx] * {c1}.0f + {c2}.0f;
+             out[gx] = (t + u) * {c3}.0f;"
+        )
+    };
+    format!(
+        "__kernel void a(__global float* in, __global float* out, int n) {{
+             int gx = get_global_id(0);
+             {body}
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn optimisation_pipeline_preserves_results(
+        c1 in -4i32..5, c2 in -4i32..5, c3 in -4i32..5, use_loop in any::<bool>()
+    ) {
+        let src = arith_kernel(c1, c2, c3, use_loop);
+        let module = compile(&src, &BuildOptions::new()).unwrap();
+        let plain = module.kernel("a").unwrap().clone();
+        let mut opt = plain.clone();
+        grover::ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut opt, 8);
+        grover::ir::verify(&opt).unwrap();
+
+        let input: Vec<f32> = (0..32).map(|i| (i as f32) * 0.25 - 3.0).collect();
+        let run = |kernel: &grover::ir::Function| -> Vec<f32> {
+            let mut ctx = Context::new();
+            let bi = ctx.buffer_f32(&input);
+            let bo = ctx.zeros_f32(32);
+            enqueue(
+                &mut ctx,
+                kernel,
+                &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(32)],
+                &NdRange::d1(32, 8),
+                &mut NullSink,
+                &Limits::default(),
+            )
+            .unwrap();
+            ctx.read_f32(bo).to_vec()
+        };
+        prop_assert_eq!(run(&plain), run(&opt));
+    }
+}
+
+// ---------------- cache invariants ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cache_counts_are_consistent(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(512, 32, 2, 1));
+        for (i, &a) in addrs.iter().enumerate() {
+            c.access(a, i % 3 == 0);
+        }
+        prop_assert_eq!(c.stats.accesses(), addrs.len() as u64);
+        prop_assert!(c.stats.writebacks <= c.stats.evictions);
+        prop_assert!(c.stats.hit_rate() >= 0.0 && c.stats.hit_rate() <= 1.0);
+    }
+
+    /// A cache never misses on an address accessed within the last
+    /// `ways` *distinct same-set lines* — the LRU stack property.
+    #[test]
+    fn immediate_reaccess_always_hits(addrs in prop::collection::vec(0u64..65536, 1..100)) {
+        let mut c = Cache::new(CacheConfig::new(4096, 64, 4, 1));
+        for &a in &addrs {
+            c.access(a, false);
+            let hits_before = c.stats.hits;
+            c.access(a, false);
+            prop_assert_eq!(c.stats.hits, hits_before + 1);
+        }
+    }
+
+    /// Working sets no larger than one way-set always fit.
+    #[test]
+    fn small_working_set_fully_cached(start in 0u64..1024) {
+        // 4 KiB / 64 B lines / 4 ways = 16 sets; 16 consecutive lines span
+        // all sets exactly once.
+        let mut c = Cache::new(CacheConfig::new(4096, 64, 4, 1));
+        let base = start * 64;
+        for rep in 0..4 {
+            for i in 0..16u64 {
+                c.access(base + i * 64, false);
+            }
+            let _ = rep;
+        }
+        prop_assert_eq!(c.stats.misses, 16);
+        prop_assert_eq!(c.stats.hits, 48);
+    }
+}
+
+// ---------------- textual IR round-trip ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// print ∘ parse is a fixpoint and preserves execution results for
+    /// generated arithmetic kernels.
+    #[test]
+    fn text_ir_roundtrip_preserves_semantics(
+        c1 in -4i32..5, c2 in -4i32..5, c3 in -4i32..5, use_loop in any::<bool>()
+    ) {
+        let src = arith_kernel(c1, c2, c3, use_loop);
+        let module = compile(&src, &BuildOptions::new()).unwrap();
+        let plain = module.kernel("a").unwrap().clone();
+        let text1 = grover::ir::printer::function_to_string(&plain);
+        let parsed = grover::ir::parse_function(&text1).unwrap();
+        grover::ir::verify(&parsed).unwrap();
+        let text2 = grover::ir::printer::function_to_string(&parsed);
+        let parsed2 = grover::ir::parse_function(&text2).unwrap();
+        let text3 = grover::ir::printer::function_to_string(&parsed2);
+        prop_assert_eq!(&text2, &text3, "fixpoint");
+
+        let input: Vec<f32> = (0..32).map(|i| (i as f32) * 0.5 - 8.0).collect();
+        let run = |kernel: &grover::ir::Function| -> Vec<f32> {
+            let mut ctx = Context::new();
+            let bi = ctx.buffer_f32(&input);
+            let bo = ctx.zeros_f32(32);
+            enqueue(
+                &mut ctx,
+                kernel,
+                &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(32)],
+                &NdRange::d1(32, 8),
+                &mut NullSink,
+                &Limits::default(),
+            )
+            .unwrap();
+            ctx.read_f32(bo).to_vec()
+        };
+        prop_assert_eq!(run(&plain), run(&parsed));
+    }
+}
+
+// ---------------- interpreter determinism ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn interpreter_is_deterministic(seed in 0u64..1000) {
+        let src = "__kernel void d(__global float* a, __global float* b) {
+            __local float lm[8];
+            int lx = get_local_id(0);
+            int gx = get_global_id(0);
+            lm[lx] = a[gx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            b[gx] = lm[7 - lx] + lm[lx];
+        }";
+        let module = compile(src, &BuildOptions::new()).unwrap();
+        let k = module.kernel("d").unwrap();
+        let input: Vec<f32> = (0..32).map(|i| ((i as u64 * seed) % 97) as f32).collect();
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            let mut ctx = Context::new();
+            let ba = ctx.buffer_f32(&input);
+            let bb = ctx.zeros_f32(32);
+            enqueue(&mut ctx, k, &[ArgValue::Buffer(ba), ArgValue::Buffer(bb)],
+                    &NdRange::d1(32, 8), &mut NullSink, &Limits::default()).unwrap();
+            outs.push(ctx.read_f32(bb).to_vec());
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+    }
+}
