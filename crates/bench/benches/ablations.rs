@@ -1,19 +1,13 @@
-//! Criterion bench for the ablation studies (DESIGN.md §8): barrier-kept
-//! variant and tile-size variants of NVD-MT on the SNB model.
+//! Bench for the ablation studies (DESIGN.md §8): barrier-kept variant and
+//! tile-size variants of NVD-MT on the SNB model.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grover_bench::time_case;
 use grover_core::{Grover, GroverOptions};
 use grover_devsim::Device;
 use grover_frontend::compile;
 use grover_kernels::{app_by_id, run_prepared, Scale};
 
-fn bench_barrier_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_barrier");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(800));
+fn main() {
     let app = app_by_id("NVD-MT").unwrap();
     let opts = (app.options)(Scale::Test);
     let module = compile(app.source, &opts).unwrap();
@@ -22,22 +16,21 @@ fn bench_barrier_ablation(c: &mut Criterion) {
     let mut full = original.clone();
     Grover::new().run_on(&mut full);
     let mut keep_barrier = original.clone();
-    Grover::with_options(GroverOptions { buffers: None, keep_barriers: true })
-        .run_on(&mut keep_barrier);
+    Grover::with_options(GroverOptions {
+        buffers: None,
+        keep_barriers: true,
+    })
+    .run_on(&mut keep_barrier);
 
-    for (name, kernel) in
-        [("with_lm", &original), ("no_lm", &full), ("no_lm_keep_barrier", &keep_barrier)]
-    {
-        g.bench_with_input(BenchmarkId::new("NVD-MT/SNB", name), &kernel, |b, kernel| {
-            b.iter(|| {
-                let mut d = Device::by_name("SNB").unwrap();
-                run_prepared(kernel, (app.prepare)(Scale::Test), &mut d).unwrap();
-                std::hint::black_box(d.finish().cycles)
-            })
+    for (name, kernel) in [
+        ("with_lm", &original),
+        ("no_lm", &full),
+        ("no_lm_keep_barrier", &keep_barrier),
+    ] {
+        time_case(&format!("ablation_barrier/NVD-MT/SNB/{name}"), 10, || {
+            let mut d = Device::by_name("SNB").unwrap();
+            run_prepared(kernel, (app.prepare)(Scale::Test), &mut d).unwrap();
+            std::hint::black_box(d.finish().cycles)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_barrier_ablation);
-criterion_main!(benches);

@@ -1,52 +1,29 @@
-//! Criterion bench backing Fig. 10: simulated execution of all 11
-//! applications on the three cache-only devices, both kernel versions.
-//! The figure (normalized simulated cycles) is printed by
+//! Bench backing Fig. 10: simulated execution of all 11 applications on
+//! the three cache-only devices, both kernel versions. The figure
+//! (normalized simulated cycles) is printed by
 //! `cargo run -p grover-bench --bin fig10`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grover_bench::time_case;
 use grover_devsim::{Device, CPU_DEVICES};
 use grover_kernels::{all_apps, prepare_pair, run_prepared, Scale};
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(800));
+fn main() {
     for app in all_apps() {
         let pair = match prepare_pair(&app, Scale::Test) {
             Ok(p) => p,
             Err(e) => panic!("{e}"),
         };
         for dev in CPU_DEVICES {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{}/with_lm", app.id), dev),
-                &dev,
-                |b, dev| {
-                    b.iter(|| {
-                        let mut d = Device::by_name(dev).unwrap();
-                        run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
-                        std::hint::black_box(d.finish().cycles)
-                    })
-                },
-            );
-            g.bench_with_input(
-                BenchmarkId::new(format!("{}/without_lm", app.id), dev),
-                &dev,
-                |b, dev| {
-                    b.iter(|| {
-                        let mut d = Device::by_name(dev).unwrap();
-                        run_prepared(&pair.transformed, (app.prepare)(Scale::Test), &mut d)
-                            .unwrap();
-                        std::hint::black_box(d.finish().cycles)
-                    })
-                },
-            );
+            time_case(&format!("fig10/{}/with_lm/{dev}", app.id), 10, || {
+                let mut d = Device::by_name(dev).unwrap();
+                run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
+                std::hint::black_box(d.finish().cycles)
+            });
+            time_case(&format!("fig10/{}/without_lm/{dev}", app.id), 10, || {
+                let mut d = Device::by_name(dev).unwrap();
+                run_prepared(&pair.transformed, (app.prepare)(Scale::Test), &mut d).unwrap();
+                std::hint::black_box(d.finish().cycles)
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,50 +1,27 @@
-//! Criterion bench backing Fig. 2: simulated execution of MT and MM
-//! (A de-localised) on all six devices, both kernel versions. The measured
-//! wall time is the simulator's; the figure itself (normalized simulated
-//! cycles) is printed by `cargo run -p grover-bench --bin fig2`.
+//! Bench backing Fig. 2: simulated execution of MT and MM (A de-localised)
+//! on all six devices, both kernel versions. The measured wall time is the
+//! simulator's; the figure itself (normalized simulated cycles) is printed
+//! by `cargo run -p grover-bench --bin fig2`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grover_bench::time_case;
 use grover_devsim::{Device, ALL_DEVICES};
 use grover_kernels::{app_by_id, prepare_pair, run_prepared, Scale};
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(800));
+fn main() {
     for app_id in ["NVD-MT", "NVD-MM-A"] {
         let app = app_by_id(app_id).unwrap();
         let pair = prepare_pair(&app, Scale::Test).unwrap();
         for dev in ALL_DEVICES {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{app_id}/with_lm"), dev),
-                &dev,
-                |b, dev| {
-                    b.iter(|| {
-                        let mut d = Device::by_name(dev).unwrap();
-                        run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
-                        std::hint::black_box(d.finish().cycles)
-                    })
-                },
-            );
-            g.bench_with_input(
-                BenchmarkId::new(format!("{app_id}/without_lm"), dev),
-                &dev,
-                |b, dev| {
-                    b.iter(|| {
-                        let mut d = Device::by_name(dev).unwrap();
-                        run_prepared(&pair.transformed, (app.prepare)(Scale::Test), &mut d)
-                            .unwrap();
-                        std::hint::black_box(d.finish().cycles)
-                    })
-                },
-            );
+            time_case(&format!("fig2/{app_id}/with_lm/{dev}"), 10, || {
+                let mut d = Device::by_name(dev).unwrap();
+                run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
+                std::hint::black_box(d.finish().cycles)
+            });
+            time_case(&format!("fig2/{app_id}/without_lm/{dev}"), 10, || {
+                let mut d = Device::by_name(dev).unwrap();
+                run_prepared(&pair.transformed, (app.prepare)(Scale::Test), &mut d).unwrap();
+                std::hint::black_box(d.finish().cycles)
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -1,15 +1,13 @@
-//! Criterion bench: raw interpreter throughput (IR instructions/second)
-//! and trace-capture overhead — the substrate costs behind every
-//! experiment in this repository.
+//! Bench: raw interpreter throughput (IR instructions/second) and
+//! trace-capture overhead — the substrate costs behind every experiment in
+//! this repository. `cargo bench -p grover-bench --bench interp`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grover_bench::time_case;
 use grover_devsim::Device;
 use grover_kernels::{app_by_id, prepare_pair, run_prepared, Scale};
 use grover_runtime::{CountingSink, NullSink};
 
-fn bench_interpreter(c: &mut Criterion) {
+fn main() {
     let app = app_by_id("NVD-MM-AB").unwrap();
     let pair = prepare_pair(&app, Scale::Test).unwrap();
     // Count instructions once for the throughput denominator.
@@ -17,32 +15,19 @@ fn bench_interpreter(c: &mut Criterion) {
     run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut counter).unwrap();
     let insts = counter.instructions;
 
-    let mut g = c.benchmark_group("interpreter");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
-    g.throughput(Throughput::Elements(insts));
+    let med = time_case("interpreter/mm_no_trace", 10, || {
+        run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut NullSink).unwrap()
+    });
+    let per_sec = insts as f64 / med.as_secs_f64();
+    println!("  ~{per_sec:.0} IR instructions/second");
 
-    g.bench_function("mm_no_trace", |b| {
-        b.iter(|| {
-            run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut NullSink).unwrap()
-        })
+    time_case("interpreter/mm_counting_trace", 10, || {
+        let mut s = CountingSink::default();
+        run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut s).unwrap()
     });
-    g.bench_function("mm_counting_trace", |b| {
-        b.iter(|| {
-            let mut s = CountingSink::default();
-            run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut s).unwrap()
-        })
+    time_case("interpreter/mm_cache_sim_trace", 10, || {
+        let mut d = Device::by_name("SNB").unwrap();
+        run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
+        std::hint::black_box(d.finish().cycles)
     });
-    g.bench_function("mm_cache_sim_trace", |b| {
-        b.iter(|| {
-            let mut d = Device::by_name("SNB").unwrap();
-            run_prepared(&pair.original, (app.prepare)(Scale::Test), &mut d).unwrap();
-            std::hint::black_box(d.finish().cycles)
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_interpreter);
-criterion_main!(benches);

@@ -1,30 +1,18 @@
-//! Criterion bench: throughput of the toolchain itself — front-end
-//! compilation and the Grover pass — for every benchmark kernel.
+//! Bench: throughput of the toolchain itself — front-end compilation and
+//! the Grover pass — for every benchmark kernel.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use grover_bench::time_case;
 use grover_core::Grover;
 use grover_frontend::compile;
 use grover_kernels::{all_apps, Scale};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontend_compile");
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
+fn main() {
     for app in all_apps() {
         let opts = (app.options)(Scale::Small);
-        g.bench_function(app.id, |b| {
-            b.iter(|| compile(std::hint::black_box(app.source), &opts).unwrap())
+        time_case(&format!("frontend_compile/{}", app.id), 20, || {
+            compile(std::hint::black_box(app.source), &opts).unwrap()
         });
     }
-    g.finish();
-}
-
-fn bench_grover_pass(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grover_pass");
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
     for app in all_apps() {
         let opts = (app.options)(Scale::Small);
         let module = compile(app.source, &opts).unwrap();
@@ -33,16 +21,10 @@ fn bench_grover_pass(c: &mut Criterion) {
             Some(bufs) => Grover::for_buffers(bufs),
             None => Grover::new(),
         };
-        g.bench_function(app.id, |b| {
-            b.iter(|| {
-                let mut k = kernel.clone();
-                let report = grover.run_on(&mut k);
-                std::hint::black_box(report.removed_count())
-            })
+        time_case(&format!("grover_pass/{}", app.id), 20, || {
+            let mut k = kernel.clone();
+            let report = grover.run_on(&mut k);
+            std::hint::black_box(report.removed_count())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_compile, bench_grover_pass);
-criterion_main!(benches);

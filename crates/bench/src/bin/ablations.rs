@@ -60,7 +60,12 @@ fn runtime_model(scale: Scale) {
     println!("gain/loss directions that drive Table IV are stable.\n");
 }
 
-fn sim_cycles(kernel: &grover_ir::Function, app: &grover_kernels::App, scale: Scale, dev: &str) -> u64 {
+fn sim_cycles(
+    kernel: &grover_ir::Function,
+    app: &grover_kernels::App,
+    scale: Scale,
+    dev: &str,
+) -> u64 {
     let mut d = Device::by_name(dev).expect("device");
     run_prepared(kernel, (app.prepare)(scale), &mut d).expect("run");
     d.finish().cycles
@@ -77,8 +82,11 @@ fn barrier_elision(scale: Scale) {
     Grover::new().run_on(&mut no_lm);
 
     let mut no_lm_keep_barrier = original.clone();
-    Grover::with_options(GroverOptions { buffers: None, keep_barriers: true })
-        .run_on(&mut no_lm_keep_barrier);
+    Grover::with_options(GroverOptions {
+        buffers: None,
+        keep_barriers: true,
+    })
+    .run_on(&mut no_lm_keep_barrier);
 
     for dev in ["SNB", "Nehalem", "MIC"] {
         let with_lm = sim_cycles(&original, &app, scale, dev);
@@ -133,7 +141,7 @@ fn wg_sweep(scale: Scale) {
         // Re-prepare with a matching NDRange.
         let mut p = (app.prepare)(scale);
         let n = p.nd.global[0];
-        if n % tile != 0 {
+        if !n.is_multiple_of(tile) {
             println!("{tile:<8} skipped (does not divide {n})");
             continue;
         }

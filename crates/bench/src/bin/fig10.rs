@@ -17,8 +17,8 @@ fn main() {
                     cur_dev = r.device.clone();
                     println!("--- Fig. 10 on {} ---", r.device);
                     println!(
-                        "{:<11} {:>8} {:>9}  {}",
-                        "app", "np", "paper-np", "0        1.0        2.0"
+                        "{:<11} {:>8} {:>9}  0        1.0        2.0",
+                        "app", "np", "paper-np"
                     );
                 }
                 let pnp = paper_np(&r.app, &r.device)

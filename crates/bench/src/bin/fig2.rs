@@ -21,11 +21,15 @@ fn main() {
             Ok(r) => {
                 if r.app != cur_app {
                     cur_app = r.app.clone();
-                    let label = if r.app == "NVD-MT" { "MT" } else { "MM (A de-localised)" };
+                    let label = if r.app == "NVD-MT" {
+                        "MT"
+                    } else {
+                        "MM (A de-localised)"
+                    };
                     println!("--- {label} ---");
                     println!(
-                        "{:<9} {:>10} {:>14} {:>14}  {}",
-                        "device", "np", "cyc(with)", "cyc(without)", "0        1.0        2.0"
+                        "{:<9} {:>10} {:>14} {:>14}  0        1.0        2.0",
+                        "device", "np", "cyc(with)", "cyc(without)"
                     );
                 }
                 let dir = paper_direction(&r.app, &r.device);

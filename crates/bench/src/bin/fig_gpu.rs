@@ -27,7 +27,7 @@ fn main() {
                 if r.device != cur_dev {
                     cur_dev = r.device.clone();
                     println!("--- {} ---", r.device);
-                    println!("{:<11} {:>8}  {}", "app", "np", "0        1.0        2.0");
+                    println!("{:<11} {:>8}  0        1.0        2.0", "app", "np");
                 }
                 match Verdict::of(r.np, 0.05) {
                     Verdict::Gain => tallies[0] += 1,

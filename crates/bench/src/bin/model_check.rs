@@ -18,7 +18,9 @@ fn main() {
     let device = "SNB";
     let profile = cpu_by_name(device).unwrap();
     let model = AnalyticCpuModel::from_profile(&profile);
-    println!("MODEL CHECK: analytic (count-based) np vs simulated np on {device} (scale {scale:?})\n");
+    println!(
+        "MODEL CHECK: analytic (count-based) np vs simulated np on {device} (scale {scale:?})\n"
+    );
     println!(
         "{:<11} {:>10} {:>10} {:>11}",
         "app", "model-np", "sim-np", "agreement"
@@ -69,7 +71,10 @@ fn main() {
         };
         abs_err += (model_np - sim_np).abs();
         n += 1;
-        println!("{:<11} {:>10.3} {:>10.3} {:>11}", app.id, model_np, sim_np, label);
+        println!(
+            "{:<11} {:>10.3} {:>10.3} {:>11}",
+            app.id, model_np, sim_np, label
+        );
     }
     println!(
         "\nverdict agreement: {} exact, {} near, {} opposite; mean |error| = {:.3}",

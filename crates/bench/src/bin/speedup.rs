@@ -1,0 +1,113 @@
+//! Wall-clock speedup of the parallel work-group engine: runs three
+//! benchmark kernels serially and with `ExecPolicy::Parallel`, and emits
+//! the timings as JSON on stdout.
+//!
+//! ```text
+//! cargo run -p grover-bench --release --bin speedup [-- --threads N]
+//! ```
+//!
+//! `--threads 0` (the default) uses one worker per available CPU. The
+//! scale comes from `GROVER_SCALE` (`test` | `small` | `paper`).
+
+use std::time::{Duration, Instant};
+
+use grover_bench::scale_from_env;
+use grover_kernels::{app_by_id, prepare_pair, Scale};
+use grover_runtime::{enqueue_with_policy, ExecPolicy, Limits, NullSink};
+
+/// Apps whose launches are large enough to amortise thread start-up.
+const APPS: [&str; 3] = ["NVD-MT", "NVD-MM-AB", "NVD-NBody"];
+const SAMPLES: usize = 5;
+
+fn median_time(
+    kernel: &grover_ir::Function,
+    app: &grover_kernels::App,
+    scale: Scale,
+    policy: ExecPolicy,
+) -> Duration {
+    let mut times = Vec::with_capacity(SAMPLES);
+    for i in 0..=SAMPLES {
+        // Workload creation (input generation, reference run) stays
+        // outside the timed region.
+        let mut prepared = (app.prepare)(scale);
+        let t = Instant::now();
+        enqueue_with_policy(
+            &mut prepared.ctx,
+            kernel,
+            &prepared.args,
+            &prepared.nd,
+            &mut NullSink,
+            &Limits::default(),
+            policy,
+        )
+        .expect("launch failed");
+        if i > 0 {
+            // First iteration is warm-up.
+            times.push(t.elapsed());
+        }
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("error: --threads needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                eprintln!("usage: speedup [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = scale_from_env();
+    let parallel = ExecPolicy::Parallel { threads };
+    let workers = parallel.worker_count();
+
+    let mut rows = Vec::new();
+    for id in APPS {
+        let app = app_by_id(id).expect("bundled app");
+        let pair = prepare_pair(&app, scale).expect("prepare failed");
+        let serial = median_time(&pair.original, &app, scale, ExecPolicy::Serial);
+        let par = median_time(&pair.original, &app, scale, parallel);
+        let speedup = serial.as_secs_f64() / par.as_secs_f64().max(1e-12);
+        eprintln!(
+            "{id:<10} serial {serial:>10.3?}  parallel({workers}) {par:>10.3?}  speedup {speedup:.2}x"
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"app\": \"{}\", \"serial_ms\": {:.3}, ",
+                "\"parallel_ms\": {:.3}, \"speedup\": {:.3}}}"
+            ),
+            id,
+            serial.as_secs_f64() * 1e3,
+            par.as_secs_f64() * 1e3,
+            speedup
+        ));
+    }
+
+    println!("{{");
+    println!("  \"scale\": \"{scale:?}\",");
+    println!("  \"threads\": {workers},");
+    println!(
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!("  \"samples\": {SAMPLES},");
+    println!("  \"kernels\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -10,7 +10,12 @@ fn main() {
     println!("{:<11} {:<44} {:<30}", "ID", "Application", "Dataset");
     println!("{:-<88}", "");
     for app in all_apps() {
-        println!("{:<11} {:<44} {:<30}", app.id, app.description, (app.dataset)(scale));
+        println!(
+            "{:<11} {:<44} {:<30}",
+            app.id,
+            app.description,
+            (app.dataset)(scale)
+        );
     }
     println!("{:-<88}", "");
     println!("All applications use __local memory in their original versions.");

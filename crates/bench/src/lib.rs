@@ -51,6 +51,27 @@ impl Verdict {
     }
 }
 
+/// Minimal timing harness for the `[[bench]]` targets (`harness = false`),
+/// replacing the former Criterion dependency so the workspace builds with
+/// no external crates. Runs one warm-up, then `samples` timed iterations,
+/// and prints the median.
+pub fn time_case<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<44} median {median:>12.3?}  ({} samples)",
+        times.len()
+    );
+    median
+}
+
 /// Scale from `GROVER_SCALE` (default Small).
 pub fn scale_from_env() -> Scale {
     match std::env::var("GROVER_SCALE").as_deref() {
@@ -84,9 +105,9 @@ pub fn normalized_performance(app: &App, device: &str, scale: Scale) -> Result<N
     })
 }
 
-/// Run a set of `(app id, device)` cases in parallel with a crossbeam
-/// worker pool (each case owns its context and device model, so they are
-/// fully independent).
+/// Run a set of `(app id, device)` cases in parallel with a scoped
+/// `std::thread` worker pool (each case owns its context and device model,
+/// so they are fully independent).
 pub fn run_cases(cases: &[(String, String)], scale: Scale) -> Vec<Result<NpResult, String>> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Result<NpResult, String>)>> =
@@ -95,9 +116,9 @@ pub fn run_cases(cases: &[(String, String)], scale: Scale) -> Vec<Result<NpResul
         .map(|n| n.get())
         .unwrap_or(4)
         .min(cases.len().max(1));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= cases.len() {
                     break;
@@ -110,8 +131,7 @@ pub fn run_cases(cases: &[(String, String)], scale: Scale) -> Vec<Result<NpResul
                 results.lock().expect("poisoned").push((i, r));
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut v = results.into_inner().expect("poisoned");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()

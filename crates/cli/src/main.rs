@@ -4,9 +4,11 @@
 //! grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]
 //!     Compile, run the Grover pass, print the report and the before/after IR.
 //!
-//! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper]
+//! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper] [--threads N]
 //!     Simulate both kernel versions of a bundled benchmark on a device and
-//!     report which one wins (the paper's auto-tuning step).
+//!     report which one wins (the paper's auto-tuning step). `--threads N`
+//!     runs work-groups on N host threads (0 = one per CPU); the simulated
+//!     cycle counts are identical to a serial run.
 //!
 //! grover list
 //!     List the bundled benchmark applications.
@@ -18,7 +20,8 @@ use grover_core::Grover;
 use grover_devsim::Device;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
-use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared, Scale};
+use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared_with, Scale};
+use grover_runtime::ExecPolicy;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +33,9 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: grover <transform|autotune|classify|list> ...");
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
-            eprintln!("  grover autotune <app-id> [--device NAME] [--scale test|small|paper]");
+            eprintln!(
+                "  grover autotune <app-id> [--device NAME] [--scale test|small|paper] [--threads N]"
+            );
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover list");
             return ExitCode::from(2);
@@ -70,8 +75,7 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("no input file")?;
-    let source =
-        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
 
     for kernel in &module.kernels {
@@ -100,6 +104,7 @@ fn cmd_autotune(args: &[String]) -> Result<(), String> {
     let mut app_id = None;
     let mut device = "SNB".to_string();
     let mut scale = Scale::Small;
+    let mut policy = ExecPolicy::Serial;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,6 +117,14 @@ fn cmd_autotune(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown scale `{other}`")),
                 }
             }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+                policy = ExecPolicy::Parallel { threads: n };
+            }
             other if app_id.is_none() => app_id = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -121,12 +134,11 @@ fn cmd_autotune(args: &[String]) -> Result<(), String> {
 
     println!("auto-tuning {} on {device} (scale {scale:?})", app.id);
     let pair = prepare_pair(&app, scale)?;
-    let mut d =
-        Device::by_name(&device).ok_or_else(|| format!("unknown device `{device}`"))?;
-    run_prepared(&pair.original, (app.prepare)(scale), &mut d)?;
+    let mut d = Device::by_name(&device).ok_or_else(|| format!("unknown device `{device}`"))?;
+    run_prepared_with(&pair.original, (app.prepare)(scale), &mut d, policy)?;
     let with_lm = d.finish();
     let mut d = Device::by_name(&device).expect("checked");
-    run_prepared(&pair.transformed, (app.prepare)(scale), &mut d)?;
+    run_prepared_with(&pair.transformed, (app.prepare)(scale), &mut d, policy)?;
     let without_lm = d.finish();
 
     let np = with_lm.cycles as f64 / without_lm.cycles.max(1) as f64;
@@ -164,8 +176,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("no input file")?;
-    let source =
-        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
     for kernel in &module.kernels {
         println!("kernel {}:", kernel.name);
@@ -180,7 +191,11 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
                 c.pattern,
                 c.loads,
                 c.stores,
-                if c.synchronised { "synchronised" } else { "NOT synchronised" },
+                if c.synchronised {
+                    "synchronised"
+                } else {
+                    "NOT synchronised"
+                },
                 c.pattern.describe()
             );
         }
@@ -189,7 +204,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<11} {}", "ID", "description");
+    println!("{:<11} description", "ID");
     for app in all_apps() {
         println!("{:<11} {}", app.id, app.description);
     }

@@ -35,7 +35,11 @@ fn transform_prints_report_and_both_versions() {
         .args(["transform", path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("original: mt"), "{stdout}");
     assert!(stdout.contains("transformed: mt"), "{stdout}");
@@ -61,7 +65,11 @@ fn transform_with_define_option() {
         .args(["transform", path.to_str().unwrap(), "-D", "S=16"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("16"));
 }
 
@@ -109,8 +117,17 @@ fn list_names_all_apps() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for id in [
-        "AMD-SS", "AMD-MT", "NVD-MT", "AMD-RG", "AMD-MM", "NVD-MM-A", "NVD-MM-B", "NVD-MM-AB",
-        "NVD-NBody", "PAB-ST", "ROD-SC",
+        "AMD-SS",
+        "AMD-MT",
+        "NVD-MT",
+        "AMD-RG",
+        "AMD-MM",
+        "NVD-MM-A",
+        "NVD-MM-B",
+        "NVD-MM-AB",
+        "NVD-NBody",
+        "PAB-ST",
+        "ROD-SC",
     ] {
         assert!(stdout.contains(id), "missing {id}: {stdout}");
     }
@@ -122,7 +139,11 @@ fn autotune_runs_at_test_scale() {
         .args(["autotune", "NVD-MT", "--device", "SNB", "--scale", "test"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("normalized performance"), "{stdout}");
     assert!(stdout.contains("verdict"), "{stdout}");

@@ -69,14 +69,20 @@ impl Affine {
 
     /// A constant form.
     pub fn constant(k: impl Into<Rational>) -> Affine {
-        Affine { terms: BTreeMap::new(), constant: k.into() }
+        Affine {
+            terms: BTreeMap::new(),
+            constant: k.into(),
+        }
     }
 
     /// A single atom with coefficient 1.
     pub fn atom(a: Atom) -> Affine {
         let mut t = BTreeMap::new();
         t.insert(a, Rational::ONE);
-        Affine { terms: t, constant: Rational::ZERO }
+        Affine {
+            terms: t,
+            constant: Rational::ZERO,
+        }
     }
 
     /// The constant term.
@@ -261,11 +267,7 @@ impl Affine {
     /// Render, resolving opaque value atoms to their names in `f`.
     pub fn display_in(&self, f: &grover_ir::Function) -> String {
         self.display_with(|a| match a {
-            Atom::Value(v) => f
-                .value(v)
-                .name
-                .clone()
-                .unwrap_or_else(|| a.display_name()),
+            Atom::Value(v) => f.value(v).name.clone().unwrap_or_else(|| a.display_name()),
             _ => a.display_name(),
         })
     }
@@ -290,7 +292,9 @@ mod tests {
 
     #[test]
     fn basic_algebra() {
-        let a = Affine::atom(lx()).scale(Rational::int(2)).add(&Affine::constant(3));
+        let a = Affine::atom(lx())
+            .scale(Rational::int(2))
+            .add(&Affine::constant(3));
         let b = Affine::atom(ly()).sub(&Affine::constant(1));
         let s = a.add(&b);
         assert_eq!(s.coeff(lx()), Rational::int(2));
@@ -318,7 +322,9 @@ mod tests {
     #[test]
     fn split_matrix_transpose_pattern() {
         // lm[ly][lx] with row stride 16: index = 16*ly + lx.
-        let idx = Affine::atom(ly()).scale(Rational::int(16)).add(&Affine::atom(lx()));
+        let idx = Affine::atom(ly())
+            .scale(Rational::int(16))
+            .add(&Affine::atom(lx()));
         let (h, l) = idx.split_by_stride(16).unwrap();
         assert_eq!(h, Affine::atom(ly()));
         assert_eq!(l, Affine::atom(lx()));
@@ -347,10 +353,11 @@ mod tests {
     #[test]
     fn substitution() {
         // 4*lx + ly, with lx := ly + 1  =>  4*ly + 4 + ly = 5*ly + 4
-        let e = Affine::atom(lx()).scale(Rational::int(4)).add(&Affine::atom(ly()));
-        let sub = e.substitute(|a| {
-            (a == lx()).then(|| Affine::atom(ly()).add(&Affine::constant(1)))
-        });
+        let e = Affine::atom(lx())
+            .scale(Rational::int(4))
+            .add(&Affine::atom(ly()));
+        let sub =
+            e.substitute(|a| (a == lx()).then(|| Affine::atom(ly()).add(&Affine::constant(1))));
         assert_eq!(sub.coeff(ly()), Rational::int(5));
         assert_eq!(sub.constant_part(), Rational::int(4));
         assert_eq!(sub.coeff(lx()), Rational::ZERO);

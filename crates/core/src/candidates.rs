@@ -104,10 +104,8 @@ pub fn detect(f: &Function, buf: LocalBufId) -> Result<StagingPattern, Candidate
                     // our IR cannot express it (pointers are not storable).
                 }
             }
-            Some(Inst::Load { ptr }) => {
-                if local_access(f, buf, *ptr).is_some() {
-                    loads.push(iv);
-                }
+            Some(Inst::Load { ptr }) if local_access(f, buf, *ptr).is_some() => {
+                loads.push(iv);
             }
             Some(Inst::Gep { base: b, .. }) if *b == base => {
                 // A gep of the buffer is fine; a gep *of a gep* of the
@@ -139,7 +137,9 @@ pub fn detect(f: &Function, buf: LocalBufId) -> Result<StagingPattern, Candidate
     let mut pair: Option<(ValueId, ValueId, ValueId)> = None; // (gl, ls, ls_index)
     for &(st, idx, val) in &stores {
         match f.inst(val) {
-            Some(Inst::Load { ptr }) if f.ty(*ptr).address_space() == Some(AddressSpace::Global) => {
+            Some(Inst::Load { ptr })
+                if f.ty(*ptr).address_space() == Some(AddressSpace::Global) =>
+            {
                 if pair.is_none() {
                     pair = Some((val, st, idx));
                 }
@@ -166,7 +166,10 @@ mod tests {
     use grover_ir::LocalBufId;
 
     fn kernel(src: &str) -> Function {
-        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
     }
 
     #[test]

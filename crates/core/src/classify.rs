@@ -107,15 +107,13 @@ pub fn classify_buffer(f: &Function, buf: LocalBufId) -> BufferClass {
             Some(Inst::Load { ptr }) if is_access(*ptr) => events.push(Ev::Load),
             Some(Inst::Store { ptr, value }) if is_access(*ptr) => {
                 let ev = match f.inst(*value) {
-                    Some(Inst::Load { ptr: src }) => {
-                        match f.ty(*src).address_space() {
-                            Some(AddressSpace::Global) | Some(AddressSpace::Constant) => {
-                                Ev::StoreStaged
-                            }
-                            Some(AddressSpace::Local) => Ev::StoreFromLocal,
-                            _ => Ev::StoreComputed,
+                    Some(Inst::Load { ptr: src }) => match f.ty(*src).address_space() {
+                        Some(AddressSpace::Global) | Some(AddressSpace::Constant) => {
+                            Ev::StoreStaged
                         }
-                    }
+                        Some(AddressSpace::Local) => Ev::StoreFromLocal,
+                        _ => Ev::StoreComputed,
+                    },
                     _ => Ev::StoreComputed,
                 };
                 events.push(ev);
@@ -142,9 +140,7 @@ pub fn classify_buffer(f: &Function, buf: LocalBufId) -> BufferClass {
             .position(|&e| matches!(e, Ev::StoreStaged | Ev::StoreComputed | Ev::StoreFromLocal));
         let last_load = events.iter().rposition(|&e| e == Ev::Load);
         match (first_store, last_load) {
-            (Some(s), Some(l)) if s < l => {
-                events[s..l].iter().any(|&e| e == Ev::Barrier)
-            }
+            (Some(s), Some(l)) if s < l => events[s..l].contains(&Ev::Barrier),
             _ => false,
         }
     };
@@ -154,8 +150,7 @@ pub fn classify_buffer(f: &Function, buf: LocalBufId) -> BufferClass {
         (0, _) => UsagePattern::WriteOnly,
         (_, 0) => UsagePattern::ReadOnly,
         _ => {
-            let any_from_local =
-                events.iter().any(|&e| e == Ev::StoreFromLocal);
+            let any_from_local = events.contains(&Ev::StoreFromLocal);
             // A store that structurally depends on a prior load of the same
             // buffer (load → compute → store) marks iterative update. We
             // approximate with a dataflow reachability check below.
@@ -169,7 +164,13 @@ pub fn classify_buffer(f: &Function, buf: LocalBufId) -> BufferClass {
         }
     };
 
-    BufferClass { buffer: name, pattern, loads, stores, synchronised }
+    BufferClass {
+        buffer: name,
+        pattern,
+        loads,
+        stores,
+        synchronised,
+    }
 }
 
 /// Does any store into `buf` transitively depend on a load from `buf`?
@@ -220,7 +221,10 @@ mod tests {
     use grover_frontend::{compile, BuildOptions};
 
     fn kernel(src: &str) -> Function {
-        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
     }
 
     #[test]

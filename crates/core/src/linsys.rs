@@ -124,7 +124,10 @@ pub fn solve(ls_dims: &[Affine], ll_dims: &[Affine]) -> Result<Solution, SolveEr
     let mut mat: Vec<Vec<Rational>> = Vec::new();
     let mut rhs: Vec<Affine> = Vec::new();
     for (ls, ll) in ls_dims.iter().zip(ll_dims) {
-        let row: Vec<Rational> = unknowns.iter().map(|&d| ls.coeff(Atom::LocalId(d))).collect();
+        let row: Vec<Rational> = unknowns
+            .iter()
+            .map(|&d| ls.coeff(Atom::LocalId(d)))
+            .collect();
         let r = ll.sub(&Affine::constant(ls.constant_part()));
         if row.iter().all(|c| c.is_zero()) {
             // 0 = r: verifiable only when symbolically zero.
@@ -162,13 +165,14 @@ pub fn solve(ls_dims: &[Affine], ll_dims: &[Affine]) -> Result<Solution, SolveEr
         }
         rhs[r] = rhs[r].scale(inv);
         // Eliminate the column everywhere else.
+        let pivot_row = mat[r].clone();
         for i in 0..rows {
             if i == r || mat[i][c].is_zero() {
                 continue;
             }
             let factor = mat[i][c];
-            for j in 0..n {
-                mat[i][j] = mat[i][j] - factor * mat[r][j];
+            for (x, p) in mat[i].iter_mut().zip(&pivot_row) {
+                *x = *x - factor * *p;
             }
             rhs[i] = rhs[i].sub(&rhs[r].scale(factor));
         }
@@ -241,7 +245,7 @@ mod tests {
     fn loop_counter_rhs() {
         // NVD-NBody: LS = (lx), LL = (k)  =>  lx' = k.
         let k = val(42);
-        let sol = solve(&[lx()], &[k.clone()]).unwrap();
+        let sol = solve(&[lx()], std::slice::from_ref(&k)).unwrap();
         assert_eq!(sol.for_dim(0), Some(&k));
     }
 

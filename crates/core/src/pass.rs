@@ -95,7 +95,10 @@ impl GroverReport {
 
     /// Number of buffers removed.
     pub fn removed_count(&self) -> usize {
-        self.buffers.iter().filter(|b| b.outcome.is_removed()).count()
+        self.buffers
+            .iter()
+            .filter(|b| b.outcome.is_removed())
+            .count()
     }
 
     /// Render the report as a human-readable table block.
@@ -167,12 +170,15 @@ impl Grover {
 
     /// Run on a kernel, returning the detailed report.
     pub fn run_on(&self, f: &mut Function) -> GroverReport {
-        let mut report = GroverReport { kernel: f.name.clone(), ..Default::default() };
+        let mut report = GroverReport {
+            kernel: f.name.clone(),
+            ..Default::default()
+        };
         let n_bufs = f.local_bufs().len();
         for i in 0..n_bufs {
             let buf = LocalBufId(i as u32);
             let name = f.local_buf(buf).name.clone();
-            if f.local_buf(buf).len() == 0 {
+            if f.local_buf(buf).is_empty() {
                 continue; // already removed
             }
             if let Some(sel) = &self.options.buffers {
@@ -269,7 +275,11 @@ impl Grover {
         for r in rewrites {
             br.solutions.push(r.solution.display_in(f));
             br.ll_display.push(
-                r.ll_dims.iter().map(|a| a.display_in(f)).collect::<Vec<_>>().join(", "),
+                r.ll_dims
+                    .iter()
+                    .map(|a| a.display_in(f))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
             br.ll_dims.push(r.ll_dims);
             br.ngl.push(r.ngl_display);
@@ -294,10 +304,10 @@ impl FunctionPass for Grover {
 pub fn has_local_traffic(f: &Function) -> bool {
     for (_, iv) in f.iter_insts() {
         match f.inst(iv) {
-            Some(Inst::Load { ptr }) | Some(Inst::Store { ptr, .. }) => {
-                if f.ty(*ptr).address_space() == Some(AddressSpace::Local) {
-                    return true;
-                }
+            Some(Inst::Load { ptr }) | Some(Inst::Store { ptr, .. })
+                if f.ty(*ptr).address_space() == Some(AddressSpace::Local) =>
+            {
+                return true;
             }
             _ => {}
         }
@@ -314,7 +324,9 @@ fn remove_local_barriers(f: &mut Function) -> usize {
         .map(|(_, iv)| iv)
         .collect();
     for iv in targets {
-        let Some(Inst::Barrier { scope }) = f.inst(iv).cloned() else { continue };
+        let Some(Inst::Barrier { scope }) = f.inst(iv).cloned() else {
+            continue;
+        };
         match scope {
             BarrierScope::Local => {
                 f.remove_inst(iv);
@@ -338,7 +350,10 @@ mod tests {
     use grover_frontend::{compile, BuildOptions};
 
     fn kernel(src: &str) -> Function {
-        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
     }
 
     const MT: &str = "__kernel void mt(__global float* in, __global float* out, int w) {
@@ -424,7 +439,10 @@ mod tests {
         let before = f.num_insts();
         let report = Grover::new().run_on(&mut f);
         assert!(!report.all_removed());
-        assert!(matches!(report.buffers[0].outcome, BufferOutcome::NotCandidate(_)));
+        assert!(matches!(
+            report.buffers[0].outcome,
+            BufferOutcome::NotCandidate(_)
+        ));
         assert!(has_local_traffic(&f));
         assert_eq!(f.num_insts(), before);
     }
@@ -476,7 +494,10 @@ mod tests {
         let report = Grover::new().run_on(&mut f);
         assert!(report.all_removed(), "{}", report.to_text());
         // lm[lx][lz][ly]: dims = (lx, lz, ly) → solve lz'=lx, ly'=lz, lx'=ly.
-        assert_eq!(report.buffers[0].solutions[0], "(lx, ly, lz) = (ly, lz, lx)");
+        assert_eq!(
+            report.buffers[0].solutions[0],
+            "(lx, ly, lz) = (ly, lz, lx)"
+        );
         assert!(grover_ir::verify(&f).is_ok());
     }
 

@@ -37,7 +37,10 @@ impl Rational {
         assert!(den != 0, "rational with zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// An integer as a rational.
@@ -77,7 +80,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 }
 
@@ -101,12 +107,18 @@ impl Mul for Rational {
         // Cross-reduce first to keep intermediates small.
         let g1 = gcd(self.num, rhs.den).max(1);
         let g2 = gcd(rhs.num, self.den).max(1);
-        Rational::new((self.num / g1) * (rhs.num / g2), (self.den / g2) * (rhs.den / g1))
+        Rational::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
+    // Division as multiplication by the reciprocal is the definition for
+    // rationals, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -115,7 +127,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -5,9 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use grover_ir::cfg::DomTree;
-use grover_ir::{
-    BinOp, BlockId, Builtin, CastKind, Function, Inst, Type, ValueDef, ValueId,
-};
+use grover_ir::{BinOp, BlockId, Builtin, CastKind, Function, Inst, Type, ValueDef, ValueId};
 
 use crate::affine::{Affine, Atom};
 use crate::candidates::StagingPattern;
@@ -38,7 +36,10 @@ impl std::fmt::Display for Decline {
             Decline::Solve(e) => write!(f, "{e}"),
             Decline::SplitFailed => f.write_str("LS index does not decompose along buffer dims"),
             Decline::MissingDim(d) => {
-                write!(f, "GL index depends on work-item dimension {d} not fixed by the system")
+                write!(
+                    f,
+                    "GL index depends on work-item dimension {d} not fixed by the system"
+                )
             }
             Decline::LeafNotAvailable(s) => write!(f, "value `{s}` unavailable at the local load"),
             Decline::TaintedLeaf(s) => {
@@ -78,7 +79,10 @@ pub fn lid_tainted(f: &Function) -> HashSet<ValueId> {
             let inst = f.inst(iv).expect("inst");
             let is_root = matches!(
                 inst,
-                Inst::Call { builtin: Builtin::LocalId | Builtin::GlobalId, .. }
+                Inst::Call {
+                    builtin: Builtin::LocalId | Builtin::GlobalId,
+                    ..
+                }
             );
             let mut hit = is_root;
             if !hit {
@@ -150,17 +154,25 @@ impl Inserter {
     }
 
     /// Truncate/extend an integer value to `i32`.
-    fn to_i32(&mut self, f: &mut Function, v: ValueId) -> Result<ValueId, Decline> {
+    fn coerce_i32(&mut self, f: &mut Function, v: ValueId) -> Result<ValueId, Decline> {
         match f.ty(v) {
             Type::Scalar(grover_ir::Scalar::I32) => Ok(v),
             Type::Scalar(grover_ir::Scalar::I64) => Ok(self.emit(
                 f,
-                Inst::Cast { kind: CastKind::Trunc, value: v, to: Type::I32 },
+                Inst::Cast {
+                    kind: CastKind::Trunc,
+                    value: v,
+                    to: Type::I32,
+                },
                 Type::I32,
             )),
             Type::Scalar(grover_ir::Scalar::Bool) => Ok(self.emit(
                 f,
-                Inst::Cast { kind: CastKind::ZExt, value: v, to: Type::I32 },
+                Inst::Cast {
+                    kind: CastKind::ZExt,
+                    value: v,
+                    to: Type::I32,
+                },
                 Type::I32,
             )),
             _ => Err(Decline::BadAtomType),
@@ -178,18 +190,36 @@ impl Inserter {
         let mut acc = f.const_i32(k as i32);
         let mut acc_is_zero = k == 0;
         for (atom, c) in a.terms() {
-            let c = c.as_integer().ok_or(Decline::Solve(SolveError::NonIntegralSolution))?;
+            let c = c
+                .as_integer()
+                .ok_or(Decline::Solve(SolveError::NonIntegralSolution))?;
             let base = self.atom_value(f, atom)?;
             let term = if c == 1 {
                 base
             } else {
                 let cv = f.const_i32(c as i32);
-                self.emit(f, Inst::Bin { op: BinOp::Mul, lhs: base, rhs: cv }, Type::I32)
+                self.emit(
+                    f,
+                    Inst::Bin {
+                        op: BinOp::Mul,
+                        lhs: base,
+                        rhs: cv,
+                    },
+                    Type::I32,
+                )
             };
             acc = if acc_is_zero {
                 term
             } else {
-                self.emit(f, Inst::Bin { op: BinOp::Add, lhs: acc, rhs: term }, Type::I32)
+                self.emit(
+                    f,
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        lhs: acc,
+                        rhs: term,
+                    },
+                    Type::I32,
+                )
             };
             acc_is_zero = false;
         }
@@ -198,7 +228,7 @@ impl Inserter {
 
     fn atom_value(&mut self, f: &mut Function, atom: Atom) -> Result<ValueId, Decline> {
         match atom {
-            Atom::Value(v) => self.to_i32(f, v),
+            Atom::Value(v) => self.coerce_i32(f, v),
             _ => {
                 let (b, d) = match atom {
                     Atom::LocalId(d) => (Builtin::LocalId, d),
@@ -210,9 +240,15 @@ impl Inserter {
                     Atom::Value(_) => unreachable!(),
                 };
                 let dim = f.const_i32(d as i32);
-                let call =
-                    self.emit(f, Inst::Call { builtin: b, args: vec![dim] }, Type::I64);
-                self.to_i32(f, call)
+                let call = self.emit(
+                    f,
+                    Inst::Call {
+                        builtin: b,
+                        args: vec![dim],
+                    },
+                    Type::I64,
+                );
+                self.coerce_i32(f, call)
             }
         }
     }
@@ -336,7 +372,10 @@ pub fn rewrite_ll(
     }
 
     // Pass 2 — materialise solutions and duplicate (Algorithm 1).
-    let mut ins = Inserter { blk: ll_blk, pos: ll_idx };
+    let mut ins = Inserter {
+        blk: ll_blk,
+        pos: ll_idx,
+    };
     let mut sol_cache: HashMap<u8, ValueId> = HashMap::new();
     let mut sol32 = |f: &mut Function, ins: &mut Inserter, d: u8| -> Result<ValueId, Decline> {
         if let Some(&v) = sol_cache.get(&d) {
@@ -373,7 +412,11 @@ pub fn rewrite_ll(
                     let s32 = sol32(f, &mut ins, d)?;
                     ins.emit(
                         f,
-                        Inst::Cast { kind: CastKind::SExt, value: s32, to: Type::I64 },
+                        Inst::Cast {
+                            kind: CastKind::SExt,
+                            value: s32,
+                            to: Type::I64,
+                        },
                         Type::I64,
                     )
                 }
@@ -382,26 +425,48 @@ pub fn rewrite_ll(
                     let dim = f.const_i32(d as i32);
                     let wg = ins.emit(
                         f,
-                        Inst::Call { builtin: Builtin::GroupId, args: vec![dim] },
+                        Inst::Call {
+                            builtin: Builtin::GroupId,
+                            args: vec![dim],
+                        },
                         Type::I64,
                     );
                     let ls = ins.emit(
                         f,
-                        Inst::Call { builtin: Builtin::LocalSize, args: vec![dim] },
+                        Inst::Call {
+                            builtin: Builtin::LocalSize,
+                            args: vec![dim],
+                        },
                         Type::I64,
                     );
                     let base = ins.emit(
                         f,
-                        Inst::Bin { op: BinOp::Mul, lhs: wg, rhs: ls },
+                        Inst::Bin {
+                            op: BinOp::Mul,
+                            lhs: wg,
+                            rhs: ls,
+                        },
                         Type::I64,
                     );
                     let s32 = sol32(f, &mut ins, d)?;
                     let s64 = ins.emit(
                         f,
-                        Inst::Cast { kind: CastKind::SExt, value: s32, to: Type::I64 },
+                        Inst::Cast {
+                            kind: CastKind::SExt,
+                            value: s32,
+                            to: Type::I64,
+                        },
                         Type::I64,
                     );
-                    ins.emit(f, Inst::Bin { op: BinOp::Add, lhs: base, rhs: s64 }, Type::I64)
+                    ins.emit(
+                        f,
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            lhs: base,
+                            rhs: s64,
+                        },
+                        Type::I64,
+                    )
                 }
             }
         } else if gl_tree.node(n).needs_update {
@@ -433,11 +498,19 @@ pub fn rewrite_ll(
     f.replace_all_uses(ll, ngl);
     f.remove_inst(ll);
 
-    Ok(LlRewrite { ngl, solution, ll_dims, ngl_display })
+    Ok(LlRewrite {
+        ngl,
+        solution,
+        ll_dims,
+        ngl_display,
+    })
 }
 
 fn display_value(f: &Function, v: ValueId) -> String {
-    f.value(v).name.clone().unwrap_or_else(|| format!("v{}", v.0))
+    f.value(v)
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("v{}", v.0))
 }
 
 #[cfg(test)]
@@ -449,7 +522,10 @@ mod tests {
     use grover_ir::LocalBufId;
 
     fn kernel(src: &str) -> Function {
-        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
     }
 
     fn run_one(src: &str) -> (Function, Result<LlRewrite, Decline>) {

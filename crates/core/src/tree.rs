@@ -64,7 +64,10 @@ impl ExprTree {
     /// Build the tree for `index` in `f`, recursing through arithmetic and
     /// stopping at calls, constants, arguments and phi nodes (§IV-B).
     pub fn build(f: &Function, index: ValueId) -> ExprTree {
-        let mut t = ExprTree { nodes: Vec::new(), root: NodeId(0) };
+        let mut t = ExprTree {
+            nodes: Vec::new(),
+            root: NodeId(0),
+        };
         let root = t.build_node(f, index, None);
         t.root = root;
         t
@@ -72,7 +75,12 @@ impl ExprTree {
 
     fn build_node(&mut self, f: &Function, v: ValueId, parent: Option<NodeId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(ExprNode { value: v, needs_update: false, children: Vec::new(), parent });
+        self.nodes.push(ExprNode {
+            value: v,
+            needs_update: false,
+            children: Vec::new(),
+            parent,
+        });
         let is_internal = matches!(
             f.value(v).def,
             ValueDef::Inst(ref i) if !matches!(i, Inst::Call { .. } | Inst::Phi { .. })
@@ -200,20 +208,18 @@ impl ExprTree {
                     BinOp::Sub => l.sub(&r),
                     BinOp::Mul => l.mul(&r).unwrap_or_else(|| Affine::atom(Atom::Value(v))),
                     BinOp::Shl => match r.is_constant().then(|| r.constant_part().as_integer()) {
-                        Some(Some(s)) if (0..31).contains(&s) => {
-                            l.scale(Rational::int(1 << s))
-                        }
+                        Some(Some(s)) if (0..31).contains(&s) => l.scale(Rational::int(1 << s)),
                         _ => Affine::atom(Atom::Value(v)),
                     },
                     _ => Affine::atom(Atom::Value(v)),
                 }
             }
-            Inst::Cast { kind, .. } => match kind {
-                // Index arithmetic in the kernels stays well inside 32 bits;
-                // width changes are value-preserving there.
-                CastKind::SExt | CastKind::ZExt | CastKind::Trunc => self.to_affine(f, ch[0]),
-                _ => Affine::atom(Atom::Value(v)),
-            },
+            // Index arithmetic in the kernels stays well inside 32 bits;
+            // width changes are value-preserving there.
+            Inst::Cast {
+                kind: CastKind::SExt | CastKind::ZExt | CastKind::Trunc,
+                ..
+            } => self.to_affine(f, ch[0]),
             _ => Affine::atom(Atom::Value(v)),
         }
     }
@@ -258,7 +264,12 @@ impl ExprTree {
                     BinOp::FMin => "min",
                     BinOp::FMax => "max",
                 };
-                format!("({} {} {})", self.display(f, ch[0]), sym, self.display(f, ch[1]))
+                format!(
+                    "({} {} {})",
+                    self.display(f, ch[0]),
+                    sym,
+                    self.display(f, ch[1])
+                )
             }
             Inst::Cast { .. } => self.display(f, ch[0]),
             Inst::Gep { .. } => {
@@ -293,7 +304,10 @@ mod tests {
     use grover_frontend::{compile, BuildOptions};
 
     fn kernel(src: &str) -> Function {
-        compile(src, &BuildOptions::new()).unwrap().kernels.remove(0)
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
     }
 
     /// Find the index operand of the first store to __local memory.
@@ -351,7 +365,9 @@ mod tests {
         for (_, iv) in f.iter_insts() {
             if let Some(Inst::Load { ptr }) = f.inst(iv) {
                 if f.ty(*ptr).address_space() == Some(grover_ir::AddressSpace::Local) {
-                    let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { panic!() };
+                    let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else {
+                        panic!()
+                    };
                     let t = ExprTree::build(&f, *index);
                     let a = t.affine(&f);
                     assert_eq!(a.num_terms(), 1);
@@ -377,7 +393,9 @@ mod tests {
         // index tree for the store
         for (_, iv) in f.iter_insts() {
             if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
-                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else {
+                    continue;
+                };
                 let t = ExprTree::build(&f, *index);
                 let po = t.post_order();
                 assert_eq!(*po.last().unwrap(), t.root());
@@ -404,13 +422,20 @@ mod tests {
         );
         for (_, iv) in f.iter_insts() {
             if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
-                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else {
+                    continue;
+                };
                 let mut t = ExprTree::build(&f, *index);
                 // find the lx leaf (a Query leaf behind the trunc internal node)
                 let leaf = t
                     .post_order()
                     .into_iter()
-                    .find(|&n| matches!(t.leaf_kind(&f, n), Some(LeafKind::Query(Builtin::LocalId, 0))))
+                    .find(|&n| {
+                        matches!(
+                            t.leaf_kind(&f, n),
+                            Some(LeafKind::Query(Builtin::LocalId, 0))
+                        )
+                    })
                     .expect("lx leaf");
                 t.mark_path_to_root(leaf);
                 assert!(t.node(t.root()).needs_update);
@@ -440,7 +465,9 @@ mod tests {
         );
         for (_, iv) in f.iter_insts() {
             if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
-                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { continue };
+                let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else {
+                    continue;
+                };
                 let t = ExprTree::build(&f, *index);
                 let s = t.display_root(&f);
                 assert!(s.contains("lx"), "{s}");

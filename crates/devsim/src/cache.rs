@@ -17,7 +17,12 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Construct a configuration.
     pub fn new(size_bytes: u64, line_bytes: u64, ways: u64, latency: u64) -> CacheConfig {
-        CacheConfig { size_bytes, line_bytes, ways, latency }
+        CacheConfig {
+            size_bytes,
+            line_bytes,
+            ways,
+            latency,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -91,10 +96,23 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Cache {
         let sets = (0..config.num_sets())
             .map(|_| {
-                vec![Line { tag: 0, valid: false, dirty: false, stamp: 0 }; config.ways as usize]
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        stamp: 0
+                    };
+                    config.ways as usize
+                ]
             })
             .collect();
-        Cache { config, sets, clock: 0, stats: CacheStats::default() }
+        Cache {
+            config,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache's configuration.
@@ -134,7 +152,12 @@ impl Cache {
         if writeback {
             self.stats.writebacks += 1;
         }
-        set[victim] = Line { tag, valid: true, dirty: is_write, stamp: self.clock };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: self.clock,
+        };
         Probe::Miss { writeback }
     }
 

@@ -103,7 +103,15 @@ mod tests {
     use grover_runtime::TraceOp;
 
     fn ev(space: AddressSpace, addr: u64, group: u32) -> AccessEvent {
-        AccessEvent { op: TraceOp::Load, space, addr, bytes: 4, group, local: 0, pc: 0 }
+        AccessEvent {
+            op: TraceOp::Load,
+            space,
+            addr,
+            bytes: 4,
+            group,
+            local: 0,
+            pc: 0,
+        }
     }
 
     #[test]
@@ -179,7 +187,10 @@ mod tests {
         // hit L2 on prefetched lines instead of paying the ring/DRAM.
         let p = mic();
         let mut with_pf = CpuModel::new(p.clone());
-        let mut without_pf = CpuModel::new(CpuProfile { prefetch_streams: 0, ..p });
+        let mut without_pf = CpuModel::new(CpuProfile {
+            prefetch_streams: 0,
+            ..p
+        });
         // Stride of 2 KiB over 4 MiB: thrashes L1, constant L2-miss stride.
         for m in [&mut with_pf, &mut without_pf] {
             for i in 0..2048u64 {
@@ -205,7 +216,9 @@ mod tests {
         // the model must stay correct (counts consistent).
         let mut x = 0x12345u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             m.access(&ev(AddressSpace::Global, ((x >> 20) & 0xff_ffff) & !63, 0));
         }
         let r = m.finish();

@@ -62,13 +62,16 @@ pub fn classify(addrs: &[(u64, u32)]) -> AccessClass {
     }
 }
 
+/// Per-lane `(addr, bytes, is_store)` accesses of one fused SIMD slot,
+/// in lane order.
+type LaneAccesses = Vec<(u64, u32, bool)>;
+
 #[derive(Default)]
 struct GroupAccum {
     /// (local, pc) -> how many accesses this work-item issued at this pc.
     counters: HashMap<(u32, u32), u32>,
-    /// (pc, occurrence, simd_group) -> per-lane (addr, bytes, is_store),
-    /// in lane order.
-    fused: HashMap<(u32, u32, u32), Vec<(u64, u32, bool)>>,
+    /// (pc, occurrence, simd_group) -> fused per-lane accesses.
+    fused: HashMap<(u32, u32, u32), LaneAccesses>,
     instructions: u64,
     barriers: u64,
 }
@@ -111,7 +114,9 @@ impl SimdCpuModel {
     }
 
     fn retire_group(&mut self, group: u32) {
-        let Some(acc) = self.pending.remove(&group) else { return };
+        let Some(acc) = self.pending.remove(&group) else {
+            return;
+        };
         let core = self.core_of(group);
         let p = self.mem.profile().clone();
         let mut cycles = 0u64;
@@ -129,7 +134,8 @@ impl SimdCpuModel {
                 }
                 AccessClass::Broadcast => {
                     self.broadcast_accesses += 1;
-                    self.mem.access_cost(core, addrs[0].0, addrs[0].1 as u64, is_store, clock)
+                    self.mem
+                        .access_cost(core, addrs[0].0, addrs[0].1 as u64, is_store, clock)
                 }
                 AccessClass::Gather => {
                     self.gather_accesses += 1;
@@ -197,10 +203,11 @@ impl TraceSink for SimdCpuModel {
             v
         };
         let sgroup = ev.local / width;
-        acc.fused
-            .entry((ev.pc, occ, sgroup))
-            .or_default()
-            .push((addr, ev.bytes, ev.op == TraceOp::Store));
+        acc.fused.entry((ev.pc, occ, sgroup)).or_default().push((
+            addr,
+            ev.bytes,
+            ev.op == TraceOp::Store,
+        ));
     }
 
     fn barrier(&mut self, group: u32, items: u32) {
@@ -237,9 +244,18 @@ mod tests {
 
     #[test]
     fn classify_shapes() {
-        assert_eq!(classify(&[(0, 4), (4, 4), (8, 4), (12, 4)]), AccessClass::Vector);
-        assert_eq!(classify(&[(100, 4), (100, 4), (100, 4)]), AccessClass::Broadcast);
-        assert_eq!(classify(&[(0, 4), (1024, 4), (2048, 4)]), AccessClass::Gather);
+        assert_eq!(
+            classify(&[(0, 4), (4, 4), (8, 4), (12, 4)]),
+            AccessClass::Vector
+        );
+        assert_eq!(
+            classify(&[(100, 4), (100, 4), (100, 4)]),
+            AccessClass::Broadcast
+        );
+        assert_eq!(
+            classify(&[(0, 4), (1024, 4), (2048, 4)]),
+            AccessClass::Gather
+        );
         assert_eq!(classify(&[(0, 4)]), AccessClass::Vector);
     }
 
@@ -312,6 +328,9 @@ mod tests {
         m.access(&ev(4, 1, 2));
         m.workgroup_done(0);
         let _ = m.finish();
-        assert_eq!(m.vector_accesses + m.broadcast_accesses + m.gather_accesses, 2);
+        assert_eq!(
+            m.vector_accesses + m.broadcast_accesses + m.gather_accesses,
+            2
+        );
     }
 }

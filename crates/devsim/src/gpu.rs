@@ -89,7 +89,9 @@ impl GpuModel {
     }
 
     fn retire_group(&mut self, group: u32) {
-        let Some(acc) = self.pending.remove(&group) else { return };
+        let Some(acc) = self.pending.remove(&group) else {
+            return;
+        };
         let p = &self.profile;
         let sm = self.sm_of(group);
         let mut cycles = 0u64;
@@ -253,7 +255,12 @@ mod tests {
         }
         b.workgroup_done(0);
         let rb = b.finish();
-        assert!(ra.cycles < rb.cycles, "spm {} vs strided global {}", ra.cycles, rb.cycles);
+        assert!(
+            ra.cycles < rb.cycles,
+            "spm {} vs strided global {}",
+            ra.cycles,
+            rb.cycles
+        );
     }
 
     #[test]
@@ -262,7 +269,10 @@ mod tests {
         // Two groups touching the same segment: second goes to L2.
         m.access(&ev(0, 0, 1));
         m.workgroup_done(0);
-        m.access(&AccessEvent { group: 1, ..ev(0, 0, 1) });
+        m.access(&AccessEvent {
+            group: 1,
+            ..ev(0, 0, 1)
+        });
         m.workgroup_done(1);
         let r = m.finish();
         assert_eq!(r.transactions, 2);
@@ -274,7 +284,10 @@ mod tests {
     fn groups_round_robin_sms() {
         let mut m = GpuModel::new(fermi());
         for g in 0..4u32 {
-            m.access(&AccessEvent { group: g, ..ev(g as u64 * 4096, 0, 1) });
+            m.access(&AccessEvent {
+                group: g,
+                ..ev(g as u64 * 4096, 0, 1)
+            });
             m.workgroup_done(g);
         }
         let r = m.finish();
@@ -285,7 +298,7 @@ mod tests {
     #[test]
     fn vector_access_spanning_segments_counts_two() {
         let mut m = GpuModel::new(tahiti()); // 64-byte segments
-        // One 16-byte access straddling a segment boundary.
+                                             // One 16-byte access straddling a segment boundary.
         m.access(&AccessEvent {
             op: TraceOp::Load,
             space: AddressSpace::Global,

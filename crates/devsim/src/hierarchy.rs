@@ -34,7 +34,11 @@ struct Stream {
 
 impl StridePrefetcher {
     pub(crate) fn new(max_streams: usize, degree: u64) -> StridePrefetcher {
-        StridePrefetcher { streams: Vec::new(), max_streams, degree }
+        StridePrefetcher {
+            streams: Vec::new(),
+            max_streams,
+            degree,
+        }
     }
 
     /// Record an L2 miss; return prefetch addresses to install.
@@ -65,10 +69,11 @@ impl StridePrefetcher {
         for (i, st) in self.streams.iter().enumerate() {
             if !st.confirmed {
                 let delta = addr as i64 - st.last as i64;
-                if delta != 0 && delta.unsigned_abs() <= PAIR_WINDOW {
-                    if best.map_or(true, |(_, d)| delta.abs() < d.abs()) {
-                        best = Some((i, delta));
-                    }
+                if delta != 0
+                    && delta.unsigned_abs() <= PAIR_WINDOW
+                    && best.is_none_or(|(_, d)| delta.abs() < d.abs())
+                {
+                    best = Some((i, delta));
                 }
             }
         }
@@ -81,7 +86,12 @@ impl StridePrefetcher {
             return Vec::new();
         }
         // Allocate a new stream (evict the oldest).
-        let st = Stream { last: addr, stride: 0, confirmed: false, age: clock };
+        let st = Stream {
+            last: addr,
+            stride: 0,
+            confirmed: false,
+            age: clock,
+        };
         if self.streams.len() < self.max_streams {
             self.streams.push(st);
         } else if let Some(old) = self.streams.iter_mut().min_by_key(|s| s.age) {
@@ -120,7 +130,15 @@ impl CoreMemory {
         let prefetchers = (0..profile.cores)
             .map(|_| StridePrefetcher::new(profile.prefetch_streams, profile.prefetch_degree))
             .collect();
-        CoreMemory { profile, l1, l2, llc, prefetchers, dram_accesses: 0, prefetch_issued: 0 }
+        CoreMemory {
+            profile,
+            l1,
+            l2,
+            llc,
+            prefetchers,
+            dram_accesses: 0,
+            prefetch_issued: 0,
+        }
     }
 
     /// The device profile the hierarchy was built from.
@@ -169,7 +187,14 @@ impl CoreMemory {
 
     /// Cost of an access of `bytes` bytes at `addr`: spans lines, pays the
     /// max per-line cost (overlapped fills).
-    pub fn access_cost(&mut self, core: usize, addr: u64, bytes: u64, is_write: bool, clock: u64) -> u64 {
+    pub fn access_cost(
+        &mut self,
+        core: usize,
+        addr: u64,
+        bytes: u64,
+        is_write: bool,
+        clock: u64,
+    ) -> u64 {
         let lb = self.profile.l1.line_bytes;
         let first = addr / lb;
         let last = (addr + bytes.max(1) - 1) / lb;

@@ -183,10 +183,12 @@ mod tests {
 
     #[test]
     fn from_counts_helper() {
-        let mut c = grover_runtime::CountingSink::default();
-        c.instructions = 10;
-        c.global_loads = 3;
-        c.barriers = 2;
+        let c = grover_runtime::CountingSink {
+            instructions: 10,
+            global_loads: 3,
+            barriers: 2,
+            ..Default::default()
+        };
         let o = OpCounts::from_counts(&c, 64);
         assert_eq!(o.instructions, 10);
         assert_eq!(o.global_loads, 3);

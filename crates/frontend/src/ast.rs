@@ -75,17 +75,28 @@ pub struct CType {
 impl CType {
     /// A scalar type.
     pub fn scalar(s: CScalar) -> CType {
-        CType { scalar: s, lanes: 1, ptr: None }
+        CType {
+            scalar: s,
+            lanes: 1,
+            ptr: None,
+        }
     }
 
     /// A short-vector type.
     pub fn vector(s: CScalar, lanes: u8) -> CType {
-        CType { scalar: s, lanes, ptr: None }
+        CType {
+            scalar: s,
+            lanes,
+            ptr: None,
+        }
     }
 
     /// Pointer to this element type in the given address space.
     pub fn pointer_to(self, space: AddressSpace) -> CType {
-        CType { ptr: Some(space), ..self }
+        CType {
+            ptr: Some(space),
+            ..self
+        }
     }
 
     /// The element type a pointer refers to.
@@ -94,17 +105,41 @@ impl CType {
     }
 
     /// `int`.
-    pub const INT: CType = CType { scalar: CScalar::Int, lanes: 1, ptr: None };
+    pub const INT: CType = CType {
+        scalar: CScalar::Int,
+        lanes: 1,
+        ptr: None,
+    };
     /// `uint`.
-    pub const UINT: CType = CType { scalar: CScalar::UInt, lanes: 1, ptr: None };
+    pub const UINT: CType = CType {
+        scalar: CScalar::UInt,
+        lanes: 1,
+        ptr: None,
+    };
     /// `long`.
-    pub const LONG: CType = CType { scalar: CScalar::Long, lanes: 1, ptr: None };
+    pub const LONG: CType = CType {
+        scalar: CScalar::Long,
+        lanes: 1,
+        ptr: None,
+    };
     /// `ulong`.
-    pub const ULONG: CType = CType { scalar: CScalar::ULong, lanes: 1, ptr: None };
+    pub const ULONG: CType = CType {
+        scalar: CScalar::ULong,
+        lanes: 1,
+        ptr: None,
+    };
     /// `float`.
-    pub const FLOAT: CType = CType { scalar: CScalar::Float, lanes: 1, ptr: None };
+    pub const FLOAT: CType = CType {
+        scalar: CScalar::Float,
+        lanes: 1,
+        ptr: None,
+    };
     /// `bool`.
-    pub const BOOL: CType = CType { scalar: CScalar::Bool, lanes: 1, ptr: None };
+    pub const BOOL: CType = CType {
+        scalar: CScalar::Bool,
+        lanes: 1,
+        ptr: None,
+    };
 
     /// Whether this is a pointer type.
     pub fn is_ptr(self) -> bool {

@@ -16,7 +16,10 @@ pub fn lower_kernel(def: &KernelDef) -> Result<Function, CompileError> {
     let params: Vec<Param> = def
         .params
         .iter()
-        .map(|p| Param { name: p.name.clone(), ty: ir_type(p.ty) })
+        .map(|p| Param {
+            name: p.name.clone(),
+            ty: ir_type(p.ty),
+        })
         .collect();
     let f = Function::new(def.name.clone(), params);
     let entry = f.entry;
@@ -29,12 +32,20 @@ pub fn lower_kernel(def: &KernelDef) -> Result<Function, CompileError> {
         loops: Vec::new(),
         var_names: Vec::new(),
     };
-    cg.ssa.seal(&mut cg.f, entry).map_err(|_| CompileError::new("internal: entry seal", 0))?;
+    cg.ssa
+        .seal(&mut cg.f, entry)
+        .map_err(|_| CompileError::new("internal: entry seal", 0))?;
     // Bind parameters.
     for (i, p) in def.params.iter().enumerate() {
         let v = cg.f.param_value(i);
         if p.ty.is_ptr() {
-            cg.bind(p.name.clone(), Binding::Ptr { value: v, cty: p.ty });
+            cg.bind(
+                p.name.clone(),
+                Binding::Ptr {
+                    value: v,
+                    cty: p.ty,
+                },
+            );
         } else {
             let var = cg.ssa.new_var(ir_type(p.ty));
             cg.var_names.push(p.name.clone());
@@ -59,13 +70,15 @@ pub fn lower_kernel(def: &KernelDef) -> Result<Function, CompileError> {
         .ssa
         .phi_vars()
         .filter(|(p, _)| cg.f.position_of(*p).is_some())
-        .filter_map(|(p, var)| {
-            cg.var_names.get(var.0 as usize).map(|n| (p, n.clone()))
-        })
+        .filter_map(|(p, var)| cg.var_names.get(var.0 as usize).map(|n| (p, n.clone())))
         .collect();
     for (p, base) in phi_names {
         let n = seen.entry(base.clone()).or_insert(0);
-        let name = if *n == 0 { base.clone() } else { format!("{base}.{n}") };
+        let name = if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}.{n}")
+        };
         *n += 1;
         cg.f.set_name(p, name);
     }
@@ -98,7 +111,11 @@ enum Binding {
     /// Pointer kernel argument.
     Ptr { value: ValueId, cty: CType },
     /// `__local` array (pointer to its first element plus shape).
-    Array { ptr: ValueId, cty: CType, dims: Vec<i64> },
+    Array {
+        ptr: ValueId,
+        cty: CType,
+        dims: Vec<i64>,
+    },
 }
 
 struct CodeGen {
@@ -123,7 +140,10 @@ impl CodeGen {
                 return Ok(b.clone());
             }
         }
-        Err(CompileError::new(format!("unknown identifier `{name}`"), line))
+        Err(CompileError::new(
+            format!("unknown identifier `{name}`"),
+            line,
+        ))
     }
 
     fn builder(&mut self) -> Builder<'_> {
@@ -131,9 +151,7 @@ impl CodeGen {
     }
 
     fn seal(&mut self, b: BlockId) -> Result<(), CompileError> {
-        self.ssa
-            .seal(&mut self.f, b)
-            .map_err(|u| self.undef_err(u))
+        self.ssa.seal(&mut self.f, b).map_err(|u| self.undef_err(u))
     }
 
     fn undef_err(&self, u: crate::ssa::UndefRead) -> CompileError {
@@ -142,7 +160,10 @@ impl CodeGen {
             .get(u.0 .0 as usize)
             .cloned()
             .unwrap_or_else(|| format!("var{}", u.0 .0));
-        CompileError::new(format!("variable `{name}` may be read before assignment"), 0)
+        CompileError::new(
+            format!("variable `{name}` may be read before assignment"),
+            0,
+        )
     }
 
     fn read_var(&mut self, var: VarId) -> Result<ValueId, CompileError> {
@@ -225,7 +246,10 @@ impl CodeGen {
                 ));
             }
             if d.init.is_some() {
-                return Err(CompileError::new("__local arrays cannot have initialisers", d.line));
+                return Err(CompileError::new(
+                    "__local arrays cannot have initialisers",
+                    d.line,
+                ));
             }
             let dims: Vec<i64> = d
                 .dims
@@ -237,7 +261,10 @@ impl CodeGen {
                 })
                 .collect::<Result<_, _>>()?;
             if dims.iter().any(|&x| x <= 0) {
-                return Err(CompileError::new("array dimensions must be positive", d.line));
+                return Err(CompileError::new(
+                    "array dimensions must be positive",
+                    d.line,
+                ));
             }
             let buf = LocalBuf {
                 name: d.name.clone(),
@@ -246,7 +273,14 @@ impl CodeGen {
                 dims: dims.iter().map(|&x| x as u64).collect(),
             };
             let ptr = self.f.add_local_buf(buf);
-            self.bind(d.name.clone(), Binding::Array { ptr, cty: d.ty, dims });
+            self.bind(
+                d.name.clone(),
+                Binding::Array {
+                    ptr,
+                    cty: d.ty,
+                    dims,
+                },
+            );
             return Ok(());
         }
         if d.space == Some(AddressSpace::Local) {
@@ -262,9 +296,18 @@ impl CodeGen {
             })?;
             let (v, cty) = self.gen_expr(init)?;
             if !cty.is_ptr() {
-                return Err(CompileError::new("pointer initialiser is not a pointer", d.line));
+                return Err(CompileError::new(
+                    "pointer initialiser is not a pointer",
+                    d.line,
+                ));
             }
-            self.bind(d.name.clone(), Binding::Ptr { value: v, cty: d.ty });
+            self.bind(
+                d.name.clone(),
+                Binding::Ptr {
+                    value: v,
+                    cty: d.ty,
+                },
+            );
             return Ok(());
         }
         let var = self.ssa.new_var(ir_type(d.ty));
@@ -286,10 +329,14 @@ impl CodeGen {
         else_s: &[Stmt],
     ) -> Result<(), CompileError> {
         let (cv, cty) = self.gen_expr(cond)?;
-        let c = self.to_bool(cv, cty, cond.line)?;
+        let c = self.coerce_bool(cv, cty, cond.line)?;
         let then_b = self.f.add_block("if.then");
         let merge = self.f.add_block("if.end");
-        let else_b = if else_s.is_empty() { merge } else { self.f.add_block("if.else") };
+        let else_b = if else_s.is_empty() {
+            merge
+        } else {
+            self.f.add_block("if.else")
+        };
         self.builder().cond_br(c, then_b, else_b);
         self.seal(then_b)?;
         if else_b != merge {
@@ -330,7 +377,7 @@ impl CodeGen {
         self.builder().br(header);
         self.cur = header; // header left unsealed until the latch exists
         let (cv, cty) = self.gen_expr(cond)?;
-        let c = self.to_bool(cv, cty, cond.line)?;
+        let c = self.coerce_bool(cv, cty, cond.line)?;
         self.builder().cond_br(c, body_b, exit);
         self.seal(body_b)?;
         self.cur = body_b;
@@ -368,7 +415,7 @@ impl CodeGen {
         self.seal(header)?;
         self.cur = header;
         let (cv, cty) = self.gen_expr(cond)?;
-        let c = self.to_bool(cv, cty, cond.line)?;
+        let c = self.coerce_bool(cv, cty, cond.line)?;
         self.builder().cond_br(c, body_b, exit);
         self.seal(body_b)?;
         self.seal(exit)?;
@@ -397,7 +444,7 @@ impl CodeGen {
         match cond {
             Some(c) => {
                 let (cv, cty) = self.gen_expr(c)?;
-                let cb = self.to_bool(cv, cty, c.line)?;
+                let cb = self.coerce_bool(cv, cty, c.line)?;
                 self.builder().cond_br(cb, body_b, exit);
             }
             None => {
@@ -455,7 +502,7 @@ impl CodeGen {
             ExprKind::Assign(lhs, op, rhs) => self.gen_assign(lhs, *op, rhs, e.line),
             ExprKind::Ternary(c, t, el) => {
                 let (cv, cty) = self.gen_expr(c)?;
-                let cb = self.to_bool(cv, cty, e.line)?;
+                let cb = self.coerce_bool(cv, cty, e.line)?;
                 let (tv, tty) = self.gen_expr(t)?;
                 let (ev, ety) = self.gen_expr(el)?;
                 let common = usual_conversions(tty, ety, e.line)?;
@@ -529,7 +576,7 @@ impl CodeGen {
                 }
             }
             CUnOp::Not => {
-                let b = self.to_bool(v, cty, line)?;
+                let b = self.coerce_bool(v, cty, line)?;
                 let t = self.f.const_bool(true);
                 Ok((self.builder().bin(BinOp::Xor, b, t), CType::BOOL))
             }
@@ -598,8 +645,8 @@ impl CodeGen {
     ) -> Result<(ValueId, CType), CompileError> {
         use CBinOp::*;
         if matches!(op, LogAnd | LogOr) {
-            let lb = self.to_bool(lv, lty, line)?;
-            let rb = self.to_bool(rv, rty, line)?;
+            let lb = self.coerce_bool(lv, lty, line)?;
+            let rb = self.coerce_bool(rv, rty, line)?;
             let o = if op == LogAnd { BinOp::And } else { BinOp::Or };
             return Ok((self.builder().bin(o, lb, rb), CType::BOOL));
         }
@@ -641,7 +688,11 @@ impl CodeGen {
                 };
                 let out = self.builder().cmp(pred, lv, rv);
                 let ty = if common.lanes > 1 {
-                    CType { scalar: CScalar::Bool, lanes: common.lanes, ptr: None }
+                    CType {
+                        scalar: CScalar::Bool,
+                        lanes: common.lanes,
+                        ptr: None,
+                    }
                 } else {
                     CType::BOOL
                 };
@@ -704,8 +755,10 @@ impl CodeGen {
                 if !is_f && common.scalar.is_float() {
                     unreachable!()
                 }
-                if matches!(bop, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr)
-                    && !common.scalar.is_integer()
+                if matches!(
+                    bop,
+                    BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr
+                ) && !common.scalar.is_integer()
                 {
                     return Err(CompileError::new("bitwise op on non-integer", line));
                 }
@@ -918,7 +971,10 @@ impl CodeGen {
         };
         if let Some(b) = wi {
             if args.len() != 1 {
-                return Err(CompileError::new(format!("{name} takes one argument"), line));
+                return Err(CompileError::new(
+                    format!("{name} takes one argument"),
+                    line,
+                ));
             }
             let (d, dty) = self.gen_expr(&args[0])?;
             let d = self.convert(d, dty, CType::INT, line)?;
@@ -937,17 +993,27 @@ impl CodeGen {
         };
         if let Some(b) = fm {
             if args.len() != 1 {
-                return Err(CompileError::new(format!("{name} takes one argument"), line));
+                return Err(CompileError::new(
+                    format!("{name} takes one argument"),
+                    line,
+                ));
             }
             let (v, vt) = self.gen_expr(&args[0])?;
-            let target = CType { scalar: CScalar::Float, lanes: vt.lanes, ptr: None };
+            let target = CType {
+                scalar: CScalar::Float,
+                lanes: vt.lanes,
+                ptr: None,
+            };
             let v = self.convert(v, vt, target, line)?;
             return Ok((self.builder().call(b, vec![v]), target));
         }
         match name {
             "min" | "max" | "fmin" | "fmax" => {
                 if args.len() != 2 {
-                    return Err(CompileError::new(format!("{name} takes two arguments"), line));
+                    return Err(CompileError::new(
+                        format!("{name} takes two arguments"),
+                        line,
+                    ));
                 }
                 let (a, at) = self.gen_expr(&args[0])?;
                 let (b, bt) = self.gen_expr(&args[1])?;
@@ -955,13 +1021,25 @@ impl CodeGen {
                 let a = self.convert(a, at, common, line)?;
                 let b = self.convert(b, bt, common, line)?;
                 if common.scalar.is_float() || name.starts_with('f') {
-                    let fcommon = CType { scalar: CScalar::Float, lanes: common.lanes, ptr: None };
+                    let fcommon = CType {
+                        scalar: CScalar::Float,
+                        lanes: common.lanes,
+                        ptr: None,
+                    };
                     let a = self.convert(a, common, fcommon, line)?;
                     let b = self.convert(b, common, fcommon, line)?;
-                    let op = if name.ends_with("in") { BinOp::FMin } else { BinOp::FMax };
+                    let op = if name.ends_with("in") {
+                        BinOp::FMin
+                    } else {
+                        BinOp::FMax
+                    };
                     Ok((self.builder().bin(op, a, b), fcommon))
                 } else {
-                    let b_ = if name == "min" { Builtin::IMin } else { Builtin::IMax };
+                    let b_ = if name == "min" {
+                        Builtin::IMin
+                    } else {
+                        Builtin::IMax
+                    };
                     Ok((self.builder().call(b_, vec![a, b]), common))
                 }
             }
@@ -977,7 +1055,11 @@ impl CodeGen {
                     lanes = lanes.max(t.lanes);
                     parts.push((v, t));
                 }
-                let target = CType { scalar: CScalar::Float, lanes, ptr: None };
+                let target = CType {
+                    scalar: CScalar::Float,
+                    lanes,
+                    ptr: None,
+                };
                 for (v, t) in parts {
                     vs.push(self.convert(v, t, target, line)?);
                 }
@@ -1034,13 +1116,21 @@ impl CodeGen {
                 let m = self.builder().mul(a, b);
                 Ok((self.builder().add(m, c), common))
             }
-            other => Err(CompileError::new(format!("unknown function `{other}`"), line)),
+            other => Err(CompileError::new(
+                format!("unknown function `{other}`"),
+                line,
+            )),
         }
     }
 
     // ---- conversions ------------------------------------------------------
 
-    fn to_bool(&mut self, v: ValueId, cty: CType, line: usize) -> Result<ValueId, CompileError> {
+    fn coerce_bool(
+        &mut self,
+        v: ValueId,
+        cty: CType,
+        line: usize,
+    ) -> Result<ValueId, CompileError> {
         if cty.is_ptr() || cty.is_vector() {
             return Err(CompileError::new("condition must be scalar", line));
         }
@@ -1086,7 +1176,10 @@ impl CodeGen {
         }
         if from.lanes != to.lanes {
             return Err(CompileError::new(
-                format!("cannot convert {}-lane to {}-lane vector", from.lanes, to.lanes),
+                format!(
+                    "cannot convert {}-lane to {}-lane vector",
+                    from.lanes, to.lanes
+                ),
                 line,
             ));
         }
@@ -1117,7 +1210,11 @@ impl CodeGen {
                 self.builder().cast(CastKind::SiToFp, i, target)
             }
             (Scalar::I32, Scalar::I64) => {
-                let kind = if from.scalar.is_unsigned() { CastKind::ZExt } else { CastKind::SExt };
+                let kind = if from.scalar.is_unsigned() {
+                    CastKind::ZExt
+                } else {
+                    CastKind::SExt
+                };
                 self.builder().cast(kind, v, target)
             }
             (Scalar::I64, Scalar::I32) => self.builder().cast(CastKind::Trunc, v, target),
@@ -1128,7 +1225,11 @@ impl CodeGen {
                 self.builder().cast(CastKind::FpToSi, v, target)
             }
             (Scalar::I32, Scalar::Bool) | (Scalar::I64, Scalar::Bool) => {
-                let z = if fk == Scalar::I64 { self.f.const_i64(0) } else { self.f.const_i32(0) };
+                let z = if fk == Scalar::I64 {
+                    self.f.const_i64(0)
+                } else {
+                    self.f.const_i32(0)
+                };
                 self.builder().cmp(CmpPred::Ne, v, z)
             }
             (Scalar::F32, Scalar::Bool) => {
@@ -1137,7 +1238,10 @@ impl CodeGen {
             }
             _ => {
                 return Err(CompileError::new(
-                    format!("unsupported conversion {:?} -> {:?}", from.scalar, to.scalar),
+                    format!(
+                        "unsupported conversion {:?} -> {:?}",
+                        from.scalar, to.scalar
+                    ),
                     line,
                 ))
             }
@@ -1157,10 +1261,22 @@ fn usual_conversions(a: CType, b: CType, line: usize) -> Result<CType, CompileEr
         (x, 1) => x,
         _ => return Err(CompileError::new("vector lane count mismatch", line)),
     };
-    let scalar = if a.scalar.rank() >= b.scalar.rank() { a.scalar } else { b.scalar };
+    let scalar = if a.scalar.rank() >= b.scalar.rank() {
+        a.scalar
+    } else {
+        b.scalar
+    };
     // Bool promotes to int in arithmetic.
-    let scalar = if scalar == CScalar::Bool { CScalar::Int } else { scalar };
-    Ok(CType { scalar, lanes, ptr: None })
+    let scalar = if scalar == CScalar::Bool {
+        CScalar::Int
+    } else {
+        scalar
+    };
+    Ok(CType {
+        scalar,
+        lanes,
+        ptr: None,
+    })
 }
 
 /// Evaluate a constant integer expression (array dimensions).
@@ -1206,7 +1322,10 @@ fn lane_of(field: &str, line: usize) -> Result<u8, CompileError> {
                     }
                 }
             }
-            Err(CompileError::new(format!("unknown vector member `.{field}`"), line))
+            Err(CompileError::new(
+                format!("unknown vector member `.{field}`"),
+                line,
+            ))
         }
     }
 }
@@ -1224,7 +1343,10 @@ mod tests {
         let tu = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
         let f = lower_kernel(&tu.kernels[0]).unwrap_or_else(|e| panic!("lower: {e}"));
         if let Err(errs) = grover_ir::verify(&f) {
-            panic!("IR verification failed: {errs:?}\n{}", grover_ir::printer::function_to_string(&f));
+            panic!(
+                "IR verification failed: {errs:?}\n{}",
+                grover_ir::printer::function_to_string(&f)
+            );
         }
         f
     }
@@ -1352,10 +1474,7 @@ mod tests {
 
     #[test]
     fn uninitialised_read_rejected() {
-        let tu = parse(
-            "__kernel void u(__global int* a) { int x; a[0] = x; }",
-        )
-        .unwrap();
+        let tu = parse("__kernel void u(__global int* a) { int x; a[0] = x; }").unwrap();
         assert!(lower_kernel(&tu.kernels[0]).is_err());
     }
 
@@ -1379,9 +1498,15 @@ mod tests {
                  a[1] = x / 3;
              }",
         );
-        let has_udiv = f
-            .iter_insts()
-            .any(|(_, iv)| matches!(f.inst(iv), Some(Inst::Bin { op: BinOp::UDiv, .. })));
+        let has_udiv = f.iter_insts().any(|(_, iv)| {
+            matches!(
+                f.inst(iv),
+                Some(Inst::Bin {
+                    op: BinOp::UDiv,
+                    ..
+                })
+            )
+        });
         assert!(has_udiv);
     }
 
@@ -1393,9 +1518,15 @@ mod tests {
                  a[1] = x / 3;
              }",
         );
-        let has_sdiv = f
-            .iter_insts()
-            .any(|(_, iv)| matches!(f.inst(iv), Some(Inst::Bin { op: BinOp::SDiv, .. })));
+        let has_sdiv = f.iter_insts().any(|(_, iv)| {
+            matches!(
+                f.inst(iv),
+                Some(Inst::Bin {
+                    op: BinOp::SDiv,
+                    ..
+                })
+            )
+        });
         assert!(has_sdiv);
     }
 
@@ -1436,9 +1567,13 @@ mod tests {
     #[test]
     fn const_eval_dims() {
         let e = |src: &str| {
-            let tu = parse(&format!("__kernel void k() {{ __local float x[{src}]; x[0]=0.0f; }}"))
-                .unwrap();
-            let Stmt::Decl(d) = &tu.kernels[0].body[0] else { panic!() };
+            let tu = parse(&format!(
+                "__kernel void k() {{ __local float x[{src}]; x[0]=0.0f; }}"
+            ))
+            .unwrap();
+            let Stmt::Decl(d) = &tu.kernels[0].body[0] else {
+                panic!()
+            };
             const_eval(&d[0].dims[0])
         };
         assert_eq!(e("16"), Some(16));

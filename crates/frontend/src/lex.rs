@@ -98,7 +98,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                toks.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+                toks.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
             }
             _ => {
                 let (tok, len) = lex_punct(&src[i..], line)?;
@@ -107,7 +110,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    toks.push(Token { tok: Tok::Eof, line });
+    toks.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -302,7 +308,12 @@ mod tests {
         // `v.x` must lex Dot, `1.x` would be weird but `v.s0` common.
         assert_eq!(
             kinds("v.x"),
-            vec![Tok::Ident("v".into()), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+            vec![
+                Tok::Ident("v".into()),
+                Tok::Dot,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
         );
     }
 

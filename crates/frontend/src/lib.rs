@@ -46,7 +46,10 @@ pub struct CompileError {
 impl CompileError {
     /// Construct an error at a source line (0 = unknown).
     pub fn new(message: impl Into<String>, line: usize) -> CompileError {
-        CompileError { message: message.into(), line }
+        CompileError {
+            message: message.into(),
+            line,
+        }
     }
 }
 
@@ -73,7 +76,10 @@ pub fn compile(source: &str, options: &BuildOptions) -> Result<Module, CompileEr
         let f = codegen::lower_kernel(k)?;
         if let Err(errs) = grover_ir::verify(&f) {
             return Err(CompileError::new(
-                format!("internal: generated IR for `{}` failed verification: {:?}", k.name, errs),
+                format!(
+                    "internal: generated IR for `{}` failed verification: {:?}",
+                    k.name, errs
+                ),
                 k.line,
             ));
         }

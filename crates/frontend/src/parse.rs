@@ -162,7 +162,10 @@ impl Parser {
         } else if let Some(s) = Self::base_scalar(&w) {
             CType::scalar(s)
         } else {
-            return Err(CompileError::new(format!("unknown type `{w}`"), self.line()));
+            return Err(CompileError::new(
+                format!("unknown type `{w}`"),
+                self.line(),
+            ));
         };
         self.eat_ident("const");
         if self.eat(&Tok::Star) {
@@ -209,7 +212,11 @@ impl Parser {
                 let space = self.try_space();
                 let ty = self.parse_type(space)?;
                 let pname = self.expect_ident("parameter name")?;
-                params.push(KernelParam { name: pname, ty, line: pline });
+                params.push(KernelParam {
+                    name: pname,
+                    ty,
+                    line: pline,
+                });
                 if self.eat(&Tok::RParen) {
                     break;
                 }
@@ -217,7 +224,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(KernelDef { name, params, body, line })
+        Ok(KernelDef {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     // ---- statements ------------------------------------------------------
@@ -227,7 +239,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while !self.eat(&Tok::RBrace) {
             if self.peek() == &Tok::Eof {
-                return Err(CompileError::new("unexpected end of input in block", self.line()));
+                return Err(CompileError::new(
+                    "unexpected end of input in block",
+                    self.line(),
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -283,8 +298,15 @@ impl Parser {
             Tok::Ident(w) => {
                 if matches!(
                     w.as_str(),
-                    "__global" | "global" | "__local" | "local" | "__constant" | "constant"
-                        | "__private" | "private" | "const"
+                    "__global"
+                        | "global"
+                        | "__local"
+                        | "local"
+                        | "__constant"
+                        | "constant"
+                        | "__private"
+                        | "private"
+                        | "const"
                 ) {
                     return true;
                 }
@@ -313,8 +335,19 @@ impl Parser {
                 dims.push(self.expr()?);
                 self.expect(&Tok::RBracket, "`]`")?;
             }
-            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
-            decls.push(VarDecl { name, ty: base, space, dims, init, line });
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            decls.push(VarDecl {
+                name,
+                ty: base,
+                space,
+                dims,
+                init,
+                line,
+            });
             if self.eat(&Tok::Semi) {
                 break;
             }
@@ -329,7 +362,11 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&Tok::RParen, "`)`")?;
         let then_b = self.stmt_as_block()?;
-        let else_b = if self.eat_ident("else") { self.stmt_as_block()? } else { Vec::new() };
+        let else_b = if self.eat_ident("else") {
+            self.stmt_as_block()?
+        } else {
+            Vec::new()
+        };
         Ok(Stmt::If(cond, then_b, else_b))
     }
 
@@ -353,9 +390,17 @@ impl Parser {
             self.expect(&Tok::Semi, "`;`")?;
             Some(Box::new(Stmt::Expr(e)))
         };
-        let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+        let cond = if self.peek() == &Tok::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(&Tok::Semi, "`;`")?;
-        let step = if self.peek() == &Tok::RParen { None } else { Some(self.expr()?) };
+        let step = if self.peek() == &Tok::RParen {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(&Tok::RParen, "`)`")?;
         let body = self.stmt_as_block()?;
         Ok(Stmt::For(init, cond, step, body))
@@ -374,7 +419,10 @@ impl Parser {
         self.bump();
         let body = self.stmt_as_block()?;
         if !self.eat_ident("while") {
-            return Err(CompileError::new("expected `while` after do-body", self.line()));
+            return Err(CompileError::new(
+                "expected `while` after do-body",
+                self.line(),
+            ));
         }
         self.expect(&Tok::LParen, "`(`")?;
         let cond = self.expr()?;
@@ -438,7 +486,10 @@ impl Parser {
         };
         self.bump();
         let rhs = self.assignment()?;
-        Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), line))
+        Ok(Expr::new(
+            ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
+            line,
+        ))
     }
 
     fn ternary(&mut self) -> Result<Expr, CompileError> {
@@ -448,7 +499,10 @@ impl Parser {
             let t = self.expr()?;
             self.expect(&Tok::Colon, "`:`")?;
             let e = self.ternary()?;
-            Ok(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)), line))
+            Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)),
+                line,
+            ))
         } else {
             Ok(cond)
         }
@@ -653,9 +707,7 @@ mod tests {
 
     #[test]
     fn parses_local_array_decl() {
-        let tu = parse_ok(
-            "__kernel void k() { __local float lm[16][16]; lm[1][2] = 0.0f; }",
-        );
+        let tu = parse_ok("__kernel void k() { __local float lm[16][16]; lm[1][2] = 0.0f; }");
         match &tu.kernels[0].body[0] {
             Stmt::Decl(ds) => {
                 assert_eq!(ds[0].name, "lm");
@@ -687,16 +739,28 @@ mod tests {
         let tu = parse_ok(
             "__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }",
         );
-        assert_eq!(tu.kernels[0].body[0], Stmt::Barrier(grover_ir::BarrierScope::Local));
-        assert_eq!(tu.kernels[0].body[1], Stmt::Barrier(grover_ir::BarrierScope::Both));
+        assert_eq!(
+            tu.kernels[0].body[0],
+            Stmt::Barrier(grover_ir::BarrierScope::Local)
+        );
+        assert_eq!(
+            tu.kernels[0].body[1],
+            Stmt::Barrier(grover_ir::BarrierScope::Both)
+        );
     }
 
     #[test]
     fn precedence_mul_over_add() {
         let tu = parse_ok("__kernel void k(__global int* a) { a[0] = 1 + 2 * 3; }");
-        let Stmt::Expr(e) = &tu.kernels[0].body[0] else { panic!() };
-        let ExprKind::Assign(_, None, rhs) = &e.kind else { panic!() };
-        let ExprKind::Bin(CBinOp::Add, l, r) = &rhs.kind else { panic!("{rhs:?}") };
+        let Stmt::Expr(e) = &tu.kernels[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Assign(_, None, rhs) = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Bin(CBinOp::Add, l, r) = &rhs.kind else {
+            panic!("{rhs:?}")
+        };
         assert!(matches!(l.kind, ExprKind::IntLit(1)));
         assert!(matches!(r.kind, ExprKind::Bin(CBinOp::Mul, _, _)));
     }
@@ -706,15 +770,26 @@ mod tests {
         let tu = parse_ok(
             "__kernel void k(__global float4* v) { float4 x = (float4)(1.0f, 2.0f, 3.0f, 4.0f); v[0] = x; float s = x.y; v[1].x = s; }",
         );
-        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
-        assert!(matches!(ds[0].init.as_ref().unwrap().kind, ExprKind::VecCtor(_, _)));
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            ds[0].init.as_ref().unwrap().kind,
+            ExprKind::VecCtor(_, _)
+        ));
     }
 
     #[test]
     fn cast_expression() {
-        let tu = parse_ok("__kernel void k(__global float* a) { int i = (int)a[0]; a[1] = (float)i; }");
-        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
-        assert!(matches!(ds[0].init.as_ref().unwrap().kind, ExprKind::Cast(_, _)));
+        let tu =
+            parse_ok("__kernel void k(__global float* a) { int i = (int)a[0]; a[1] = (float)i; }");
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            ds[0].init.as_ref().unwrap().kind,
+            ExprKind::Cast(_, _)
+        ));
     }
 
     #[test]
@@ -725,7 +800,9 @@ mod tests {
     #[test]
     fn compound_assignment() {
         let tu = parse_ok("__kernel void k(__global float* a) { a[0] += 2.0f; }");
-        let Stmt::Expr(e) = &tu.kernels[0].body[0] else { panic!() };
+        let Stmt::Expr(e) = &tu.kernels[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Assign(_, Some(CBinOp::Add), _)));
     }
 
@@ -750,7 +827,9 @@ mod tests {
     #[test]
     fn size_t_maps_to_ulong() {
         let tu = parse_ok("__kernel void k() { size_t i = get_global_id(0); i = i; }");
-        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else { panic!() };
+        let Stmt::Decl(ds) = &tu.kernels[0].body[0] else {
+            panic!()
+        };
         assert_eq!(ds[0].ty.scalar, CScalar::ULong);
     }
 

@@ -141,13 +141,11 @@ pub fn preprocess(src: &str, options: &BuildOptions) -> Result<String, CompileEr
         let active = active_stack.iter().all(|&a| a);
         if let Some(rest) = trimmed.strip_prefix('#') {
             let rest = rest.trim_start();
-            let (directive, args) =
-                rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let (directive, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
             match directive {
                 "define" if active => {
                     let args = args.trim();
-                    let (name, value) =
-                        args.split_once(char::is_whitespace).unwrap_or((args, "1"));
+                    let (name, value) = args.split_once(char::is_whitespace).unwrap_or((args, "1"));
                     if name.is_empty() || name.contains('(') {
                         return Err(CompileError::new(
                             "only object-like #define is supported",

@@ -72,7 +72,9 @@ impl SsaBuilder {
             let phi = f.insert_inst(
                 block,
                 0,
-                Inst::Phi { incoming: Vec::new() },
+                Inst::Phi {
+                    incoming: Vec::new(),
+                },
                 self.var_type(var),
             );
             self.incomplete.entry(block).or_default().push((var, phi));
@@ -88,7 +90,9 @@ impl SsaBuilder {
                     let phi = f.insert_inst(
                         block,
                         0,
-                        Inst::Phi { incoming: Vec::new() },
+                        Inst::Phi {
+                            incoming: Vec::new(),
+                        },
                         self.var_type(var),
                     );
                     self.phi_vars.insert(phi, var);
@@ -122,7 +126,9 @@ impl SsaBuilder {
 
     /// If the phi merges only one distinct value (besides itself), replace it.
     fn try_remove_trivial_phi(&mut self, f: &mut Function, phi: ValueId) -> ValueId {
-        let Some(Inst::Phi { incoming }) = f.inst(phi) else { return phi };
+        let Some(Inst::Phi { incoming }) = f.inst(phi) else {
+            return phi;
+        };
         let mut same: Option<ValueId> = None;
         for &(_, v) in incoming {
             if v == phi || Some(v) == same {
@@ -231,7 +237,9 @@ mod tests {
         ssa.seal(&mut f, j).unwrap();
         let merged = ssa.read(&mut f, x, j).unwrap();
         assert!(matches!(f.inst(merged), Some(Inst::Phi { .. })));
-        let Some(Inst::Phi { incoming }) = f.inst(merged) else { panic!() };
+        let Some(Inst::Phi { incoming }) = f.inst(merged) else {
+            panic!()
+        };
         assert_eq!(incoming.len(), 2);
     }
 
@@ -302,7 +310,9 @@ mod tests {
         let after = ssa.read(&mut f, i, exit).unwrap();
         // The loop-carried variable must be a phi in the header.
         assert!(matches!(f.inst(after), Some(Inst::Phi { .. })));
-        let Some(Inst::Phi { incoming }) = f.inst(after) else { panic!() };
+        let Some(Inst::Phi { incoming }) = f.inst(after) else {
+            panic!()
+        };
         assert_eq!(incoming.len(), 2);
         assert!(grover_ir::verify(&f).is_ok(), "{:?}", grover_ir::verify(&f));
     }

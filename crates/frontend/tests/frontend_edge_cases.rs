@@ -16,62 +16,52 @@ fn err(src: &str) -> String {
 
 #[test]
 fn shadowing_in_nested_scopes() {
-    let m = ok(
-        "__kernel void s(__global int* a) {
+    let m = ok("__kernel void s(__global int* a) {
              int x = 1;
              {
                  int x = 2;
                  a[0] = x;
              }
              a[1] = x;
-         }",
-    );
+         }");
     assert!(m.kernel("s").is_some());
 }
 
 #[test]
 fn for_init_variable_scoped_to_loop() {
-    err(
-        "__kernel void s(__global int* a) {
+    err("__kernel void s(__global int* a) {
              for (int i = 0; i < 4; i++) { a[i] = i; }
              a[0] = i;
-         }",
-    );
+         }");
 }
 
 #[test]
 fn full_precedence_chain() {
     // Must parse and verify: mixes every precedence level.
-    ok(
-        "__kernel void p(__global int* a) {
+    ok("__kernel void p(__global int* a) {
              int x = a[0];
              a[1] = x + 2 * 3 - 4 / 2 % 3 << 1 >> 1 & 7 | 8 ^ 3;
              a[2] = x < 3 == 1 != 0;
              a[3] = x > 1 && x < 10 || x == 0;
-         }",
-    );
+         }");
 }
 
 #[test]
 fn unary_chains() {
-    ok(
-        "__kernel void u(__global int* a) {
+    ok("__kernel void u(__global int* a) {
              a[0] = - - a[1];
              a[2] = !!a[3] ? 1 : 0;
              a[4] = ~~a[5];
              a[6] = -~a[7];
-         }",
-    );
+         }");
 }
 
 #[test]
 fn comments_inside_expressions() {
-    ok(
-        "__kernel void c(__global int* a) {
+    ok("__kernel void c(__global int* a) {
              a[0] = /* left */ 1 + // right
                     2;
-         }",
-    );
+         }");
 }
 
 #[test]
@@ -105,35 +95,29 @@ fn nested_ifdef_blocks() {
 
 #[test]
 fn hex_and_suffixed_literals() {
-    ok(
-        "__kernel void h(__global int* a) {
+    ok("__kernel void h(__global int* a) {
              a[0] = 0xFF;
              a[1] = 16u;
              a[2] = (int)4294967295u;
-         }",
-    );
+         }");
 }
 
 #[test]
 fn assignment_is_right_associative() {
-    let m = ok(
-        "__kernel void r(__global int* a) {
+    let m = ok("__kernel void r(__global int* a) {
              int x;
              int y;
              x = y = 5;
              a[0] = x + y;
-         }",
-    );
+         }");
     let _ = m;
 }
 
 #[test]
 fn chained_member_and_index() {
-    ok(
-        "__kernel void m(__global float4* v, __global float* out) {
+    ok("__kernel void m(__global float4* v, __global float* out) {
              out[0] = v[1].y + v[0].s2;
-         }",
-    );
+         }");
 }
 
 #[test]
@@ -153,10 +137,10 @@ fn break_outside_loop_rejected() {
 
 #[test]
 fn vector_lane_out_of_range_rejected() {
-    assert!(err(
-        "__kernel void k(__global float4* v, __global float* o) { o[0] = v[0].s7; }"
-    )
-    .contains("member"));
+    assert!(
+        err("__kernel void k(__global float4* v, __global float* o) { o[0] = v[0].s7; }")
+            .contains("member")
+    );
 }
 
 #[test]
@@ -166,12 +150,10 @@ fn assignment_to_parameter_pointer_rejected() {
 
 #[test]
 fn float2_and_float8_types_parse() {
-    ok(
-        "__kernel void v(__global float2* a, __global float* o) {
+    ok("__kernel void v(__global float2* a, __global float* o) {
              float2 x = a[0];
              o[0] = x.x + x.y;
-         }",
-    );
+         }");
 }
 
 #[test]
@@ -182,15 +164,13 @@ fn empty_statements_and_blocks() {
 #[test]
 fn dangling_else_binds_to_nearest_if() {
     // if (a) if (b) x=1; else x=2;  — the else belongs to the inner if.
-    let m = ok(
-        "__kernel void d(__global int* a) {
+    let m = ok("__kernel void d(__global int* a) {
              int x = 0;
              if (a[0] > 0)
                  if (a[1] > 0) x = 1;
                  else x = 2;
              a[2] = x;
-         }",
-    );
+         }");
     let _ = m;
 }
 
@@ -206,8 +186,7 @@ fn line_numbers_in_errors_after_preprocessing() {
 
 #[test]
 fn deeply_nested_control_flow_compiles_and_verifies() {
-    ok(
-        "__kernel void deep(__global int* a, int n) {
+    ok("__kernel void deep(__global int* a, int n) {
              int acc = 0;
              for (int i = 0; i < n; i++) {
                  for (int j = 0; j < n; j++) {
@@ -224,14 +203,12 @@ fn deeply_nested_control_flow_compiles_and_verifies() {
                  }
              }
              a[0] = acc;
-         }",
-    );
+         }");
 }
 
 #[test]
 fn barrier_in_loop_compiles() {
-    ok(
-        "__kernel void b(__global float* x) {
+    ok("__kernel void b(__global float* x) {
              __local float lm[8];
              int lx = get_local_id(0);
              for (int i = 0; i < 4; i++) {
@@ -240,6 +217,5 @@ fn barrier_in_loop_compiles() {
                  x[i * 8 + lx] = lm[7 - lx];
                  barrier(CLK_LOCAL_MEM_FENCE);
              }
-         }",
-    );
+         }");
 }

@@ -2,9 +2,7 @@
 
 use crate::function::Function;
 use crate::types::{Scalar, Type};
-use crate::value::{
-    BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, Inst, ValueId,
-};
+use crate::value::{BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, Inst, ValueId};
 
 /// Builds instructions at the end of a current block, inferring result types.
 ///
@@ -117,14 +115,25 @@ impl<'f> Builder<'f> {
     /// Comparison; result is `bool` (or a bool vector).
     pub fn cmp(&mut self, pred: CmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
         let lanes = self.f.ty(lhs).lanes();
-        let ty = if lanes == 1 { Type::BOOL } else { Type::Vector(Scalar::Bool, lanes) };
+        let ty = if lanes == 1 {
+            Type::BOOL
+        } else {
+            Type::Vector(Scalar::Bool, lanes)
+        };
         self.push(Inst::Cmp { pred, lhs, rhs }, ty)
     }
 
     /// `cond ? t : e`.
     pub fn select(&mut self, cond: ValueId, t: ValueId, e: ValueId) -> ValueId {
         let ty = self.f.ty(t);
-        self.push(Inst::Select { cond, then_val: t, else_val: e }, ty)
+        self.push(
+            Inst::Select {
+                cond,
+                then_val: t,
+                else_val: e,
+            },
+            ty,
+        )
     }
 
     /// Type conversion.
@@ -209,12 +218,23 @@ impl<'f> Builder<'f> {
     pub fn insert_lane(&mut self, vector: ValueId, lane: u8, value: ValueId) -> ValueId {
         let ty = self.f.ty(vector);
         let lane = self.i32(lane as i32);
-        self.push(Inst::InsertLane { vector, lane, value }, ty)
+        self.push(
+            Inst::InsertLane {
+                vector,
+                lane,
+                value,
+            },
+            ty,
+        )
     }
 
     /// Build a vector from scalar lanes.
     pub fn build_vector(&mut self, lanes: Vec<ValueId>) -> ValueId {
-        let s = self.f.ty(lanes[0]).scalar_kind().expect("vector of scalars");
+        let s = self
+            .f
+            .ty(lanes[0])
+            .scalar_kind()
+            .expect("vector of scalars");
         let ty = Type::Vector(s, lanes.len() as u8);
         self.push(Inst::BuildVector { lanes }, ty)
     }
@@ -228,7 +248,14 @@ impl<'f> Builder<'f> {
 
     /// Conditional branch.
     pub fn cond_br(&mut self, cond: ValueId, then_blk: BlockId, else_blk: BlockId) -> ValueId {
-        self.push(Inst::CondBr { cond, then_blk, else_blk }, Type::Void)
+        self.push(
+            Inst::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            Type::Void,
+        )
     }
 
     /// Return from the kernel.
@@ -282,7 +309,10 @@ mod tests {
         let p = b.gep(buf, i);
         let v = b.load(p);
         b.ret();
-        assert_eq!(func.ty(p), Type::ptr_scalar(Scalar::F32, AddressSpace::Global));
+        assert_eq!(
+            func.ty(p),
+            Type::ptr_scalar(Scalar::F32, AddressSpace::Global)
+        );
         assert_eq!(func.ty(v), Type::F32);
     }
 

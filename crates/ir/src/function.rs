@@ -94,7 +94,11 @@ impl Function {
         let ty = Type::ptr(buf.elem, buf.lanes, crate::types::AddressSpace::Local);
         let name = buf.name.clone();
         self.local_bufs.push(buf);
-        let v = self.push_value(ValueData { def: ValueDef::LocalBuf(id), ty, name: Some(name) });
+        let v = self.push_value(ValueData {
+            def: ValueDef::LocalBuf(id),
+            ty,
+            name: Some(name),
+        });
         self.local_buf_values.push(v);
         v
     }
@@ -133,7 +137,11 @@ impl Function {
         if let Some(&v) = self.const_map.get(&c) {
             return v;
         }
-        let v = self.push_value(ValueData { def: ValueDef::Const(c), ty: c.ty(), name: None });
+        let v = self.push_value(ValueData {
+            def: ValueDef::Const(c),
+            ty: c.ty(),
+            name: None,
+        });
         self.const_map.insert(c, v);
         v
     }
@@ -184,7 +192,10 @@ impl Function {
             candidate = format!("{base}.{n}");
         }
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { name: candidate, insts: Vec::new() });
+        self.blocks.push(Block {
+            name: candidate,
+            insts: Vec::new(),
+        });
         id
     }
 
@@ -273,7 +284,11 @@ impl Function {
 
     /// Create an instruction value and append it to block `b`.
     pub fn append_inst(&mut self, b: BlockId, inst: Inst, ty: Type) -> ValueId {
-        let v = self.push_value(ValueData { def: ValueDef::Inst(inst), ty, name: None });
+        let v = self.push_value(ValueData {
+            def: ValueDef::Inst(inst),
+            ty,
+            name: None,
+        });
         self.blocks[b.index()].insts.push(v);
         v
     }
@@ -281,7 +296,11 @@ impl Function {
     /// Create an instruction value and insert it in block `b` at position
     /// `pos` (0 = front).
     pub fn insert_inst(&mut self, b: BlockId, pos: usize, inst: Inst, ty: Type) -> ValueId {
-        let v = self.push_value(ValueData { def: ValueDef::Inst(inst), ty, name: None });
+        let v = self.push_value(ValueData {
+            def: ValueDef::Inst(inst),
+            ty,
+            name: None,
+        });
         self.blocks[b.index()].insts.insert(pos, v);
         v
     }
@@ -352,9 +371,8 @@ impl Function {
 
     /// Iterate `(block, inst value id)` in program order.
     pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, ValueId)> + '_ {
-        self.blocks().flat_map(move |b| {
-            self.block(b).insts.iter().map(move |&v| (b, v))
-        })
+        self.blocks()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |&v| (b, v)))
     }
 
     /// Assign a debug name to a value.
@@ -364,7 +382,12 @@ impl Function {
 
     /// Helper: make a `LocalBuf` quickly (used by tests).
     pub fn local_buf_spec(name: &str, elem: Scalar, dims: &[u64]) -> LocalBuf {
-        LocalBuf { name: name.into(), elem, lanes: 1, dims: dims.to_vec() }
+        LocalBuf {
+            name: name.into(),
+            elem,
+            lanes: 1,
+            dims: dims.to_vec(),
+        }
     }
 }
 
@@ -408,8 +431,14 @@ mod tests {
         Function::new(
             "k",
             vec![
-                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
-                Param { name: "n".into(), ty: Type::I32 },
+                Param {
+                    name: "in".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
             ],
         )
     }
@@ -440,7 +469,15 @@ mod tests {
         let one = f.const_i32(1);
         let two = f.const_i32(2);
         let e = f.entry;
-        let add = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: two }, Type::I32);
+        let add = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: one,
+                rhs: two,
+            },
+            Type::I32,
+        );
         assert_eq!(f.position_of(add), Some((e, 0)));
         assert_eq!(f.num_insts(), 1);
         assert!(f.remove_inst(add));
@@ -454,7 +491,15 @@ mod tests {
         let one = f.const_i32(1);
         let two = f.const_i32(2);
         let e = f.entry;
-        let add = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: one }, Type::I32);
+        let add = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: one,
+                rhs: one,
+            },
+            Type::I32,
+        );
         let n = f.replace_all_uses(one, two);
         assert_eq!(n, 2);
         assert_eq!(f.inst(add).unwrap().operands(), vec![two, two]);
@@ -480,7 +525,15 @@ mod tests {
         let b2 = f.add_block("b2");
         let cond = f.const_bool(true);
         let e = f.entry;
-        f.append_inst(e, Inst::CondBr { cond, then_blk: b1, else_blk: b2 }, Type::Void);
+        f.append_inst(
+            e,
+            Inst::CondBr {
+                cond,
+                then_blk: b1,
+                else_blk: b2,
+            },
+            Type::Void,
+        );
         f.append_inst(b1, Inst::Br { target: b2 }, Type::Void);
         f.append_inst(b2, Inst::Ret, Type::Void);
         assert_eq!(f.successors(e), vec![b1, b2]);
@@ -508,8 +561,25 @@ mod tests {
         let mut f = sample();
         let one = f.const_i32(1);
         let e = f.entry;
-        let a = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: one }, Type::I32);
-        let b = f.insert_inst(e, 0, Inst::Bin { op: BinOp::Mul, lhs: one, rhs: one }, Type::I32);
+        let a = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: one,
+                rhs: one,
+            },
+            Type::I32,
+        );
+        let b = f.insert_inst(
+            e,
+            0,
+            Inst::Bin {
+                op: BinOp::Mul,
+                lhs: one,
+                rhs: one,
+            },
+            Type::I32,
+        );
         assert_eq!(f.position_of(b), Some((e, 0)));
         assert_eq!(f.position_of(a), Some((e, 1)));
         assert_eq!(f.block(e).insts, vec![b, a]);
@@ -520,8 +590,24 @@ mod tests {
         let mut f = sample();
         let n = f.param_value(1);
         let e = f.entry;
-        let a = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: n, rhs: n }, Type::I32);
-        let b = f.append_inst(e, Inst::Bin { op: BinOp::Mul, lhs: n, rhs: a }, Type::I32);
+        let a = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: n,
+                rhs: n,
+            },
+            Type::I32,
+        );
+        let b = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Mul,
+                lhs: n,
+                rhs: a,
+            },
+            Type::I32,
+        );
         assert_eq!(f.uses_of(n), vec![a, b]);
         assert_eq!(f.uses_of(a), vec![b]);
     }

@@ -31,10 +31,10 @@ pub mod verifier;
 
 pub use builder::Builder;
 pub use function::{Block, Function, Module};
+pub use text_parser::{parse_function, ParseError};
 pub use types::{AddressSpace, Scalar, Type};
 pub use value::{
-    BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Inst, LocalBuf,
-    LocalBufId, Param, ValueData, ValueDef, ValueId,
+    BarrierScope, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Inst, LocalBuf, LocalBufId,
+    Param, ValueData, ValueDef, ValueId,
 };
-pub use text_parser::{parse_function, ParseError};
 pub use verifier::verify;

@@ -22,7 +22,9 @@ impl FunctionPass for ConstFold {
             let mut replaced = false;
             let insts: Vec<ValueId> = f.iter_insts().map(|(_, iv)| iv).collect();
             for iv in insts {
-                let Some(inst) = f.inst(iv).cloned() else { continue };
+                let Some(inst) = f.inst(iv).cloned() else {
+                    continue;
+                };
                 if let Some(result) = fold(f, &inst) {
                     let cv = f.const_val(result);
                     f.replace_all_uses(iv, cv);
@@ -61,7 +63,11 @@ fn fold(f: &Function, inst: &Inst) -> Option<ConstVal> {
             let v = f.as_const(*value)?;
             fold_cast(*kind, v, *to)
         }
-        Inst::Select { cond, then_val, else_val } => {
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
             let c = f.as_const(*cond)?;
             match c {
                 ConstVal::Bool(true) => f.as_const(*then_val),
@@ -119,7 +125,11 @@ fn fold_bin(op: BinOp, l: ConstVal, r: ConstVal) -> Option<ConstVal> {
             Xor => a ^ b,
             _ => return None,
         };
-        return Some(if wide { ConstVal::I64(v) } else { ConstVal::I32(v as i32) });
+        return Some(if wide {
+            ConstVal::I64(v)
+        } else {
+            ConstVal::I32(v as i32)
+        });
     }
     if let (Some(a), Some(b)) = (l.as_f32(), r.as_f32()) {
         let v = match op {
@@ -186,9 +196,7 @@ fn fold_cast(kind: CastKind, v: ConstVal, to: crate::types::Type) -> Option<Cons
         (CastKind::FpToSi, ConstVal::F32Bits(_), Scalar::I32) => {
             Some(ConstVal::I32(v.as_f32()? as i32))
         }
-        (CastKind::Bitcast, ConstVal::I32(x), Scalar::F32) => {
-            Some(ConstVal::F32Bits(x as u32))
-        }
+        (CastKind::Bitcast, ConstVal::I32(x), Scalar::F32) => Some(ConstVal::F32Bits(x as u32)),
         (CastKind::Bitcast, ConstVal::F32Bits(b), Scalar::I32) => Some(ConstVal::I32(b as i32)),
         _ => None,
     }
@@ -199,9 +207,17 @@ fn fold_cast(kind: CastKind, v: ConstVal, to: crate::types::Type) -> Option<Cons
 fn simplify(f: &Function, inst: &Inst) -> Option<ValueId> {
     // trunc(sext/zext(x)) == x when the truncation returns to x's type —
     // the round-trip the Grover substitution introduces around solutions.
-    if let Inst::Cast { kind: CastKind::Trunc, value, to } = inst {
-        if let Some(Inst::Cast { kind: CastKind::SExt | CastKind::ZExt, value: orig, .. }) =
-            f.inst(*value)
+    if let Inst::Cast {
+        kind: CastKind::Trunc,
+        value,
+        to,
+    } = inst
+    {
+        if let Some(Inst::Cast {
+            kind: CastKind::SExt | CastKind::ZExt,
+            value: orig,
+            ..
+        }) = f.inst(*value)
         {
             if f.ty(*orig) == *to {
                 return Some(*orig);
@@ -220,10 +236,8 @@ fn simplify(f: &Function, inst: &Inst) -> Option<ValueId> {
                     return Some(*rhs);
                 }
             }
-            BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr => {
-                if rc == Some(0) {
-                    return Some(*lhs);
-                }
+            BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr if rc == Some(0) => {
+                return Some(*lhs);
             }
             BinOp::Mul => {
                 if rc == Some(1) {
@@ -233,10 +247,8 @@ fn simplify(f: &Function, inst: &Inst) -> Option<ValueId> {
                     return Some(*rhs);
                 }
             }
-            BinOp::SDiv | BinOp::UDiv => {
-                if rc == Some(1) {
-                    return Some(*lhs);
-                }
+            BinOp::SDiv | BinOp::UDiv if rc == Some(1) => {
+                return Some(*lhs);
             }
             _ => {}
         }
@@ -291,8 +303,16 @@ mod tests {
         use crate::value::Param;
         let mut f = Function::new(
             "k",
-            vec![Param { name: "n".into(), ty: Type::I32 },
-                 Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "p".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+            ],
         );
         let n = f.param_value(0);
         let p = f.param_value(1);
@@ -313,8 +333,14 @@ mod tests {
 
     #[test]
     fn division_by_zero_not_folded() {
-        assert_eq!(fold_bin(BinOp::SDiv, ConstVal::I32(1), ConstVal::I32(0)), None);
-        assert_eq!(fold_bin(BinOp::URem, ConstVal::I32(1), ConstVal::I32(0)), None);
+        assert_eq!(
+            fold_bin(BinOp::SDiv, ConstVal::I32(1), ConstVal::I32(0)),
+            None
+        );
+        assert_eq!(
+            fold_bin(BinOp::URem, ConstVal::I32(1), ConstVal::I32(0)),
+            None
+        );
     }
 
     #[test]

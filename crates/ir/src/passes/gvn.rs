@@ -44,12 +44,20 @@ fn key_of(inst: &Inst) -> Option<Key> {
             Key::Bin(*op, l, r)
         }
         Inst::Cmp { pred, lhs, rhs } => Key::Cmp(*pred, *lhs, *rhs),
-        Inst::Select { cond, then_val, else_val } => Key::Select(*cond, *then_val, *else_val),
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => Key::Select(*cond, *then_val, *else_val),
         Inst::Cast { kind, value, to } => Key::Cast(*kind, *value, *to),
         Inst::Call { builtin, args } => Key::Call(*builtin, args.clone()),
         Inst::Gep { base, index } => Key::Gep(*base, *index),
         Inst::ExtractLane { vector, lane } => Key::Extract(*vector, *lane),
-        Inst::InsertLane { vector, lane, value } => Key::Insert(*vector, *lane, *value),
+        Inst::InsertLane {
+            vector,
+            lane,
+            value,
+        } => Key::Insert(*vector, *lane, *value),
         Inst::BuildVector { lanes } => Key::Build(lanes.clone()),
         _ => return None,
     })
@@ -119,8 +127,16 @@ mod tests {
     fn dedups_identical_adds() {
         let mut f = Function::new(
             "k",
-            vec![Param { name: "n".into(), ty: Type::I32 },
-                 Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "p".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+            ],
         );
         let n = f.param_value(0);
         let p = f.param_value(1);
@@ -143,8 +159,19 @@ mod tests {
 
     #[test]
     fn commutative_operands_canonicalise() {
-        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
-            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }]);
+        let mut f = Function::new(
+            "k",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "p".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+            ],
+        );
         let n = f.param_value(0);
         let p = f.param_value(1);
         let mut b = Builder::at_entry(&mut f);
@@ -163,8 +190,19 @@ mod tests {
 
     #[test]
     fn sub_is_not_commutative() {
-        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
-            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let mut f = Function::new(
+            "k",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "p".into(),
+                    ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global),
+                },
+            ],
+        );
         let n = f.param_value(0);
         let p = f.param_value(1);
         let mut b = Builder::at_entry(&mut f);
@@ -184,8 +222,19 @@ mod tests {
     fn cross_block_requires_dominance() {
         // Computation in the then-branch must not replace one in the
         // else-branch (no dominance either way).
-        let mut f = Function::new("k", vec![Param { name: "n".into(), ty: Type::I32 },
-            Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let mut f = Function::new(
+            "k",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "p".into(),
+                    ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global),
+                },
+            ],
+        );
         let n = f.param_value(0);
         let p = f.param_value(1);
         let t = f.add_block("t");
@@ -212,7 +261,13 @@ mod tests {
 
     #[test]
     fn dedups_workitem_calls() {
-        let mut f = Function::new("k", vec![Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }]);
+        let mut f = Function::new(
+            "k",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global),
+            }],
+        );
         let p = f.param_value(0);
         let mut b = Builder::at_entry(&mut f);
         let l1 = b.local_id_i32(0);
@@ -229,7 +284,13 @@ mod tests {
 
     #[test]
     fn loads_never_merged() {
-        let mut f = Function::new("k", vec![Param { name: "p".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }]);
+        let mut f = Function::new(
+            "k",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+            }],
+        );
         let p = f.param_value(0);
         let mut b = Builder::at_entry(&mut f);
         let i = b.i32(0);

@@ -70,7 +70,10 @@ fn find_loops(f: &Function) -> Vec<NaturalLoop> {
         if outside.len() != 1 {
             continue;
         }
-        loops.push(NaturalLoop { body, preheader: outside[0] });
+        loops.push(NaturalLoop {
+            body,
+            preheader: outside[0],
+        });
     }
     loops
 }
@@ -78,10 +81,9 @@ fn find_loops(f: &Function) -> Vec<NaturalLoop> {
 /// Is this instruction safe to execute speculatively in the preheader?
 fn hoistable(inst: &Inst) -> bool {
     match inst {
-        Inst::Bin { op, .. } => !matches!(
-            op,
-            BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem
-        ),
+        Inst::Bin { op, .. } => {
+            !matches!(op, BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem)
+        }
         Inst::Cmp { .. }
         | Inst::Select { .. }
         | Inst::Cast { .. }
@@ -165,9 +167,18 @@ mod tests {
         let mut f = Function::new(
             "k",
             vec![
-                Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) },
-                Param { name: "x".into(), ty: Type::I32 },
-                Param { name: "n".into(), ty: Type::I32 },
+                Param {
+                    name: "out".into(),
+                    ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global),
+                },
+                Param {
+                    name: "x".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
             ],
         );
         let out = f.param_value(0);
@@ -205,12 +216,20 @@ mod tests {
     #[test]
     fn invariant_mul_hoisted() {
         let (mut f, x2) = loop_kernel();
-        assert!(crate::verifier::verify(&f).is_ok(), "{:?}", crate::verifier::verify(&f));
+        assert!(
+            crate::verifier::verify(&f).is_ok(),
+            "{:?}",
+            crate::verifier::verify(&f)
+        );
         let mut licm = Licm::default();
         assert!(licm.run(&mut f));
         let (blk, _) = f.position_of(x2).unwrap();
         assert_eq!(blk, f.entry, "x*2 should live in the preheader");
-        assert!(crate::verifier::verify(&f).is_ok(), "{:?}", crate::verifier::verify(&f));
+        assert!(
+            crate::verifier::verify(&f).is_ok(),
+            "{:?}",
+            crate::verifier::verify(&f)
+        );
     }
 
     #[test]

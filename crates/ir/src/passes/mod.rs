@@ -36,7 +36,10 @@ pub struct PassManager {
 impl PassManager {
     /// An empty pipeline (verification-on-change in debug builds).
     pub fn new() -> PassManager {
-        PassManager { passes: Vec::new(), verify_each: cfg!(debug_assertions) }
+        PassManager {
+            passes: Vec::new(),
+            verify_each: cfg!(debug_assertions),
+        }
     }
 
     /// The standard cleanup pipeline: constant folding, DCE, CFG simplify.

@@ -24,7 +24,12 @@ impl FunctionPass for SimplifyCfg {
         // Fold `condbr const, a, b` into `br`.
         let insts: Vec<ValueId> = f.iter_insts().map(|(_, iv)| iv).collect();
         for iv in insts {
-            let Some(Inst::CondBr { cond, then_blk, else_blk }) = f.inst(iv).cloned() else {
+            let Some(Inst::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            }) = f.inst(iv).cloned()
+            else {
                 continue;
             };
             if let Some(ConstVal::Bool(c)) = f.as_const(cond) {
@@ -80,7 +85,9 @@ impl FunctionPass for SimplifyCfg {
 /// After an edge `from_term`'s block -> `blk` disappears, drop the matching
 /// phi entries in `blk`.
 fn remove_phi_edges(f: &mut Function, blk: crate::value::BlockId, from_term: ValueId) {
-    let Some((from_blk, _)) = f.position_of(from_term) else { return };
+    let Some((from_blk, _)) = f.position_of(from_term) else {
+        return;
+    };
     let phis: Vec<ValueId> = f.block(blk).insts.clone();
     for iv in phis {
         if let Some(Inst::Phi { incoming }) = f.inst_mut(iv) {

@@ -39,13 +39,34 @@ pub fn inst_to_string(f: &Function, v: ValueId) -> String {
     let result = value_ref(f, v);
     match inst {
         Inst::Bin { op, lhs, rhs } => {
-            format!("{result} = {} {} {}, {}", op.mnemonic(), f.ty(v), r(*lhs), r(*rhs))
+            format!(
+                "{result} = {} {} {}, {}",
+                op.mnemonic(),
+                f.ty(v),
+                r(*lhs),
+                r(*rhs)
+            )
         }
         Inst::Cmp { pred, lhs, rhs } => {
-            format!("{result} = cmp {} {} {}, {}", pred.mnemonic(), f.ty(*lhs), r(*lhs), r(*rhs))
+            format!(
+                "{result} = cmp {} {} {}, {}",
+                pred.mnemonic(),
+                f.ty(*lhs),
+                r(*lhs),
+                r(*rhs)
+            )
         }
-        Inst::Select { cond, then_val, else_val } => {
-            format!("{result} = select {}, {}, {}", r(*cond), r(*then_val), r(*else_val))
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            format!(
+                "{result} = select {}, {}, {}",
+                r(*cond),
+                r(*then_val),
+                r(*else_val)
+            )
         }
         Inst::Cast { kind, value, to } => {
             format!("{result} = {} {} to {to}", kind.mnemonic(), r(*value))
@@ -70,15 +91,28 @@ pub fn inst_to_string(f: &Function, v: ValueId) -> String {
         Inst::ExtractLane { vector, lane } => {
             format!("{result} = extractlane {}, {}", r(*vector), r(*lane))
         }
-        Inst::InsertLane { vector, lane, value } => {
-            format!("{result} = insertlane {}, {}, {}", r(*vector), r(*lane), r(*value))
+        Inst::InsertLane {
+            vector,
+            lane,
+            value,
+        } => {
+            format!(
+                "{result} = insertlane {}, {}, {}",
+                r(*vector),
+                r(*lane),
+                r(*value)
+            )
         }
         Inst::BuildVector { lanes } => {
             let a: Vec<_> = lanes.iter().map(|&x| r(x)).collect();
             format!("{result} = buildvector <{}>", a.join(", "))
         }
         Inst::Br { target } => format!("br {}", f.block(*target).name),
-        Inst::CondBr { cond, then_blk, else_blk } => format!(
+        Inst::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        } => format!(
             "condbr {}, {}, {}",
             r(*cond),
             f.block(*then_blk).name,
@@ -98,7 +132,7 @@ pub fn function_to_string(f: &Function) -> String {
         .collect();
     let _ = writeln!(s, "kernel @{}({}) {{", f.name, params.join(", "));
     for (i, lb) in f.local_bufs().iter().enumerate() {
-        if lb.len() == 0 {
+        if lb.is_empty() {
             continue;
         }
         let dims: Vec<_> = lb.dims.iter().map(u64::to_string).collect();
@@ -107,7 +141,11 @@ pub fn function_to_string(f: &Function) -> String {
             "  local @{} : {}{}[{}]   ; {} bytes",
             lb.name,
             lb.elem,
-            if lb.lanes > 1 { format!("x{}", lb.lanes) } else { String::new() },
+            if lb.lanes > 1 {
+                format!("x{}", lb.lanes)
+            } else {
+                String::new()
+            },
             dims.join("]["),
             lb.size_bytes()
         );
@@ -135,8 +173,14 @@ mod tests {
         let mut f = Function::new(
             "copy",
             vec![
-                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
-                Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+                Param {
+                    name: "in".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+                Param {
+                    name: "out".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
             ],
         );
         let inp = f.param_value(0);

@@ -31,8 +31,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A phi whose incoming `(block, value)` name pairs are resolved once the
+/// whole body has been parsed; the `usize` is the source line for errors.
+type PendingPhi = (ValueId, Vec<(String, String)>, usize);
+
 fn perr<T>(msg: impl Into<String>, line: usize) -> Result<T, ParseError> {
-    Err(ParseError { message: msg.into(), line })
+    Err(ParseError {
+        message: msg.into(),
+        line,
+    })
 }
 
 /// Parse one function from the printer's textual form.
@@ -47,21 +54,28 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             None => return perr("empty input", 0),
         }
     };
-    let header = header
-        .strip_prefix("kernel @")
-        .ok_or(ParseError { message: "expected `kernel @name(...)`".into(), line: lno })?;
-    let open = header.find('(').ok_or(ParseError { message: "missing `(`".into(), line: lno })?;
-    let close =
-        header.rfind(')').ok_or(ParseError { message: "missing `)`".into(), line: lno })?;
+    let header = header.strip_prefix("kernel @").ok_or(ParseError {
+        message: "expected `kernel @name(...)`".into(),
+        line: lno,
+    })?;
+    let open = header.find('(').ok_or(ParseError {
+        message: "missing `(`".into(),
+        line: lno,
+    })?;
+    let close = header.rfind(')').ok_or(ParseError {
+        message: "missing `)`".into(),
+        line: lno,
+    })?;
     let name = header[..open].to_string();
     let params_src = &header[open + 1..close];
     let mut params = Vec::new();
     if !params_src.trim().is_empty() {
         for p in params_src.split(',') {
             let p = p.trim();
-            let pct = p
-                .rfind('%')
-                .ok_or(ParseError { message: format!("bad param `{p}`"), line: lno })?;
+            let pct = p.rfind('%').ok_or(ParseError {
+                message: format!("bad param `{p}`"),
+                line: lno,
+            })?;
             let ty = parse_type(p[..pct].trim(), lno)?;
             let pname = p[pct + 1..].to_string();
             params.push(Param { name: pname, ty });
@@ -101,7 +115,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         blocks.insert("entry".to_string(), f.entry);
     }
     // Pending phi incoming lists to resolve after all values exist.
-    let mut pending_phis: Vec<(ValueId, Vec<(String, String)>, usize)> = Vec::new();
+    let mut pending_phis: Vec<PendingPhi> = Vec::new();
     // Pending operand references (forward refs are only legal via phis).
     let mut cur_block = f.entry;
 
@@ -113,14 +127,16 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
         // Local buffer decl: local @lm : f32[16][16]   ; 1024 bytes
         if let Some(rest) = line.strip_prefix("local @") {
-            let (lname, spec) = rest
-                .split_once(':')
-                .ok_or(ParseError { message: "bad local decl".into(), line: lno })?;
+            let (lname, spec) = rest.split_once(':').ok_or(ParseError {
+                message: "bad local decl".into(),
+                line: lno,
+            })?;
             let spec = spec.split(';').next().unwrap_or(spec).trim();
             // f32[16][16]  or f32x4[8]
-            let bracket = spec
-                .find('[')
-                .ok_or(ParseError { message: "bad local dims".into(), line: lno })?;
+            let bracket = spec.find('[').ok_or(ParseError {
+                message: "bad local dims".into(),
+                line: lno,
+            })?;
             let (kind_s, dims_s) = spec.split_at(bracket);
             let (elem, lanes) = match kind_s.trim().split_once('x') {
                 Some((k, l)) => (
@@ -139,7 +155,12 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                     line: lno,
                 })?);
             }
-            let v = f.add_local_buf(LocalBuf { name: lname.trim().to_string(), elem, lanes, dims });
+            let v = f.add_local_buf(LocalBuf {
+                name: lname.trim().to_string(),
+                elem,
+                lanes,
+                dims,
+            });
             values.insert(format!("@{}", lname.trim()), v);
             continue;
         }
@@ -166,9 +187,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     for (phi, incoming, lno) in pending_phis {
         let mut resolved = Vec::new();
         for (blk, val) in incoming {
-            let b = *blocks
-                .get(&blk)
-                .ok_or(ParseError { message: format!("unknown block `{blk}`"), line: lno })?;
+            let b = *blocks.get(&blk).ok_or(ParseError {
+                message: format!("unknown block `{blk}`"),
+                line: lno,
+            })?;
             let v = resolve(&mut f, &values, &val, lno)?;
             resolved.push((b, v));
         }
@@ -209,9 +231,10 @@ fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
     if let Some(body) = s.strip_suffix('*') {
         // "<4 x f32> __local" or "f32 __global"
         let body = body.trim();
-        let space_at = body
-            .rfind("__")
-            .ok_or(ParseError { message: format!("bad pointer `{s}`"), line })?;
+        let space_at = body.rfind("__").ok_or(ParseError {
+            message: format!("bad pointer `{s}`"),
+            line,
+        })?;
         let space = parse_space(body[space_at..].trim(), line)?;
         let elem_ty = parse_type(body[..space_at].trim(), line)?;
         let (elem, lanes) = match elem_ty {
@@ -222,9 +245,10 @@ fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
         return Ok(Type::Ptr { elem, lanes, space });
     }
     if let Some(inner) = s.strip_prefix('<').and_then(|x| x.strip_suffix('>')) {
-        let (n, k) = inner
-            .split_once(" x ")
-            .ok_or(ParseError { message: format!("bad vector `{s}`"), line })?;
+        let (n, k) = inner.split_once(" x ").ok_or(ParseError {
+            message: format!("bad vector `{s}`"),
+            line,
+        })?;
         let lanes = n.trim().parse::<u8>().map_err(|_| ParseError {
             message: format!("bad lane count in `{s}`"),
             line,
@@ -243,10 +267,10 @@ fn resolve(
 ) -> Result<ValueId, ParseError> {
     let tok = tok.trim();
     if tok.starts_with('%') || tok.starts_with('@') {
-        return values
-            .get(tok)
-            .copied()
-            .ok_or(ParseError { message: format!("unknown value `{tok}`"), line });
+        return values.get(tok).copied().ok_or(ParseError {
+            message: format!("unknown value `{tok}`"),
+            line,
+        });
     }
     if tok == "true" {
         return Ok(f.const_bool(true));
@@ -258,17 +282,26 @@ fn resolve(
         return i
             .parse::<i64>()
             .map(|v| f.const_i64(v))
-            .map_err(|_| ParseError { message: format!("bad i64 `{tok}`"), line });
+            .map_err(|_| ParseError {
+                message: format!("bad i64 `{tok}`"),
+                line,
+            });
     }
     if tok.contains('.') || tok.contains("inf") || tok.contains("NaN") || tok.contains('e') {
         return tok
             .parse::<f32>()
             .map(|v| f.const_f32(v))
-            .map_err(|_| ParseError { message: format!("bad f32 `{tok}`"), line });
+            .map_err(|_| ParseError {
+                message: format!("bad f32 `{tok}`"),
+                line,
+            });
     }
     tok.parse::<i32>()
         .map(|v| f.const_i32(v))
-        .map_err(|_| ParseError { message: format!("bad operand `{tok}`"), line })
+        .map_err(|_| ParseError {
+            message: format!("bad operand `{tok}`"),
+            line,
+        })
 }
 
 fn builtin_by_name(name: &str) -> Option<Builtin> {
@@ -365,25 +398,26 @@ fn parse_inst(
     blk: BlockId,
     values: &mut HashMap<String, ValueId>,
     blocks: &mut HashMap<String, BlockId>,
-    pending_phis: &mut Vec<(ValueId, Vec<(String, String)>, usize)>,
+    pending_phis: &mut Vec<PendingPhi>,
 ) -> Result<(), ParseError> {
     let block_of = |name: &str, blocks: &HashMap<String, BlockId>| -> Result<BlockId, ParseError> {
-        blocks
-            .get(name)
-            .copied()
-            .ok_or(ParseError { message: format!("unknown block `{name}`"), line: lno })
+        blocks.get(name).copied().ok_or(ParseError {
+            message: format!("unknown block `{name}`"),
+            line: lno,
+        })
     };
 
     // Result-less instructions first.
     if let Some(rest) = line.strip_prefix("store ") {
         // store <ty> <val>, <ptr>
-        let (lhs, ptr_s) = rest
-            .rsplit_once(", ")
-            .ok_or(ParseError { message: "bad store".into(), line: lno })?;
-        let val_tok = lhs
-            .rsplit(' ')
-            .next()
-            .ok_or(ParseError { message: "bad store value".into(), line: lno })?;
+        let (lhs, ptr_s) = rest.rsplit_once(", ").ok_or(ParseError {
+            message: "bad store".into(),
+            line: lno,
+        })?;
+        let val_tok = lhs.rsplit(' ').next().ok_or(ParseError {
+            message: "bad store value".into(),
+            line: lno,
+        })?;
         let value = resolve(f, values, val_tok, lno)?;
         let ptr = resolve(f, values, ptr_s, lno)?;
         f.append_inst(blk, Inst::Store { ptr, value }, Type::Void);
@@ -412,7 +446,15 @@ fn parse_inst(
         let cond = resolve(f, values, parts[0], lno)?;
         let then_blk = block_of(parts[1].trim(), blocks)?;
         let else_blk = block_of(parts[2].trim(), blocks)?;
-        f.append_inst(blk, Inst::CondBr { cond, then_blk, else_blk }, Type::Void);
+        f.append_inst(
+            blk,
+            Inst::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            Type::Void,
+        );
         return Ok(());
     }
     if line == "ret" {
@@ -421,9 +463,10 @@ fn parse_inst(
     }
 
     // `%name = <op> ...`
-    let (res, body) = line
-        .split_once(" = ")
-        .ok_or(ParseError { message: format!("unrecognised instruction `{line}`"), line: lno })?;
+    let (res, body) = line.split_once(" = ").ok_or(ParseError {
+        message: format!("unrecognised instruction `{line}`"),
+        line: lno,
+    })?;
     let (op, rest) = body.split_once(' ').unwrap_or((body, ""));
 
     let (inst, ty) = if let Some(bop) = bin_op_by_name(op) {
@@ -436,11 +479,14 @@ fn parse_inst(
         (Inst::Bin { op: bop, lhs, rhs }, ty)
     } else if op == "cmp" {
         // cmp <pred> <ty> <lhs>, <rhs>
-        let (pred_s, rest2) = rest
-            .split_once(' ')
-            .ok_or(ParseError { message: "bad cmp".into(), line: lno })?;
-        let pred = cmp_pred_by_name(pred_s)
-            .ok_or(ParseError { message: format!("bad predicate `{pred_s}`"), line: lno })?;
+        let (pred_s, rest2) = rest.split_once(' ').ok_or(ParseError {
+            message: "bad cmp".into(),
+            line: lno,
+        })?;
+        let pred = cmp_pred_by_name(pred_s).ok_or(ParseError {
+            message: format!("bad predicate `{pred_s}`"),
+            line: lno,
+        })?;
         let (ty_s, ops) = split_type_operands(rest2, lno)?;
         let opty = parse_type(ty_s, lno)?;
         let (a, b) = two(&ops, lno)?;
@@ -461,26 +507,38 @@ fn parse_inst(
         let then_val = resolve(f, values, ops[1], lno)?;
         let else_val = resolve(f, values, ops[2], lno)?;
         let ty = f.ty(then_val);
-        (Inst::Select { cond, then_val, else_val }, ty)
+        (
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            },
+            ty,
+        )
     } else if let Some(kind) = cast_by_name(op) {
         // sext <val> to <ty>
-        let (val_s, ty_s) = rest
-            .split_once(" to ")
-            .ok_or(ParseError { message: "bad cast".into(), line: lno })?;
+        let (val_s, ty_s) = rest.split_once(" to ").ok_or(ParseError {
+            message: "bad cast".into(),
+            line: lno,
+        })?;
         let value = resolve(f, values, val_s, lno)?;
         let to = parse_type(ty_s, lno)?;
         (Inst::Cast { kind, value, to }, to)
     } else if op == "call" {
         // call name(arg, arg)
-        let open = rest
-            .find('(')
-            .ok_or(ParseError { message: "bad call".into(), line: lno })?;
+        let open = rest.find('(').ok_or(ParseError {
+            message: "bad call".into(),
+            line: lno,
+        })?;
         let fname = &rest[..open];
-        let args_s = rest[open + 1..]
-            .strip_suffix(')')
-            .ok_or(ParseError { message: "bad call args".into(), line: lno })?;
-        let builtin = builtin_by_name(fname)
-            .ok_or(ParseError { message: format!("unknown builtin `{fname}`"), line: lno })?;
+        let args_s = rest[open + 1..].strip_suffix(')').ok_or(ParseError {
+            message: "bad call args".into(),
+            line: lno,
+        })?;
+        let builtin = builtin_by_name(fname).ok_or(ParseError {
+            message: format!("unknown builtin `{fname}`"),
+            line: lno,
+        })?;
         let mut args = Vec::new();
         if !args_s.trim().is_empty() {
             for a in args_s.split(", ") {
@@ -497,9 +555,10 @@ fn parse_inst(
         (Inst::Call { builtin, args }, ty)
     } else if op == "gep" {
         // gep <ptrty> <base>, <idx>   (ptrty ends with `*`)
-        let star = rest
-            .rfind("* ")
-            .ok_or(ParseError { message: "bad gep type".into(), line: lno })?;
+        let star = rest.rfind("* ").ok_or(ParseError {
+            message: "bad gep type".into(),
+            line: lno,
+        })?;
         let ty = parse_type(&rest[..star + 1], lno)?;
         let ops = &rest[star + 2..];
         let (a, b) = two(ops, lno)?;
@@ -508,27 +567,36 @@ fn parse_inst(
         (Inst::Gep { base, index }, ty)
     } else if op == "load" {
         // load <ty> <ptr>
-        let (ty_s, ptr_s) = rest
-            .rsplit_once(' ')
-            .ok_or(ParseError { message: "bad load".into(), line: lno })?;
+        let (ty_s, ptr_s) = rest.rsplit_once(' ').ok_or(ParseError {
+            message: "bad load".into(),
+            line: lno,
+        })?;
         let ty = parse_type(ty_s, lno)?;
         let ptr = resolve(f, values, ptr_s, lno)?;
         (Inst::Load { ptr }, ty)
     } else if op == "phi" {
         // phi <ty> [blk: val], [blk: val]
-        let bracket = rest
-            .find('[')
-            .ok_or(ParseError { message: "bad phi".into(), line: lno })?;
+        let bracket = rest.find('[').ok_or(ParseError {
+            message: "bad phi".into(),
+            line: lno,
+        })?;
         let ty = parse_type(rest[..bracket].trim(), lno)?;
         let mut incoming = Vec::new();
         for part in rest[bracket..].split("], ") {
             let part = part.trim_matches(['[', ']']);
-            let (b, v) = part
-                .split_once(": ")
-                .ok_or(ParseError { message: "bad phi edge".into(), line: lno })?;
+            let (b, v) = part.split_once(": ").ok_or(ParseError {
+                message: "bad phi edge".into(),
+                line: lno,
+            })?;
             incoming.push((b.trim().to_string(), v.trim().to_string()));
         }
-        let v = f.append_inst(blk, Inst::Phi { incoming: Vec::new() }, ty);
+        let v = f.append_inst(
+            blk,
+            Inst::Phi {
+                incoming: Vec::new(),
+            },
+            ty,
+        );
         pending_phis.push((v, incoming, lno));
         bind_result(f, values, res, v, lno)?;
         return Ok(());
@@ -547,13 +615,23 @@ fn parse_inst(
         let lane = resolve(f, values, ops[1], lno)?;
         let value = resolve(f, values, ops[2], lno)?;
         let ty = f.ty(vector);
-        (Inst::InsertLane { vector, lane, value }, ty)
+        (
+            Inst::InsertLane {
+                vector,
+                lane,
+                value,
+            },
+            ty,
+        )
     } else if op == "buildvector" {
         let inner = rest
             .trim()
             .strip_prefix('<')
             .and_then(|x| x.strip_suffix('>'))
-            .ok_or(ParseError { message: "bad buildvector".into(), line: lno })?;
+            .ok_or(ParseError {
+                message: "bad buildvector".into(),
+                line: lno,
+            })?;
         let mut lanes = Vec::new();
         for a in inner.split(", ") {
             lanes.push(resolve(f, values, a, lno)?);
@@ -584,7 +662,9 @@ fn bind_result(
     // Preserve human-readable names (anything not matching the default
     // `%vNN` numbering).
     let bare = &res[1..];
-    let is_default = bare.strip_prefix('v').is_some_and(|n| n.parse::<u32>().is_ok());
+    let is_default = bare
+        .strip_prefix('v')
+        .is_some_and(|n| n.parse::<u32>().is_ok());
     if !is_default {
         f.set_name(v, bare);
     }
@@ -606,16 +686,18 @@ fn split_type_operands(s: &str, lno: usize) -> Result<(&str, String), ParseError
             return Ok((ty, s[close + 1..].trim().to_string()));
         }
     }
-    let (ty, rest) = s
-        .split_once(' ')
-        .ok_or(ParseError { message: "missing operands".into(), line: lno })?;
+    let (ty, rest) = s.split_once(' ').ok_or(ParseError {
+        message: "missing operands".into(),
+        line: lno,
+    })?;
     Ok((ty, rest.trim().to_string()))
 }
 
 fn two(s: &str, lno: usize) -> Result<(String, String), ParseError> {
-    let (a, b) = s
-        .split_once(", ")
-        .ok_or(ParseError { message: format!("expected two operands in `{s}`"), line: lno })?;
+    let (a, b) = s.split_once(", ").ok_or(ParseError {
+        message: format!("expected two operands in `{s}`"),
+        line: lno,
+    })?;
     Ok((a.trim().to_string(), b.trim().to_string()))
 }
 
@@ -629,13 +711,13 @@ mod tests {
         // interned in reference order), so exact equality holds from the
         // *second* round on: print∘parse must be a fixpoint.
         let text0 = function_to_string(f);
-        let parsed1 = parse_function(&text0)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{text0}"));
+        let parsed1 =
+            parse_function(&text0).unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{text0}"));
         crate::verifier::verify(&parsed1)
             .unwrap_or_else(|e| panic!("verify failed: {e:?}\n---\n{text0}"));
         let text1 = function_to_string(&parsed1);
-        let parsed2 = parse_function(&text1)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text1}"));
+        let parsed2 =
+            parse_function(&text1).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text1}"));
         let text2 = function_to_string(&parsed2);
         assert_eq!(text1, text2, "print∘parse is not a fixpoint");
         // Structure must be preserved exactly.
@@ -651,8 +733,14 @@ mod tests {
         let mut f = Function::new(
             "copy",
             vec![
-                Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
-                Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) },
+                Param {
+                    name: "in".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
+                Param {
+                    name: "out".into(),
+                    ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+                },
             ],
         );
         let a = f.param_value(0);
@@ -672,8 +760,16 @@ mod tests {
         use crate::builder::Builder;
         let mut f = Function::new(
             "loopy",
-            vec![Param { name: "n".into(), ty: Type::I32 },
-                 Param { name: "out".into(), ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global) }],
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
+                Param {
+                    name: "out".into(),
+                    ty: Type::ptr_scalar(Scalar::I32, AddressSpace::Global),
+                },
+            ],
         );
         let n = f.param_value(0);
         let out = f.param_value(1);
@@ -708,7 +804,10 @@ mod tests {
         use crate::builder::Builder;
         let mut f = Function::new(
             "stage",
-            vec![Param { name: "in".into(), ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global) }],
+            vec![Param {
+                name: "in".into(),
+                ty: Type::ptr_scalar(Scalar::F32, AddressSpace::Global),
+            }],
         );
         let inp = f.param_value(0);
         let lm = f.add_local_buf(LocalBuf {
@@ -768,14 +867,18 @@ mod tests {
     #[test]
     fn parse_errors_are_informative() {
         assert!(parse_function("").is_err());
-        assert!(parse_function("kernel @k() {\nentry:\n  %x = frobnicate 1\n}")
-            .unwrap_err()
-            .message
-            .contains("unknown opcode"));
-        assert!(parse_function("kernel @k() {\nentry:\n  %x = add i32 %nope, 1\n}")
-            .unwrap_err()
-            .message
-            .contains("unknown value"));
+        assert!(
+            parse_function("kernel @k() {\nentry:\n  %x = frobnicate 1\n}")
+                .unwrap_err()
+                .message
+                .contains("unknown opcode")
+        );
+        assert!(
+            parse_function("kernel @k() {\nentry:\n  %x = add i32 %nope, 1\n}")
+                .unwrap_err()
+                .message
+                .contains("unknown value")
+        );
     }
 
     #[test]

@@ -180,12 +180,12 @@ impl Type {
 
     /// True for `i32`/`i64`/`bool` scalars and vectors thereof.
     pub fn is_int(self) -> bool {
-        self.scalar_kind().map_or(false, Scalar::is_int)
+        self.scalar_kind().is_some_and(Scalar::is_int)
     }
 
     /// True for `f32` scalars and vectors thereof.
     pub fn is_float(self) -> bool {
-        self.scalar_kind().map_or(false, Scalar::is_float)
+        self.scalar_kind().is_some_and(Scalar::is_float)
     }
 
     /// True for pointer types.
@@ -209,7 +209,11 @@ impl fmt::Display for Type {
             Type::Void => f.write_str("void"),
             Type::Scalar(s) => write!(f, "{s}"),
             Type::Vector(s, n) => write!(f, "<{n} x {s}>"),
-            Type::Ptr { elem, lanes: 1, space } => write!(f, "{elem} {space}*"),
+            Type::Ptr {
+                elem,
+                lanes: 1,
+                space,
+            } => write!(f, "{elem} {space}*"),
             Type::Ptr { elem, lanes, space } => write!(f, "<{lanes} x {elem}> {space}*"),
         }
     }

@@ -330,7 +330,11 @@ impl Builtin {
             | Builtin::LocalSize
             | Builtin::GlobalSize
             | Builtin::NumGroups => 1,
-            Builtin::Sqrt | Builtin::Rsqrt | Builtin::Fabs | Builtin::Exp | Builtin::Log
+            Builtin::Sqrt
+            | Builtin::Rsqrt
+            | Builtin::Fabs
+            | Builtin::Exp
+            | Builtin::Log
             | Builtin::Floor => 1,
             Builtin::IMin | Builtin::IMax | Builtin::Dot => 2,
             Builtin::Mad | Builtin::Clamp => 3,
@@ -514,7 +518,11 @@ impl Inst {
     pub fn has_side_effects(&self) -> bool {
         matches!(
             self,
-            Inst::Store { .. } | Inst::Barrier { .. } | Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret
+            Inst::Store { .. }
+                | Inst::Barrier { .. }
+                | Inst::Br { .. }
+                | Inst::CondBr { .. }
+                | Inst::Ret
         )
     }
 
@@ -532,7 +540,11 @@ impl Inst {
                 f(*lhs);
                 f(*rhs);
             }
-            Inst::Select { cond, then_val, else_val } => {
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 f(*cond);
                 f(*then_val);
                 f(*else_val);
@@ -554,7 +566,11 @@ impl Inst {
                 f(*vector);
                 f(*lane);
             }
-            Inst::InsertLane { vector, lane, value } => {
+            Inst::InsertLane {
+                vector,
+                lane,
+                value,
+            } => {
                 f(*vector);
                 f(*lane);
                 f(*value);
@@ -571,7 +587,11 @@ impl Inst {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
-            Inst::Select { cond, then_val, else_val } => {
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 *cond = f(*cond);
                 *then_val = f(*then_val);
                 *else_val = f(*else_val);
@@ -593,7 +613,11 @@ impl Inst {
                 *vector = f(*vector);
                 *lane = f(*lane);
             }
-            Inst::InsertLane { vector, lane, value } => {
+            Inst::InsertLane {
+                vector,
+                lane,
+                value,
+            } => {
                 *vector = f(*vector);
                 *lane = f(*lane);
                 *value = f(*value);
@@ -607,7 +631,9 @@ impl Inst {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Inst::Br { target } => vec![*target],
-            Inst::CondBr { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            Inst::CondBr {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
             _ => Vec::new(),
         }
     }
@@ -701,7 +727,10 @@ mod tests {
             else_val: ValueId(2),
         };
         assert_eq!(i.operands(), vec![ValueId(0), ValueId(1), ValueId(2)]);
-        let s = Inst::Store { ptr: ValueId(3), value: ValueId(4) };
+        let s = Inst::Store {
+            ptr: ValueId(3),
+            value: ValueId(4),
+        };
         assert_eq!(s.operands(), vec![ValueId(3), ValueId(4)]);
         assert!(s.has_side_effects());
         assert!(!i.has_side_effects());
@@ -709,17 +738,28 @@ mod tests {
 
     #[test]
     fn map_operands_rewrites() {
-        let mut i = Inst::Bin { op: BinOp::Add, lhs: ValueId(1), rhs: ValueId(1) };
+        let mut i = Inst::Bin {
+            op: BinOp::Add,
+            lhs: ValueId(1),
+            rhs: ValueId(1),
+        };
         i.map_operands(|v| if v == ValueId(1) { ValueId(9) } else { v });
         assert_eq!(i.operands(), vec![ValueId(9), ValueId(9)]);
     }
 
     #[test]
     fn successor_lists() {
-        assert_eq!(Inst::Br { target: BlockId(2) }.successors(), vec![BlockId(2)]);
         assert_eq!(
-            Inst::CondBr { cond: ValueId(0), then_blk: BlockId(1), else_blk: BlockId(2) }
-                .successors(),
+            Inst::Br { target: BlockId(2) }.successors(),
+            vec![BlockId(2)]
+        );
+        assert_eq!(
+            Inst::CondBr {
+                cond: ValueId(0),
+                then_blk: BlockId(1),
+                else_blk: BlockId(2)
+            }
+            .successors(),
             vec![BlockId(1), BlockId(2)]
         );
         assert!(Inst::Ret.successors().is_empty());
@@ -728,7 +768,12 @@ mod tests {
 
     #[test]
     fn localbuf_geometry() {
-        let b = LocalBuf { name: "lm".into(), elem: Scalar::F32, lanes: 1, dims: vec![16, 16] };
+        let b = LocalBuf {
+            name: "lm".into(),
+            elem: Scalar::F32,
+            lanes: 1,
+            dims: vec![16, 16],
+        };
         assert_eq!(b.len(), 256);
         assert_eq!(b.size_bytes(), 1024);
         assert!(!b.is_empty());

@@ -103,13 +103,7 @@ pub fn verify(f: &Function) -> Result<(), Vec<VerifyError>> {
     }
 }
 
-fn type_check(
-    f: &Function,
-    b: BlockId,
-    iv: ValueId,
-    inst: &Inst,
-    errs: &mut Vec<VerifyError>,
-) {
+fn type_check(f: &Function, b: BlockId, iv: ValueId, inst: &Inst, errs: &mut Vec<VerifyError>) {
     let mut err = |msg: String| {
         errs.push(VerifyError(format!("{} (in {})", msg, f.block(b).name)));
     };
@@ -118,7 +112,10 @@ fn type_check(
             let lt = f.ty(*lhs);
             let rt = f.ty(*rhs);
             if lt != rt {
-                err(format!("bin {} operand types differ: {lt} vs {rt}", op.mnemonic()));
+                err(format!(
+                    "bin {} operand types differ: {lt} vs {rt}",
+                    op.mnemonic()
+                ));
             }
             if op.is_float() && !lt.is_float() {
                 err(format!("float op {} on non-float {lt}", op.mnemonic()));
@@ -132,7 +129,11 @@ fn type_check(
                 err("cmp operand types differ".into());
             }
         }
-        Inst::Select { cond, then_val, else_val } => {
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
             if f.ty(*cond).scalar_kind() != Some(crate::types::Scalar::Bool) {
                 err("select condition not bool".into());
             }
@@ -147,7 +148,12 @@ fn type_check(
         }
         Inst::Call { builtin, args } => {
             if args.len() != builtin.arity() {
-                err(format!("{} expects {} args, got {}", builtin.name(), builtin.arity(), args.len()));
+                err(format!(
+                    "{} expects {} args, got {}",
+                    builtin.name(),
+                    builtin.arity(),
+                    args.len()
+                ));
             }
         }
         Inst::Gep { base, index } => {
@@ -176,7 +182,11 @@ fn type_check(
                 err("extractlane lane must be constant".into());
             }
         }
-        Inst::InsertLane { vector, lane, value } => {
+        Inst::InsertLane {
+            vector,
+            lane,
+            value,
+        } => {
             if f.ty(*vector).lanes() <= 1 {
                 err("insertlane into non-vector".into());
             }
@@ -311,7 +321,15 @@ mod tests {
         let a = f.const_i32(1);
         let b_ = f.const_f32(1.0);
         let e = f.entry;
-        f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: a, rhs: b_ }, Type::I32);
+        f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: b_,
+            },
+            Type::I32,
+        );
         f.append_inst(e, Inst::Ret, Type::Void);
         let errs = verify(&f).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("differ")));
@@ -323,9 +341,26 @@ mod tests {
         let one = f.const_i32(1);
         let e = f.entry;
         // Create the add first referring to a later instruction.
-        let later = f.append_inst(e, Inst::Bin { op: BinOp::Add, lhs: one, rhs: one }, Type::I32);
+        let later = f.append_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: one,
+                rhs: one,
+            },
+            Type::I32,
+        );
         // Re-order: move `later` after a user by inserting user at front.
-        f.insert_inst(e, 0, Inst::Bin { op: BinOp::Add, lhs: later, rhs: one }, Type::I32);
+        f.insert_inst(
+            e,
+            0,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: later,
+                rhs: one,
+            },
+            Type::I32,
+        );
         f.append_inst(e, Inst::Ret, Type::Void);
         let errs = verify(&f).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("dominate")));
@@ -339,7 +374,13 @@ mod tests {
         let e = f.entry;
         f.append_inst(e, Inst::Br { target: b1 }, Type::Void);
         // Phi claims an incoming edge from b1 itself, but pred is entry.
-        f.append_inst(b1, Inst::Phi { incoming: vec![(b1, one)] }, Type::I32);
+        f.append_inst(
+            b1,
+            Inst::Phi {
+                incoming: vec![(b1, one)],
+            },
+            Type::I32,
+        );
         f.append_inst(b1, Inst::Ret, Type::Void);
         let errs = verify(&f).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("predecessors")));

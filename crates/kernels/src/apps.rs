@@ -3,8 +3,6 @@
 
 use grover_frontend::BuildOptions;
 use grover_runtime::{ArgValue, Buffer, Context, NdRange};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Dataset scale.
 ///
@@ -67,12 +65,38 @@ pub struct App {
     pub prepare: fn(Scale) -> Prepared,
 }
 
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x9e3779b97f4a7c15)
+/// Deterministic SplitMix64 generator: every dataset is a pure function of
+/// the fixed seed, so reference outputs and traces are reproducible across
+/// runs and platforms without an external PRNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn gen_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    fn gen_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
 }
 
-fn randf(r: &mut StdRng, n: usize) -> Vec<f32> {
-    (0..n).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+fn rng() -> Rng {
+    Rng(0x9e3779b97f4a7c15)
+}
+
+fn randf(r: &mut Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| r.gen_f32(-1.0, 1.0)).collect()
 }
 
 // ===================== AMD-SS: StringSearch =====================
@@ -115,8 +139,8 @@ fn ss_prepare(s: Scale) -> Prepared {
     let tlen = ss_tlen(s);
     let mut r = rng();
     // Random text over a small alphabet, with the pattern planted a few times.
-    let mut text: Vec<i32> = (0..tlen).map(|_| r.gen_range(0..4)).collect();
-    let pattern: Vec<i32> = (0..SS_PL).map(|_| r.gen_range(0..4)).collect();
+    let mut text: Vec<i32> = (0..tlen).map(|_| r.gen_below(4) as i32).collect();
+    let pattern: Vec<i32> = (0..SS_PL).map(|_| r.gen_below(4) as i32).collect();
     for p in [tlen / 7, tlen / 3, tlen / 2] {
         text[p..p + SS_PL].copy_from_slice(&pattern);
     }
@@ -311,14 +335,21 @@ fn rg_prepare(s: Scale) -> Prepared {
     let n = rg_n(s);
     let mut r = rng();
     let input = randf(&mut r, n * n);
-    let expected: Vec<f32> = input.iter().map(|&a| a * 0.8 + a.abs() * 0.1 + 0.05).collect();
+    let expected: Vec<f32> = input
+        .iter()
+        .map(|&a| a * 0.8 + a.abs() * 0.1 + 0.05)
+        .collect();
     let mut ctx = Context::new();
     let bi = ctx.buffer_f32(&input);
     let bo = ctx.zeros_f32(n * n);
     let tile = rg_s(s) as u64;
     Prepared {
         ctx,
-        args: vec![ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+        args: vec![
+            ArgValue::Buffer(bi),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(n as i32),
+        ],
         nd: NdRange::d2(n as u64, n as u64, 1, tile),
         out: bo,
         expected: Expected::F32(expected),
@@ -496,7 +527,13 @@ fn nbody_prepare(s: Scale) -> Prepared {
     let mut r = rng();
     // xyzm packed as float4.
     let pos: Vec<f32> = (0..n * 4)
-        .map(|i| if i % 4 == 3 { r.gen_range(0.1f32..1.0) } else { r.gen_range(-1.0f32..1.0) })
+        .map(|i| {
+            if i % 4 == 3 {
+                r.gen_f32(0.1, 1.0)
+            } else {
+                r.gen_f32(-1.0, 1.0)
+            }
+        })
         .collect();
     let mut expected = vec![0.0f32; n * 4];
     for i in 0..n {
@@ -521,7 +558,11 @@ fn nbody_prepare(s: Scale) -> Prepared {
     let ba = ctx.zeros_f32(n * 4);
     Prepared {
         ctx,
-        args: vec![ArgValue::Buffer(bp), ArgValue::Buffer(ba), ArgValue::I32(n as i32)],
+        args: vec![
+            ArgValue::Buffer(bp),
+            ArgValue::Buffer(ba),
+            ArgValue::I32(n as i32),
+        ],
         nd: NdRange::d1(n as u64, nbody_s(s) as u64),
         out: ba,
         expected: Expected::F32(expected),
@@ -578,9 +619,8 @@ fn st_prepare(s: Scale) -> Prepared {
         for gx in 0..n {
             let ty0 = gy / tile * tile;
             let tx0 = gx / tile * tile;
-            let cl = |v: isize, lo: usize, hi: usize| -> usize {
-                (v.max(lo as isize) as usize).min(hi)
-            };
+            let cl =
+                |v: isize, lo: usize, hi: usize| -> usize { (v.max(lo as isize) as usize).min(hi) };
             let xl = cl(gx as isize - 1, tx0, tx0 + tile - 1);
             let xr = cl(gx as isize + 1, tx0, tx0 + tile - 1);
             let yu = cl(gy as isize - 1, ty0, ty0 + tile - 1);
@@ -597,7 +637,11 @@ fn st_prepare(s: Scale) -> Prepared {
     let bo = ctx.zeros_f32(n * n);
     Prepared {
         ctx,
-        args: vec![ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+        args: vec![
+            ArgValue::Buffer(bi),
+            ArgValue::Buffer(bo),
+            ArgValue::I32(n as i32),
+        ],
         nd: NdRange::d2(n as u64, n as u64, tile as u64, tile as u64),
         out: bo,
         expected: Expected::F32(expected),
@@ -732,8 +776,7 @@ fn conv_prepare(s: Scale) -> Prepared {
     let w = n + 2;
     let mut r = rng();
     let padded = randf(&mut r, w * w);
-    let filt: Vec<f32> =
-        vec![0.05, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05];
+    let filt: Vec<f32> = vec![0.05, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05];
     let mut expected = vec![0.0f32; n * n];
     for gy in 0..n {
         for gx in 0..n {

@@ -4,7 +4,7 @@
 use grover_core::{Grover, GroverReport};
 use grover_frontend::compile;
 use grover_ir::Function;
-use grover_runtime::{enqueue, Context, LaunchStats, Limits, TraceSink};
+use grover_runtime::{enqueue_with_policy, Context, ExecPolicy, LaunchStats, Limits, TraceSink};
 
 use crate::apps::{App, Expected, Prepared, Scale};
 
@@ -38,7 +38,11 @@ pub fn prepare_pair(app: &App, scale: Scale) -> Result<KernelPair, String> {
     };
     let report = grover.run_on(&mut transformed);
     if !report.all_removed() {
-        return Err(format!("{}: Grover declined:\n{}", app.id, report.to_text()));
+        return Err(format!(
+            "{}: Grover declined:\n{}",
+            app.id,
+            report.to_text()
+        ));
     }
     grover_ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut original, 8);
     grover_ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut transformed, 8);
@@ -46,7 +50,11 @@ pub fn prepare_pair(app: &App, scale: Scale) -> Result<KernelPair, String> {
         .map_err(|e| format!("{}: optimised original IR invalid: {e:?}", app.id))?;
     grover_ir::verify(&transformed)
         .map_err(|e| format!("{}: transformed IR invalid: {e:?}", app.id))?;
-    Ok(KernelPair { original, transformed, report })
+    Ok(KernelPair {
+        original,
+        transformed,
+        report,
+    })
 }
 
 /// Result of one run.
@@ -61,16 +69,27 @@ pub struct AppRun {
 /// `sink`, and compare the output buffer to the reference.
 pub fn run_prepared(
     kernel: &Function,
-    mut prepared: Prepared,
+    prepared: Prepared,
     sink: &mut dyn TraceSink,
 ) -> Result<AppRun, String> {
-    let stats = enqueue(
+    run_prepared_with(kernel, prepared, sink, ExecPolicy::Serial)
+}
+
+/// [`run_prepared`] under an explicit work-group schedule.
+pub fn run_prepared_with(
+    kernel: &Function,
+    mut prepared: Prepared,
+    sink: &mut dyn TraceSink,
+    policy: ExecPolicy,
+) -> Result<AppRun, String> {
+    let stats = enqueue_with_policy(
         &mut prepared.ctx,
         kernel,
         &prepared.args,
         &prepared.nd,
         sink,
         &Limits::default(),
+        policy,
     )
     .map_err(|e| format!("execution failed: {e}"))?;
     let max_rel_err = compare(&prepared.ctx, &prepared)?;
@@ -137,8 +156,7 @@ mod tests {
     #[test]
     fn every_app_compiles_and_transforms() {
         for app in all_apps() {
-            let pair = prepare_pair(&app, Scale::Test)
-                .unwrap_or_else(|e| panic!("{e}"));
+            let pair = prepare_pair(&app, Scale::Test).unwrap_or_else(|e| panic!("{e}"));
             // The transformed version must not allocate selected local bufs.
             match app.disable {
                 None => assert_eq!(
@@ -223,7 +241,11 @@ mod extension_tests {
         assert_eq!(pair.transformed.local_mem_bytes(), 0);
         // 9 local loads rewired (the 3x3 window), all solved from the
         // interior staging pair despite 9 distinct (GL, LS) passes.
-        assert_eq!(pair.report.buffers[0].ngl.len(), 1, "one LL site in the loop nest");
+        assert_eq!(
+            pair.report.buffers[0].ngl.len(),
+            1,
+            "one LL site in the loop nest"
+        );
         assert_eq!(pair.report.buffers[0].solutions.len(), 1);
     }
 

@@ -25,7 +25,9 @@ pub mod apps;
 pub mod harness;
 
 pub use apps::{all_apps, app_by_id, extension_apps, App, Expected, Prepared, Scale};
-pub use harness::{prepare_pair, run_prepared, validate_app, AppRun, KernelPair};
+pub use harness::{
+    prepare_pair, run_prepared, run_prepared_with, validate_app, AppRun, KernelPair,
+};
 
 #[cfg(test)]
 mod tests {

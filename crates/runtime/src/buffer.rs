@@ -66,13 +66,17 @@ const ALIGN: u64 = 4096;
 impl Context {
     /// An empty context with no buffers.
     pub fn new() -> Context {
-        Context { buffers: Vec::new(), bases: Vec::new(), next_base: FIRST_BASE }
+        Context {
+            buffers: Vec::new(),
+            bases: Vec::new(),
+            next_base: FIRST_BASE,
+        }
     }
 
     fn push(&mut self, data: BufferData) -> Buffer {
         let size = data.size_bytes();
         let base = self.next_base;
-        self.next_base = (base + size + ALIGN - 1) / ALIGN * ALIGN;
+        self.next_base = (base + size).div_ceil(ALIGN) * ALIGN;
         self.bases.push(base);
         self.buffers.push(data);
         Buffer(self.buffers.len() as u32 - 1)
@@ -134,18 +138,89 @@ impl Context {
         self.buffers.len()
     }
 
+    /// A [`GlobalMem`] view over every buffer, for the launch engine. The
+    /// view borrows the context mutably for its whole lifetime, so no
+    /// buffer can be created, read back or resized while a launch is in
+    /// flight.
+    pub(crate) fn global_mem(&mut self) -> GlobalMem<'_> {
+        let bufs = self
+            .buffers
+            .iter_mut()
+            .map(|d| match d {
+                BufferData::F32(v) => RawBuf::F32(v.as_mut_ptr(), v.len()),
+                BufferData::I32(v) => RawBuf::I32(v.as_mut_ptr(), v.len()),
+                BufferData::I64(v) => RawBuf::I64(v.as_mut_ptr(), v.len()),
+            })
+            .collect();
+        GlobalMem {
+            bufs,
+            bases: self.bases.clone(),
+            _ctx: std::marker::PhantomData,
+        }
+    }
+
     pub(crate) fn scalar_of(&self, b: Buffer) -> Scalar {
         self.buffers[b.0 as usize].scalar()
     }
+}
+
+/// Raw typed pointer to one buffer's storage.
+enum RawBuf {
+    F32(*mut f32, usize),
+    I32(*mut i32, usize),
+    I64(*mut i64, usize),
+}
+
+impl RawBuf {
+    fn scalar(&self) -> Scalar {
+        match self {
+            RawBuf::F32(..) => Scalar::F32,
+            RawBuf::I32(..) => Scalar::I32,
+            RawBuf::I64(..) => Scalar::I64,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match *self {
+            RawBuf::F32(_, n) | RawBuf::I32(_, n) | RawBuf::I64(_, n) => n,
+        }
+    }
+}
+
+/// A shareable view of a [`Context`]'s global buffers used by the NDRange
+/// engine: work-group workers on different threads load and store device
+/// memory through it concurrently.
+///
+/// # Safety / OpenCL memory model
+///
+/// The view holds raw pointers and is (unsafely) `Sync`. This matches
+/// OpenCL's relaxed global-memory model: work-groups of one launch may
+/// write global memory concurrently, and a kernel in which two work-items
+/// of *different* groups touch the same location without synchronisation
+/// (at least one writing) is already undefined behaviour in the source
+/// program — such kernels were equally racy on a real device, so the
+/// engine does not attempt to serialise them. Every access is still
+/// bounds- and type-checked; the borrow on the `Context` guarantees the
+/// storage itself cannot move or be freed while a launch is in flight.
+pub(crate) struct GlobalMem<'a> {
+    bufs: Vec<RawBuf>,
+    bases: Vec<u64>,
+    _ctx: std::marker::PhantomData<&'a mut Context>,
+}
+
+unsafe impl Send for GlobalMem<'_> {}
+unsafe impl Sync for GlobalMem<'_> {}
+
+impl GlobalMem<'_> {
+    /// Device base address of a buffer (0 for an unknown id, matching the
+    /// trace's historical behaviour).
+    pub(crate) fn base(&self, buf: u32) -> u64 {
+        self.bases.get(buf as usize).copied().unwrap_or(0)
+    }
 
     /// Load `lanes` elements starting at byte `offset`.
-    pub(crate) fn load(
-        &self,
-        b: Buffer,
-        offset: i64,
-        lanes: u8,
-    ) -> Result<Val, ExecError> {
-        let data = &self.buffers[b.0 as usize];
+    pub(crate) fn load(&self, buf: u32, offset: i64, lanes: u8) -> Result<Val, ExecError> {
+        let data = &self.bufs[buf as usize];
         let esz = data.scalar().size_bytes() as i64;
         if offset < 0 || offset % esz != 0 {
             return Err(ExecError::BadAddress(offset));
@@ -153,30 +228,38 @@ impl Context {
         let idx = (offset / esz) as usize;
         let n = lanes as usize;
         if idx + n > data.len() {
-            return Err(ExecError::OutOfBounds { buffer: b.0, index: idx + n - 1, len: data.len() });
+            return Err(ExecError::OutOfBounds {
+                buffer: buf,
+                index: idx + n - 1,
+                len: data.len(),
+            });
         }
-        Ok(match data {
-            BufferData::F32(v) => {
+        Ok(match *data {
+            RawBuf::F32(p, _) => {
                 if n == 1 {
-                    Val::F32(v[idx])
+                    Val::F32(unsafe { p.add(idx).read() })
                 } else {
                     let mut a = [0.0f32; 4];
-                    a[..n].copy_from_slice(&v[idx..idx + n]);
+                    for (i, slot) in a[..n].iter_mut().enumerate() {
+                        *slot = unsafe { p.add(idx + i).read() };
+                    }
                     Val::VF32(a, lanes)
                 }
             }
-            BufferData::I32(v) => {
+            RawBuf::I32(p, _) => {
                 if n == 1 {
-                    Val::I32(v[idx])
+                    Val::I32(unsafe { p.add(idx).read() })
                 } else {
                     let mut a = [0i32; 4];
-                    a[..n].copy_from_slice(&v[idx..idx + n]);
+                    for (i, slot) in a[..n].iter_mut().enumerate() {
+                        *slot = unsafe { p.add(idx + i).read() };
+                    }
                     Val::VI32(a, lanes)
                 }
             }
-            BufferData::I64(v) => {
+            RawBuf::I64(p, _) => {
                 if n == 1 {
-                    Val::I64(v[idx])
+                    Val::I64(unsafe { p.add(idx).read() })
                 } else {
                     return Err(ExecError::Unsupported("vector i64 load".into()));
                 }
@@ -185,8 +268,8 @@ impl Context {
     }
 
     /// Store a value at byte `offset`.
-    pub(crate) fn store(&mut self, b: Buffer, offset: i64, val: Val) -> Result<(), ExecError> {
-        let data = &mut self.buffers[b.0 as usize];
+    pub(crate) fn store(&self, buf: u32, offset: i64, val: Val) -> Result<(), ExecError> {
+        let data = &self.bufs[buf as usize];
         let esz = data.scalar().size_bytes() as i64;
         if offset < 0 || offset % esz != 0 {
             return Err(ExecError::BadAddress(offset));
@@ -194,19 +277,27 @@ impl Context {
         let idx = (offset / esz) as usize;
         let n = val.lanes() as usize;
         if idx + n > data.len() {
-            return Err(ExecError::OutOfBounds { buffer: b.0, index: idx + n - 1, len: data.len() });
+            return Err(ExecError::OutOfBounds {
+                buffer: buf,
+                index: idx + n - 1,
+                len: data.len(),
+            });
         }
         match (data, val) {
-            (BufferData::F32(v), Val::F32(x)) => v[idx] = x,
-            (BufferData::F32(v), Val::VF32(a, l)) => {
-                v[idx..idx + l as usize].copy_from_slice(&a[..l as usize])
+            (&RawBuf::F32(p, _), Val::F32(x)) => unsafe { p.add(idx).write(x) },
+            (&RawBuf::F32(p, _), Val::VF32(a, l)) => {
+                for (i, &x) in a[..l as usize].iter().enumerate() {
+                    unsafe { p.add(idx + i).write(x) }
+                }
             }
-            (BufferData::I32(v), Val::I32(x)) => v[idx] = x,
-            (BufferData::I32(v), Val::Bool(x)) => v[idx] = x as i32,
-            (BufferData::I32(v), Val::VI32(a, l)) => {
-                v[idx..idx + l as usize].copy_from_slice(&a[..l as usize])
+            (&RawBuf::I32(p, _), Val::I32(x)) => unsafe { p.add(idx).write(x) },
+            (&RawBuf::I32(p, _), Val::Bool(x)) => unsafe { p.add(idx).write(x as i32) },
+            (&RawBuf::I32(p, _), Val::VI32(a, l)) => {
+                for (i, &x) in a[..l as usize].iter().enumerate() {
+                    unsafe { p.add(idx + i).write(x) }
+                }
             }
-            (BufferData::I64(v), Val::I64(x)) => v[idx] = x,
+            (&RawBuf::I64(p, _), Val::I64(x)) => unsafe { p.add(idx).write(x) },
             (d, v) => {
                 return Err(ExecError::TypeMismatch(format!(
                     "store {:?} into {:?} buffer",
@@ -247,8 +338,10 @@ mod tests {
     fn load_store_roundtrip() {
         let mut ctx = Context::new();
         let b = ctx.zeros_f32(8);
-        ctx.store(b, 8, Val::F32(7.0)).unwrap();
-        assert_eq!(ctx.load(b, 8, 1).unwrap(), Val::F32(7.0));
+        let mem = ctx.global_mem();
+        mem.store(b.0, 8, Val::F32(7.0)).unwrap();
+        assert_eq!(mem.load(b.0, 8, 1).unwrap(), Val::F32(7.0));
+        drop(mem);
         assert_eq!(ctx.read_f32(b)[2], 7.0);
     }
 
@@ -256,25 +349,38 @@ mod tests {
     fn vector_roundtrip() {
         let mut ctx = Context::new();
         let b = ctx.zeros_f32(8);
-        ctx.store(b, 16, Val::VF32([1.0, 2.0, 3.0, 4.0], 4)).unwrap();
-        assert_eq!(ctx.load(b, 16, 4).unwrap(), Val::VF32([1.0, 2.0, 3.0, 4.0], 4));
+        let mem = ctx.global_mem();
+        mem.store(b.0, 16, Val::VF32([1.0, 2.0, 3.0, 4.0], 4))
+            .unwrap();
+        assert_eq!(
+            mem.load(b.0, 16, 4).unwrap(),
+            Val::VF32([1.0, 2.0, 3.0, 4.0], 4)
+        );
     }
 
     #[test]
     fn bounds_checked() {
         let mut ctx = Context::new();
         let b = ctx.zeros_f32(2);
-        assert!(matches!(ctx.load(b, 8, 1), Err(ExecError::OutOfBounds { .. })));
-        assert!(matches!(ctx.store(b, -4, Val::F32(0.0)), Err(ExecError::BadAddress(_))));
-        assert!(matches!(ctx.load(b, 2, 1), Err(ExecError::BadAddress(_))));
+        let mem = ctx.global_mem();
+        assert!(matches!(
+            mem.load(b.0, 8, 1),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mem.store(b.0, -4, Val::F32(0.0)),
+            Err(ExecError::BadAddress(_))
+        ));
+        assert!(matches!(mem.load(b.0, 2, 1), Err(ExecError::BadAddress(_))));
     }
 
     #[test]
     fn type_checked_store() {
         let mut ctx = Context::new();
         let b = ctx.zeros_f32(2);
+        let mem = ctx.global_mem();
         assert!(matches!(
-            ctx.store(b, 0, Val::I32(1)),
+            mem.store(b.0, 0, Val::I32(1)),
             Err(ExecError::TypeMismatch(_))
         ));
     }

@@ -2,13 +2,21 @@
 //! semantics. Work-items of a group run serially between barriers (the way
 //! CPU OpenCL runtimes schedule them [paper §VI-C]); at a barrier every
 //! item of the group must arrive before any proceeds.
+//!
+//! Work-groups of one launch are independent (OpenCL gives no ordering or
+//! synchronisation between groups), so the engine can execute them either
+//! serially on the calling thread or partitioned across a pool of worker
+//! threads — see [`ExecPolicy`] and [`enqueue_with_policy`]. Both schedules
+//! produce bit-identical output buffers, [`LaunchStats`] and trace streams.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use grover_ir::{
     AddressSpace, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Function, Inst, Scalar,
     Type, ValueDef, ValueId,
 };
 
-use crate::buffer::{Buffer, BufferData, Context};
+use crate::buffer::{Buffer, BufferData, Context, GlobalMem};
 use crate::trace::{AccessEvent, TraceOp, TraceSink};
 use crate::val::{PtrVal, Val};
 use crate::ExecError;
@@ -25,17 +33,26 @@ pub struct NdRange {
 impl NdRange {
     /// A 1-D launch.
     pub fn d1(global: u64, local: u64) -> NdRange {
-        NdRange { global: [global, 1, 1], local: [local, 1, 1] }
+        NdRange {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
     }
 
     /// A 2-D launch.
     pub fn d2(gx: u64, gy: u64, lx: u64, ly: u64) -> NdRange {
-        NdRange { global: [gx, gy, 1], local: [lx, ly, 1] }
+        NdRange {
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+        }
     }
 
     /// A 3-D launch.
     pub fn d3(g: [u64; 3], l: [u64; 3]) -> NdRange {
-        NdRange { global: g, local: l }
+        NdRange {
+            global: g,
+            local: l,
+        }
     }
 
     /// Work-groups per dimension.
@@ -62,7 +79,7 @@ impl NdRange {
             if self.local[d] == 0 || self.global[d] == 0 {
                 return Err(ExecError::BadNdRange("zero dimension".into()));
             }
-            if self.global[d] % self.local[d] != 0 {
+            if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(ExecError::BadNdRange(format!(
                     "global size {} not divisible by local size {} in dim {d}",
                     self.global[d], self.local[d]
@@ -108,7 +125,128 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { max_instructions: 20_000_000_000 }
+        Limits {
+            max_instructions: 20_000_000_000,
+        }
+    }
+}
+
+/// How the work-groups of a launch are scheduled onto host threads.
+///
+/// OpenCL defines no ordering or synchronisation between the work-groups of
+/// one launch, so they may run concurrently. A kernel in which work-items of
+/// *different* groups touch the same global-memory location without
+/// synchronisation (at least one of them writing) is already undefined
+/// behaviour in the source program; such kernels get no extra serialisation
+/// here — exactly as on a real device.
+///
+/// Whatever the policy, a successful launch is deterministic: output
+/// buffers, [`LaunchStats`] and the trace stream a [`TraceSink`] observes
+/// are bit-identical between `Serial` and `Parallel` (per-group trace
+/// events are buffered and replayed in group-linear order). The only
+/// scheduling-visible difference is *which* instruction trips
+/// [`Limits::max_instructions`]: the budget is shared by all workers, so
+/// under `Parallel` the launch still stops within one claim-chunk of the
+/// limit, but not on a deterministic instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Run work-groups one after another on the calling thread.
+    #[default]
+    Serial,
+    /// Partition the work-group index space across a pool of worker
+    /// threads (scoped; no detached threads survive the launch).
+    Parallel {
+        /// Worker-thread count; `0` means one per available CPU.
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// `Parallel` with the thread count taken from the host CPU.
+    pub fn parallel_auto() -> ExecPolicy {
+        ExecPolicy::Parallel { threads: 0 }
+    }
+
+    /// The number of worker threads this policy resolves to on this host.
+    pub fn worker_count(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecPolicy::Parallel { threads } => threads,
+        }
+    }
+}
+
+/// Instructions a parallel worker claims from the shared launch budget per
+/// refill. Small enough that a launch overshoots `max_instructions` by at
+/// most `workers * BUDGET_CHUNK`, large enough that the shared counter is
+/// touched ~once per million instructions.
+const BUDGET_CHUNK: u64 = 1 << 20;
+
+/// The launch-wide instruction budget ([`Limits::max_instructions`]),
+/// shared by every worker.
+struct BudgetPool(AtomicU64);
+
+/// A worker's claim on the [`BudgetPool`]: spends locally and refills in
+/// chunks, so the hot interpreter loop performs no atomic ops. The serial
+/// engine uses `chunk = u64::MAX` (one refill claims the whole pool), which
+/// reproduces the exact single-counter semantics: the instruction *after*
+/// the budget runs out fails with [`ExecError::InstructionLimit`].
+struct LocalBudget<'a> {
+    pool: &'a BudgetPool,
+    left: u64,
+    chunk: u64,
+}
+
+impl<'a> LocalBudget<'a> {
+    fn new(pool: &'a BudgetPool, chunk: u64) -> LocalBudget<'a> {
+        LocalBudget {
+            pool,
+            left: 0,
+            chunk,
+        }
+    }
+
+    #[inline]
+    fn spend(&mut self) -> Result<(), ExecError> {
+        if self.left == 0 {
+            self.refill()?;
+        }
+        self.left -= 1;
+        Ok(())
+    }
+
+    fn refill(&mut self) -> Result<(), ExecError> {
+        let mut avail = self.pool.0.load(Ordering::Relaxed);
+        loop {
+            if avail == 0 {
+                return Err(ExecError::InstructionLimit);
+            }
+            let take = avail.min(self.chunk);
+            match self.pool.0.compare_exchange_weak(
+                avail,
+                avail - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.left = take;
+                    return Ok(());
+                }
+                Err(now) => avail = now,
+            }
+        }
+    }
+}
+
+impl Drop for LocalBudget<'_> {
+    fn drop(&mut self) {
+        // Return the unspent part of the claim so other workers can use it.
+        if self.left > 0 {
+            self.pool.0.fetch_add(self.left, Ordering::Relaxed);
+        }
     }
 }
 
@@ -128,17 +266,104 @@ struct WorkItem {
     wg: [u64; 3],
 }
 
-struct GroupCtx<'a> {
+/// Launch-wide immutable state, computed once per `enqueue` and shared by
+/// every worker: kernel, geometry, the global-memory view (buffer base
+/// addresses included — no per-group probing of the [`Context`]), the
+/// pre-resolved parameter seeds and the `__local` buffer layout.
+struct LaunchCtx<'a> {
     f: &'a Function,
     nd: NdRange,
-    group_linear: u32,
-    local_mem: Vec<BufferData>,
+    mem: GlobalMem<'a>,
+    /// `(register index, value)` seeds applied to every work-item.
+    params: Vec<(usize, Val)>,
+    /// Element kind and element count of each `__local` buffer.
+    local_templ: Vec<(Scalar, usize)>,
+    /// Byte offset of each `__local` buffer inside the group-local region.
     local_bases: Vec<u64>,
-    /// Device base address of each global buffer (copied from the Context).
-    global_bases: Vec<u64>,
+    pool: BudgetPool,
 }
 
-/// Launch a kernel (the `clEnqueueNDRangeKernel` + `clFinish` pair).
+/// Per-worker scratch reused across the groups that worker executes: the
+/// work-item states (register files in particular) and the group's local
+/// memory are allocated once and reset per group instead of reallocated.
+#[derive(Default)]
+struct Scratch {
+    items: Vec<WorkItem>,
+    local_mem: Vec<BufferData>,
+}
+
+/// What one group contributed to the launch statistics.
+#[derive(Clone, Copy, Default)]
+struct GroupStats {
+    items: u64,
+    barriers: u64,
+    instructions: u64,
+}
+
+/// What a parallel worker hands back for one claimed group: the linear
+/// group index plus either the group's stats and buffered trace or the
+/// error that stopped it.
+type GroupOutcome = (usize, Result<(GroupStats, GroupBuf), ExecError>);
+
+/// One buffered trace event of a group (the group id is implicit).
+enum GroupEvent {
+    Access(AccessEvent),
+    Barrier { items: u32 },
+    ItemDone { local: u32, insts: u64 },
+}
+
+/// Per-group trace buffer used by the parallel engine. Workers record into
+/// it; the launch thread replays the buffers in group-linear order so the
+/// real sink observes exactly the serial event stream.
+struct GroupBuf {
+    /// Whether the real sink consumes access events
+    /// ([`TraceSink::wants_events`]); barrier/item-done events are always
+    /// kept — they are few and carry the launch statistics.
+    wants_access: bool,
+    events: Vec<GroupEvent>,
+}
+
+impl TraceSink for GroupBuf {
+    fn access(&mut self, ev: &AccessEvent) {
+        if self.wants_access {
+            self.events.push(GroupEvent::Access(*ev));
+        }
+    }
+
+    fn barrier(&mut self, _group: u32, items: u32) {
+        self.events.push(GroupEvent::Barrier { items });
+    }
+
+    fn workitem_done(&mut self, _group: u32, local: u32, instructions: u64) {
+        self.events.push(GroupEvent::ItemDone {
+            local,
+            insts: instructions,
+        });
+    }
+}
+
+impl GroupBuf {
+    fn replay(self, group: u32, sink: &mut dyn TraceSink) {
+        for ev in self.events {
+            match ev {
+                GroupEvent::Access(ev) => sink.access(&ev),
+                GroupEvent::Barrier { items } => sink.barrier(group, items),
+                GroupEvent::ItemDone { local, insts } => sink.workitem_done(group, local, insts),
+            }
+        }
+        sink.workgroup_done(group);
+    }
+}
+
+/// Group linear id → 3-D group id, matching the serial `wz/wy/wx` loop
+/// nest (`x` fastest).
+fn delinearize(gl: usize, ng: [u64; 3]) -> [u64; 3] {
+    let gl = gl as u64;
+    [gl % ng[0], (gl / ng[0]) % ng[1], gl / (ng[0] * ng[1])]
+}
+
+/// Launch a kernel (the `clEnqueueNDRangeKernel` + `clFinish` pair),
+/// running work-groups serially on the calling thread.
 pub fn enqueue(
     ctx: &mut Context,
     kernel: &Function,
@@ -147,31 +372,145 @@ pub fn enqueue(
     sink: &mut dyn TraceSink,
     limits: &Limits,
 ) -> Result<LaunchStats, ExecError> {
+    enqueue_with_policy(ctx, kernel, args, nd, sink, limits, ExecPolicy::Serial)
+}
+
+/// Launch a kernel under an explicit scheduling [`ExecPolicy`].
+///
+/// See [`ExecPolicy`] for the determinism guarantees. On failure the error
+/// of the lowest-numbered failing group is returned (the same one the
+/// serial schedule would report), and the sink has observed the complete
+/// event streams of every group before it.
+pub fn enqueue_with_policy(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+) -> Result<LaunchStats, ExecError> {
     nd.validate()?;
     validate_args(ctx, kernel, args)?;
 
-    let mut stats = LaunchStats::default();
-    let ng = nd.num_groups();
-    let mut budget = limits.max_instructions;
+    let params = param_seeds(kernel, args)?;
+    let mut local_templ = Vec::new();
+    let mut local_bases = Vec::new();
+    let mut off = 0u64;
+    for lb in kernel.local_bufs() {
+        local_templ.push((lb.elem, (lb.len() * lb.lanes as u64) as usize));
+        local_bases.push(off);
+        off += lb.size_bytes();
+    }
+    let launch = LaunchCtx {
+        f: kernel,
+        nd: *nd,
+        mem: ctx.global_mem(),
+        params,
+        local_templ,
+        local_bases,
+        pool: BudgetPool(AtomicU64::new(limits.max_instructions)),
+    };
 
-    for wz in 0..ng[2] {
-        for wy in 0..ng[1] {
-            for wx in 0..ng[0] {
-                let group_linear = (wz * ng[1] * ng[0] + wy * ng[0] + wx) as u32;
-                let n = run_group(
-                    ctx,
-                    kernel,
-                    args,
-                    *nd,
-                    [wx, wy, wz],
-                    group_linear,
-                    sink,
-                    &mut budget,
-                    &mut stats,
-                )?;
-                stats.work_items += n;
+    let ng = nd.num_groups();
+    let n_groups = (ng[0] * ng[1] * ng[2]) as usize;
+
+    if policy == ExecPolicy::Serial {
+        let mut budget = LocalBudget::new(&launch.pool, u64::MAX);
+        let mut scratch = Scratch::default();
+        let mut stats = LaunchStats::default();
+        for gl in 0..n_groups {
+            let gs = run_group(
+                &launch,
+                delinearize(gl, ng),
+                gl as u32,
+                sink,
+                &mut budget,
+                &mut scratch,
+            )?;
+            stats.instructions += gs.instructions;
+            stats.barriers += gs.barriers;
+            stats.work_items += gs.items;
+            stats.work_groups += 1;
+            sink.workgroup_done(gl as u32);
+        }
+        return Ok(stats);
+    }
+
+    let workers = policy.worker_count().clamp(1, n_groups);
+    let wants_access = sink.wants_events();
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let launch_ref = &launch;
+
+    // Workers claim group indices from a shared counter (dynamic load
+    // balancing) and run each claimed group to completion. `fetch_add` is
+    // monotonic, so when a group fails, every lower-numbered group was
+    // claimed earlier by some worker that finishes it before exiting —
+    // which is what makes the first-error-in-group-order guarantee hold.
+    let worker_outputs: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    let mut budget = LocalBudget::new(&launch_ref.pool, BUDGET_CHUNK);
+                    let mut scratch = Scratch::default();
+                    while !stop.load(Ordering::Relaxed) {
+                        let gl = next.fetch_add(1, Ordering::Relaxed);
+                        if gl >= n_groups {
+                            break;
+                        }
+                        let mut buf = GroupBuf {
+                            wants_access,
+                            events: Vec::new(),
+                        };
+                        let r = run_group(
+                            launch_ref,
+                            delinearize(gl, ng),
+                            gl as u32,
+                            &mut buf,
+                            &mut budget,
+                            &mut scratch,
+                        );
+                        let failed = r.is_err();
+                        out.push((gl, r.map(|gs| (gs, buf))));
+                        if failed {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("launch worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<Result<(GroupStats, GroupBuf), ExecError>>> = Vec::new();
+    slots.resize_with(n_groups, || None);
+    for (gl, r) in worker_outputs.into_iter().flatten() {
+        slots[gl] = Some(r);
+    }
+
+    // Replay traces in group-linear order; stop at the first failing group.
+    let mut stats = LaunchStats::default();
+    for (gl, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok((gs, buf))) => {
+                stats.instructions += gs.instructions;
+                stats.barriers += gs.barriers;
+                stats.work_items += gs.items;
                 stats.work_groups += 1;
-                sink.workgroup_done(group_linear);
+                buf.replay(gl as u32, sink);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ExecError::Internal(
+                    "work-group skipped without a preceding error".into(),
+                ))
             }
         }
     }
@@ -180,7 +519,10 @@ pub fn enqueue(
 
 fn validate_args(ctx: &Context, kernel: &Function, args: &[ArgValue]) -> Result<(), ExecError> {
     if args.len() != kernel.params().len() {
-        return Err(ExecError::ArgCount { expected: kernel.params().len(), got: args.len() });
+        return Err(ExecError::ArgCount {
+            expected: kernel.params().len(),
+            got: args.len(),
+        });
     }
     for (p, a) in kernel.params().iter().zip(args) {
         let ok = match (p.ty, a) {
@@ -207,61 +549,116 @@ fn validate_args(ctx: &Context, kernel: &Function, args: &[ArgValue]) -> Result<
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Resolve every kernel argument to its register seed, once per launch.
+fn param_seeds(f: &Function, args: &[ArgValue]) -> Result<Vec<(usize, Val)>, ExecError> {
+    let mut seeds = Vec::with_capacity(args.len());
+    for (i, _) in f.params().iter().enumerate() {
+        let pv = f.param_value(i);
+        let v = match (f.ty(pv), args[i]) {
+            (Type::Ptr { space, .. }, ArgValue::Buffer(b)) => Val::Ptr(PtrVal {
+                space,
+                buf: b.0,
+                offset: 0,
+            }),
+            (_, ArgValue::I32(x)) => Val::I32(x),
+            (_, ArgValue::I64(x)) => Val::I64(x),
+            (_, ArgValue::F32(x)) => Val::F32(x),
+            _ => return Err(ExecError::TypeMismatch("param seed".into())),
+        };
+        seeds.push((pv.index(), v));
+    }
+    Ok(seeds)
+}
+
+/// The mutable state `run_item`/`eval_inst` need for one group: the shared
+/// launch context plus this group's local memory and id.
+struct GroupRun<'a, 'l> {
+    launch: &'a LaunchCtx<'l>,
+    local_mem: &'a mut Vec<BufferData>,
+    group_linear: u32,
+}
+
 fn run_group(
-    ctx: &mut Context,
-    f: &Function,
-    args: &[ArgValue],
-    nd: NdRange,
+    launch: &LaunchCtx<'_>,
     wg: [u64; 3],
     group_linear: u32,
     sink: &mut dyn TraceSink,
-    budget: &mut u64,
-    stats: &mut LaunchStats,
-) -> Result<u64, ExecError> {
-    // Allocate this group's local memory (zero-initialised).
-    let mut local_mem = Vec::new();
-    let mut local_bases = Vec::new();
-    let mut off = 0u64;
-    for lb in f.local_bufs() {
-        let elems = (lb.len() * lb.lanes as u64) as usize;
-        local_bases.push(off);
-        off += lb.size_bytes();
-        local_mem.push(match lb.elem {
-            Scalar::F32 => BufferData::F32(vec![0.0; elems]),
-            Scalar::I32 | Scalar::Bool => BufferData::I32(vec![0; elems]),
-            Scalar::I64 => BufferData::I64(vec![0; elems]),
-        });
-    }
-    let global_bases: Vec<u64> = (0..)
-        .map(Buffer)
-        .take_while(|b| (b.0 as usize) < ctx_num_buffers(ctx))
-        .map(|b| ctx.base_addr(b))
-        .collect();
-    let mut g = GroupCtx { f, nd, group_linear, local_mem, local_bases, global_bases };
+    budget: &mut LocalBudget<'_>,
+    scratch: &mut Scratch,
+) -> Result<GroupStats, ExecError> {
+    let f = launch.f;
+    let nd = launch.nd;
 
-    // Spawn work-item states.
-    let (lsx, lsy, lsz) = (nd.local[0], nd.local[1], nd.local[2]);
-    let n_items = (lsx * lsy * lsz) as usize;
-    let mut items: Vec<WorkItem> = Vec::with_capacity(n_items);
-    for lz in 0..lsz {
-        for ly in 0..lsy {
-            for lx in 0..lsx {
-                let mut regs = vec![None; f.num_values()];
-                seed_params(f, args, &mut regs)?;
-                items.push(WorkItem {
-                    regs,
-                    block: f.entry,
-                    inst_idx: 0,
-                    prev_block: None,
-                    done: false,
-                    insts: 0,
-                    lid: [lx, ly, lz],
-                    wg,
-                });
+    // (Re)initialise this group's local memory from the launch template.
+    if scratch.local_mem.len() != launch.local_templ.len() {
+        scratch.local_mem = launch
+            .local_templ
+            .iter()
+            .map(|&(elem, elems)| match elem {
+                Scalar::F32 => BufferData::F32(vec![0.0; elems]),
+                Scalar::I32 | Scalar::Bool => BufferData::I32(vec![0; elems]),
+                Scalar::I64 => BufferData::I64(vec![0; elems]),
+            })
+            .collect();
+    } else {
+        for data in &mut scratch.local_mem {
+            match data {
+                BufferData::F32(v) => v.fill(0.0),
+                BufferData::I32(v) => v.fill(0),
+                BufferData::I64(v) => v.fill(0),
             }
         }
     }
+
+    // (Re)initialise the work-item states. Register files are allocated on
+    // the worker's first group and merely cleared afterwards.
+    let (lsx, lsy, lsz) = (nd.local[0], nd.local[1], nd.local[2]);
+    let n_items = (lsx * lsy * lsz) as usize;
+    if scratch.items.len() != n_items {
+        scratch.items = (0..n_items)
+            .map(|_| WorkItem {
+                regs: vec![None; f.num_values()],
+                block: f.entry,
+                inst_idx: 0,
+                prev_block: None,
+                done: false,
+                insts: 0,
+                lid: [0, 0, 0],
+                wg,
+            })
+            .collect();
+    }
+    let mut i = 0;
+    for lz in 0..lsz {
+        for ly in 0..lsy {
+            for lx in 0..lsx {
+                let wi = &mut scratch.items[i];
+                wi.regs.fill(None);
+                for &(idx, v) in &launch.params {
+                    wi.regs[idx] = Some(v);
+                }
+                wi.block = f.entry;
+                wi.inst_idx = 0;
+                wi.prev_block = None;
+                wi.done = false;
+                wi.insts = 0;
+                wi.lid = [lx, ly, lz];
+                wi.wg = wg;
+                i += 1;
+            }
+        }
+    }
+
+    let Scratch { items, local_mem } = scratch;
+    let mut run = GroupRun {
+        launch,
+        local_mem,
+        group_linear,
+    };
+    let mut stats = GroupStats {
+        items: n_items as u64,
+        ..GroupStats::default()
+    };
 
     // Barrier-synchronised rounds.
     loop {
@@ -271,7 +668,7 @@ fn run_group(
             if wi.done {
                 continue;
             }
-            let stop = run_item(ctx, &mut g, wi, sink, budget)?;
+            let stop = run_item(&mut run, wi, sink, budget)?;
             match stop {
                 Stop::Done => {
                     wi.done = true;
@@ -300,24 +697,26 @@ fn run_group(
         stats.barriers += 1;
         sink.barrier(group_linear, n_items as u32);
     }
-    Ok(n_items as u64)
+    Ok(stats)
 }
 
 fn run_item(
-    ctx: &mut Context,
-    g: &mut GroupCtx<'_>,
+    r: &mut GroupRun<'_, '_>,
     wi: &mut WorkItem,
     sink: &mut dyn TraceSink,
-    budget: &mut u64,
+    budget: &mut LocalBudget<'_>,
 ) -> Result<Stop, ExecError> {
+    let f = r.launch.f;
     loop {
         // Batch-evaluate phis at a block head (parallel-copy semantics).
         if wi.inst_idx == 0 {
-            let insts = &g.f.block(wi.block).insts;
+            let insts = &f.block(wi.block).insts;
             let mut updates: Vec<(ValueId, Val)> = Vec::new();
             let mut n_phis = 0;
             for &iv in insts {
-                let Some(Inst::Phi { incoming }) = g.f.inst(iv) else { break };
+                let Some(Inst::Phi { incoming }) = f.inst(iv) else {
+                    break;
+                };
                 let prev = wi.prev_block.ok_or_else(|| {
                     ExecError::Internal("phi executed with no predecessor".into())
                 })?;
@@ -325,7 +724,7 @@ fn run_item(
                     .iter()
                     .find(|(b, _)| *b == prev)
                     .ok_or_else(|| ExecError::Internal("phi missing incoming edge".into()))?;
-                updates.push((iv, value_of(ctx, g, wi, *v)?));
+                updates.push((iv, value_of(f, wi, *v)?));
                 n_phis += 1;
             }
             for (iv, v) in updates {
@@ -335,17 +734,14 @@ fn run_item(
             wi.insts += n_phis as u64;
         }
 
-        let insts = &g.f.block(wi.block).insts;
+        let insts = &f.block(wi.block).insts;
         if wi.inst_idx >= insts.len() {
             return Err(ExecError::Internal("fell off the end of a block".into()));
         }
         let iv = insts[wi.inst_idx];
-        let inst = g.f.inst(iv).expect("block entries are instructions");
+        let inst = f.inst(iv).expect("block entries are instructions");
         wi.insts += 1;
-        if *budget == 0 {
-            return Err(ExecError::InstructionLimit);
-        }
-        *budget -= 1;
+        budget.spend()?;
 
         match inst {
             Inst::Barrier { .. } => {
@@ -359,8 +755,12 @@ fn run_item(
                 wi.inst_idx = 0;
                 continue;
             }
-            Inst::CondBr { cond, then_blk, else_blk } => {
-                let c = value_of(ctx, g, wi, *cond)?
+            Inst::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = value_of(f, wi, *cond)?
                     .as_bool()
                     .ok_or_else(|| ExecError::TypeMismatch("condbr on non-bool".into()))?;
                 wi.prev_block = Some(wi.block);
@@ -371,7 +771,7 @@ fn run_item(
             _ => {}
         }
 
-        let result = eval_inst(ctx, g, wi, iv, inst, sink)?;
+        let result = eval_inst(r, wi, iv, inst, sink)?;
         if let Some(v) = result {
             wi.regs[iv.index()] = Some(v);
         }
@@ -379,21 +779,17 @@ fn run_item(
     }
 }
 
-fn value_of(
-    ctx: &Context,
-    g: &GroupCtx<'_>,
-    wi: &WorkItem,
-    v: ValueId,
-) -> Result<Val, ExecError> {
-    match &g.f.value(v).def {
+fn value_of(f: &Function, wi: &WorkItem, v: ValueId) -> Result<Val, ExecError> {
+    match &f.value(v).def {
         ValueDef::Const(c) => Ok(match c {
             ConstVal::Bool(b) => Val::Bool(*b),
             ConstVal::I32(x) => Val::I32(*x),
             ConstVal::I64(x) => Val::I64(*x),
             ConstVal::F32Bits(b) => Val::F32(f32::from_bits(*b)),
         }),
-        ValueDef::Param(_) => wi.regs[v.index()]
-            .ok_or_else(|| ExecError::Internal("parameter not seeded".into())),
+        ValueDef::Param(_) => {
+            wi.regs[v.index()].ok_or_else(|| ExecError::Internal("parameter not seeded".into()))
+        }
         ValueDef::LocalBuf(id) => Ok(Val::Ptr(PtrVal {
             space: AddressSpace::Local,
             buf: id.0,
@@ -402,59 +798,55 @@ fn value_of(
         ValueDef::Inst(_) => wi.regs[v.index()]
             .ok_or_else(|| ExecError::Internal(format!("use of unevaluated value v{}", v.0))),
     }
-    .map(|val| {
-        let _ = ctx;
-        val
-    })
 }
 
 #[allow(clippy::too_many_lines)]
 fn eval_inst(
-    ctx: &mut Context,
-    g: &mut GroupCtx<'_>,
+    r: &mut GroupRun<'_, '_>,
     wi: &WorkItem,
     iv: ValueId,
     inst: &Inst,
     sink: &mut dyn TraceSink,
 ) -> Result<Option<Val>, ExecError> {
-    let val = |ctx: &Context, g: &GroupCtx<'_>, v: ValueId| value_of(ctx, g, wi, v);
+    let f = r.launch.f;
+    let val = |v: ValueId| value_of(f, wi, v);
     match inst {
         Inst::Bin { op, lhs, rhs } => {
-            let l = val(ctx, g, *lhs)?;
-            let r = val(ctx, g, *rhs)?;
-            Ok(Some(eval_bin(*op, l, r)?))
+            let l = val(*lhs)?;
+            let rr = val(*rhs)?;
+            Ok(Some(eval_bin(*op, l, rr)?))
         }
         Inst::Cmp { pred, lhs, rhs } => {
-            let l = val(ctx, g, *lhs)?;
-            let r = val(ctx, g, *rhs)?;
-            Ok(Some(eval_cmp(*pred, l, r)?))
+            let l = val(*lhs)?;
+            let rr = val(*rhs)?;
+            Ok(Some(eval_cmp(*pred, l, rr)?))
         }
-        Inst::Select { cond, then_val, else_val } => {
-            let c = val(ctx, g, *cond)?
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            let c = val(*cond)?
                 .as_bool()
                 .ok_or_else(|| ExecError::TypeMismatch("select on non-bool".into()))?;
-            Ok(Some(if c { val(ctx, g, *then_val)? } else { val(ctx, g, *else_val)? }))
+            Ok(Some(if c { val(*then_val)? } else { val(*else_val)? }))
         }
         Inst::Cast { kind, value, to } => {
-            let v = val(ctx, g, *value)?;
+            let v = val(*value)?;
             Ok(Some(eval_cast(*kind, v, *to)?))
         }
         Inst::Call { builtin, args } => {
-            let a: Vec<Val> = args
-                .iter()
-                .map(|&x| val(ctx, g, x))
-                .collect::<Result<_, _>>()?;
-            Ok(Some(eval_call(g, wi, *builtin, &a)?))
+            let a: Vec<Val> = args.iter().map(|&x| val(x)).collect::<Result<_, _>>()?;
+            Ok(Some(eval_call(&r.launch.nd, wi, *builtin, &a)?))
         }
         Inst::Gep { base, index } => {
-            let p = val(ctx, g, *base)?
+            let p = val(*base)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::TypeMismatch("gep base not a pointer".into()))?;
-            let idx = val(ctx, g, *index)?
+            let idx = val(*index)?
                 .as_int()
                 .ok_or_else(|| ExecError::TypeMismatch("gep index not an integer".into()))?;
-            let elem = g
-                .f
+            let elem = f
                 .ty(*base)
                 .pointee()
                 .ok_or_else(|| ExecError::TypeMismatch("gep through non-pointer type".into()))?;
@@ -465,36 +857,40 @@ fn eval_inst(
             })))
         }
         Inst::Load { ptr } => {
-            let p = val(ctx, g, *ptr)?
+            let p = val(*ptr)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::TypeMismatch("load through non-pointer".into()))?;
-            let ty = g.f.ty(iv);
+            let ty = f.ty(iv);
             let lanes = ty.lanes();
-            let v = mem_load(ctx, g, p, lanes)?;
-            emit(sink, g, wi, TraceOp::Load, p, ty.size_bytes() as u32, iv);
+            let v = mem_load(r, p, lanes)?;
+            emit(sink, r, wi, TraceOp::Load, p, ty.size_bytes() as u32, iv);
             Ok(Some(v))
         }
         Inst::Store { ptr, value } => {
-            let p = val(ctx, g, *ptr)?
+            let p = val(*ptr)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::TypeMismatch("store through non-pointer".into()))?;
-            let v = val(ctx, g, *value)?;
-            let bytes = g.f.ty(*value).size_bytes() as u32;
-            mem_store(ctx, g, p, v)?;
-            emit(sink, g, wi, TraceOp::Store, p, bytes, iv);
+            let v = val(*value)?;
+            let bytes = f.ty(*value).size_bytes() as u32;
+            mem_store(r, p, v)?;
+            emit(sink, r, wi, TraceOp::Store, p, bytes, iv);
             Ok(None)
         }
         Inst::ExtractLane { vector, lane } => {
-            let v = val(ctx, g, *vector)?;
-            let i = val(ctx, g, *lane)?.as_int().unwrap_or(0) as usize;
+            let v = val(*vector)?;
+            let i = val(*lane)?.as_int().unwrap_or(0) as usize;
             v.lane(i)
                 .map(Some)
                 .ok_or_else(|| ExecError::TypeMismatch("extractlane out of range".into()))
         }
-        Inst::InsertLane { vector, lane, value } => {
-            let v = val(ctx, g, *vector)?;
-            let i = val(ctx, g, *lane)?.as_int().unwrap_or(0) as usize;
-            let x = val(ctx, g, *value)?;
+        Inst::InsertLane {
+            vector,
+            lane,
+            value,
+        } => {
+            let v = val(*vector)?;
+            let i = val(*lane)?.as_int().unwrap_or(0) as usize;
+            let x = val(*value)?;
             v.with_lane(i, x)
                 .map(Some)
                 .ok_or_else(|| ExecError::TypeMismatch("insertlane mismatch".into()))
@@ -503,27 +899,24 @@ fn eval_inst(
             if lanes.len() > 4 {
                 return Err(ExecError::Unsupported("vectors wider than 4 lanes".into()));
             }
-            let vals: Vec<Val> = lanes
-                .iter()
-                .map(|&x| val(ctx, g, x))
-                .collect::<Result<_, _>>()?;
+            let vals: Vec<Val> = lanes.iter().map(|&x| val(x)).collect::<Result<_, _>>()?;
             let n = vals.len() as u8;
             match vals[0] {
                 Val::F32(_) => {
                     let mut a = [0.0f32; 4];
                     for (i, v) in vals.iter().enumerate() {
-                        a[i] = v.as_f32().ok_or_else(|| {
-                            ExecError::TypeMismatch("mixed vector lanes".into())
-                        })?;
+                        a[i] = v
+                            .as_f32()
+                            .ok_or_else(|| ExecError::TypeMismatch("mixed vector lanes".into()))?;
                     }
                     Ok(Some(Val::VF32(a, n)))
                 }
                 Val::I32(_) => {
                     let mut a = [0i32; 4];
                     for (i, v) in vals.iter().enumerate() {
-                        a[i] = v.as_i32().ok_or_else(|| {
-                            ExecError::TypeMismatch("mixed vector lanes".into())
-                        })?;
+                        a[i] = v
+                            .as_i32()
+                            .ok_or_else(|| ExecError::TypeMismatch("mixed vector lanes".into()))?;
                     }
                     Ok(Some(Val::VI32(a, n)))
                 }
@@ -537,36 +930,21 @@ fn eval_inst(
     }
 }
 
-fn mem_load(ctx: &Context, g: &GroupCtx<'_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
+fn mem_load(r: &GroupRun<'_, '_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
     match p.space {
-        AddressSpace::Global | AddressSpace::Constant => ctx.load(Buffer(p.buf), p.offset, lanes),
-        AddressSpace::Local => local_load(g, p, lanes),
+        AddressSpace::Global | AddressSpace::Constant => r.launch.mem.load(p.buf, p.offset, lanes),
+        AddressSpace::Local => load_from(&r.local_mem[p.buf as usize], p.offset, lanes),
         AddressSpace::Private => Err(ExecError::Unsupported("private memory pointers".into())),
     }
 }
 
-fn mem_store(
-    ctx: &mut Context,
-    g: &mut GroupCtx<'_>,
-    p: PtrVal,
-    v: Val,
-) -> Result<(), ExecError> {
+fn mem_store(r: &mut GroupRun<'_, '_>, p: PtrVal, v: Val) -> Result<(), ExecError> {
     match p.space {
-        AddressSpace::Global => ctx.store(Buffer(p.buf), p.offset, v),
+        AddressSpace::Global => r.launch.mem.store(p.buf, p.offset, v),
         AddressSpace::Constant => Err(ExecError::TypeMismatch("store to __constant".into())),
-        AddressSpace::Local => local_store(g, p, v),
+        AddressSpace::Local => store_to(&mut r.local_mem[p.buf as usize], p.offset, v),
         AddressSpace::Private => Err(ExecError::Unsupported("private memory pointers".into())),
     }
-}
-
-fn local_load(g: &GroupCtx<'_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
-    let data = &g.local_mem[p.buf as usize];
-    load_from(data, p.offset, lanes)
-}
-
-fn local_store(g: &mut GroupCtx<'_>, p: PtrVal, v: Val) -> Result<(), ExecError> {
-    let data = &mut g.local_mem[p.buf as usize];
-    store_to(data, p.offset, v)
 }
 
 fn load_from(data: &BufferData, offset: i64, lanes: u8) -> Result<Val, ExecError> {
@@ -577,7 +955,11 @@ fn load_from(data: &BufferData, offset: i64, lanes: u8) -> Result<Val, ExecError
     let idx = (offset / esz) as usize;
     let n = lanes as usize;
     if idx + n > data.len() {
-        return Err(ExecError::OutOfBounds { buffer: u32::MAX, index: idx + n - 1, len: data.len() });
+        return Err(ExecError::OutOfBounds {
+            buffer: u32::MAX,
+            index: idx + n - 1,
+            len: data.len(),
+        });
     }
     Ok(match data {
         BufferData::F32(v) => {
@@ -610,7 +992,11 @@ fn store_to(data: &mut BufferData, offset: i64, v: Val) -> Result<(), ExecError>
     let idx = (offset / esz) as usize;
     let n = v.lanes() as usize;
     if idx + n > data.len() {
-        return Err(ExecError::OutOfBounds { buffer: u32::MAX, index: idx + n - 1, len: data.len() });
+        return Err(ExecError::OutOfBounds {
+            buffer: u32::MAX,
+            index: idx + n - 1,
+            len: data.len(),
+        });
     }
     match (data, v) {
         (BufferData::F32(d), Val::F32(x)) => d[idx] = x,
@@ -630,7 +1016,7 @@ fn store_to(data: &mut BufferData, offset: i64, v: Val) -> Result<(), ExecError>
 
 fn emit(
     sink: &mut dyn TraceSink,
-    g: &GroupCtx<'_>,
+    r: &GroupRun<'_, '_>,
     wi: &WorkItem,
     op: TraceOp,
     p: PtrVal,
@@ -638,14 +1024,13 @@ fn emit(
     pc: ValueId,
 ) {
     let addr = match p.space {
-        AddressSpace::Local => g.local_bases[p.buf as usize].wrapping_add(p.offset as u64),
+        AddressSpace::Local => r.launch.local_bases[p.buf as usize].wrapping_add(p.offset as u64),
         _ => {
             // Device-wide address: buffer base + offset.
-            let base = gbase(g, p.buf);
-            base.wrapping_add(p.offset as u64)
+            r.launch.mem.base(p.buf).wrapping_add(p.offset as u64)
         }
     };
-    let nd = &g.nd;
+    let nd = &r.launch.nd;
     let local_linear =
         (wi.lid[2] * nd.local[1] * nd.local[0] + wi.lid[1] * nd.local[0] + wi.lid[0]) as u32;
     sink.access(&AccessEvent {
@@ -653,18 +1038,10 @@ fn emit(
         space: p.space,
         addr,
         bytes,
-        group: g.group_linear,
+        group: r.group_linear,
         local: local_linear,
         pc: pc.0,
     });
-}
-
-fn gbase(g: &GroupCtx<'_>, buf: u32) -> u64 {
-    g.global_bases.get(buf as usize).copied().unwrap_or(0)
-}
-
-fn ctx_num_buffers(ctx: &Context) -> usize {
-    ctx.num_buffers()
 }
 
 fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
@@ -690,9 +1067,9 @@ fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
                     }
                     _ => return Err(ExecError::Unsupported("vector bin kind".into())),
                 },
-                Some(acc) => acc.with_lane(i, x).ok_or_else(|| {
-                    ExecError::TypeMismatch("vector lane mismatch".into())
-                })?,
+                Some(acc) => acc
+                    .with_lane(i, x)
+                    .ok_or_else(|| ExecError::TypeMismatch("vector lane mismatch".into()))?,
             });
         }
         return Ok(out.unwrap());
@@ -769,7 +1146,11 @@ fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
                 Xor => a ^ b,
                 _ => unreachable!(),
             };
-            Ok(if wide { Val::I64(v) } else { Val::I32(v as i32) })
+            Ok(if wide {
+                Val::I64(v)
+            } else {
+                Val::I32(v as i32)
+            })
         }
     }
 }
@@ -835,28 +1216,22 @@ fn eval_cast(kind: CastKind, v: Val, to: Type) -> Result<Val, ExecError> {
         (FpToSi, Val::F32(x), Scalar::I64) => Val::I64(x as i64),
         (Bitcast, Val::I32(x), Scalar::F32) => Val::F32(f32::from_bits(x as u32)),
         (Bitcast, Val::F32(x), Scalar::I32) => Val::I32(x.to_bits() as i32),
-        (k, v, t) => {
-            return Err(ExecError::Unsupported(format!("cast {k:?} {v:?} -> {t:?}")))
-        }
+        (k, v, t) => return Err(ExecError::Unsupported(format!("cast {k:?} {v:?} -> {t:?}"))),
     })
 }
 
-fn eval_call(
-    g: &GroupCtx<'_>,
-    wi: &WorkItem,
-    b: Builtin,
-    args: &[Val],
-) -> Result<Val, ExecError> {
+fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Val, ExecError> {
     use Builtin::*;
     if b.is_workitem_query() {
         let d = args[0]
             .as_int()
             .ok_or_else(|| ExecError::TypeMismatch("query dim not integer".into()))?;
         if !(0..3).contains(&d) {
-            return Err(ExecError::TypeMismatch(format!("query dim {d} out of range")));
+            return Err(ExecError::TypeMismatch(format!(
+                "query dim {d} out of range"
+            )));
         }
         let d = d as usize;
-        let nd = &g.nd;
         let v = match b {
             LocalId => wi.lid[d],
             GroupId => wi.wg[d],
@@ -878,7 +1253,7 @@ fn eval_call(
         let mut out = args[0];
         for i in 0..n as usize {
             let la: Vec<Val> = args.iter().map(|a| a.lane(i).unwrap()).collect();
-            let x = eval_call(g, wi, b, &la)?;
+            let x = eval_call(nd, wi, b, &la)?;
             out = out
                 .with_lane(i, x)
                 .ok_or_else(|| ExecError::TypeMismatch("vector math lanes".into()))?;
@@ -895,8 +1270,12 @@ fn eval_call(
         Mad => Val::F32(f1(args[0])? * f1(args[1])? + f1(args[2])?),
         IMin | IMax => {
             let (a, bb) = (
-                args[0].as_int().ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
-                args[1].as_int().ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
+                args[0]
+                    .as_int()
+                    .ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
+                args[1]
+                    .as_int()
+                    .ok_or_else(|| ExecError::TypeMismatch("min on non-int".into()))?,
             );
             let v = if b == IMin { a.min(bb) } else { a.max(bb) };
             match args[0] {
@@ -926,26 +1305,4 @@ fn eval_call(
         }
         _ => return Err(ExecError::Unsupported(format!("builtin {}", b.name()))),
     })
-}
-
-/// Seed a work item's registers with its parameter values.
-pub(crate) fn seed_params(
-    f: &Function,
-    args: &[ArgValue],
-    regs: &mut [Option<Val>],
-) -> Result<(), ExecError> {
-    for (i, _) in f.params().iter().enumerate() {
-        let pv = f.param_value(i);
-        let v = match (f.ty(pv), args[i]) {
-            (Type::Ptr { space, .. }, ArgValue::Buffer(b)) => {
-                Val::Ptr(PtrVal { space, buf: b.0, offset: 0 })
-            }
-            (_, ArgValue::I32(x)) => Val::I32(x),
-            (_, ArgValue::I64(x)) => Val::I64(x),
-            (_, ArgValue::F32(x)) => Val::F32(x),
-            _ => return Err(ExecError::TypeMismatch("param seed".into())),
-        };
-        regs[pv.index()] = Some(v);
-    }
-    Ok(())
 }

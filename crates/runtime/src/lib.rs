@@ -9,6 +9,9 @@
 //! * [`enqueue`] launches a kernel over an [`NdRange`] with full work-group
 //!   semantics: work-items of a group execute serially between barriers and
 //!   rendezvous at each [`grover_ir::value::Inst::Barrier`].
+//! * [`enqueue_with_policy`] additionally chooses a work-group schedule
+//!   ([`ExecPolicy`]): serial, or partitioned across a pool of worker
+//!   threads with deterministic (group-linear) trace replay.
 //! * Every memory access streams an [`AccessEvent`] into a [`TraceSink`];
 //!   the device simulator (`grover-devsim`) replays these events against
 //!   cache/scratch-pad models to estimate per-device performance.
@@ -45,7 +48,9 @@ pub mod trace;
 pub mod val;
 
 pub use buffer::{Buffer, BufferData, Context};
-pub use interp::{enqueue, ArgValue, LaunchStats, Limits, NdRange};
+pub use interp::{
+    enqueue, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange,
+};
 pub use trace::{AccessEvent, CountingSink, NullSink, TraceOp, TraceSink, VecSink};
 pub use val::{PtrVal, Val};
 
@@ -95,7 +100,10 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::TypeMismatch(s) => write!(f, "type mismatch: {s}"),
             ExecError::OutOfBounds { buffer, index, len } => {
-                write!(f, "out-of-bounds access: buffer {buffer}, element {index}, length {len}")
+                write!(
+                    f,
+                    "out-of-bounds access: buffer {buffer}, element {index}, length {len}"
+                )
             }
             ExecError::BadAddress(a) => write!(f, "misaligned or negative address {a}"),
             ExecError::DivisionByZero => f.write_str("integer division by zero"),

@@ -15,7 +15,7 @@ pub enum TraceOp {
 }
 
 /// One memory access.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AccessEvent {
     /// Load or store.
     pub op: TraceOp,
@@ -60,6 +60,14 @@ pub trait TraceSink {
     fn workgroup_done(&mut self, group: u32) {
         let _ = group;
     }
+
+    /// Whether this sink actually consumes [`AccessEvent`]s. The parallel
+    /// launch engine buffers each group's events so it can replay them in
+    /// group order; a sink that ignores accesses (e.g. [`NullSink`]) returns
+    /// `false` here and skips that buffering entirely.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// Discards everything (functional runs).
@@ -68,6 +76,10 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn access(&mut self, _ev: &AccessEvent) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// Counts accesses by space and op; cheap sanity-level statistics.
@@ -142,7 +154,15 @@ mod tests {
     use super::*;
 
     fn ev(space: AddressSpace, op: TraceOp, bytes: u32) -> AccessEvent {
-        AccessEvent { op, space, addr: 0, bytes, group: 0, local: 0, pc: 0 }
+        AccessEvent {
+            op,
+            space,
+            addr: 0,
+            bytes,
+            group: 0,
+            local: 0,
+            pc: 0,
+        }
     }
 
     #[test]

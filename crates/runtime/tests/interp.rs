@@ -4,8 +4,8 @@
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::Function;
 use grover_runtime::{
-    enqueue, ArgValue, Context, CountingSink, ExecError, Limits, NdRange, NullSink, TraceOp,
-    VecSink,
+    enqueue, enqueue_with_policy, ArgValue, Context, CountingSink, ExecError, ExecPolicy, Limits,
+    NdRange, NullSink, TraceOp, VecSink,
 };
 
 fn kernel(src: &str) -> Function {
@@ -110,7 +110,12 @@ fn matrix_multiply_matches_reference() {
     enqueue(
         &mut ctx,
         &k,
-        &[ArgValue::Buffer(ba), ArgValue::Buffer(bb), ArgValue::Buffer(bc), ArgValue::I32(n as i32)],
+        &[
+            ArgValue::Buffer(ba),
+            ArgValue::Buffer(bb),
+            ArgValue::Buffer(bc),
+            ArgValue::I32(n as i32),
+        ],
         &NdRange::d2(n as u64, n as u64, 4, 4),
         &mut NullSink,
         &Limits::default(),
@@ -142,7 +147,10 @@ fn float4_vector_kernel() {
         &Limits::default(),
     )
     .unwrap();
-    assert_eq!(ctx.read_f32(b), &[2.0, 4.0, 7.0, 8.0, 10.0, 12.0, 15.0, 16.0]);
+    assert_eq!(
+        ctx.read_f32(b),
+        &[2.0, 4.0, 7.0, 8.0, 10.0, 12.0, 15.0, 16.0]
+    );
 }
 
 #[test]
@@ -199,7 +207,11 @@ fn trace_addresses_are_buffer_relative() {
         &Limits::default(),
     )
     .unwrap();
-    let loads: Vec<_> = sink.events.iter().filter(|e| e.op == TraceOp::Load).collect();
+    let loads: Vec<_> = sink
+        .events
+        .iter()
+        .filter(|e| e.op == TraceOp::Load)
+        .collect();
     assert_eq!(loads.len(), 4);
     let mut addrs: Vec<u64> = loads.iter().map(|e| e.addr).collect();
     addrs.sort_unstable();
@@ -270,7 +282,9 @@ fn instruction_limit_enforced() {
         &[ArgValue::Buffer(a)],
         &NdRange::d1(1, 1),
         &mut NullSink,
-        &Limits { max_instructions: 10_000 },
+        &Limits {
+            max_instructions: 10_000,
+        },
     )
     .unwrap_err();
     assert_eq!(err, ExecError::InstructionLimit);
@@ -284,7 +298,14 @@ fn arg_validation() {
     let ib = ctx.zeros_i32(1);
     // wrong count
     assert!(matches!(
-        enqueue(&mut ctx, &k, &[ArgValue::Buffer(a)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default()),
+        enqueue(
+            &mut ctx,
+            &k,
+            &[ArgValue::Buffer(a)],
+            &NdRange::d1(1, 1),
+            &mut NullSink,
+            &Limits::default()
+        ),
         Err(ExecError::ArgCount { .. })
     ));
     // wrong buffer kind
@@ -413,7 +434,10 @@ fn builtins_work() {
         &Limits::default(),
     )
     .unwrap();
-    assert_eq!(ctx.read_f32(out), &[4.0, 3.0, 1.0, 2.0, 10.0, 0.5, 3.0, 5.0]);
+    assert_eq!(
+        ctx.read_f32(out),
+        &[4.0, 3.0, 1.0, 2.0, 10.0, 0.5, 3.0, 5.0]
+    );
 }
 
 #[test]
@@ -431,4 +455,60 @@ fn division_by_zero_reported() {
     )
     .unwrap_err();
     assert_eq!(err, ExecError::DivisionByZero);
+}
+
+#[test]
+fn parallel_instruction_limit_enforced() {
+    // An infinite loop in one work-item must still trip the shared budget
+    // under the parallel schedule (the pool is chunked per worker, so the
+    // launch stops within workers * chunk of the limit).
+    let k = kernel(
+        "__kernel void spin(__global int* a) {
+             int x = 0;
+             while (a[0] == 0) { x = x + 1; }
+             a[1] = x;
+         }",
+    );
+    let mut ctx = Context::new();
+    let a = ctx.zeros_i32(2);
+    let err = enqueue_with_policy(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a)],
+        &NdRange::d1(4, 1),
+        &mut NullSink,
+        &Limits {
+            max_instructions: 10_000,
+        },
+        ExecPolicy::Parallel { threads: 2 },
+    )
+    .unwrap_err();
+    assert_eq!(err, ExecError::InstructionLimit);
+}
+
+#[test]
+fn parallel_error_reports_first_failing_group() {
+    // Group 2 (and only group 2) divides by zero; whatever the schedule,
+    // the reported error must be that group's — the serial answer.
+    let k = kernel(
+        "__kernel void f(__global int* a) {
+             int w = get_group_id(0);
+             a[w] = 100 / (2 - w);
+         }",
+    );
+    let mut ctx = Context::new();
+    let a = ctx.zeros_i32(8);
+    let err = enqueue_with_policy(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a)],
+        &NdRange::d1(8, 1),
+        &mut NullSink,
+        &Limits::default(),
+        ExecPolicy::Parallel { threads: 4 },
+    )
+    .unwrap_err();
+    assert_eq!(err, ExecError::DivisionByZero);
+    // Groups 0 and 1 precede the failing group and must have completed.
+    assert_eq!(&ctx.read_i32(a)[..2], &[50, 100]);
 }

@@ -27,8 +27,15 @@ fn unsigned_comparison_and_shift() {
     );
     let mut ctx = Context::new();
     let a = ctx.zeros_i32(4);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(a)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a)],
+        &NdRange::d1(1, 1),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_i32(a), &[1, 0, 1, -1]);
 }
 
@@ -131,8 +138,15 @@ fn workitem_shape_queries() {
     );
     let mut ctx = Context::new();
     let out = ctx.zeros_i32(5);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(out)], &NdRange::d1(24, 8), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(out)],
+        &NdRange::d1(24, 8),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_i32(out), &[8, 24, 3, 1, 1]);
 }
 
@@ -148,8 +162,15 @@ fn vector_scalar_mixed_arithmetic() {
     let mut ctx = Context::new();
     let a = ctx.buffer_f32(&[1.0, 2.0, 3.0, 4.0]);
     let b = ctx.zeros_f32(4);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(a), ArgValue::Buffer(b)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a), ArgValue::Buffer(b)],
+        &NdRange::d1(1, 1),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_f32(b), &[4.0, 9.0, 14.0, 19.0]);
 }
 
@@ -168,8 +189,15 @@ fn swizzle_all_lanes() {
     let mut ctx = Context::new();
     let a = ctx.buffer_f32(&[10.0, 20.0, 30.0, 40.0]);
     let out = ctx.zeros_f32(5);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(a), ArgValue::Buffer(out)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a), ArgValue::Buffer(out)],
+        &NdRange::d1(1, 1),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_f32(out), &[10.0, 20.0, 30.0, 40.0, 50.0]);
 }
 
@@ -187,7 +215,11 @@ fn dot_builtin() {
     enqueue(
         &mut ctx,
         &k,
-        &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(out)],
+        &[
+            ArgValue::Buffer(a),
+            ArgValue::Buffer(b),
+            ArgValue::Buffer(out),
+        ],
         &NdRange::d1(1, 1),
         &mut NullSink,
         &Limits::default(),
@@ -207,8 +239,15 @@ fn modulo_and_negative_numbers() {
     );
     let mut ctx = Context::new();
     let a = ctx.zeros_i32(3);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(a)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a)],
+        &NdRange::d1(1, 1),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_i32(a), &[-1, 1, -3]);
 }
 
@@ -256,7 +295,14 @@ fn do_while_and_break_continue_semantics() {
     );
     let mut ctx = Context::new();
     let a = ctx.zeros_i32(3);
-    enqueue(&mut ctx, &k, &[ArgValue::Buffer(a)], &NdRange::d1(1, 1), &mut NullSink, &Limits::default())
-        .unwrap();
+    enqueue(
+        &mut ctx,
+        &k,
+        &[ArgValue::Buffer(a)],
+        &NdRange::d1(1, 1),
+        &mut NullSink,
+        &Limits::default(),
+    )
+    .unwrap();
     assert_eq!(ctx.read_i32(a), &[20, 5, -1]);
 }

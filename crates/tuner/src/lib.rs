@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use grover_core::{Grover, GroverReport};
 use grover_devsim::Device;
 use grover_ir::Function;
-use grover_runtime::{enqueue, ArgValue, Context, Limits, NdRange};
+use grover_runtime::{enqueue_with_policy, ArgValue, Context, ExecPolicy, Limits, NdRange};
 
 /// Which kernel version won.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,7 +88,9 @@ pub struct Workload {
 impl Workload {
     /// Wrap a workload factory.
     pub fn new(make: impl Fn() -> (Context, Vec<ArgValue>, NdRange) + 'static) -> Workload {
-        Workload { make: Box::new(make) }
+        Workload {
+            make: Box::new(make),
+        }
     }
 
     fn instantiate(&self) -> (Context, Vec<ArgValue>, NdRange) {
@@ -122,10 +124,18 @@ impl std::fmt::Display for TuneError {
 impl std::error::Error for TuneError {}
 
 /// The auto-tuner. Decisions are cached per `(kernel name, device)`.
+///
+/// The two kernel versions of one tuning run are *raced on two scoped
+/// threads*: each measurement owns its device model, context and trace, so
+/// they are independent and the measured cycle counts are identical to a
+/// back-to-back run. `policy` additionally selects the work-group schedule
+/// used inside each measurement.
 #[derive(Default)]
 pub struct Tuner {
     /// Similarity threshold (paper uses 5 %).
     pub threshold: f64,
+    /// Work-group schedule used for the measurement launches.
+    pub policy: ExecPolicy,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<String, Function>,
 }
@@ -133,7 +143,20 @@ pub struct Tuner {
 impl Tuner {
     /// A tuner with the paper's 5 % similarity threshold.
     pub fn new() -> Tuner {
-        Tuner { threshold: 0.05, cache: HashMap::new(), transformed: HashMap::new() }
+        Tuner {
+            threshold: 0.05,
+            policy: ExecPolicy::Serial,
+            cache: HashMap::new(),
+            transformed: HashMap::new(),
+        }
+    }
+
+    /// A tuner measuring under an explicit work-group schedule.
+    pub fn with_policy(policy: ExecPolicy) -> Tuner {
+        Tuner {
+            policy,
+            ..Tuner::new()
+        }
     }
 
     /// Number of cached decisions.
@@ -155,8 +178,20 @@ impl Tuner {
         }
         let (transformed, report) = self.transform(kernel)?;
 
-        let cycles_with = simulate(kernel, device, workload)?;
-        let cycles_without = simulate(&transformed, device, workload)?;
+        // Race the two versions on two scoped threads. The workloads are
+        // instantiated up front on this thread (the factory need not be
+        // `Sync`); each measurement then runs fully independently.
+        let w_with = workload.instantiate();
+        let w_without = workload.instantiate();
+        let policy = self.policy;
+        let transformed_ref = &transformed;
+        let (cycles_with, cycles_without) = std::thread::scope(|s| {
+            let with = s.spawn(move || simulate(kernel, device, w_with, policy));
+            let without = simulate(transformed_ref, device, w_without, policy);
+            (with.join().expect("tuner race thread panicked"), without)
+        });
+        let cycles_with = cycles_with?;
+        let cycles_without = cycles_without?;
         let np = cycles_with as f64 / cycles_without.max(1) as f64;
         let choice = if np > 1.0 + self.threshold {
             Choice::WithoutLocalMemory
@@ -222,17 +257,31 @@ impl Tuner {
             return Err(TuneError::NothingToDisable(report.to_text()));
         }
         grover_ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut transformed, 8);
-        self.transformed.insert(kernel.name.clone(), transformed.clone());
+        self.transformed
+            .insert(kernel.name.clone(), transformed.clone());
         Ok((transformed, report))
     }
 }
 
-fn simulate(kernel: &Function, device: &str, workload: &Workload) -> Result<u64, TuneError> {
+fn simulate(
+    kernel: &Function,
+    device: &str,
+    workload: (Context, Vec<ArgValue>, NdRange),
+    policy: ExecPolicy,
+) -> Result<u64, TuneError> {
     let mut dev =
         Device::by_name(device).ok_or_else(|| TuneError::UnknownDevice(device.to_string()))?;
-    let (mut ctx, args, nd) = workload.instantiate();
-    enqueue(&mut ctx, kernel, &args, &nd, &mut dev, &Limits::default())
-        .map_err(|e| TuneError::Execution(e.to_string()))?;
+    let (mut ctx, args, nd) = workload;
+    enqueue_with_policy(
+        &mut ctx,
+        kernel,
+        &args,
+        &nd,
+        &mut dev,
+        &Limits::default(),
+        policy,
+    )
+    .map_err(|e| TuneError::Execution(e.to_string()))?;
     Ok(dev.finish().cycles)
 }
 
@@ -263,7 +312,11 @@ mod tests {
             let mut ctx = Context::new();
             let a = ctx.buffer_f32(&vec![1.0; 256]);
             let b = ctx.zeros_f32(256);
-            (ctx, vec![ArgValue::Buffer(a), ArgValue::Buffer(b)], NdRange::d1(256, 16))
+            (
+                ctx,
+                vec![ArgValue::Buffer(a), ArgValue::Buffer(b)],
+                NdRange::d1(256, 16),
+            )
         })
     }
 
@@ -320,7 +373,10 @@ mod tests {
             (ctx, vec![ArgValue::Buffer(a)], NdRange::d1(1, 1))
         });
         let mut t = Tuner::new();
-        assert!(matches!(t.tune(&k, "SNB", &w), Err(TuneError::NothingToDisable(_))));
+        assert!(matches!(
+            t.tune(&k, "SNB", &w),
+            Err(TuneError::NothingToDisable(_))
+        ));
     }
 
     #[test]
@@ -328,7 +384,10 @@ mod tests {
         let k = staged_kernel();
         let w = workload();
         let mut t = Tuner::new();
-        assert!(matches!(t.tune(&k, "TPU", &w), Err(TuneError::UnknownDevice(_))));
+        assert!(matches!(
+            t.tune(&k, "TPU", &w),
+            Err(TuneError::UnknownDevice(_))
+        ));
     }
 
     #[test]

@@ -35,16 +35,22 @@ fn main() {
         let b = ctx.zeros_f32(n * n);
         (
             ctx,
-            vec![ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::I32(n as i32)],
+            vec![
+                ArgValue::Buffer(a),
+                ArgValue::Buffer(b),
+                ArgValue::I32(n as i32),
+            ],
             NdRange::d2(n as u64, n as u64, 16, 16),
         )
     });
 
     let mut tuner = Tuner::new();
     println!("tuning `mt` across platforms:\n");
-    for (device, result) in
-        tuner.tune_all(kernel, &["Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"], &workload)
-    {
+    for (device, result) in tuner.tune_all(
+        kernel,
+        &["Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"],
+        &workload,
+    ) {
         match result {
             Ok(d) => {
                 let verdict = match d.choice {

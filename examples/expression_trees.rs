@@ -33,7 +33,10 @@ fn main() {
     println!("detected the staging pattern:");
     println!("  GL = v{} (global load)", pattern.gl.0);
     println!("  LS = v{} (local store)", pattern.ls.0);
-    println!("  LL = {:?} (local loads)\n", pattern.lls.iter().map(|v| v.0).collect::<Vec<_>>());
+    println!(
+        "  LL = {:?} (local loads)\n",
+        pattern.lls.iter().map(|v| v.0).collect::<Vec<_>>()
+    );
 
     // S1 — index expression trees (paper Fig. 4).
     let ls_tree = ExprTree::build(f, pattern.ls_index);
@@ -43,11 +46,18 @@ fn main() {
     println!("  as affine form: {ls_flat}");
     let dims = f.local_buf(pattern.buf).dims.clone();
     let ls_dims = split_dims(&ls_flat, &dims).expect("splits along [16][16]");
-    println!("  split along the tile dims: ({}, {})\n", ls_dims[0], ls_dims[1]);
+    println!(
+        "  split along the tile dims: ({}, {})\n",
+        ls_dims[0], ls_dims[1]
+    );
 
     let ll = pattern.lls[0];
-    let Some(Inst::Load { ptr }) = f.inst(ll) else { unreachable!() };
-    let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else { unreachable!() };
+    let Some(Inst::Load { ptr }) = f.inst(ll) else {
+        unreachable!()
+    };
+    let Some(Inst::Gep { index, .. }) = f.inst(*ptr) else {
+        unreachable!()
+    };
     let ll_tree = ExprTree::build(f, *index);
     println!("LL index expression tree:");
     println!("  {}", ll_tree.display_root(f));
@@ -56,15 +66,22 @@ fn main() {
 
     // S2 — create and solve the linear system (paper Eq. 3).
     let solution = solve(&ls_dims, &ll_dims).expect("unique solution");
-    println!("linear system solution (paper §III-C): {}", solution.display());
+    println!(
+        "linear system solution (paper §III-C): {}",
+        solution.display()
+    );
 
     // S3 — the GL tree whose leaves get substituted (paper Fig. 5).
-    let Some(Inst::Load { ptr }) = f.inst(pattern.gl) else { unreachable!() };
+    let Some(Inst::Load { ptr }) = f.inst(pattern.gl) else {
+        unreachable!()
+    };
     let gl_tree = ExprTree::build(f, *ptr);
     println!("\nGL pointer expression tree (paper Fig. 5a):");
     println!("  {}", gl_tree.display_root(f));
     println!("\nafter substituting the solution, the new global load (Fig. 5b) reads:");
-    println!("  in[((wy*16 + lx) * w) + (wx*16 + ly)]   (see `grover transform` for the real output)");
+    println!(
+        "  in[((wy*16 + lx) * w) + (wx*16 + ly)]   (see `grover transform` for the real output)"
+    );
 
     // Sanity: a local access pattern still marks this kernel as staged.
     assert_eq!(solution.display(), "(lx, ly) = (ly, lx)");

@@ -16,7 +16,10 @@ fn main() {
     let app = app_by_id("NVD-MT").expect("bundled benchmark");
     let pair = prepare_pair(&app, Scale::Test).expect("transformable");
 
-    println!("auto-tuning {} across all six devices of the paper\n", app.id);
+    println!(
+        "auto-tuning {} across all six devices of the paper\n",
+        app.id
+    );
     println!(
         "{:<9} {:>14} {:>14} {:>8}   chosen version",
         "device", "with-LM (cyc)", "no-LM (cyc)", "np"

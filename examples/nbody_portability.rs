@@ -8,8 +8,8 @@
 //! cargo run --release --example nbody_portability
 //! ```
 
-use grover::devsim::{CpuModel, GpuModel};
 use grover::devsim::profiles::{fermi, snb};
+use grover::devsim::{CpuModel, GpuModel};
 use grover::kernels::{app_by_id, prepare_pair, run_prepared, Scale};
 use grover::runtime::CountingSink;
 
@@ -20,7 +20,10 @@ fn main() {
     println!("{}\n", pair.report.to_text());
 
     // Raw operation counts first.
-    for (name, kernel) in [("with local memory", &pair.original), ("without", &pair.transformed)] {
+    for (name, kernel) in [
+        ("with local memory", &pair.original),
+        ("without", &pair.transformed),
+    ] {
         let mut counts = CountingSink::default();
         run_prepared(kernel, (app.prepare)(Scale::Test), &mut counts).unwrap();
         println!(
@@ -31,7 +34,10 @@ fn main() {
 
     // GPU: staging pays because the tile is served from the on-chip SPM.
     println!("\n--- Fermi (GPU) ---");
-    for (name, kernel) in [("with local memory", &pair.original), ("without", &pair.transformed)] {
+    for (name, kernel) in [
+        ("with local memory", &pair.original),
+        ("without", &pair.transformed),
+    ] {
         let mut gpu = GpuModel::new(fermi());
         run_prepared(kernel, (app.prepare)(Scale::Test), &mut gpu).unwrap();
         let r = gpu.finish();
@@ -45,7 +51,10 @@ fn main() {
 
     // CPU: the tile would have been in cache anyway; staging is overhead.
     println!("\n--- SNB (CPU) ---");
-    for (name, kernel) in [("with local memory", &pair.original), ("without", &pair.transformed)] {
+    for (name, kernel) in [
+        ("with local memory", &pair.original),
+        ("without", &pair.transformed),
+    ] {
         let mut cpu = CpuModel::new(snb());
         run_prepared(kernel, (app.prepare)(Scale::Test), &mut cpu).unwrap();
         let r = cpu.finish();

@@ -51,7 +51,11 @@ fn main() {
         enqueue(
             &mut ctx,
             kernel,
-            &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+            &[
+                ArgValue::Buffer(bi),
+                ArgValue::Buffer(bo),
+                ArgValue::I32(n as i32),
+            ],
             &NdRange::d2(n as u64, n as u64, 16, 16),
             &mut NullSink,
             &Limits::default(),

@@ -19,7 +19,10 @@ use grover::runtime::NdRange;
 fn main() {
     let app = app_by_id("PAB-ST").expect("bundled benchmark");
     println!("PAB-ST on SNB, sweeping the work-group tile size\n");
-    println!("{:<6} {:>14} {:>14} {:>8}", "tile", "with-LM (cyc)", "no-LM (cyc)", "np");
+    println!(
+        "{:<6} {:>14} {:>14} {:>8}",
+        "tile", "with-LM (cyc)", "no-LM (cyc)", "np"
+    );
 
     for tile in [4u64, 8, 16] {
         // Recompile with the tile size baked in (the OpenCL -D route).
@@ -53,7 +56,10 @@ fn main() {
 
         let with_lm = relaunch(&original);
         let without = relaunch(&transformed);
-        println!("{tile:<6} {with_lm:>14} {without:>14} {:>8.3}", with_lm as f64 / without as f64);
+        println!(
+            "{tile:<6} {with_lm:>14} {without:>14} {:>8.3}",
+            with_lm as f64 / without as f64
+        );
     }
 
     println!("\nSmaller tiles mean more barriers per element (staging overhead up);");

@@ -11,7 +11,12 @@ fn all_eleven_apps_transform_and_validate() {
     // and "each benchmark still runs correctly".
     for app in all_apps() {
         let pair = validate_app(&app, Scale::Test).unwrap_or_else(|e| panic!("{e}"));
-        assert!(pair.report.all_removed(), "{}: {}", app.id, pair.report.to_text());
+        assert!(
+            pair.report.all_removed(),
+            "{}: {}",
+            app.id,
+            pair.report.to_text()
+        );
     }
 }
 
@@ -49,7 +54,10 @@ fn loop_counter_solutions_reference_the_phi() {
         let pair = prepare_pair(&app, Scale::Test).unwrap();
         let sol = &pair.report.buffers[0].solutions[0];
         assert!(sol.starts_with("(lx) = "), "{id}: {sol}");
-        assert!(!sol.contains("= (lx)"), "{id}: solution should not be the identity: {sol}");
+        assert!(
+            !sol.contains("= (lx)"),
+            "{id}: solution should not be the identity: {sol}"
+        );
     }
 }
 
@@ -155,7 +163,7 @@ fn partial_variants_keep_the_other_buffer() {
             .iter()
             .find(|l| l.name == kept)
             .unwrap_or_else(|| panic!("{id}: buffer {kept} missing"));
-        assert!(lb.len() > 0, "{id}: {kept} should remain allocated");
+        assert!(!lb.is_empty(), "{id}: {kept} should remain allocated");
         assert!(pair.transformed.local_mem_bytes() > 0, "{id}");
     }
     let app = app_by_id("NVD-MM-AB").unwrap();

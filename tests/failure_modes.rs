@@ -210,7 +210,10 @@ fn mixed_kernel_partial_success() {
     );
     let report = Grover::new().run_on(&mut f);
     assert_eq!(report.removed_count(), 1, "{}", report.to_text());
-    assert!(matches!(report.buffers[1].outcome, BufferOutcome::NotCandidate(_)));
+    assert!(matches!(
+        report.buffers[1].outcome,
+        BufferOutcome::NotCandidate(_)
+    ));
     assert!(f.local_mem_bytes() > 0);
     // Verify it still runs correctly.
     grover::ir::verify(&f).unwrap();

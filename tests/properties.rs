@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) over the core machinery:
+//! Property-style tests over the core machinery, driven by a deterministic
+//! in-repo generator (no external PRNG/proptest dependency — the build must
+//! stay hermetic):
 //!
 //! * exact rational arithmetic obeys field axioms,
 //! * affine algebra is a faithful homomorphism under evaluation,
@@ -7,57 +9,73 @@
 //! * the optimisation pipeline (GVN/LICM/fold) preserves kernel results,
 //! * the cache model satisfies counting and inclusion-style invariants.
 
-use proptest::prelude::*;
-
 use grover::devsim::{Cache, CacheConfig};
 use grover::frontend::{compile, BuildOptions};
 use grover::pass::{solve, Affine, Atom, Grover, Rational};
 use grover::runtime::{enqueue, ArgValue, Context, Limits, NdRange, NullSink};
 
-// ---------------- rationals ----------------
+/// SplitMix64: a tiny deterministic case generator.
+struct Gen(u64);
 
-fn rational() -> impl Strategy<Value = Rational> {
-    (-1000i64..1000, 1i64..100).prop_map(|(n, d)| Rational::new(n, d))
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn rational(&mut self) -> Rational {
+        Rational::new(self.int(-1000, 1000), self.int(1, 100))
+    }
+
+    fn small_affine(&mut self) -> Affine {
+        let (a, b, k) = (self.int(-8, 8), self.int(-8, 8), self.int(-64, 64));
+        Affine::atom(Atom::LocalId(0))
+            .scale(Rational::int(a))
+            .add(&Affine::atom(Atom::LocalId(1)).scale(Rational::int(b)))
+            .add(&Affine::constant(k))
+    }
 }
 
-proptest! {
-    #[test]
-    fn rational_add_commutes(a in rational(), b in rational()) {
-        prop_assert_eq!(a + b, b + a);
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn rational_mul_commutes(a in rational(), b in rational()) {
-        prop_assert_eq!(a * b, b * a);
-    }
+// ---------------- rationals ----------------
 
-    #[test]
-    fn rational_add_associates(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!((a + b) + c, a + (b + c));
+#[test]
+fn rational_field_axioms() {
+    let mut g = Gen::new(1);
+    for _ in 0..CASES {
+        let (a, b, c) = (g.rational(), g.rational(), g.rational());
+        assert_eq!(a + b, b + a, "addition commutes");
+        assert_eq!(a * b, b * a, "multiplication commutes");
+        assert_eq!((a + b) + c, a + (b + c), "addition associates");
+        assert_eq!(a * (b + c), a * b + a * c, "distributivity");
+        assert_eq!(a - b + b, a, "sub/add round-trip");
+        if !a.is_zero() {
+            assert_eq!(a * a.recip(), Rational::ONE, "multiplicative inverse");
+        }
     }
+}
 
-    #[test]
-    fn rational_distributes(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-    }
-
-    #[test]
-    fn rational_mul_inverse(a in rational()) {
-        prop_assume!(!a.is_zero());
-        prop_assert_eq!(a * a.recip(), Rational::ONE);
-    }
-
-    #[test]
-    fn rational_sub_add_roundtrip(a in rational(), b in rational()) {
-        prop_assert_eq!(a - b + b, a);
-    }
-
-    #[test]
-    fn rational_normalised(n in -1000i64..1000, d in 1i64..100) {
-        let r = Rational::new(n, d);
-        prop_assert!(r.denominator() > 0);
-        let g = gcd(r.numerator().abs(), r.denominator());
-        prop_assert!(g <= 1 || r.numerator() == 0);
+#[test]
+fn rational_normalised() {
+    let mut g = Gen::new(2);
+    for _ in 0..CASES {
+        let r = Rational::new(g.int(-1000, 1000), g.int(1, 100));
+        assert!(r.denominator() > 0);
+        let gg = gcd(r.numerator().abs(), r.denominator());
+        assert!(gg <= 1 || r.numerator() == 0);
     }
 }
 
@@ -72,60 +90,49 @@ fn gcd(mut a: i64, mut b: i64) -> i64 {
 
 // ---------------- affine forms ----------------
 
-fn small_affine() -> impl Strategy<Value = Affine> {
-    (
-        -8i64..8, // lx coeff
-        -8i64..8, // ly coeff
-        -64i64..64,
-    )
-        .prop_map(|(a, b, k)| {
-            Affine::atom(Atom::LocalId(0))
-                .scale(Rational::int(a))
-                .add(&Affine::atom(Atom::LocalId(1)).scale(Rational::int(b)))
-                .add(&Affine::constant(k))
-        })
+#[test]
+fn affine_eval_is_additive_and_scales() {
+    let mut g = Gen::new(3);
+    for _ in 0..CASES {
+        let (a, b) = (g.small_affine(), g.small_affine());
+        let (lx, ly, s) = (g.int(0, 16), g.int(0, 16), g.int(-8, 8));
+        let v = |at: Atom| match at {
+            Atom::LocalId(0) => lx,
+            Atom::LocalId(1) => ly,
+            _ => 0,
+        };
+        assert_eq!(a.add(&b).eval(v), a.eval(v) + b.eval(v));
+        assert_eq!(
+            a.scale(Rational::int(s)).eval(v),
+            a.eval(v) * Rational::int(s)
+        );
+    }
 }
 
-proptest! {
-    #[test]
-    fn affine_eval_is_additive(a in small_affine(), b in small_affine(),
-                               lx in 0i64..16, ly in 0i64..16) {
-        let v = |at: Atom| match at {
-            Atom::LocalId(0) => lx,
-            Atom::LocalId(1) => ly,
-            _ => 0,
-        };
-        prop_assert_eq!(a.add(&b).eval(v), a.eval(v) + b.eval(v));
-    }
-
-    #[test]
-    fn affine_eval_scales(a in small_affine(), s in -8i64..8,
-                          lx in 0i64..16, ly in 0i64..16) {
-        let v = |at: Atom| match at {
-            Atom::LocalId(0) => lx,
-            Atom::LocalId(1) => ly,
-            _ => 0,
-        };
-        prop_assert_eq!(a.scale(Rational::int(s)).eval(v),
-                        a.eval(v) * Rational::int(s));
-    }
-
-    #[test]
-    fn split_by_stride_recomposes(a in small_affine(), stride in 1i64..64,
-                                  lx in 0i64..16, ly in 0i64..16) {
+#[test]
+fn split_by_stride_recomposes() {
+    let mut g = Gen::new(4);
+    for _ in 0..CASES {
+        let a = g.small_affine();
+        let stride = g.int(1, 64);
+        let (lx, ly) = (g.int(0, 16), g.int(0, 16));
         if let Some((hi, lo)) = a.split_by_stride(stride) {
             let v = |at: Atom| match at {
                 Atom::LocalId(0) => lx,
                 Atom::LocalId(1) => ly,
                 _ => 0,
             };
-            prop_assert_eq!(hi.eval(v) * Rational::int(stride) + lo.eval(v), a.eval(v));
+            assert_eq!(hi.eval(v) * Rational::int(stride) + lo.eval(v), a.eval(v));
         }
     }
+}
 
-    #[test]
-    fn substitution_matches_eval(a in small_affine(), rx in -8i64..8, rk in -8i64..8,
-                                 ly in 0i64..16) {
+#[test]
+fn substitution_matches_eval() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let a = g.small_affine();
+        let (rx, rk, ly) = (g.int(-8, 8), g.int(-8, 8), g.int(0, 16));
         // Substitute lx := rx*ly + rk and compare against direct evaluation.
         let rep = Affine::atom(Atom::LocalId(1))
             .scale(Rational::int(rx))
@@ -140,21 +147,21 @@ proptest! {
             Atom::LocalId(1) => ly,
             _ => 0,
         };
-        prop_assert_eq!(sub.eval(v_sub), a.eval(v_orig));
+        assert_eq!(sub.eval(v_sub), a.eval(v_orig));
     }
 }
 
 // ---------------- solver round-trip ----------------
 
-proptest! {
-    /// For any unimodular 2x2 integer map M and offset d, solving
-    /// `M·l' + d = rhs` and substituting the solution back must reproduce
-    /// the right-hand side exactly.
-    #[test]
-    fn solver_inverts_unimodular_maps(
-        a in -3i64..4, b in -3i64..4, k in -3i64..4,
-        d0 in -8i64..8, d1 in -8i64..8,
-    ) {
+/// For any unimodular 2x2 integer map M and offset d, solving
+/// `M·l' + d = rhs` and substituting the solution back must reproduce
+/// the right-hand side exactly.
+#[test]
+fn solver_inverts_unimodular_maps() {
+    let mut g = Gen::new(6);
+    for _ in 0..CASES {
+        let (a, b, k) = (g.int(-3, 4), g.int(-3, 4), g.int(-3, 4));
+        let (d0, d1) = (g.int(-8, 8), g.int(-8, 8));
         // Unimodular construction: [[1, a],[b, 1+ab]] has determinant 1;
         // scale rows by ±1 via k parity for variety.
         let m = [[1, a], [b, 1 + a * b]];
@@ -162,10 +169,12 @@ proptest! {
         let m = [[m[0][0] * sign, m[0][1] * sign], m[1]];
         let lx = Affine::atom(Atom::LocalId(0));
         let ly = Affine::atom(Atom::LocalId(1));
-        let ls0 = lx.scale(Rational::int(m[0][0]))
+        let ls0 = lx
+            .scale(Rational::int(m[0][0]))
             .add(&ly.scale(Rational::int(m[0][1])))
             .add(&Affine::constant(d0));
-        let ls1 = lx.scale(Rational::int(m[1][0]))
+        let ls1 = lx
+            .scale(Rational::int(m[1][0]))
             .add(&ly.scale(Rational::int(m[1][1])))
             .add(&Affine::constant(d1));
         // Symbolic RHS: two opaque atoms (the loader's index values).
@@ -182,13 +191,20 @@ proptest! {
             Atom::LocalId(d) => sol.for_dim(d).cloned(),
             _ => None,
         });
-        prop_assert_eq!(back0, r0);
-        prop_assert_eq!(back1, r1);
+        assert_eq!(back0, r0);
+        assert_eq!(back1, r1);
     }
+}
 
-    /// Singular maps must be rejected, never "solved".
-    #[test]
-    fn solver_rejects_singular_maps(a in -3i64..4, b in -3i64..4, s in -3i64..4) {
+/// Singular maps must be rejected, never "solved".
+#[test]
+fn solver_rejects_singular_maps() {
+    let mut g = Gen::new(7);
+    for _ in 0..CASES {
+        let (a, b, s) = (g.int(-3, 4), g.int(-3, 4), g.int(-3, 4));
+        if a == 0 && b == 0 {
+            continue;
+        }
         // Rows are scalar multiples: rank <= 1 with two unknowns.
         let lx = Affine::atom(Atom::LocalId(0));
         let ly = Affine::atom(Atom::LocalId(1));
@@ -196,9 +212,7 @@ proptest! {
         let row2 = row.scale(Rational::int(s));
         let r0 = Affine::atom(Atom::Value(grover::ir::ValueId(9000)));
         let r1 = Affine::atom(Atom::Value(grover::ir::ValueId(9001)));
-        prop_assume!(a != 0 || b != 0);
-        let out = solve(&[row, row2], &[r0, r1]);
-        prop_assert!(out.is_err());
+        assert!(solve(&[row, row2], &[r0, r1]).is_err());
     }
 }
 
@@ -245,7 +259,11 @@ fn staging_roundtrip(variant: u8, ox: i64, oy: i64) {
         enqueue(
             &mut ctx,
             kernel,
-            &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(n as i32)],
+            &[
+                ArgValue::Buffer(bi),
+                ArgValue::Buffer(bo),
+                ArgValue::I32(n as i32),
+            ],
             &NdRange::d2(n, n, S as u64, S as u64),
             &mut NullSink,
             &Limits::default(),
@@ -256,12 +274,11 @@ fn staging_roundtrip(variant: u8, ox: i64, oy: i64) {
     assert_eq!(run(&original), run(&transformed), "{src}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_staging_kernels_roundtrip(variant in 0u8..4,
-                                        ox in 0i64..4, oy in 0i64..4) {
-        staging_roundtrip(variant, ox, oy);
+#[test]
+fn random_staging_kernels_roundtrip() {
+    let mut g = Gen::new(8);
+    for _ in 0..24 {
+        staging_roundtrip(g.int(0, 4) as u8, g.int(0, 4), g.int(0, 4));
     }
 }
 
@@ -291,12 +308,16 @@ fn arith_kernel(c1: i32, c2: i32, c3: i32, use_loop: bool) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn optimisation_pipeline_preserves_results(
-        c1 in -4i32..5, c2 in -4i32..5, c3 in -4i32..5, use_loop in any::<bool>()
-    ) {
+#[test]
+fn optimisation_pipeline_preserves_results() {
+    let mut g = Gen::new(9);
+    for _ in 0..32 {
+        let (c1, c2, c3) = (
+            g.int(-4, 5) as i32,
+            g.int(-4, 5) as i32,
+            g.int(-4, 5) as i32,
+        );
+        let use_loop = g.int(0, 2) == 1;
         let src = arith_kernel(c1, c2, c3, use_loop);
         let module = compile(&src, &BuildOptions::new()).unwrap();
         let plain = module.kernel("a").unwrap().clone();
@@ -312,7 +333,11 @@ proptest! {
             enqueue(
                 &mut ctx,
                 kernel,
-                &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(32)],
+                &[
+                    ArgValue::Buffer(bi),
+                    ArgValue::Buffer(bo),
+                    ArgValue::I32(32),
+                ],
                 &NdRange::d1(32, 8),
                 &mut NullSink,
                 &Limits::default(),
@@ -320,66 +345,80 @@ proptest! {
             .unwrap();
             ctx.read_f32(bo).to_vec()
         };
-        prop_assert_eq!(run(&plain), run(&opt));
+        assert_eq!(run(&plain), run(&opt), "{src}");
     }
 }
 
 // ---------------- cache invariants ----------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn cache_counts_are_consistent(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+#[test]
+fn cache_counts_are_consistent() {
+    let mut g = Gen::new(10);
+    for _ in 0..64 {
+        let n = g.int(1, 200) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| g.int(0, 4096) as u64).collect();
         let mut c = Cache::new(CacheConfig::new(512, 32, 2, 1));
         for (i, &a) in addrs.iter().enumerate() {
             c.access(a, i % 3 == 0);
         }
-        prop_assert_eq!(c.stats.accesses(), addrs.len() as u64);
-        prop_assert!(c.stats.writebacks <= c.stats.evictions);
-        prop_assert!(c.stats.hit_rate() >= 0.0 && c.stats.hit_rate() <= 1.0);
+        assert_eq!(c.stats.accesses(), addrs.len() as u64);
+        assert!(c.stats.writebacks <= c.stats.evictions);
+        assert!(c.stats.hit_rate() >= 0.0 && c.stats.hit_rate() <= 1.0);
     }
+}
 
-    /// A cache never misses on an address accessed within the last
-    /// `ways` *distinct same-set lines* — the LRU stack property.
-    #[test]
-    fn immediate_reaccess_always_hits(addrs in prop::collection::vec(0u64..65536, 1..100)) {
+/// A cache never misses on an address accessed within the last
+/// `ways` *distinct same-set lines* — the LRU stack property.
+#[test]
+fn immediate_reaccess_always_hits() {
+    let mut g = Gen::new(11);
+    for _ in 0..64 {
+        let n = g.int(1, 100) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| g.int(0, 65536) as u64).collect();
         let mut c = Cache::new(CacheConfig::new(4096, 64, 4, 1));
         for &a in &addrs {
             c.access(a, false);
             let hits_before = c.stats.hits;
             c.access(a, false);
-            prop_assert_eq!(c.stats.hits, hits_before + 1);
+            assert_eq!(c.stats.hits, hits_before + 1);
         }
     }
+}
 
-    /// Working sets no larger than one way-set always fit.
-    #[test]
-    fn small_working_set_fully_cached(start in 0u64..1024) {
+/// Working sets no larger than one way-set always fit.
+#[test]
+fn small_working_set_fully_cached() {
+    let mut g = Gen::new(12);
+    for _ in 0..64 {
+        let start = g.int(0, 1024) as u64;
         // 4 KiB / 64 B lines / 4 ways = 16 sets; 16 consecutive lines span
         // all sets exactly once.
         let mut c = Cache::new(CacheConfig::new(4096, 64, 4, 1));
         let base = start * 64;
-        for rep in 0..4 {
+        for _rep in 0..4 {
             for i in 0..16u64 {
                 c.access(base + i * 64, false);
             }
-            let _ = rep;
         }
-        prop_assert_eq!(c.stats.misses, 16);
-        prop_assert_eq!(c.stats.hits, 48);
+        assert_eq!(c.stats.misses, 16);
+        assert_eq!(c.stats.hits, 48);
     }
 }
 
 // ---------------- textual IR round-trip ----------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    /// print ∘ parse is a fixpoint and preserves execution results for
-    /// generated arithmetic kernels.
-    #[test]
-    fn text_ir_roundtrip_preserves_semantics(
-        c1 in -4i32..5, c2 in -4i32..5, c3 in -4i32..5, use_loop in any::<bool>()
-    ) {
+/// print ∘ parse is a fixpoint and preserves execution results for
+/// generated arithmetic kernels.
+#[test]
+fn text_ir_roundtrip_preserves_semantics() {
+    let mut g = Gen::new(13);
+    for _ in 0..24 {
+        let (c1, c2, c3) = (
+            g.int(-4, 5) as i32,
+            g.int(-4, 5) as i32,
+            g.int(-4, 5) as i32,
+        );
+        let use_loop = g.int(0, 2) == 1;
         let src = arith_kernel(c1, c2, c3, use_loop);
         let module = compile(&src, &BuildOptions::new()).unwrap();
         let plain = module.kernel("a").unwrap().clone();
@@ -389,7 +428,7 @@ proptest! {
         let text2 = grover::ir::printer::function_to_string(&parsed);
         let parsed2 = grover::ir::parse_function(&text2).unwrap();
         let text3 = grover::ir::printer::function_to_string(&parsed2);
-        prop_assert_eq!(&text2, &text3, "fixpoint");
+        assert_eq!(&text2, &text3, "fixpoint");
 
         let input: Vec<f32> = (0..32).map(|i| (i as f32) * 0.5 - 8.0).collect();
         let run = |kernel: &grover::ir::Function| -> Vec<f32> {
@@ -399,7 +438,11 @@ proptest! {
             enqueue(
                 &mut ctx,
                 kernel,
-                &[ArgValue::Buffer(bi), ArgValue::Buffer(bo), ArgValue::I32(32)],
+                &[
+                    ArgValue::Buffer(bi),
+                    ArgValue::Buffer(bo),
+                    ArgValue::I32(32),
+                ],
                 &NdRange::d1(32, 8),
                 &mut NullSink,
                 &Limits::default(),
@@ -407,16 +450,17 @@ proptest! {
             .unwrap();
             ctx.read_f32(bo).to_vec()
         };
-        prop_assert_eq!(run(&plain), run(&parsed));
+        assert_eq!(run(&plain), run(&parsed));
     }
 }
 
 // ---------------- interpreter determinism ----------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn interpreter_is_deterministic(seed in 0u64..1000) {
+#[test]
+fn interpreter_is_deterministic() {
+    let mut g = Gen::new(14);
+    for _ in 0..8 {
+        let seed = g.int(0, 1000) as u64;
         let src = "__kernel void d(__global float* a, __global float* b) {
             __local float lm[8];
             int lx = get_local_id(0);
@@ -433,10 +477,17 @@ proptest! {
             let mut ctx = Context::new();
             let ba = ctx.buffer_f32(&input);
             let bb = ctx.zeros_f32(32);
-            enqueue(&mut ctx, k, &[ArgValue::Buffer(ba), ArgValue::Buffer(bb)],
-                    &NdRange::d1(32, 8), &mut NullSink, &Limits::default()).unwrap();
+            enqueue(
+                &mut ctx,
+                k,
+                &[ArgValue::Buffer(ba), ArgValue::Buffer(bb)],
+                &NdRange::d1(32, 8),
+                &mut NullSink,
+                &Limits::default(),
+            )
+            .unwrap();
             outs.push(ctx.read_f32(bb).to_vec());
         }
-        prop_assert_eq!(&outs[0], &outs[1]);
+        assert_eq!(&outs[0], &outs[1]);
     }
 }
