@@ -5,23 +5,69 @@
 //!     Compile, run the Grover pass, print the report and the before/after IR.
 //!
 //! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper] [--threads N]
-//!     Simulate both kernel versions of a bundled benchmark on a device and
-//!     report which one wins (the paper's auto-tuning step). `--threads N`
+//!                 [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]
+//!     Tune a bundled benchmark on a device via the hardened pipeline: both
+//!     kernel versions race under the measurement watchdog, transient
+//!     failures are retried, and output buffers are bit-compared. A failing
+//!     or divergent transformed kernel gracefully falls back to the
+//!     original (exit 0) unless `--strict` is given (exit 8). `--threads N`
 //!     runs work-groups on N host threads (0 = one per CPU); the simulated
 //!     cycle counts are identical to a serial run.
 //!
 //! grover list
 //!     List the bundled benchmark applications.
 //! ```
+//!
+//! ## Exit codes
+//!
+//! | code | meaning                                               |
+//! |------|-------------------------------------------------------|
+//! | 0    | success (including a graceful autotune fallback)      |
+//! | 1    | internal error                                        |
+//! | 2    | usage error                                           |
+//! | 3    | compile / workload-preparation failure                |
+//! | 4    | unknown application or device                         |
+//! | 5    | execution error while measuring the original kernel   |
+//! | 6    | isolated panic while measuring the original kernel    |
+//! | 7    | wall-clock deadline exceeded on the original kernel   |
+//! | 8    | `--strict` and the tuner fell back to the original    |
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use grover_core::Grover;
-use grover_devsim::Device;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
-use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared_with, Scale};
-use grover_runtime::ExecPolicy;
+use grover_kernels::{all_apps, app_by_id, prepare_pair, Scale};
+use grover_runtime::{ExecPolicy, Limits};
+use grover_tuner::{Choice, Decision, RetryPolicy, TuneError, Tuner, Workload};
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_COMPILE: u8 = 3;
+const EXIT_UNKNOWN_TARGET: u8 = 4;
+const EXIT_EXEC: u8 = 5;
+const EXIT_PANIC: u8 = 6;
+const EXIT_DEADLINE: u8 = 7;
+const EXIT_STRICT_FALLBACK: u8 = 8;
+
+/// A command failure carrying its stable exit code (see module docs).
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn new(code: u8, message: impl Into<String>) -> Failure {
+        Failure {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Failure {
+        Failure::new(EXIT_USAGE, message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,21 +82,22 @@ fn main() -> ExitCode {
             eprintln!(
                 "  grover autotune <app-id> [--device NAME] [--scale test|small|paper] [--threads N]"
             );
+            eprintln!("                  [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]");
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover list");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("error: {}", f.message);
+            ExitCode::from(f.code)
         }
     }
 }
 
-fn cmd_transform(args: &[String]) -> Result<(), String> {
+fn cmd_transform(args: &[String]) -> Result<(), Failure> {
     let mut path = None;
     let mut opts = BuildOptions::new();
     let mut kernel_name: Option<String> = None;
@@ -59,11 +106,19 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "-D" => {
-                let d = it.next().ok_or("-D needs an argument")?;
+                let d = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("-D needs an argument"))?;
                 let (n, v) = d.split_once('=').unwrap_or((d.as_str(), "1"));
                 opts = opts.define(n, v);
             }
-            "--kernel" => kernel_name = Some(it.next().ok_or("--kernel needs a name")?.clone()),
+            "--kernel" => {
+                kernel_name = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--kernel needs a name"))?
+                        .clone(),
+                )
+            }
             "--keep-barriers" => keep_barriers = true,
             other if other.starts_with("-D") => {
                 let d = &other[2..];
@@ -71,12 +126,14 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
                 opts = opts.define(n, v);
             }
             other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let path = path.ok_or("no input file")?;
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
+    let path = path.ok_or_else(|| Failure::usage("no input file"))?;
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("cannot read {path}: {e}")))?;
+    let module =
+        compile(&source, &opts).map_err(|e| Failure::new(EXIT_COMPILE, format!("{path}: {e}")))?;
 
     for kernel in &module.kernels {
         if let Some(only) = &kernel_name {
@@ -100,69 +157,217 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_autotune(args: &[String]) -> Result<(), String> {
+fn parse_u64(it: &mut std::slice::Iter<String>, flag: &str) -> Result<u64, Failure> {
+    it.next()
+        .ok_or_else(|| Failure::usage(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| Failure::usage(format!("{flag} needs an integer")))
+}
+
+fn cmd_autotune(args: &[String]) -> Result<(), Failure> {
     let mut app_id = None;
     let mut device = "SNB".to_string();
     let mut scale = Scale::Small;
     let mut policy = ExecPolicy::Serial;
+    let mut strict = false;
+    let mut json = false;
+    let mut verify = true;
+    let mut deadline: Option<Duration> = None;
+    let mut retries: Option<u32> = None;
+    let mut backoff = Duration::ZERO;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--device" => device = it.next().ok_or("--device needs a name")?.clone(),
+            "--device" => {
+                device = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--device needs a name"))?
+                    .clone()
+            }
             "--scale" => {
-                scale = match it.next().ok_or("--scale needs a value")?.as_str() {
+                scale = match it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--scale needs a value"))?
+                    .as_str()
+                {
                     "test" => Scale::Test,
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
-                    other => return Err(format!("unknown scale `{other}`")),
+                    other => return Err(Failure::usage(format!("unknown scale `{other}`"))),
                 }
             }
             "--threads" => {
-                let n: usize = it
-                    .next()
-                    .ok_or("--threads needs a count")?
-                    .parse()
-                    .map_err(|_| "--threads needs an integer".to_string())?;
+                let n = parse_u64(&mut it, "--threads")? as usize;
                 policy = ExecPolicy::Parallel { threads: n };
             }
+            "--strict" => strict = true,
+            "--json" => json = true,
+            "--no-verify" => verify = false,
+            "--deadline-ms" => {
+                deadline = Some(Duration::from_millis(parse_u64(&mut it, "--deadline-ms")?))
+            }
+            "--retries" => retries = Some(parse_u64(&mut it, "--retries")? as u32),
+            "--backoff-ms" => backoff = Duration::from_millis(parse_u64(&mut it, "--backoff-ms")?),
             other if app_id.is_none() => app_id = Some(other.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let app_id = app_id.ok_or("no application id (try `grover list`)")?;
-    let app = app_by_id(&app_id).ok_or_else(|| format!("unknown app `{app_id}`"))?;
+    let app_id = app_id.ok_or_else(|| Failure::usage("no application id (try `grover list`)"))?;
+    let app = app_by_id(&app_id).ok_or_else(|| {
+        Failure::new(
+            EXIT_UNKNOWN_TARGET,
+            format!("unknown app `{app_id}` (try `grover list`)"),
+        )
+    })?;
 
-    println!("auto-tuning {} on {device} (scale {scale:?})", app.id);
-    let pair = prepare_pair(&app, scale)?;
-    let mut d = Device::by_name(&device).ok_or_else(|| format!("unknown device `{device}`"))?;
-    run_prepared_with(&pair.original, (app.prepare)(scale), &mut d, policy)?;
-    let with_lm = d.finish();
-    let mut d = Device::by_name(&device).expect("checked");
-    run_prepared_with(&pair.transformed, (app.prepare)(scale), &mut d, policy)?;
-    let without_lm = d.finish();
+    if !json {
+        println!("auto-tuning {} on {device} (scale {scale:?})", app.id);
+    }
+    let pair = prepare_pair(&app, scale).map_err(|e| Failure::new(EXIT_COMPILE, e))?;
+    let prepare = app.prepare;
+    let workload = Workload::new(move || {
+        let p = prepare(scale);
+        (p.ctx, p.args, p.nd)
+    });
 
-    let np = with_lm.cycles as f64 / without_lm.cycles.max(1) as f64;
-    println!("  with local memory   : {:>12} cycles", with_lm.cycles);
-    println!("  without local memory: {:>12} cycles", without_lm.cycles);
-    println!("  normalized performance np = {np:.3}");
-    if np > 1.05 {
-        println!("  verdict: use the GROVER-TRANSFORMED kernel (local memory disabled)");
-    } else if np < 0.95 {
-        println!("  verdict: keep the ORIGINAL kernel (local memory enabled)");
+    let mut tuner = Tuner::with_policy(policy);
+    tuner.limits = Limits {
+        deadline,
+        ..Limits::default()
+    };
+    tuner.retry = RetryPolicy {
+        // `--retries N` = N retries after the first attempt.
+        max_attempts: retries.map_or(RetryPolicy::default().max_attempts, |r| r + 1),
+        backoff,
+    };
+    tuner.verify_outputs = verify;
+
+    let d = tuner
+        .tune_pair(
+            &pair.original,
+            &pair.transformed,
+            pair.report,
+            &device,
+            &workload,
+        )
+        .map_err(tune_failure)?;
+
+    if json {
+        println!("{}", decision_json(&app_id, scale, &d));
     } else {
-        println!("  verdict: both versions perform similarly (within 5%)");
+        print_decision(&d);
+    }
+    if strict {
+        if let Some(reason) = &d.fallback {
+            return Err(Failure::new(
+                EXIT_STRICT_FALLBACK,
+                format!("tuning fell back to the original kernel: {reason}"),
+            ));
+        }
     }
     Ok(())
 }
 
-fn cmd_classify(args: &[String]) -> Result<(), String> {
+/// Map a tuner error (a failure of the *original* kernel or the tuner
+/// itself — transformed-kernel failures are graceful fallbacks, not errors)
+/// to its stable exit code.
+fn tune_failure(e: TuneError) -> Failure {
+    let code = match &e {
+        TuneError::UnknownDevice(_) => EXIT_UNKNOWN_TARGET,
+        TuneError::NothingToDisable(_) => EXIT_COMPILE,
+        TuneError::Execution(_) => EXIT_EXEC,
+        TuneError::Panicked(_) => EXIT_PANIC,
+        TuneError::Deadline => EXIT_DEADLINE,
+        TuneError::Internal(_) => 1,
+    };
+    Failure::new(code, e.to_string())
+}
+
+fn print_decision(d: &Decision) {
+    println!("  with local memory   : {:>12} cycles", d.cycles_with);
+    if d.cycles_without > 0 {
+        println!("  without local memory: {:>12} cycles", d.cycles_without);
+    } else {
+        println!("  without local memory:   (no completed measurement)");
+    }
+    println!("  normalized performance np = {:.3}", d.np);
+    if let Some(reason) = &d.fallback {
+        println!("  fallback: {reason}");
+        println!("  verdict: keep the ORIGINAL kernel (graceful fallback)");
+        return;
+    }
+    match d.choice {
+        Choice::WithoutLocalMemory => {
+            println!("  verdict: use the GROVER-TRANSFORMED kernel (local memory disabled)")
+        }
+        Choice::WithLocalMemory => {
+            println!("  verdict: keep the ORIGINAL kernel (local memory enabled)")
+        }
+        Choice::Similar => println!("  verdict: both versions perform similarly (within 5%)"),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
+    let scale = match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    let choice = match d.choice {
+        Choice::WithLocalMemory => "with_local_memory",
+        Choice::WithoutLocalMemory => "without_local_memory",
+        Choice::Similar => "similar",
+    };
+    let fallback = match &d.fallback {
+        None => "null".to_string(),
+        Some(reason) => format!(
+            "{{\"kind\":{},\"detail\":{}}}",
+            json_str(reason.kind()),
+            json_str(&reason.to_string())
+        ),
+    };
+    format!(
+        "{{\"app\":{},\"device\":{},\"scale\":{},\"cycles_with\":{},\"cycles_without\":{},\"np\":{},\"choice\":{},\"fallback\":{}}}",
+        json_str(app_id),
+        json_str(&d.device),
+        json_str(scale),
+        d.cycles_with,
+        d.cycles_without,
+        d.np,
+        json_str(choice),
+        fallback
+    )
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), Failure> {
     let mut path = None;
     let mut opts = BuildOptions::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-D" => {
-                let d = it.next().ok_or("-D needs an argument")?;
+                let d = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("-D needs an argument"))?;
                 let (n, v) = d.split_once('=').unwrap_or((d.as_str(), "1"));
                 opts = opts.define(n, v);
             }
@@ -172,12 +377,14 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
                 opts = opts.define(n, v);
             }
             other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let path = path.ok_or("no input file")?;
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let module = compile(&source, &opts).map_err(|e| format!("{path}: {e}"))?;
+    let path = path.ok_or_else(|| Failure::usage("no input file"))?;
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("cannot read {path}: {e}")))?;
+    let module =
+        compile(&source, &opts).map_err(|e| Failure::new(EXIT_COMPILE, format!("{path}: {e}")))?;
     for kernel in &module.kernels {
         println!("kernel {}:", kernel.name);
         let classes = grover_core::classify(kernel);
@@ -203,7 +410,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), Failure> {
     println!("{:<11} description", "ID");
     for app in all_apps() {
         println!("{:<11} {}", app.id, app.description);

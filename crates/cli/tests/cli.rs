@@ -165,3 +165,112 @@ fn bad_usage_exits_nonzero() {
         .status
         .success());
 }
+
+fn exit_code(args: &[&str]) -> i32 {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .unwrap()
+        .status
+        .code()
+        .expect("terminated by signal")
+}
+
+/// Exit codes are a stable part of the interface (scripts key off them).
+#[test]
+fn stable_exit_codes() {
+    // 0: success, including a clean tuning run.
+    assert_eq!(exit_code(&["list"]), 0);
+    // 2: usage errors.
+    assert_eq!(exit_code(&[]), 2);
+    assert_eq!(exit_code(&["autotune"]), 2);
+    assert_eq!(exit_code(&["autotune", "NVD-MT", "--bogus-flag"]), 2);
+    assert_eq!(exit_code(&["autotune", "NVD-MT", "--retries", "x"]), 2);
+    // 3: compile/prepare failures.
+    assert_eq!(exit_code(&["transform", "/nonexistent/file.cl"]), 3);
+    // 4: unknown application or device.
+    assert_eq!(exit_code(&["autotune", "NOPE", "--scale", "test"]), 4);
+    assert_eq!(
+        exit_code(&["autotune", "NVD-MT", "--device", "TPU", "--scale", "test"]),
+        4
+    );
+}
+
+#[test]
+fn autotune_strict_succeeds_on_healthy_app() {
+    // No fault injected: the transformed kernel measures and verifies, so
+    // --strict must not change the exit status.
+    let out = Command::new(BIN)
+        .args([
+            "autotune", "NVD-MT", "--device", "SNB", "--scale", "test", "--strict",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn autotune_json_output() {
+    let out = Command::new(BIN)
+        .args([
+            "autotune", "NVD-MT", "--device", "SNB", "--scale", "test", "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    // One JSON object, nothing else.
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    for key in [
+        "\"app\":\"NVD-MT\"",
+        "\"device\":\"SNB\"",
+        "\"scale\":\"test\"",
+        "\"cycles_with\":",
+        "\"cycles_without\":",
+        "\"np\":",
+        "\"choice\":",
+        "\"fallback\":",
+    ] {
+        assert!(line.contains(key), "missing {key}: {line}");
+    }
+}
+
+#[test]
+fn autotune_accepts_hardening_flags() {
+    // The watchdog/retry knobs parse and a generous deadline doesn't trip.
+    let out = Command::new(BIN)
+        .args([
+            "autotune",
+            "NVD-MT",
+            "--device",
+            "SNB",
+            "--scale",
+            "test",
+            "--deadline-ms",
+            "60000",
+            "--retries",
+            "1",
+            "--backoff-ms",
+            "0",
+            "--no-verify",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict"));
+}

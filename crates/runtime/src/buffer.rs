@@ -108,6 +108,11 @@ impl Context {
     }
 
     /// Read back an `f32` buffer (panics on kind mismatch).
+    ///
+    /// The panic is the documented contract of this host-side convenience:
+    /// passing the wrong handle is a programming error in the *caller*,
+    /// not a recoverable kernel-execution failure. Use [`Context::try_read_f32`]
+    /// where a `None` is preferable.
     pub fn read_f32(&self, b: Buffer) -> &[f32] {
         match &self.buffers[b.0 as usize] {
             BufferData::F32(v) => v,
@@ -115,12 +120,36 @@ impl Context {
         }
     }
 
-    /// Read back an `i32` buffer (panics on kind mismatch).
+    /// Read back an `i32` buffer (panics on kind mismatch; see
+    /// [`Context::read_f32`] for the rationale).
     pub fn read_i32(&self, b: Buffer) -> &[i32] {
         match &self.buffers[b.0 as usize] {
             BufferData::I32(v) => v,
             other => panic!("buffer is {:?}, not i32", other.scalar()),
         }
+    }
+
+    /// Read back an `f32` buffer, or `None` on kind mismatch.
+    pub fn try_read_f32(&self, b: Buffer) -> Option<&[f32]> {
+        match self.buffers.get(b.0 as usize)? {
+            BufferData::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Read back an `i32` buffer, or `None` on kind mismatch.
+    pub fn try_read_i32(&self, b: Buffer) -> Option<&[i32]> {
+        match self.buffers.get(b.0 as usize)? {
+            BufferData::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Every buffer in creation order (index `i` is the storage of the
+    /// `i`-th created [`Buffer`]). This is what the tuner's
+    /// differential-output guard bit-compares across two runs.
+    pub fn buffers(&self) -> &[BufferData] {
+        &self.buffers
     }
 
     /// Raw typed storage of a buffer.

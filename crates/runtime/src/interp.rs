@@ -9,7 +9,9 @@
 //! threads — see [`ExecPolicy`] and [`enqueue_with_policy`]. Both schedules
 //! produce bit-identical output buffers, [`LaunchStats`] and trace streams.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use grover_ir::{
     AddressSpace, BinOp, BlockId, Builtin, CastKind, CmpPred, ConstVal, Function, Inst, Scalar,
@@ -121,12 +123,20 @@ pub struct LaunchStats {
 pub struct Limits {
     /// Maximum total IR instructions across the launch.
     pub max_instructions: u64,
+    /// Optional wall-clock deadline for the whole launch. The watchdog is
+    /// checked at every work-group start and at budget-refill granularity
+    /// (every [`BUDGET_CHUNK`] instructions per worker), so a launch
+    /// overshoots the deadline by at most one chunk's execution time; on
+    /// expiry the shared instruction budget is drained so every worker
+    /// stops at its next refill with [`ExecError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Limits {
     fn default() -> Limits {
         Limits {
             max_instructions: 20_000_000_000,
+            deadline: None,
         }
     }
 }
@@ -185,32 +195,90 @@ impl ExecPolicy {
 /// touched ~once per million instructions.
 const BUDGET_CHUNK: u64 = 1 << 20;
 
-/// The launch-wide instruction budget ([`Limits::max_instructions`]),
-/// shared by every worker.
-struct BudgetPool(AtomicU64);
+/// The launch-wide instruction budget ([`Limits::max_instructions`]) and
+/// wall-clock watchdog ([`Limits::deadline`]), shared by every worker.
+struct BudgetPool {
+    avail: AtomicU64,
+    start: Instant,
+    deadline: Option<Duration>,
+    deadline_hit: AtomicBool,
+}
+
+impl BudgetPool {
+    fn new(limits: &Limits) -> BudgetPool {
+        BudgetPool {
+            avail: AtomicU64::new(limits.max_instructions),
+            start: Instant::now(),
+            deadline: limits.deadline,
+            deadline_hit: AtomicBool::new(false),
+        }
+    }
+
+    /// Watchdog check; on expiry, drain the pool so every other worker
+    /// stops at its next refill too.
+    fn check_deadline(&self) -> Result<(), ExecError> {
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() > d {
+                self.deadline_hit.store(true, Ordering::Relaxed);
+                self.avail.store(0, Ordering::Relaxed);
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Why the pool is empty: a drained-by-watchdog pool reports the
+    /// deadline, a genuinely spent one the instruction limit.
+    fn exhausted_error(&self) -> ExecError {
+        if self.deadline_hit.load(Ordering::Relaxed) {
+            ExecError::DeadlineExceeded
+        } else {
+            ExecError::InstructionLimit
+        }
+    }
+}
 
 /// A worker's claim on the [`BudgetPool`]: spends locally and refills in
 /// chunks, so the hot interpreter loop performs no atomic ops. The serial
-/// engine uses `chunk = u64::MAX` (one refill claims the whole pool), which
-/// reproduces the exact single-counter semantics: the instruction *after*
-/// the budget runs out fails with [`ExecError::InstructionLimit`].
+/// engine uses the same chunking — with a single worker the refills are
+/// sequential, so the exact single-counter semantics are preserved: the
+/// instruction *after* the budget runs out fails with
+/// [`ExecError::InstructionLimit`] — and each refill doubles as a
+/// watchdog check.
 struct LocalBudget<'a> {
     pool: &'a BudgetPool,
     left: u64,
     chunk: u64,
+    /// Injected instruction-site fault: countdown and plan.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<(u64, std::sync::Arc<crate::fault::Installed>)>,
 }
 
 impl<'a> LocalBudget<'a> {
-    fn new(pool: &'a BudgetPool, chunk: u64) -> LocalBudget<'a> {
+    fn new(launch: &'a LaunchCtx<'_>, chunk: u64) -> LocalBudget<'a> {
         LocalBudget {
-            pool,
+            pool: &launch.pool,
             left: 0,
             chunk,
+            #[cfg(feature = "fault-injection")]
+            fault: launch
+                .fault
+                .as_ref()
+                .and_then(|i| crate::fault::instruction_trigger(i).map(|n| (n, i.clone()))),
         }
     }
 
     #[inline]
     fn spend(&mut self) -> Result<(), ExecError> {
+        #[cfg(feature = "fault-injection")]
+        if let Some((countdown, inst)) = &mut self.fault {
+            *countdown -= 1;
+            if *countdown == 0 {
+                let inst = inst.clone();
+                self.fault = None;
+                crate::fault::instruction_hook(&inst)?;
+            }
+        }
         if self.left == 0 {
             self.refill()?;
         }
@@ -219,13 +287,14 @@ impl<'a> LocalBudget<'a> {
     }
 
     fn refill(&mut self) -> Result<(), ExecError> {
-        let mut avail = self.pool.0.load(Ordering::Relaxed);
+        self.pool.check_deadline()?;
+        let mut avail = self.pool.avail.load(Ordering::Relaxed);
         loop {
             if avail == 0 {
-                return Err(ExecError::InstructionLimit);
+                return Err(self.pool.exhausted_error());
             }
             let take = avail.min(self.chunk);
-            match self.pool.0.compare_exchange_weak(
+            match self.pool.avail.compare_exchange_weak(
                 avail,
                 avail - take,
                 Ordering::Relaxed,
@@ -243,9 +312,10 @@ impl<'a> LocalBudget<'a> {
 
 impl Drop for LocalBudget<'_> {
     fn drop(&mut self) {
-        // Return the unspent part of the claim so other workers can use it.
-        if self.left > 0 {
-            self.pool.0.fetch_add(self.left, Ordering::Relaxed);
+        // Return the unspent part of the claim so other workers can use it
+        // — unless the watchdog drained the pool to stop the launch.
+        if self.left > 0 && !self.pool.deadline_hit.load(Ordering::Relaxed) {
+            self.pool.avail.fetch_add(self.left, Ordering::Relaxed);
         }
     }
 }
@@ -281,6 +351,13 @@ struct LaunchCtx<'a> {
     /// Byte offset of each `__local` buffer inside the group-local region.
     local_bases: Vec<u64>,
     pool: BudgetPool,
+    /// Whether every group's global stores are perturbed
+    /// ([`crate::fault::FaultKind::CorruptStores`] at launch scope; always
+    /// `false` without the `fault-injection` feature).
+    corrupt_launch: bool,
+    /// The fault plan matched against this launch's kernel, if any.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<std::sync::Arc<crate::fault::Installed>>,
 }
 
 /// Per-worker scratch reused across the groups that worker executes: the
@@ -402,6 +479,18 @@ pub fn enqueue_with_policy(
         local_bases.push(off);
         off += lb.size_bytes();
     }
+    #[cfg(feature = "fault-injection")]
+    let fault = crate::fault::for_kernel(kernel);
+    #[cfg(feature = "fault-injection")]
+    let corrupt_launch = match &fault {
+        // A launch-entry panic deliberately propagates out of `enqueue`:
+        // it models a failure of the launching thread itself (e.g. one
+        // side of a tuner race), not of a work-group worker.
+        Some(i) => crate::fault::launch_hook(i)?,
+        None => false,
+    };
+    #[cfg(not(feature = "fault-injection"))]
+    let corrupt_launch = false;
     let launch = LaunchCtx {
         f: kernel,
         nd: *nd,
@@ -409,18 +498,21 @@ pub fn enqueue_with_policy(
         params,
         local_templ,
         local_bases,
-        pool: BudgetPool(AtomicU64::new(limits.max_instructions)),
+        pool: BudgetPool::new(limits),
+        corrupt_launch,
+        #[cfg(feature = "fault-injection")]
+        fault,
     };
 
     let ng = nd.num_groups();
     let n_groups = (ng[0] * ng[1] * ng[2]) as usize;
 
     if policy == ExecPolicy::Serial {
-        let mut budget = LocalBudget::new(&launch.pool, u64::MAX);
+        let mut budget = LocalBudget::new(&launch, BUDGET_CHUNK);
         let mut scratch = Scratch::default();
         let mut stats = LaunchStats::default();
         for gl in 0..n_groups {
-            let gs = run_group(
+            let gs = run_group_caught(
                 &launch,
                 delinearize(gl, ng),
                 gl as u32,
@@ -448,12 +540,13 @@ pub fn enqueue_with_policy(
     // monotonic, so when a group fails, every lower-numbered group was
     // claimed earlier by some worker that finishes it before exiting —
     // which is what makes the first-error-in-group-order guarantee hold.
+    let mut escaped_panic: Option<String> = None;
     let worker_outputs: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
-                    let mut budget = LocalBudget::new(&launch_ref.pool, BUDGET_CHUNK);
+                    let mut budget = LocalBudget::new(launch_ref, BUDGET_CHUNK);
                     let mut scratch = Scratch::default();
                     while !stop.load(Ordering::Relaxed) {
                         let gl = next.fetch_add(1, Ordering::Relaxed);
@@ -464,7 +557,7 @@ pub fn enqueue_with_policy(
                             wants_access,
                             events: Vec::new(),
                         };
-                        let r = run_group(
+                        let r = run_group_caught(
                             launch_ref,
                             delinearize(gl, ng),
                             gl as u32,
@@ -485,9 +578,24 @@ pub fn enqueue_with_policy(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("launch worker panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // Per-group isolation catches every panic inside the
+                // worker loop, so this arm is unreachable short of a bug
+                // in the loop itself; degrade to an error regardless.
+                Err(p) => {
+                    escaped_panic = Some(panic_message(p.as_ref()));
+                    Vec::new()
+                }
+            })
             .collect()
     });
+    if let Some(message) = escaped_panic {
+        return Err(ExecError::WorkerPanic {
+            group: u32::MAX,
+            message,
+        });
+    }
 
     let mut slots: Vec<Option<Result<(GroupStats, GroupBuf), ExecError>>> = Vec::new();
     slots.resize_with(n_groups, || None);
@@ -576,6 +684,43 @@ struct GroupRun<'a, 'l> {
     launch: &'a LaunchCtx<'l>,
     local_mem: &'a mut Vec<BufferData>,
     group_linear: u32,
+    /// Fault injection: perturb this group's global stores.
+    corrupt_stores: bool,
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// [`run_group`] with panic isolation: a panic anywhere inside the group —
+/// the interpreter, a trace sink, or an injected fault — becomes
+/// [`ExecError::WorkerPanic`] instead of unwinding through the launch
+/// machinery (and, on a worker thread, aborting the process via
+/// `std::thread::scope`).
+fn run_group_caught(
+    launch: &LaunchCtx<'_>,
+    wg: [u64; 3],
+    group_linear: u32,
+    sink: &mut dyn TraceSink,
+    budget: &mut LocalBudget<'_>,
+    scratch: &mut Scratch,
+) -> Result<GroupStats, ExecError> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_group(launch, wg, group_linear, sink, budget, scratch)
+    })) {
+        Ok(r) => r,
+        Err(p) => Err(ExecError::WorkerPanic {
+            group: group_linear,
+            message: panic_message(p.as_ref()),
+        }),
+    }
 }
 
 fn run_group(
@@ -588,6 +733,15 @@ fn run_group(
 ) -> Result<GroupStats, ExecError> {
     let f = launch.f;
     let nd = launch.nd;
+
+    launch.pool.check_deadline()?;
+    #[cfg(feature = "fault-injection")]
+    let corrupt_group = match &launch.fault {
+        Some(i) => crate::fault::group_hook(i, group_linear)?,
+        None => false,
+    };
+    #[cfg(not(feature = "fault-injection"))]
+    let corrupt_group = false;
 
     // (Re)initialise this group's local memory from the launch template.
     if scratch.local_mem.len() != launch.local_templ.len() {
@@ -654,6 +808,7 @@ fn run_group(
         launch,
         local_mem,
         group_linear,
+        corrupt_stores: launch.corrupt_launch || corrupt_group,
     };
     let mut stats = GroupStats {
         items: n_items as u64,
@@ -739,7 +894,9 @@ fn run_item(
             return Err(ExecError::Internal("fell off the end of a block".into()));
         }
         let iv = insts[wi.inst_idx];
-        let inst = f.inst(iv).expect("block entries are instructions");
+        let inst = f
+            .inst(iv)
+            .ok_or_else(|| ExecError::Internal("block entry is not an instruction".into()))?;
         wi.insts += 1;
         budget.spend()?;
 
@@ -870,7 +1027,10 @@ fn eval_inst(
             let p = val(*ptr)?
                 .as_ptr()
                 .ok_or_else(|| ExecError::TypeMismatch("store through non-pointer".into()))?;
-            let v = val(*value)?;
+            let mut v = val(*value)?;
+            if r.corrupt_stores && p.space == AddressSpace::Global {
+                v = corrupt_val(v);
+            }
             let bytes = f.ty(*value).size_bytes() as u32;
             mem_store(r, p, v)?;
             emit(sink, r, wi, TraceOp::Store, p, bytes, iv);
@@ -927,6 +1087,37 @@ fn eval_inst(
         Inst::Barrier { .. } | Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret => {
             Err(ExecError::Internal("control handled by run_item".into()))
         }
+    }
+}
+
+/// Store perturbation for [`crate::fault::FaultKind::CorruptStores`]:
+/// deterministic, value-only (addresses and trace shape are unchanged, so
+/// cycle measurements stay comparable while outputs diverge).
+fn corrupt_val(v: Val) -> Val {
+    match v {
+        Val::F32(x) => Val::F32(x + 1.0),
+        Val::I32(x) => Val::I32(x ^ 1),
+        Val::I64(x) => Val::I64(x ^ 1),
+        Val::Bool(b) => Val::Bool(!b),
+        Val::VF32(mut a, n) => {
+            for x in &mut a {
+                *x += 1.0;
+            }
+            Val::VF32(a, n)
+        }
+        Val::VI32(mut a, n) => {
+            for x in &mut a {
+                *x ^= 1;
+            }
+            Val::VI32(a, n)
+        }
+        Val::VBool(mut a, n) => {
+            for x in &mut a {
+                *x = !*x;
+            }
+            Val::VBool(a, n)
+        }
+        Val::Ptr(_) => v,
     }
 }
 
@@ -1048,10 +1239,15 @@ fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
     // Vector ops: elementwise over lanes.
     if l.lanes() > 1 || r.lanes() > 1 {
         let n = l.lanes().max(r.lanes());
+        let lane_err = || ExecError::Internal("vector lane out of range".into());
         let mut out: Option<Val> = None;
         for i in 0..n as usize {
-            let a = l.lane(if l.lanes() > 1 { i } else { 0 }).unwrap();
-            let b = r.lane(if r.lanes() > 1 { i } else { 0 }).unwrap();
+            let a = l
+                .lane(if l.lanes() > 1 { i } else { 0 })
+                .ok_or_else(lane_err)?;
+            let b = r
+                .lane(if r.lanes() > 1 { i } else { 0 })
+                .ok_or_else(lane_err)?;
             let x = eval_bin(op, a, b)?;
             out = Some(match out {
                 None => match x {
@@ -1072,7 +1268,9 @@ fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
                     .ok_or_else(|| ExecError::TypeMismatch("vector lane mismatch".into()))?,
             });
         }
-        return Ok(out.unwrap());
+        // `n >= 2` here (some operand is a vector), so the loop ran and
+        // `out` was seeded on its first iteration.
+        return out.ok_or_else(|| ExecError::Internal("empty vector op".into()));
     }
 
     use BinOp::*;
@@ -1252,7 +1450,13 @@ fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Va
         let n = args[0].lanes();
         let mut out = args[0];
         for i in 0..n as usize {
-            let la: Vec<Val> = args.iter().map(|a| a.lane(i).unwrap()).collect();
+            let la: Vec<Val> = args
+                .iter()
+                .map(|a| {
+                    a.lane(i)
+                        .ok_or_else(|| ExecError::TypeMismatch("vector math lanes".into()))
+                })
+                .collect::<Result<_, _>>()?;
             let x = eval_call(nd, wi, b, &la)?;
             out = out
                 .with_lane(i, x)
@@ -1297,9 +1501,11 @@ fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Va
         }
         Dot => {
             let n = args[0].lanes() as usize;
+            let lane_err = || ExecError::TypeMismatch("dot operand lanes".into());
             let mut acc = 0.0f32;
             for i in 0..n {
-                acc += f1(args[0].lane(i).unwrap())? * f1(args[1].lane(i).unwrap())?;
+                acc += f1(args[0].lane(i).ok_or_else(lane_err)?)?
+                    * f1(args[1].lane(i).ok_or_else(lane_err)?)?;
             }
             Val::F32(acc)
         }

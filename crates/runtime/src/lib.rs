@@ -43,6 +43,8 @@
 //! ```
 
 pub mod buffer;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod interp;
 pub mod trace;
 pub mod val;
@@ -84,10 +86,25 @@ pub enum ExecError {
     BarrierDivergence,
     /// The launch exceeded [`Limits::max_instructions`].
     InstructionLimit,
+    /// The launch exceeded [`Limits::deadline`] (wall clock). The watchdog
+    /// drains the shared instruction budget, so every worker stops within
+    /// one budget chunk of the deadline being noticed.
+    DeadlineExceeded,
     /// Invalid NDRange geometry.
     BadNdRange(String),
     /// A construct the interpreter does not support.
     Unsupported(String),
+    /// A panic while executing a work-group (in the interpreter, a trace
+    /// sink, or an injected fault) was caught and converted instead of
+    /// unwinding through — or aborting — the process.
+    WorkerPanic {
+        /// Linear id of the group being executed (`u32::MAX` = the panic
+        /// escaped per-group isolation; provably unreachable short of a
+        /// bug in the launch machinery itself).
+        group: u32,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// Interpreter invariant violation (a bug).
     Internal(String),
 }
@@ -111,8 +128,16 @@ impl std::fmt::Display for ExecError {
                 f.write_str("work-items reached different barriers (divergent barrier)")
             }
             ExecError::InstructionLimit => f.write_str("instruction limit exceeded"),
+            ExecError::DeadlineExceeded => f.write_str("launch exceeded its wall-clock deadline"),
             ExecError::BadNdRange(s) => write!(f, "invalid NDRange: {s}"),
             ExecError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            ExecError::WorkerPanic { group, message } => {
+                if *group == u32::MAX {
+                    write!(f, "worker panicked: {message}")
+                } else {
+                    write!(f, "worker panicked in work-group {group}: {message}")
+                }
+            }
             ExecError::Internal(s) => write!(f, "internal interpreter error: {s}"),
         }
     }

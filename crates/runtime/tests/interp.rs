@@ -284,6 +284,7 @@ fn instruction_limit_enforced() {
         &mut NullSink,
         &Limits {
             max_instructions: 10_000,
+            ..Limits::default()
         },
     )
     .unwrap_err();
@@ -479,6 +480,7 @@ fn parallel_instruction_limit_enforced() {
         &mut NullSink,
         &Limits {
             max_instructions: 10_000,
+            ..Limits::default()
         },
         ExecPolicy::Parallel { threads: 2 },
     )

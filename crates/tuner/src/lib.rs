@@ -44,11 +44,16 @@
 //! ```
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use grover_core::{Grover, GroverReport};
 use grover_devsim::Device;
 use grover_ir::Function;
-use grover_runtime::{enqueue_with_policy, ArgValue, Context, ExecPolicy, Limits, NdRange};
+use grover_runtime::{
+    enqueue_with_policy, ArgValue, BufferData, Context, ExecError, ExecPolicy, Limits, NdRange,
+    NullSink,
+};
 
 /// Which kernel version won.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -62,6 +67,77 @@ pub enum Choice {
     Similar,
 }
 
+/// Why a tuning run was demoted to the original kernel regardless of the
+/// measured cycle counts. The tuner never recommends a transformed kernel
+/// that failed to run, panicked, timed out, or produced different output
+/// bits — [`Tuner::best_kernel`] falls back to the original instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The transformed kernel's output buffers differ bit-for-bit from the
+    /// original's on the representative workload.
+    OutputMismatch {
+        /// Index of the first differing buffer (creation order).
+        buffer: u32,
+        /// First differing element inside that buffer.
+        index: usize,
+    },
+    /// The transformed kernel failed with an execution error.
+    ExecFailed(String),
+    /// A measurement of the transformed kernel panicked; the panic was
+    /// isolated to the race thread and converted.
+    Panicked(String),
+    /// The transformed measurement exceeded the wall-clock deadline.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::OutputMismatch { buffer, index } => write!(
+                f,
+                "transformed kernel output differs (buffer {buffer}, element {index})"
+            ),
+            FallbackReason::ExecFailed(e) => write!(f, "transformed kernel failed: {e}"),
+            FallbackReason::Panicked(m) => write!(f, "transformed measurement panicked: {m}"),
+            FallbackReason::DeadlineExceeded => {
+                f.write_str("transformed measurement exceeded the deadline")
+            }
+        }
+    }
+}
+
+/// Stable machine-readable tag for a [`FallbackReason`] (CLI `--json`).
+impl FallbackReason {
+    /// One of `output_mismatch`, `exec_error`, `panic`, `deadline`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FallbackReason::OutputMismatch { .. } => "output_mismatch",
+            FallbackReason::ExecFailed(_) => "exec_error",
+            FallbackReason::Panicked(_) => "panic",
+            FallbackReason::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+/// Retry policy for transient measurement failures (panics and deadline
+/// overruns; deterministic [`ExecError`]s are never retried).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per measurement, including the first (min 1).
+    pub max_attempts: u32,
+    /// Sleep between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// Outcome of one tuning run.
 #[derive(Clone, Debug)]
 pub struct Decision {
@@ -69,14 +145,19 @@ pub struct Decision {
     pub device: String,
     /// The winning version.
     pub choice: Choice,
-    /// `np = t_with / t_without` (paper §VI-B).
+    /// `np = t_with / t_without` (paper §VI-B). `0.0` when the transformed
+    /// version never completed a measurement (see `fallback`).
     pub np: f64,
     /// Simulated cycles with local memory.
     pub cycles_with: u64,
-    /// Simulated cycles without local memory.
+    /// Simulated cycles without local memory (`0` when the transformed
+    /// version never completed a measurement).
     pub cycles_without: u64,
     /// What Grover did to the kernel.
     pub report: GroverReport,
+    /// `Some` when the decision was demoted to [`Choice::WithLocalMemory`]
+    /// by the hardening pipeline rather than by the cycle race.
+    pub fallback: Option<FallbackReason>,
 }
 
 /// A representative workload: a factory producing a fresh context,
@@ -99,6 +180,11 @@ impl Workload {
 }
 
 /// Tuning failures.
+///
+/// These report failures of the *original* kernel or of the tuner itself —
+/// there is no correct version left to fall back to. Failures of the
+/// *transformed* kernel never surface here; they demote the [`Decision`]
+/// to the original kernel with a recorded [`FallbackReason`] instead.
 #[derive(Clone, Debug)]
 pub enum TuneError {
     /// Grover could not remove any local memory — there is nothing to tune.
@@ -107,6 +193,14 @@ pub enum TuneError {
     UnknownDevice(String),
     /// The interpreter failed while measuring.
     Execution(String),
+    /// A measurement of the original kernel panicked (isolated from the
+    /// process and converted).
+    Panicked(String),
+    /// A measurement of the original kernel exceeded the wall-clock
+    /// deadline even after retries.
+    Deadline,
+    /// Tuner invariant violation (a bug).
+    Internal(String),
 }
 
 impl std::fmt::Display for TuneError {
@@ -117,6 +211,9 @@ impl std::fmt::Display for TuneError {
             }
             TuneError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
             TuneError::Execution(e) => write!(f, "execution failed: {e}"),
+            TuneError::Panicked(m) => write!(f, "measurement panicked: {m}"),
+            TuneError::Deadline => f.write_str("measurement exceeded the wall-clock deadline"),
+            TuneError::Internal(m) => write!(f, "internal tuner error: {m}"),
         }
     }
 }
@@ -130,14 +227,44 @@ impl std::error::Error for TuneError {}
 /// they are independent and the measured cycle counts are identical to a
 /// back-to-back run. `policy` additionally selects the work-group schedule
 /// used inside each measurement.
-#[derive(Default)]
+///
+/// # Hardening
+///
+/// The tune/launch path degrades gracefully: a panic in either race thread
+/// is caught ([`TuneError::Panicked`] / [`FallbackReason::Panicked`]), each
+/// measurement runs under `limits` (instruction budget + optional
+/// wall-clock deadline), transient failures are retried per `retry`, and —
+/// with `verify_outputs` on — both versions are re-run on the workload and
+/// their output buffers bit-compared. Any failure or mismatch of the
+/// *transformed* kernel demotes the decision to the original with a
+/// [`FallbackReason`], so [`Tuner::best_kernel`] can never return a broken
+/// kernel; only a failure of the *original* kernel is a [`TuneError`].
 pub struct Tuner {
     /// Similarity threshold (paper uses 5 %).
     pub threshold: f64,
     /// Work-group schedule used for the measurement launches.
     pub policy: ExecPolicy,
+    /// Per-measurement execution limits (instruction budget and optional
+    /// wall-clock deadline, enforced by the runtime watchdog).
+    pub limits: Limits,
+    /// Retry policy for transient measurement failures.
+    pub retry: RetryPolicy,
+    /// Run the differential-output guard after measuring (default on).
+    /// The guard re-runs both versions serially on fresh workload
+    /// instantiations, so the workload factory must be deterministic —
+    /// which meaningful tuning requires anyway.
+    pub verify_outputs: bool,
+    /// Restrict the Grover transform to these `__local` buffers
+    /// (`None` = remove all).
+    pub buffers: Option<Vec<String>>,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<String, Function>,
+}
+
+impl Default for Tuner {
+    fn default() -> Tuner {
+        Tuner::new()
+    }
 }
 
 impl Tuner {
@@ -146,6 +273,10 @@ impl Tuner {
         Tuner {
             threshold: 0.05,
             policy: ExecPolicy::Serial,
+            limits: Limits::default(),
+            retry: RetryPolicy::default(),
+            verify_outputs: true,
+            buffers: None,
             cache: HashMap::new(),
             transformed: HashMap::new(),
         }
@@ -177,29 +308,108 @@ impl Tuner {
             return Ok(d.clone());
         }
         let (transformed, report) = self.transform(kernel)?;
+        self.tune_pair(kernel, &transformed, report, device, workload)
+    }
+
+    /// Tune an externally-prepared `(original, transformed)` pair — for
+    /// callers that run their own transform/optimisation pipeline (e.g. the
+    /// CLI's benchmark harness, which may restrict Grover to a subset of
+    /// buffers). Caches under `(kernel.name, device)` exactly like
+    /// [`Tuner::tune`], and registers `transformed` so
+    /// [`Tuner::best_kernel`] resolves it.
+    pub fn tune_pair(
+        &mut self,
+        kernel: &Function,
+        transformed: &Function,
+        report: GroverReport,
+        device: &str,
+        workload: &Workload,
+    ) -> Result<Decision, TuneError> {
+        let key = (kernel.name.clone(), device.to_string());
+        if let Some(d) = self.cache.get(&key) {
+            return Ok(d.clone());
+        }
+        // Fail fast on a bad device name before spending any measurement.
+        if Device::by_name(device).is_none() {
+            return Err(TuneError::UnknownDevice(device.to_string()));
+        }
+        let policy = self.policy;
+        let limits = self.limits;
+        let retry = self.retry;
 
         // Race the two versions on two scoped threads. The workloads are
         // instantiated up front on this thread (the factory need not be
-        // `Sync`); each measurement then runs fully independently.
+        // `Sync`); each measurement then runs fully independently. Each is
+        // wrapped in `catch_unwind`, so a panicking measurement is isolated
+        // to its race thread and converted instead of aborting the tuner.
         let w_with = workload.instantiate();
         let w_without = workload.instantiate();
-        let policy = self.policy;
-        let transformed_ref = &transformed;
-        let (cycles_with, cycles_without) = std::thread::scope(|s| {
-            let with = s.spawn(move || simulate(kernel, device, w_with, policy));
-            let without = simulate(transformed_ref, device, w_without, policy);
-            (with.join().expect("tuner race thread panicked"), without)
+        let (res_with, res_without) = std::thread::scope(|s| {
+            let without =
+                s.spawn(move || simulate_caught(transformed, device, w_without, policy, &limits));
+            let with = simulate_caught(kernel, device, w_with, policy, &limits);
+            // `simulate_caught` already catches panics; `join` only fails if
+            // one escapes the isolation (a bug) — still convert, never abort.
+            let without = without
+                .join()
+                .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))));
+            (with, without)
         });
-        let cycles_with = cycles_with?;
-        let cycles_without = cycles_without?;
-        let np = cycles_with as f64 / cycles_without.max(1) as f64;
-        let choice = if np > 1.0 + self.threshold {
+
+        // Transient failures (panics, deadline overruns) are retried
+        // serially on fresh workload instantiations.
+        let res_with = retry_measure(res_with, retry, || {
+            simulate_caught(kernel, device, workload.instantiate(), policy, &limits)
+        });
+        let res_without = retry_measure(res_without, retry, || {
+            simulate_caught(transformed, device, workload.instantiate(), policy, &limits)
+        });
+
+        // The original kernel must measure: without a working baseline
+        // there is nothing to fall back to.
+        let cycles_with = res_with.map_err(fatal)?;
+
+        let mut fallback: Option<FallbackReason> = None;
+        let cycles_without = match res_without {
+            Ok(c) => c,
+            Err(f) => {
+                fallback = Some(reason_of(f));
+                0
+            }
+        };
+
+        // Differential-output guard: re-run both versions serially on fresh
+        // instantiations and bit-compare every buffer. A reference failure
+        // is fatal; a candidate failure or any differing bit demotes.
+        if fallback.is_none() && self.verify_outputs {
+            let reference = run_for_outputs(kernel, workload, &limits).map_err(fatal)?;
+            match run_for_outputs(transformed, workload, &limits) {
+                Err(f) => fallback = Some(reason_of(f)),
+                Ok(candidate) => {
+                    if let Some((buffer, index)) = first_bit_mismatch(&reference, &candidate) {
+                        fallback = Some(FallbackReason::OutputMismatch { buffer, index });
+                    }
+                }
+            }
+        }
+
+        let np = if cycles_without == 0 {
+            0.0
+        } else {
+            cycles_with as f64 / cycles_without as f64
+        };
+        let choice = if fallback.is_some() {
+            Choice::WithLocalMemory
+        } else if np > 1.0 + self.threshold {
             Choice::WithoutLocalMemory
         } else if np < 1.0 - self.threshold {
             Choice::WithLocalMemory
         } else {
             Choice::Similar
         };
+        self.transformed
+            .entry(kernel.name.clone())
+            .or_insert_with(|| transformed.clone());
         let d = Decision {
             device: device.to_string(),
             choice,
@@ -207,12 +417,17 @@ impl Tuner {
             cycles_with,
             cycles_without,
             report,
+            fallback,
         };
         self.cache.insert(key, d.clone());
         Ok(d)
     }
 
     /// The kernel version the tuner recommends for `device`.
+    ///
+    /// Guaranteed to be runnable: any failure or output divergence of the
+    /// transformed version during [`Tuner::tune`] demotes the decision, so
+    /// this returns the original kernel in every fallback case.
     pub fn best_kernel(
         &mut self,
         kernel: &Function,
@@ -221,11 +436,11 @@ impl Tuner {
     ) -> Result<Function, TuneError> {
         let d = self.tune(kernel, device, workload)?;
         Ok(match d.choice {
-            Choice::WithoutLocalMemory => self
-                .transformed
-                .get(&kernel.name)
-                .cloned()
-                .expect("transform cached by tune()"),
+            Choice::WithoutLocalMemory => {
+                self.transformed.get(&kernel.name).cloned().ok_or_else(|| {
+                    TuneError::Internal("transformed kernel not cached by tune()".into())
+                })?
+            }
             _ => kernel.clone(),
         })
     }
@@ -244,15 +459,25 @@ impl Tuner {
             .collect()
     }
 
+    fn grover(&self) -> Grover {
+        match &self.buffers {
+            Some(names) => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                Grover::for_buffers(&refs)
+            }
+            None => Grover::new(),
+        }
+    }
+
     fn transform(&mut self, kernel: &Function) -> Result<(Function, GroverReport), TuneError> {
         if let Some(t) = self.transformed.get(&kernel.name) {
             // Re-run for the report only on a scratch copy (cheap).
             let mut scratch = kernel.clone();
-            let report = Grover::new().run_on(&mut scratch);
+            let report = self.grover().run_on(&mut scratch);
             return Ok((t.clone(), report));
         }
         let mut transformed = kernel.clone();
-        let report = Grover::new().run_on(&mut transformed);
+        let report = self.grover().run_on(&mut transformed);
         if report.removed_count() == 0 {
             return Err(TuneError::NothingToDisable(report.to_text()));
         }
@@ -263,26 +488,174 @@ impl Tuner {
     }
 }
 
+/// A single measurement failure, before it is classified as fatal
+/// (original kernel → [`TuneError`]) or demoting (transformed kernel →
+/// [`FallbackReason`]).
+enum MeasureFailure {
+    Exec(ExecError),
+    Panicked(String),
+}
+
+impl MeasureFailure {
+    /// Worth retrying? Panics and deadline overruns may be environmental
+    /// (scheduling jitter, injected faults with limited fires);
+    /// deterministic interpreter errors are not.
+    fn transient(&self) -> bool {
+        matches!(
+            self,
+            MeasureFailure::Panicked(_)
+                | MeasureFailure::Exec(ExecError::DeadlineExceeded)
+                | MeasureFailure::Exec(ExecError::WorkerPanic { .. })
+        )
+    }
+}
+
+fn fatal(f: MeasureFailure) -> TuneError {
+    match f {
+        MeasureFailure::Panicked(m) => TuneError::Panicked(m),
+        MeasureFailure::Exec(ExecError::WorkerPanic { message, .. }) => {
+            TuneError::Panicked(message)
+        }
+        MeasureFailure::Exec(ExecError::DeadlineExceeded) => TuneError::Deadline,
+        MeasureFailure::Exec(e) => TuneError::Execution(e.to_string()),
+    }
+}
+
+fn reason_of(f: MeasureFailure) -> FallbackReason {
+    match f {
+        MeasureFailure::Panicked(m) => FallbackReason::Panicked(m),
+        MeasureFailure::Exec(ExecError::WorkerPanic { message, .. }) => {
+            FallbackReason::Panicked(message)
+        }
+        MeasureFailure::Exec(ExecError::DeadlineExceeded) => FallbackReason::DeadlineExceeded,
+        MeasureFailure::Exec(e) => FallbackReason::ExecFailed(e.to_string()),
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Retry `first` via `again` while the failure is transient, up to
+/// `retry.max_attempts` total attempts with `retry.backoff` between them.
+fn retry_measure<T>(
+    first: Result<T, MeasureFailure>,
+    retry: RetryPolicy,
+    mut again: impl FnMut() -> Result<T, MeasureFailure>,
+) -> Result<T, MeasureFailure> {
+    let mut result = first;
+    let mut attempts = 1u32;
+    while attempts < retry.max_attempts.max(1) {
+        match &result {
+            Err(f) if f.transient() => {
+                if !retry.backoff.is_zero() {
+                    std::thread::sleep(retry.backoff);
+                }
+                attempts += 1;
+                result = again();
+            }
+            _ => break,
+        }
+    }
+    result
+}
+
 fn simulate(
     kernel: &Function,
     device: &str,
     workload: (Context, Vec<ArgValue>, NdRange),
     policy: ExecPolicy,
-) -> Result<u64, TuneError> {
-    let mut dev =
-        Device::by_name(device).ok_or_else(|| TuneError::UnknownDevice(device.to_string()))?;
+    limits: &Limits,
+) -> Result<u64, MeasureFailure> {
+    // The device name is validated by `tune_pair` before any measurement;
+    // a lookup failure here means the registry changed under us.
+    let mut dev = Device::by_name(device).ok_or_else(|| {
+        MeasureFailure::Exec(ExecError::Internal(format!(
+            "device `{device}` disappeared mid-tune"
+        )))
+    })?;
     let (mut ctx, args, nd) = workload;
-    enqueue_with_policy(
-        &mut ctx,
-        kernel,
-        &args,
-        &nd,
-        &mut dev,
-        &Limits::default(),
-        policy,
-    )
-    .map_err(|e| TuneError::Execution(e.to_string()))?;
+    enqueue_with_policy(&mut ctx, kernel, &args, &nd, &mut dev, limits, policy)
+        .map_err(MeasureFailure::Exec)?;
     Ok(dev.finish().cycles)
+}
+
+/// [`simulate`] with panic isolation: a panic anywhere in the measurement
+/// (interpreter, device model, injected fault) becomes a
+/// [`MeasureFailure::Panicked`] instead of unwinding into the race scope.
+fn simulate_caught(
+    kernel: &Function,
+    device: &str,
+    workload: (Context, Vec<ArgValue>, NdRange),
+    policy: ExecPolicy,
+    limits: &Limits,
+) -> Result<u64, MeasureFailure> {
+    catch_unwind(AssertUnwindSafe(|| {
+        simulate(kernel, device, workload, policy, limits)
+    }))
+    .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))))
+}
+
+/// Run `kernel` once, serially and untraced, returning the final context
+/// for the differential-output guard.
+fn run_for_outputs(
+    kernel: &Function,
+    workload: &Workload,
+    limits: &Limits,
+) -> Result<Context, MeasureFailure> {
+    let (mut ctx, args, nd) = workload.instantiate();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        enqueue_with_policy(
+            &mut ctx,
+            kernel,
+            &args,
+            &nd,
+            &mut NullSink,
+            limits,
+            ExecPolicy::Serial,
+        )
+    }));
+    match run {
+        Ok(Ok(_)) => Ok(ctx),
+        Ok(Err(e)) => Err(MeasureFailure::Exec(e)),
+        Err(p) => Err(MeasureFailure::Panicked(panic_message(p.as_ref()))),
+    }
+}
+
+/// First bit-level difference between two contexts' buffers, as
+/// `(buffer, element)` — `None` when identical. Floats compare by bit
+/// pattern, so NaNs compare equal to themselves and `-0.0 != 0.0`.
+fn first_bit_mismatch(a: &Context, b: &Context) -> Option<(u32, usize)> {
+    let (ab, bb) = (a.buffers(), b.buffers());
+    if ab.len() != bb.len() {
+        return Some((ab.len().min(bb.len()) as u32, 0));
+    }
+    for (i, (x, y)) in ab.iter().zip(bb).enumerate() {
+        let diff = match (x, y) {
+            (BufferData::F32(x), BufferData::F32(y)) => mismatch_at(x, y, |v| v.to_bits() as u64),
+            (BufferData::I32(x), BufferData::I32(y)) => mismatch_at(x, y, |v| *v as u32 as u64),
+            (BufferData::I64(x), BufferData::I64(y)) => mismatch_at(x, y, |v| *v as u64),
+            // Differing element types at the same slot: flag element 0.
+            _ => Some(0),
+        };
+        if let Some(j) = diff {
+            return Some((i as u32, j));
+        }
+    }
+    None
+}
+
+fn mismatch_at<T>(a: &[T], b: &[T], key: impl Fn(&T) -> u64) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| key(x) != key(y))
 }
 
 #[cfg(test)]
