@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use grover_bench::scale_from_env;
 use grover_kernels::{app_by_id, prepare_pair, Scale};
+use grover_obs::json::{array, Obj};
 use grover_runtime::{enqueue_with_policy, ExecPolicy, Limits, NullSink};
 
 /// Apps whose launches are large enough to amortise thread start-up.
@@ -84,30 +85,27 @@ fn main() {
         eprintln!(
             "{id:<10} serial {serial:>10.3?}  parallel({workers}) {par:>10.3?}  speedup {speedup:.2}x"
         );
-        rows.push(format!(
-            concat!(
-                "    {{\"app\": \"{}\", \"serial_ms\": {:.3}, ",
-                "\"parallel_ms\": {:.3}, \"speedup\": {:.3}}}"
-            ),
-            id,
-            serial.as_secs_f64() * 1e3,
-            par.as_secs_f64() * 1e3,
-            speedup
-        ));
+        rows.push(
+            Obj::new()
+                .str("app", id)
+                .raw("serial_ms", &format!("{:.3}", serial.as_secs_f64() * 1e3))
+                .raw("parallel_ms", &format!("{:.3}", par.as_secs_f64() * 1e3))
+                .raw("speedup", &format!("{speedup:.3}"))
+                .finish(),
+        );
     }
 
-    println!("{{");
-    println!("  \"scale\": \"{scale:?}\",");
-    println!("  \"threads\": {workers},");
-    println!(
-        "  \"available_parallelism\": {},",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    );
-    println!("  \"samples\": {SAMPLES},");
-    println!("  \"kernels\": [");
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    let report = Obj::new()
+        .str("scale", &format!("{scale:?}"))
+        .u64("threads", workers as u64)
+        .u64(
+            "available_parallelism",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1) as u64,
+        )
+        .u64("samples", SAMPLES as u64)
+        .raw("kernels", &array(rows))
+        .finish();
+    println!("{report}");
 }

@@ -14,9 +14,23 @@
 //!     runs work-groups on N host threads (0 = one per CPU); the simulated
 //!     cycle counts are identical to a serial run.
 //!
+//! grover profile <app-id> [--scale test|small|paper] [--threads N] [--json]
+//!     Run both kernel versions of a bundled benchmark and print a
+//!     side-by-side memory-traffic report (per-address-space load/store
+//!     counts, bytes moved, barriers, instructions) with deltas — the
+//!     paper's §VI-C reasons analysis — plus the per-buffer pass outcomes
+//!     with structured reasons.
+//!
 //! grover list
 //!     List the bundled benchmark applications.
 //! ```
+//!
+//! ## Global flags
+//!
+//! `--trace-out <file.jsonl>` (any position): stream telemetry — spans and
+//! events from the pass, the runtime launch engine and the tuner — to the
+//! given file, one JSON object per line. Without the flag the no-op
+//! recorder is used and nothing is collected.
 //!
 //! ## Exit codes
 //!
@@ -32,14 +46,18 @@
 //! | 7    | wall-clock deadline exceeded on the original kernel   |
 //! | 8    | `--strict` and the tuner fell back to the original    |
 
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use grover_core::Grover;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
-use grover_kernels::{all_apps, app_by_id, prepare_pair, Scale};
-use grover_runtime::{ExecPolicy, Limits};
+use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared_observed, KernelPair, Scale};
+use grover_obs::json::{array, Obj};
+use grover_obs::{JsonlRecorder, NoopRecorder, Recorder, Value};
+use grover_runtime::{CountingSink, ExecPolicy, Limits};
 use grover_tuner::{Choice, Decision, RetryPolicy, TuneError, Tuner, Workload};
 
 const EXIT_USAGE: u8 = 2;
@@ -70,19 +88,39 @@ impl Failure {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let recorder = match extract_trace_out(&mut args) {
+        Ok(None) => Arc::new(NoopRecorder) as Arc<dyn Recorder>,
+        Ok(Some(path)) => match std::fs::File::create(&path) {
+            Ok(f) => Arc::new(JsonlRecorder::new(BufWriter::new(f))) as Arc<dyn Recorder>,
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("transform") => cmd_transform(&args[1..]),
-        Some("autotune") => cmd_autotune(&args[1..]),
+        Some("transform") => cmd_transform(&args[1..], &recorder),
+        Some("autotune") => cmd_autotune(&args[1..], &recorder),
+        Some("profile") => cmd_profile(&args[1..], &recorder),
         Some("classify") => cmd_classify(&args[1..]),
         Some("list") => cmd_list(),
         _ => {
-            eprintln!("usage: grover <transform|autotune|classify|list> ...");
+            eprintln!(
+                "usage: grover <transform|autotune|profile|classify|list> [--trace-out FILE] ..."
+            );
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
             eprintln!(
                 "  grover autotune <app-id> [--device NAME] [--scale test|small|paper] [--threads N]"
             );
             eprintln!("                  [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]");
+            eprintln!(
+                "  grover profile <app-id> [--scale test|small|paper] [--threads N] [--json]"
+            );
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
@@ -97,7 +135,20 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_transform(args: &[String]) -> Result<(), Failure> {
+/// Strip the global `--trace-out <path>` flag (any position) from `args`.
+fn extract_trace_out(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            return Err("--trace-out needs a file path".into());
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Ok(Some(path));
+    }
+    Ok(None)
+}
+
+fn cmd_transform(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
     let mut path = None;
     let mut opts = BuildOptions::new();
     let mut kernel_name: Option<String> = None;
@@ -148,7 +199,7 @@ fn cmd_transform(args: &[String]) -> Result<(), Failure> {
             buffers: None,
             keep_barriers,
         });
-        let report = grover.run_on(&mut transformed);
+        let report = grover.run_on_observed(&mut transformed, &**recorder, None);
         println!("==== grover report ====");
         print!("{}", report.to_text());
         println!("==== transformed: {} ====", transformed.name);
@@ -164,7 +215,7 @@ fn parse_u64(it: &mut std::slice::Iter<String>, flag: &str) -> Result<u64, Failu
         .map_err(|_| Failure::usage(format!("{flag} needs an integer")))
 }
 
-fn cmd_autotune(args: &[String]) -> Result<(), Failure> {
+fn cmd_autotune(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
     let mut app_id = None;
     let mut device = "SNB".to_string();
     let mut scale = Scale::Small;
@@ -231,6 +282,7 @@ fn cmd_autotune(args: &[String]) -> Result<(), Failure> {
     });
 
     let mut tuner = Tuner::with_policy(policy);
+    tuner.recorder = recorder.clone();
     tuner.limits = Limits {
         deadline,
         ..Limits::default()
@@ -307,55 +359,312 @@ fn print_decision(d: &Decision) {
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// `grover profile <app-id>`: run both kernel versions on the same
+/// workload, tally per-address-space traffic with a [`CountingSink`], and
+/// report the side-by-side deltas — what the transform eliminated (local
+/// traffic, barriers) and what it added (direct global loads), the
+/// paper's §VI-C reasons analysis — plus the pass's per-buffer outcomes.
+fn cmd_profile(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+    let mut app_id = None;
+    let mut scale = Scale::Small;
+    let mut policy = ExecPolicy::Serial;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--scale needs a value"))?
+                    .as_str()
+                {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(Failure::usage(format!("unknown scale `{other}`"))),
+                }
+            }
+            "--threads" => {
+                let n = parse_u64(&mut it, "--threads")? as usize;
+                policy = ExecPolicy::Parallel { threads: n };
+            }
+            "--json" => json = true,
+            other if app_id.is_none() => app_id = Some(other.to_string()),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }
-    out.push('"');
-    out
+    let app_id = app_id.ok_or_else(|| Failure::usage("no application id (try `grover list`)"))?;
+    let app = app_by_id(&app_id).ok_or_else(|| {
+        Failure::new(
+            EXIT_UNKNOWN_TARGET,
+            format!("unknown app `{app_id}` (try `grover list`)"),
+        )
+    })?;
+    let pair = prepare_pair(&app, scale).map_err(|e| Failure::new(EXIT_COMPILE, e))?;
+
+    let rec = &**recorder;
+    let span = rec.enabled().then(|| rec.span_start("profile", None));
+    if let Some(span) = span {
+        rec.span_attr(span, "app", Value::from(app_id.as_str()));
+        rec.span_attr(span, "scale", Value::from(scale_name(scale)));
+    }
+    let run = |kernel, version: &str| -> Result<CountingSink, Failure> {
+        let mut sink = CountingSink::default();
+        run_prepared_observed(kernel, (app.prepare)(scale), &mut sink, policy, rec, span)
+            .map_err(|e| Failure::new(EXIT_EXEC, format!("{version} kernel: {e}")))?;
+        Ok(sink)
+    };
+    let original = run(&pair.original, "original");
+    let transformed = original
+        .as_ref()
+        .ok()
+        .map(|_| run(&pair.transformed, "transformed"));
+    if let Some(span) = span {
+        rec.span_end(span);
+    }
+    let original = original?;
+    let transformed = transformed.expect("transformed runs when the original succeeded")?;
+
+    if json {
+        println!(
+            "{}",
+            profile_json(&app_id, scale, &pair, &original, &transformed)
+        );
+    } else {
+        print_profile(&app_id, scale, policy, &pair, &original, &transformed);
+    }
+    Ok(())
 }
 
-fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
-    let scale = match scale {
+/// `transformed - original`, signed.
+fn delta(original: u64, transformed: u64) -> i64 {
+    transformed as i64 - original as i64
+}
+
+/// The side-by-side traffic rows of the profile report.
+fn profile_rows(o: &CountingSink, t: &CountingSink) -> Vec<(&'static str, u64, u64)> {
+    vec![
+        ("global loads", o.global_loads, t.global_loads),
+        ("global stores", o.global_stores, t.global_stores),
+        ("local loads", o.local_loads, t.local_loads),
+        ("local stores", o.local_stores, t.local_stores),
+        ("constant loads", o.constant_loads, t.constant_loads),
+        ("private loads", o.private_loads, t.private_loads),
+        ("private stores", o.private_stores, t.private_stores),
+        ("barriers", o.barriers, t.barriers),
+        ("instructions", o.instructions, t.instructions),
+        ("bytes loaded", o.bytes_loaded, t.bytes_loaded),
+        ("bytes stored", o.bytes_stored, t.bytes_stored),
+        (
+            "global bytes loaded",
+            o.global_bytes.loaded,
+            t.global_bytes.loaded,
+        ),
+        (
+            "global bytes stored",
+            o.global_bytes.stored,
+            t.global_bytes.stored,
+        ),
+        (
+            "local bytes loaded",
+            o.local_bytes.loaded,
+            t.local_bytes.loaded,
+        ),
+        (
+            "local bytes stored",
+            o.local_bytes.stored,
+            t.local_bytes.stored,
+        ),
+    ]
+}
+
+fn print_profile(
+    app_id: &str,
+    scale: Scale,
+    policy: ExecPolicy,
+    pair: &KernelPair,
+    o: &CountingSink,
+    t: &CountingSink,
+) {
+    println!(
+        "profile {app_id} (scale {}, {} work-group schedule)",
+        scale_name(scale),
+        match policy {
+            ExecPolicy::Serial => "serial".to_string(),
+            ExecPolicy::Parallel { .. } => format!("parallel x{}", policy.worker_count()),
+        }
+    );
+    println!(
+        "  {:<22}{:>14}{:>14}{:>14}",
+        "metric", "original", "transformed", "delta"
+    );
+    for (label, ov, tv) in profile_rows(o, t) {
+        println!("  {:<22}{:>14}{:>14}{:>+14}", label, ov, tv, delta(ov, tv));
+    }
+    println!("  reasons (paper §VI-C):");
+    println!(
+        "    local loads eliminated : {}",
+        o.local_loads.saturating_sub(t.local_loads)
+    );
+    println!(
+        "    local stores eliminated: {}",
+        o.local_stores.saturating_sub(t.local_stores)
+    );
+    println!(
+        "    global loads added     : {:+}",
+        delta(o.global_loads, t.global_loads)
+    );
+    println!(
+        "    barriers removed       : {}",
+        o.barriers.saturating_sub(t.barriers)
+    );
+    println!(
+        "  pass: {} barrier(s), {} instruction(s) removed statically",
+        pair.report.barriers_removed, pair.report.insts_removed
+    );
+    println!("  buffers:");
+    for b in &pair.report.buffers {
+        let reason = b
+            .outcome
+            .reason()
+            .map(|r| format!(" ({r})"))
+            .unwrap_or_default();
+        let solutions = if b.solutions.is_empty() {
+            String::new()
+        } else {
+            format!("  solve {}", b.solutions.join("; "))
+        };
+        println!(
+            "    __local {}: {}{reason}{solutions}",
+            b.buffer,
+            b.outcome.kind()
+        );
+    }
+}
+
+fn space_json(loaded: u64, stored: u64) -> String {
+    Obj::new()
+        .u64("loaded", loaded)
+        .u64("stored", stored)
+        .finish()
+}
+
+fn counts_json(c: &CountingSink) -> String {
+    Obj::new()
+        .u64("global_loads", c.global_loads)
+        .u64("global_stores", c.global_stores)
+        .u64("local_loads", c.local_loads)
+        .u64("local_stores", c.local_stores)
+        .u64("constant_loads", c.constant_loads)
+        .u64("private_loads", c.private_loads)
+        .u64("private_stores", c.private_stores)
+        .u64("barriers", c.barriers)
+        .u64("instructions", c.instructions)
+        .u64("bytes_loaded", c.bytes_loaded)
+        .u64("bytes_stored", c.bytes_stored)
+        .raw(
+            "global_bytes",
+            &space_json(c.global_bytes.loaded, c.global_bytes.stored),
+        )
+        .raw(
+            "local_bytes",
+            &space_json(c.local_bytes.loaded, c.local_bytes.stored),
+        )
+        .raw(
+            "constant_bytes",
+            &space_json(c.constant_bytes.loaded, c.constant_bytes.stored),
+        )
+        .finish()
+}
+
+fn profile_json(
+    app_id: &str,
+    scale: Scale,
+    pair: &KernelPair,
+    o: &CountingSink,
+    t: &CountingSink,
+) -> String {
+    let delta_obj = Obj::new()
+        .i64("local_loads_removed", delta(t.local_loads, o.local_loads))
+        .i64(
+            "local_stores_removed",
+            delta(t.local_stores, o.local_stores),
+        )
+        .i64("global_loads_added", delta(o.global_loads, t.global_loads))
+        .i64(
+            "global_stores_added",
+            delta(o.global_stores, t.global_stores),
+        )
+        .i64("barriers_removed", delta(t.barriers, o.barriers))
+        .i64("instructions", delta(o.instructions, t.instructions))
+        .i64("bytes_loaded", delta(o.bytes_loaded, t.bytes_loaded))
+        .i64("bytes_stored", delta(o.bytes_stored, t.bytes_stored))
+        .i64(
+            "global_bytes_loaded",
+            delta(o.global_bytes.loaded, t.global_bytes.loaded),
+        )
+        .i64(
+            "local_bytes_loaded",
+            delta(o.local_bytes.loaded, t.local_bytes.loaded),
+        )
+        .finish();
+    let buffers = array(pair.report.buffers.iter().map(|b| {
+        let obj = Obj::new()
+            .str("buffer", &b.buffer)
+            .str("outcome", b.outcome.kind());
+        let obj = match b.outcome.reason() {
+            Some(r) => obj.str("reason", &r),
+            None => obj.null("reason"),
+        };
+        obj.raw(
+            "solutions",
+            &array(b.solutions.iter().map(|s| grover_obs::json::escape(s))),
+        )
+        .finish()
+    }));
+    let pass = Obj::new()
+        .u64("barriers_removed", pair.report.barriers_removed as u64)
+        .u64("insts_removed", pair.report.insts_removed as u64)
+        .bool("all_removed", pair.report.all_removed())
+        .finish();
+    Obj::new()
+        .str("app", app_id)
+        .str("scale", scale_name(scale))
+        .str("kernel", &pair.original.name)
+        .raw("original", &counts_json(o))
+        .raw("transformed", &counts_json(t))
+        .raw("delta", &delta_obj)
+        .raw("buffers", &buffers)
+        .raw("pass", &pass)
+        .finish()
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
         Scale::Test => "test",
         Scale::Small => "small",
         Scale::Paper => "paper",
-    };
-    let choice = match d.choice {
-        Choice::WithLocalMemory => "with_local_memory",
-        Choice::WithoutLocalMemory => "without_local_memory",
-        Choice::Similar => "similar",
-    };
+    }
+}
+
+fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
     let fallback = match &d.fallback {
         None => "null".to_string(),
-        Some(reason) => format!(
-            "{{\"kind\":{},\"detail\":{}}}",
-            json_str(reason.kind()),
-            json_str(&reason.to_string())
-        ),
+        Some(reason) => Obj::new()
+            .str("kind", reason.kind())
+            .str("detail", &reason.to_string())
+            .finish(),
     };
-    format!(
-        "{{\"app\":{},\"device\":{},\"scale\":{},\"cycles_with\":{},\"cycles_without\":{},\"np\":{},\"choice\":{},\"fallback\":{}}}",
-        json_str(app_id),
-        json_str(&d.device),
-        json_str(scale),
-        d.cycles_with,
-        d.cycles_without,
-        d.np,
-        json_str(choice),
-        fallback
-    )
+    Obj::new()
+        .str("app", app_id)
+        .str("device", &d.device)
+        .str("scale", scale_name(scale))
+        .u64("cycles_with", d.cycles_with)
+        .u64("cycles_without", d.cycles_without)
+        .f64("np", d.np)
+        .str("choice", d.choice.kind())
+        .raw("fallback", &fallback)
+        .finish()
 }
 
 fn cmd_classify(args: &[String]) -> Result<(), Failure> {

@@ -246,6 +246,156 @@ fn autotune_json_output() {
 }
 
 #[test]
+fn profile_prints_traffic_table() {
+    let out = Command::new(BIN)
+        .args(["profile", "NVD-MT", "--scale", "test"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "original",
+        "transformed",
+        "local loads",
+        "global loads",
+        "barriers",
+        "local loads eliminated",
+        "global loads added",
+        "barriers removed",
+        "buffers:",
+        "removed",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}`: {stdout}");
+    }
+}
+
+#[test]
+fn profile_json_schema() {
+    for app in ["NVD-MT", "AMD-MM"] {
+        let out = Command::new(BIN)
+            .args(["profile", app, "--scale", "test", "--json"])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+        assert!(!line.contains('\n'), "one line only: {stdout}");
+        for key in [
+            "\"app\":",
+            "\"scale\":\"test\"",
+            "\"kernel\":",
+            "\"original\":{",
+            "\"transformed\":{",
+            "\"delta\":{",
+            "\"local_loads\":",
+            "\"local_stores\":",
+            "\"global_loads\":",
+            "\"private_loads\":",
+            "\"bytes_loaded\":",
+            "\"global_bytes\":{\"loaded\":",
+            "\"local_loads_removed\":",
+            "\"global_loads_added\":",
+            "\"barriers_removed\":",
+            "\"buffers\":[",
+            "\"outcome\":",
+            "\"pass\":{",
+        ] {
+            assert!(line.contains(key), "{app}: missing {key}: {line}");
+        }
+    }
+}
+
+#[test]
+fn profile_exit_codes() {
+    // 4: unknown app; 2: usage.
+    assert_eq!(exit_code(&["profile", "NOPE"]), 4);
+    assert_eq!(exit_code(&["profile"]), 2);
+    assert_eq!(exit_code(&["profile", "NVD-MT", "--bogus"]), 2);
+    assert_eq!(exit_code(&["profile", "NVD-MT", "--scale", "huge"]), 2);
+}
+
+#[test]
+fn trace_out_writes_parseable_jsonl() {
+    let dir = std::env::temp_dir().join("grover-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace-profile.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = Command::new(BIN)
+        .args([
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "profile",
+            "NVD-MT",
+            "--scale",
+            "test",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "expected spans + events: {text}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"type\":"), "{line}");
+        assert!(line.contains("\"name\":"), "{line}");
+        assert!(line.contains("\"attrs\":{"), "{line}");
+    }
+    // The profile span and both nested launch spans must be present.
+    assert!(text.contains("\"name\":\"profile\""), "{text}");
+    assert_eq!(text.matches("\"name\":\"launch\"").count(), 2, "{text}");
+    // --trace-out with a missing value is a usage error.
+    assert_eq!(exit_code(&["--trace-out"]), 2);
+}
+
+#[test]
+fn trace_out_captures_tuning_decision() {
+    let dir = std::env::temp_dir().join("grover-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace-autotune.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = Command::new(BIN)
+        .args([
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "autotune",
+            "NVD-MT",
+            "--device",
+            "SNB",
+            "--scale",
+            "test",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"name\":\"tune\""), "{text}");
+    assert!(text.contains("\"name\":\"decision\""), "{text}");
+    assert!(text.contains("\"name\":\"measure\""), "{text}");
+}
+
+#[test]
 fn autotune_accepts_hardening_flags() {
     // The watchdog/retry knobs parse and a generous deadline doesn't trip.
     let out = Command::new(BIN)

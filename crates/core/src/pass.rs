@@ -41,6 +41,27 @@ impl BufferOutcome {
     pub fn is_removed(&self) -> bool {
         matches!(self, BufferOutcome::Removed)
     }
+
+    /// A stable machine-readable tag for this outcome (`removed`,
+    /// `not_candidate`, `declined`, `skipped`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BufferOutcome::Removed => "removed",
+            BufferOutcome::NotCandidate(_) => "not_candidate",
+            BufferOutcome::Declined(_) => "declined",
+            BufferOutcome::Skipped => "skipped",
+        }
+    }
+
+    /// The structured reason behind a negative outcome, if any: the
+    /// [`CandidateError`] or [`Decline`] rendered via `Display`.
+    pub fn reason(&self) -> Option<String> {
+        match self {
+            BufferOutcome::Removed | BufferOutcome::Skipped => None,
+            BufferOutcome::NotCandidate(e) => Some(e.to_string()),
+            BufferOutcome::Declined(d) => Some(d.to_string()),
+        }
+    }
 }
 
 /// Per-buffer symbolic report (one row of the paper's Table III).
@@ -170,6 +191,56 @@ impl Grover {
 
     /// Run on a kernel, returning the detailed report.
     pub fn run_on(&self, f: &mut Function) -> GroverReport {
+        self.run_on_observed(f, &grover_obs::NOOP, None)
+    }
+
+    /// [`Grover::run_on`] with telemetry: records one `grover.pass` span on
+    /// `recorder` (under `parent`, if given) carrying the kernel name,
+    /// buffer/removal counts and cleanup statistics, plus one `buffer`
+    /// event per `__local` buffer with its [`BufferOutcome::kind`] and
+    /// structured [`BufferOutcome::reason`]. With a disabled recorder this
+    /// is exactly `run_on`.
+    pub fn run_on_observed(
+        &self,
+        f: &mut Function,
+        recorder: &dyn grover_obs::Recorder,
+        parent: Option<grover_obs::SpanId>,
+    ) -> GroverReport {
+        let span = recorder
+            .enabled()
+            .then(|| recorder.span_start("grover.pass", parent));
+        let report = self.run_on_inner(f);
+        if let Some(span) = span {
+            use grover_obs::Value;
+            recorder.span_attr(span, "kernel", Value::from(report.kernel.as_str()));
+            recorder.span_attr(span, "buffers", Value::from(report.buffers.len()));
+            recorder.span_attr(span, "removed", Value::from(report.removed_count()));
+            recorder.span_attr(span, "all_removed", Value::from(report.all_removed()));
+            recorder.span_attr(
+                span,
+                "barriers_removed",
+                Value::from(report.barriers_removed),
+            );
+            recorder.span_attr(span, "insts_removed", Value::from(report.insts_removed));
+            for b in &report.buffers {
+                let mut attrs = vec![
+                    ("buffer", Value::from(b.buffer.as_str())),
+                    ("outcome", Value::from(b.outcome.kind())),
+                ];
+                if let Some(reason) = b.outcome.reason() {
+                    attrs.push(("reason", Value::from(reason)));
+                }
+                for sol in &b.solutions {
+                    attrs.push(("solution", Value::from(sol.as_str())));
+                }
+                recorder.event("buffer", Some(span), &attrs);
+            }
+            recorder.span_end(span);
+        }
+        report
+    }
+
+    fn run_on_inner(&self, f: &mut Function) -> GroverReport {
         let mut report = GroverReport {
             kernel: f.name.clone(),
             ..Default::default()
@@ -463,6 +534,45 @@ mod tests {
         // but GL uses lx with no solution — MissingDim.
         assert!(!report.all_removed(), "{}", report.to_text());
         assert!(has_local_traffic(&f));
+    }
+
+    #[test]
+    fn observed_pass_records_buffer_outcomes() {
+        let mut f = kernel(MT);
+        let rec = grover_obs::MemoryRecorder::new();
+        let report = Grover::new().run_on_observed(&mut f, &rec, None);
+        assert!(report.all_removed());
+        let snap = rec.snapshot();
+        let span = snap.span("grover.pass").expect("pass span recorded");
+        assert_eq!(span.attr_str("kernel"), Some("mt"));
+        assert_eq!(span.attr_u64("removed"), Some(1));
+        assert_eq!(span.attr_u64("barriers_removed"), Some(1));
+        let buffers = snap.events_named("buffer");
+        assert_eq!(buffers.len(), 1);
+        assert_eq!(
+            buffers[0].attr("outcome").and_then(|v| v.as_str()),
+            Some("removed")
+        );
+    }
+
+    #[test]
+    fn outcome_kind_and_reason_are_structured() {
+        let src = "__kernel void red(__global float* in, __global float* out) {
+            __local float acc[16];
+            int lx = get_local_id(0);
+            acc[lx] = in[lx];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            acc[lx] = acc[lx] + 1.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[lx] = acc[lx];
+        }";
+        let mut f = kernel(src);
+        let report = Grover::new().run_on(&mut f);
+        let outcome = &report.buffers[0].outcome;
+        assert_eq!(outcome.kind(), "not_candidate");
+        assert!(outcome.reason().is_some());
+        assert!(BufferOutcome::Removed.reason().is_none());
+        assert_eq!(BufferOutcome::Skipped.kind(), "skipped");
     }
 
     #[test]

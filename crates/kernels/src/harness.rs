@@ -4,7 +4,10 @@
 use grover_core::{Grover, GroverReport};
 use grover_frontend::compile;
 use grover_ir::Function;
-use grover_runtime::{enqueue_with_policy, Context, ExecPolicy, LaunchStats, Limits, TraceSink};
+use grover_obs::{Recorder, SpanId};
+use grover_runtime::{
+    enqueue_observed, enqueue_with_policy, Context, ExecPolicy, LaunchStats, Limits, TraceSink,
+};
 
 use crate::apps::{App, Expected, Prepared, Scale};
 
@@ -92,6 +95,38 @@ pub fn run_prepared_with(
         policy,
     )
     .map_err(|e| format!("execution failed: {e}"))?;
+    finish_run(prepared, stats)
+}
+
+/// [`run_prepared_with`] with telemetry: the launch records one `launch`
+/// span on `recorder` (under `parent`, if given) carrying per-space access
+/// counts, bytes and worker utilisation — see
+/// [`grover_runtime::enqueue_observed`]. With a disabled recorder this is
+/// exactly `run_prepared_with`.
+pub fn run_prepared_observed(
+    kernel: &Function,
+    mut prepared: Prepared,
+    sink: &mut dyn TraceSink,
+    policy: ExecPolicy,
+    recorder: &dyn Recorder,
+    parent: Option<SpanId>,
+) -> Result<AppRun, String> {
+    let stats = enqueue_observed(
+        &mut prepared.ctx,
+        kernel,
+        &prepared.args,
+        &prepared.nd,
+        sink,
+        &Limits::default(),
+        policy,
+        recorder,
+        parent,
+    )
+    .map_err(|e| format!("execution failed: {e}"))?;
+    finish_run(prepared, stats)
+}
+
+fn finish_run(prepared: Prepared, stats: LaunchStats) -> Result<AppRun, String> {
     let max_rel_err = compare(&prepared.ctx, &prepared)?;
     if max_rel_err > prepared.tolerance {
         return Err(format!(

@@ -1,0 +1,170 @@
+//! A tiny JSON writer shared by every machine-readable surface of the
+//! workspace (the CLI's `--json` outputs, the bench bins and the JSONL
+//! trace exporter), replacing the hand-rolled `format!` escaping each of
+//! them used to carry.
+//!
+//! It only *writes* JSON — there is deliberately no parser, no DOM and no
+//! derive machinery; the workspace stays dependency-free.
+
+/// Escape `s` as a JSON string literal, including the surrounding quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null` instead of producing an unparseable
+/// document.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one JSON object. Fields are emitted in insertion order.
+///
+/// ```
+/// use grover_obs::json::Obj;
+/// let s = Obj::new().str("name", "mt").u64("loads", 42).finish();
+/// assert_eq!(s, r#"{"name":"mt","loads":42}"#);
+/// ```
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&escape(key));
+        self.buf.push(':');
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, key: &str, v: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, v: u64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, v: i64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, v: f64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Obj {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a `null` field.
+    pub fn null(mut self, key: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON (an object, array
+    /// or any literal). The caller is responsible for its validity.
+    pub fn raw(mut self, key: &str, v: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finish the object, returning its JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render a JSON array from already-rendered element texts.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b"), r#""a\"b""#);
+        assert_eq!(escape("a\\b"), r#""a\\b""#);
+        assert_eq!(escape("a\nb"), r#""a\nb""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_builds_in_order() {
+        let s = Obj::new()
+            .str("a", "x")
+            .u64("b", 1)
+            .i64("c", -2)
+            .f64("d", 1.5)
+            .bool("e", true)
+            .null("f")
+            .raw("g", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"a":"x","b":1,"c":-2,"d":1.5,"e":true,"f":null,"g":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.25), "1.25");
+    }
+
+    #[test]
+    fn array_joins() {
+        assert_eq!(array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

@@ -1,0 +1,621 @@
+#![warn(missing_docs)]
+//! # grover-obs
+//!
+//! Zero-dependency structured telemetry for the Grover toolchain, in the
+//! spirit of `tracing`'s span/event model but hand-rolled like the rest of
+//! the workspace:
+//!
+//! * a [`Span`] is a named, timed region with an optional parent and typed
+//!   key/value attributes — a kernel launch, a tuning run, a pass
+//!   execution;
+//! * an *event* is a point-in-time record attached to a span — a
+//!   per-buffer pass decision, a measurement retry, a worker-utilization
+//!   sample;
+//! * a [`Recorder`] consumes both. Every method has a no-op default, so
+//!   the production default ([`NoopRecorder`], via the [`NOOP`] static)
+//!   costs one virtual call returning immediately — instrumented code
+//!   guards any attribute *construction* behind [`Recorder::enabled`].
+//!
+//! Two real recorders ship: [`MemoryRecorder`] keeps an in-process
+//! snapshot for tests and programmatic inspection, and [`JsonlRecorder`]
+//! streams one JSON object per line to any writer (the CLI's
+//! `--trace-out` file). Both are thread-safe: the interpreter's worker
+//! pool and the tuner's race threads record concurrently.
+//!
+//! ```
+//! use grover_obs::{MemoryRecorder, Recorder};
+//!
+//! let rec = MemoryRecorder::new();
+//! let span = rec.span_start("launch", None);
+//! rec.span_attr(span, "kernel", "mt".into());
+//! rec.event("worker", Some(span), &[("groups", 4u64.into())]);
+//! rec.span_end(span);
+//!
+//! let snap = rec.snapshot();
+//! let launch = snap.span("launch").unwrap();
+//! assert_eq!(launch.attr_str("kernel"), Some("mt"));
+//! assert!(launch.duration.is_some());
+//! ```
+
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Identifier of a span within one recorder. `0` is reserved for the
+/// no-op recorder (it never allocates ids).
+pub type SpanId = u64;
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Render as JSON (strings escaped, non-finite floats as `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Str(s) => json::escape(s),
+            Value::I64(v) => v.to_string(),
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => json::number(*v),
+            Value::Bool(v) => if *v { "true" } else { "false" }.to_string(),
+        }
+    }
+
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// Consumer of spans and events. All methods default to no-ops so a
+/// disabled recorder pays nothing; implementations must be thread-safe
+/// (`Send + Sync`) — spans may start, annotate and end on different
+/// threads.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder actually consumes records. Instrumented code
+    /// checks this before *constructing* attributes (which may allocate);
+    /// the recording calls themselves are safe to make regardless.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Open a span. Wall-time starts now.
+    fn span_start(&self, _name: &str, _parent: Option<SpanId>) -> SpanId {
+        0
+    }
+
+    /// Attach an attribute to an open span.
+    fn span_attr(&self, _span: SpanId, _key: &str, _value: Value) {}
+
+    /// Close a span. Wall-time stops now.
+    fn span_end(&self, _span: SpanId) {}
+
+    /// Record a point-in-time event, optionally attached to a span.
+    fn event(&self, _name: &str, _span: Option<SpanId>, _attrs: &[(&str, Value)]) {}
+}
+
+/// Discards everything ([`Recorder::enabled`] is `false`).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The shared no-op recorder instance: the default for every
+/// instrumented API that takes a `&dyn Recorder`.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+/// One finished (or still-open) span, as captured by [`MemoryRecorder`].
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Recorder-unique id.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (e.g. `launch`, `tune`, `grover.pass`).
+    pub name: String,
+    /// Start offset from the recorder's creation.
+    pub start: Duration,
+    /// Wall-time from start to [`Recorder::span_end`]; `None` while open.
+    pub duration: Option<Duration>,
+    /// Typed attributes, in recording order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// Look up an attribute by key (last write wins).
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Attribute as `u64`.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attr(key).and_then(Value::as_u64)
+    }
+
+    /// Attribute as `&str`.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attr(key).and_then(Value::as_str)
+    }
+}
+
+/// One event, as captured by [`MemoryRecorder`].
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Event name.
+    pub name: String,
+    /// Span it was attached to, if any.
+    pub span: Option<SpanId>,
+    /// Typed attributes, in recording order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Everything a [`MemoryRecorder`] has seen, cloned out for inspection.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All spans, in start order (open spans have `duration: None`).
+    pub spans: Vec<Span>,
+    /// All events, in recording order.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// First span with this name.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans with this name.
+    pub fn spans_named(&self, name: &str) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// All events with this name.
+    pub fn events_named(&self, name: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+}
+
+#[derive(Default)]
+struct MemoryState {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+}
+
+/// Buffers every span and event in memory; [`MemoryRecorder::snapshot`]
+/// clones them out. Intended for tests and programmatic inspection of
+/// small traces.
+pub struct MemoryRecorder {
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<MemoryState>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> MemoryRecorder {
+        MemoryRecorder::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// An empty recorder; time zero is now.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            state: Mutex::new(MemoryState::default()),
+        }
+    }
+
+    /// Clone out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let s = self.state.lock().expect("recorder poisoned");
+        Snapshot {
+            spans: s.spans.clone(),
+            events: s.events.clone(),
+        }
+    }
+}
+
+fn own_attrs(attrs: &[(&str, Value)]) -> Vec<(String, Value)> {
+    attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let span = Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start: self.epoch.elapsed(),
+            duration: None,
+            attrs: Vec::new(),
+        };
+        self.state
+            .lock()
+            .expect("recorder poisoned")
+            .spans
+            .push(span);
+        id
+    }
+
+    fn span_attr(&self, span: SpanId, key: &str, value: Value) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        if let Some(sp) = s.spans.iter_mut().find(|sp| sp.id == span) {
+            sp.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn span_end(&self, span: SpanId) {
+        let now = self.epoch.elapsed();
+        let mut s = self.state.lock().expect("recorder poisoned");
+        if let Some(sp) = s.spans.iter_mut().find(|sp| sp.id == span) {
+            if sp.duration.is_none() {
+                sp.duration = Some(now.saturating_sub(sp.start));
+            }
+        }
+    }
+
+    fn event(&self, name: &str, span: Option<SpanId>, attrs: &[(&str, Value)]) {
+        let ev = Event {
+            name: name.to_string(),
+            span,
+            attrs: own_attrs(attrs),
+        };
+        self.state
+            .lock()
+            .expect("recorder poisoned")
+            .events
+            .push(ev);
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    parent: Option<SpanId>,
+    start: Instant,
+    attrs: Vec<(String, Value)>,
+}
+
+struct JsonlState<W> {
+    out: W,
+    open: HashMap<SpanId, OpenSpan>,
+}
+
+/// Streams the trace as JSON Lines: one self-contained object per line.
+///
+/// * spans (written at `span_end`):
+///   `{"type":"span","id":N,"parent":N|null,"name":"...","start_us":N,"dur_us":N,"attrs":{...}}`
+/// * events (written immediately):
+///   `{"type":"event","name":"...","span":N|null,"attrs":{...}}`
+///
+/// Every line carries `type`, `name` and `attrs` — the stable keys the CI
+/// trace validator checks. Write errors are swallowed: telemetry must
+/// never take down the run it observes.
+pub struct JsonlRecorder<W: Write + Send> {
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<JsonlState<W>>,
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Record into `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> JsonlRecorder<W> {
+        JsonlRecorder {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            state: Mutex::new(JsonlState {
+                out,
+                open: HashMap::new(),
+            }),
+        }
+    }
+}
+
+fn attrs_json(attrs: &[(String, Value)]) -> String {
+    let mut obj = json::Obj::new();
+    for (k, v) in attrs {
+        obj = obj.raw(k, &v.to_json());
+    }
+    obj.finish()
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.state.lock().expect("recorder poisoned");
+        s.open.insert(
+            id,
+            OpenSpan {
+                name: name.to_string(),
+                parent,
+                start: Instant::now(),
+                attrs: Vec::new(),
+            },
+        );
+        id
+    }
+
+    fn span_attr(&self, span: SpanId, key: &str, value: Value) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        if let Some(sp) = s.open.get_mut(&span) {
+            sp.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn span_end(&self, span: SpanId) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        let Some(sp) = s.open.remove(&span) else {
+            return;
+        };
+        let mut obj = json::Obj::new()
+            .str("type", "span")
+            .u64("id", span)
+            .str("name", &sp.name)
+            .u64(
+                "start_us",
+                sp.start.duration_since(self.epoch).as_micros() as u64,
+            )
+            .u64("dur_us", sp.start.elapsed().as_micros() as u64);
+        obj = match sp.parent {
+            Some(p) => obj.u64("parent", p),
+            None => obj.null("parent"),
+        };
+        let line = obj.raw("attrs", &attrs_json(&sp.attrs)).finish();
+        let _ = writeln!(s.out, "{line}");
+    }
+
+    fn event(&self, name: &str, span: Option<SpanId>, attrs: &[(&str, Value)]) {
+        let mut obj = json::Obj::new().str("type", "event").str("name", name);
+        obj = match span {
+            Some(p) => obj.u64("span", p),
+            None => obj.null("span"),
+        };
+        let line = obj.raw("attrs", &attrs_json(&own_attrs(attrs))).finish();
+        let mut s = self.state.lock().expect("recorder poisoned");
+        let _ = writeln!(s.out, "{line}");
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        if let Ok(mut s) = self.state.lock() {
+            let _ = s.out.flush();
+        }
+    }
+}
+
+/// RAII helper: opens a span on creation, closes it on drop. Borrow-based,
+/// so it nests naturally inside one stage; pass raw [`SpanId`]s across
+/// threads or stages instead.
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    id: SpanId,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Open `name` under `parent` on `rec`.
+    pub fn open(rec: &'a dyn Recorder, name: &str, parent: Option<SpanId>) -> SpanGuard<'a> {
+        SpanGuard {
+            rec,
+            id: rec.span_start(name, parent),
+        }
+    }
+
+    /// The underlying span id (e.g. to parent child spans).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attach an attribute.
+    pub fn attr(&self, key: &str, value: impl Into<Value>) {
+        self.rec.span_attr(self.id, key, value.into());
+    }
+
+    /// Record an event attached to this span.
+    pub fn event(&self, name: &str, attrs: &[(&str, Value)]) {
+        self.rec.event(name, Some(self.id), attrs);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.span_end(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_free() {
+        assert!(!NOOP.enabled());
+        let id = NOOP.span_start("x", None);
+        assert_eq!(id, 0);
+        NOOP.span_attr(id, "k", 1u64.into());
+        NOOP.event("e", Some(id), &[]);
+        NOOP.span_end(id);
+    }
+
+    #[test]
+    fn memory_recorder_captures_hierarchy() {
+        let rec = MemoryRecorder::new();
+        let root = rec.span_start("tune", None);
+        let child = rec.span_start("launch", Some(root));
+        rec.span_attr(child, "kernel", "mt".into());
+        rec.event("worker", Some(child), &[("groups", 3u64.into())]);
+        rec.span_end(child);
+        rec.span_end(root);
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let launch = snap.span("launch").unwrap();
+        assert_eq!(launch.parent, Some(root));
+        assert_eq!(launch.attr_str("kernel"), Some("mt"));
+        assert!(launch.duration.is_some());
+        let ev = &snap.events_named("worker")[0];
+        assert_eq!(ev.attr("groups").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn memory_recorder_is_thread_safe() {
+        let rec = MemoryRecorder::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let id = rec.span_start("w", None);
+                        rec.span_attr(id, "t", (t as u64).into());
+                        rec.event("tick", Some(id), &[("i", (i as u64).into())]);
+                        rec.span_end(id);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 200);
+        assert_eq!(snap.events.len(), 200);
+        assert!(snap.spans.iter().all(|s| s.duration.is_some()));
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_line() {
+        let buf: Vec<u8> = Vec::new();
+        let rec = JsonlRecorder::new(buf);
+        let root = rec.span_start("tune", None);
+        rec.span_attr(root, "device", "SNB".into());
+        rec.event(
+            "decision",
+            Some(root),
+            &[("np", 1.3f64.into()), ("choice", "without".into())],
+        );
+        rec.span_end(root);
+
+        let out = {
+            let s = rec.state.lock().unwrap();
+            String::from_utf8(s.out.clone()).unwrap()
+        };
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":"), "{line}");
+            assert!(line.contains("\"name\":"), "{line}");
+            assert!(line.contains("\"attrs\":{"), "{line}");
+        }
+        assert!(lines[0].contains("\"type\":\"event\""));
+        assert!(lines[1].contains("\"type\":\"span\""));
+        assert!(lines[1].contains("\"device\":\"SNB\""));
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let rec = MemoryRecorder::new();
+        {
+            let g = SpanGuard::open(&rec, "launch", None);
+            g.attr("groups", 4u64);
+            g.event("worker", &[]);
+        }
+        let snap = rec.snapshot();
+        assert!(snap.span("launch").unwrap().duration.is_some());
+    }
+}

@@ -189,6 +189,30 @@ impl ExecPolicy {
     }
 }
 
+/// Per-worker execution statistics, collected only by the observed launch
+/// path ([`crate::obs::enqueue_observed`] with an enabled recorder). The
+/// serial engine reports itself as a single worker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStat {
+    /// Work-groups this worker claimed and executed.
+    pub groups: u64,
+    /// Wall time spent inside group execution (excludes idle waits on the
+    /// claim counter — `busy / launch wall time` is the utilisation).
+    pub busy: Duration,
+    /// The longest single group this worker executed.
+    pub max_group: Duration,
+}
+
+impl WorkerStat {
+    fn note(&mut self, dt: Duration) {
+        self.groups += 1;
+        self.busy += dt;
+        if dt > self.max_group {
+            self.max_group = dt;
+        }
+    }
+}
+
 /// Instructions a parallel worker claims from the shared launch budget per
 /// refill. Small enough that a launch overshoots `max_instructions` by at
 /// most `workers * BUDGET_CHUNK`, large enough that the shared counter is
@@ -467,6 +491,25 @@ pub fn enqueue_with_policy(
     limits: &Limits,
     policy: ExecPolicy,
 ) -> Result<LaunchStats, ExecError> {
+    enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, None)
+}
+
+/// The launch engine behind [`enqueue_with_policy`] and
+/// [`crate::obs::enqueue_observed`]. When `workers_out` is `Some`, each
+/// worker additionally times its group executions and pushes one
+/// [`WorkerStat`] (the serial engine pushes exactly one); when `None` —
+/// the production path — no clock is read and no stat is kept.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn enqueue_impl(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+    workers_out: Option<&mut Vec<WorkerStat>>,
+) -> Result<LaunchStats, ExecError> {
     nd.validate()?;
     validate_args(ctx, kernel, args)?;
 
@@ -507,11 +550,15 @@ pub fn enqueue_with_policy(
     let ng = nd.num_groups();
     let n_groups = (ng[0] * ng[1] * ng[2]) as usize;
 
+    let observe = workers_out.is_some();
+
     if policy == ExecPolicy::Serial {
         let mut budget = LocalBudget::new(&launch, BUDGET_CHUNK);
         let mut scratch = Scratch::default();
         let mut stats = LaunchStats::default();
+        let mut wstat = WorkerStat::default();
         for gl in 0..n_groups {
+            let t0 = observe.then(Instant::now);
             let gs = run_group_caught(
                 &launch,
                 delinearize(gl, ng),
@@ -520,11 +567,17 @@ pub fn enqueue_with_policy(
                 &mut budget,
                 &mut scratch,
             )?;
+            if let Some(t0) = t0 {
+                wstat.note(t0.elapsed());
+            }
             stats.instructions += gs.instructions;
             stats.barriers += gs.barriers;
             stats.work_items += gs.items;
             stats.work_groups += 1;
             sink.workgroup_done(gl as u32);
+        }
+        if let Some(out) = workers_out {
+            out.push(wstat);
         }
         return Ok(stats);
     }
@@ -541,11 +594,12 @@ pub fn enqueue_with_policy(
     // claimed earlier by some worker that finishes it before exiting —
     // which is what makes the first-error-in-group-order guarantee hold.
     let mut escaped_panic: Option<String> = None;
-    let worker_outputs: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
+    let worker_outputs: Vec<(Vec<GroupOutcome>, WorkerStat)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
+                    let mut wstat = WorkerStat::default();
                     let mut budget = LocalBudget::new(launch_ref, BUDGET_CHUNK);
                     let mut scratch = Scratch::default();
                     while !stop.load(Ordering::Relaxed) {
@@ -557,6 +611,7 @@ pub fn enqueue_with_policy(
                             wants_access,
                             events: Vec::new(),
                         };
+                        let t0 = observe.then(Instant::now);
                         let r = run_group_caught(
                             launch_ref,
                             delinearize(gl, ng),
@@ -565,6 +620,9 @@ pub fn enqueue_with_policy(
                             &mut budget,
                             &mut scratch,
                         );
+                        if let Some(t0) = t0 {
+                            wstat.note(t0.elapsed());
+                        }
                         let failed = r.is_err();
                         out.push((gl, r.map(|gs| (gs, buf))));
                         if failed {
@@ -572,7 +630,7 @@ pub fn enqueue_with_policy(
                             break;
                         }
                     }
-                    out
+                    (out, wstat)
                 })
             })
             .collect();
@@ -585,7 +643,7 @@ pub fn enqueue_with_policy(
                 // in the loop itself; degrade to an error regardless.
                 Err(p) => {
                     escaped_panic = Some(panic_message(p.as_ref()));
-                    Vec::new()
+                    (Vec::new(), WorkerStat::default())
                 }
             })
             .collect()
@@ -599,8 +657,15 @@ pub fn enqueue_with_policy(
 
     let mut slots: Vec<Option<Result<(GroupStats, GroupBuf), ExecError>>> = Vec::new();
     slots.resize_with(n_groups, || None);
-    for (gl, r) in worker_outputs.into_iter().flatten() {
-        slots[gl] = Some(r);
+    let mut worker_stats = Vec::with_capacity(worker_outputs.len());
+    for (outcomes, wstat) in worker_outputs {
+        worker_stats.push(wstat);
+        for (gl, r) in outcomes {
+            slots[gl] = Some(r);
+        }
+    }
+    if let Some(out) = workers_out {
+        *out = worker_stats;
     }
 
     // Replay traces in group-linear order; stop at the first failing group.

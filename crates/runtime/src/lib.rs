@@ -46,14 +46,16 @@ pub mod buffer;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod interp;
+pub mod obs;
 pub mod trace;
 pub mod val;
 
 pub use buffer::{Buffer, BufferData, Context};
 pub use interp::{
-    enqueue, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange,
+    enqueue, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange, WorkerStat,
 };
-pub use trace::{AccessEvent, CountingSink, NullSink, TraceOp, TraceSink, VecSink};
+pub use obs::enqueue_observed;
+pub use trace::{AccessEvent, CountingSink, NullSink, SpaceBytes, TraceOp, TraceSink, VecSink};
 pub use val::{PtrVal, Val};
 
 /// Execution failures.

@@ -82,7 +82,22 @@ impl TraceSink for NullSink {
     }
 }
 
+/// Per-address-space load/store byte tallies.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceBytes {
+    /// Bytes read from this space.
+    pub loaded: u64,
+    /// Bytes written to this space.
+    pub stored: u64,
+}
+
 /// Counts accesses by space and op; cheap sanity-level statistics.
+///
+/// Every address space is counted — including `__private` and (the
+/// statically-rejected, but still counted for totality) `__constant`
+/// stores — so the per-space counters always reconcile with the
+/// `bytes_loaded`/`bytes_stored` totals; see
+/// [`CountingSink::loads_total`]/[`CountingSink::stores_total`].
 #[derive(Default, Debug, Clone, PartialEq, Eq)]
 pub struct CountingSink {
     /// `__global` loads.
@@ -95,6 +110,13 @@ pub struct CountingSink {
     pub local_stores: u64,
     /// `__constant` loads.
     pub constant_loads: u64,
+    /// `__constant` stores (rejected by the interpreter, but a sink may
+    /// be fed hand-built events; counted so totals reconcile).
+    pub constant_stores: u64,
+    /// `__private` loads.
+    pub private_loads: u64,
+    /// `__private` stores.
+    pub private_stores: u64,
     /// Barrier rendezvous.
     pub barriers: u64,
     /// IR instructions executed.
@@ -103,21 +125,70 @@ pub struct CountingSink {
     pub bytes_loaded: u64,
     /// Bytes written.
     pub bytes_stored: u64,
+    /// `__global` bytes moved.
+    pub global_bytes: SpaceBytes,
+    /// `__local` bytes moved.
+    pub local_bytes: SpaceBytes,
+    /// `__constant` bytes moved.
+    pub constant_bytes: SpaceBytes,
+    /// `__private` bytes moved.
+    pub private_bytes: SpaceBytes,
+}
+
+impl CountingSink {
+    /// Total loads across all address spaces (reconciles with
+    /// `bytes_loaded`: both count every access exactly once).
+    pub fn loads_total(&self) -> u64 {
+        self.global_loads + self.local_loads + self.constant_loads + self.private_loads
+    }
+
+    /// Total stores across all address spaces.
+    pub fn stores_total(&self) -> u64 {
+        self.global_stores + self.local_stores + self.constant_stores + self.private_stores
+    }
+
+    /// The byte tallies of one address space.
+    pub fn space_bytes(&self, space: AddressSpace) -> SpaceBytes {
+        match space {
+            AddressSpace::Global => self.global_bytes,
+            AddressSpace::Local => self.local_bytes,
+            AddressSpace::Constant => self.constant_bytes,
+            AddressSpace::Private => self.private_bytes,
+        }
+    }
 }
 
 impl TraceSink for CountingSink {
     fn access(&mut self, ev: &AccessEvent) {
-        match (ev.space, ev.op) {
-            (AddressSpace::Global, TraceOp::Load) => self.global_loads += 1,
-            (AddressSpace::Global, TraceOp::Store) => self.global_stores += 1,
-            (AddressSpace::Local, TraceOp::Load) => self.local_loads += 1,
-            (AddressSpace::Local, TraceOp::Store) => self.local_stores += 1,
-            (AddressSpace::Constant, TraceOp::Load) => self.constant_loads += 1,
-            _ => {}
-        }
+        let (count, bytes) = match ev.space {
+            AddressSpace::Global => (
+                [&mut self.global_loads, &mut self.global_stores],
+                &mut self.global_bytes,
+            ),
+            AddressSpace::Local => (
+                [&mut self.local_loads, &mut self.local_stores],
+                &mut self.local_bytes,
+            ),
+            AddressSpace::Constant => (
+                [&mut self.constant_loads, &mut self.constant_stores],
+                &mut self.constant_bytes,
+            ),
+            AddressSpace::Private => (
+                [&mut self.private_loads, &mut self.private_stores],
+                &mut self.private_bytes,
+            ),
+        };
         match ev.op {
-            TraceOp::Load => self.bytes_loaded += ev.bytes as u64,
-            TraceOp::Store => self.bytes_stored += ev.bytes as u64,
+            TraceOp::Load => {
+                *count[0] += 1;
+                bytes.loaded += ev.bytes as u64;
+                self.bytes_loaded += ev.bytes as u64;
+            }
+            TraceOp::Store => {
+                *count[1] += 1;
+                bytes.stored += ev.bytes as u64;
+                self.bytes_stored += ev.bytes as u64;
+            }
         }
     }
 
@@ -131,12 +202,27 @@ impl TraceSink for CountingSink {
 }
 
 /// Buffers all events in memory (tests and small traces only).
+///
+/// Ordering contract (what tests may assert): events arrive in per-work-item
+/// program order, with the work-items of a group interleaved at *barrier
+/// granularity* — every access item A issues between two barriers precedes
+/// every access item B issues in that same barrier interval. Completion
+/// callbacks follow the same discipline: each `item_done` entry appears
+/// after all of that item's accesses, and each `group_done` entry after all
+/// of that group's `item_done` entries. Under `ExecPolicy::Parallel` the
+/// engine replays buffered groups in group-linear order, so the recorded
+/// sequence is bit-identical to a serial run.
 #[derive(Default)]
 pub struct VecSink {
     /// All access events, in emission order.
     pub events: Vec<AccessEvent>,
     /// `(group, items)` of each barrier rendezvous.
     pub barriers: Vec<(u32, u32)>,
+    /// `(group, local, instructions)` of each completed work-item, in
+    /// completion order.
+    pub item_done: Vec<(u32, u32, u64)>,
+    /// Linearised id of each completed work-group, in completion order.
+    pub group_done: Vec<u32>,
 }
 
 impl TraceSink for VecSink {
@@ -146,6 +232,14 @@ impl TraceSink for VecSink {
 
     fn barrier(&mut self, group: u32, items: u32) {
         self.barriers.push((group, items));
+    }
+
+    fn workitem_done(&mut self, group: u32, local: u32, instructions: u64) {
+        self.item_done.push((group, local, instructions));
+    }
+
+    fn workgroup_done(&mut self, group: u32) {
+        self.group_done.push(group);
     }
 }
 
@@ -183,12 +277,45 @@ mod tests {
     }
 
     #[test]
+    fn counting_sink_counts_private_and_reconciles() {
+        let mut s = CountingSink::default();
+        s.access(&ev(AddressSpace::Private, TraceOp::Load, 8));
+        s.access(&ev(AddressSpace::Private, TraceOp::Store, 8));
+        s.access(&ev(AddressSpace::Constant, TraceOp::Load, 4));
+        s.access(&ev(AddressSpace::Global, TraceOp::Store, 2));
+        assert_eq!(s.private_loads, 1);
+        assert_eq!(s.private_stores, 1);
+        assert_eq!(s.loads_total(), 2);
+        assert_eq!(s.stores_total(), 2);
+        assert_eq!(s.bytes_loaded, 12);
+        assert_eq!(s.bytes_stored, 10);
+        assert_eq!(
+            s.space_bytes(AddressSpace::Private),
+            SpaceBytes {
+                loaded: 8,
+                stored: 8
+            }
+        );
+        assert_eq!(
+            s.global_bytes,
+            SpaceBytes {
+                loaded: 0,
+                stored: 2
+            }
+        );
+    }
+
+    #[test]
     fn vec_sink_records_order() {
         let mut s = VecSink::default();
         s.access(&ev(AddressSpace::Global, TraceOp::Load, 4));
         s.access(&ev(AddressSpace::Local, TraceOp::Store, 8));
+        s.workitem_done(0, 0, 7);
+        s.workgroup_done(0);
         assert_eq!(s.events.len(), 2);
         assert_eq!(s.events[0].op, TraceOp::Load);
         assert_eq!(s.events[1].bytes, 8);
+        assert_eq!(s.item_done, vec![(0, 0, 7)]);
+        assert_eq!(s.group_done, vec![0]);
     }
 }

@@ -43,16 +43,19 @@
 //! let _best = tuner.best_kernel(kernel, "SNB", &workload).unwrap();
 //! ```
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 use grover_core::{Grover, GroverReport};
 use grover_devsim::Device;
 use grover_ir::Function;
+use grover_obs::{NoopRecorder, Recorder, SpanId, Value};
 use grover_runtime::{
-    enqueue_with_policy, ArgValue, BufferData, Context, ExecError, ExecPolicy, Limits, NdRange,
-    NullSink,
+    enqueue_observed, enqueue_with_policy, ArgValue, BufferData, Context, ExecError, ExecPolicy,
+    Limits, NdRange, NullSink,
 };
 
 /// Which kernel version won.
@@ -65,6 +68,19 @@ pub enum Choice {
     /// Within the similarity threshold — either works; the tuner returns
     /// the original for stability.
     Similar,
+}
+
+impl Choice {
+    /// Stable machine-readable tag (`with_local_memory`,
+    /// `without_local_memory`, `similar`) — shared by the CLI's `--json`
+    /// output and the telemetry decision record.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Choice::WithLocalMemory => "with_local_memory",
+            Choice::WithoutLocalMemory => "without_local_memory",
+            Choice::Similar => "similar",
+        }
+    }
 }
 
 /// Why a tuning run was demoted to the original kernel regardless of the
@@ -257,6 +273,12 @@ pub struct Tuner {
     /// Restrict the Grover transform to these `__local` buffers
     /// (`None` = remove all).
     pub buffers: Option<Vec<String>>,
+    /// Telemetry sink. Each uncached [`Tuner::tune_pair`] records one
+    /// `tune` span (both race measurements appear as nested `launch`
+    /// spans), `retry`/`measure`/`verify` events, and a final `decision`
+    /// event; cache hits record a `decision` event with `cached: true`.
+    /// Defaults to the no-op recorder: nothing is constructed or stored.
+    pub recorder: Arc<dyn Recorder>,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<String, Function>,
 }
@@ -277,6 +299,7 @@ impl Tuner {
             retry: RetryPolicy::default(),
             verify_outputs: true,
             buffers: None,
+            recorder: Arc::new(NoopRecorder),
             cache: HashMap::new(),
             transformed: HashMap::new(),
         }
@@ -305,6 +328,10 @@ impl Tuner {
     ) -> Result<Decision, TuneError> {
         let key = (kernel.name.clone(), device.to_string());
         if let Some(d) = self.cache.get(&key) {
+            if self.recorder.enabled() {
+                self.recorder
+                    .event("decision", None, &decision_attrs(&key.0, d, true));
+            }
             return Ok(d.clone());
         }
         let (transformed, report) = self.transform(kernel)?;
@@ -325,14 +352,59 @@ impl Tuner {
         device: &str,
         workload: &Workload,
     ) -> Result<Decision, TuneError> {
+        let recorder = self.recorder.clone();
+        let rec: &dyn Recorder = &*recorder;
         let key = (kernel.name.clone(), device.to_string());
         if let Some(d) = self.cache.get(&key) {
+            if rec.enabled() {
+                rec.event("decision", None, &decision_attrs(&key.0, d, true));
+            }
             return Ok(d.clone());
         }
         // Fail fast on a bad device name before spending any measurement.
         if Device::by_name(device).is_none() {
             return Err(TuneError::UnknownDevice(device.to_string()));
         }
+
+        let span = rec.enabled().then(|| rec.span_start("tune", None));
+        if let Some(span) = span {
+            rec.span_attr(span, "kernel", Value::from(kernel.name.as_str()));
+            rec.span_attr(span, "device", Value::from(device));
+            rec.span_attr(span, "policy", Value::from(policy_name(self.policy)));
+            rec.span_attr(span, "threshold", Value::from(self.threshold));
+            rec.span_attr(span, "verify_outputs", Value::from(self.verify_outputs));
+        }
+        let result = self.tune_pair_measured(kernel, transformed, report, device, workload, span);
+        if let Some(span) = span {
+            match &result {
+                Ok(d) => {
+                    rec.event(
+                        "decision",
+                        Some(span),
+                        &decision_attrs(&kernel.name, d, false),
+                    );
+                }
+                Err(e) => rec.span_attr(span, "error", Value::from(e.to_string())),
+            }
+            rec.span_end(span);
+        }
+        result
+    }
+
+    /// The uncached measurement body of [`Tuner::tune_pair`]: race, retry,
+    /// verify, decide. `span` is the enclosing `tune` span (`None` when the
+    /// recorder is disabled).
+    fn tune_pair_measured(
+        &mut self,
+        kernel: &Function,
+        transformed: &Function,
+        report: GroverReport,
+        device: &str,
+        workload: &Workload,
+        span: Option<SpanId>,
+    ) -> Result<Decision, TuneError> {
+        let recorder = self.recorder.clone();
+        let rec: &dyn Recorder = &*recorder;
         let policy = self.policy;
         let limits = self.limits;
         let retry = self.retry;
@@ -345,9 +417,10 @@ impl Tuner {
         let w_with = workload.instantiate();
         let w_without = workload.instantiate();
         let (res_with, res_without) = std::thread::scope(|s| {
-            let without =
-                s.spawn(move || simulate_caught(transformed, device, w_without, policy, &limits));
-            let with = simulate_caught(kernel, device, w_with, policy, &limits);
+            let without = s.spawn(move || {
+                simulate_caught(transformed, device, w_without, policy, &limits, rec, span)
+            });
+            let with = simulate_caught(kernel, device, w_with, policy, &limits, rec, span);
             // `simulate_caught` already catches panics; `join` only fails if
             // one escapes the isolation (a bug) — still convert, never abort.
             let without = without
@@ -358,12 +431,54 @@ impl Tuner {
 
         // Transient failures (panics, deadline overruns) are retried
         // serially on fresh workload instantiations.
+        let attempts_with = Cell::new(1u32);
         let res_with = retry_measure(res_with, retry, || {
-            simulate_caught(kernel, device, workload.instantiate(), policy, &limits)
+            attempts_with.set(attempts_with.get() + 1);
+            if rec.enabled() {
+                rec.event("retry", span, &retry_attrs("original", attempts_with.get()));
+            }
+            simulate_caught(
+                kernel,
+                device,
+                workload.instantiate(),
+                policy,
+                &limits,
+                rec,
+                span,
+            )
         });
+        let attempts_without = Cell::new(1u32);
         let res_without = retry_measure(res_without, retry, || {
-            simulate_caught(transformed, device, workload.instantiate(), policy, &limits)
+            attempts_without.set(attempts_without.get() + 1);
+            if rec.enabled() {
+                rec.event(
+                    "retry",
+                    span,
+                    &retry_attrs("transformed", attempts_without.get()),
+                );
+            }
+            simulate_caught(
+                transformed,
+                device,
+                workload.instantiate(),
+                policy,
+                &limits,
+                rec,
+                span,
+            )
         });
+        if rec.enabled() {
+            rec.event(
+                "measure",
+                span,
+                &measure_attrs("original", &res_with, attempts_with.get()),
+            );
+            rec.event(
+                "measure",
+                span,
+                &measure_attrs("transformed", &res_without, attempts_without.get()),
+            );
+        }
 
         // The original kernel must measure: without a working baseline
         // there is nothing to fall back to.
@@ -390,6 +505,13 @@ impl Tuner {
                         fallback = Some(FallbackReason::OutputMismatch { buffer, index });
                     }
                 }
+            }
+            if rec.enabled() {
+                let mut attrs = vec![("ok", Value::from(fallback.is_none()))];
+                if let Some(reason) = &fallback {
+                    attrs.push(("reason", Value::from(reason.to_string())));
+                }
+                rec.event("verify", span, &attrs);
             }
         }
 
@@ -419,7 +541,8 @@ impl Tuner {
             report,
             fallback,
         };
-        self.cache.insert(key, d.clone());
+        self.cache
+            .insert((kernel.name.clone(), device.to_string()), d.clone());
         Ok(d)
     }
 
@@ -532,6 +655,77 @@ fn reason_of(f: MeasureFailure) -> FallbackReason {
     }
 }
 
+fn policy_name(policy: ExecPolicy) -> &'static str {
+    match policy {
+        ExecPolicy::Serial => "serial",
+        ExecPolicy::Parallel { .. } => "parallel",
+    }
+}
+
+/// `(kind, detail)` tags of a measurement failure, matching the
+/// [`FallbackReason::kind`] vocabulary.
+fn failure_tag(f: &MeasureFailure) -> (&'static str, String) {
+    match f {
+        MeasureFailure::Panicked(m) => ("panic", m.clone()),
+        MeasureFailure::Exec(ExecError::WorkerPanic { message, .. }) => ("panic", message.clone()),
+        MeasureFailure::Exec(ExecError::DeadlineExceeded) => {
+            ("deadline", "wall-clock deadline exceeded".to_string())
+        }
+        MeasureFailure::Exec(e) => ("exec_error", e.to_string()),
+    }
+}
+
+fn retry_attrs(version: &'static str, attempt: u32) -> Vec<(&'static str, Value)> {
+    vec![
+        ("version", Value::from(version)),
+        ("attempt", Value::from(attempt)),
+    ]
+}
+
+fn measure_attrs(
+    version: &'static str,
+    result: &Result<u64, MeasureFailure>,
+    attempts: u32,
+) -> Vec<(&'static str, Value)> {
+    let mut attrs = vec![
+        ("version", Value::from(version)),
+        ("attempts", Value::from(attempts)),
+    ];
+    match result {
+        Ok(cycles) => {
+            attrs.push(("ok", Value::from(true)));
+            attrs.push(("cycles", Value::from(*cycles)));
+        }
+        Err(f) => {
+            let (kind, detail) = failure_tag(f);
+            attrs.push(("ok", Value::from(false)));
+            attrs.push(("failure", Value::from(kind)));
+            attrs.push(("detail", Value::from(detail)));
+        }
+    }
+    attrs
+}
+
+/// The one-record summary of a tuning outcome: the race measurements, the
+/// normalised performance, the verdict and — when demoted — the structured
+/// fallback reason.
+fn decision_attrs(kernel: &str, d: &Decision, cached: bool) -> Vec<(&'static str, Value)> {
+    let mut attrs = vec![
+        ("kernel", Value::from(kernel.to_string())),
+        ("device", Value::from(d.device.as_str())),
+        ("choice", Value::from(d.choice.kind())),
+        ("np", Value::from(d.np)),
+        ("cycles_with", Value::from(d.cycles_with)),
+        ("cycles_without", Value::from(d.cycles_without)),
+        ("cached", Value::from(cached)),
+    ];
+    if let Some(reason) = &d.fallback {
+        attrs.push(("fallback_kind", Value::from(reason.kind())));
+        attrs.push(("fallback_detail", Value::from(reason.to_string())));
+    }
+    attrs
+}
+
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
@@ -572,6 +766,8 @@ fn simulate(
     workload: (Context, Vec<ArgValue>, NdRange),
     policy: ExecPolicy,
     limits: &Limits,
+    rec: &dyn Recorder,
+    parent: Option<SpanId>,
 ) -> Result<u64, MeasureFailure> {
     // The device name is validated by `tune_pair` before any measurement;
     // a lookup failure here means the registry changed under us.
@@ -581,23 +777,28 @@ fn simulate(
         )))
     })?;
     let (mut ctx, args, nd) = workload;
-    enqueue_with_policy(&mut ctx, kernel, &args, &nd, &mut dev, limits, policy)
-        .map_err(MeasureFailure::Exec)?;
+    enqueue_observed(
+        &mut ctx, kernel, &args, &nd, &mut dev, limits, policy, rec, parent,
+    )
+    .map_err(MeasureFailure::Exec)?;
     Ok(dev.finish().cycles)
 }
 
 /// [`simulate`] with panic isolation: a panic anywhere in the measurement
 /// (interpreter, device model, injected fault) becomes a
 /// [`MeasureFailure::Panicked`] instead of unwinding into the race scope.
+#[allow(clippy::too_many_arguments)]
 fn simulate_caught(
     kernel: &Function,
     device: &str,
     workload: (Context, Vec<ArgValue>, NdRange),
     policy: ExecPolicy,
     limits: &Limits,
+    rec: &dyn Recorder,
+    parent: Option<SpanId>,
 ) -> Result<u64, MeasureFailure> {
     catch_unwind(AssertUnwindSafe(|| {
-        simulate(kernel, device, workload, policy, limits)
+        simulate(kernel, device, workload, policy, limits, rec, parent)
     }))
     .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))))
 }
@@ -761,6 +962,56 @@ mod tests {
             t.tune(&k, "TPU", &w),
             Err(TuneError::UnknownDevice(_))
         ));
+    }
+
+    #[test]
+    fn tuning_records_decision_telemetry() {
+        let k = staged_kernel();
+        let w = workload();
+        let rec = Arc::new(grover_obs::MemoryRecorder::new());
+        let mut t = Tuner::new();
+        t.recorder = rec.clone();
+        let d = t.tune(&k, "SNB", &w).unwrap();
+
+        let snap = rec.snapshot();
+        let tune = snap.span("tune").expect("tune span recorded");
+        assert_eq!(tune.attr_str("kernel"), Some("rev"));
+        assert_eq!(tune.attr_str("device"), Some("SNB"));
+        // Both race measurements appear as launch spans nested in the
+        // tune span.
+        let launches = snap.spans_named("launch");
+        assert_eq!(launches.len(), 2);
+        for l in &launches {
+            assert_eq!(l.parent, Some(tune.id));
+            assert!(l.attr_u64("instructions").unwrap() > 0);
+        }
+        let measures = snap.events_named("measure");
+        assert_eq!(measures.len(), 2);
+        let decisions = snap.events_named("decision");
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(
+            decisions[0].attr("choice").and_then(Value::as_str),
+            Some(d.choice.kind())
+        );
+        assert_eq!(
+            decisions[0].attr("cached").and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(false)
+        );
+
+        // A cache hit records a decision event tagged cached.
+        t.tune(&k, "SNB", &w).unwrap();
+        let snap = rec.snapshot();
+        let decisions = snap.events_named("decision");
+        assert_eq!(decisions.len(), 2);
+        assert!(matches!(
+            decisions[1].attr("cached"),
+            Some(Value::Bool(true))
+        ));
+        // No second tune span was opened.
+        assert_eq!(snap.spans_named("tune").len(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! * [`devsim`] — trace-driven device performance models (hardware stand-in)
 //! * [`kernels`] — the 11 benchmark applications of Table I
 //! * [`tuner`] — the auto-tuning framework of §VIII (future work, implemented)
+//! * [`obs`] — telemetry: spans, events, launch metrics, JSONL export
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use grover_devsim as devsim;
 pub use grover_frontend as frontend;
 pub use grover_ir as ir;
 pub use grover_kernels as kernels;
+pub use grover_obs as obs;
 pub use grover_runtime as runtime;
 pub use grover_tuner as tuner;
 
