@@ -21,6 +21,15 @@
 //!     paper's §VI-C reasons analysis — plus the per-buffer pass outcomes
 //!     with structured reasons.
 //!
+//! grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]
+//!     Run a differential fuzzing campaign: generate randomized
+//!     software-cache kernels (plus deliberate must-reject variants), run
+//!     each through frontend → Grover pass → interpreter, and bit-compare
+//!     original vs transformed outputs under serial and parallel
+//!     schedules. Failures are shrunk to standalone reproducers under
+//!     `--out-dir` (default `fuzz-regressions/`). Exit 9 if any case
+//!     fails. A campaign is a pure function of `(seed, cases)`.
+//!
 //! grover list
 //!     List the bundled benchmark applications.
 //! ```
@@ -45,6 +54,7 @@
 //! | 6    | isolated panic while measuring the original kernel    |
 //! | 7    | wall-clock deadline exceeded on the original kernel   |
 //! | 8    | `--strict` and the tuner fell back to the original    |
+//! | 9    | fuzzing campaign found failures                       |
 
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -67,6 +77,7 @@ const EXIT_EXEC: u8 = 5;
 const EXIT_PANIC: u8 = 6;
 const EXIT_DEADLINE: u8 = 7;
 const EXIT_STRICT_FALLBACK: u8 = 8;
+const EXIT_FUZZ: u8 = 9;
 
 /// A command failure carrying its stable exit code (see module docs).
 struct Failure {
@@ -108,10 +119,11 @@ fn main() -> ExitCode {
         Some("autotune") => cmd_autotune(&args[1..], &recorder),
         Some("profile") => cmd_profile(&args[1..], &recorder),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..], &recorder),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage: grover <transform|autotune|profile|classify|list> [--trace-out FILE] ..."
+                "usage: grover <transform|autotune|profile|classify|fuzz|list> [--trace-out FILE] ..."
             );
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
             eprintln!(
@@ -122,6 +134,7 @@ fn main() -> ExitCode {
                 "  grover profile <app-id> [--scale test|small|paper] [--threads N] [--json]"
             );
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
+            eprintln!("  grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -717,6 +730,51 @@ fn cmd_classify(args: &[String]) -> Result<(), Failure> {
         }
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+    let mut seed = 42u64;
+    let mut cases = 200u64;
+    let mut json = false;
+    let mut out_dir = "fuzz-regressions".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = parse_u64(&mut it, "--seed")?,
+            "--cases" => cases = parse_u64(&mut it, "--cases")?,
+            "--json" => json = true,
+            "--out-dir" => {
+                out_dir = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--out-dir needs a path"))?
+                    .clone()
+            }
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let opts = grover_fuzz::CampaignOptions {
+        seed,
+        cases,
+        out_dir: Some(out_dir.clone().into()),
+    };
+    let summary = grover_fuzz::run_campaign(&opts, recorder.as_ref());
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.to_text());
+    }
+    if summary.ok() {
+        Ok(())
+    } else {
+        Err(Failure::new(
+            EXIT_FUZZ,
+            format!(
+                "{} of {} fuzz cases failed; shrunk reproducers under {out_dir}/",
+                summary.failures.len(),
+                cases
+            ),
+        ))
+    }
 }
 
 fn cmd_list() -> Result<(), Failure> {

@@ -424,3 +424,100 @@ fn autotune_accepts_hardening_flags() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verdict"));
 }
+
+#[test]
+fn fuzz_json_summary_is_clean_and_deterministic() {
+    let out_dir = std::env::temp_dir()
+        .join("grover-cli-tests")
+        .join("fuzz-out");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let run = || {
+        Command::new(BIN)
+            .args([
+                "fuzz",
+                "--seed",
+                "7",
+                "--cases",
+                "25",
+                "--json",
+                "--out-dir",
+                out_dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for key in [
+        "\"seed\":7",
+        "\"cases\":25",
+        "\"failures\":0",
+        "\"mismatches\":0",
+    ] {
+        assert!(stdout.contains(key), "{key} missing in {stdout}");
+    }
+    // A clean campaign writes no reproducers, so the directory never appears.
+    assert!(!out_dir.exists());
+    // Same seed, same cases — byte-identical summary.
+    assert_eq!(stdout, String::from_utf8_lossy(&run().stdout));
+}
+
+#[test]
+fn fuzz_human_summary_and_usage_errors() {
+    let out = Command::new(BIN)
+        .args(["fuzz", "--seed", "3", "--cases", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("seed 3"), "{stdout}");
+    assert!(stdout.contains("10 cases"), "{stdout}");
+
+    let out = Command::new(BIN)
+        .args(["fuzz", "--bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = Command::new(BIN)
+        .args(["fuzz", "--seed", "notanumber"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fuzz_streams_campaign_telemetry() {
+    let trace = std::env::temp_dir()
+        .join("grover-cli-tests")
+        .join("fuzz-trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    std::fs::create_dir_all(trace.parent().unwrap()).unwrap();
+    let out = Command::new(BIN)
+        .args([
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "fuzz",
+            "--seed",
+            "1",
+            "--cases",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(body.contains("fuzz.campaign"), "{body}");
+    assert_eq!(body.matches("fuzz.case").count() % 5, 0, "{body}");
+}

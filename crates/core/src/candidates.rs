@@ -11,7 +11,8 @@
 //! global value; anything else (reductions, read-modify-write temporaries)
 //! is outside the pattern and the buffer is declined (paper §VI-D).
 
-use grover_ir::{AddressSpace, Function, Inst, LocalBufId, ValueId};
+use grover_ir::cfg::DomTree;
+use grover_ir::{AddressSpace, BarrierScope, BlockId, Function, Inst, LocalBufId, ValueId};
 
 /// The detected pattern for one local buffer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +47,11 @@ pub enum CandidateError {
     /// The buffer is accessed through something other than a single-level
     /// gep of its base pointer.
     IndirectAccess,
+    /// A work-group barrier executes under work-item-divergent control
+    /// flow, so work-items of one group may disagree about reaching it
+    /// (undefined behaviour in the source program; reversing it could
+    /// only launder the bug).
+    DivergentBarrier,
 }
 
 impl std::fmt::Display for CandidateError {
@@ -57,6 +63,9 @@ impl std::fmt::Display for CandidateError {
                 "local buffer is not a pure staging cache (stored values are not global loads)"
             }
             CandidateError::IndirectAccess => "local buffer is accessed through derived pointers",
+            CandidateError::DivergentBarrier => {
+                "a barrier executes under work-item-divergent control flow"
+            }
         };
         f.write_str(s)
     }
@@ -84,6 +93,70 @@ fn local_access(f: &Function, buf: LocalBufId, ptr: ValueId) -> Option<ValueId> 
 /// local traffic before removing barriers).
 pub fn is_local_ptr(f: &Function, ptr: ValueId) -> bool {
     f.ty(ptr).address_space() == Some(AddressSpace::Local)
+}
+
+/// Is `to` reachable from `from` (reflexively)?
+fn reaches(f: &Function, from: BlockId, to: BlockId) -> bool {
+    let mut seen = vec![false; f.num_blocks()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        if b == to {
+            return true;
+        }
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// True if some local-scope barrier sits in a region only one arm of a
+/// work-item-divergent branch executes: its block is dominated by a
+/// `CondBr` successor whose condition depends on `get_local_id` /
+/// `get_global_id`, and that successor is not a merge point the other arm
+/// rejoins (which is how a plain `if` without `else`, or a loop back
+/// edge, reconverges before the barrier).
+fn divergent_barrier(f: &Function) -> bool {
+    let barrier_blocks: Vec<BlockId> = f
+        .iter_insts()
+        .filter_map(|(b, iv)| match f.inst(iv) {
+            Some(Inst::Barrier {
+                scope: BarrierScope::Local | BarrierScope::Both,
+            }) => Some(b),
+            _ => None,
+        })
+        .collect();
+    if barrier_blocks.is_empty() {
+        return false;
+    }
+    let tainted = crate::transform::lid_tainted(f);
+    let dt = DomTree::compute(f);
+    for b in f.blocks() {
+        let Some(Inst::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        }) = f.terminator(b)
+        else {
+            continue;
+        };
+        if !tainted.contains(cond) {
+            continue;
+        }
+        for (succ, other) in [(*then_blk, *else_blk), (*else_blk, *then_blk)] {
+            if reaches(f, other, succ) {
+                continue;
+            }
+            if barrier_blocks.iter().any(|&bb| dt.dominates(succ, bb)) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Detect the staging pattern for one buffer.
@@ -131,6 +204,9 @@ pub fn detect(f: &Function, buf: LocalBufId) -> Result<StagingPattern, Candidate
     }
     if loads.is_empty() {
         return Err(CandidateError::NeverRead);
+    }
+    if divergent_barrier(f) {
+        return Err(CandidateError::DivergentBarrier);
     }
 
     // Every store must stage a global load's result.
@@ -262,6 +338,71 @@ mod tests {
              }",
         );
         assert_eq!(detect(&f, LocalBufId(0)), Err(CandidateError::NeverRead));
+    }
+
+    #[test]
+    fn divergent_barrier_declined() {
+        // Only a quarter of the group reaches the barrier: UB in the
+        // source program, so the buffer must not be a candidate.
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[8];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 if (lx < 4) {
+                     lm[lx] = in[gx];
+                     barrier(CLK_LOCAL_MEM_FENCE);
+                 }
+                 out[gx] = lm[lx];
+             }",
+        );
+        assert_eq!(
+            detect(&f, LocalBufId(0)),
+            Err(CandidateError::DivergentBarrier)
+        );
+    }
+
+    #[test]
+    fn divergent_store_before_uniform_barrier_ok() {
+        // The AMD-SS shape: a guarded staging store, but the barrier sits
+        // at the join every work-item reaches — still a candidate.
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[8];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 if (lx < 8) {
+                     lm[lx] = in[gx];
+                 }
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[gx] = lm[7 - lx];
+             }",
+        );
+        assert!(detect(&f, LocalBufId(0)).is_ok());
+    }
+
+    #[test]
+    fn lid_divergent_loop_barrier_declined() {
+        // Work-item-dependent trip count around a barrier: divergent
+        // barrier execution even though no branch arm holds the barrier
+        // exclusively at the source level.
+        let f = kernel(
+            "__kernel void k(__global float* in, __global float* out) {
+                 __local float lm[16];
+                 int lx = get_local_id(0);
+                 float s = 0.0f;
+                 for (int i = lx; i < 16; i++) {
+                     lm[lx] = in[i];
+                     barrier(CLK_LOCAL_MEM_FENCE);
+                     s += lm[0];
+                 }
+                 out[lx] = s;
+             }",
+        );
+        assert_eq!(
+            detect(&f, LocalBufId(0)),
+            Err(CandidateError::DivergentBarrier)
+        );
     }
 
     #[test]

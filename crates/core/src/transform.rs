@@ -26,6 +26,11 @@ pub enum Decline {
     LeafNotAvailable(String),
     /// A phi or call leaf hides a dependence on the work-item index.
     TaintedLeaf(String),
+    /// The GL index is not affine in the work-item indices (a product of
+    /// two index-dependent terms, or an index under a non-linear
+    /// operation), so substituting the solved correspondence into it would
+    /// not reproduce the staged address.
+    NonAffineGl(String),
     /// An affine atom has a non-integer type.
     BadAtomType,
 }
@@ -44,6 +49,9 @@ impl std::fmt::Display for Decline {
             Decline::LeafNotAvailable(s) => write!(f, "value `{s}` unavailable at the local load"),
             Decline::TaintedLeaf(s) => {
                 write!(f, "value `{s}` hides a work-item-index dependence")
+            }
+            Decline::NonAffineGl(s) => {
+                write!(f, "GL index `{s}` is not affine in the work-item indices")
             }
             Decline::BadAtomType => f.write_str("index component has non-integer type"),
         }
@@ -121,6 +129,54 @@ pub fn split_dims(flat: &Affine, dims: &[u64]) -> Option<Vec<Affine>> {
 
 fn position_of(f: &Function, v: ValueId) -> (BlockId, usize) {
     f.position_of(v).expect("instruction has a position")
+}
+
+/// Degree of `n` in the work-item indices (`get_local_id`/`get_global_id`):
+/// `Some(0)` for group-uniform expressions, `Some(1)` for affine ones, and
+/// `None` when an index-dependent term sits under a non-linear operation
+/// (a product of two such terms, a modulo, a shift by one, …). Substituting
+/// the solved correspondence leaf-by-leaf is only address-preserving for
+/// degree ≤ 1; anything else must decline as [`Decline::NonAffineGl`].
+fn query_degree(f: &Function, t: &ExprTree, n: crate::tree::NodeId) -> Option<u32> {
+    if t.is_leaf(n) {
+        return Some(match t.leaf_kind(f, n).expect("leaf") {
+            LeafKind::Query(Builtin::LocalId | Builtin::GlobalId, _) => 1,
+            // Group-uniform queries, constants, params, and opaque leaves
+            // (phi/call taint is declined separately as `TaintedLeaf`).
+            _ => 0,
+        });
+    }
+    let ch = &t.node(n).children;
+    let inst = f.inst(t.node(n).value).expect("internal node");
+    match inst {
+        Inst::Bin { op, .. } => {
+            let l = query_degree(f, t, ch[0])?;
+            let r = query_degree(f, t, ch[1])?;
+            match op {
+                BinOp::Add | BinOp::Sub => Some(l.max(r)),
+                BinOp::Mul => Some(l + r),
+                BinOp::Shl if r == 0 => Some(l),
+                _ if l == 0 && r == 0 => Some(0),
+                _ => None,
+            }
+        }
+        Inst::Cast { .. } => query_degree(f, t, ch[0]),
+        Inst::Gep { .. } => {
+            let mut d = 0u32;
+            for &c in ch {
+                d = d.max(query_degree(f, t, c)?);
+            }
+            Some(d)
+        }
+        _ => {
+            for &c in ch {
+                if query_degree(f, t, c)? != 0 {
+                    return None;
+                }
+            }
+            Some(0)
+        }
+    }
 }
 
 /// Does `v` dominate the program point `(blk, idx)`?
@@ -289,6 +345,9 @@ pub fn rewrite_ll(
         _ => panic!("GL is not a load"),
     };
     let mut gl_tree = ExprTree::build(f, gl_ptr);
+    if query_degree(f, &gl_tree, gl_tree.root()).is_none_or(|d| d > 1) {
+        return Err(Decline::NonAffineGl(gl_tree.display_root(f)));
+    }
     let dt = DomTree::compute(f);
     let (ll_blk, ll_idx) = position_of(f, ll);
 
@@ -584,21 +643,63 @@ mod tests {
 
     #[test]
     fn lid_through_phi_declines() {
-        // Loop counter initialised with lx: hidden lid dependence in GL.
+        // Running offset initialised with lx: the loop itself is uniform
+        // (every work-item runs 16 iterations) but the GL index is a phi
+        // hiding a lid dependence.
         let (_, r) = run_one(
             "__kernel void bad(__global float* in, __global float* out) {
                  __local float lm[16];
                  int lx = get_local_id(0);
                  float s = 0.0f;
-                 for (int i = lx; i < 16; i++) {
-                     lm[lx] = in[i];
+                 int j = lx;
+                 for (int i = 0; i < 16; i++) {
+                     lm[lx] = in[j];
                      barrier(CLK_LOCAL_MEM_FENCE);
                      s += lm[0];
+                     j = j + 1;
                  }
                  out[lx] = s;
              }",
         );
         assert!(matches!(r, Err(Decline::TaintedLeaf(_))), "{r:?}");
+    }
+
+    #[test]
+    fn non_affine_gl_declines() {
+        // gx*gx: degree 2 in the work-item index — leaf substitution would
+        // still be address-preserving here, but the pattern is outside the
+        // paper's affine model and must be refused, not guessed at.
+        let (_, r) = run_one(
+            "__kernel void sq(__global float* in, __global float* out) {
+                 __local float lm[8];
+                 int lx = get_local_id(0);
+                 int gx = get_global_id(0);
+                 lm[lx] = in[gx * gx];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[gx] = lm[7 - lx];
+             }",
+        );
+        assert!(matches!(r, Err(Decline::NonAffineGl(_))), "{r:?}");
+    }
+
+    #[test]
+    fn uniform_product_gl_is_affine() {
+        // (wy*S + ly) * w is degree 1 — the width parameter is group
+        // uniform — and must stay transformable.
+        let (f, r) = run_one(
+            "__kernel void row(__global float* in, __global float* out, int w) {
+                 __local float lm[8];
+                 int lx = get_local_id(0);
+                 int wy = get_group_id(1);
+                 int ly = get_local_id(1);
+                 lm[ly] = in[(wy * 8 + ly) * w];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[ly * w + lx] = lm[7 - ly];
+             }",
+        );
+        let r = r.unwrap();
+        assert!(grover_ir::verify(&f).is_ok(), "{:?}", grover_ir::verify(&f));
+        assert!(r.ngl_display.contains('w'), "{}", r.ngl_display);
     }
 
     #[test]

@@ -66,12 +66,15 @@ pub fn lower_kernel(def: &KernelDef) -> Result<Function, CompileError> {
     for p in def.params.iter() {
         seen.insert(p.name.clone(), 1);
     }
-    let phi_names: Vec<(grover_ir::ValueId, String)> = cg
+    let mut phi_names: Vec<(grover_ir::ValueId, String)> = cg
         .ssa
         .phi_vars()
         .filter(|(p, _)| cg.f.position_of(*p).is_some())
         .filter_map(|(p, var)| cg.var_names.get(var.0 as usize).map(|n| (p, n.clone())))
         .collect();
+    // `phi_vars()` walks a HashMap; sort by value id so suffix assignment
+    // (and therefore printed IR) is identical across processes.
+    phi_names.sort_by_key(|(p, _)| p.0);
     for (p, base) in phi_names {
         let n = seen.entry(base.clone()).or_insert(0);
         let name = if *n == 0 {

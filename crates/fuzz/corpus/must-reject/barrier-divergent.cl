@@ -1,0 +1,15 @@
+// The barrier only executes for work-items with lx < 4: under OpenCL rules
+// this is undefined behaviour, and the pass must not reason about (or
+// remove) a barrier it cannot prove uniform. Refused at candidate
+// detection.
+// fuzz: expect=reject kind=not_candidate reason=divergent control flow
+__kernel void half_stage(__global float* in, __global float* out, int w) {
+    __local float tile[8];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    if (lx < 4) {
+        tile[lx] = in[gx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gx] = tile[0];
+}

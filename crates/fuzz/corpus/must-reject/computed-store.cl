@@ -1,0 +1,11 @@
+// The local store writes an arithmetic result, not a raw global load:
+// the tile is not a pure staging cache, so Grover must not touch it.
+// fuzz: expect=reject kind=not_candidate reason=not a pure staging cache
+__kernel void scale_stage(__global float* in, __global float* out, int w) {
+    __local float tile[16];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    tile[lx] = in[gx] * 0.5f + 1.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = tile[15 - lx];
+}

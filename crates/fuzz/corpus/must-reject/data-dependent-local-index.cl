@@ -1,0 +1,13 @@
+// The local store index is computed from loaded data, so the staging map
+// is not a pure function of the work-item ids and the linear solver cannot
+// invert it. The pass must decline.
+// fuzz: expect=reject kind=declined reason=pure get_local_id
+__kernel void gather_stage(__global float* in, __global float* out, int w) {
+    __local float tile[8];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    int slot = (int)in[gx + w];
+    tile[slot % 8] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = tile[lx];
+}

@@ -1,0 +1,12 @@
+// The staged global index is quadratic in the work-item id. Rewriting the
+// local load requires substituting solved ids into the GL index, which is
+// only sound when that index is affine. The pass must decline.
+// fuzz: expect=reject kind=declined reason=not affine in the work-item indices
+__kernel void square_gather(__global float* in, __global float* out, int w) {
+    __local float tile[8];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    tile[lx] = in[gx * gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = tile[lx];
+}

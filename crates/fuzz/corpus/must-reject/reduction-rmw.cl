@@ -1,0 +1,20 @@
+// A tree reduction updates the local buffer in place after staging: the
+// stored values are no longer global loads, so removal would change the
+// result. The pass must refuse.
+// fuzz: expect=reject kind=not_candidate reason=not a pure staging cache
+__kernel void tree_reduce(__global float* in, __global float* out, int w) {
+    __local float acc[8];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    acc[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 4; s > 0; s = s / 2) {
+        if (lx < s) {
+            acc[lx] = acc[lx] + acc[lx + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lx == 0) {
+        out[gx / 8] = acc[0];
+    }
+}

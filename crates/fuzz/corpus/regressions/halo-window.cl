@@ -1,0 +1,18 @@
+// Regression: 1-D sliding window over a two-strip halo stage. Each local
+// load resolves against a different staged strip; both must rewrite to
+// direct global loads. Kept as a must-transform conformance case.
+// fuzz: expect=transform
+// fuzz: nd=16/8
+// fuzz: in=34 out=16 w=16
+__kernel void fz(__global float* in, __global float* out, int w) {
+    __local float lm0[16];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm0[lx] = in[gx + 1];
+    lm0[lx + 8] = in[gx + 9];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    acc += lm0[lx];
+    acc += lm0[lx + 3];
+    out[gx] = acc;
+}

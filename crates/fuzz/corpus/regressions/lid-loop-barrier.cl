@@ -1,0 +1,15 @@
+// Regression: a loop whose trip count depends on the local id executes its
+// barrier a different number of times per work-item. Early versions of the
+// candidate filter accepted this shape; it must be refused as divergent.
+// fuzz: expect=reject kind=not_candidate reason=divergent control flow
+__kernel void ragged_loop(__global float* in, __global float* out, int w) {
+    __local float lm[16];
+    int lx = get_local_id(0);
+    float s = 0.0f;
+    for (int i = lx; i < 16; i++) {
+        lm[lx] = in[i];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        s += lm[0];
+    }
+    out[get_global_id(0)] = s;
+}

@@ -1,0 +1,18 @@
+// Regression: transposed-and-mirrored read-back from an offset tile with a
+// shifted global window. Exercises the solver's full unimodular map
+// handling; kept as a must-transform conformance case.
+// fuzz: expect=transform
+// fuzz: nd=8x8/4x4
+// fuzz: in=88 out=88 w=11
+__kernel void fz(__global float* in, __global float* out, int w) {
+    __local float lm0[6][5];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    int ly = get_local_id(1);
+    int gy = get_global_id(1);
+    lm0[ly + 2][lx + 1] = in[gy * w + gx + 2];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    acc += lm0[4 - 1 - lx + 2][4 - 1 - ly + 1];
+    out[gy * w + gx] = acc;
+}

@@ -1,0 +1,196 @@
+//! Spec-level shrinking.
+//!
+//! When a case fails, the campaign minimizes the *spec*, not the source
+//! text: each step proposes a strictly simpler spec (drop a buffer, drop a
+//! tap, disable a feature, zero an offset, halve the tile) and keeps it only
+//! if the failure — same [`FailureKind`](crate::oracle::FailureKind) —
+//! still reproduces. Working on specs guarantees every intermediate kernel
+//! is well-formed, so the shrinker never wanders into syntax errors the way
+//! text-level delta debugging does.
+
+use crate::spec::{KernelSpec, ReadMap};
+
+/// Well-founded complexity measure; every candidate strictly decreases it,
+/// so shrinking terminates.
+fn weight(s: &KernelSpec) -> u64 {
+    let mut w = s.bufs.len() as u64 * 100;
+    for b in &s.bufs {
+        w += b.taps.len() as u64 * 10;
+        w += if b.halo { 10 } else { 0 };
+        w += if b.loop_read { 10 } else { 0 };
+        w += if b.map != ReadMap::Identity { 5 } else { 0 };
+        w += (b.ox + b.oy) as u64;
+    }
+    w += (s.dims as u64 - 1) * 50;
+    w += s.goff as u64;
+    w += (s.gx_groups + s.gy_groups) as u64;
+    w += (s.tx + s.ty) as u64;
+    w
+}
+
+/// One-step simplifications, most aggressive first.
+fn candidates(s: &KernelSpec) -> Vec<KernelSpec> {
+    let mut out = Vec::new();
+    // Drop whole buffers.
+    if s.bufs.len() > 1 {
+        for i in 0..s.bufs.len() {
+            let mut c = s.clone();
+            c.bufs.remove(i);
+            out.push(c);
+        }
+    }
+    // Collapse 2-D to 1-D (keep only x-compatible maps).
+    if s.dims == 2 {
+        let mut c = s.clone();
+        c.dims = 1;
+        c.ty = 1;
+        c.gy_groups = 1;
+        for b in &mut c.bufs {
+            b.oy = 0;
+            if !matches!(b.map, ReadMap::Identity | ReadMap::ReverseX) {
+                b.map = ReadMap::Identity;
+            }
+        }
+        out.push(c);
+    }
+    // Per-buffer feature removal.
+    for i in 0..s.bufs.len() {
+        let b = &s.bufs[i];
+        if !b.taps.is_empty() {
+            let mut c = s.clone();
+            c.bufs[i].taps.clear();
+            out.push(c);
+            if b.taps.len() > 1 {
+                let mut c = s.clone();
+                c.bufs[i].taps.pop();
+                out.push(c);
+            }
+        }
+        if b.loop_read {
+            let mut c = s.clone();
+            c.bufs[i].loop_read = false;
+            out.push(c);
+        }
+        if b.halo && b.taps.is_empty() {
+            let mut c = s.clone();
+            c.bufs[i].halo = false;
+            out.push(c);
+        }
+        if b.map != ReadMap::Identity {
+            let mut c = s.clone();
+            c.bufs[i].map = ReadMap::Identity;
+            out.push(c);
+        }
+        if b.ox > 0 {
+            let mut c = s.clone();
+            c.bufs[i].ox = 0;
+            out.push(c);
+        }
+        if b.oy > 0 {
+            let mut c = s.clone();
+            c.bufs[i].oy = 0;
+            out.push(c);
+        }
+    }
+    // Geometry.
+    if s.gx_groups > 1 {
+        let mut c = s.clone();
+        c.gx_groups = 1;
+        out.push(c);
+    }
+    if s.gy_groups > 1 {
+        let mut c = s.clone();
+        c.gy_groups = 1;
+        out.push(c);
+    }
+    if s.goff > 0 {
+        let mut c = s.clone();
+        c.goff = 0;
+        out.push(c);
+    }
+    // Halve the tile. Transpose maps need square tiles, so shrink both
+    // dimensions together when one is present; taps must stay in range.
+    let square = s
+        .bufs
+        .iter()
+        .any(|b| matches!(b.map, ReadMap::Swap | ReadMap::SwapReverse));
+    if s.tx >= 4 {
+        let ntx = s.tx / 2;
+        if s.bufs.iter().all(|b| b.taps.iter().all(|&d| d <= ntx)) {
+            let mut c = s.clone();
+            c.tx = ntx;
+            if square && s.dims == 2 {
+                c.ty = ntx; // ntx = tx/2 >= 2, so the tile stays legal
+            }
+            out.push(c);
+        }
+    }
+    if s.dims == 2 && s.ty >= 4 && !square {
+        let mut c = s.clone();
+        c.ty /= 2;
+        out.push(c);
+    }
+    debug_assert!(out.iter().all(|c| weight(c) < weight(s)));
+    out
+}
+
+/// Greedily minimize `spec` while `still_fails` holds. Returns the shrunk
+/// spec and the number of accepted steps.
+pub fn shrink<F: Fn(&KernelSpec) -> bool>(
+    spec: &KernelSpec,
+    still_fails: F,
+) -> (KernelSpec, usize) {
+    let mut cur = spec.clone();
+    let mut steps = 0usize;
+    // `weight` strictly decreases on acceptance, so this terminates; the
+    // cap is a belt-and-braces bound.
+    while steps < 500 {
+        let Some(next) = candidates(&cur).into_iter().find(|c| still_fails(c)) else {
+            break;
+        };
+        cur = next;
+        steps += 1;
+    }
+    (cur, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Gen;
+
+    #[test]
+    fn shrinks_to_minimal_when_anything_fails() {
+        // With an always-true predicate the shrinker must bottom out at the
+        // simplest possible spec.
+        for seed in 0..20u64 {
+            let spec = KernelSpec::random(&mut Gen::new(seed), None);
+            let (min, _) = shrink(&spec, |_| true);
+            assert_eq!(min.dims, 1);
+            assert_eq!(min.bufs.len(), 1);
+            assert_eq!(min.tx, 2);
+            assert_eq!(min.gx_groups, 1);
+            assert_eq!(min.goff, 0);
+            let b = &min.bufs[0];
+            assert!(b.taps.is_empty() && !b.halo && !b.loop_read);
+            assert_eq!(b.map, ReadMap::Identity);
+            assert_eq!((b.ox, b.oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn preserves_the_failing_property() {
+        // Predicate: the kernel still stages a halo strip.
+        let mut g = Gen::new(123);
+        let mut spec = KernelSpec::random(&mut g, None);
+        spec.dims = 1;
+        spec.ty = 1;
+        spec.gy_groups = 1;
+        spec.bufs.truncate(1);
+        spec.bufs[0].halo = true;
+        let (min, _) = shrink(&spec, |s| s.bufs.iter().any(|b| b.halo));
+        assert!(min.bufs[0].halo);
+        assert!(min.bufs[0].taps.is_empty());
+        assert_eq!(min.tx, 2);
+    }
+}

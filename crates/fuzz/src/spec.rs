@@ -1,0 +1,492 @@
+//! Structured kernel specifications.
+//!
+//! The fuzzer does not mutate raw source text. Each case is a small
+//! [`KernelSpec`] value describing a kernel built around the software-cache
+//! pattern Grover targets (global load → local store → barrier → local
+//! load), and [`KernelSpec::render`] turns it into OpenCL-C. Working at the
+//! spec level keeps every generated kernel well-formed, makes the expected
+//! pass outcome computable, and gives the shrinker meaningful moves
+//! (drop a buffer, drop a tap, zero an offset) instead of text surgery.
+
+use crate::gen::Gen;
+use std::fmt::Write;
+
+/// How a local-load site indexes the staged tile relative to the store.
+///
+/// Every map is unimodular, so the pass's linear solver must be able to
+/// invert it; `Swap*` maps require a square tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMap {
+    /// Read back exactly what this work-item staged.
+    Identity,
+    /// Mirror along x: `lm[.., tx-1-lx]`.
+    ReverseX,
+    /// Mirror along y (2-D only): `lm[ty-1-ly, ..]`.
+    ReverseY,
+    /// Transpose (2-D only, square tile): `lm[lx, ly]`.
+    Swap,
+    /// Transpose of the mirror (2-D only, square tile): `lm[tx-1-lx, ty-1-ly]`.
+    SwapReverse,
+}
+
+impl ReadMap {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadMap::Identity => "identity",
+            ReadMap::ReverseX => "reverse-x",
+            ReadMap::ReverseY => "reverse-y",
+            ReadMap::Swap => "swap",
+            ReadMap::SwapReverse => "swap-reverse",
+        }
+    }
+}
+
+/// One `__local` staging buffer inside a generated kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufSpec {
+    /// Index map used by the primary read-back site.
+    pub map: ReadMap,
+    /// Constant offset added to the store's x index (shifts the tile).
+    pub ox: i64,
+    /// Constant offset added to the store's y index (2-D only).
+    pub oy: i64,
+    /// 1-D only: stage a second tile-wide strip (`lm[lx+tx] = in[gx+tx]`),
+    /// enabling sliding-window reads.
+    pub halo: bool,
+    /// 1-D only, requires `halo`: extra read sites `lm[lx + dx]` per tap.
+    pub taps: Vec<i64>,
+    /// Add a uniform loop that reads every staged element (broadcast).
+    pub loop_read: bool,
+}
+
+/// A deliberate violation of the software-cache pattern. Kernels carrying a
+/// poison must be *refused* by the pass with a specific outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Poison {
+    /// The local store writes an arithmetic result, not a raw global load.
+    ComputedStore,
+    /// The local buffer is updated in place after staging.
+    ReadModifyWrite,
+    /// The local store index is computed from loaded data.
+    DataDependentIndex,
+    /// The staged global index is quadratic in the work-item id.
+    NonAffineGl,
+    /// A barrier executes under work-item-divergent control flow.
+    DivergentBarrier,
+}
+
+pub const ALL_POISONS: [Poison; 5] = [
+    Poison::ComputedStore,
+    Poison::ReadModifyWrite,
+    Poison::DataDependentIndex,
+    Poison::NonAffineGl,
+    Poison::DivergentBarrier,
+];
+
+impl Poison {
+    pub fn name(self) -> &'static str {
+        match self {
+            Poison::ComputedStore => "computed-store",
+            Poison::ReadModifyWrite => "read-modify-write",
+            Poison::DataDependentIndex => "data-dependent-index",
+            Poison::NonAffineGl => "non-affine-gl",
+            Poison::DivergentBarrier => "divergent-barrier",
+        }
+    }
+
+    /// The `BufferOutcome::kind()` the pass must report.
+    pub fn expected_kind(self) -> &'static str {
+        match self {
+            Poison::ComputedStore | Poison::ReadModifyWrite | Poison::DivergentBarrier => {
+                "not_candidate"
+            }
+            Poison::DataDependentIndex | Poison::NonAffineGl => "declined",
+        }
+    }
+
+    /// A substring the reported reason must contain.
+    pub fn expected_reason(self) -> &'static str {
+        match self {
+            Poison::ComputedStore | Poison::ReadModifyWrite => "not a pure staging cache",
+            Poison::DataDependentIndex => "pure get_local_id",
+            Poison::NonAffineGl => "not affine in the work-item indices",
+            Poison::DivergentBarrier => "divergent control flow",
+        }
+    }
+}
+
+/// Concrete launch geometry and buffer sizing for a spec.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecShape {
+    pub global: [usize; 2],
+    pub local: [usize; 2],
+    pub in_len: usize,
+    pub out_len: usize,
+    pub w: i64,
+}
+
+/// A complete generated kernel: geometry, staging buffers, optional poison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// 1 or 2 NDRange dimensions.
+    pub dims: u8,
+    /// Work-group (tile) size along x.
+    pub tx: i64,
+    /// Work-group (tile) size along y (1 when `dims == 1`).
+    pub ty: i64,
+    /// Work-group counts.
+    pub gx_groups: i64,
+    pub gy_groups: i64,
+    /// Constant offset added to every global read along x.
+    pub goff: i64,
+    pub bufs: Vec<BufSpec>,
+    pub poison: Option<Poison>,
+}
+
+impl KernelSpec {
+    /// Draw a random spec. `poison == None` yields a must-transform kernel;
+    /// otherwise a minimal kernel carrying that violation.
+    pub fn random(g: &mut Gen, poison: Option<Poison>) -> KernelSpec {
+        if let Some(p) = poison {
+            // Poison kernels stay 1-D and minimal: the violation is the point.
+            return KernelSpec {
+                dims: 1,
+                tx: *g.pick(&[2, 4, 8, 16]),
+                ty: 1,
+                gx_groups: g.int(1, 4),
+                gy_groups: 1,
+                goff: g.int(0, 4),
+                bufs: vec![BufSpec {
+                    map: ReadMap::Identity,
+                    ox: 0,
+                    oy: 0,
+                    halo: false,
+                    taps: Vec::new(),
+                    loop_read: false,
+                }],
+                poison: Some(p),
+            };
+        }
+        let dims = if g.chance(1, 2) { 1 } else { 2 };
+        let (tx, ty) = if dims == 1 {
+            (*g.pick(&[2, 4, 8, 16]), 1)
+        } else {
+            let tx = *g.pick(&[2, 4, 8]);
+            // Square tiles keep transpose maps available; rectangular tiles
+            // exercise the solver's dimension bookkeeping.
+            let ty = if g.chance(1, 2) {
+                tx
+            } else {
+                *g.pick(&[2, 4, 8])
+            };
+            (tx, ty)
+        };
+        let nbufs = if g.chance(1, 3) { 2 } else { 1 };
+        let bufs = (0..nbufs)
+            .map(|_| {
+                let map = if dims == 1 {
+                    *g.pick(&[ReadMap::Identity, ReadMap::ReverseX])
+                } else if tx == ty {
+                    *g.pick(&[
+                        ReadMap::Identity,
+                        ReadMap::ReverseX,
+                        ReadMap::ReverseY,
+                        ReadMap::Swap,
+                        ReadMap::SwapReverse,
+                    ])
+                } else {
+                    *g.pick(&[ReadMap::Identity, ReadMap::ReverseX, ReadMap::ReverseY])
+                };
+                let halo = dims == 1 && g.chance(1, 3);
+                let taps = if halo {
+                    let n = g.int(1, 3);
+                    (0..n).map(|_| g.int(1, tx + 1)).collect()
+                } else {
+                    Vec::new()
+                };
+                BufSpec {
+                    map,
+                    ox: g.int(0, 3),
+                    oy: if dims == 2 { g.int(0, 3) } else { 0 },
+                    halo,
+                    taps,
+                    loop_read: g.chance(1, 4),
+                }
+            })
+            .collect();
+        KernelSpec {
+            dims,
+            tx,
+            ty,
+            gx_groups: g.int(1, 4),
+            gy_groups: if dims == 2 { g.int(1, 4) } else { 1 },
+            goff: g.int(0, 4),
+            bufs,
+            poison: None,
+        }
+    }
+
+    /// Launch geometry plus exact buffer sizing. The interpreter bounds-checks
+    /// every access, so `in_len`/`out_len` must cover all generated indices.
+    pub fn exec_shape(&self) -> ExecShape {
+        let gx = self.gx_groups * self.tx;
+        let gy = self.gy_groups * self.ty;
+        let nbufs = self.bufs.len() as i64;
+        if self.dims == 1 {
+            // Max read: gx-1 + goff + (nbufs-1) + tx (halo strip).
+            let in_len = (gx + self.goff + nbufs + 2 * self.tx) as usize;
+            ExecShape {
+                global: [gx as usize, 1],
+                local: [self.tx as usize, 1],
+                in_len,
+                out_len: gx as usize,
+                w: gx,
+            }
+        } else {
+            // Row stride leaves room for the x offsets so rows stay disjoint.
+            let w = gx + self.goff + nbufs;
+            ExecShape {
+                global: [gx as usize, gy as usize],
+                local: [self.tx as usize, self.ty as usize],
+                in_len: (gy * w) as usize,
+                out_len: (gy * w) as usize,
+                w,
+            }
+        }
+    }
+
+    /// Local-buffer element count for buffer `b` (used for sizing checks).
+    fn lm_len(&self, b: &BufSpec) -> i64 {
+        if self.dims == 1 {
+            b.ox + self.tx * if b.halo { 2 } else { 1 }
+        } else {
+            (self.ty + b.oy) * (self.tx + b.ox)
+        }
+    }
+
+    /// Render the spec as OpenCL-C, prefixed with `// fuzz:` replay
+    /// directives (the front-end strips comments, so they are inert).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let shape = self.exec_shape();
+        match self.poison {
+            Some(p) => {
+                let _ = writeln!(
+                    s,
+                    "// fuzz: expect=reject kind={} reason={}",
+                    p.expected_kind(),
+                    p.expected_reason()
+                );
+            }
+            None => {
+                let _ = writeln!(s, "// fuzz: expect=transform");
+            }
+        }
+        if self.dims == 1 {
+            let _ = writeln!(s, "// fuzz: nd={}/{}", shape.global[0], shape.local[0]);
+        } else {
+            let _ = writeln!(
+                s,
+                "// fuzz: nd={}x{}/{}x{}",
+                shape.global[0], shape.global[1], shape.local[0], shape.local[1]
+            );
+        }
+        let _ = writeln!(
+            s,
+            "// fuzz: in={} out={} w={}",
+            shape.in_len, shape.out_len, shape.w
+        );
+        let _ = writeln!(
+            s,
+            "__kernel void fz(__global float* in, __global float* out, int w) {{"
+        );
+        match self.poison {
+            Some(p) => self.render_poison_body(&mut s, p),
+            None => self.render_positive_body(&mut s),
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    fn render_positive_body(&self, s: &mut String) {
+        let (tx, ty) = (self.tx, self.ty);
+        for (i, b) in self.bufs.iter().enumerate() {
+            if self.dims == 1 {
+                let _ = writeln!(s, "    __local float lm{i}[{}];", self.lm_len(b));
+            } else {
+                let _ = writeln!(s, "    __local float lm{i}[{}][{}];", ty + b.oy, tx + b.ox);
+            }
+        }
+        let _ = writeln!(s, "    int lx = get_local_id(0);");
+        let _ = writeln!(s, "    int gx = get_global_id(0);");
+        if self.dims == 2 {
+            let _ = writeln!(s, "    int ly = get_local_id(1);");
+            let _ = writeln!(s, "    int gy = get_global_id(1);");
+        }
+        // Stage: every buffer holds raw global loads, one element per
+        // work-item (plus an optional 1-D halo strip).
+        for (i, b) in self.bufs.iter().enumerate() {
+            let c = self.goff + i as i64;
+            if self.dims == 1 {
+                let _ = writeln!(s, "    lm{i}[{}] = in[{}];", idx1(b.ox), gidx1(c));
+                if b.halo {
+                    let _ = writeln!(s, "    lm{i}[{}] = in[{}];", idx1(b.ox + tx), gidx1(c + tx));
+                }
+            } else {
+                let _ = writeln!(
+                    s,
+                    "    lm{i}[{}][{}] = in[gy * w + {}];",
+                    off("ly", b.oy),
+                    off("lx", b.ox),
+                    gidx1(c)
+                );
+            }
+        }
+        let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+        let _ = writeln!(s, "    float acc = 0.0f;");
+        // Read back: a mapped primary site, optional sliding-window taps,
+        // optional uniform broadcast loop.
+        for (i, b) in self.bufs.iter().enumerate() {
+            if self.dims == 1 {
+                let x = match b.map {
+                    ReadMap::Identity => "lx".to_string(),
+                    _ => format!("{} - 1 - lx", tx),
+                };
+                let _ = writeln!(s, "    acc += lm{i}[{}];", off(&x, b.ox));
+                for &dx in &b.taps {
+                    let _ = writeln!(s, "    acc += lm{i}[{}];", idx1(b.ox + dx));
+                }
+                if b.loop_read {
+                    let _ = writeln!(
+                        s,
+                        "    for (int k{i} = 0; k{i} < {tx}; k{i}++) {{ acc += lm{i}[{}]; }}",
+                        off(&format!("k{i}"), b.ox)
+                    );
+                }
+            } else {
+                let (row, col) = match b.map {
+                    ReadMap::Identity => ("ly".to_string(), "lx".to_string()),
+                    ReadMap::ReverseX => ("ly".to_string(), format!("{} - 1 - lx", tx)),
+                    ReadMap::ReverseY => (format!("{} - 1 - ly", ty), "lx".to_string()),
+                    ReadMap::Swap => ("lx".to_string(), "ly".to_string()),
+                    ReadMap::SwapReverse => {
+                        (format!("{} - 1 - lx", tx), format!("{} - 1 - ly", ty))
+                    }
+                };
+                let _ = writeln!(
+                    s,
+                    "    acc += lm{i}[{}][{}];",
+                    off(&row, b.oy),
+                    off(&col, b.ox)
+                );
+                if b.loop_read {
+                    let _ = writeln!(
+                        s,
+                        "    for (int k{i} = 0; k{i} < {ty}; k{i}++) {{ acc += lm{i}[{}][{}]; }}",
+                        off(&format!("k{i}"), b.oy),
+                        off("lx", b.ox)
+                    );
+                }
+            }
+        }
+        if self.dims == 1 {
+            let _ = writeln!(s, "    out[gx] = acc;");
+        } else {
+            let _ = writeln!(s, "    out[gy * w + gx] = acc;");
+        }
+    }
+
+    fn render_poison_body(&self, s: &mut String, p: Poison) {
+        let tx = self.tx;
+        let _ = writeln!(s, "    __local float lm0[{tx}];");
+        let _ = writeln!(s, "    int lx = get_local_id(0);");
+        let _ = writeln!(s, "    int gx = get_global_id(0);");
+        match p {
+            Poison::ComputedStore => {
+                let _ = writeln!(s, "    lm0[lx] = in[{}] * 2.0f;", gidx1(self.goff));
+                let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+            }
+            Poison::ReadModifyWrite => {
+                let _ = writeln!(s, "    lm0[lx] = in[{}];", gidx1(self.goff));
+                let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+                let _ = writeln!(s, "    lm0[lx] = lm0[lx] + 1.0f;");
+                let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+            }
+            Poison::DataDependentIndex => {
+                let _ = writeln!(s, "    int t = (int)in[{}];", gidx1(self.goff));
+                let _ = writeln!(s, "    lm0[t % {tx}] = in[gx];");
+                let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+            }
+            Poison::NonAffineGl => {
+                let _ = writeln!(s, "    lm0[lx] = in[gx * gx];");
+                let _ = writeln!(s, "    barrier(CLK_LOCAL_MEM_FENCE);");
+            }
+            Poison::DivergentBarrier => {
+                let _ = writeln!(s, "    if (lx < {}) {{", (tx / 2).max(1));
+                let _ = writeln!(s, "        lm0[lx] = in[{}];", gidx1(self.goff));
+                let _ = writeln!(s, "        barrier(CLK_LOCAL_MEM_FENCE);");
+                let _ = writeln!(s, "    }}");
+            }
+        }
+        let _ = writeln!(s, "    out[gx] = lm0[lx];");
+    }
+}
+
+/// `"lx"`-style base plus constant offset, omitting `+ 0`.
+fn off(base: &str, c: i64) -> String {
+    if c == 0 {
+        base.to_string()
+    } else {
+        format!("{base} + {c}")
+    }
+}
+
+/// `lx + c` store-side index.
+fn idx1(c: i64) -> String {
+    off("lx", c)
+}
+
+/// `gx + c` global-read index.
+fn gidx1(c: i64) -> String {
+    off("gx", c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = KernelSpec::random(&mut Gen::new(9), None);
+        let b = KernelSpec::random(&mut Gen::new(9), None);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn poison_specs_render_their_directive() {
+        for p in ALL_POISONS {
+            let spec = KernelSpec::random(&mut Gen::new(3), Some(p));
+            let src = spec.render();
+            assert!(src.contains("expect=reject"), "{src}");
+            assert!(src.contains(p.expected_reason()), "{src}");
+        }
+    }
+
+    #[test]
+    fn every_generated_spec_compiles() {
+        use grover_frontend::{compile, BuildOptions};
+        for seed in 0..40u64 {
+            let spec = KernelSpec::random(&mut Gen::new(seed), None);
+            let src = spec.render();
+            compile(&src, &BuildOptions::new())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+        for (i, p) in ALL_POISONS.iter().enumerate() {
+            let spec = KernelSpec::random(&mut Gen::new(i as u64), Some(*p));
+            let src = spec.render();
+            compile(&src, &BuildOptions::new())
+                .unwrap_or_else(|e| panic!("poison {}: {e}\n{src}", p.name()));
+        }
+    }
+}

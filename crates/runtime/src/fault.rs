@@ -118,6 +118,14 @@ pub enum FaultKind {
     /// offset by 1.0, integers XOR-ed with 1) — exercises the tuner's
     /// differential-output guard. Ignores `max_fires`.
     CorruptStores,
+    /// Offset the element index of every *global* load by this many
+    /// elements from the trigger point on ([`FaultSite::LaunchStart`] =
+    /// the whole launch, [`FaultSite::Group`] = every group with an id
+    /// `>=` the site's), falling back to the original address at buffer
+    /// edges. A deterministic stand-in for an index-arithmetic bug in a
+    /// transformed kernel — exercises differential-output oracles such as
+    /// the fuzzer's. Ignores `max_fires`.
+    OffsetGlobalLoads(i64),
 }
 
 /// A deterministic fault to inject into matching launches.
@@ -161,8 +169,9 @@ impl Installed {
                 std::thread::sleep(*d);
                 Ok(())
             }
-            // Corruption is handled by the store path, not the trigger.
-            FaultKind::CorruptStores => Ok(()),
+            // Corruption/offsetting is handled by the memory-access paths,
+            // not the trigger.
+            FaultKind::CorruptStores | FaultKind::OffsetGlobalLoads(_) => Ok(()),
         }
     }
 }
@@ -230,6 +239,19 @@ pub(crate) fn group_hook(inst: &Installed, group: u32) -> Result<bool, ExecError
         return Ok(false);
     }
     inst.fire("group start").map(|()| false)
+}
+
+/// Element offset applied to this group's global loads, if the active plan
+/// injects [`FaultKind::OffsetGlobalLoads`] covering this group.
+pub(crate) fn load_offset(inst: &Installed, group: u32) -> Option<i64> {
+    let FaultKind::OffsetGlobalLoads(n) = inst.plan.kind else {
+        return None;
+    };
+    match inst.plan.site {
+        FaultSite::LaunchStart => Some(n),
+        FaultSite::Group(g) if group >= g => Some(n),
+        _ => None,
+    }
 }
 
 /// Instruction countdown for a worker's budget, if the plan has an

@@ -751,6 +751,9 @@ struct GroupRun<'a, 'l> {
     group_linear: u32,
     /// Fault injection: perturb this group's global stores.
     corrupt_stores: bool,
+    /// Fault injection: offset this group's global loads by this many
+    /// elements (`0` = none).
+    load_offset: i64,
 }
 
 /// Best-effort stringification of a caught panic payload.
@@ -807,6 +810,13 @@ fn run_group(
     };
     #[cfg(not(feature = "fault-injection"))]
     let corrupt_group = false;
+    #[cfg(feature = "fault-injection")]
+    let load_offset = match &launch.fault {
+        Some(i) => crate::fault::load_offset(i, group_linear).unwrap_or(0),
+        None => 0,
+    };
+    #[cfg(not(feature = "fault-injection"))]
+    let load_offset = 0;
 
     // (Re)initialise this group's local memory from the launch template.
     if scratch.local_mem.len() != launch.local_templ.len() {
@@ -874,6 +884,7 @@ fn run_group(
         local_mem,
         group_linear,
         corrupt_stores: launch.corrupt_launch || corrupt_group,
+        load_offset,
     };
     let mut stats = GroupStats {
         items: n_items as u64,
@@ -1084,7 +1095,15 @@ fn eval_inst(
                 .ok_or_else(|| ExecError::TypeMismatch("load through non-pointer".into()))?;
             let ty = f.ty(iv);
             let lanes = ty.lanes();
-            let v = mem_load(r, p, lanes)?;
+            let v = if r.load_offset != 0 && p.space == AddressSpace::Global {
+                let pp = PtrVal {
+                    offset: p.offset + r.load_offset * ty.size_bytes() as i64,
+                    ..p
+                };
+                mem_load(r, pp, lanes).or_else(|_| mem_load(r, p, lanes))?
+            } else {
+                mem_load(r, p, lanes)?
+            };
             emit(sink, r, wi, TraceOp::Load, p, ty.size_bytes() as u32, iv);
             Ok(Some(v))
         }

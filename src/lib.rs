@@ -53,6 +53,7 @@
 pub use grover_core as pass;
 pub use grover_devsim as devsim;
 pub use grover_frontend as frontend;
+pub use grover_fuzz as fuzz;
 pub use grover_ir as ir;
 pub use grover_kernels as kernels;
 pub use grover_obs as obs;

@@ -1,0 +1,86 @@
+//! Golden-file IR snapshots of the Grover pass over every bundled app.
+//!
+//! For each application the snapshot records the freshly-compiled kernel,
+//! the pass report, and the kernel after the pass (no optimisation
+//! pipeline — this isolates exactly what the pass itself does). Any change
+//! to the front-end lowering, the candidate filter or the rewrite shows up
+//! as a reviewable textual diff instead of a silent behaviour shift.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! GROVER_BLESS=1 cargo test -q --test golden
+//! ```
+
+use grover::frontend::compile;
+use grover::ir::printer::function_to_string;
+use grover::kernels::{all_apps, extension_apps, App, Scale};
+use grover::pass::Grover;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn snapshot(app: &App) -> String {
+    let opts = (app.options)(Scale::Test);
+    let module = compile(app.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", app.id));
+    let original = module
+        .kernel(app.kernel)
+        .unwrap_or_else(|| panic!("{}: kernel {} missing", app.id, app.kernel))
+        .clone();
+    let mut transformed = original.clone();
+    let grover = match app.disable {
+        Some(buffers) => Grover::for_buffers(buffers),
+        None => Grover::new(),
+    };
+    let report = grover.run_on(&mut transformed);
+    format!(
+        "==== original ====\n{}\n==== report ====\n{}\n==== transformed ====\n{}",
+        function_to_string(&original),
+        report.to_text(),
+        function_to_string(&transformed),
+    )
+}
+
+#[test]
+fn pass_output_matches_golden_snapshots() {
+    let bless = std::env::var_os("GROVER_BLESS").is_some();
+    let dir = golden_dir();
+    let mut apps = all_apps();
+    apps.extend(extension_apps());
+    assert!(apps.len() >= 12, "expected all bundled apps");
+    let mut stale = Vec::new();
+    for app in &apps {
+        let got = snapshot(app);
+        let path = dir.join(format!("{}.txt", app.id));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => {
+                let diff_at = want
+                    .lines()
+                    .zip(got.lines())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| want.lines().count().min(got.lines().count()));
+                stale.push(format!("{}: differs from golden at line {diff_at}", app.id));
+            }
+            Err(_) => stale.push(format!(
+                "{}: missing golden file {}",
+                app.id,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale golden snapshots:\n{}\nRegenerate with GROVER_BLESS=1 cargo test --test golden",
+        stale.join("\n")
+    );
+}

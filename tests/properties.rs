@@ -14,38 +14,21 @@ use grover::frontend::{compile, BuildOptions};
 use grover::pass::{solve, Affine, Atom, Grover, Rational};
 use grover::runtime::{enqueue, ArgValue, Context, Limits, NdRange, NullSink};
 
-/// SplitMix64: a tiny deterministic case generator.
-struct Gen(u64);
+// The SplitMix64 generator lives in the fuzzing crate (`grover::fuzz::Gen`)
+// so the property tests and the differential fuzzer share one seeded
+// randomness source; domain-specific draws stay local.
+use grover::fuzz::Gen;
 
-impl Gen {
-    fn new(seed: u64) -> Gen {
-        Gen(seed)
-    }
+fn rational(g: &mut Gen) -> Rational {
+    Rational::new(g.int(-1000, 1000), g.int(1, 100))
+}
 
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform integer in `[lo, hi)`.
-    fn int(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next_u64() % (hi - lo) as u64) as i64
-    }
-
-    fn rational(&mut self) -> Rational {
-        Rational::new(self.int(-1000, 1000), self.int(1, 100))
-    }
-
-    fn small_affine(&mut self) -> Affine {
-        let (a, b, k) = (self.int(-8, 8), self.int(-8, 8), self.int(-64, 64));
-        Affine::atom(Atom::LocalId(0))
-            .scale(Rational::int(a))
-            .add(&Affine::atom(Atom::LocalId(1)).scale(Rational::int(b)))
-            .add(&Affine::constant(k))
-    }
+fn small_affine(g: &mut Gen) -> Affine {
+    let (a, b, k) = (g.int(-8, 8), g.int(-8, 8), g.int(-64, 64));
+    Affine::atom(Atom::LocalId(0))
+        .scale(Rational::int(a))
+        .add(&Affine::atom(Atom::LocalId(1)).scale(Rational::int(b)))
+        .add(&Affine::constant(k))
 }
 
 const CASES: usize = 256;
@@ -56,7 +39,7 @@ const CASES: usize = 256;
 fn rational_field_axioms() {
     let mut g = Gen::new(1);
     for _ in 0..CASES {
-        let (a, b, c) = (g.rational(), g.rational(), g.rational());
+        let (a, b, c) = (rational(&mut g), rational(&mut g), rational(&mut g));
         assert_eq!(a + b, b + a, "addition commutes");
         assert_eq!(a * b, b * a, "multiplication commutes");
         assert_eq!((a + b) + c, a + (b + c), "addition associates");
@@ -94,7 +77,7 @@ fn gcd(mut a: i64, mut b: i64) -> i64 {
 fn affine_eval_is_additive_and_scales() {
     let mut g = Gen::new(3);
     for _ in 0..CASES {
-        let (a, b) = (g.small_affine(), g.small_affine());
+        let (a, b) = (small_affine(&mut g), small_affine(&mut g));
         let (lx, ly, s) = (g.int(0, 16), g.int(0, 16), g.int(-8, 8));
         let v = |at: Atom| match at {
             Atom::LocalId(0) => lx,
@@ -113,7 +96,7 @@ fn affine_eval_is_additive_and_scales() {
 fn split_by_stride_recomposes() {
     let mut g = Gen::new(4);
     for _ in 0..CASES {
-        let a = g.small_affine();
+        let a = small_affine(&mut g);
         let stride = g.int(1, 64);
         let (lx, ly) = (g.int(0, 16), g.int(0, 16));
         if let Some((hi, lo)) = a.split_by_stride(stride) {
@@ -131,7 +114,7 @@ fn split_by_stride_recomposes() {
 fn substitution_matches_eval() {
     let mut g = Gen::new(5);
     for _ in 0..CASES {
-        let a = g.small_affine();
+        let a = small_affine(&mut g);
         let (rx, rk, ly) = (g.int(-8, 8), g.int(-8, 8), g.int(0, 16));
         // Substitute lx := rx*ly + rk and compare against direct evaluation.
         let rep = Affine::atom(Atom::LocalId(1))
