@@ -1,0 +1,204 @@
+//! Load generator for the `grover-serve` tuning-cache service: N client
+//! threads hammer `POST /v1/tune` over a fixed set of distinct tune
+//! keys and the tool reports throughput and cache hit-rate as JSON.
+//!
+//! ```text
+//! cargo run -p grover-bench --release --bin serve_load -- \
+//!     [--addr HOST:PORT] [--clients N] [--requests N] [--distinct K] [--workers N]
+//! ```
+//!
+//! Without `--addr` an in-process server is started on a loopback port
+//! with a throwaway cache directory (measuring the full TCP + HTTP path
+//! regardless). The first `K` requests are issued serially to warm the
+//! cache, so the expected hit rate is exactly `(requests - K) /
+//! requests` — the CI smoke job asserts `hit_rate >= 0.9`. A non-zero
+//! exit means some request failed.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use grover_obs::json::{self, Obj};
+use grover_obs::NoopRecorder;
+use grover_serve::{http_request, ServeConfig, Server};
+
+/// The staging kernel every request tunes; distinct keys come from
+/// distinct launch geometries.
+const KERNEL: &str = "__kernel void stage(__global float* in, __global float* out) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[63 - lx];
+}";
+
+fn tune_body(global: u64) -> String {
+    format!(
+        "{{\"source\": {}, \"device\": \"SNB\", \"global\": [{global}], \"local\": [64]}}",
+        json::escape(KERNEL)
+    )
+}
+
+struct Tally {
+    ok: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn run_one(addr: SocketAddr, body: &str, tally: &Tally) {
+    match http_request(addr, "POST", "/v1/tune", Some(body)) {
+        Ok((200, text)) => {
+            tally.ok.fetch_add(1, Ordering::Relaxed);
+            match json::parse(&text).ok().and_then(|v| v.bool_of("cached")) {
+                Some(true) => tally.hits.fetch_add(1, Ordering::Relaxed),
+                Some(false) => tally.misses.fetch_add(1, Ordering::Relaxed),
+                None => tally.errors.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        Ok((429, _)) => {
+            // Backpressure is not a failure; retry once after yielding.
+            std::thread::yield_now();
+            match http_request(addr, "POST", "/v1/tune", Some(body)) {
+                Ok((200, text)) => {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                    if json::parse(&text).ok().and_then(|v| v.bool_of("cached")) == Some(true) {
+                        tally.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tally.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        _ => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut clients = 4usize;
+    let mut requests = 200u64;
+    let mut distinct = 4u64;
+    let mut workers = 2usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2)
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(next("--addr")),
+            "--clients" => clients = next("--clients").parse().expect("--clients: integer"),
+            "--requests" => requests = next("--requests").parse().expect("--requests: integer"),
+            "--distinct" => distinct = next("--distinct").parse().expect("--distinct: integer"),
+            "--workers" => workers = next("--workers").parse().expect("--workers: integer"),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let distinct = distinct.max(1).min(requests.max(1));
+
+    // An in-process server unless an external one was named.
+    let (target, _local) = match &addr {
+        Some(a) => (a.parse().expect("--addr must be HOST:PORT"), None),
+        None => {
+            let dir =
+                std::env::temp_dir().join(format!("grover-serve-load-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let server = Server::start(
+                ServeConfig {
+                    cache_dir: dir,
+                    workers,
+                    ..ServeConfig::default()
+                },
+                Arc::new(NoopRecorder),
+            )
+            .expect("in-process server starts");
+            (server.addr(), Some(server))
+        }
+    };
+
+    let bodies: Vec<Arc<String>> = (0..distinct)
+        .map(|i| Arc::new(tune_body(64 * (i + 1))))
+        .collect();
+    let tally = Arc::new(Tally {
+        ok: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+
+    let start = Instant::now();
+    // Serial warm-up: one miss per distinct key, deterministically.
+    for body in &bodies {
+        run_one(target, body, &tally);
+    }
+    let remaining = requests.saturating_sub(distinct);
+    let per_client = remaining / clients as u64;
+    let extra = remaining % clients as u64;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = bodies.clone();
+            let tally = tally.clone();
+            let n = per_client + u64::from((c as u64) < extra);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    let body = &bodies[((c as u64 + i) % bodies.len() as u64) as usize];
+                    run_one(target, body, &tally);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+
+    if let Some(server) = _local {
+        server.shutdown();
+    }
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let hits = tally.hits.load(Ordering::Relaxed);
+    let misses = tally.misses.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "{}",
+        Obj::new()
+            .u64("requests", requests)
+            .u64("clients", clients as u64)
+            .u64("distinct", distinct)
+            .u64("ok", ok)
+            .u64("hits", hits)
+            .u64("misses", misses)
+            .u64("errors", errors)
+            .f64("hit_rate", hit_rate)
+            .f64("elapsed_s", secs)
+            .f64(
+                "throughput_rps",
+                if secs > 0.0 { ok as f64 / secs } else { 0.0 }
+            )
+            .finish()
+    );
+    if errors > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

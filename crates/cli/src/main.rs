@@ -30,6 +30,14 @@
 //!     `--out-dir` (default `fuzz-regressions/`). Exit 9 if any case
 //!     fails. A campaign is a pure function of `(seed, cases)`.
 //!
+//! grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]
+//!              [--cache-capacity N] [--max-deadline-ms N]
+//!     Run the persistent tuning-cache service: an HTTP compile/tune API
+//!     over the pipeline with a content-addressed decision cache that
+//!     warm-starts from `--cache-dir` on boot. Runs until `POST
+//!     /admin/shutdown`; shutdown flushes the cache and the trace
+//!     recorder.
+//!
 //! grover list
 //!     List the bundled benchmark applications.
 //! ```
@@ -120,10 +128,11 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..], &recorder),
         Some("classify") => cmd_classify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..], &recorder),
+        Some("serve") => cmd_serve(&args[1..], &recorder),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage: grover <transform|autotune|profile|classify|fuzz|list> [--trace-out FILE] ..."
+                "usage: grover <transform|autotune|profile|classify|fuzz|serve|list> [--trace-out FILE] ..."
             );
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
             eprintln!(
@@ -135,6 +144,8 @@ fn main() -> ExitCode {
             );
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]");
+            eprintln!("  grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]");
+            eprintln!("               [--cache-capacity N] [--max-deadline-ms N]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -644,6 +655,7 @@ fn profile_json(
         .str("app", app_id)
         .str("scale", scale_name(scale))
         .str("kernel", &pair.original.name)
+        .str("pass_fingerprint", &grover_core::pass_fingerprint())
         .raw("original", &counts_json(o))
         .raw("transformed", &counts_json(t))
         .raw("delta", &delta_obj)
@@ -672,6 +684,7 @@ fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
         .str("app", app_id)
         .str("device", &d.device)
         .str("scale", scale_name(scale))
+        .str("pass_fingerprint", &grover_core::pass_fingerprint())
         .u64("cycles_with", d.cycles_with)
         .u64("cycles_without", d.cycles_without)
         .f64("np", d.np)
@@ -775,6 +788,55 @@ fn cmd_fuzz(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure
             ),
         ))
     }
+}
+
+/// `grover serve`: run the tuning-cache service until a graceful
+/// shutdown is requested over HTTP.
+fn cmd_serve(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+    let mut config = grover_serve::ServeConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..grover_serve::ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--addr needs HOST:PORT"))?
+                    .clone()
+            }
+            "--cache-dir" => {
+                config.cache_dir = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--cache-dir needs a path"))?
+                    .into()
+            }
+            "--threads" => config.workers = parse_u64(&mut it, "--threads")? as usize,
+            "--queue-depth" => config.queue_depth = parse_u64(&mut it, "--queue-depth")? as usize,
+            "--cache-capacity" => {
+                config.cache_capacity = parse_u64(&mut it, "--cache-capacity")? as usize
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline = Some(Duration::from_millis(parse_u64(
+                    &mut it,
+                    "--max-deadline-ms",
+                )?))
+            }
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let server = grover_serve::Server::start(config, recorder.clone())
+        .map_err(|e| Failure::new(1, format!("cannot start server: {e}")))?;
+    println!("grover-serve listening on {}", server.addr());
+    println!("  pass fingerprint: {}", grover_core::pass_fingerprint());
+    println!(
+        "  stop with: curl -X POST http://{}/admin/shutdown",
+        server.addr()
+    );
+    server.wait();
+    println!("grover-serve stopped");
+    Ok(())
 }
 
 fn cmd_list() -> Result<(), Failure> {

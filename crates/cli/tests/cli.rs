@@ -235,6 +235,7 @@ fn autotune_json_output() {
         "\"app\":\"NVD-MT\"",
         "\"device\":\"SNB\"",
         "\"scale\":\"test\"",
+        "\"pass_fingerprint\":\"grover-",
         "\"cycles_with\":",
         "\"cycles_without\":",
         "\"np\":",
@@ -295,6 +296,7 @@ fn profile_json_schema() {
             "\"app\":",
             "\"scale\":\"test\"",
             "\"kernel\":",
+            "\"pass_fingerprint\":\"grover-",
             "\"original\":{",
             "\"transformed\":{",
             "\"delta\":{",

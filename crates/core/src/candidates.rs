@@ -54,6 +54,20 @@ pub enum CandidateError {
     DivergentBarrier,
 }
 
+impl CandidateError {
+    /// Stable machine-readable tag, used by structured outputs (the
+    /// `grover-serve` 422 response body, JSON reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CandidateError::NeverWritten => "never_written",
+            CandidateError::NeverRead => "never_read",
+            CandidateError::NotStaged => "not_staged",
+            CandidateError::IndirectAccess => "indirect_access",
+            CandidateError::DivergentBarrier => "divergent_barrier",
+        }
+    }
+}
+
 impl std::fmt::Display for CandidateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -1,0 +1,309 @@
+//! Stable kernel fingerprints and the pass-version epoch.
+//!
+//! The tuner's decision — keep local memory or drop it — is a function of
+//! `(kernel, device profile, launch geometry)` and of the pass revision
+//! that produced the transformed candidate. This module gives every
+//! consumer (the golden snapshot tests, the `grover-serve` decision cache,
+//! the CLI's `--json` outputs) *one* shared notion of kernel identity so
+//! the cache key and the test identity can never drift apart:
+//!
+//! * [`canonicalize_source`] normalises OpenCL-C text (comments stripped,
+//!   horizontal whitespace collapsed, blank lines dropped) so formatting
+//!   changes do not change identity — while preserving line structure, so
+//!   preprocessor directives keep their meaning;
+//! * [`Fingerprint`] is a 128-bit FNV-1a hash with length-prefixed,
+//!   labelled parts (no concatenation ambiguity between parts);
+//! * [`pass_fingerprint`] is the cache-invalidation *epoch*: crate version
+//!   plus [`TRANSFORM_REVISION`]. Bump the revision whenever the transform
+//!   changes behaviour; persisted decisions from older epochs are ignored.
+
+use std::fmt;
+
+/// Monotonic revision of the Grover transform's observable behaviour.
+///
+/// Bump this constant whenever the pass produces different IR, accepts or
+/// refuses different kernels, or changes a reported reason. The golden
+/// snapshot tests embed [`pass_fingerprint`] in every snapshot, so a
+/// behaviour change without a bump shows up as a reviewable diff, and a
+/// bump without re-blessing fails the suite — either way the persisted
+/// tuning caches (keyed by the same epoch) are invalidated in lock-step.
+pub const TRANSFORM_REVISION: u32 = 1;
+
+/// The pass-version epoch: `grover-<crate version>+rev<revision>`.
+///
+/// Used as the cache-invalidation epoch by the `grover-serve` decision
+/// store and surfaced in CLI `--json` outputs and `grover version`.
+pub fn pass_fingerprint() -> String {
+    format!(
+        "grover-{}+rev{}",
+        env!("CARGO_PKG_VERSION"),
+        TRANSFORM_REVISION
+    )
+}
+
+/// A 128-bit content fingerprint (FNV-1a), rendered as 32 hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint(pub u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fingerprint {
+    /// Render as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse 32 hex digits back into a fingerprint.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a fingerprint builder over labelled parts.
+///
+/// Each part hashes its label, a separator, the byte length, and the
+/// bytes, so `("a", "bc")` and `("ab", "c")` cannot collide by
+/// concatenation and parts cannot bleed into each other.
+#[derive(Clone, Debug)]
+pub struct FingerprintBuilder {
+    state: u128,
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> FingerprintBuilder {
+        FingerprintBuilder::new()
+    }
+}
+
+impl FingerprintBuilder {
+    /// A fresh builder at the FNV offset basis.
+    pub fn new() -> FingerprintBuilder {
+        FingerprintBuilder { state: FNV_OFFSET }
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mix in one labelled part.
+    pub fn part(mut self, label: &str, bytes: &[u8]) -> FingerprintBuilder {
+        self.feed(label.as_bytes());
+        self.feed(&[0xff]);
+        self.feed(&(bytes.len() as u64).to_le_bytes());
+        self.feed(bytes);
+        self
+    }
+
+    /// Mix in a labelled `u64` sequence (launch dims, scales).
+    pub fn part_u64s(self, label: &str, values: &[u64]) -> FingerprintBuilder {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.part(label, &bytes)
+    }
+
+    /// Finish into a [`Fingerprint`].
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+/// Canonicalise OpenCL-C source for fingerprinting.
+///
+/// Strips `//` and `/* */` comments (string literals are respected),
+/// collapses runs of horizontal whitespace to one space, trims each line,
+/// and drops blank lines. Line structure is preserved, so preprocessor
+/// directives keep their line-based meaning and two *different* programs
+/// can never canonicalise to the same text merely by joining lines.
+pub fn canonicalize_source(src: &str) -> String {
+    // Comment stripping (preserving newlines inside block comments so
+    // line-based directives after the comment stay on their own lines).
+    let bytes = src.as_bytes();
+    let mut stripped = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                // String literal: copy verbatim through the closing quote.
+                stripped.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    stripped.push(c as char);
+                    i += 1;
+                    if c == b'\\' && i < bytes.len() {
+                        stripped.push(bytes[i] as char);
+                        i += 1;
+                    } else if c == b'"' {
+                        break;
+                    }
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                stripped.push(' ');
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        stripped.push('\n');
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            c => {
+                stripped.push(c as char);
+                i += 1;
+            }
+        }
+    }
+
+    // Whitespace normalisation, line by line.
+    let mut out = String::with_capacity(stripped.len());
+    for line in stripped.lines() {
+        let mut last_space = true; // leading whitespace is dropped
+        let mut norm = String::with_capacity(line.len());
+        for c in line.chars() {
+            if c == ' ' || c == '\t' || c == '\r' {
+                if !last_space {
+                    norm.push(' ');
+                    last_space = true;
+                }
+            } else {
+                norm.push(c);
+                last_space = false;
+            }
+        }
+        let norm = norm.trim_end();
+        if !norm.is_empty() {
+            out.push_str(norm);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Fingerprint of canonicalised source text alone (kernel identity for
+/// golden snapshots and the `/v1/compile` endpoint).
+pub fn source_fingerprint(src: &str) -> Fingerprint {
+    FingerprintBuilder::new()
+        .part("source", canonicalize_source(src).as_bytes())
+        .finish()
+}
+
+/// The full tuning-cache key: canonicalised source, kernel name, device
+/// profile and launch geometry. The pass-version epoch is deliberately
+/// *not* hashed in — it is stored alongside each cache entry so an epoch
+/// bump invalidates entries observably instead of silently orphaning them.
+pub fn tune_key(
+    source: &str,
+    kernel: &str,
+    device: &str,
+    global: &[u64],
+    local: &[u64],
+) -> Fingerprint {
+    FingerprintBuilder::new()
+        .part("source", canonicalize_source(source).as_bytes())
+        .part("kernel", kernel.as_bytes())
+        .part("device", device.as_bytes())
+        .part_u64s("global", global)
+        .part_u64s("local", local)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_changes_do_not_change_identity() {
+        let a = "__kernel void f(__global float* x) {\n    x[0] = 1.0f; // store\n}";
+        let b = "__kernel  void f(__global float* x)   {\n\n x[0]   = 1.0f; /* store */\n}\n";
+        assert_eq!(source_fingerprint(a), source_fingerprint(b));
+    }
+
+    #[test]
+    fn semantic_changes_change_identity() {
+        let a = "__kernel void f(__global float* x) { x[0] = 1.0f; }";
+        let b = "__kernel void f(__global float* x) { x[0] = 2.0f; }";
+        assert_ne!(source_fingerprint(a), source_fingerprint(b));
+    }
+
+    #[test]
+    fn directives_keep_line_structure() {
+        // Joining a directive line onto the next would conflate two
+        // different programs; canonicalisation must keep them distinct.
+        let a = "#define W 4\nint w = W;";
+        let b = "#define W 4 int w = W;";
+        assert_ne!(
+            canonicalize_source(a),
+            canonicalize_source(b),
+            "directive line must stay separate"
+        );
+    }
+
+    #[test]
+    fn block_comments_keep_newlines() {
+        let a = "/* c1\nc2 */\n#define A 1\nint q;";
+        let canon = canonicalize_source(a);
+        assert!(canon.starts_with("#define A 1\n"), "{canon:?}");
+    }
+
+    #[test]
+    fn strings_are_preserved_verbatim() {
+        let a = r#"x = "a // not a comment";"#;
+        let canon = canonicalize_source(a);
+        assert!(canon.contains("// not a comment"), "{canon:?}");
+    }
+
+    #[test]
+    fn parts_are_separated() {
+        let a = FingerprintBuilder::new().part("k", b"ab").part("k", b"c");
+        let b = FingerprintBuilder::new().part("k", b"a").part("k", b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tune_key_varies_by_every_component() {
+        let src = "__kernel void f(__global float* x) { x[0] = 1.0f; }";
+        let base = tune_key(src, "f", "SNB", &[256], &[16]);
+        assert_ne!(base, tune_key(src, "f", "Fermi", &[256], &[16]));
+        assert_ne!(base, tune_key(src, "g", "SNB", &[256], &[16]));
+        assert_ne!(base, tune_key(src, "f", "SNB", &[512], &[16]));
+        assert_ne!(base, tune_key(src, "f", "SNB", &[256], &[32]));
+        assert_eq!(base, tune_key(src, "f", "SNB", &[256], &[16]));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let fp = source_fingerprint("x");
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+    }
+
+    #[test]
+    fn pass_fingerprint_names_version_and_revision() {
+        let fp = pass_fingerprint();
+        assert!(fp.starts_with("grover-"), "{fp}");
+        assert!(fp.contains("+rev"), "{fp}");
+    }
+}

@@ -50,6 +50,7 @@
 pub mod affine;
 pub mod candidates;
 pub mod classify;
+pub mod fingerprint;
 pub mod linsys;
 pub mod pass;
 pub mod rational;
@@ -59,6 +60,10 @@ pub mod tree;
 pub use affine::{Affine, Atom};
 pub use candidates::{detect, CandidateError, StagingPattern};
 pub use classify::{classify, BufferClass, UsagePattern};
+pub use fingerprint::{
+    canonicalize_source, pass_fingerprint, source_fingerprint, tune_key, Fingerprint,
+    FingerprintBuilder, TRANSFORM_REVISION,
+};
 pub use linsys::{solve, Solution, SolveError};
 pub use pass::{BufferOutcome, BufferReport, Grover, GroverOptions, GroverReport};
 pub use rational::Rational;

@@ -167,6 +167,13 @@ pub trait Recorder: Send + Sync {
 
     /// Record a point-in-time event, optionally attached to a span.
     fn event(&self, _name: &str, _span: Option<SpanId>, _attrs: &[(&str, Value)]) {}
+
+    /// Flush any buffered records to their destination. Long-running
+    /// processes (the `grover-serve` server) call this on graceful
+    /// shutdown and at checkpoints; recorders that buffer (e.g.
+    /// [`JsonlRecorder`] over a `BufWriter`) must make everything
+    /// recorded so far durable. Defaults to a no-op.
+    fn flush(&self) {}
 }
 
 /// Discards everything ([`Recorder::enabled`] is `false`).
@@ -472,13 +479,21 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
         let mut s = self.state.lock().expect("recorder poisoned");
         let _ = writeln!(s.out, "{line}");
     }
-}
 
-impl<W: Write + Send> Drop for JsonlRecorder<W> {
-    fn drop(&mut self) {
+    fn flush(&self) {
         if let Ok(mut s) = self.state.lock() {
             let _ = s.out.flush();
         }
+    }
+}
+
+/// Dropping the recorder flushes, so a trace file is never truncated
+/// mid-line by a normal exit; for long-running servers call
+/// [`Recorder::flush`] explicitly at shutdown/checkpoints as well, since
+/// `Drop` cannot run on an abrupt kill.
+impl<W: Write + Send> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -605,6 +620,55 @@ mod tests {
         assert!(lines[0].contains("\"type\":\"event\""));
         assert!(lines[1].contains("\"type\":\"span\""));
         assert!(lines[1].contains("\"device\":\"SNB\""));
+    }
+
+    #[test]
+    fn dropped_recorder_leaves_only_complete_json_lines() {
+        // Regression: a `JsonlRecorder` over a `BufWriter<File>` must
+        // flush on drop, otherwise a trace from a shutting-down process
+        // ends mid-line. Write well past the BufWriter's 8 KiB default
+        // buffer so an unflushed tail would be visible.
+        let path = std::env::temp_dir().join(format!(
+            "grover-obs-flush-test-{}.jsonl",
+            std::process::id()
+        ));
+        let events = 500usize;
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            let rec = JsonlRecorder::new(std::io::BufWriter::new(f));
+            for i in 0..events {
+                rec.event(
+                    "tick",
+                    None,
+                    &[("i", (i as u64).into()), ("pad", "x".repeat(40).into())],
+                );
+            }
+        } // drop: must flush
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events, "all events durable after drop");
+        for line in lines {
+            json::parse(line).unwrap_or_else(|e| panic!("incomplete line `{line}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn explicit_flush_makes_records_durable_without_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "grover-obs-flush2-test-{}.jsonl",
+            std::process::id()
+        ));
+        let f = std::fs::File::create(&path).unwrap();
+        let rec = JsonlRecorder::new(std::io::BufWriter::new(f));
+        rec.event("one", None, &[]);
+        rec.flush();
+        // Recorder still alive — the file must already be complete.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        json::parse(text.lines().next().unwrap()).unwrap();
+        drop(rec);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

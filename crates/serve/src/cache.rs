@@ -1,0 +1,377 @@
+//! The content-addressed decision cache.
+//!
+//! A tuning decision is a pure function of `(canonicalised kernel source,
+//! kernel name, device profile, launch geometry)` — the
+//! [`grover_core::tune_key`] fingerprint — *at one pass revision*. The
+//! cache therefore has two layers:
+//!
+//! * [`DecisionCache`]: an in-memory LRU serving hot keys without locks
+//!   held across measurements;
+//! * [`DecisionStore`]: an append-only JSONL segment under `--cache-dir`,
+//!   flushed per write (kill-safe) and replayed on boot to warm-start the
+//!   LRU. Entries carry the pass-version *epoch*
+//!   ([`grover_core::pass_fingerprint`]); entries from another epoch are
+//!   skipped at load, so bumping [`grover_core::TRANSFORM_REVISION`]
+//!   invalidates every persisted decision without deleting history.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use grover_obs::json::{self, Json, Obj};
+use grover_tuner::Decision;
+
+/// The serialisable form of one cached tuning decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// The [`grover_core::tune_key`] fingerprint, 32 hex digits.
+    pub fingerprint: String,
+    /// Pass-version epoch the decision was produced under.
+    pub epoch: String,
+    /// Device profile name.
+    pub device: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// `Choice::kind()` tag.
+    pub choice: String,
+    /// Normalised performance `t_with / t_without`.
+    pub np: f64,
+    /// Simulated cycles with local memory.
+    pub cycles_with: u64,
+    /// Simulated cycles without local memory.
+    pub cycles_without: u64,
+    /// `FallbackReason::kind()` tag, when demoted.
+    pub fallback_kind: Option<String>,
+    /// Human-readable fallback detail, when demoted.
+    pub fallback_detail: Option<String>,
+}
+
+impl DecisionRecord {
+    /// Build a record from a tuner [`Decision`].
+    pub fn from_decision(
+        fingerprint: &str,
+        epoch: &str,
+        kernel: &str,
+        d: &Decision,
+    ) -> DecisionRecord {
+        DecisionRecord {
+            fingerprint: fingerprint.to_string(),
+            epoch: epoch.to_string(),
+            device: d.device.clone(),
+            kernel: kernel.to_string(),
+            choice: d.choice.kind().to_string(),
+            np: d.np,
+            cycles_with: d.cycles_with,
+            cycles_without: d.cycles_without,
+            fallback_kind: d.fallback.as_ref().map(|f| f.kind().to_string()),
+            fallback_detail: d.fallback.as_ref().map(|f| f.to_string()),
+        }
+    }
+
+    /// Render as one JSON object (one store line).
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .str("fingerprint", &self.fingerprint)
+            .str("epoch", &self.epoch)
+            .str("device", &self.device)
+            .str("kernel", &self.kernel)
+            .str("choice", &self.choice)
+            .f64("np", self.np)
+            .u64("cycles_with", self.cycles_with)
+            .u64("cycles_without", self.cycles_without);
+        obj = match (&self.fallback_kind, &self.fallback_detail) {
+            (Some(k), Some(d)) => obj.raw(
+                "fallback",
+                &Obj::new().str("kind", k).str("detail", d).finish(),
+            ),
+            _ => obj.null("fallback"),
+        };
+        obj.finish()
+    }
+
+    /// Parse one store line.
+    pub fn from_json(v: &Json) -> Result<DecisionRecord, String> {
+        let field = |k: &str| {
+            v.str_of(k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field `{k}`"))
+        };
+        let (fallback_kind, fallback_detail) = match v.get("fallback") {
+            Some(Json::Obj(_)) => {
+                let f = v.get("fallback").unwrap();
+                (
+                    f.str_of("kind").map(str::to_string),
+                    f.str_of("detail").map(str::to_string),
+                )
+            }
+            _ => (None, None),
+        };
+        Ok(DecisionRecord {
+            fingerprint: field("fingerprint")?,
+            epoch: field("epoch")?,
+            device: field("device")?,
+            kernel: field("kernel")?,
+            choice: field("choice")?,
+            np: v.f64_of("np").ok_or("missing field `np`")?,
+            cycles_with: v
+                .u64_of("cycles_with")
+                .ok_or("missing field `cycles_with`")?,
+            cycles_without: v
+                .u64_of("cycles_without")
+                .ok_or("missing field `cycles_without`")?,
+            fallback_kind,
+            fallback_detail,
+        })
+    }
+}
+
+/// In-memory LRU over [`DecisionRecord`]s, keyed by fingerprint.
+pub struct DecisionCache {
+    capacity: usize,
+    map: HashMap<String, (DecisionRecord, u64)>,
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl DecisionCache {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> DecisionCache {
+        DecisionCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up a fingerprint, marking the entry most-recently used.
+    pub fn get(&mut self, fingerprint: &str) -> Option<DecisionRecord> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (rec, used) = self.map.get_mut(fingerprint)?;
+        self.order.remove(used);
+        *used = tick;
+        self.order.insert(tick, fingerprint.to_string());
+        Some(rec.clone())
+    }
+
+    /// Insert (or refresh) a record, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, rec: DecisionRecord) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, used)) = self.map.get(&rec.fingerprint) {
+            self.order.remove(used);
+        } else if self.map.len() >= self.capacity {
+            // Evict the coldest entry (smallest tick).
+            if let Some((&cold, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&cold) {
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.order.insert(tick, rec.fingerprint.clone());
+        self.map.insert(rec.fingerprint.clone(), (rec, tick));
+    }
+}
+
+/// What a store load found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Records loaded into the cache.
+    pub loaded: usize,
+    /// Records skipped because their epoch differs from the current pass
+    /// fingerprint (invalidated by a pass-version bump).
+    pub stale_epoch: usize,
+    /// Lines that failed to parse (truncated writes from a killed
+    /// process, manual edits).
+    pub corrupt: usize,
+}
+
+/// The persistent JSONL segment behind the in-memory LRU.
+pub struct DecisionStore {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+/// File name of the decision segment inside `--cache-dir`.
+pub const SEGMENT_FILE: &str = "decisions.jsonl";
+
+impl DecisionStore {
+    /// Open (creating if needed) the store under `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<DecisionStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(SEGMENT_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(DecisionStore {
+            path,
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Path of the underlying segment file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replay the segment into `cache`, keeping only entries of the given
+    /// epoch. Later lines win over earlier ones (the segment is append-only,
+    /// so re-tuned keys appear multiple times).
+    pub fn load_into(dir: &Path, epoch: &str, cache: &mut DecisionCache) -> LoadStats {
+        let mut stats = LoadStats::default();
+        let Ok(text) = std::fs::read_to_string(dir.join(SEGMENT_FILE)) else {
+            return stats;
+        };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match json::parse(line).and_then(|v| DecisionRecord::from_json(&v)) {
+                Ok(rec) if rec.epoch == epoch => {
+                    cache.insert(rec);
+                    stats.loaded += 1;
+                }
+                Ok(_) => stats.stale_epoch += 1,
+                Err(_) => stats.corrupt += 1,
+            }
+        }
+        stats
+    }
+
+    /// Append one record and flush it to disk (kill-safe persistence:
+    /// every published decision survives an abrupt exit).
+    pub fn append(&mut self, rec: &DecisionRecord) -> std::io::Result<()> {
+        writeln!(self.out, "{}", rec.to_json())?;
+        self.out.flush()
+    }
+
+    /// Flush buffered writes (a no-op after `append`, kept for the
+    /// graceful-shutdown path's explicit contract).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fp: &str, epoch: &str) -> DecisionRecord {
+        DecisionRecord {
+            fingerprint: fp.to_string(),
+            epoch: epoch.to_string(),
+            device: "SNB".to_string(),
+            kernel: "k".to_string(),
+            choice: "without_local_memory".to_string(),
+            np: 1.25,
+            cycles_with: 100,
+            cycles_without: 80,
+            fallback_kind: None,
+            fallback_detail: None,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let mut r = rec("ab", "e1");
+        r.fallback_kind = Some("deadline".into());
+        r.fallback_detail = Some("took too long".into());
+        let parsed = DecisionRecord::from_json(&json::parse(&r.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = DecisionCache::new(2);
+        c.insert(rec("a", "e"));
+        c.insert(rec("b", "e"));
+        assert!(c.get("a").is_some()); // a is now hottest
+        c.insert(rec("c", "e")); // evicts b
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = DecisionCache::new(2);
+        c.insert(rec("a", "e"));
+        c.insert(rec("a", "e"));
+        c.insert(rec("b", "e"));
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn store_roundtrips_and_filters_epochs() {
+        let dir = std::env::temp_dir().join(format!("grover-serve-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut store = DecisionStore::open(&dir).unwrap();
+            store.append(&rec("a", "new")).unwrap();
+            store.append(&rec("b", "old")).unwrap();
+            store.append(&rec("c", "new")).unwrap();
+        }
+        // Simulate a truncated line from a killed process.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(SEGMENT_FILE))
+                .unwrap();
+            write!(f, "{{\"fingerprint\":\"tr").unwrap();
+        }
+        let mut cache = DecisionCache::new(16);
+        let stats = DecisionStore::load_into(&dir, "new", &mut cache);
+        assert_eq!(
+            stats,
+            LoadStats {
+                loaded: 2,
+                stale_epoch: 1,
+                corrupt: 1
+            }
+        );
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "stale epoch must be invalidated");
+        assert!(cache.get("c").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn later_lines_win_on_replay() {
+        let dir = std::env::temp_dir().join(format!("grover-serve-store2-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut store = DecisionStore::open(&dir).unwrap();
+            let mut first = rec("a", "e");
+            first.np = 1.0;
+            store.append(&first).unwrap();
+            let mut second = rec("a", "e");
+            second.np = 2.0;
+            store.append(&second).unwrap();
+        }
+        let mut cache = DecisionCache::new(16);
+        DecisionStore::load_into(&dir, "e", &mut cache);
+        assert_eq!(cache.get("a").unwrap().np, 2.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,248 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net` — just
+//! enough protocol for the service's JSON API: request-line + headers +
+//! `Content-Length` bodies in, fixed-length `Connection: close` responses
+//! out. No chunked encoding, no keep-alive, no TLS; clients reconnect per
+//! request (the load generator measures that path end to end).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request body (4 MiB — kernels are small text).
+pub const MAX_BODY: usize = 4 << 20;
+
+/// Maximum accepted header block.
+const MAX_HEAD: usize = 64 << 10;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("body is not valid UTF-8".into()))
+    }
+}
+
+/// Why a request could not be served at the protocol level.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers or body.
+    BadRequest(String),
+    /// Body exceeded [`MAX_BODY`].
+    TooLarge,
+    /// The socket failed or closed mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge => f.write_str("request body too large"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// Read one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Read until the end of the header block.
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 4096];
+    let header_end;
+    loop {
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-header".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_header_end(&head) {
+            header_end = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::BadRequest("header block too large".into()));
+        }
+    }
+    let header_text = std::str::from_utf8(&head[..header_end])
+        .map_err(|_| HttpError::BadRequest("headers are not valid UTF-8".into()))?;
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("invalid Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+
+    // The body may have been partially read with the headers.
+    let mut body = head[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialise.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise and send a response; the connection is then closed by the
+/// caller dropping the stream (`Connection: close` is always sent).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.shutdown(std::net::Shutdown::Write).ok();
+            // Hold the socket open until the server side has parsed.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        drop(conn);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /v1/tune?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/tune");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /v1/compile HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_request() {
+        assert!(matches!(
+            roundtrip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+}

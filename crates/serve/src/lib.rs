@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # grover-serve
+//!
+//! A persistent tuning-cache service over the Grover pipeline: a
+//! hand-rolled HTTP/1.1 server (std-only, like the rest of the
+//! workspace) exposing the compile → transform → tune flow, with a
+//! content-addressed decision cache that survives restarts.
+//!
+//! ## Endpoints
+//!
+//! | route                  | method | purpose                                         |
+//! |------------------------|--------|-------------------------------------------------|
+//! | `/v1/compile`          | POST   | OpenCL-C source → transformed IR + pass report  |
+//! | `/v1/tune`             | POST   | source + device + launch → explainable decision |
+//! | `/metrics`             | GET    | text counters and latency histogram             |
+//! | `/healthz`             | GET    | liveness probe                                  |
+//! | `/admin/shutdown`      | POST   | graceful shutdown (flushes cache and recorder)  |
+//!
+//! ## Cache identity
+//!
+//! Tune decisions are keyed by [`grover_core::tune_key`] — a stable
+//! fingerprint of the *canonicalised* kernel source, kernel name, device
+//! profile and launch geometry — and stamped with the pass-version epoch
+//! ([`grover_core::pass_fingerprint`]). The epoch is checked when the
+//! persistent store is replayed on boot, so bumping
+//! [`grover_core::TRANSFORM_REVISION`] invalidates every stale decision
+//! in lock-step with the golden snapshot tests.
+//!
+//! A cache hit is served without constructing a tuner: the
+//! `grover_serve_tune_races_total` metric (fed from
+//! [`grover_tuner::Tuner::races_run`]) makes "hits never re-measure" an
+//! asserted invariant.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{DecisionCache, DecisionRecord, DecisionStore, LoadStats};
+pub use client::http_request;
+pub use metrics::Metrics;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,166 @@
+//! Lock-free service counters and the `/metrics` text rendering.
+//!
+//! Everything is an `AtomicU64` updated with relaxed ordering — the
+//! counters are monotonic tallies, not synchronisation points. The text
+//! format is Prometheus-flavoured (`name{label="v"} value`) but kept
+//! trivially greppable for the CI smoke job.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the request-latency histogram buckets; a final
+/// `+Inf` bucket is implicit.
+pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// All service counters. Shared behind an `Arc` by the acceptor, every
+/// worker, and the `/metrics` handler.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests fully processed (any status).
+    pub requests_total: AtomicU64,
+    /// `POST /v1/compile` requests.
+    pub compile_requests: AtomicU64,
+    /// `POST /v1/tune` requests.
+    pub tune_requests: AtomicU64,
+    /// Tune requests answered from the decision cache.
+    pub cache_hits: AtomicU64,
+    /// Tune requests that had to run the tuner.
+    pub cache_misses: AtomicU64,
+    /// LRU evictions in the in-memory cache.
+    pub cache_evictions: AtomicU64,
+    /// Tuning races actually executed (misses that measured).
+    pub tune_races: AtomicU64,
+    /// Connections rejected with 429 because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Requests that ended with a 4xx/5xx status.
+    pub errors_total: AtomicU64,
+    /// Handler panics converted into 500s.
+    pub panics_total: AtomicU64,
+    /// Tune requests that hit their deadline (504).
+    pub deadline_timeouts: AtomicU64,
+    /// Requests currently being processed by a worker.
+    pub in_flight: AtomicU64,
+    /// Latency histogram bucket counts (see [`LATENCY_BUCKETS_US`]),
+    /// last slot is `+Inf`.
+    latency_buckets: [AtomicU64; 7],
+    /// Sum of all observed request latencies, µs.
+    latency_sum_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one finished request's latency.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Render the `/metrics` document.
+    pub fn render(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(1024);
+        let mut line = |name: &str, v: u64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        line("grover_serve_requests_total", g(&self.requests_total));
+        line(
+            "grover_serve_compile_requests_total",
+            g(&self.compile_requests),
+        );
+        line("grover_serve_tune_requests_total", g(&self.tune_requests));
+        line("grover_serve_cache_hits_total", g(&self.cache_hits));
+        line("grover_serve_cache_misses_total", g(&self.cache_misses));
+        line(
+            "grover_serve_cache_evictions_total",
+            g(&self.cache_evictions),
+        );
+        line("grover_serve_tune_races_total", g(&self.tune_races));
+        line("grover_serve_rejected_busy_total", g(&self.rejected_busy));
+        line("grover_serve_errors_total", g(&self.errors_total));
+        line("grover_serve_panics_total", g(&self.panics_total));
+        line(
+            "grover_serve_deadline_timeouts_total",
+            g(&self.deadline_timeouts),
+        );
+        line("grover_serve_in_flight", g(&self.in_flight));
+        // Cumulative histogram in Prometheus style.
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += g(&self.latency_buckets[i]);
+            out.push_str(&format!(
+                "grover_serve_request_latency_us_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += g(&self.latency_buckets[LATENCY_BUCKETS_US.len()]);
+        out.push_str(&format!(
+            "grover_serve_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "grover_serve_request_latency_us_sum {}\n",
+            g(&self.latency_sum_us)
+        ));
+        out.push_str(&format!(
+            "grover_serve_request_latency_us_count {cumulative}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(50)); // le=100
+        m.observe_latency(Duration::from_micros(5_000)); // le=10000
+        m.observe_latency(Duration::from_secs(60)); // +Inf
+        let text = m.render();
+        assert!(
+            text.contains("grover_serve_request_latency_us_bucket{le=\"100\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("grover_serve_request_latency_us_bucket{le=\"10000\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("grover_serve_request_latency_us_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("grover_serve_request_latency_us_count 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn counters_render_as_plain_lines() {
+        let m = Metrics::new();
+        m.inc(&m.cache_hits);
+        m.inc(&m.cache_hits);
+        m.inc(&m.requests_total);
+        let text = m.render();
+        assert!(text.contains("grover_serve_cache_hits_total 2"), "{text}");
+        assert!(text.contains("grover_serve_requests_total 1"), "{text}");
+        assert!(text.contains("grover_serve_in_flight 0"), "{text}");
+    }
+}

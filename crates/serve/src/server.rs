@@ -1,0 +1,810 @@
+//! The threaded HTTP server: a bounded accept queue, a fixed worker
+//! pool, and the request handlers over the compile → pass → tune
+//! pipeline.
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread owns the listening socket. Accepted connections go
+//! into a bounded queue; when the queue is full the acceptor answers
+//! `429 Too Many Requests` itself without blocking (backpressure is
+//! explicit, not a growing backlog). `--threads` workers pop connections
+//! and run the full request lifecycle: parse, route, handle (panics
+//! isolated per request via `catch_unwind`), respond.
+//!
+//! ## Cache discipline
+//!
+//! `/v1/tune` looks up the [`grover_core::tune_key`] fingerprint in the
+//! in-memory LRU first. A hit is served without *any* measurement — a
+//! fresh [`Tuner`] is only constructed on a miss, and
+//! [`Tuner::races_run`] is accumulated into the
+//! `grover_serve_tune_races_total` metric so "hits never re-measure" is
+//! an observable invariant, not a comment. Misses are appended to the
+//! persistent store before the response is sent, so a decision the
+//! client saw is always durable.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use grover_core::{pass_fingerprint, tune_key, Grover, GroverOptions, GroverReport};
+use grover_devsim::Device;
+use grover_frontend::{compile, BuildOptions};
+use grover_ir::printer::function_to_string;
+use grover_ir::{Function, Scalar, Type};
+use grover_obs::json::{self, array, Json, Obj};
+use grover_obs::{Recorder, SpanId, Value};
+use grover_runtime::{ArgValue, Context, ExecPolicy, Limits, NdRange};
+use grover_tuner::{TuneError, Tuner, Workload};
+
+use crate::cache::{DecisionCache, DecisionRecord, DecisionStore};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Metrics;
+
+/// Server configuration (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Directory for the persistent decision store.
+    pub cache_dir: PathBuf,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-connection queue bound; beyond it the acceptor answers 429.
+    pub queue_depth: usize,
+    /// In-memory LRU capacity (entries).
+    pub cache_capacity: usize,
+    /// Server-side ceiling on per-request tune deadlines. A request may
+    /// ask for less, never for more.
+    pub max_deadline: Option<Duration>,
+    /// Test hook: sleep this long at the start of every handled request,
+    /// making queue-overflow (429) tests deterministic.
+    pub handler_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: PathBuf::from("grover-cache"),
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 4096,
+            max_deadline: Some(Duration::from_secs(30)),
+            handler_delay: None,
+        }
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    config: ServeConfig,
+    epoch: String,
+    metrics: Arc<Metrics>,
+    recorder: Arc<dyn Recorder>,
+    cache: Mutex<DecisionCache>,
+    store: Mutex<DecisionStore>,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+impl Shared {
+    /// Idempotent shutdown trigger: raises the stop flag, wakes the
+    /// acceptor (blocked in `accept`) with a throwaway self-connection,
+    /// and wakes every idle worker.
+    fn request_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        self.available.notify_all();
+    }
+}
+
+/// A running server instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, warm-start the cache from the persistent store, and spawn
+    /// the acceptor and worker threads.
+    pub fn start(config: ServeConfig, recorder: Arc<dyn Recorder>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let epoch = pass_fingerprint();
+
+        let mut cache = DecisionCache::new(config.cache_capacity);
+        let stats = DecisionStore::load_into(&config.cache_dir, &epoch, &mut cache);
+        let store = DecisionStore::open(&config.cache_dir)?;
+        let metrics = Arc::new(Metrics::new());
+        if recorder.enabled() {
+            recorder.event(
+                "serve.warm_start",
+                None,
+                &[
+                    ("loaded", Value::from(stats.loaded)),
+                    ("stale_epoch", Value::from(stats.stale_epoch)),
+                    ("corrupt", Value::from(stats.corrupt)),
+                    ("epoch", Value::from(epoch.as_str())),
+                ],
+            );
+        }
+
+        let shared = Arc::new(Shared {
+            addr,
+            config: config.clone(),
+            epoch,
+            metrics,
+            recorder,
+            cache: Mutex::new(cache),
+            store: Mutex::new(store),
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?;
+            workers.push(handle);
+        }
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actual bound address (resolves `:0` bindings).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live metrics counters.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Trigger a graceful shutdown without waiting for it.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until the server has stopped (via [`Server::request_shutdown`]
+    /// or `POST /admin/shutdown`), then flush the decision store and the
+    /// recorder. Queued requests are drained before workers exit.
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Ok(mut store) = self.shared.store.lock() {
+            let _ = store.flush();
+        }
+        self.shared.recorder.flush();
+    }
+
+    /// [`Server::request_shutdown`] followed by [`Server::wait`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        if q.len() >= shared.config.queue_depth {
+            drop(q);
+            shared.metrics.inc(&shared.metrics.rejected_busy);
+            // Answer on a detached thread: the request must be drained
+            // before responding (closing with unread bytes RSTs the
+            // socket and the client never sees the 429), and the
+            // acceptor must not block on a slow client.
+            let _ = std::thread::Builder::new()
+                .name("serve-reject".to_string())
+                .spawn(move || {
+                    let _ = read_request(&mut stream);
+                    let resp = Response::json(
+                        429,
+                        Obj::new()
+                            .str("error", "request queue is full, retry later")
+                            .str("kind", "backpressure")
+                            .finish(),
+                    );
+                    let _ = write_response(&mut stream, &resp);
+                });
+        } else {
+            q.push_back(stream);
+            drop(q);
+            shared.available.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                // Drain queued work even after stop: clients already
+                // accepted get answers.
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.available.wait(q).expect("queue poisoned");
+            }
+        };
+        match conn {
+            Some(stream) => {
+                if handle_connection(shared, stream) {
+                    shared.request_shutdown();
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Full lifecycle of one connection. Returns `true` when the request was
+/// a successful `POST /admin/shutdown` and the caller must stop the
+/// server.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
+    if let Some(d) = shared.config.handler_delay {
+        std::thread::sleep(d);
+    }
+    let start = Instant::now();
+    let m = &shared.metrics;
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) => return false, // client went away
+        Err(e) => {
+            let status = match e {
+                HttpError::TooLarge => 413,
+                _ => 400,
+            };
+            m.inc(&m.requests_total);
+            m.inc(&m.errors_total);
+            m.observe_latency(start.elapsed());
+            let body = Obj::new().str("error", &e.to_string()).finish();
+            let _ = write_response(&mut stream, &Response::json(status, body));
+            return false;
+        }
+    };
+
+    m.inc(&m.in_flight);
+    let rec = &*shared.recorder;
+    let span = rec.span_start("serve.request", None);
+    rec.span_attr(span, "method", Value::from(req.method.as_str()));
+    rec.span_attr(span, "path", Value::from(req.path.as_str()));
+
+    let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req, span))) {
+        Ok(r) => r,
+        Err(_) => {
+            m.inc(&m.panics_total);
+            Response::json(
+                500,
+                Obj::new()
+                    .str("error", "handler panicked; request isolated")
+                    .str("kind", "panic")
+                    .finish(),
+            )
+        }
+    };
+
+    rec.span_attr(span, "status", Value::from(resp.status as u64));
+    rec.span_end(span);
+    m.inc(&m.requests_total);
+    if resp.status >= 400 {
+        m.inc(&m.errors_total);
+    }
+    m.observe_latency(start.elapsed());
+    m.in_flight.fetch_sub(1, Ordering::Relaxed);
+    let _ = write_response(&mut stream, &resp);
+    req.method == "POST" && req.path == "/admin/shutdown" && resp.status == 200
+}
+
+const ROUTES: [&str; 5] = [
+    "/healthz",
+    "/metrics",
+    "/admin/shutdown",
+    "/v1/compile",
+    "/v1/tune",
+];
+
+fn route(shared: &Shared, req: &Request, span: SpanId) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("POST", "/admin/shutdown") => {
+            Response::json(200, Obj::new().bool("shutting_down", true).finish())
+        }
+        ("POST", "/v1/compile") => handle_compile(shared, req, span),
+        ("POST", "/v1/tune") => handle_tune(shared, req, span),
+        (_, path) if ROUTES.contains(&path) => {
+            Response::json(405, Obj::new().str("error", "method not allowed").finish())
+        }
+        _ => Response::json(404, Obj::new().str("error", "no such endpoint").finish()),
+    }
+}
+
+fn bad_request(msg: impl std::fmt::Display) -> Response {
+    Response::json(
+        400,
+        Obj::new()
+            .str("error", &msg.to_string())
+            .str("kind", "bad_request")
+            .finish(),
+    )
+}
+
+/// Parse the request body as a JSON object.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req.body_str().map_err(|e| bad_request(e.to_string()))?;
+    match json::parse(text) {
+        Ok(v @ Json::Obj(_)) => Ok(v),
+        Ok(_) => Err(bad_request("request body must be a JSON object")),
+        Err(e) => Err(bad_request(format!("invalid JSON body: {e}"))),
+    }
+}
+
+fn build_options(body: &Json) -> Result<BuildOptions, Response> {
+    let mut opts = BuildOptions::new();
+    match body.get("defines") {
+        None => {}
+        Some(Json::Obj(pairs)) => {
+            for (name, v) in pairs {
+                let value = match v {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(n) => json::number(*n),
+                    other => {
+                        return Err(bad_request(format!(
+                            "define `{name}` must be a string or number, got {other:?}"
+                        )))
+                    }
+                };
+                opts = opts.define(name, &value);
+            }
+        }
+        Some(_) => return Err(bad_request("`defines` must be an object")),
+    }
+    Ok(opts)
+}
+
+/// Compile the body's `source` and select the requested kernel.
+fn compiled_kernel(body: &Json) -> Result<(Function, String), Response> {
+    let source = body
+        .str_of("source")
+        .ok_or_else(|| bad_request("missing required field `source`"))?;
+    let opts = build_options(body)?;
+    let module = compile(source, &opts).map_err(|e| bad_request(format!("compile error: {e}")))?;
+    let kernel = match body.str_of("kernel") {
+        Some(name) => module
+            .kernel(name)
+            .ok_or_else(|| bad_request(format!("no kernel named `{name}` in source")))?
+            .clone(),
+        None => module
+            .kernels
+            .first()
+            .ok_or_else(|| bad_request("source contains no kernels"))?
+            .clone(),
+    };
+    let name = kernel.name.clone();
+    Ok((kernel, name))
+}
+
+fn report_json(report: &GroverReport) -> String {
+    let buffers = array(report.buffers.iter().map(|b| {
+        let obj = Obj::new()
+            .str("buffer", &b.buffer)
+            .str("outcome", b.outcome.kind());
+        let obj = match b.outcome.reason() {
+            Some(r) => obj.str("reason", &r),
+            None => obj.null("reason"),
+        };
+        let obj = match &b.outcome {
+            grover_core::BufferOutcome::NotCandidate(e) => obj.str("candidate_kind", e.kind()),
+            _ => obj.null("candidate_kind"),
+        };
+        obj.raw(
+            "solutions",
+            &array(b.solutions.iter().map(|s| json::escape(s))),
+        )
+        .finish()
+    }));
+    Obj::new()
+        .u64("barriers_removed", report.barriers_removed as u64)
+        .u64("insts_removed", report.insts_removed as u64)
+        .bool("all_removed", report.all_removed())
+        .raw("buffers", &buffers)
+        .finish()
+}
+
+fn handle_compile(shared: &Shared, req: &Request, span: SpanId) -> Response {
+    shared.metrics.inc(&shared.metrics.compile_requests);
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (kernel, name) = match compiled_kernel(&body) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let keep_barriers = body.bool_of("keep_barriers").unwrap_or(false);
+    let source = body.str_of("source").unwrap_or_default();
+    let fingerprint = grover_core::source_fingerprint(source).to_hex();
+    let rec = &*shared.recorder;
+    rec.span_attr(span, "kernel", Value::from(name.as_str()));
+    rec.span_attr(span, "fingerprint", Value::from(fingerprint.as_str()));
+
+    let mut transformed = kernel.clone();
+    let grover = Grover::with_options(GroverOptions {
+        buffers: None,
+        keep_barriers,
+    });
+    let report = grover.run_on_observed(&mut transformed, rec, Some(span));
+
+    Response::json(
+        200,
+        Obj::new()
+            .str("kernel", &name)
+            .str("fingerprint", &fingerprint)
+            .str("pass_fingerprint", &shared.epoch)
+            .raw("report", &report_json(&report))
+            .str("original_ir", &function_to_string(&kernel))
+            .str("transformed_ir", &function_to_string(&transformed))
+            .finish(),
+    )
+}
+
+/// One synthesised (or explicitly requested) kernel argument.
+#[derive(Clone, Debug)]
+enum SynthArg {
+    BufF32(usize),
+    BufI32(usize),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+}
+
+/// Deterministic fill shared with the fuzzer's oracle: varied, non-zero,
+/// identical on every instantiation.
+fn ramp_f32(len: usize) -> Vec<f32> {
+    (0..len).map(|i| ((i * 13 + 7) % 61) as f32).collect()
+}
+
+fn ramp_i32(len: usize) -> Vec<i32> {
+    (0..len).map(|i| ((i * 13 + 7) % 61) as i32).collect()
+}
+
+/// Parse an explicit `args` array: `{"i32": N}`, `{"i64": N}`,
+/// `{"f32": X}`, `{"buffer_f32": LEN}`, `{"buffer_i32": LEN}`.
+fn parse_args(v: &Json) -> Result<Vec<SynthArg>, String> {
+    let arr = v.as_arr().ok_or("`args` must be an array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, a) in arr.iter().enumerate() {
+        let arg = if let Some(n) = a.f64_of("i32") {
+            SynthArg::I32(n as i32)
+        } else if let Some(n) = a.f64_of("i64") {
+            SynthArg::I64(n as i64)
+        } else if let Some(n) = a.f64_of("f32") {
+            SynthArg::F32(n as f32)
+        } else if let Some(n) = a.u64_of("buffer_f32") {
+            SynthArg::BufF32(n as usize)
+        } else if let Some(n) = a.u64_of("buffer_i32") {
+            SynthArg::BufI32(n as usize)
+        } else {
+            return Err(format!(
+                "args[{i}] must be one of {{\"i32\"|\"i64\"|\"f32\"|\"buffer_f32\"|\"buffer_i32\": value}}"
+            ));
+        };
+        out.push(arg);
+    }
+    Ok(out)
+}
+
+/// Derive an argument list from the kernel signature: pointer parameters
+/// become deterministic ramp buffers sized for the launch, integer
+/// scalars default to the global width (the dominant "n" convention in
+/// the bundled kernels), floats to 1.0.
+fn synthesise_args(kernel: &Function, global_elems: u64) -> Result<Vec<SynthArg>, String> {
+    let len = (global_elems as usize) * 2 + 64;
+    kernel
+        .params()
+        .iter()
+        .map(|p| match p.ty {
+            Type::Ptr {
+                elem: Scalar::F32,
+                lanes,
+                ..
+            } => Ok(SynthArg::BufF32(len * lanes as usize)),
+            Type::Ptr {
+                elem: Scalar::I32 | Scalar::Bool,
+                lanes,
+                ..
+            } => Ok(SynthArg::BufI32(len * lanes as usize)),
+            Type::Scalar(Scalar::I32) => Ok(SynthArg::I32(global_elems as i32)),
+            Type::Scalar(Scalar::I64) => Ok(SynthArg::I64(global_elems as i64)),
+            Type::Scalar(Scalar::F32) => Ok(SynthArg::F32(1.0)),
+            _ => Err(format!(
+                "cannot synthesise a workload for parameter `{}`; pass an explicit `args` array",
+                p.name
+            )),
+        })
+        .collect()
+}
+
+fn make_workload(specs: Vec<SynthArg>, nd: NdRange) -> Workload {
+    Workload::new(move || {
+        let mut ctx = Context::new();
+        let mut vals = Vec::with_capacity(specs.len());
+        for s in &specs {
+            let v = match *s {
+                SynthArg::BufF32(len) => ArgValue::Buffer(ctx.buffer_f32(&ramp_f32(len))),
+                SynthArg::BufI32(len) => ArgValue::Buffer(ctx.buffer_i32(&ramp_i32(len))),
+                SynthArg::I32(n) => ArgValue::I32(n),
+                SynthArg::I64(n) => ArgValue::I64(n),
+                SynthArg::F32(x) => ArgValue::F32(x),
+            };
+            vals.push(v);
+        }
+        (ctx, vals, nd)
+    })
+}
+
+/// Parse a launch-dimension array (1–3 entries, all non-zero).
+fn parse_dims(v: Option<&Json>, field: &str) -> Result<Vec<u64>, String> {
+    let arr = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array field `{field}`"))?;
+    if arr.is_empty() || arr.len() > 3 {
+        return Err(format!("`{field}` must have 1 to 3 dimensions"));
+    }
+    let dims: Option<Vec<u64>> = arr.iter().map(Json::as_u64).collect();
+    let dims = dims.ok_or_else(|| format!("`{field}` entries must be unsigned integers"))?;
+    if dims.contains(&0) {
+        return Err(format!("`{field}` dimensions must be non-zero"));
+    }
+    Ok(dims)
+}
+
+fn pad3(dims: &[u64]) -> [u64; 3] {
+    let mut out = [1u64; 3];
+    out[..dims.len()].copy_from_slice(dims);
+    out
+}
+
+fn tune_error_response(shared: &Shared, e: &TuneError) -> Response {
+    let (status, kind) = match e {
+        TuneError::UnknownDevice(_) => (400, "unknown_device"),
+        TuneError::NothingToDisable(_) => (422, "pass_refusal"),
+        TuneError::Deadline => {
+            shared.metrics.inc(&shared.metrics.deadline_timeouts);
+            (504, "deadline")
+        }
+        TuneError::Execution(_) => (500, "execution"),
+        TuneError::Panicked(_) => (500, "panic"),
+        TuneError::Internal(_) => (500, "internal"),
+    };
+    Response::json(
+        status,
+        Obj::new()
+            .str("error", &e.to_string())
+            .str("kind", kind)
+            .finish(),
+    )
+}
+
+fn decision_response(rec: &DecisionRecord, cached: bool) -> Response {
+    let mut obj = Obj::new()
+        .str("fingerprint", &rec.fingerprint)
+        .str("pass_fingerprint", &rec.epoch)
+        .bool("cached", cached)
+        .str("device", &rec.device)
+        .str("kernel", &rec.kernel)
+        .str("choice", &rec.choice)
+        .f64("np", rec.np)
+        .u64("cycles_with", rec.cycles_with)
+        .u64("cycles_without", rec.cycles_without);
+    obj = match (&rec.fallback_kind, &rec.fallback_detail) {
+        (Some(k), Some(d)) => obj.raw(
+            "fallback",
+            &Obj::new().str("kind", k).str("detail", d).finish(),
+        ),
+        _ => obj.null("fallback"),
+    };
+    Response::json(200, obj.finish())
+}
+
+fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
+    let m = &shared.metrics;
+    m.inc(&m.tune_requests);
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let Some(source) = body.str_of("source") else {
+        return bad_request("missing required field `source`");
+    };
+    let Some(device) = body.str_of("device") else {
+        return bad_request("missing required field `device`");
+    };
+    if Device::by_name(device).is_none() {
+        return bad_request(format!(
+            "unknown device `{device}` (known: {})",
+            grover_devsim::ALL_DEVICES.join(", ")
+        ));
+    }
+    let global = match parse_dims(body.get("global"), "global") {
+        Ok(d) => d,
+        Err(e) => return bad_request(e),
+    };
+    let local = match parse_dims(body.get("local"), "local") {
+        Ok(d) => d,
+        Err(e) => return bad_request(e),
+    };
+    if local.len() != global.len() {
+        return bad_request("`global` and `local` must have the same dimensionality");
+    }
+    let (g3, l3) = (pad3(&global), pad3(&local));
+    if g3.iter().zip(&l3).any(|(g, l)| g % l != 0) {
+        return bad_request("each `local` dimension must divide its `global` dimension");
+    }
+
+    // Resolve the kernel name for the fingerprint: explicit, or the
+    // first kernel of the (not yet compiled) source. Compilation is
+    // deferred to the miss path, but the name must be part of the key —
+    // so a missing `kernel` field costs a cheap parse on hits too.
+    let rec = &*shared.recorder;
+    let kernel_field = body.str_of("kernel").map(str::to_string);
+    let fingerprint;
+    let key_kernel;
+    if let Some(name) = &kernel_field {
+        key_kernel = name.clone();
+        fingerprint = tune_key(source, name, device, &g3, &l3).to_hex();
+    } else {
+        let (_, name) = match compiled_kernel(&body) {
+            Ok(k) => k,
+            Err(resp) => return resp,
+        };
+        key_kernel = name;
+        fingerprint = tune_key(source, &key_kernel, device, &g3, &l3).to_hex();
+    }
+    rec.span_attr(span, "fingerprint", Value::from(fingerprint.as_str()));
+    rec.span_attr(span, "device", Value::from(device));
+    rec.span_attr(span, "kernel", Value::from(key_kernel.as_str()));
+
+    // Cache hit: answer without constructing a tuner at all.
+    if let Some(hit) = shared
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .get(&fingerprint)
+    {
+        m.inc(&m.cache_hits);
+        rec.span_attr(span, "cache", Value::from("hit"));
+        return decision_response(&hit, true);
+    }
+    m.inc(&m.cache_misses);
+    rec.span_attr(span, "cache", Value::from("miss"));
+
+    // Miss: compile, transform, synthesise a workload, race.
+    let (kernel, _) = match compiled_kernel(&body) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    if kernel.name != key_kernel {
+        return bad_request(format!("no kernel named `{key_kernel}` in source"));
+    }
+    let mut transformed = kernel.clone();
+    let grover = Grover::with_options(GroverOptions {
+        buffers: None,
+        keep_barriers: false,
+    });
+    let tune_span = rec.span_start("serve.tune", Some(span));
+    let report = grover.run_on_observed(&mut transformed, rec, Some(tune_span));
+    if !report.buffers.iter().any(|b| b.outcome.is_removed()) {
+        rec.span_end(tune_span);
+        return Response::json(
+            422,
+            Obj::new()
+                .str(
+                    "error",
+                    "the pass removed no __local buffer; nothing to tune",
+                )
+                .str("kind", "pass_refusal")
+                .raw("report", &report_json(&report))
+                .finish(),
+        );
+    }
+
+    let global_elems: u64 = g3.iter().product();
+    let specs = match body.get("args") {
+        Some(v) => match parse_args(v) {
+            Ok(s) => s,
+            Err(e) => {
+                rec.span_end(tune_span);
+                return bad_request(e);
+            }
+        },
+        None => match synthesise_args(&kernel, global_elems) {
+            Ok(s) => s,
+            Err(e) => {
+                rec.span_end(tune_span);
+                return bad_request(e);
+            }
+        },
+    };
+    let workload = make_workload(specs, NdRange::d3(g3, l3));
+
+    let mut tuner = Tuner::new();
+    tuner.recorder = shared.recorder.clone();
+    if let Some(threads) = body.u64_of("threads") {
+        tuner.policy = ExecPolicy::Parallel {
+            threads: threads as usize,
+        };
+    }
+    let requested = body.u64_of("deadline_ms").map(Duration::from_millis);
+    tuner.limits = Limits {
+        deadline: match (requested, shared.config.max_deadline) {
+            (Some(r), Some(cap)) => Some(r.min(cap)),
+            (Some(r), None) => Some(r),
+            (None, cap) => cap,
+        },
+        ..Limits::default()
+    };
+
+    let outcome = tuner.tune_pair(&kernel, &transformed, report, device, &workload);
+    m.tune_races.fetch_add(tuner.races_run(), Ordering::Relaxed);
+    rec.span_end(tune_span);
+    let decision = match outcome {
+        Ok(d) => d,
+        Err(e) => return tune_error_response(shared, &e),
+    };
+
+    let record = DecisionRecord::from_decision(&fingerprint, &shared.epoch, &key_kernel, &decision);
+    // Persist before publishing: a decision a client saw is durable.
+    if let Ok(mut store) = shared.store.lock() {
+        let _ = store.append(&record);
+    }
+    {
+        let mut cache = shared.cache.lock().expect("cache poisoned");
+        cache.insert(record.clone());
+        let evictions = cache.evictions();
+        drop(cache);
+        shared
+            .metrics
+            .cache_evictions
+            .store(evictions, Ordering::Relaxed);
+    }
+    decision_response(&record, false)
+}

@@ -1,0 +1,500 @@
+//! End-to-end tests of the tuning-cache service: real sockets, real
+//! worker threads, real persistence — only the clock-sensitive bits
+//! (queue overflow) use the injected handler delay.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grover_obs::json::{self, Json};
+use grover_obs::{MemoryRecorder, NoopRecorder};
+use grover_serve::{http_request, ServeConfig, Server};
+
+/// A kernel the pass fully transforms (the staging pattern).
+const STAGE: &str = "__kernel void stage(__global float* in, __global float* out) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[63 - lx];
+}";
+
+/// Same program, different formatting/comments — same fingerprint.
+const STAGE_REFORMATTED: &str = "__kernel void stage(__global float* in,   __global float* out) {
+    __local float lm[64]; // staging buffer
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[lx] = in[gx]; /* stage */
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[63 - lx];
+}";
+
+/// A kernel the pass refuses: the local buffer is never written.
+const NEVER_WRITTEN: &str = "__kernel void nw(__global float* out) {
+    __local float lm[16];
+    out[get_global_id(0)] = lm[0];
+}";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grover-serve-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(tag: &str) -> ServeConfig {
+    ServeConfig {
+        cache_dir: temp_dir(tag),
+        ..ServeConfig::default()
+    }
+}
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg, Arc::new(NoopRecorder)).expect("server starts")
+}
+
+fn tune_body(source: &str, device: &str, global: u64, local: u64) -> String {
+    format!(
+        "{{\"source\": {}, \"device\": \"{device}\", \"global\": [{global}], \"local\": [{local}]}}",
+        json::escape(source)
+    )
+}
+
+fn post(server: &Server, path: &str, body: &str) -> (u16, Json) {
+    let (status, text) =
+        http_request(server.addr(), "POST", path, Some(body)).expect("request succeeds");
+    let parsed = json::parse(&text).unwrap_or(Json::Null);
+    (status, parsed)
+}
+
+#[test]
+fn healthz_metrics_and_routing() {
+    let server = start(config("routing"));
+    let (status, body) = http_request(server.addr(), "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("grover_serve_requests_total"), "{body}");
+    assert!(
+        body.contains("grover_serve_request_latency_us_bucket"),
+        "{body}"
+    );
+
+    let (status, _) = http_request(server.addr(), "GET", "/no/such/route", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(server.addr(), "GET", "/v1/tune", None).unwrap();
+    assert_eq!(status, 405);
+    std::fs::remove_dir_all(temp_dir("routing")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn tune_caches_and_never_races_twice() {
+    let rec = Arc::new(MemoryRecorder::new());
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: temp_dir("noseconderace"),
+            ..ServeConfig::default()
+        },
+        rec.clone(),
+    )
+    .unwrap();
+    let body = tune_body(STAGE, "SNB", 256, 64);
+
+    let (status, first) = post(&server, "/v1/tune", &body);
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.bool_of("cached"), Some(false));
+    assert!(first.str_of("choice").is_some());
+    assert_eq!(
+        first.str_of("pass_fingerprint"),
+        Some(grover_core::pass_fingerprint().as_str())
+    );
+
+    // Identical request: served from cache, decision unchanged.
+    let (status, second) = post(&server, "/v1/tune", &body);
+    assert_eq!(status, 200);
+    assert_eq!(second.bool_of("cached"), Some(true));
+    assert_eq!(second.str_of("choice"), first.str_of("choice"));
+    assert_eq!(second.u64_of("cycles_with"), first.u64_of("cycles_with"));
+    assert_eq!(second.str_of("fingerprint"), first.str_of("fingerprint"));
+
+    // Reformatted source canonicalises to the same fingerprint: hit.
+    let (status, third) = post(
+        &server,
+        "/v1/tune",
+        &tune_body(STAGE_REFORMATTED, "SNB", 256, 64),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(third.bool_of("cached"), Some(true), "{third:?}");
+
+    // Different launch geometry: a different key, a fresh race.
+    let (_, fourth) = post(&server, "/v1/tune", &tune_body(STAGE, "SNB", 512, 64));
+    assert_eq!(fourth.bool_of("cached"), Some(false));
+
+    let m = server.metrics();
+    assert_eq!(m.cache_hits.load(Ordering::Relaxed), 2);
+    assert_eq!(m.cache_misses.load(Ordering::Relaxed), 2);
+    assert_eq!(
+        m.tune_races.load(Ordering::Relaxed),
+        2,
+        "exactly one race per distinct key — hits never re-measure"
+    );
+
+    // The spans agree with the counters: one serve.tune per miss, and
+    // the request spans carry the hit/miss attribute.
+    let snap = rec.snapshot();
+    assert_eq!(snap.spans_named("serve.tune").len(), 2);
+    let cache_attrs: Vec<&str> = snap
+        .spans_named("serve.request")
+        .iter()
+        .filter_map(|s| s.attr_str("cache"))
+        .collect();
+    assert_eq!(
+        cache_attrs.iter().filter(|a| **a == "hit").count(),
+        2,
+        "{cache_attrs:?}"
+    );
+    assert_eq!(cache_attrs.iter().filter(|a| **a == "miss").count(), 2);
+    std::fs::remove_dir_all(temp_dir("noseconderace")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn compile_endpoint_returns_report_and_ir() {
+    let server = start(config("compile"));
+    let body = format!("{{\"source\": {}}}", json::escape(STAGE));
+    let (status, resp) = post(&server, "/v1/compile", &body);
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(resp.str_of("kernel"), Some("stage"));
+    assert_eq!(resp.str_of("fingerprint").map(str::len), Some(32));
+    assert_eq!(
+        resp.str_of("pass_fingerprint"),
+        Some(grover_core::pass_fingerprint().as_str())
+    );
+    let report = resp.get("report").expect("report present");
+    assert_eq!(report.bool_of("all_removed"), Some(true), "{report:?}");
+    assert!(resp.str_of("original_ir").unwrap().contains("local"));
+    assert!(!resp.str_of("transformed_ir").unwrap().is_empty());
+    std::fs::remove_dir_all(temp_dir("compile")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn cache_warm_starts_across_restart() {
+    let dir = temp_dir("warmstart");
+    let cfg = ServeConfig {
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let body = tune_body(STAGE, "Fermi", 256, 64);
+
+    let first_run = start(cfg.clone());
+    let (status, first) = post(&first_run, "/v1/tune", &body);
+    assert_eq!(status, 200);
+    assert_eq!(first.bool_of("cached"), Some(false));
+    first_run.shutdown();
+
+    // "Process restart": a fresh server over the same cache dir.
+    let second_run = start(cfg);
+    let (status, second) = post(&second_run, "/v1/tune", &body);
+    assert_eq!(status, 200);
+    assert_eq!(second.bool_of("cached"), Some(true), "{second:?}");
+    assert_eq!(second.str_of("choice"), first.str_of("choice"));
+    let m = second_run.metrics();
+    assert_eq!(
+        m.tune_races.load(Ordering::Relaxed),
+        0,
+        "warm-started entry must not re-measure"
+    );
+    second_run.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn epoch_bump_invalidates_persisted_decisions() {
+    let dir = temp_dir("epochbump");
+    let cfg = ServeConfig {
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let body = tune_body(STAGE, "SNB", 128, 64);
+
+    let first_run = start(cfg.clone());
+    let (_, first) = post(&first_run, "/v1/tune", &body);
+    assert_eq!(first.bool_of("cached"), Some(false));
+    first_run.shutdown();
+
+    // Simulate a pass-version bump: rewrite the stored epoch. A real
+    // bump changes `pass_fingerprint()`; editing the store to a stale
+    // epoch exercises the same comparison.
+    let segment = dir.join("decisions.jsonl");
+    let text = std::fs::read_to_string(&segment).unwrap();
+    let stale = text.replace(&grover_core::pass_fingerprint(), "grover-0.0.0+rev0");
+    assert_ne!(text, stale, "epoch must appear in the persisted record");
+    std::fs::write(&segment, stale).unwrap();
+
+    let second_run = start(cfg);
+    let (status, second) = post(&second_run, "/v1/tune", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        second.bool_of("cached"),
+        Some(false),
+        "stale-epoch entries must be invalidated on load"
+    );
+    assert_eq!(second_run.metrics().tune_races.load(Ordering::Relaxed), 1);
+    second_run.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lru_eviction_is_counted_and_survives_in_store() {
+    let dir = temp_dir("eviction");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let a = tune_body(STAGE, "SNB", 256, 64);
+    let b = tune_body(STAGE, "Fermi", 256, 64);
+    assert_eq!(
+        post(&server, "/v1/tune", &a).1.bool_of("cached"),
+        Some(false)
+    );
+    assert_eq!(
+        post(&server, "/v1/tune", &b).1.bool_of("cached"),
+        Some(false)
+    );
+    // `a` was evicted by `b` (capacity 1): tuning it again is a miss.
+    assert_eq!(
+        post(&server, "/v1/tune", &a).1.bool_of("cached"),
+        Some(false)
+    );
+    let m = server.metrics();
+    assert!(m.cache_evictions.load(Ordering::Relaxed) >= 1);
+    assert_eq!(m.cache_misses.load(Ordering::Relaxed), 3);
+    server.shutdown();
+
+    // The store kept every decision; a restart with default capacity
+    // warm-starts both keys (later lines win).
+    let revived = start(ServeConfig {
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    });
+    assert_eq!(
+        post(&revived, "/v1/tune", &a).1.bool_of("cached"),
+        Some(true)
+    );
+    assert_eq!(
+        post(&revived, "/v1/tune", &b).1.bool_of("cached"),
+        Some(true)
+    );
+    revived.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_400_on_malformed_requests() {
+    let server = start(config("err400"));
+    // Unparseable JSON.
+    let (status, resp) = post(&server, "/v1/tune", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(resp.str_of("kind"), Some("bad_request"));
+    // Missing required fields.
+    let (status, _) = post(&server, "/v1/tune", "{\"source\": \"x\"}");
+    assert_eq!(status, 400);
+    // Unknown device.
+    let (status, resp) = post(
+        &server,
+        "/v1/tune",
+        &tune_body(STAGE, "NoSuchDevice", 256, 64),
+    );
+    assert_eq!(status, 400);
+    assert!(resp.str_of("error").unwrap().contains("unknown device"));
+    // Launch geometry that does not divide.
+    let (status, _) = post(&server, "/v1/tune", &tune_body(STAGE, "SNB", 100, 64));
+    assert_eq!(status, 400);
+    // Compile error.
+    let (status, resp) = post(
+        &server,
+        "/v1/tune",
+        &tune_body("__kernel void broken(", "SNB", 64, 64),
+    );
+    assert_eq!(status, 400);
+    assert!(resp.str_of("error").unwrap().contains("compile error"));
+    assert_eq!(server.metrics().errors_total.load(Ordering::Relaxed), 5);
+    std::fs::remove_dir_all(temp_dir("err400")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn error_422_pass_refusal_names_the_candidate_kind() {
+    let server = start(config("err422"));
+    let (status, resp) = post(
+        &server,
+        "/v1/tune",
+        &tune_body(NEVER_WRITTEN, "SNB", 64, 16),
+    );
+    assert_eq!(status, 422, "{resp:?}");
+    assert_eq!(resp.str_of("kind"), Some("pass_refusal"));
+    let buffers = resp
+        .get("report")
+        .and_then(|r| r.get("buffers"))
+        .and_then(Json::as_arr)
+        .expect("report.buffers present");
+    assert_eq!(buffers.len(), 1);
+    assert_eq!(buffers[0].str_of("outcome"), Some("not_candidate"));
+    assert_eq!(
+        buffers[0].str_of("candidate_kind"),
+        Some("never_written"),
+        "{buffers:?}"
+    );
+    std::fs::remove_dir_all(temp_dir("err422")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn error_429_when_the_queue_is_full() {
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: temp_dir("err429"),
+            workers: 1,
+            queue_depth: 1,
+            handler_delay: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|_| std::thread::spawn(move || http_request(addr, "GET", "/healthz", None).unwrap().0))
+        .collect();
+    let statuses: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let rejected = statuses.iter().filter(|s| **s == 429).count();
+    let served = statuses.iter().filter(|s| **s == 200).count();
+    assert!(rejected >= 1, "{statuses:?}");
+    assert!(served >= 1, "{statuses:?}");
+    assert_eq!(rejected + served, 6, "{statuses:?}");
+    assert_eq!(
+        server.metrics().rejected_busy.load(Ordering::Relaxed),
+        rejected as u64
+    );
+    std::fs::remove_dir_all(temp_dir("err429")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn error_504_when_the_deadline_expires() {
+    let server = start(config("err504"));
+    let body = format!(
+        "{{\"source\": {}, \"device\": \"SNB\", \"global\": [256], \"local\": [64], \"deadline_ms\": 0}}",
+        json::escape(STAGE)
+    );
+    let (status, resp) = post(&server, "/v1/tune", &body);
+    assert_eq!(status, 504, "{resp:?}");
+    assert_eq!(resp.str_of("kind"), Some("deadline"));
+    assert_eq!(
+        server.metrics().deadline_timeouts.load(Ordering::Relaxed),
+        1
+    );
+    std::fs::remove_dir_all(temp_dir("err504")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_decisions() {
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: temp_dir("stress"),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let bodies = [
+        Arc::new(tune_body(STAGE, "SNB", 256, 64)),
+        Arc::new(tune_body(STAGE, "Fermi", 256, 64)),
+    ];
+    let per_thread = 5usize;
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let body = bodies[t % bodies.len()].clone();
+            std::thread::spawn(move || {
+                (0..per_thread)
+                    .map(|_| {
+                        let (status, text) =
+                            http_request(addr, "POST", "/v1/tune", Some(&body)).unwrap();
+                        assert_eq!(status, 200, "{text}");
+                        let v = json::parse(&text).unwrap();
+                        (
+                            v.str_of("fingerprint").unwrap().to_string(),
+                            v.str_of("choice").unwrap().to_string(),
+                            v.u64_of("cycles_with").unwrap(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut by_key = std::collections::HashMap::new();
+    let mut total = 0usize;
+    for h in handles {
+        for (fp, choice, cycles) in h.join().unwrap() {
+            total += 1;
+            let entry = by_key.entry(fp).or_insert_with(|| (choice.clone(), cycles));
+            assert_eq!(
+                (&entry.0, entry.1),
+                (&choice, cycles),
+                "same key must always yield the same decision"
+            );
+        }
+    }
+    assert_eq!(total, 40);
+    assert_eq!(by_key.len(), 2, "two distinct tune keys");
+    let m = server.metrics();
+    assert_eq!(
+        m.cache_hits.load(Ordering::Relaxed) + m.cache_misses.load(Ordering::Relaxed),
+        40
+    );
+    // Without single-flight, concurrent first-misses may each race, but
+    // never more than one per request thread per key.
+    assert!(m.tune_races.load(Ordering::Relaxed) >= 2);
+    assert!(m.tune_races.load(Ordering::Relaxed) <= 8);
+    std::fs::remove_dir_all(temp_dir("stress")).ok();
+    server.shutdown();
+}
+
+#[test]
+fn admin_shutdown_stops_the_server_and_flushes() {
+    let dir = temp_dir("adminshutdown");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let (_, resp) = post(&server, "/v1/tune", &tune_body(STAGE, "SNB", 256, 64));
+    assert_eq!(resp.bool_of("cached"), Some(false));
+    let (status, body) = http_request(addr, "POST", "/admin/shutdown", Some("")).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"));
+    server.wait(); // returns because the endpoint triggered the stop
+
+    // The listener is gone and the decision survived in the store.
+    assert!(http_request(addr, "GET", "/healthz", None).is_err());
+    let text = std::fs::read_to_string(dir.join("decisions.jsonl")).unwrap();
+    assert_eq!(text.lines().count(), 1);
+    json::parse(text.lines().next().unwrap()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

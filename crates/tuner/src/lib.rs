@@ -281,6 +281,7 @@ pub struct Tuner {
     pub recorder: Arc<dyn Recorder>,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<String, Function>,
+    races: u64,
 }
 
 impl Default for Tuner {
@@ -302,6 +303,7 @@ impl Tuner {
             recorder: Arc::new(NoopRecorder),
             cache: HashMap::new(),
             transformed: HashMap::new(),
+            races: 0,
         }
     }
 
@@ -316,6 +318,14 @@ impl Tuner {
     /// Number of cached decisions.
     pub fn cached_decisions(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of race measurements this tuner has actually executed.
+    /// A cache hit serves the stored [`Decision`] without racing, so this
+    /// counter is how callers (tests, the `grover-serve` metrics) prove
+    /// that repeated tunes do not re-measure.
+    pub fn races_run(&self) -> u64 {
+        self.races
     }
 
     /// Tune `kernel` for `device` using `workload`; cached after the first
@@ -408,6 +418,7 @@ impl Tuner {
         let policy = self.policy;
         let limits = self.limits;
         let retry = self.retry;
+        self.races += 1;
 
         // Race the two versions on two scoped threads. The workloads are
         // instantiated up front on this thread (the factory need not be
@@ -904,6 +915,18 @@ mod tests {
         let d2 = t.tune(&k, "SNB", &w).unwrap();
         assert_eq!(d1.np, d2.np);
         assert!(d1.cycles_with > 0 && d1.cycles_without > 0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_race() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        assert_eq!(t.races_run(), 0);
+        t.tune(&k, "SNB", &w).unwrap();
+        assert_eq!(t.races_run(), 1);
+        t.tune(&k, "SNB", &w).unwrap();
+        assert_eq!(t.races_run(), 1, "cached decision must not re-measure");
     }
 
     #[test]

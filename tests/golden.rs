@@ -15,7 +15,7 @@
 use grover::frontend::compile;
 use grover::ir::printer::function_to_string;
 use grover::kernels::{all_apps, extension_apps, App, Scale};
-use grover::pass::Grover;
+use grover::pass::{pass_fingerprint, source_fingerprint, Grover};
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -37,8 +37,15 @@ fn snapshot(app: &App) -> String {
         None => Grover::new(),
     };
     let report = grover.run_on(&mut transformed);
+    // The identity header pins the snapshot to the pass-version epoch and
+    // the canonical source fingerprint — the same identities the
+    // `grover-serve` decision cache is keyed by. A behaviour change
+    // without a `TRANSFORM_REVISION` bump diffs here; a bump without
+    // re-blessing fails the suite.
     format!(
-        "==== original ====\n{}\n==== report ====\n{}\n==== transformed ====\n{}",
+        "==== identity ====\npass: {}\nsource: {}\n==== original ====\n{}\n==== report ====\n{}\n==== transformed ====\n{}",
+        pass_fingerprint(),
+        source_fingerprint(app.source),
         function_to_string(&original),
         report.to_text(),
         function_to_string(&transformed),
