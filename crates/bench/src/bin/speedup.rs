@@ -1,38 +1,47 @@
-//! Wall-clock speedup of the parallel work-group engine: runs three
-//! benchmark kernels serially and with `ExecPolicy::Parallel`, and emits
-//! the timings as JSON on stdout.
+//! Wall-clock speedups of the launch engine: runs benchmark kernels
+//! serially on the tree-walking interpreter, serially on the compiled
+//! register-bytecode backend, and with `ExecPolicy::Parallel`, and emits
+//! median-of-N timings (with warm-up) as JSON on stdout.
 //!
 //! ```text
-//! cargo run -p grover-bench --release --bin speedup [-- --threads N]
+//! cargo run -p grover-bench --release --bin speedup [-- --threads N] [--samples N]
 //! ```
 //!
 //! `--threads 0` (the default) uses one worker per available CPU. The
 //! scale comes from `GROVER_SCALE` (`test` | `small` | `paper`).
+//!
+//! Per app the report carries `serial_ms` (interpreter), `parallel_ms`,
+//! `bytecode_ms`, the parallel `speedup` (serial/parallel) and
+//! `bytecode_speedup` — the interpreter/bytecode launch-throughput ratio
+//! that gates the bytecode backend's performance claim.
 
 use std::time::{Duration, Instant};
 
 use grover_bench::scale_from_env;
 use grover_kernels::{app_by_id, prepare_pair, Scale};
 use grover_obs::json::{array, Obj};
-use grover_runtime::{enqueue_with_policy, ExecPolicy, Limits, NullSink};
+use grover_runtime::{enqueue_with_backend, Backend, ExecPolicy, Limits, NullSink};
 
-/// Apps whose launches are large enough to amortise thread start-up.
+/// Apps whose launches are large enough to amortise thread start-up — and
+/// interpreter-bound enough that dispatch overhead dominates.
 const APPS: [&str; 3] = ["NVD-MT", "NVD-MM-AB", "NVD-NBody"];
-const SAMPLES: usize = 5;
+const DEFAULT_SAMPLES: usize = 5;
 
 fn median_time(
     kernel: &grover_ir::Function,
     app: &grover_kernels::App,
     scale: Scale,
     policy: ExecPolicy,
+    backend: Backend,
+    samples: usize,
 ) -> Duration {
-    let mut times = Vec::with_capacity(SAMPLES);
-    for i in 0..=SAMPLES {
+    let mut times = Vec::with_capacity(samples);
+    for i in 0..=samples {
         // Workload creation (input generation, reference run) stays
         // outside the timed region.
         let mut prepared = (app.prepare)(scale);
         let t = Instant::now();
-        enqueue_with_policy(
+        enqueue_with_backend(
             &mut prepared.ctx,
             kernel,
             &prepared.args,
@@ -40,6 +49,7 @@ fn median_time(
             &mut NullSink,
             &Limits::default(),
             policy,
+            backend,
         )
         .expect("launch failed");
         if i > 0 {
@@ -54,6 +64,7 @@ fn median_time(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = 0usize;
+    let mut samples = DEFAULT_SAMPLES;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -64,9 +75,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => samples = n,
+                _ => {
+                    eprintln!("error: --samples needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unexpected argument `{other}`");
-                eprintln!("usage: speedup [--threads N]");
+                eprintln!("usage: speedup [--threads N] [--samples N]");
                 std::process::exit(2);
             }
         }
@@ -79,18 +97,28 @@ fn main() {
     for id in APPS {
         let app = app_by_id(id).expect("bundled app");
         let pair = prepare_pair(&app, scale).expect("prepare failed");
-        let serial = median_time(&pair.original, &app, scale, ExecPolicy::Serial);
-        let par = median_time(&pair.original, &app, scale, parallel);
+        let time =
+            |policy, backend| median_time(&pair.original, &app, scale, policy, backend, samples);
+        let serial = time(ExecPolicy::Serial, Backend::Interp);
+        let par = time(parallel, Backend::Interp);
+        let bytecode = time(ExecPolicy::Serial, Backend::Bytecode);
         let speedup = serial.as_secs_f64() / par.as_secs_f64().max(1e-12);
+        let bc_speedup = serial.as_secs_f64() / bytecode.as_secs_f64().max(1e-12);
         eprintln!(
-            "{id:<10} serial {serial:>10.3?}  parallel({workers}) {par:>10.3?}  speedup {speedup:.2}x"
+            "{id:<10} serial {serial:>10.3?}  parallel({workers}) {par:>10.3?}  speedup {speedup:.2}x  \
+             bytecode {bytecode:>10.3?}  bytecode-speedup {bc_speedup:.2}x"
         );
         rows.push(
             Obj::new()
                 .str("app", id)
                 .raw("serial_ms", &format!("{:.3}", serial.as_secs_f64() * 1e3))
                 .raw("parallel_ms", &format!("{:.3}", par.as_secs_f64() * 1e3))
+                .raw(
+                    "bytecode_ms",
+                    &format!("{:.3}", bytecode.as_secs_f64() * 1e3),
+                )
                 .raw("speedup", &format!("{speedup:.3}"))
+                .raw("bytecode_speedup", &format!("{bc_speedup:.3}"))
                 .finish(),
         );
     }
@@ -104,7 +132,7 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1) as u64,
         )
-        .u64("samples", SAMPLES as u64)
+        .u64("samples", samples as u64)
         .raw("kernels", &array(rows))
         .finish();
     println!("{report}");

@@ -49,6 +49,13 @@
 //! given file, one JSON object per line. Without the flag the no-op
 //! recorder is used and nothing is collected.
 //!
+//! `--backend interp|bytecode` (any position, default `interp`): execution
+//! backend for every kernel launch the command performs — the tree-walking
+//! interpreter or the compiled register-bytecode engine. Both are
+//! bit-identical by construction (see the differential gate); `bytecode`
+//! trades a one-off per-launch lowering for a much faster dispatch loop.
+//! Recorded in `--json` output and on telemetry spans.
+//!
 //! ## Exit codes
 //!
 //! | code | meaning                                               |
@@ -72,10 +79,12 @@ use std::time::Duration;
 use grover_core::Grover;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
-use grover_kernels::{all_apps, app_by_id, prepare_pair, run_prepared_observed, KernelPair, Scale};
+use grover_kernels::{
+    all_apps, app_by_id, prepare_pair, run_prepared_observed_backend, KernelPair, Scale,
+};
 use grover_obs::json::{array, Obj};
 use grover_obs::{JsonlRecorder, NoopRecorder, Recorder, Value};
-use grover_runtime::{CountingSink, ExecPolicy, Limits};
+use grover_runtime::{Backend, CountingSink, ExecPolicy, Limits};
 use grover_tuner::{Choice, Decision, RetryPolicy, TuneError, Tuner, Workload};
 
 const EXIT_USAGE: u8 = 2;
@@ -122,17 +131,24 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    let backend = match extract_backend(&mut args) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("transform") => cmd_transform(&args[1..], &recorder),
-        Some("autotune") => cmd_autotune(&args[1..], &recorder),
-        Some("profile") => cmd_profile(&args[1..], &recorder),
+        Some("autotune") => cmd_autotune(&args[1..], &recorder, backend),
+        Some("profile") => cmd_profile(&args[1..], &recorder, backend),
         Some("classify") => cmd_classify(&args[1..]),
-        Some("fuzz") => cmd_fuzz(&args[1..], &recorder),
-        Some("serve") => cmd_serve(&args[1..], &recorder),
+        Some("fuzz") => cmd_fuzz(&args[1..], &recorder, backend),
+        Some("serve") => cmd_serve(&args[1..], &recorder, backend),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage: grover <transform|autotune|profile|classify|fuzz|serve|list> [--trace-out FILE] ..."
+                "usage: grover <transform|autotune|profile|classify|fuzz|serve|list> [--trace-out FILE] [--backend interp|bytecode] ..."
             );
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
             eprintln!(
@@ -170,6 +186,21 @@ fn extract_trace_out(args: &mut Vec<String>) -> Result<Option<String>, String> {
         return Ok(Some(path));
     }
     Ok(None)
+}
+
+/// Strip the global `--backend <name>` flag (any position) from `args`;
+/// defaults to the interpreter.
+fn extract_backend(args: &mut Vec<String>) -> Result<Backend, String> {
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        if i + 1 >= args.len() {
+            return Err("--backend needs `interp` or `bytecode`".into());
+        }
+        let name = args.remove(i + 1);
+        args.remove(i);
+        return Backend::parse(&name)
+            .ok_or_else(|| format!("unknown backend `{name}` (expected `interp` or `bytecode`)"));
+    }
+    Ok(Backend::Interp)
 }
 
 fn cmd_transform(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
@@ -239,7 +270,11 @@ fn parse_u64(it: &mut std::slice::Iter<String>, flag: &str) -> Result<u64, Failu
         .map_err(|_| Failure::usage(format!("{flag} needs an integer")))
 }
 
-fn cmd_autotune(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+fn cmd_autotune(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
     let mut app_id = None;
     let mut device = "SNB".to_string();
     let mut scale = Scale::Small;
@@ -306,6 +341,7 @@ fn cmd_autotune(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fai
     });
 
     let mut tuner = Tuner::with_policy(policy);
+    tuner.backend = backend;
     tuner.recorder = recorder.clone();
     tuner.limits = Limits {
         deadline,
@@ -329,7 +365,7 @@ fn cmd_autotune(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fai
         .map_err(tune_failure)?;
 
     if json {
-        println!("{}", decision_json(&app_id, scale, &d));
+        println!("{}", decision_json(&app_id, scale, backend, &d));
     } else {
         print_decision(&d);
     }
@@ -388,7 +424,11 @@ fn print_decision(d: &Decision) {
 /// report the side-by-side deltas — what the transform eliminated (local
 /// traffic, barriers) and what it added (direct global loads), the
 /// paper's §VI-C reasons analysis — plus the pass's per-buffer outcomes.
-fn cmd_profile(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+fn cmd_profile(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
     let mut app_id = None;
     let mut scale = Scale::Small;
     let mut policy = ExecPolicy::Serial;
@@ -434,8 +474,16 @@ fn cmd_profile(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fail
     }
     let run = |kernel, version: &str| -> Result<CountingSink, Failure> {
         let mut sink = CountingSink::default();
-        run_prepared_observed(kernel, (app.prepare)(scale), &mut sink, policy, rec, span)
-            .map_err(|e| Failure::new(EXIT_EXEC, format!("{version} kernel: {e}")))?;
+        run_prepared_observed_backend(
+            kernel,
+            (app.prepare)(scale),
+            &mut sink,
+            policy,
+            backend,
+            rec,
+            span,
+        )
+        .map_err(|e| Failure::new(EXIT_EXEC, format!("{version} kernel: {e}")))?;
         Ok(sink)
     };
     let original = run(&pair.original, "original");
@@ -452,7 +500,7 @@ fn cmd_profile(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fail
     if json {
         println!(
             "{}",
-            profile_json(&app_id, scale, &pair, &original, &transformed)
+            profile_json(&app_id, scale, backend, &pair, &original, &transformed)
         );
     } else {
         print_profile(&app_id, scale, policy, &pair, &original, &transformed);
@@ -604,6 +652,7 @@ fn counts_json(c: &CountingSink) -> String {
 fn profile_json(
     app_id: &str,
     scale: Scale,
+    backend: Backend,
     pair: &KernelPair,
     o: &CountingSink,
     t: &CountingSink,
@@ -654,6 +703,7 @@ fn profile_json(
     Obj::new()
         .str("app", app_id)
         .str("scale", scale_name(scale))
+        .str("backend", backend.name())
         .str("kernel", &pair.original.name)
         .str("pass_fingerprint", &grover_core::pass_fingerprint())
         .raw("original", &counts_json(o))
@@ -672,7 +722,7 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
+fn decision_json(app_id: &str, scale: Scale, backend: Backend, d: &Decision) -> String {
     let fallback = match &d.fallback {
         None => "null".to_string(),
         Some(reason) => Obj::new()
@@ -684,6 +734,7 @@ fn decision_json(app_id: &str, scale: Scale, d: &Decision) -> String {
         .str("app", app_id)
         .str("device", &d.device)
         .str("scale", scale_name(scale))
+        .str("backend", backend.name())
         .str("pass_fingerprint", &grover_core::pass_fingerprint())
         .u64("cycles_with", d.cycles_with)
         .u64("cycles_without", d.cycles_without)
@@ -745,7 +796,11 @@ fn cmd_classify(args: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
-fn cmd_fuzz(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+fn cmd_fuzz(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
     let mut seed = 42u64;
     let mut cases = 200u64;
     let mut json = false;
@@ -769,6 +824,7 @@ fn cmd_fuzz(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure
         seed,
         cases,
         out_dir: Some(out_dir.clone().into()),
+        backend,
     };
     let summary = grover_fuzz::run_campaign(&opts, recorder.as_ref());
     if json {
@@ -792,9 +848,14 @@ fn cmd_fuzz(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure
 
 /// `grover serve`: run the tuning-cache service until a graceful
 /// shutdown is requested over HTTP.
-fn cmd_serve(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Failure> {
+fn cmd_serve(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
     let mut config = grover_serve::ServeConfig {
         addr: "127.0.0.1:7171".to_string(),
+        backend,
         ..grover_serve::ServeConfig::default()
     };
     let mut it = args.iter();

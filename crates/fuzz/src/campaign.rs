@@ -8,11 +8,12 @@
 //! cases already seen.
 
 use crate::gen::Gen;
-use crate::oracle::{check_spec, FailureKind};
+use crate::oracle::{check_spec_backend, FailureKind};
 use crate::shrink::shrink;
 use crate::spec::{KernelSpec, ALL_POISONS};
 use grover_obs::json::{array, Obj};
 use grover_obs::{Recorder, SpanGuard};
+use grover_runtime::Backend;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -23,6 +24,8 @@ pub struct CampaignOptions {
     pub cases: u64,
     /// Where shrunk reproducers are written; `None` disables writing.
     pub out_dir: Option<PathBuf>,
+    /// Execution backend the oracle runs kernels on.
+    pub backend: Backend,
 }
 
 /// One failed case, after shrinking.
@@ -45,6 +48,8 @@ pub struct CaseFailure {
 pub struct Summary {
     pub seed: u64,
     pub cases: u64,
+    /// Execution backend the campaign ran on.
+    pub backend: Backend,
     /// Must-transform cases that verified bit-exactly.
     pub transformed: u64,
     /// Must-reject cases refused with the expected outcome.
@@ -79,6 +84,7 @@ impl Summary {
         Obj::new()
             .u64("seed", self.seed)
             .u64("cases", self.cases)
+            .str("backend", self.backend.name())
             .u64("transformed", self.transformed)
             .u64("rejected", self.rejected)
             .u64("failures", self.failures.len() as u64)
@@ -101,8 +107,9 @@ impl Summary {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "fuzz: seed {} — {} cases: {} transformed, {} rejected, {} failed",
+            "fuzz: seed {} ({}) — {} cases: {} transformed, {} rejected, {} failed",
             self.seed,
+            self.backend,
             self.cases,
             self.transformed,
             self.rejected,
@@ -143,10 +150,12 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
     let root = SpanGuard::open(rec, "fuzz.campaign", None);
     root.attr("seed", opts.seed);
     root.attr("cases", opts.cases);
+    root.attr("backend", opts.backend.name());
     let mut g = Gen::new(opts.seed);
     let mut summary = Summary {
         seed: opts.seed,
         cases: opts.cases,
+        backend: opts.backend,
         ..Summary::default()
     };
     for i in 0..opts.cases {
@@ -160,7 +169,7 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
                 Some(p) => p.name(),
             },
         );
-        let outcome = check_spec(&spec);
+        let outcome = check_spec_backend(&spec, opts.backend);
         match outcome.failure() {
             None => {
                 if spec.poison.is_none() {
@@ -176,9 +185,12 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
                 // re-derive the detail from the minimized spec.
                 let kind = f.kind;
                 let (min, steps) = shrink(&spec, |s| {
-                    check_spec(s).failure().map(|f| f.kind) == Some(kind)
+                    check_spec_backend(s, opts.backend)
+                        .failure()
+                        .map(|f| f.kind)
+                        == Some(kind)
                 });
-                let detail = check_spec(&min)
+                let detail = check_spec_backend(&min, opts.backend)
                     .failure()
                     .map(|f| f.detail.clone())
                     .unwrap_or_else(|| f.detail.clone());
@@ -218,6 +230,7 @@ mod tests {
             seed: 7,
             cases: 20,
             out_dir: None,
+            backend: Backend::Interp,
         };
         let a = run_campaign(&opts, &NOOP);
         assert!(a.ok(), "{}", a.to_text());
@@ -225,6 +238,22 @@ mod tests {
         assert_eq!(a.rejected, 4, "every 5th case is a must-reject");
         let b = run_campaign(&opts, &NOOP);
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn small_campaign_is_clean_on_bytecode() {
+        // Same cases as the interp campaign, judged three-way on the
+        // bytecode backend — and the counters must agree exactly.
+        let opts = CampaignOptions {
+            seed: 7,
+            cases: 20,
+            out_dir: None,
+            backend: Backend::Bytecode,
+        };
+        let s = run_campaign(&opts, &NOOP);
+        assert!(s.ok(), "{}", s.to_text());
+        assert_eq!((s.transformed, s.rejected), (16, 4));
+        assert!(s.to_json().contains("\"backend\":\"bytecode\""));
     }
 
     #[test]
@@ -244,6 +273,7 @@ mod tests {
             seed: 3,
             cases: 5,
             out_dir: None,
+            backend: Backend::Interp,
         };
         run_campaign(&opts, &rec);
         let snap = rec.snapshot();
@@ -267,6 +297,7 @@ mod tests {
                 seed: 1,
                 cases: 5,
                 out_dir: None,
+                backend: Backend::Interp,
             },
             &NOOP,
         );
@@ -274,6 +305,7 @@ mod tests {
         for key in [
             "\"seed\":1",
             "\"cases\":5",
+            "\"backend\":\"interp\"",
             "\"failures\":0",
             "\"mismatches\":0",
             "\"regressions\":[]",

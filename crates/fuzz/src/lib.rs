@@ -35,7 +35,14 @@ pub mod spec;
 
 pub use campaign::{run_campaign, CampaignOptions, CaseFailure, Summary};
 pub use gen::Gen;
-pub use oracle::{check_source, check_spec, CaseOutcome, Expectation, Failure, FailureKind};
-pub use replay::{parse_directives, replay_dir, replay_source, Directives};
+pub use grover_runtime::Backend;
+pub use oracle::{
+    check_source, check_source_backend, check_spec, check_spec_backend, CaseOutcome, Expectation,
+    Failure, FailureKind,
+};
+pub use replay::{
+    parse_directives, replay_dir, replay_dir_backend, replay_source, replay_source_backend,
+    Directives,
+};
 pub use shrink::shrink;
 pub use spec::{BufSpec, ExecShape, KernelSpec, Poison, ReadMap, ALL_POISONS};

@@ -18,7 +18,7 @@ use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
 use grover_ir::Function;
 use grover_runtime::{
-    enqueue_with_policy, ArgValue, Context, ExecPolicy, Limits, NdRange, NullSink,
+    enqueue_with_backend, ArgValue, Backend, Context, ExecPolicy, Limits, NdRange, NullSink,
 };
 
 /// What a kernel is expected to do under the pass.
@@ -123,10 +123,20 @@ pub fn run_kernel(
     shape: &ExecShape,
     policy: ExecPolicy,
 ) -> Result<Vec<f32>, String> {
+    run_kernel_backend(kernel, shape, policy, Backend::Interp)
+}
+
+/// [`run_kernel`] on an explicit execution backend.
+pub fn run_kernel_backend(
+    kernel: &Function,
+    shape: &ExecShape,
+    policy: ExecPolicy,
+    backend: Backend,
+) -> Result<Vec<f32>, String> {
     let mut ctx = Context::new();
     let bi = ctx.buffer_f32(&deterministic_input(shape.in_len));
     let bo = ctx.zeros_f32(shape.out_len);
-    enqueue_with_policy(
+    enqueue_with_backend(
         &mut ctx,
         kernel,
         &[
@@ -138,6 +148,7 @@ pub fn run_kernel(
         &mut NullSink,
         &Limits::default(),
         policy,
+        backend,
     )
     .map_err(|e| e.to_string())?;
     Ok(ctx.read_f32(bo).to_vec())
@@ -153,6 +164,21 @@ fn first_bit_diff(a: &[f32], b: &[f32]) -> Option<usize> {
 /// Run one kernel source through the full pipeline and judge it against
 /// `expect`. `shape` is required for `Expectation::Transform`.
 pub fn check_source(src: &str, expect: &Expectation, shape: Option<&ExecShape>) -> CaseOutcome {
+    check_source_backend(src, expect, shape, Backend::Interp)
+}
+
+/// [`check_source`] with an execution backend. Under [`Backend::Interp`]
+/// this is the classic two-way differential (original vs transformed, both
+/// schedules). Under [`Backend::Bytecode`] it becomes a three-way check:
+/// original-interp vs transformed-interp vs both kernels re-executed on the
+/// bytecode backend, all bit-exact. Reject cases are backend-independent
+/// (never executed).
+pub fn check_source_backend(
+    src: &str,
+    expect: &Expectation,
+    shape: Option<&ExecShape>,
+    backend: Backend,
+) -> CaseOutcome {
     let module = match compile(src, &BuildOptions::new()) {
         Ok(m) => m,
         Err(e) => return fail(FailureKind::CompileError, e.to_string()),
@@ -265,6 +291,32 @@ pub fn check_source(src: &str, expect: &Expectation, shape: Option<&ExecShape>) 
                     }
                 }
             }
+            // Third leg: re-execute both kernels on the requested backend
+            // and demand bit-identity with the interpreter reference.
+            if backend != Backend::Interp {
+                let reference = reference.expect("policies is non-empty");
+                for (which, kernel) in [("original", original), ("transformed", &transformed)] {
+                    let alt = match run_kernel_backend(kernel, shape, ExecPolicy::Serial, backend) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            return fail(
+                                FailureKind::ExecError,
+                                format!("{which} ({backend}): {e}"),
+                            )
+                        }
+                    };
+                    if let Some(i) = first_bit_diff(&reference, &alt) {
+                        return fail(
+                            FailureKind::Mismatch,
+                            format!(
+                                "backends differ: {which} interp vs {backend} at [{i}]: {} vs {}",
+                                reference.get(i).copied().unwrap_or(f32::NAN),
+                                alt.get(i).copied().unwrap_or(f32::NAN),
+                            ),
+                        );
+                    }
+                }
+            }
             CaseOutcome::Transformed
         }
     }
@@ -283,8 +335,13 @@ pub fn expectation_of(spec: &KernelSpec) -> Expectation {
 
 /// Render and judge a spec.
 pub fn check_spec(spec: &KernelSpec) -> CaseOutcome {
+    check_spec_backend(spec, Backend::Interp)
+}
+
+/// Render and judge a spec on an explicit execution backend.
+pub fn check_spec_backend(spec: &KernelSpec, backend: Backend) -> CaseOutcome {
     let shape = spec.exec_shape();
-    check_source(&spec.render(), &expectation_of(spec), Some(&shape))
+    check_source_backend(&spec.render(), &expectation_of(spec), Some(&shape), backend)
 }
 
 #[cfg(test)]

@@ -19,8 +19,9 @@
 //! Replaying a file runs the same oracle the campaign uses — corpus files
 //! are ordinary fuzz cases that happen to live in git.
 
-use crate::oracle::{check_source, CaseOutcome, Expectation};
+use crate::oracle::{check_source_backend, CaseOutcome, Expectation};
 use crate::spec::ExecShape;
+use grover_runtime::Backend;
 use std::path::Path;
 
 /// Parsed `// fuzz:` header.
@@ -119,8 +120,13 @@ pub fn parse_directives(src: &str) -> Result<Directives, String> {
 
 /// Replay one corpus kernel source. `Err` carries the failure description.
 pub fn replay_source(src: &str) -> Result<(), String> {
+    replay_source_backend(src, Backend::Interp)
+}
+
+/// [`replay_source`] judging on an explicit execution backend.
+pub fn replay_source_backend(src: &str, backend: Backend) -> Result<(), String> {
     let d = parse_directives(src)?;
-    match check_source(src, &d.expect, d.shape.as_ref()) {
+    match check_source_backend(src, &d.expect, d.shape.as_ref(), backend) {
         CaseOutcome::Transformed | CaseOutcome::Rejected => Ok(()),
         CaseOutcome::Failed(f) => Err(format!("{}: {}", f.kind.name(), f.detail)),
     }
@@ -130,6 +136,11 @@ pub fn replay_source(src: &str) -> Result<(), String> {
 /// Returns one `(file name, result)` row per file; an unreadable directory
 /// yields an empty list.
 pub fn replay_dir(dir: &Path) -> Vec<(String, Result<(), String>)> {
+    replay_dir_backend(dir, Backend::Interp)
+}
+
+/// [`replay_dir`] judging on an explicit execution backend.
+pub fn replay_dir_backend(dir: &Path, backend: Backend) -> Vec<(String, Result<(), String>)> {
     let mut files: Vec<_> = std::fs::read_dir(dir)
         .map(|rd| {
             rd.filter_map(|e| e.ok())
@@ -148,7 +159,7 @@ pub fn replay_dir(dir: &Path) -> Vec<(String, Result<(), String>)> {
                 .unwrap_or_default();
             let res = std::fs::read_to_string(&p)
                 .map_err(|e| format!("read: {e}"))
-                .and_then(|src| replay_source(&src));
+                .and_then(|src| replay_source_backend(&src, backend));
             (name, res)
         })
         .collect()

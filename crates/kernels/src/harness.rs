@@ -6,7 +6,8 @@ use grover_frontend::compile;
 use grover_ir::Function;
 use grover_obs::{Recorder, SpanId};
 use grover_runtime::{
-    enqueue_observed, enqueue_with_policy, Context, ExecPolicy, LaunchStats, Limits, TraceSink,
+    enqueue_observed_backend, enqueue_with_backend, Backend, Context, ExecPolicy, LaunchStats,
+    Limits, TraceSink,
 };
 
 use crate::apps::{App, Expected, Prepared, Scale};
@@ -81,11 +82,22 @@ pub fn run_prepared(
 /// [`run_prepared`] under an explicit work-group schedule.
 pub fn run_prepared_with(
     kernel: &Function,
-    mut prepared: Prepared,
+    prepared: Prepared,
     sink: &mut dyn TraceSink,
     policy: ExecPolicy,
 ) -> Result<AppRun, String> {
-    let stats = enqueue_with_policy(
+    run_prepared_backend(kernel, prepared, sink, policy, Backend::Interp)
+}
+
+/// [`run_prepared_with`] on an explicit execution [`Backend`].
+pub fn run_prepared_backend(
+    kernel: &Function,
+    mut prepared: Prepared,
+    sink: &mut dyn TraceSink,
+    policy: ExecPolicy,
+    backend: Backend,
+) -> Result<AppRun, String> {
+    let stats = enqueue_with_backend(
         &mut prepared.ctx,
         kernel,
         &prepared.args,
@@ -93,6 +105,7 @@ pub fn run_prepared_with(
         sink,
         &Limits::default(),
         policy,
+        backend,
     )
     .map_err(|e| format!("execution failed: {e}"))?;
     finish_run(prepared, stats)
@@ -105,13 +118,35 @@ pub fn run_prepared_with(
 /// exactly `run_prepared_with`.
 pub fn run_prepared_observed(
     kernel: &Function,
-    mut prepared: Prepared,
+    prepared: Prepared,
     sink: &mut dyn TraceSink,
     policy: ExecPolicy,
     recorder: &dyn Recorder,
     parent: Option<SpanId>,
 ) -> Result<AppRun, String> {
-    let stats = enqueue_observed(
+    run_prepared_observed_backend(
+        kernel,
+        prepared,
+        sink,
+        policy,
+        Backend::Interp,
+        recorder,
+        parent,
+    )
+}
+
+/// [`run_prepared_observed`] on an explicit execution [`Backend`]; the
+/// launch span records the backend.
+pub fn run_prepared_observed_backend(
+    kernel: &Function,
+    mut prepared: Prepared,
+    sink: &mut dyn TraceSink,
+    policy: ExecPolicy,
+    backend: Backend,
+    recorder: &dyn Recorder,
+    parent: Option<SpanId>,
+) -> Result<AppRun, String> {
+    let stats = enqueue_observed_backend(
         &mut prepared.ctx,
         kernel,
         &prepared.args,
@@ -119,6 +154,7 @@ pub fn run_prepared_observed(
         sink,
         &Limits::default(),
         policy,
+        backend,
         recorder,
         parent,
     )

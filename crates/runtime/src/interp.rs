@@ -19,6 +19,7 @@ use grover_ir::{
 };
 
 use crate::buffer::{Buffer, BufferData, Context, GlobalMem};
+use crate::bytecode::{self, Backend};
 use crate::trace::{AccessEvent, TraceOp, TraceSink};
 use crate::val::{PtrVal, Val};
 use crate::ExecError;
@@ -221,7 +222,7 @@ const BUDGET_CHUNK: u64 = 1 << 20;
 
 /// The launch-wide instruction budget ([`Limits::max_instructions`]) and
 /// wall-clock watchdog ([`Limits::deadline`]), shared by every worker.
-struct BudgetPool {
+pub(crate) struct BudgetPool {
     avail: AtomicU64,
     start: Instant,
     deadline: Option<Duration>,
@@ -240,7 +241,7 @@ impl BudgetPool {
 
     /// Watchdog check; on expiry, drain the pool so every other worker
     /// stops at its next refill too.
-    fn check_deadline(&self) -> Result<(), ExecError> {
+    pub(crate) fn check_deadline(&self) -> Result<(), ExecError> {
         if let Some(d) = self.deadline {
             if self.start.elapsed() > d {
                 self.deadline_hit.store(true, Ordering::Relaxed);
@@ -269,7 +270,7 @@ impl BudgetPool {
 /// instruction *after* the budget runs out fails with
 /// [`ExecError::InstructionLimit`] — and each refill doubles as a
 /// watchdog check.
-struct LocalBudget<'a> {
+pub(crate) struct LocalBudget<'a> {
     pool: &'a BudgetPool,
     left: u64,
     chunk: u64,
@@ -293,7 +294,7 @@ impl<'a> LocalBudget<'a> {
     }
 
     #[inline]
-    fn spend(&mut self) -> Result<(), ExecError> {
+    pub(crate) fn spend(&mut self) -> Result<(), ExecError> {
         #[cfg(feature = "fault-injection")]
         if let Some((countdown, inst)) = &mut self.fault {
             *countdown -= 1;
@@ -364,24 +365,24 @@ struct WorkItem {
 /// every worker: kernel, geometry, the global-memory view (buffer base
 /// addresses included — no per-group probing of the [`Context`]), the
 /// pre-resolved parameter seeds and the `__local` buffer layout.
-struct LaunchCtx<'a> {
-    f: &'a Function,
-    nd: NdRange,
-    mem: GlobalMem<'a>,
+pub(crate) struct LaunchCtx<'a> {
+    pub(crate) f: &'a Function,
+    pub(crate) nd: NdRange,
+    pub(crate) mem: GlobalMem<'a>,
     /// `(register index, value)` seeds applied to every work-item.
-    params: Vec<(usize, Val)>,
+    pub(crate) params: Vec<(usize, Val)>,
     /// Element kind and element count of each `__local` buffer.
-    local_templ: Vec<(Scalar, usize)>,
+    pub(crate) local_templ: Vec<(Scalar, usize)>,
     /// Byte offset of each `__local` buffer inside the group-local region.
-    local_bases: Vec<u64>,
-    pool: BudgetPool,
+    pub(crate) local_bases: Vec<u64>,
+    pub(crate) pool: BudgetPool,
     /// Whether every group's global stores are perturbed
     /// ([`crate::fault::FaultKind::CorruptStores`] at launch scope; always
     /// `false` without the `fault-injection` feature).
-    corrupt_launch: bool,
+    pub(crate) corrupt_launch: bool,
     /// The fault plan matched against this launch's kernel, if any.
     #[cfg(feature = "fault-injection")]
-    fault: Option<std::sync::Arc<crate::fault::Installed>>,
+    pub(crate) fault: Option<std::sync::Arc<crate::fault::Installed>>,
 }
 
 /// Per-worker scratch reused across the groups that worker executes: the
@@ -395,10 +396,10 @@ struct Scratch {
 
 /// What one group contributed to the launch statistics.
 #[derive(Clone, Copy, Default)]
-struct GroupStats {
-    items: u64,
-    barriers: u64,
-    instructions: u64,
+pub(crate) struct GroupStats {
+    pub(crate) items: u64,
+    pub(crate) barriers: u64,
+    pub(crate) instructions: u64,
 }
 
 /// What a parallel worker hands back for one claimed group: the linear
@@ -491,7 +492,37 @@ pub fn enqueue_with_policy(
     limits: &Limits,
     policy: ExecPolicy,
 ) -> Result<LaunchStats, ExecError> {
-    enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, None)
+    enqueue_impl(
+        ctx,
+        kernel,
+        args,
+        nd,
+        sink,
+        limits,
+        policy,
+        Backend::Interp,
+        None,
+    )
+}
+
+/// Launch a kernel under an explicit scheduling [`ExecPolicy`] and
+/// execution [`Backend`].
+///
+/// Both backends produce bit-identical output buffers, [`LaunchStats`] and
+/// trace streams for well-formed kernels; the bytecode backend merely
+/// executes a pre-lowered form of the kernel in a tighter dispatch loop.
+#[allow(clippy::too_many_arguments)]
+pub fn enqueue_with_backend(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+    backend: Backend,
+) -> Result<LaunchStats, ExecError> {
+    enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, backend, None)
 }
 
 /// The launch engine behind [`enqueue_with_policy`] and
@@ -508,6 +539,7 @@ pub(crate) fn enqueue_impl(
     sink: &mut dyn TraceSink,
     limits: &Limits,
     policy: ExecPolicy,
+    backend: Backend,
     workers_out: Option<&mut Vec<WorkerStat>>,
 ) -> Result<LaunchStats, ExecError> {
     nd.validate()?;
@@ -547,6 +579,14 @@ pub(crate) fn enqueue_impl(
         fault,
     };
 
+    // Bytecode backend: lower the kernel once per launch; every worker
+    // executes the same compiled program.
+    let program = match backend {
+        Backend::Interp => None,
+        Backend::Bytecode => Some(bytecode::LaunchProgram::prepare(kernel, &launch.params)),
+    };
+    let program = program.as_ref();
+
     let ng = nd.num_groups();
     let n_groups = (ng[0] * ng[1] * ng[2]) as usize;
 
@@ -554,13 +594,14 @@ pub(crate) fn enqueue_impl(
 
     if policy == ExecPolicy::Serial {
         let mut budget = LocalBudget::new(&launch, BUDGET_CHUNK);
-        let mut scratch = Scratch::default();
+        let mut scratch = AnyScratch::new(program.is_some());
         let mut stats = LaunchStats::default();
         let mut wstat = WorkerStat::default();
         for gl in 0..n_groups {
             let t0 = observe.then(Instant::now);
-            let gs = run_group_caught(
+            let gs = run_group_any(
                 &launch,
+                program,
                 delinearize(gl, ng),
                 gl as u32,
                 sink,
@@ -601,7 +642,7 @@ pub(crate) fn enqueue_impl(
                     let mut out = Vec::new();
                     let mut wstat = WorkerStat::default();
                     let mut budget = LocalBudget::new(launch_ref, BUDGET_CHUNK);
-                    let mut scratch = Scratch::default();
+                    let mut scratch = AnyScratch::new(program.is_some());
                     while !stop.load(Ordering::Relaxed) {
                         let gl = next.fetch_add(1, Ordering::Relaxed);
                         if gl >= n_groups {
@@ -612,8 +653,9 @@ pub(crate) fn enqueue_impl(
                             events: Vec::new(),
                         };
                         let t0 = observe.then(Instant::now);
-                        let r = run_group_caught(
+                        let r = run_group_any(
                             launch_ref,
+                            program,
                             delinearize(gl, ng),
                             gl as u32,
                             &mut buf,
@@ -744,16 +786,18 @@ fn param_seeds(f: &Function, args: &[ArgValue]) -> Result<Vec<(usize, Val)>, Exe
 }
 
 /// The mutable state `run_item`/`eval_inst` need for one group: the shared
-/// launch context plus this group's local memory and id.
-struct GroupRun<'a, 'l> {
-    launch: &'a LaunchCtx<'l>,
-    local_mem: &'a mut Vec<BufferData>,
-    group_linear: u32,
+/// launch context plus this group's local memory and id. The bytecode
+/// backend builds the same struct so the shared memory/trace helpers
+/// ([`mem_load`], [`mem_store`], [`emit_at`]) serve both engines.
+pub(crate) struct GroupRun<'a, 'l> {
+    pub(crate) launch: &'a LaunchCtx<'l>,
+    pub(crate) local_mem: &'a mut Vec<BufferData>,
+    pub(crate) group_linear: u32,
     /// Fault injection: perturb this group's global stores.
-    corrupt_stores: bool,
+    pub(crate) corrupt_stores: bool,
     /// Fault injection: offset this group's global loads by this many
     /// elements (`0` = none).
-    load_offset: i64,
+    pub(crate) load_offset: i64,
 }
 
 /// Best-effort stringification of a caught panic payload.
@@ -767,21 +811,46 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// [`run_group`] with panic isolation: a panic anywhere inside the group —
-/// the interpreter, a trace sink, or an injected fault — becomes
-/// [`ExecError::WorkerPanic`] instead of unwinding through the launch
-/// machinery (and, on a worker thread, aborting the process via
-/// `std::thread::scope`).
-fn run_group_caught(
+/// Per-worker scratch for whichever engine the launch selected. A worker
+/// keeps one variant for its whole lifetime, so register files and local
+/// memory are still reused across the groups it executes.
+enum AnyScratch {
+    Interp(Scratch),
+    Bytecode(bytecode::BcScratch),
+}
+
+impl AnyScratch {
+    fn new(bytecode: bool) -> AnyScratch {
+        if bytecode {
+            AnyScratch::Bytecode(bytecode::BcScratch::default())
+        } else {
+            AnyScratch::Interp(Scratch::default())
+        }
+    }
+}
+
+/// Run one group on the backend selected at launch, with panic isolation:
+/// a panic anywhere inside the group — either engine, a trace sink, or an
+/// injected fault — becomes [`ExecError::WorkerPanic`] instead of
+/// unwinding through the launch machinery (and, on a worker thread,
+/// aborting the process via `std::thread::scope`).
+fn run_group_any(
     launch: &LaunchCtx<'_>,
+    program: Option<&bytecode::LaunchProgram>,
     wg: [u64; 3],
     group_linear: u32,
     sink: &mut dyn TraceSink,
     budget: &mut LocalBudget<'_>,
-    scratch: &mut Scratch,
+    scratch: &mut AnyScratch,
 ) -> Result<GroupStats, ExecError> {
-    match catch_unwind(AssertUnwindSafe(|| {
-        run_group(launch, wg, group_linear, sink, budget, scratch)
+    match catch_unwind(AssertUnwindSafe(|| match (program, &mut *scratch) {
+        (None, AnyScratch::Interp(s)) => run_group(launch, wg, group_linear, sink, budget, s),
+        (Some(p), AnyScratch::Bytecode(s)) => {
+            bytecode::run_group(p, launch, wg, group_linear, sink, budget, s)
+        }
+        _ => Err(ExecError::Internal(
+            "worker scratch does not match the launch backend".into(),
+        )),
     })) {
         Ok(r) => r,
         Err(p) => Err(ExecError::WorkerPanic {
@@ -1070,7 +1139,13 @@ fn eval_inst(
         }
         Inst::Call { builtin, args } => {
             let a: Vec<Val> = args.iter().map(|&x| val(x)).collect::<Result<_, _>>()?;
-            Ok(Some(eval_call(&r.launch.nd, wi, *builtin, &a)?))
+            Ok(Some(eval_call(
+                &r.launch.nd,
+                &wi.lid,
+                &wi.wg,
+                *builtin,
+                &a,
+            )?))
         }
         Inst::Gep { base, index } => {
             let p = val(*base)?
@@ -1177,7 +1252,7 @@ fn eval_inst(
 /// Store perturbation for [`crate::fault::FaultKind::CorruptStores`]:
 /// deterministic, value-only (addresses and trace shape are unchanged, so
 /// cycle measurements stay comparable while outputs diverge).
-fn corrupt_val(v: Val) -> Val {
+pub(crate) fn corrupt_val(v: Val) -> Val {
     match v {
         Val::F32(x) => Val::F32(x + 1.0),
         Val::I32(x) => Val::I32(x ^ 1),
@@ -1205,7 +1280,7 @@ fn corrupt_val(v: Val) -> Val {
     }
 }
 
-fn mem_load(r: &GroupRun<'_, '_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
+pub(crate) fn mem_load(r: &GroupRun<'_, '_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError> {
     match p.space {
         AddressSpace::Global | AddressSpace::Constant => r.launch.mem.load(p.buf, p.offset, lanes),
         AddressSpace::Local => load_from(&r.local_mem[p.buf as usize], p.offset, lanes),
@@ -1213,7 +1288,7 @@ fn mem_load(r: &GroupRun<'_, '_>, p: PtrVal, lanes: u8) -> Result<Val, ExecError
     }
 }
 
-fn mem_store(r: &mut GroupRun<'_, '_>, p: PtrVal, v: Val) -> Result<(), ExecError> {
+pub(crate) fn mem_store(r: &mut GroupRun<'_, '_>, p: PtrVal, v: Val) -> Result<(), ExecError> {
     match p.space {
         AddressSpace::Global => r.launch.mem.store(p.buf, p.offset, v),
         AddressSpace::Constant => Err(ExecError::TypeMismatch("store to __constant".into())),
@@ -1298,6 +1373,23 @@ fn emit(
     bytes: u32,
     pc: ValueId,
 ) {
+    let nd = &r.launch.nd;
+    let local_linear =
+        (wi.lid[2] * nd.local[1] * nd.local[0] + wi.lid[1] * nd.local[0] + wi.lid[0]) as u32;
+    emit_at(sink, r, local_linear, op, p, bytes, pc.0);
+}
+
+/// The access-event emitter behind [`emit`], shared with the bytecode
+/// backend (which precomputes each item's linear local id).
+pub(crate) fn emit_at(
+    sink: &mut dyn TraceSink,
+    r: &GroupRun<'_, '_>,
+    local_linear: u32,
+    op: TraceOp,
+    p: PtrVal,
+    bytes: u32,
+    pc: u32,
+) {
     let addr = match p.space {
         AddressSpace::Local => r.launch.local_bases[p.buf as usize].wrapping_add(p.offset as u64),
         _ => {
@@ -1305,9 +1397,6 @@ fn emit(
             r.launch.mem.base(p.buf).wrapping_add(p.offset as u64)
         }
     };
-    let nd = &r.launch.nd;
-    let local_linear =
-        (wi.lid[2] * nd.local[1] * nd.local[0] + wi.lid[1] * nd.local[0] + wi.lid[0]) as u32;
     sink.access(&AccessEvent {
         op,
         space: p.space,
@@ -1315,11 +1404,11 @@ fn emit(
         bytes,
         group: r.group_linear,
         local: local_linear,
-        pc: pc.0,
+        pc,
     });
 }
 
-fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
+pub(crate) fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
     // Vector ops: elementwise over lanes.
     if l.lanes() > 1 || r.lanes() > 1 {
         let n = l.lanes().max(r.lanes());
@@ -1437,7 +1526,7 @@ fn eval_bin(op: BinOp, l: Val, r: Val) -> Result<Val, ExecError> {
     }
 }
 
-fn eval_cmp(pred: CmpPred, l: Val, r: Val) -> Result<Val, ExecError> {
+pub(crate) fn eval_cmp(pred: CmpPred, l: Val, r: Val) -> Result<Val, ExecError> {
     use CmpPred::*;
     if let (Some(a), Some(b)) = (l.as_f32(), r.as_f32()) {
         let v = match pred {
@@ -1478,7 +1567,7 @@ fn eval_cmp(pred: CmpPred, l: Val, r: Val) -> Result<Val, ExecError> {
     Ok(Val::Bool(v))
 }
 
-fn eval_cast(kind: CastKind, v: Val, to: Type) -> Result<Val, ExecError> {
+pub(crate) fn eval_cast(kind: CastKind, v: Val, to: Type) -> Result<Val, ExecError> {
     use CastKind::*;
     let t = match to {
         Type::Scalar(s) => s,
@@ -1502,7 +1591,35 @@ fn eval_cast(kind: CastKind, v: Val, to: Type) -> Result<Val, ExecError> {
     })
 }
 
-fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Val, ExecError> {
+/// The value of one work-item geometry query, shared by the interpreter's
+/// [`eval_call`] and the bytecode backend's pre-resolved query op. `b` must
+/// be a work-item query builtin and `d` a validated dimension (`0..3`).
+pub(crate) fn workitem_query(
+    nd: &NdRange,
+    lid: &[u64; 3],
+    wg: &[u64; 3],
+    b: Builtin,
+    d: usize,
+) -> u64 {
+    use Builtin::*;
+    match b {
+        LocalId => lid[d],
+        GroupId => wg[d],
+        GlobalId => wg[d] * nd.local[d] + lid[d],
+        LocalSize => nd.local[d],
+        GlobalSize => nd.global[d],
+        NumGroups => nd.global[d] / nd.local[d],
+        _ => unreachable!(),
+    }
+}
+
+pub(crate) fn eval_call(
+    nd: &NdRange,
+    lid: &[u64; 3],
+    wg: &[u64; 3],
+    b: Builtin,
+    args: &[Val],
+) -> Result<Val, ExecError> {
     use Builtin::*;
     if b.is_workitem_query() {
         let d = args[0]
@@ -1514,15 +1631,7 @@ fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Va
             )));
         }
         let d = d as usize;
-        let v = match b {
-            LocalId => wi.lid[d],
-            GroupId => wi.wg[d],
-            GlobalId => wi.wg[d] * nd.local[d] + wi.lid[d],
-            LocalSize => nd.local[d],
-            GlobalSize => nd.global[d],
-            NumGroups => nd.global[d] / nd.local[d],
-            _ => unreachable!(),
-        };
+        let v = workitem_query(nd, lid, wg, b, d);
         return Ok(Val::I64(v as i64));
     }
     let f1 = |x: Val| {
@@ -1541,7 +1650,7 @@ fn eval_call(nd: &NdRange, wi: &WorkItem, b: Builtin, args: &[Val]) -> Result<Va
                         .ok_or_else(|| ExecError::TypeMismatch("vector math lanes".into()))
                 })
                 .collect::<Result<_, _>>()?;
-            let x = eval_call(nd, wi, b, &la)?;
+            let x = eval_call(nd, lid, wg, b, &la)?;
             out = out
                 .with_lane(i, x)
                 .ok_or_else(|| ExecError::TypeMismatch("vector math lanes".into()))?;

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod buffer;
+pub mod bytecode;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod interp;
@@ -51,10 +52,12 @@ pub mod trace;
 pub mod val;
 
 pub use buffer::{Buffer, BufferData, Context};
+pub use bytecode::{disassemble, Backend};
 pub use interp::{
-    enqueue, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange, WorkerStat,
+    enqueue, enqueue_with_backend, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits,
+    NdRange, WorkerStat,
 };
-pub use obs::enqueue_observed;
+pub use obs::{enqueue_observed, enqueue_observed_backend};
 pub use trace::{AccessEvent, CountingSink, NullSink, SpaceBytes, TraceOp, TraceSink, VecSink};
 pub use val::{PtrVal, Val};
 

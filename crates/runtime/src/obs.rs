@@ -13,6 +13,7 @@ use grover_ir::Function;
 use grover_obs::{Recorder, SpanId, Value};
 
 use crate::buffer::Context;
+use crate::bytecode::Backend;
 use crate::interp::{enqueue_impl, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange, WorkerStat};
 use crate::trace::{AccessEvent, CountingSink, TraceSink};
 use crate::ExecError;
@@ -75,8 +76,37 @@ pub fn enqueue_observed(
     recorder: &dyn Recorder,
     parent: Option<SpanId>,
 ) -> Result<LaunchStats, ExecError> {
+    enqueue_observed_backend(
+        ctx,
+        kernel,
+        args,
+        nd,
+        sink,
+        limits,
+        policy,
+        Backend::Interp,
+        recorder,
+        parent,
+    )
+}
+
+/// [`enqueue_observed`] with an explicit execution [`Backend`]; the launch
+/// span additionally records a `backend` attribute.
+#[allow(clippy::too_many_arguments)]
+pub fn enqueue_observed_backend(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+    backend: Backend,
+    recorder: &dyn Recorder,
+    parent: Option<SpanId>,
+) -> Result<LaunchStats, ExecError> {
     if !recorder.enabled() {
-        return enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, None);
+        return enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, backend, None);
     }
 
     let span = recorder.span_start("launch", parent);
@@ -87,6 +117,7 @@ pub fn enqueue_observed(
     };
     recorder.span_attr(span, "policy", Value::from(policy_name));
     recorder.span_attr(span, "workers", Value::from(workers));
+    recorder.span_attr(span, "backend", Value::from(backend.name()));
 
     let mut tee = TeeSink {
         inner: sink,
@@ -102,6 +133,7 @@ pub fn enqueue_observed(
         &mut tee,
         limits,
         policy,
+        backend,
         Some(&mut worker_stats),
     );
     let wall = t0.elapsed();

@@ -39,5 +39,6 @@ pub mod server;
 
 pub use cache::{DecisionCache, DecisionRecord, DecisionStore, LoadStats};
 pub use client::http_request;
+pub use grover_runtime::Backend;
 pub use metrics::Metrics;
 pub use server::{ServeConfig, Server};

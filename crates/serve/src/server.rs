@@ -38,7 +38,7 @@ use grover_ir::printer::function_to_string;
 use grover_ir::{Function, Scalar, Type};
 use grover_obs::json::{self, array, Json, Obj};
 use grover_obs::{Recorder, SpanId, Value};
-use grover_runtime::{ArgValue, Context, ExecPolicy, Limits, NdRange};
+use grover_runtime::{ArgValue, Backend, Context, ExecPolicy, Limits, NdRange};
 use grover_tuner::{TuneError, Tuner, Workload};
 
 use crate::cache::{DecisionCache, DecisionRecord, DecisionStore};
@@ -64,6 +64,8 @@ pub struct ServeConfig {
     /// Test hook: sleep this long at the start of every handled request,
     /// making queue-overflow (429) tests deterministic.
     pub handler_delay: Option<Duration>,
+    /// Execution backend cache-miss tunes run on.
+    pub backend: Backend,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +78,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             max_deadline: Some(Duration::from_secs(30)),
             handler_delay: None,
+            backend: Backend::Interp,
         }
     }
 }
@@ -768,6 +771,7 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
 
     let mut tuner = Tuner::new();
     tuner.recorder = shared.recorder.clone();
+    tuner.backend = shared.config.backend;
     if let Some(threads) = body.u64_of("threads") {
         tuner.policy = ExecPolicy::Parallel {
             threads: threads as usize,

@@ -54,8 +54,8 @@ use grover_devsim::Device;
 use grover_ir::Function;
 use grover_obs::{NoopRecorder, Recorder, SpanId, Value};
 use grover_runtime::{
-    enqueue_observed, enqueue_with_policy, ArgValue, BufferData, Context, ExecError, ExecPolicy,
-    Limits, NdRange, NullSink,
+    enqueue_observed_backend, enqueue_with_backend, ArgValue, Backend, BufferData, Context,
+    ExecError, ExecPolicy, Limits, NdRange, NullSink,
 };
 
 /// Which kernel version won.
@@ -260,6 +260,9 @@ pub struct Tuner {
     pub threshold: f64,
     /// Work-group schedule used for the measurement launches.
     pub policy: ExecPolicy,
+    /// Execution backend for every launch this tuner performs (race
+    /// measurements and the differential-output guard alike).
+    pub backend: Backend,
     /// Per-measurement execution limits (instruction budget and optional
     /// wall-clock deadline, enforced by the runtime watchdog).
     pub limits: Limits,
@@ -296,6 +299,7 @@ impl Tuner {
         Tuner {
             threshold: 0.05,
             policy: ExecPolicy::Serial,
+            backend: Backend::Interp,
             limits: Limits::default(),
             retry: RetryPolicy::default(),
             verify_outputs: true,
@@ -381,6 +385,7 @@ impl Tuner {
             rec.span_attr(span, "kernel", Value::from(kernel.name.as_str()));
             rec.span_attr(span, "device", Value::from(device));
             rec.span_attr(span, "policy", Value::from(policy_name(self.policy)));
+            rec.span_attr(span, "backend", Value::from(self.backend.name()));
             rec.span_attr(span, "threshold", Value::from(self.threshold));
             rec.span_attr(span, "verify_outputs", Value::from(self.verify_outputs));
         }
@@ -416,6 +421,7 @@ impl Tuner {
         let recorder = self.recorder.clone();
         let rec: &dyn Recorder = &*recorder;
         let policy = self.policy;
+        let backend = self.backend;
         let limits = self.limits;
         let retry = self.retry;
         self.races += 1;
@@ -429,9 +435,18 @@ impl Tuner {
         let w_without = workload.instantiate();
         let (res_with, res_without) = std::thread::scope(|s| {
             let without = s.spawn(move || {
-                simulate_caught(transformed, device, w_without, policy, &limits, rec, span)
+                simulate_caught(
+                    transformed,
+                    device,
+                    w_without,
+                    policy,
+                    backend,
+                    &limits,
+                    rec,
+                    span,
+                )
             });
-            let with = simulate_caught(kernel, device, w_with, policy, &limits, rec, span);
+            let with = simulate_caught(kernel, device, w_with, policy, backend, &limits, rec, span);
             // `simulate_caught` already catches panics; `join` only fails if
             // one escapes the isolation (a bug) — still convert, never abort.
             let without = without
@@ -453,6 +468,7 @@ impl Tuner {
                 device,
                 workload.instantiate(),
                 policy,
+                backend,
                 &limits,
                 rec,
                 span,
@@ -473,6 +489,7 @@ impl Tuner {
                 device,
                 workload.instantiate(),
                 policy,
+                backend,
                 &limits,
                 rec,
                 span,
@@ -508,8 +525,8 @@ impl Tuner {
         // instantiations and bit-compare every buffer. A reference failure
         // is fatal; a candidate failure or any differing bit demotes.
         if fallback.is_none() && self.verify_outputs {
-            let reference = run_for_outputs(kernel, workload, &limits).map_err(fatal)?;
-            match run_for_outputs(transformed, workload, &limits) {
+            let reference = run_for_outputs(kernel, workload, &limits, backend).map_err(fatal)?;
+            match run_for_outputs(transformed, workload, &limits, backend) {
                 Err(f) => fallback = Some(reason_of(f)),
                 Ok(candidate) => {
                     if let Some((buffer, index)) = first_bit_mismatch(&reference, &candidate) {
@@ -771,11 +788,13 @@ fn retry_measure<T>(
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate(
     kernel: &Function,
     device: &str,
     workload: (Context, Vec<ArgValue>, NdRange),
     policy: ExecPolicy,
+    backend: Backend,
     limits: &Limits,
     rec: &dyn Recorder,
     parent: Option<SpanId>,
@@ -788,8 +807,8 @@ fn simulate(
         )))
     })?;
     let (mut ctx, args, nd) = workload;
-    enqueue_observed(
-        &mut ctx, kernel, &args, &nd, &mut dev, limits, policy, rec, parent,
+    enqueue_observed_backend(
+        &mut ctx, kernel, &args, &nd, &mut dev, limits, policy, backend, rec, parent,
     )
     .map_err(MeasureFailure::Exec)?;
     Ok(dev.finish().cycles)
@@ -804,12 +823,15 @@ fn simulate_caught(
     device: &str,
     workload: (Context, Vec<ArgValue>, NdRange),
     policy: ExecPolicy,
+    backend: Backend,
     limits: &Limits,
     rec: &dyn Recorder,
     parent: Option<SpanId>,
 ) -> Result<u64, MeasureFailure> {
     catch_unwind(AssertUnwindSafe(|| {
-        simulate(kernel, device, workload, policy, limits, rec, parent)
+        simulate(
+            kernel, device, workload, policy, backend, limits, rec, parent,
+        )
     }))
     .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))))
 }
@@ -820,10 +842,11 @@ fn run_for_outputs(
     kernel: &Function,
     workload: &Workload,
     limits: &Limits,
+    backend: Backend,
 ) -> Result<Context, MeasureFailure> {
     let (mut ctx, args, nd) = workload.instantiate();
     let run = catch_unwind(AssertUnwindSafe(|| {
-        enqueue_with_policy(
+        enqueue_with_backend(
             &mut ctx,
             kernel,
             &args,
@@ -831,6 +854,7 @@ fn run_for_outputs(
             &mut NullSink,
             limits,
             ExecPolicy::Serial,
+            backend,
         )
     }));
     match run {
@@ -927,6 +951,27 @@ mod tests {
         assert_eq!(t.races_run(), 1);
         t.tune(&k, "SNB", &w).unwrap();
         assert_eq!(t.races_run(), 1, "cached decision must not re-measure");
+    }
+
+    #[test]
+    fn bytecode_backend_tunes_to_the_same_decision() {
+        // The device model consumes the same access trace either way, so
+        // cycle counts — and therefore the decision — must be identical,
+        // and races_run() accounting must be backend-agnostic.
+        let k = staged_kernel();
+        let mut ti = Tuner::new();
+        let di = ti.tune(&k, "SNB", &workload()).unwrap();
+        let mut tb = Tuner::new();
+        tb.backend = Backend::Bytecode;
+        let db = tb.tune(&k, "SNB", &workload()).unwrap();
+        assert_eq!(tb.races_run(), 1);
+        assert_eq!(di.choice, db.choice);
+        assert_eq!(di.np, db.np);
+        assert_eq!(
+            (di.cycles_with, di.cycles_without),
+            (db.cycles_with, db.cycles_without)
+        );
+        assert!(db.fallback.is_none(), "{:?}", db.fallback);
     }
 
     #[test]

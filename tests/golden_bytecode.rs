@@ -1,0 +1,90 @@
+//! Golden-file snapshots of the register-bytecode lowering over every
+//! bundled app.
+//!
+//! For each application the snapshot records the textual disassembly of
+//! the compiled bytecode for both kernel versions (straight from the
+//! front-end and the pass, no optimisation pipeline — its instruction
+//! order is not run-deterministic, and skipping it isolates exactly what
+//! the lowering does). Any change to the lowering — opcode selection,
+//! gep/load fusion, phi-edge move lists, branch layout — shows up as a
+//! reviewable textual diff instead of a silent behaviour shift in the
+//! execution engine.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! GROVER_BLESS=1 cargo test -q --test golden_bytecode
+//! ```
+
+use grover::frontend::compile;
+use grover::kernels::{all_apps, extension_apps, App, Scale};
+use grover::pass::Grover;
+use grover::runtime::disassemble;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("bytecode")
+}
+
+fn snapshot(app: &App) -> String {
+    let opts = (app.options)(Scale::Test);
+    let module = compile(app.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", app.id));
+    let original = module
+        .kernel(app.kernel)
+        .unwrap_or_else(|| panic!("{}: kernel {} missing", app.id, app.kernel))
+        .clone();
+    let mut transformed = original.clone();
+    let grover = match app.disable {
+        Some(buffers) => Grover::for_buffers(buffers),
+        None => Grover::new(),
+    };
+    grover.run_on(&mut transformed);
+    format!(
+        "==== original ====\n{}\n==== transformed ====\n{}",
+        disassemble(&original),
+        disassemble(&transformed),
+    )
+}
+
+#[test]
+fn bytecode_lowering_matches_golden_snapshots() {
+    let bless = std::env::var_os("GROVER_BLESS").is_some();
+    let dir = golden_dir();
+    let mut apps = all_apps();
+    apps.extend(extension_apps());
+    assert!(apps.len() >= 12, "expected all bundled apps");
+    let mut stale = Vec::new();
+    for app in &apps {
+        let got = snapshot(app);
+        let path = dir.join(format!("{}.txt", app.id));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => {
+                let diff_at = want
+                    .lines()
+                    .zip(got.lines())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| want.lines().count().min(got.lines().count()));
+                stale.push(format!("{}: differs from golden at line {diff_at}", app.id));
+            }
+            Err(_) => stale.push(format!(
+                "{}: missing golden file {}",
+                app.id,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale bytecode snapshots:\n{}\nRegenerate with GROVER_BLESS=1 cargo test --test golden_bytecode",
+        stale.join("\n")
+    );
+}
