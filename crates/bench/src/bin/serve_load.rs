@@ -47,9 +47,31 @@ struct Tally {
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
+    /// Per-request wall-clock latencies (µs), for the percentile report.
+    latencies_us: std::sync::Mutex<Vec<u64>>,
+}
+
+/// The `p`-th percentile (nearest-rank) of a sorted latency list, in ms.
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1] as f64 / 1000.0
 }
 
 fn run_one(addr: SocketAddr, body: &str, tally: &Tally) {
+    let start = Instant::now();
+    run_one_inner(addr, body, tally);
+    let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    tally
+        .latencies_us
+        .lock()
+        .expect("latency tally poisoned")
+        .push(us);
+}
+
+fn run_one_inner(addr: SocketAddr, body: &str, tally: &Tally) {
     match http_request(addr, "POST", "/v1/tune", Some(body)) {
         Ok((200, text)) => {
             tally.ok.fetch_add(1, Ordering::Relaxed);
@@ -141,6 +163,7 @@ fn main() -> ExitCode {
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        latencies_us: std::sync::Mutex::new(Vec::with_capacity(requests as usize)),
     });
 
     let start = Instant::now();
@@ -179,6 +202,12 @@ fn main() -> ExitCode {
     let errors = tally.errors.load(Ordering::Relaxed);
     let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
     let secs = elapsed.as_secs_f64();
+    let mut sorted_us = tally
+        .latencies_us
+        .lock()
+        .expect("latency tally poisoned")
+        .clone();
+    sorted_us.sort_unstable();
     println!(
         "{}",
         Obj::new()
@@ -195,6 +224,8 @@ fn main() -> ExitCode {
                 "throughput_rps",
                 if secs > 0.0 { ok as f64 / secs } else { 0.0 }
             )
+            .f64("p50_ms", percentile_ms(&sorted_us, 50.0))
+            .f64("p99_ms", percentile_ms(&sorted_us, 99.0))
             .finish()
     );
     if errors > 0 {

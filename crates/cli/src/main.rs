@@ -31,6 +31,8 @@
 //!     fails. A campaign is a pure function of `(seed, cases)`.
 //!
 //! grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]
+//!              [--breaker-threshold N] [--breaker-cooldown-ms MS]
+//!              [--io-timeout-ms MS] [--compact-threshold N]
 //!              [--cache-capacity N] [--max-deadline-ms N]
 //!     Run the persistent tuning-cache service: an HTTP compile/tune API
 //!     over the pipeline with a content-addressed decision cache that
@@ -161,6 +163,7 @@ fn main() -> ExitCode {
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]");
             eprintln!("  grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]");
+            eprintln!("               [--breaker-threshold N] [--breaker-cooldown-ms MS] [--io-timeout-ms MS] [--compact-threshold N]");
             eprintln!("               [--cache-capacity N] [--max-deadline-ms N]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
@@ -883,6 +886,20 @@ fn cmd_serve(
                     &mut it,
                     "--max-deadline-ms",
                 )?))
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = parse_u64(&mut it, "--breaker-threshold")? as u32
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker_cooldown =
+                    Duration::from_millis(parse_u64(&mut it, "--breaker-cooldown-ms")?)
+            }
+            "--io-timeout-ms" => {
+                let ms = parse_u64(&mut it, "--io-timeout-ms")?;
+                config.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--compact-threshold" => {
+                config.compact_threshold = parse_u64(&mut it, "--compact-threshold")? as usize
             }
             other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }

@@ -1,0 +1,144 @@
+//! Process-level crash test for `grover serve`: a real child process is
+//! SIGKILLed mid-campaign (no graceful shutdown, no flush-on-exit) and a
+//! restart over the same cache directory must warm-start every decision
+//! the dead process had acknowledged with a 200 — the "zero
+//! accepted-then-lost decisions" contract, proven across an actual
+//! process boundary rather than in-process fault injection.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use grover_obs::json::{self, Json};
+use grover_serve::http_request;
+
+const BIN: &str = env!("CARGO_BIN_EXE_grover");
+
+const STAGE: &str = "__kernel void stage(__global float* in, __global float* out) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[63 - lx];
+}";
+
+fn tune_body(global: u64) -> String {
+    format!(
+        "{{\"source\": {}, \"device\": \"SNB\", \"global\": [{global}], \"local\": [64]}}",
+        json::escape(STAGE)
+    )
+}
+
+/// Spawn `grover serve` on an ephemeral port and parse the bound address
+/// from its startup banner.
+fn spawn_serve(cache_dir: &std::path::Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve child spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve prints its banner before exiting")
+            .expect("readable stdout");
+        if let Some(rest) = line.strip_prefix("grover-serve listening on ") {
+            break rest.trim().parse().expect("banner address parses");
+        }
+    };
+    // Drain the rest of the banner in the background so the child never
+    // blocks on a full stdout pipe.
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
+}
+
+#[test]
+fn sigkill_mid_campaign_loses_no_acknowledged_decision() {
+    let dir = std::env::temp_dir().join(format!("grover-cli-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (mut child, addr) = spawn_serve(&dir);
+
+    // Campaign: tune distinct keys and record every acknowledged (200)
+    // decision. The process is killed right after — no graceful path.
+    let mut acked: HashMap<String, String> = HashMap::new();
+    for i in 0..6u64 {
+        let body = tune_body(64 * (i + 1));
+        let (status, text) =
+            http_request(addr, "POST", "/v1/tune", Some(&body)).expect("tune request");
+        assert_eq!(status, 200, "{text}");
+        let resp = json::parse(&text).unwrap_or(Json::Null);
+        acked.insert(
+            resp.str_of("fingerprint").expect("fingerprint").to_string(),
+            resp.str_of("choice").expect("choice").to_string(),
+        );
+    }
+    assert_eq!(acked.len(), 6, "distinct geometries give distinct keys");
+
+    // SIGKILL: the child gets no chance to flush, compact, or shut down.
+    child.kill().expect("kill serve child");
+    child.wait().expect("reap serve child");
+
+    // Restart over the same cache directory: every acknowledged decision
+    // must come back as a cache hit with the identical choice.
+    let (mut revived, addr2) = spawn_serve(&dir);
+    let (_, metrics) = http_request(addr2, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(
+        metric(&metrics, "grover_serve_journal_recovered_total"),
+        6,
+        "all acknowledged decisions recovered:\n{metrics}"
+    );
+    assert_eq!(metric(&metrics, "grover_serve_journal_corrupt_total"), 0);
+    assert_eq!(metric(&metrics, "grover_serve_journal_torn_total"), 0);
+
+    for i in 0..6u64 {
+        let body = tune_body(64 * (i + 1));
+        let (status, text) =
+            http_request(addr2, "POST", "/v1/tune", Some(&body)).expect("tune request");
+        assert_eq!(status, 200, "{text}");
+        let resp = json::parse(&text).unwrap_or(Json::Null);
+        assert_eq!(
+            resp.bool_of("cached"),
+            Some(true),
+            "acknowledged decision was lost by the crash: {text}"
+        );
+        let fp = resp.str_of("fingerprint").expect("fingerprint");
+        assert_eq!(
+            acked.get(fp).map(String::as_str),
+            resp.str_of("choice"),
+            "recovered decision differs from the acknowledged one"
+        );
+    }
+    let (_, metrics) = http_request(addr2, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(
+        metric(&metrics, "grover_serve_tune_races_total"),
+        0,
+        "warm-start must serve every key without re-tuning"
+    );
+
+    let (status, _) =
+        http_request(addr2, "POST", "/admin/shutdown", None).expect("shutdown request");
+    assert_eq!(status, 200);
+    revived.wait().expect("graceful exit");
+    std::fs::remove_dir_all(&dir).ok();
+}

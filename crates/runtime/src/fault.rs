@@ -269,3 +269,87 @@ pub(crate) fn instruction_trigger(inst: &Installed) -> Option<u64> {
 pub(crate) fn instruction_hook(inst: &Installed) -> Result<(), ExecError> {
     inst.fire("instruction site")
 }
+
+// ---------------------------------------------------------------------------
+// Named I/O fault sites (journal writes, fsync, ...) — used by service-level
+// persistence code to prove crash-safety without a real crash.
+
+/// What goes wrong at an I/O fault site.
+#[derive(Clone, Debug)]
+pub enum IoFaultKind {
+    /// The operation fails outright with an `std::io::Error` carrying this
+    /// message (a full short-circuit: nothing reaches the file).
+    Error(String),
+    /// The write persists only this many bytes of the payload before
+    /// failing — the torn record a crash mid-`write` leaves behind.
+    Torn(usize),
+}
+
+/// A deterministic fault to inject into named I/O sites.
+///
+/// Unlike [`FaultPlan`], which targets kernel launches, an [`IoFaultPlan`]
+/// targets persistence operations by site name (e.g. `"journal.append"`,
+/// `"journal.fsync"`). The two plan kinds use independent slots, so a test
+/// can fail the tuner *and* the journal at once.
+#[derive(Clone, Debug)]
+pub struct IoFaultPlan {
+    /// The site name the consuming code passes to [`io_fault`].
+    pub site: String,
+    /// What goes wrong.
+    pub kind: IoFaultKind,
+    /// Fire at most this many times (`0` = unlimited).
+    pub max_fires: u32,
+}
+
+struct InstalledIo {
+    plan: IoFaultPlan,
+    fires: AtomicU32,
+}
+
+static IO_INJECT_LOCK: Mutex<()> = Mutex::new(());
+static IO_ACTIVE: RwLock<Option<Arc<InstalledIo>>> = RwLock::new(None);
+
+/// Keeps an [`IoFaultPlan`] active; dropping it uninstalls the plan.
+pub struct IoFaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for IoFaultGuard {
+    fn drop(&mut self) {
+        *IO_ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Install `plan` for the lifetime of the returned guard. Blocks while
+/// another I/O guard is alive (kernel-launch plans are unaffected).
+pub fn inject_io(plan: IoFaultPlan) -> IoFaultGuard {
+    let lock = IO_INJECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    *IO_ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(InstalledIo {
+        plan,
+        fires: AtomicU32::new(0),
+    }));
+    IoFaultGuard { _lock: lock }
+}
+
+/// Consult the active I/O plan at `site`.
+///
+/// * `Ok(None)` — no fault: perform the operation normally.
+/// * `Ok(Some(n))` — torn write: persist only the first `n` payload bytes,
+///   then report failure.
+/// * `Err(e)` — short-circuit: fail without touching the file.
+pub fn io_fault(site: &str) -> Result<Option<usize>, std::io::Error> {
+    let active = IO_ACTIVE.read().unwrap_or_else(|e| e.into_inner());
+    let Some(inst) = active.as_ref().filter(|i| i.plan.site == site) else {
+        return Ok(None);
+    };
+    if inst.plan.max_fires != 0 && inst.fires.fetch_add(1, Ordering::Relaxed) >= inst.plan.max_fires
+    {
+        return Ok(None);
+    }
+    match &inst.plan.kind {
+        IoFaultKind::Error(msg) => Err(std::io::Error::other(format!(
+            "fault-injection: {msg} (site {site})"
+        ))),
+        IoFaultKind::Torn(n) => Ok(Some(*n)),
+    }
+}

@@ -1,0 +1,201 @@
+//! A circuit breaker around the tuner.
+//!
+//! Consecutive tuner infrastructure failures (panics, execution errors,
+//! deadline blowouts — *not* client errors like unknown devices) trip the
+//! breaker open. While open, tune misses are served a conservative
+//! degraded decision ("keep the original kernel") instead of a 500 — the
+//! service stays useful for cache hits and keeps answering misses with
+//! the safe default rather than hammering a failing tuner. After a
+//! cooldown, one *probe* request is let through (half-open); success
+//! closes the breaker, failure re-opens it for another cooldown.
+//!
+//! State machine:
+//!
+//! ```text
+//! Closed --(threshold consecutive failures)--> Open
+//! Open   --(cooldown elapsed, next admit)----> HalfOpen (that admit probes)
+//! HalfOpen --(probe success)--> Closed
+//! HalfOpen --(probe failure)--> Open
+//! HalfOpen --(probe stuck > cooldown)--> another probe is admitted
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the breaker decided for one tune miss.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed: run the tuner normally.
+    Allow,
+    /// Breaker half-open: run the tuner; this request is the probe whose
+    /// outcome closes or re-opens the circuit.
+    AllowProbe,
+    /// Breaker open: do not run the tuner; serve the degraded decision.
+    Degrade,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Tripped; no tuner work until `until`.
+    Open { until: Instant },
+    /// One probe in flight since `started`.
+    HalfOpen { started: Instant },
+}
+
+/// The breaker itself. All transitions happen under one small mutex —
+/// contention is negligible next to a tuner race.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+    opens: std::sync::atomic::AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// cooling down for `cooldown` before probing.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(State::Closed { failures: 0 }),
+            opens: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Decide the fate of one tune miss.
+    pub fn admit(&self) -> Admit {
+        let mut state = self.state.lock().expect("breaker poisoned");
+        let now = Instant::now();
+        match *state {
+            State::Closed { .. } => Admit::Allow,
+            State::Open { until } => {
+                if now >= until {
+                    *state = State::HalfOpen { started: now };
+                    Admit::AllowProbe
+                } else {
+                    Admit::Degrade
+                }
+            }
+            State::HalfOpen { started } => {
+                // Self-heal a stuck probe (its worker died without
+                // reporting): past one cooldown, admit another.
+                if now.duration_since(started) > self.cooldown {
+                    *state = State::HalfOpen { started: now };
+                    Admit::AllowProbe
+                } else {
+                    Admit::Degrade
+                }
+            }
+        }
+    }
+
+    /// Report a tuner success (including a probe's).
+    pub fn record_success(&self) {
+        let mut state = self.state.lock().expect("breaker poisoned");
+        *state = State::Closed { failures: 0 };
+    }
+
+    /// Report a tuner infrastructure failure (including a probe's).
+    pub fn record_failure(&self) {
+        let mut state = self.state.lock().expect("breaker poisoned");
+        let now = Instant::now();
+        match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    *state = State::Open {
+                        until: now + self.cooldown,
+                    };
+                    self.opens
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    *state = State::Closed { failures };
+                }
+            }
+            State::HalfOpen { .. } => {
+                *state = State::Open {
+                    until: now + self.cooldown,
+                };
+                self.opens
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// 0 = closed, 1 = open, 2 = half-open (the `/metrics` gauge).
+    pub fn state_code(&self) -> u64 {
+        match *self.state.lock().expect("breaker poisoned") {
+            State::Closed { .. } => 0,
+            State::Open { .. } => 1,
+            State::HalfOpen { .. } => 2,
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_open_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert_eq!(b.admit(), Admit::Allow);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Allow, "below threshold stays closed");
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Degrade);
+        assert_eq!(b.state_code(), 1);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Allow, "non-consecutive failures ignored");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Degrade);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admit::AllowProbe);
+        assert_eq!(b.state_code(), 2);
+        // Others during the probe still degrade.
+        assert_eq!(b.admit(), Admit::Degrade);
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Degrade, "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admit::AllowProbe);
+        b.record_success();
+        assert_eq!(b.admit(), Admit::Allow, "successful probe closes");
+        assert_eq!(b.state_code(), 0);
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn stuck_probe_self_heals_after_a_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admit::AllowProbe);
+        // The probe never reports back; after another cooldown a new
+        // probe is admitted instead of degrading forever.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admit::AllowProbe);
+    }
+}

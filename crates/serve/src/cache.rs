@@ -7,20 +7,27 @@
 //!
 //! * [`DecisionCache`]: an in-memory LRU serving hot keys without locks
 //!   held across measurements;
-//! * [`DecisionStore`]: an append-only JSONL segment under `--cache-dir`,
-//!   flushed per write (kill-safe) and replayed on boot to warm-start the
-//!   LRU. Entries carry the pass-version *epoch*
-//!   ([`grover_core::pass_fingerprint`]); entries from another epoch are
-//!   skipped at load, so bumping [`grover_core::TRANSFORM_REVISION`]
-//!   invalidates every persisted decision without deleting history.
+//! * [`DecisionStore`]: an append-only checksummed journal under
+//!   `--cache-dir` (see [`crate::journal`] for the framing), flushed per
+//!   write (kill-safe) and replayed on boot to warm-start the LRU. Replay
+//!   never fails: torn or corrupt records are skipped and counted, and
+//!   every intact record is salvaged. Entries carry the pass-version
+//!   *epoch* ([`grover_core::pass_fingerprint`]); entries from another
+//!   epoch are skipped at load, so bumping
+//!   [`grover_core::TRANSFORM_REVISION`] invalidates every persisted
+//!   decision without deleting history. When the journal accumulates
+//!   enough dead weight (superseded, stale-epoch, damaged or legacy
+//!   lines), it is compacted atomically: live records are rewritten to a
+//!   temp file, fsynced, and renamed over the journal.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use grover_obs::json::{self, Json, Obj};
 use grover_tuner::Decision;
+
+use crate::journal;
 
 /// The serialisable form of one cached tuning decision.
 #[derive(Clone, Debug, PartialEq)]
@@ -197,76 +204,238 @@ impl DecisionCache {
 /// What a store load found.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LoadStats {
-    /// Records loaded into the cache.
+    /// Records loaded live (current epoch, latest per fingerprint).
     pub loaded: usize,
     /// Records skipped because their epoch differs from the current pass
     /// fingerprint (invalidated by a pass-version bump).
     pub stale_epoch: usize,
-    /// Lines that failed to parse (truncated writes from a killed
-    /// process, manual edits).
+    /// Records whose length or CRC-32 did not match their payload (bit
+    /// flips, manual edits, mid-file damage).
     pub corrupt: usize,
+    /// Trailing records cut short by a crash mid-write.
+    pub torn: usize,
+    /// Bare-JSON lines accepted from the pre-journal format.
+    pub legacy: usize,
+    /// Records superseded by a later record for the same fingerprint.
+    pub superseded: usize,
 }
 
-/// The persistent JSONL segment behind the in-memory LRU.
+/// The persistent checksummed journal behind the in-memory LRU.
+///
+/// Besides the append handle, the store keeps an index of *live* records
+/// (latest per fingerprint, current epoch) so it can compact the journal
+/// without consulting the LRU — the LRU is capacity-bounded, the store's
+/// retention is not.
 pub struct DecisionStore {
     path: PathBuf,
-    out: BufWriter<File>,
+    out: File,
+    /// Live records in first-seen order (stable warm-start order).
+    order: Vec<String>,
+    /// Latest record per fingerprint, with whether that copy is a framed
+    /// journal line (legacy copies must be rewritten by a compaction).
+    live: HashMap<String, (DecisionRecord, bool)>,
+    /// Physical lines across the legacy segment, the journal, and appends.
+    total_lines: usize,
+    /// Live records whose latest copy is already a framed journal line.
+    framed_live: usize,
+    /// Compact once the dead weight exceeds this (and outnumbers the live).
+    compact_threshold: usize,
+    compactions: u64,
+    epoch: String,
 }
 
-/// File name of the decision segment inside `--cache-dir`.
-pub const SEGMENT_FILE: &str = "decisions.jsonl";
+/// File name of the checksummed journal inside `--cache-dir`.
+pub const JOURNAL_FILE: &str = "decisions.journal";
+
+/// File name of the pre-journal raw-JSONL segment, replayed (read-only)
+/// for warm-start when present so an upgrade loses no decisions.
+pub const LEGACY_SEGMENT_FILE: &str = "decisions.jsonl";
 
 impl DecisionStore {
-    /// Open (creating if needed) the store under `dir`.
-    pub fn open(dir: &Path) -> std::io::Result<DecisionStore> {
+    /// Open (creating if needed) the store under `dir`, replaying the
+    /// journal — and any legacy segment — into the live index. Replay is
+    /// infallible by design: damaged records are counted, never fatal.
+    pub fn open(
+        dir: &Path,
+        epoch: &str,
+        compact_threshold: usize,
+    ) -> std::io::Result<(DecisionStore, LoadStats)> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(SEGMENT_FILE);
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(DecisionStore {
-            path,
-            out: BufWriter::new(file),
-        })
+        let path = dir.join(JOURNAL_FILE);
+        let mut store = DecisionStore {
+            path: path.clone(),
+            out: OpenOptions::new().create(true).append(true).open(&path)?,
+            order: Vec::new(),
+            live: HashMap::new(),
+            total_lines: 0,
+            framed_live: 0,
+            compact_threshold: compact_threshold.max(1),
+            compactions: 0,
+            epoch: epoch.to_string(),
+        };
+        let mut stats = LoadStats::default();
+        // Legacy first: anything the journal re-recorded wins as a later
+        // line. A compaction migrates legacy content into checksummed
+        // frames, so legacy copies always count as dead weight.
+        if let Ok(text) = std::fs::read_to_string(dir.join(LEGACY_SEGMENT_FILE)) {
+            for (line, terminated) in journal::lines(&text) {
+                stats.legacy += 1;
+                store.total_lines += 1;
+                match journal::classify(line, terminated) {
+                    journal::Line::Record(p) | journal::Line::Legacy(p) => {
+                        store.replay_payload(p, false, &mut stats);
+                    }
+                    journal::Line::Torn => stats.torn += 1,
+                    journal::Line::Corrupt => stats.corrupt += 1,
+                }
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for (line, terminated) in journal::lines(&text) {
+                store.total_lines += 1;
+                match journal::classify(line, terminated) {
+                    journal::Line::Record(p) => store.replay_payload(p, true, &mut stats),
+                    journal::Line::Legacy(p) => {
+                        stats.legacy += 1;
+                        store.replay_payload(p, false, &mut stats);
+                    }
+                    journal::Line::Torn => stats.torn += 1,
+                    journal::Line::Corrupt => stats.corrupt += 1,
+                }
+            }
+            // Repair a torn tail: truncate back to the last terminated
+            // line, otherwise the next append would glue onto the torn
+            // bytes and damage the *new* record too.
+            if !text.is_empty() && !text.ends_with('\n') {
+                let keep = text.rfind('\n').map(|p| p + 1).unwrap_or(0);
+                store.out.set_len(keep as u64)?;
+                store.total_lines -= 1; // the torn line is physically gone
+            }
+        }
+        stats.loaded = store.live.len();
+        Ok((store, stats))
     }
 
-    /// Path of the underlying segment file.
+    /// Feed one parsed-payload line into the live index.
+    fn replay_payload(&mut self, payload: &str, framed: bool, stats: &mut LoadStats) {
+        match json::parse(payload).and_then(|v| DecisionRecord::from_json(&v)) {
+            Ok(rec) if rec.epoch == self.epoch => {
+                if self.index(rec, framed) {
+                    stats.superseded += 1;
+                }
+            }
+            Ok(_) => stats.stale_epoch += 1,
+            Err(_) => stats.corrupt += 1,
+        }
+    }
+
+    /// Record `rec` as live (later lines win). Returns whether a previous
+    /// record for the same fingerprint was superseded.
+    fn index(&mut self, rec: DecisionRecord, framed: bool) -> bool {
+        let fp = rec.fingerprint.clone();
+        let old = self.live.insert(fp.clone(), (rec, framed));
+        match old {
+            Some((_, old_framed)) => {
+                if old_framed {
+                    self.framed_live -= 1;
+                }
+                if framed {
+                    self.framed_live += 1;
+                }
+                true
+            }
+            None => {
+                if framed {
+                    self.framed_live += 1;
+                }
+                self.order.push(fp);
+                false
+            }
+        }
+    }
+
+    /// Path of the underlying journal file.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Replay the segment into `cache`, keeping only entries of the given
-    /// epoch. Later lines win over earlier ones (the segment is append-only,
-    /// so re-tuned keys appear multiple times).
-    pub fn load_into(dir: &Path, epoch: &str, cache: &mut DecisionCache) -> LoadStats {
-        let mut stats = LoadStats::default();
-        let Ok(text) = std::fs::read_to_string(dir.join(SEGMENT_FILE)) else {
-            return stats;
-        };
-        for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match json::parse(line).and_then(|v| DecisionRecord::from_json(&v)) {
-                Ok(rec) if rec.epoch == epoch => {
-                    cache.insert(rec);
-                    stats.loaded += 1;
-                }
-                Ok(_) => stats.stale_epoch += 1,
-                Err(_) => stats.corrupt += 1,
-            }
-        }
-        stats
+    /// Live records in first-seen order, for warm-starting the LRU.
+    pub fn live_records(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.order
+            .iter()
+            .filter_map(|fp| self.live.get(fp).map(|(r, _)| r))
     }
 
-    /// Append one record and flush it to disk (kill-safe persistence:
-    /// every published decision survives an abrupt exit).
+    /// Live record count.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Journal + legacy lines a compaction would drop (superseded, stale
+    /// epoch, damaged, or unframed).
+    pub fn dead_len(&self) -> usize {
+        self.total_lines - self.framed_live
+    }
+
+    /// Compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Append one record (framed + checksummed) and flush it to disk
+    /// (kill-safe persistence: every published decision survives an
+    /// abrupt exit). May trigger an atomic compaction afterwards.
+    ///
+    /// On error the record must be treated as NOT persisted — the caller
+    /// must not acknowledge the decision to a client.
     pub fn append(&mut self, rec: &DecisionRecord) -> std::io::Result<()> {
-        writeln!(self.out, "{}", rec.to_json())?;
-        self.out.flush()
+        journal::append_framed(&mut self.out, &rec.to_json())?;
+        self.total_lines += 1;
+        self.index(rec.clone(), true);
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Compact when the dead weight crosses the threshold. Compaction
+    /// failures are swallowed: the journal stays append-correct, just
+    /// bigger than it needs to be.
+    fn maybe_compact(&mut self) {
+        if self.dead_len() >= self.compact_threshold && self.dead_len() >= self.live.len() {
+            let _ = self.compact();
+        }
+    }
+
+    /// Rewrite the journal to live records only — write-new + fsync +
+    /// rename, so a crash leaves either the old or the new journal.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let payloads: Vec<String> = self.live_records().map(DecisionRecord::to_json).collect();
+        journal::rewrite_atomic(&self.path, &payloads)?;
+        self.out = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.total_lines = self.live.len();
+        self.framed_live = self.live.len();
+        for entry in self.live.values_mut() {
+            entry.1 = true;
+        }
+        self.compactions += 1;
+        // The legacy segment's content now lives in the journal as framed
+        // records; move it aside so future boots neither re-replay it nor
+        // re-count it as dead weight. (Renaming keeps the bytes around.)
+        if let Some(dir) = self.path.parent() {
+            let legacy = dir.join(LEGACY_SEGMENT_FILE);
+            if legacy.exists() {
+                let _ = std::fs::rename(&legacy, dir.join("decisions.jsonl.migrated"));
+            }
+        }
+        Ok(())
     }
 
     /// Flush buffered writes (a no-op after `append`, kept for the
     /// graceful-shutdown path's explicit contract).
     pub fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
         self.out.flush()
     }
 }
@@ -322,46 +491,61 @@ mod tests {
         assert_eq!(c.len(), 2);
     }
 
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("grover-serve-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn open(dir: &Path, epoch: &str) -> (DecisionStore, LoadStats) {
+        DecisionStore::open(dir, epoch, 1024).unwrap()
+    }
+
     #[test]
     fn store_roundtrips_and_filters_epochs() {
-        let dir = std::env::temp_dir().join(format!("grover-serve-store-{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
+        let dir = scratch("epochs");
         {
-            let mut store = DecisionStore::open(&dir).unwrap();
+            let (mut store, _) = open(&dir, "new");
             store.append(&rec("a", "new")).unwrap();
             store.append(&rec("b", "old")).unwrap();
             store.append(&rec("c", "new")).unwrap();
         }
-        // Simulate a truncated line from a killed process.
+        // Simulate a record truncated by a killed process mid-write.
         {
+            use std::io::Write;
             let mut f = OpenOptions::new()
                 .append(true)
-                .open(dir.join(SEGMENT_FILE))
+                .open(dir.join(JOURNAL_FILE))
                 .unwrap();
-            write!(f, "{{\"fingerprint\":\"tr").unwrap();
+            let full = journal::frame(&rec("t", "new").to_json());
+            f.write_all(&full.as_bytes()[..full.len() / 2]).unwrap();
         }
-        let mut cache = DecisionCache::new(16);
-        let stats = DecisionStore::load_into(&dir, "new", &mut cache);
+        let (store, stats) = open(&dir, "new");
         assert_eq!(
             stats,
             LoadStats {
                 loaded: 2,
                 stale_epoch: 1,
-                corrupt: 1
+                corrupt: 0,
+                torn: 1,
+                legacy: 0,
+                superseded: 0,
             }
         );
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("b").is_none(), "stale epoch must be invalidated");
-        assert!(cache.get("c").is_some());
+        let fps: Vec<&str> = store
+            .live_records()
+            .map(|r| r.fingerprint.as_str())
+            .collect();
+        assert_eq!(fps, ["a", "c"], "stale epoch must be invalidated");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn later_lines_win_on_replay() {
-        let dir = std::env::temp_dir().join(format!("grover-serve-store2-{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
+        let dir = scratch("laterwins");
         {
-            let mut store = DecisionStore::open(&dir).unwrap();
+            let (mut store, _) = open(&dir, "e");
             let mut first = rec("a", "e");
             first.np = 1.0;
             store.append(&first).unwrap();
@@ -369,9 +553,134 @@ mod tests {
             second.np = 2.0;
             store.append(&second).unwrap();
         }
-        let mut cache = DecisionCache::new(16);
-        DecisionStore::load_into(&dir, "e", &mut cache);
-        assert_eq!(cache.get("a").unwrap().np, 2.0);
+        let (store, stats) = open(&dir, "e");
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(stats.superseded, 1);
+        assert_eq!(store.live_records().next().unwrap().np, 2.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The satellite fixture test: a bit-flipped record mid-file and a
+    /// torn record at the tail are both skipped and counted, and every
+    /// intact record — before and after the damage — is salvaged.
+    #[test]
+    fn replay_salvages_every_intact_record_around_damage() {
+        let dir = scratch("salvage");
+        {
+            let (mut store, _) = open(&dir, "e");
+            for fp in ["a", "b", "c", "d"] {
+                store.append(&rec(fp, "e")).unwrap();
+            }
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Bit-flip record "b"'s payload (CRC now mismatches) and tear the
+        // tail by appending half a record with no newline.
+        let mut damaged = text.replace("\"b\"", "\"B\"");
+        assert_ne!(damaged, text);
+        let half = journal::frame(&rec("t", "e").to_json());
+        damaged.push_str(&half[..half.len() / 3]);
+        std::fs::write(&path, &damaged).unwrap();
+
+        let (store, stats) = open(&dir, "e");
+        assert_eq!(stats.corrupt, 1, "{stats:?}");
+        assert_eq!(stats.torn, 1, "{stats:?}");
+        assert_eq!(stats.loaded, 3, "{stats:?}");
+        let fps: Vec<&str> = store
+            .live_records()
+            .map(|r| r.fingerprint.as_str())
+            .collect();
+        assert_eq!(fps, ["a", "c", "d"], "intact records around damage survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A torn tail must be truncated away on open — otherwise the next
+    /// append glues onto the torn bytes and the *new* (acknowledged!)
+    /// record is lost on the following restart.
+    #[test]
+    fn append_after_torn_tail_survives_the_next_restart() {
+        let dir = scratch("tornappend");
+        {
+            let (mut store, _) = open(&dir, "e");
+            store.append(&rec("a", "e")).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let torn = journal::frame(&rec("t", "e").to_json());
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+        }
+        {
+            let (mut store, stats) = open(&dir, "e");
+            assert_eq!(stats.torn, 1);
+            store.append(&rec("fresh", "e")).unwrap();
+        }
+        let (store, stats) = open(&dir, "e");
+        assert_eq!(stats.torn, 0, "torn tail repaired by the previous open");
+        assert_eq!(stats.loaded, 2, "{stats:?}");
+        let fps: Vec<&str> = store
+            .live_records()
+            .map(|r| r.fingerprint.as_str())
+            .collect();
+        assert_eq!(fps, ["a", "fresh"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_raw_jsonl_is_replayed_and_migrated_by_compaction() {
+        let dir = scratch("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-journal segment written by an older server.
+        std::fs::write(
+            dir.join(LEGACY_SEGMENT_FILE),
+            format!("{}\n{}\n", rec("a", "e").to_json(), rec("b", "e").to_json()),
+        )
+        .unwrap();
+        let (mut store, stats) = open(&dir, "e");
+        assert_eq!(stats.legacy, 2);
+        assert_eq!(stats.loaded, 2);
+        // The journal supersedes one legacy record...
+        let mut newer = rec("a", "e");
+        newer.np = 9.0;
+        store.append(&newer).unwrap();
+        // ...and an explicit compaction migrates everything into frames.
+        store.compact().unwrap();
+        assert!(!dir.join(LEGACY_SEGMENT_FILE).exists());
+        drop(store);
+
+        let (store, stats) = open(&dir, "e");
+        assert_eq!(
+            stats.legacy, 0,
+            "legacy file renamed aside after compaction"
+        );
+        assert_eq!(stats.loaded, 2);
+        let a = store.live_records().find(|r| r.fingerprint == "a").unwrap();
+        assert_eq!(a.np, 9.0, "journal copy wins over legacy copy");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_triggers_past_dead_threshold_and_shrinks_the_journal() {
+        let dir = scratch("compact");
+        let (mut store, _) = DecisionStore::open(&dir, "e", 4).unwrap();
+        // Re-append the same fingerprint: each append supersedes the last.
+        for i in 0..6 {
+            let mut r = rec("hot", "e");
+            r.np = f64::from(i);
+            store.append(&r).unwrap();
+        }
+        assert!(store.compactions() >= 1, "threshold crossed at 4 dead");
+        assert_eq!(store.live_len(), 1);
+        let text = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(
+            text.lines().count() <= 2,
+            "journal rewritten to live records: {text}"
+        );
+        drop(store);
+        let (store, stats) = open(&dir, "e");
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(store.live_records().next().unwrap().np, 5.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,49 +2,191 @@
 //! the integration tests and the bench load generator so neither needs
 //! an external HTTP library (or `curl`, which the CI smoke job uses to
 //! prove interoperability from outside the workspace).
+//!
+//! Every phase — connect, write, read — is bounded by a timeout from
+//! [`ClientConfig`], mapped to a typed [`ClientError`] instead of
+//! hanging: a wedged or half-dead server costs a caller a bounded wait,
+//! never a stuck thread.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// Send one request and return `(status, body)`.
+/// Per-phase timeouts for one request.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (covers the whole response read).
+    pub read_timeout: Duration,
+    /// Socket write timeout (covers sending the request).
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a client request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connect did not complete within the connect timeout.
+    ConnectTimedOut(SocketAddr, Duration),
+    /// A read or write stalled past its timeout; `phase` is `"read"` or
+    /// `"write"`.
+    TimedOut {
+        /// Which I/O phase stalled.
+        phase: &'static str,
+        /// The timeout that fired.
+        after: Duration,
+    },
+    /// Any other socket failure.
+    Io(std::io::Error),
+    /// The server answered with bytes that are not an HTTP response.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::ConnectTimedOut(addr, after) => {
+                write!(f, "connect to {addr} timed out after {after:?}")
+            }
+            ClientError::TimedOut { phase, after } => {
+                write!(f, "{phase} timed out after {after:?}")
+            }
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Malformed(head) => write!(f, "malformed response: {head}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Send one request with explicit timeouts and return `(status, body)`.
 ///
 /// Opens a fresh connection per call — the server speaks
 /// `Connection: close` only, and the load generator deliberately
 /// measures that full path.
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    config: &ClientConfig,
+) -> Result<(u16, String), ClientError> {
+    let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(|e| {
+        if is_timeout(&e) {
+            ClientError::ConnectTimedOut(addr, config.connect_timeout)
+        } else {
+            ClientError::Io(e)
+        }
+    })?;
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(ClientError::Io)?;
+    stream
+        .set_write_timeout(Some(config.write_timeout))
+        .map_err(ClientError::Io)?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let write_phase = |e: std::io::Error| {
+        if is_timeout(&e) {
+            ClientError::TimedOut {
+                phase: "write",
+                after: config.write_timeout,
+            }
+        } else {
+            ClientError::Io(e)
+        }
+    };
+    stream.write_all(head.as_bytes()).map_err(write_phase)?;
+    stream.write_all(body.as_bytes()).map_err(write_phase)?;
+    stream.flush().map_err(write_phase)?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| {
+        if is_timeout(&e) {
+            ClientError::TimedOut {
+                phase: "read",
+                after: config.read_timeout,
+            }
+        } else {
+            ClientError::Io(e)
+        }
+    })?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("{text:.60}")))?;
+    let payload = match text.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, payload))
+}
+
+/// [`request_with`] under [`ClientConfig::default`], flattened to
+/// `io::Result` for callers that predate the typed error.
 pub fn http_request(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
+    request_with(addr, method, path, body, &ClientConfig::default()).map_err(|e| match e {
+        ClientError::Io(io) => io,
+        ClientError::Malformed(m) => std::io::Error::new(std::io::ErrorKind::InvalidData, m),
+        timeout => std::io::Error::new(std::io::ErrorKind::TimedOut, timeout.to_string()),
+    })
+}
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let status = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed response: {text:.60}"),
-            )
-        })?;
-    let payload = match text.split_once("\r\n\r\n") {
-        Some((_, b)) => b.to_string(),
-        None => String::new(),
-    };
-    Ok((status, payload))
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn read_timeout_maps_to_a_typed_error_instead_of_hanging() {
+        // A listener that accepts but never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+        let config = ClientConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let err = request_with(addr, "GET", "/healthz", None, &config).unwrap_err();
+        assert!(
+            matches!(err, ClientError::TimedOut { phase: "read", .. }),
+            "{err}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(2), "must not hang");
+        server.join().unwrap();
+    }
 }

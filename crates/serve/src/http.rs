@@ -123,12 +123,14 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
 }
 
 /// A response ready to serialise.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `Retry-After` on 429s.
+    pub headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -139,6 +141,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -148,8 +151,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Attach one extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -172,13 +182,20 @@ pub fn reason(status: u16) -> &'static str {
 /// Serialise and send a response; the connection is then closed by the
 /// caller dropping the stream (`Connection: close` is always sent).
 pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len()
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()

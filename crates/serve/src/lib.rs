@@ -29,16 +29,34 @@
 //! A cache hit is served without constructing a tuner: the
 //! `grover_serve_tune_races_total` metric (fed from
 //! [`grover_tuner::Tuner::races_run`]) makes "hits never re-measure" an
-//! asserted invariant.
+//! asserted invariant. Concurrent identical misses are coalesced through
+//! a [`singleflight`] table — one leader races, followers share its
+//! outcome — so that invariant extends to "N identical misses cost one
+//! race".
+//!
+//! ## Fault tolerance
+//!
+//! The persistent store is a checksummed, length-prefixed [`journal`]:
+//! replay classifies every line (intact / legacy / torn / corrupt)
+//! instead of failing, so a SIGKILL mid-write costs at most the record
+//! being written — never the warm start. Decisions are persisted
+//! *before* they are acknowledged, and a [`breaker::CircuitBreaker`]
+//! degrades tune misses to a conservative `degraded: true` answer while
+//! the tuner is failing, instead of surfacing raw 500s.
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod server;
+pub mod singleflight;
 
+pub use breaker::{Admit, CircuitBreaker};
 pub use cache::{DecisionCache, DecisionRecord, DecisionStore, LoadStats};
-pub use client::http_request;
+pub use client::{http_request, ClientConfig, ClientError};
 pub use grover_runtime::Backend;
 pub use metrics::Metrics;
 pub use server::{ServeConfig, Server};
+pub use singleflight::{FlightOutcome, Singleflight};

@@ -40,6 +40,32 @@ pub struct Metrics {
     pub deadline_timeouts: AtomicU64,
     /// Requests currently being processed by a worker.
     pub in_flight: AtomicU64,
+    /// Tune misses answered by joining another request's in-flight race.
+    pub tune_coalesced: AtomicU64,
+    /// Coalesced followers that timed out waiting for their leader.
+    pub coalesce_timeouts: AtomicU64,
+    /// Degraded (circuit-open fallback) tune responses served.
+    pub degraded: AtomicU64,
+    /// Times the tuner circuit breaker tripped open.
+    pub breaker_opens: AtomicU64,
+    /// Breaker state gauge: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: AtomicU64,
+    /// Journal records recovered at warm-start.
+    pub journal_recovered: AtomicU64,
+    /// Journal records skipped at warm-start: stale pass epoch.
+    pub journal_stale_epoch: AtomicU64,
+    /// Journal records skipped at warm-start: checksum/length mismatch.
+    pub journal_corrupt: AtomicU64,
+    /// Journal records skipped at warm-start: torn trailing write.
+    pub journal_torn: AtomicU64,
+    /// Legacy bare-JSON lines accepted at warm-start.
+    pub journal_legacy: AtomicU64,
+    /// Journal compactions performed since startup.
+    pub journal_compactions: AtomicU64,
+    /// Decisions that could not be persisted (answered 500, not cached).
+    pub persist_failures: AtomicU64,
+    /// Connections dropped by the per-request socket I/O timeout.
+    pub slow_client_drops: AtomicU64,
     /// Latency histogram bucket counts (see [`LATENCY_BUCKETS_US`]),
     /// last slot is `+Inf`.
     latency_buckets: [AtomicU64; 7],
@@ -100,6 +126,40 @@ impl Metrics {
             g(&self.deadline_timeouts),
         );
         line("grover_serve_in_flight", g(&self.in_flight));
+        line("grover_serve_tune_coalesced_total", g(&self.tune_coalesced));
+        line(
+            "grover_serve_coalesce_timeouts_total",
+            g(&self.coalesce_timeouts),
+        );
+        line("grover_serve_degraded_total", g(&self.degraded));
+        line("grover_serve_breaker_opens_total", g(&self.breaker_opens));
+        line("grover_serve_breaker_state", g(&self.breaker_state));
+        line(
+            "grover_serve_journal_recovered_total",
+            g(&self.journal_recovered),
+        );
+        line(
+            "grover_serve_journal_stale_epoch_total",
+            g(&self.journal_stale_epoch),
+        );
+        line(
+            "grover_serve_journal_corrupt_total",
+            g(&self.journal_corrupt),
+        );
+        line("grover_serve_journal_torn_total", g(&self.journal_torn));
+        line("grover_serve_journal_legacy_total", g(&self.journal_legacy));
+        line(
+            "grover_serve_journal_compactions_total",
+            g(&self.journal_compactions),
+        );
+        line(
+            "grover_serve_persist_failures_total",
+            g(&self.persist_failures),
+        );
+        line(
+            "grover_serve_slow_client_drops_total",
+            g(&self.slow_client_drops),
+        );
         // Cumulative histogram in Prometheus style.
         let mut cumulative = 0u64;
         for (i, le) in LATENCY_BUCKETS_US.iter().enumerate() {

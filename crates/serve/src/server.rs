@@ -6,10 +6,12 @@
 //!
 //! One acceptor thread owns the listening socket. Accepted connections go
 //! into a bounded queue; when the queue is full the acceptor answers
-//! `429 Too Many Requests` itself without blocking (backpressure is
-//! explicit, not a growing backlog). `--threads` workers pop connections
-//! and run the full request lifecycle: parse, route, handle (panics
-//! isolated per request via `catch_unwind`), respond.
+//! `429 Too Many Requests` (with `Retry-After`) itself without blocking —
+//! backpressure is explicit, not a growing backlog. `--threads` workers
+//! pop connections and run the full request lifecycle: parse, route,
+//! handle (panics isolated per request via `catch_unwind`), respond.
+//! Every connection carries per-request socket read *and* write timeouts,
+//! so a stalled client costs one worker at most `--io-timeout-ms`.
 //!
 //! ## Cache discipline
 //!
@@ -18,9 +20,22 @@
 //! fresh [`Tuner`] is only constructed on a miss, and
 //! [`Tuner::races_run`] is accumulated into the
 //! `grover_serve_tune_races_total` metric so "hits never re-measure" is
-//! an observable invariant, not a comment. Misses are appended to the
-//! persistent store before the response is sent, so a decision the
-//! client saw is always durable.
+//! an observable invariant, not a comment. Concurrent misses on the same
+//! fingerprint are coalesced through a [`Singleflight`] table: one leader
+//! races, followers wait for its published outcome, so N identical misses
+//! cost exactly one race. Misses are appended to the persistent journal
+//! *before* the response is sent — a decision the client saw is always
+//! durable; if the append fails the client gets a `persist_failed` 500
+//! and nothing is cached.
+//!
+//! ## Degradation
+//!
+//! A [`CircuitBreaker`] guards the tuner: consecutive infrastructure
+//! failures trip it open, after which misses are answered with a
+//! conservative `degraded: true` original-kernel decision (never cached,
+//! never persisted) instead of 500s, while cache hits keep being served
+//! normally. A cooldown later, one half-open probe decides whether to
+//! close the circuit again.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,11 +54,13 @@ use grover_ir::{Function, Scalar, Type};
 use grover_obs::json::{self, array, Json, Obj};
 use grover_obs::{Recorder, SpanId, Value};
 use grover_runtime::{ArgValue, Backend, Context, ExecPolicy, Limits, NdRange};
-use grover_tuner::{TuneError, Tuner, Workload};
+use grover_tuner::{Choice, FallbackReason, TuneError, Tuner, Workload};
 
+use crate::breaker::{Admit, CircuitBreaker};
 use crate::cache::{DecisionCache, DecisionRecord, DecisionStore};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
+use crate::singleflight::{FlightOutcome, Join, Singleflight};
 
 /// Server configuration (CLI flags map onto this 1:1).
 #[derive(Clone, Debug)]
@@ -66,6 +83,15 @@ pub struct ServeConfig {
     pub handler_delay: Option<Duration>,
     /// Execution backend cache-miss tunes run on.
     pub backend: Backend,
+    /// Consecutive tuner failures that trip the circuit breaker open.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub breaker_cooldown: Duration,
+    /// Per-request socket read/write timeout (slow-client protection);
+    /// `None` disables it.
+    pub io_timeout: Option<Duration>,
+    /// Journal dead-record count that triggers an atomic compaction.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +105,10 @@ impl Default for ServeConfig {
             max_deadline: Some(Duration::from_secs(30)),
             handler_delay: None,
             backend: Backend::Interp,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
+            io_timeout: Some(Duration::from_secs(10)),
+            compact_threshold: 512,
         }
     }
 }
@@ -91,6 +121,8 @@ struct Shared {
     recorder: Arc<dyn Recorder>,
     cache: Mutex<DecisionCache>,
     store: Mutex<DecisionStore>,
+    singleflight: Arc<Singleflight>,
+    breaker: CircuitBreaker,
     stop: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
@@ -107,6 +139,16 @@ impl Shared {
         let _ = TcpStream::connect(self.addr);
         self.available.notify_all();
     }
+
+    /// Mirror the breaker's state into the `/metrics` gauges.
+    fn sync_breaker_metrics(&self) {
+        self.metrics
+            .breaker_state
+            .store(self.breaker.state_code(), Ordering::Relaxed);
+        self.metrics
+            .breaker_opens
+            .store(self.breaker.opens(), Ordering::Relaxed);
+    }
 }
 
 /// A running server instance.
@@ -117,45 +159,75 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind, warm-start the cache from the persistent store, and spawn
-    /// the acceptor and worker threads.
+    /// Bind, warm-start the cache from the persistent journal (salvaging
+    /// every intact record around damage), and spawn the acceptor and
+    /// worker threads.
     pub fn start(config: ServeConfig, recorder: Arc<dyn Recorder>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let epoch = pass_fingerprint();
 
+        let recovery = recorder.span_start("serve.recovery", None);
+        let (store, stats) =
+            DecisionStore::open(&config.cache_dir, &epoch, config.compact_threshold)?;
         let mut cache = DecisionCache::new(config.cache_capacity);
-        let stats = DecisionStore::load_into(&config.cache_dir, &epoch, &mut cache);
-        let store = DecisionStore::open(&config.cache_dir)?;
+        for rec in store.live_records() {
+            cache.insert(rec.clone());
+        }
         let metrics = Arc::new(Metrics::new());
+        metrics
+            .journal_recovered
+            .store(stats.loaded as u64, Ordering::Relaxed);
+        metrics
+            .journal_stale_epoch
+            .store(stats.stale_epoch as u64, Ordering::Relaxed);
+        metrics
+            .journal_corrupt
+            .store(stats.corrupt as u64, Ordering::Relaxed);
+        metrics
+            .journal_torn
+            .store(stats.torn as u64, Ordering::Relaxed);
+        metrics
+            .journal_legacy
+            .store(stats.legacy as u64, Ordering::Relaxed);
         if recorder.enabled() {
+            recorder.span_attr(recovery, "loaded", Value::from(stats.loaded));
+            recorder.span_attr(recovery, "stale_epoch", Value::from(stats.stale_epoch));
+            recorder.span_attr(recovery, "corrupt", Value::from(stats.corrupt));
+            recorder.span_attr(recovery, "torn", Value::from(stats.torn));
+            recorder.span_attr(recovery, "legacy", Value::from(stats.legacy));
+            recorder.span_attr(recovery, "superseded", Value::from(stats.superseded));
             recorder.event(
                 "serve.warm_start",
-                None,
+                Some(recovery),
                 &[
                     ("loaded", Value::from(stats.loaded)),
                     ("stale_epoch", Value::from(stats.stale_epoch)),
                     ("corrupt", Value::from(stats.corrupt)),
+                    ("torn", Value::from(stats.torn)),
                     ("epoch", Value::from(epoch.as_str())),
                 ],
             );
         }
+        recorder.span_end(recovery);
 
         let shared = Arc::new(Shared {
             addr,
-            config: config.clone(),
             epoch,
             metrics,
             recorder,
             cache: Mutex::new(cache),
             store: Mutex::new(store),
+            singleflight: Arc::new(Singleflight::default()),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            config,
         });
 
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for i in 0..config.workers.max(1) {
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for i in 0..shared.config.workers.max(1) {
             let shared = shared.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
@@ -221,7 +293,8 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
             break;
         }
         let Ok(mut stream) = conn else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_read_timeout(shared.config.io_timeout);
+        let _ = stream.set_write_timeout(shared.config.io_timeout);
         let mut q = shared.queue.lock().expect("queue poisoned");
         if q.len() >= shared.config.queue_depth {
             drop(q);
@@ -234,13 +307,8 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                 .name("serve-reject".to_string())
                 .spawn(move || {
                     let _ = read_request(&mut stream);
-                    let resp = Response::json(
-                        429,
-                        Obj::new()
-                            .str("error", "request queue is full, retry later")
-                            .str("kind", "backpressure")
-                            .finish(),
-                    );
+                    let resp = error_response(429, "backpressure", "request queue is full")
+                        .with_header("Retry-After", "1");
                     let _ = write_response(&mut stream, &resp);
                 });
         } else {
@@ -289,17 +357,27 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
     let m = &shared.metrics;
     let req = match read_request(&mut stream) {
         Ok(r) => r,
-        Err(HttpError::Io(_)) => return false, // client went away
+        Err(HttpError::Io(e)) => {
+            // A stalled client tripping the per-request socket timeout is
+            // deliberately dropped without a response — writing to a dead
+            // peer would just block another worker.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                m.inc(&m.slow_client_drops);
+            }
+            return false;
+        }
         Err(e) => {
-            let status = match e {
-                HttpError::TooLarge => 413,
-                _ => 400,
+            let (status, kind) = match e {
+                HttpError::TooLarge => (413, "too_large"),
+                _ => (400, "bad_request"),
             };
             m.inc(&m.requests_total);
             m.inc(&m.errors_total);
             m.observe_latency(start.elapsed());
-            let body = Obj::new().str("error", &e.to_string()).finish();
-            let _ = write_response(&mut stream, &Response::json(status, body));
+            let _ = write_response(&mut stream, &error_response(status, kind, e.to_string()));
             return false;
         }
     };
@@ -314,13 +392,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
         Ok(r) => r,
         Err(_) => {
             m.inc(&m.panics_total);
-            Response::json(
-                500,
-                Obj::new()
-                    .str("error", "handler panicked; request isolated")
-                    .str("kind", "panic")
-                    .finish(),
-            )
+            error_response(500, "panic", "handler panicked; request isolated")
         }
     };
 
@@ -332,7 +404,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
     }
     m.observe_latency(start.elapsed());
     m.in_flight.fetch_sub(1, Ordering::Relaxed);
-    let _ = write_response(&mut stream, &resp);
+    if write_response(&mut stream, &resp).is_err() {
+        // The peer stopped reading (or the write timeout fired) — the
+        // response is lost, but the worker is free again.
+        m.inc(&m.slow_client_drops);
+    }
     req.method == "POST" && req.path == "/admin/shutdown" && resp.status == 200
 }
 
@@ -354,20 +430,27 @@ fn route(shared: &Shared, req: &Request, span: SpanId) -> Response {
         ("POST", "/v1/compile") => handle_compile(shared, req, span),
         ("POST", "/v1/tune") => handle_tune(shared, req, span),
         (_, path) if ROUTES.contains(&path) => {
-            Response::json(405, Obj::new().str("error", "method not allowed").finish())
+            error_response(405, "method_not_allowed", "method not allowed")
         }
-        _ => Response::json(404, Obj::new().str("error", "no such endpoint").finish()),
+        _ => error_response(404, "not_found", "no such endpoint"),
     }
 }
 
-fn bad_request(msg: impl std::fmt::Display) -> Response {
+/// The one JSON error shape every 4xx/5xx response uses:
+/// `{"error": <message>, "kind": <machine tag>, "status": <code>}`.
+fn error_response(status: u16, kind: &str, msg: impl std::fmt::Display) -> Response {
     Response::json(
-        400,
+        status,
         Obj::new()
             .str("error", &msg.to_string())
-            .str("kind", "bad_request")
+            .str("kind", kind)
+            .u64("status", u64::from(status))
             .finish(),
     )
+}
+
+fn bad_request(msg: impl std::fmt::Display) -> Response {
+    error_response(400, "bad_request", msg)
 }
 
 /// Parse the request body as a JSON object.
@@ -618,20 +701,28 @@ fn tune_error_response(shared: &Shared, e: &TuneError) -> Response {
         TuneError::Panicked(_) => (500, "panic"),
         TuneError::Internal(_) => (500, "internal"),
     };
-    Response::json(
-        status,
-        Obj::new()
-            .str("error", &e.to_string())
-            .str("kind", kind)
-            .finish(),
-    )
+    error_response(status, kind, e)
 }
 
-fn decision_response(rec: &DecisionRecord, cached: bool) -> Response {
+/// How the decision reached this response — reported as the `cached`
+/// field (`false` only for the request that actually raced).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Served {
+    /// This request ran the tuner.
+    Fresh,
+    /// Answered from the in-memory LRU / warm-started journal.
+    Hit,
+    /// Answered by joining another request's in-flight race.
+    Coalesced,
+}
+
+fn decision_response(rec: &DecisionRecord, served: Served) -> Response {
     let mut obj = Obj::new()
         .str("fingerprint", &rec.fingerprint)
         .str("pass_fingerprint", &rec.epoch)
-        .bool("cached", cached)
+        .bool("cached", served != Served::Fresh)
+        .bool("coalesced", served == Served::Coalesced)
+        .bool("degraded", false)
         .str("device", &rec.device)
         .str("kernel", &rec.kernel)
         .str("choice", &rec.choice)
@@ -646,6 +737,39 @@ fn decision_response(rec: &DecisionRecord, cached: bool) -> Response {
         _ => obj.null("fallback"),
     };
     Response::json(200, obj.finish())
+}
+
+/// The conservative answer served while the tuner circuit is open: keep
+/// the original kernel, tagged `degraded` + `circuit_open`. Never cached,
+/// never persisted — once the breaker closes, the same request tunes for
+/// real.
+fn degraded_response(shared: &Shared, fingerprint: &str, device: &str, kernel: &str) -> Response {
+    let reason = FallbackReason::CircuitOpen(
+        "tuner unavailable; serving the conservative original-kernel decision".to_string(),
+    );
+    Response::json(
+        200,
+        Obj::new()
+            .str("fingerprint", fingerprint)
+            .str("pass_fingerprint", &shared.epoch)
+            .bool("cached", false)
+            .bool("coalesced", false)
+            .bool("degraded", true)
+            .str("device", device)
+            .str("kernel", kernel)
+            .str("choice", Choice::WithLocalMemory.kind())
+            .null("np")
+            .null("cycles_with")
+            .null("cycles_without")
+            .raw(
+                "fallback",
+                &Obj::new()
+                    .str("kind", reason.kind())
+                    .str("detail", &reason.to_string())
+                    .finish(),
+            )
+            .finish(),
+    )
 }
 
 fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
@@ -715,18 +839,122 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
     {
         m.inc(&m.cache_hits);
         rec.span_attr(span, "cache", Value::from("hit"));
-        return decision_response(&hit, true);
+        return decision_response(&hit, Served::Hit);
     }
     m.inc(&m.cache_misses);
-    rec.span_attr(span, "cache", Value::from("miss"));
 
-    // Miss: compile, transform, synthesise a workload, race.
-    let (kernel, _) = match compiled_kernel(&body) {
-        Ok(k) => k,
-        Err(resp) => return resp,
+    // The effective deadline is needed up front: it bounds the tuner on
+    // the leader path and the wait on the follower path.
+    let requested = body.u64_of("deadline_ms").map(Duration::from_millis);
+    let effective_deadline = match (requested, shared.config.max_deadline) {
+        (Some(r), Some(cap)) => Some(r.min(cap)),
+        (Some(r), None) => Some(r),
+        (None, cap) => cap,
     };
-    if kernel.name != key_kernel {
-        return bad_request(format!("no kernel named `{key_kernel}` in source"));
+
+    // Circuit breaker: while the tuner is known-broken, misses get the
+    // conservative degraded answer instead of a 500 (hits were already
+    // served above — degradation never touches them).
+    let admit = shared.breaker.admit();
+    shared.sync_breaker_metrics();
+    if admit == Admit::Degrade {
+        m.inc(&m.degraded);
+        rec.span_attr(span, "cache", Value::from("degraded"));
+        return degraded_response(shared, &fingerprint, device, &key_kernel);
+    }
+
+    // Singleflight: identical concurrent misses share one race.
+    match shared.singleflight.join(&fingerprint) {
+        Join::Follower(follower) => {
+            m.inc(&m.tune_coalesced);
+            rec.span_attr(span, "cache", Value::from("coalesced"));
+            // The leader is bounded by the tune deadline; the margin
+            // covers its compile + persist overhead.
+            let wait =
+                effective_deadline.unwrap_or(Duration::from_secs(60)) + Duration::from_secs(10);
+            match follower.wait(wait) {
+                Some(FlightOutcome::Decision(record)) => {
+                    decision_response(&record, Served::Coalesced)
+                }
+                Some(FlightOutcome::Fail { status, body }) => Response::json(status, body),
+                None => {
+                    m.inc(&m.coalesce_timeouts);
+                    error_response(
+                        504,
+                        "coalesce_timeout",
+                        "timed out waiting for the in-flight tune of this kernel",
+                    )
+                }
+            }
+        }
+        Join::Leader(leader) => {
+            // Double-check the cache with leadership held: the previous
+            // leader may have published between our miss and our join —
+            // without this, back-to-back misses would re-race the key.
+            if let Some(hit) = shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .get(&fingerprint)
+            {
+                // This request still shared another's race — count it as
+                // coalesced so hits + misses stays one-per-request.
+                m.inc(&m.tune_coalesced);
+                rec.span_attr(span, "cache", Value::from("coalesced"));
+                let resp = decision_response(&hit, Served::Coalesced);
+                leader.publish(FlightOutcome::Decision(hit));
+                return resp;
+            }
+            rec.span_attr(span, "cache", Value::from("miss"));
+            let (resp, record) = run_miss(
+                shared,
+                &body,
+                span,
+                &fingerprint,
+                &key_kernel,
+                device,
+                g3,
+                l3,
+                effective_deadline,
+            );
+            match record {
+                Some(r) => leader.publish(FlightOutcome::Decision(r)),
+                None => leader.publish(FlightOutcome::Fail {
+                    status: resp.status,
+                    body: String::from_utf8_lossy(&resp.body).into_owned(),
+                }),
+            }
+            resp
+        }
+    }
+}
+
+/// The leader's miss path: compile, transform, race, persist, cache.
+/// Returns the response plus the decision record when one was produced
+/// *and made durable* — that record is what followers are served.
+#[allow(clippy::too_many_arguments)]
+fn run_miss(
+    shared: &Shared,
+    body: &Json,
+    span: SpanId,
+    fingerprint: &str,
+    key_kernel: &str,
+    device: &str,
+    g3: [u64; 3],
+    l3: [u64; 3],
+    effective_deadline: Option<Duration>,
+) -> (Response, Option<DecisionRecord>) {
+    let m = &shared.metrics;
+    let rec = &*shared.recorder;
+    let (kernel, _) = match compiled_kernel(body) {
+        Ok(k) => k,
+        Err(resp) => return (resp, None),
+    };
+    if kernel.name != *key_kernel {
+        return (
+            bad_request(format!("no kernel named `{key_kernel}` in source")),
+            None,
+        );
     }
     let mut transformed = kernel.clone();
     let grover = Grover::with_options(GroverOptions {
@@ -737,7 +965,7 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
     let report = grover.run_on_observed(&mut transformed, rec, Some(tune_span));
     if !report.buffers.iter().any(|b| b.outcome.is_removed()) {
         rec.span_end(tune_span);
-        return Response::json(
+        let resp = Response::json(
             422,
             Obj::new()
                 .str(
@@ -745,9 +973,11 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
                     "the pass removed no __local buffer; nothing to tune",
                 )
                 .str("kind", "pass_refusal")
+                .u64("status", 422)
                 .raw("report", &report_json(&report))
                 .finish(),
         );
+        return (resp, None);
     }
 
     let global_elems: u64 = g3.iter().product();
@@ -756,14 +986,14 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
             Ok(s) => s,
             Err(e) => {
                 rec.span_end(tune_span);
-                return bad_request(e);
+                return (bad_request(e), None);
             }
         },
         None => match synthesise_args(&kernel, global_elems) {
             Ok(s) => s,
             Err(e) => {
                 rec.span_end(tune_span);
-                return bad_request(e);
+                return (bad_request(e), None);
             }
         },
     };
@@ -777,13 +1007,8 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
             threads: threads as usize,
         };
     }
-    let requested = body.u64_of("deadline_ms").map(Duration::from_millis);
     tuner.limits = Limits {
-        deadline: match (requested, shared.config.max_deadline) {
-            (Some(r), Some(cap)) => Some(r.min(cap)),
-            (Some(r), None) => Some(r),
-            (None, cap) => cap,
-        },
+        deadline: effective_deadline,
         ..Limits::default()
     };
 
@@ -791,24 +1016,56 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
     m.tune_races.fetch_add(tuner.races_run(), Ordering::Relaxed);
     rec.span_end(tune_span);
     let decision = match outcome {
-        Ok(d) => d,
-        Err(e) => return tune_error_response(shared, &e),
+        Ok(d) => {
+            shared.breaker.record_success();
+            shared.sync_breaker_metrics();
+            d
+        }
+        Err(e) => {
+            // Infrastructure failures feed the breaker; client errors
+            // (unknown device, nothing to disable) do not.
+            if matches!(
+                e,
+                TuneError::Execution(_)
+                    | TuneError::Panicked(_)
+                    | TuneError::Internal(_)
+                    | TuneError::Deadline
+            ) {
+                shared.breaker.record_failure();
+            }
+            shared.sync_breaker_metrics();
+            return (tune_error_response(shared, &e), None);
+        }
     };
 
-    let record = DecisionRecord::from_decision(&fingerprint, &shared.epoch, &key_kernel, &decision);
-    // Persist before publishing: a decision a client saw is durable.
-    if let Ok(mut store) = shared.store.lock() {
-        let _ = store.append(&record);
+    let record = DecisionRecord::from_decision(fingerprint, &shared.epoch, key_kernel, &decision);
+    // Persist before publishing: a decision a client saw is durable. A
+    // failed append means the client gets a 500 and nothing is cached —
+    // better a retryable error than an acknowledged-then-lost decision.
+    let persisted = {
+        let mut store = shared.store.lock().expect("store poisoned");
+        let r = store.append(&record);
+        m.journal_compactions
+            .store(store.compactions(), Ordering::Relaxed);
+        r
+    };
+    if let Err(e) = persisted {
+        m.inc(&m.persist_failures);
+        return (
+            error_response(
+                500,
+                "persist_failed",
+                format!("decision could not be made durable: {e}"),
+            ),
+            None,
+        );
     }
     {
         let mut cache = shared.cache.lock().expect("cache poisoned");
         cache.insert(record.clone());
         let evictions = cache.evictions();
         drop(cache);
-        shared
-            .metrics
-            .cache_evictions
-            .store(evictions, Ordering::Relaxed);
+        m.cache_evictions.store(evictions, Ordering::Relaxed);
     }
-    decision_response(&record, false)
+    (decision_response(&record, Served::Fresh), Some(record))
 }

@@ -1,0 +1,270 @@
+//! Per-key coalescing of identical in-flight tune requests.
+//!
+//! Concurrent cache misses on the same `tune_key` share one tuner race:
+//! the first joiner becomes the *leader* and runs the work; the rest are
+//! *followers* that block (with a deadline) on the leader's published
+//! outcome. Outcomes — success or structured failure — are propagated
+//! verbatim, so N identical misses cost exactly one race and produce N
+//! consistent responses.
+//!
+//! Failure discipline: the key is removed from the in-flight table at
+//! publish time, *before* followers wake, so an error never poisons the
+//! key — the next request for it starts a fresh flight. If the leader
+//! unwinds without publishing (a panic escaping its `catch_unwind`), the
+//! [`LeaderGuard`]'s drop publishes a structured 500 on its behalf;
+//! followers never hang on a dead leader.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a flight resolved to; cloned to every follower.
+#[derive(Clone, Debug)]
+pub enum FlightOutcome {
+    /// The leader produced (and persisted) a decision — followers serve
+    /// the serialised record as a cache hit.
+    Decision(crate::cache::DecisionRecord),
+    /// The leader failed; followers repeat the same structured error
+    /// body. Never cached.
+    Fail {
+        /// HTTP status the leader answered with.
+        status: u16,
+        /// The leader's full JSON error body.
+        body: String,
+    },
+}
+
+struct Flight {
+    outcome: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+impl Flight {
+    /// Block until the leader publishes, or `deadline` elapses (`None`).
+    fn wait(&self, deadline: Duration) -> Option<FlightOutcome> {
+        let start = Instant::now();
+        let mut slot = self.outcome.lock().expect("flight poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return None;
+            }
+            let (next, timeout) = self
+                .done
+                .wait_timeout(slot, deadline - elapsed)
+                .expect("flight poisoned");
+            slot = next;
+            if timeout.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// The caller's role for one key.
+pub enum Join {
+    /// First joiner: run the work, then [`LeaderGuard::publish`].
+    Leader(LeaderGuard),
+    /// A flight is already running: wait on it.
+    Follower(FollowerHandle),
+}
+
+/// A follower's handle onto the leader's flight.
+pub struct FollowerHandle {
+    flight: Arc<Flight>,
+}
+
+impl FollowerHandle {
+    /// Wait for the leader's outcome; `None` when `deadline` elapses
+    /// first (the flight keeps running — later followers may still be
+    /// served).
+    pub fn wait(&self, deadline: Duration) -> Option<FlightOutcome> {
+        self.flight.wait(deadline)
+    }
+}
+
+/// Leadership of one in-flight key. Publishing resolves every follower;
+/// dropping without publishing resolves them with a structured 500 (the
+/// leader panicked past its own isolation) and frees the key either way.
+pub struct LeaderGuard {
+    sf: Arc<Singleflight>,
+    key: String,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+/// The per-key in-flight table. Held in an `Arc` so a [`LeaderGuard`]
+/// can free its key without borrowing the server's shared state.
+#[derive(Default)]
+pub struct Singleflight {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl LeaderGuard {
+    /// Publish the outcome: free the key (new requests start fresh — no
+    /// poisoning), then wake every follower.
+    pub fn publish(mut self, outcome: FlightOutcome) {
+        self.publish_inner(outcome);
+    }
+
+    fn publish_inner(&mut self, outcome: FlightOutcome) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        self.sf
+            .flights
+            .lock()
+            .expect("singleflight poisoned")
+            .remove(&self.key);
+        *self.flight.outcome.lock().expect("flight poisoned") = Some(outcome);
+        self.flight.done.notify_all();
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish_inner(FlightOutcome::Fail {
+                status: 500,
+                body: grover_obs::json::Obj::new()
+                    .str("error", "coalesced leader terminated without a result")
+                    .str("kind", "leader_lost")
+                    .u64("status", 500)
+                    .finish(),
+            });
+        }
+    }
+}
+
+impl Singleflight {
+    /// Join the flight for `key`: the first joiner leads, the rest follow.
+    pub fn join(self: &Arc<Self>, key: &str) -> Join {
+        let mut flights = self.flights.lock().expect("singleflight poisoned");
+        if let Some(flight) = flights.get(key) {
+            return Join::Follower(FollowerHandle {
+                flight: flight.clone(),
+            });
+        }
+        let flight = Arc::new(Flight {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        flights.insert(key.to_string(), flight.clone());
+        Join::Leader(LeaderGuard {
+            sf: self.clone(),
+            key: key.to_string(),
+            flight,
+            published: false,
+        })
+    }
+
+    /// Keys currently in flight (test observability).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("singleflight poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DecisionRecord;
+
+    fn record(fp: &str) -> DecisionRecord {
+        DecisionRecord {
+            fingerprint: fp.to_string(),
+            epoch: "e".to_string(),
+            device: "SNB".to_string(),
+            kernel: "k".to_string(),
+            choice: "similar".to_string(),
+            np: 1.0,
+            cycles_with: 1,
+            cycles_without: 1,
+            fallback_kind: None,
+            fallback_detail: None,
+        }
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_outcome() {
+        let sf = Arc::new(Singleflight::default());
+        let Join::Leader(leader) = sf.join("k1") else {
+            panic!("first joiner must lead");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let Join::Follower(f) = sf.join("k1") else {
+                    panic!("later joiners must follow");
+                };
+                std::thread::spawn(move || f.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        leader.publish(FlightOutcome::Decision(record("k1")));
+        for f in followers {
+            match f.join().unwrap() {
+                Some(FlightOutcome::Decision(r)) => assert_eq!(r.fingerprint, "k1"),
+                other => panic!("expected the decision, got {other:?}"),
+            }
+        }
+        assert_eq!(sf.in_flight(), 0, "publish frees the key");
+    }
+
+    #[test]
+    fn failure_does_not_poison_the_key() {
+        let sf = Arc::new(Singleflight::default());
+        let Join::Leader(leader) = sf.join("k") else {
+            panic!()
+        };
+        let Join::Follower(follower) = sf.join("k") else {
+            panic!()
+        };
+        leader.publish(FlightOutcome::Fail {
+            status: 500,
+            body: "{\"kind\":\"panic\"}".to_string(),
+        });
+        match follower.wait(Duration::from_secs(1)) {
+            Some(FlightOutcome::Fail { status, .. }) => assert_eq!(status, 500),
+            other => panic!("expected the failure, got {other:?}"),
+        }
+        // The very next join leads a fresh flight.
+        assert!(matches!(sf.join("k"), Join::Leader(_)));
+        // (Dropping that leader unpublished resolves as leader_lost.)
+    }
+
+    #[test]
+    fn dropped_leader_resolves_followers_with_a_structured_500() {
+        let sf = Arc::new(Singleflight::default());
+        let leader = match sf.join("k") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!(),
+        };
+        let Join::Follower(follower) = sf.join("k") else {
+            panic!()
+        };
+        drop(leader); // simulates a panic unwinding through the leader
+        match follower.wait(Duration::from_secs(1)) {
+            Some(FlightOutcome::Fail { status, body }) => {
+                assert_eq!(status, 500);
+                assert!(body.contains("leader_lost"), "{body}");
+            }
+            other => panic!("expected leader_lost, got {other:?}"),
+        }
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn follower_wait_times_out_without_an_outcome() {
+        let sf = Arc::new(Singleflight::default());
+        let _leader = match sf.join("k") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!(),
+        };
+        let Join::Follower(follower) = sf.join("k") else {
+            panic!()
+        };
+        assert!(follower.wait(Duration::from_millis(50)).is_none());
+    }
+}

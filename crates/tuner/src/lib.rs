@@ -104,6 +104,12 @@ pub enum FallbackReason {
     Panicked(String),
     /// The transformed measurement exceeded the wall-clock deadline.
     DeadlineExceeded,
+    /// No measurement was attempted at all: a serving layer's circuit
+    /// breaker was open (the tuner had been failing repeatedly) and the
+    /// conservative original-kernel decision was served instead. Decisions
+    /// carrying this reason are degraded placeholders — they must never be
+    /// cached or persisted.
+    CircuitOpen(String),
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -118,19 +124,24 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::DeadlineExceeded => {
                 f.write_str("transformed measurement exceeded the deadline")
             }
+            FallbackReason::CircuitOpen(detail) => {
+                write!(f, "tuner circuit breaker open: {detail}")
+            }
         }
     }
 }
 
 /// Stable machine-readable tag for a [`FallbackReason`] (CLI `--json`).
 impl FallbackReason {
-    /// One of `output_mismatch`, `exec_error`, `panic`, `deadline`.
+    /// One of `output_mismatch`, `exec_error`, `panic`, `deadline`,
+    /// `circuit_open`.
     pub fn kind(&self) -> &'static str {
         match self {
             FallbackReason::OutputMismatch { .. } => "output_mismatch",
             FallbackReason::ExecFailed(_) => "exec_error",
             FallbackReason::Panicked(_) => "panic",
             FallbackReason::DeadlineExceeded => "deadline",
+            FallbackReason::CircuitOpen(_) => "circuit_open",
         }
     }
 }
