@@ -1,6 +1,7 @@
 //! Load generator for the `grover-serve` tuning-cache service: N client
 //! threads hammer `POST /v1/tune` over a fixed set of distinct tune
-//! keys and the tool reports throughput and cache hit-rate as JSON.
+//! keys and the tool reports throughput, cache hit-rate and a latency
+//! breakdown as JSON.
 //!
 //! ```text
 //! cargo run -p grover-bench --release --bin serve_load -- \
@@ -13,16 +14,25 @@
 //! cache, so the expected hit rate is exactly `(requests - K) /
 //! requests` — the CI smoke job asserts `hit_rate >= 0.9`. A non-zero
 //! exit means some request failed.
+//!
+//! Every request carries its own minted `x-grover-trace-id`; the report
+//! asserts the server echoed each id back (`trace_id_echoed`) and, by
+//! joining the ids against `GET /debug/requests`, splits p50/p99
+//! latency by the server's own disposition (`hit` / `miss` /
+//! `coalesced`) instead of guessing from the client side. Requests that
+//! aged out of the server's bounded request log are counted as
+//! `unclassified`, never silently dropped.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use grover_obs::json::{self, Obj};
 use grover_obs::NoopRecorder;
-use grover_serve::{http_request, ServeConfig, Server};
+use grover_serve::{http_request, request_full, ClientConfig, ServeConfig, Server, TRACE_HEADER};
 
 /// The staging kernel every request tunes; distinct keys come from
 /// distinct launch geometries.
@@ -42,13 +52,25 @@ fn tune_body(global: u64) -> String {
     )
 }
 
+/// Mint a process-unique 32-hex trace id (high half: pid, low half: a
+/// monotonic sequence number) — valid input for `x-grover-trace-id`.
+fn next_trace() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}{seq:016x}", u64::from(std::process::id()) + 1)
+}
+
 struct Tally {
     ok: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
-    /// Per-request wall-clock latencies (µs), for the percentile report.
-    latencies_us: std::sync::Mutex<Vec<u64>>,
+    /// Responses whose echoed `x-grover-trace-id` did not match the id
+    /// the client sent (should stay zero).
+    echo_mismatches: AtomicU64,
+    /// Per-request wall-clock latencies (µs) tagged with the trace id of
+    /// the final attempt (`None` when no response came back).
+    latencies_us: Mutex<Vec<(Option<String>, u64)>>,
 }
 
 /// The `p`-th percentile (nearest-rank) of a sorted latency list, in ms.
@@ -60,48 +82,108 @@ fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.clamp(1, sorted_us.len()) - 1] as f64 / 1000.0
 }
 
+/// `{count, p50_ms, p99_ms}` for one latency bucket.
+fn bucket_json(mut us: Vec<u64>) -> String {
+    us.sort_unstable();
+    Obj::new()
+        .u64("count", us.len() as u64)
+        .f64("p50_ms", percentile_ms(&us, 50.0))
+        .f64("p99_ms", percentile_ms(&us, 99.0))
+        .finish()
+}
+
 fn run_one(addr: SocketAddr, body: &str, tally: &Tally) {
     let start = Instant::now();
-    run_one_inner(addr, body, tally);
+    let trace = run_one_inner(addr, body, tally);
     let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
     tally
         .latencies_us
         .lock()
         .expect("latency tally poisoned")
-        .push(us);
+        .push((trace, us));
 }
 
-fn run_one_inner(addr: SocketAddr, body: &str, tally: &Tally) {
-    match http_request(addr, "POST", "/v1/tune", Some(body)) {
-        Ok((200, text)) => {
+/// One traced POST to `/v1/tune`: returns `(status, body, trace_id)` and
+/// counts an echo mismatch if the server failed to echo the id back.
+fn tune_once(addr: SocketAddr, body: &str, tally: &Tally) -> Option<(u16, String, String)> {
+    let trace = next_trace();
+    let (status, headers, text) = request_full(
+        addr,
+        "POST",
+        "/v1/tune",
+        Some(body),
+        &[(TRACE_HEADER, &trace)],
+        &ClientConfig::default(),
+    )
+    .ok()?;
+    if !headers
+        .iter()
+        .any(|(n, v)| n == TRACE_HEADER && *v == trace)
+    {
+        tally.echo_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+    Some((status, text, trace))
+}
+
+/// Issue one tune (retrying once through backpressure) and return the
+/// trace id of the attempt whose response settled the request.
+fn run_one_inner(addr: SocketAddr, body: &str, tally: &Tally) -> Option<String> {
+    match tune_once(addr, body, tally) {
+        Some((200, text, trace)) => {
             tally.ok.fetch_add(1, Ordering::Relaxed);
             match json::parse(&text).ok().and_then(|v| v.bool_of("cached")) {
                 Some(true) => tally.hits.fetch_add(1, Ordering::Relaxed),
                 Some(false) => tally.misses.fetch_add(1, Ordering::Relaxed),
                 None => tally.errors.fetch_add(1, Ordering::Relaxed),
             };
+            Some(trace)
         }
-        Ok((429, _)) => {
+        Some((429, _, _)) => {
             // Backpressure is not a failure; retry once after yielding.
             std::thread::yield_now();
-            match http_request(addr, "POST", "/v1/tune", Some(body)) {
-                Ok((200, text)) => {
+            match tune_once(addr, body, tally) {
+                Some((200, text, trace)) => {
                     tally.ok.fetch_add(1, Ordering::Relaxed);
                     if json::parse(&text).ok().and_then(|v| v.bool_of("cached")) == Some(true) {
                         tally.hits.fetch_add(1, Ordering::Relaxed);
                     } else {
                         tally.misses.fetch_add(1, Ordering::Relaxed);
                     }
+                    Some(trace)
                 }
-                _ => {
+                other => {
                     tally.errors.fetch_add(1, Ordering::Relaxed);
+                    other.map(|(_, _, trace)| trace)
                 }
             }
         }
-        _ => {
+        other => {
             tally.errors.fetch_add(1, Ordering::Relaxed);
+            other.map(|(_, _, trace)| trace)
         }
     }
+}
+
+/// `GET /debug/requests` → map from trace id to the server's disposition
+/// for that request. Empty on any failure (the split then reports
+/// everything as unclassified rather than dying).
+fn fetch_dispositions(addr: SocketAddr) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let Ok((200, text)) = http_request(addr, "GET", "/debug/requests", None) else {
+        return out;
+    };
+    let Ok(parsed) = json::parse(&text) else {
+        return out;
+    };
+    let Some(entries) = parsed.get("requests").and_then(|v| v.as_arr()) else {
+        return out;
+    };
+    for e in entries {
+        if let (Some(trace), Some(disp)) = (e.str_of("trace_id"), e.str_of("disposition")) {
+            out.insert(trace.to_string(), disp.to_string());
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -135,7 +217,9 @@ fn main() -> ExitCode {
     }
     let distinct = distinct.max(1).min(requests.max(1));
 
-    // An in-process server unless an external one was named.
+    // An in-process server unless an external one was named. The flight
+    // capacity is sized to the campaign so the disposition join below
+    // sees every request.
     let (target, _local) = match &addr {
         Some(a) => (a.parse().expect("--addr must be HOST:PORT"), None),
         None => {
@@ -146,6 +230,7 @@ fn main() -> ExitCode {
                 ServeConfig {
                     cache_dir: dir,
                     workers,
+                    flight_capacity: (requests as usize * 2).max(512),
                     ..ServeConfig::default()
                 },
                 Arc::new(NoopRecorder),
@@ -163,7 +248,8 @@ fn main() -> ExitCode {
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
         errors: AtomicU64::new(0),
-        latencies_us: std::sync::Mutex::new(Vec::with_capacity(requests as usize)),
+        echo_mismatches: AtomicU64::new(0),
+        latencies_us: Mutex::new(Vec::with_capacity(requests as usize)),
     });
 
     let start = Instant::now();
@@ -192,6 +278,10 @@ fn main() -> ExitCode {
     }
     let elapsed = start.elapsed();
 
+    // Join client-side latencies against the server's own view of each
+    // request before shutting it down.
+    let dispositions = fetch_dispositions(target);
+
     if let Some(server) = _local {
         server.shutdown();
     }
@@ -200,14 +290,52 @@ fn main() -> ExitCode {
     let hits = tally.hits.load(Ordering::Relaxed);
     let misses = tally.misses.load(Ordering::Relaxed);
     let errors = tally.errors.load(Ordering::Relaxed);
+    let echo_mismatches = tally.echo_mismatches.load(Ordering::Relaxed);
     let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
     let secs = elapsed.as_secs_f64();
-    let mut sorted_us = tally
+    let tagged = tally
         .latencies_us
         .lock()
         .expect("latency tally poisoned")
         .clone();
+    let mut sorted_us: Vec<u64> = tagged.iter().map(|(_, us)| *us).collect();
     sorted_us.sort_unstable();
+
+    let mut split: HashMap<&str, Vec<u64>> = HashMap::new();
+    let mut unclassified = 0u64;
+    for (trace, us) in &tagged {
+        match trace.as_deref().and_then(|t| dispositions.get(t)) {
+            Some(d) => split.entry(match d.as_str() {
+                "hit" => "hit",
+                "miss" => "miss",
+                "coalesced" => "coalesced",
+                _ => "other",
+            }),
+            None => {
+                unclassified += 1;
+                continue;
+            }
+        }
+        .or_default()
+        .push(*us);
+    }
+    let by_disposition = Obj::new()
+        .raw("hit", &bucket_json(split.remove("hit").unwrap_or_default()))
+        .raw(
+            "miss",
+            &bucket_json(split.remove("miss").unwrap_or_default()),
+        )
+        .raw(
+            "coalesced",
+            &bucket_json(split.remove("coalesced").unwrap_or_default()),
+        )
+        .raw(
+            "other",
+            &bucket_json(split.remove("other").unwrap_or_default()),
+        )
+        .u64("unclassified", unclassified)
+        .finish();
+
     println!(
         "{}",
         Obj::new()
@@ -219,6 +347,8 @@ fn main() -> ExitCode {
             .u64("misses", misses)
             .u64("errors", errors)
             .f64("hit_rate", hit_rate)
+            .bool("trace_id_echoed", echo_mismatches == 0)
+            .u64("echo_mismatches", echo_mismatches)
             .f64("elapsed_s", secs)
             .f64(
                 "throughput_rps",
@@ -226,9 +356,10 @@ fn main() -> ExitCode {
             )
             .f64("p50_ms", percentile_ms(&sorted_us, 50.0))
             .f64("p99_ms", percentile_ms(&sorted_us, 99.0))
+            .raw("by_disposition", &by_disposition)
             .finish()
     );
-    if errors > 0 {
+    if errors > 0 || echo_mismatches > 0 {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -14,12 +14,16 @@
 //!     runs work-groups on N host threads (0 = one per CPU); the simulated
 //!     cycle counts are identical to a serial run.
 //!
-//! grover profile <app-id> [--scale test|small|paper] [--threads N] [--json]
+//! grover profile <app-id> [--scale test|small|paper] [--threads N] [--json] [--ops]
 //!     Run both kernel versions of a bundled benchmark and print a
 //!     side-by-side memory-traffic report (per-address-space load/store
 //!     counts, bytes moved, barriers, instructions) with deltas — the
 //!     paper's §VI-C reasons analysis — plus the per-buffer pass outcomes
-//!     with structured reasons.
+//!     with structured reasons. With `--ops` (requires `--backend
+//!     bytecode`) the report is instead the per-opcode execution profile
+//!     of the compiled bytecode: executed-op counts and charged budget
+//!     units per opcode kind and per basic block, reconciled exactly
+//!     against the launch's instruction tally.
 //!
 //! grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]
 //!     Run a differential fuzzing campaign: generate randomized
@@ -34,11 +38,17 @@
 //!              [--breaker-threshold N] [--breaker-cooldown-ms MS]
 //!              [--io-timeout-ms MS] [--compact-threshold N]
 //!              [--cache-capacity N] [--max-deadline-ms N]
+//!              [--flight-capacity N] [--profile-ops]
 //!     Run the persistent tuning-cache service: an HTTP compile/tune API
 //!     over the pipeline with a content-addressed decision cache that
-//!     warm-starts from `--cache-dir` on boot. Runs until `POST
-//!     /admin/shutdown`; shutdown flushes the cache and the trace
-//!     recorder.
+//!     warm-starts from `--cache-dir` on boot. Every request is traced
+//!     end to end (`x-grover-trace-id` honoured and echoed) and the last
+//!     `--flight-capacity` spans/events are kept in an in-memory flight
+//!     ring (`GET /debug/flight`), dumped to `flight-<ts>.jsonl` in the
+//!     cache dir on panic or shutdown. `--profile-ops` attaches the
+//!     per-opcode bytecode profile to tune spans (bytecode backend
+//!     only). Runs until `POST /admin/shutdown`; shutdown flushes the
+//!     cache and the trace recorder.
 //!
 //! grover list
 //!     List the bundled benchmark applications.
@@ -158,13 +168,13 @@ fn main() -> ExitCode {
             );
             eprintln!("                  [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]");
             eprintln!(
-                "  grover profile <app-id> [--scale test|small|paper] [--threads N] [--json]"
+                "  grover profile <app-id> [--scale test|small|paper] [--threads N] [--json] [--ops]"
             );
             eprintln!("  grover classify <kernel.cl> [-D NAME=VAL ...]");
             eprintln!("  grover fuzz [--seed N] [--cases N] [--json] [--out-dir DIR]");
             eprintln!("  grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]");
             eprintln!("               [--breaker-threshold N] [--breaker-cooldown-ms MS] [--io-timeout-ms MS] [--compact-threshold N]");
-            eprintln!("               [--cache-capacity N] [--max-deadline-ms N]");
+            eprintln!("               [--cache-capacity N] [--max-deadline-ms N] [--flight-capacity N] [--profile-ops]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -436,6 +446,7 @@ fn cmd_profile(
     let mut scale = Scale::Small;
     let mut policy = ExecPolicy::Serial;
     let mut json = false;
+    let mut ops = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -456,6 +467,7 @@ fn cmd_profile(
                 policy = ExecPolicy::Parallel { threads: n };
             }
             "--json" => json = true,
+            "--ops" => ops = true,
             other if app_id.is_none() => app_id = Some(other.to_string()),
             other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
@@ -468,6 +480,14 @@ fn cmd_profile(
         )
     })?;
     let pair = prepare_pair(&app, scale).map_err(|e| Failure::new(EXIT_COMPILE, e))?;
+    if ops {
+        if backend != Backend::Bytecode {
+            return Err(Failure::usage(
+                "--ops profiles the compiled bytecode; pass `--backend bytecode`",
+            ));
+        }
+        return cmd_profile_ops(&app_id, &app, scale, policy, json, &pair);
+    }
 
     let rec = &**recorder;
     let span = rec.enabled().then(|| rec.span_start("profile", None));
@@ -509,6 +529,166 @@ fn cmd_profile(
         print_profile(&app_id, scale, policy, &pair, &original, &transformed);
     }
     Ok(())
+}
+
+/// The `--ops` arm of `grover profile`: run both kernel versions on the
+/// bytecode backend with the per-opcode profiler enabled and print the
+/// executed-op counts and charge units per opcode kind and per basic
+/// block. Each version's `total_charged` is checked against the launch's
+/// `LaunchStats::instructions` — a mismatch is an internal error, so the
+/// report is reconciled by construction.
+fn cmd_profile_ops(
+    app_id: &str,
+    app: &grover_kernels::App,
+    scale: Scale,
+    policy: ExecPolicy,
+    json: bool,
+    pair: &KernelPair,
+) -> Result<(), Failure> {
+    let run = |kernel, version: &str| -> Result<(u64, grover_runtime::OpProfile), Failure> {
+        let mut p = (app.prepare)(scale);
+        let (stats, profile) = grover_runtime::enqueue_profiled(
+            &mut p.ctx,
+            kernel,
+            &p.args,
+            &p.nd,
+            &mut grover_runtime::NullSink,
+            &Limits::default(),
+            policy,
+            Backend::Bytecode,
+        )
+        .map_err(|e| Failure::new(EXIT_EXEC, format!("{version} kernel: {e}")))?;
+        let profile = profile.ok_or_else(|| {
+            Failure::new(
+                1,
+                format!("{version} kernel: bytecode launch produced no profile"),
+            )
+        })?;
+        if profile.total_charged != stats.instructions {
+            return Err(Failure::new(
+                1,
+                format!(
+                    "{version} kernel: profile does not reconcile: {} charge units != {} instructions",
+                    profile.total_charged, stats.instructions
+                ),
+            ));
+        }
+        Ok((stats.instructions, profile))
+    };
+    let (o_insts, o) = run(&pair.original, "original")?;
+    let (t_insts, t) = run(&pair.transformed, "transformed")?;
+
+    if json {
+        println!(
+            "{}",
+            Obj::new()
+                .str("app", app_id)
+                .str("scale", scale_name(scale))
+                .str("backend", "bytecode")
+                .str("kernel", &pair.original.name)
+                .str("pass_fingerprint", &grover_core::pass_fingerprint())
+                .raw("original", &op_profile_json(o_insts, &o))
+                .raw("transformed", &op_profile_json(t_insts, &t))
+                .finish()
+        );
+        return Ok(());
+    }
+
+    println!(
+        "profile {app_id} --ops (scale {}, {} work-group schedule, bytecode backend)",
+        scale_name(scale),
+        match policy {
+            ExecPolicy::Serial => "serial".to_string(),
+            ExecPolicy::Parallel { .. } => format!("parallel x{}", policy.worker_count()),
+        }
+    );
+    println!("  kernel {}", pair.original.name);
+    println!(
+        "  {:<10}{:>12}{:>12} |{:>12}{:>12} |{:>12}",
+        "opcode", "count", "charged", "count", "charged", "delta"
+    );
+    println!(
+        "  {:<10}{:>12}{:>12} |{:>12}{:>12} |",
+        "", "original", "original", "transformed", "transformed"
+    );
+    let charged_of = |p: &grover_runtime::OpProfile, kind: &str| {
+        p.ops
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| (r.count, r.charged))
+            .unwrap_or((0, 0))
+    };
+    let mut kinds: Vec<&'static str> = o.ops.iter().map(|r| r.kind).collect();
+    for r in &t.ops {
+        if !kinds.contains(&r.kind) {
+            kinds.push(r.kind);
+        }
+    }
+    for kind in kinds {
+        let (oc, och) = charged_of(&o, kind);
+        let (tc, tch) = charged_of(&t, kind);
+        println!(
+            "  {:<10}{:>12}{:>12} |{:>12}{:>12} |{:>+12}",
+            kind,
+            oc,
+            och,
+            tc,
+            tch,
+            delta(och, tch)
+        );
+    }
+    println!(
+        "  {:<10}{:>12}{:>12} |{:>12}{:>12} |{:>+12}",
+        "total",
+        o.total_count,
+        o.total_charged,
+        t.total_count,
+        t.total_charged,
+        delta(o.total_charged, t.total_charged)
+    );
+    for (version, insts, p) in [("original", o_insts, &o), ("transformed", t_insts, &t)] {
+        println!(
+            "  {version}: {} ops executed, {} charge units == {insts} instructions (reconciled)",
+            p.total_count, p.total_charged
+        );
+        for b in &p.blocks {
+            let label = match b.first_value {
+                Some(v) => format!("block {} (v{})", b.block, v),
+                None => format!("block {}", b.block),
+            };
+            println!("    {:<16}{:>12}{:>12}", label, b.count, b.charged);
+        }
+    }
+    Ok(())
+}
+
+/// One version's per-opcode profile as JSON — the schema the CI
+/// `obs-smoke` job validates: `instructions`, `total_count`,
+/// `total_charged`, `ops: [{kind, count, charged}]`,
+/// `blocks: [{block, first_value, count, charged}]`.
+fn op_profile_json(instructions: u64, p: &grover_runtime::OpProfile) -> String {
+    let ops = array(p.ops.iter().map(|r| {
+        Obj::new()
+            .str("kind", r.kind)
+            .u64("count", r.count)
+            .u64("charged", r.charged)
+            .finish()
+    }));
+    let blocks = array(p.blocks.iter().map(|b| {
+        let obj = Obj::new().u64("block", b.block as u64);
+        let obj = match b.first_value {
+            Some(v) => obj.u64("first_value", v as u64),
+            None => obj.null("first_value"),
+        };
+        obj.u64("count", b.count).u64("charged", b.charged).finish()
+    }));
+    Obj::new()
+        .u64("instructions", instructions)
+        .u64("total_count", p.total_count)
+        .u64("total_charged", p.total_charged)
+        .raw("ops", &ops)
+        .raw("blocks", &blocks)
+        .finish()
 }
 
 /// `transformed - original`, signed.
@@ -901,6 +1081,10 @@ fn cmd_serve(
             "--compact-threshold" => {
                 config.compact_threshold = parse_u64(&mut it, "--compact-threshold")? as usize
             }
+            "--flight-capacity" => {
+                config.flight_capacity = parse_u64(&mut it, "--flight-capacity")? as usize
+            }
+            "--profile-ops" => config.profile_ops = true,
             other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }

@@ -49,6 +49,75 @@ use std::time::{Duration, Instant};
 /// no-op recorder (it never allocates ids).
 pub type SpanId = u64;
 
+/// A 128-bit request-scoped trace identifier, rendered as 32 lowercase
+/// hex digits (the `x-grover-trace-id` wire format). `0` is not a valid
+/// trace id — [`TraceId::parse`] rejects it and [`TraceId::mint`] never
+/// produces it — so recorders can treat "all-zero" as "absent".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Mint a fresh id: 128 bits mixed from the wall clock, a process-wide
+    /// counter and two independently-keyed SipHash rounds (`RandomState`).
+    /// Collision-resistant enough for correlating traces; not a secret.
+    pub fn mint() -> TraceId {
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let mut h1 = RandomState::new().build_hasher();
+        h1.write_u128(now);
+        h1.write_u64(n);
+        let hi = h1.finish();
+        let mut h2 = RandomState::new().build_hasher();
+        h2.write_u64(hi);
+        h2.write_u64(n);
+        h2.write_u128(now);
+        let lo = h2.finish();
+        let id = ((hi as u128) << 64) | lo as u128;
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// The 32-hex-digit wire form.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the 32-hex-digit wire form (case-insensitive). Rejects any
+    /// other length, non-hex characters and the all-zero id.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        match u128::from_str_radix(s, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(v) => Some(TraceId(v)),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The request-scoped trace context a serving edge threads through the
+/// layers below it: the minted (or inbound) trace id plus the span every
+/// nested span should parent under.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCtx {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// The span to parent nested work under (e.g. the `serve.request`
+    /// span).
+    pub parent: SpanId,
+}
+
 /// A typed attribute value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
@@ -168,6 +237,19 @@ pub trait Recorder: Send + Sync {
     /// Record a point-in-time event, optionally attached to a span.
     fn event(&self, _name: &str, _span: Option<SpanId>, _attrs: &[(&str, Value)]) {}
 
+    /// Bind `span` (and, transitively, every span started under it *after*
+    /// this call, plus every event attached to them) to a trace id.
+    /// Recorders that persist records propagate the id parent→child at
+    /// [`Recorder::span_start`], so a serving edge only tags its root
+    /// span. Defaults to a no-op.
+    fn set_trace(&self, _span: SpanId, _trace: TraceId) {}
+
+    /// The trace id `span` is bound to (directly or by inheritance), for
+    /// recorders that track traces. Defaults to `None`.
+    fn trace_of(&self, _span: SpanId) -> Option<TraceId> {
+        None
+    }
+
     /// Flush any buffered records to their destination. Long-running
     /// processes (the `grover-serve` server) call this on graceful
     /// shutdown and at checkpoints; recorders that buffer (e.g.
@@ -195,6 +277,9 @@ pub struct Span {
     pub parent: Option<SpanId>,
     /// Span name (e.g. `launch`, `tune`, `grover.pass`).
     pub name: String,
+    /// The trace this span belongs to — set via [`Recorder::set_trace`]
+    /// on this span or inherited from the parent at start.
+    pub trace: Option<TraceId>,
     /// Start offset from the recorder's creation.
     pub start: Duration,
     /// Wall-time from start to [`Recorder::span_end`]; `None` while open.
@@ -231,6 +316,8 @@ pub struct Event {
     pub name: String,
     /// Span it was attached to, if any.
     pub span: Option<SpanId>,
+    /// Trace inherited from the attached span at recording time.
+    pub trace: Option<TraceId>,
     /// Typed attributes, in recording order.
     pub attrs: Vec<(String, Value)>,
 }
@@ -323,19 +410,20 @@ impl Recorder for MemoryRecorder {
 
     fn span_start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let span = Span {
+        let start = self.epoch.elapsed();
+        let mut s = self.state.lock().expect("recorder poisoned");
+        let trace = parent
+            .and_then(|p| s.spans.iter().rev().find(|sp| sp.id == p))
+            .and_then(|sp| sp.trace);
+        s.spans.push(Span {
             id,
             parent,
             name: name.to_string(),
-            start: self.epoch.elapsed(),
+            trace,
+            start,
             duration: None,
             attrs: Vec::new(),
-        };
-        self.state
-            .lock()
-            .expect("recorder poisoned")
-            .spans
-            .push(span);
+        });
         id
     }
 
@@ -357,22 +445,39 @@ impl Recorder for MemoryRecorder {
     }
 
     fn event(&self, name: &str, span: Option<SpanId>, attrs: &[(&str, Value)]) {
-        let ev = Event {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        let trace = span
+            .and_then(|p| s.spans.iter().rev().find(|sp| sp.id == p))
+            .and_then(|sp| sp.trace);
+        s.events.push(Event {
             name: name.to_string(),
             span,
+            trace,
             attrs: own_attrs(attrs),
-        };
-        self.state
-            .lock()
-            .expect("recorder poisoned")
-            .events
-            .push(ev);
+        });
+    }
+
+    fn set_trace(&self, span: SpanId, trace: TraceId) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        if let Some(sp) = s.spans.iter_mut().rev().find(|sp| sp.id == span) {
+            sp.trace = Some(trace);
+        }
+    }
+
+    fn trace_of(&self, span: SpanId) -> Option<TraceId> {
+        let s = self.state.lock().expect("recorder poisoned");
+        s.spans
+            .iter()
+            .rev()
+            .find(|sp| sp.id == span)
+            .and_then(|sp| sp.trace)
     }
 }
 
 struct OpenSpan {
     name: String,
     parent: Option<SpanId>,
+    trace: Option<TraceId>,
     start: Instant,
     attrs: Vec<(String, Value)>,
 }
@@ -420,6 +525,57 @@ fn attrs_json(attrs: &[(String, Value)]) -> String {
     obj.finish()
 }
 
+/// Render one JSONL span line — the exact format [`JsonlRecorder`] emits.
+/// Shared with out-of-crate recorders (the serve flight recorder) so every
+/// JSONL surface stays byte-compatible. The returned string has no
+/// trailing newline.
+#[allow(clippy::too_many_arguments)]
+pub fn span_line(
+    id: SpanId,
+    name: &str,
+    parent: Option<SpanId>,
+    trace: Option<TraceId>,
+    start_us: u64,
+    dur_us: u64,
+    attrs: &[(String, Value)],
+) -> String {
+    let mut obj = json::Obj::new()
+        .str("type", "span")
+        .u64("id", id)
+        .u64("span_id", id)
+        .str("name", name)
+        .u64("start_us", start_us)
+        .u64("dur_us", dur_us);
+    obj = match trace {
+        Some(t) => obj.str("trace_id", &t.to_hex()),
+        None => obj.null("trace_id"),
+    };
+    obj = match parent {
+        Some(p) => obj.u64("parent", p).u64("parent_id", p),
+        None => obj.null("parent").null("parent_id"),
+    };
+    obj.raw("attrs", &attrs_json(attrs)).finish()
+}
+
+/// Render one JSONL event line (see [`span_line`]); no trailing newline.
+pub fn event_line(
+    name: &str,
+    span: Option<SpanId>,
+    trace: Option<TraceId>,
+    attrs: &[(String, Value)],
+) -> String {
+    let mut obj = json::Obj::new().str("type", "event").str("name", name);
+    obj = match span {
+        Some(p) => obj.u64("span", p).u64("span_id", p),
+        None => obj.null("span").null("span_id"),
+    };
+    obj = match trace {
+        Some(t) => obj.str("trace_id", &t.to_hex()),
+        None => obj.null("trace_id"),
+    };
+    obj.raw("attrs", &attrs_json(attrs)).finish()
+}
+
 impl<W: Write + Send> Recorder for JsonlRecorder<W> {
     fn enabled(&self) -> bool {
         true
@@ -428,11 +584,13 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
     fn span_start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut s = self.state.lock().expect("recorder poisoned");
+        let trace = parent.and_then(|p| s.open.get(&p)).and_then(|sp| sp.trace);
         s.open.insert(
             id,
             OpenSpan {
                 name: name.to_string(),
                 parent,
+                trace,
                 start: Instant::now(),
                 attrs: Vec::new(),
             },
@@ -452,32 +610,40 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
         let Some(sp) = s.open.remove(&span) else {
             return;
         };
-        let mut obj = json::Obj::new()
-            .str("type", "span")
-            .u64("id", span)
-            .str("name", &sp.name)
-            .u64(
-                "start_us",
-                sp.start.duration_since(self.epoch).as_micros() as u64,
-            )
-            .u64("dur_us", sp.start.elapsed().as_micros() as u64);
-        obj = match sp.parent {
-            Some(p) => obj.u64("parent", p),
-            None => obj.null("parent"),
-        };
-        let line = obj.raw("attrs", &attrs_json(&sp.attrs)).finish();
-        let _ = writeln!(s.out, "{line}");
+        let mut line = span_line(
+            span,
+            &sp.name,
+            sp.parent,
+            sp.trace,
+            sp.start.duration_since(self.epoch).as_micros() as u64,
+            sp.start.elapsed().as_micros() as u64,
+            &sp.attrs,
+        );
+        line.push('\n');
+        // One `write_all` per line: the emission itself is atomic, so even
+        // a writer shared beyond this recorder's lock never sees torn
+        // lines.
+        let _ = s.out.write_all(line.as_bytes());
     }
 
     fn event(&self, name: &str, span: Option<SpanId>, attrs: &[(&str, Value)]) {
-        let mut obj = json::Obj::new().str("type", "event").str("name", name);
-        obj = match span {
-            Some(p) => obj.u64("span", p),
-            None => obj.null("span"),
-        };
-        let line = obj.raw("attrs", &attrs_json(&own_attrs(attrs))).finish();
         let mut s = self.state.lock().expect("recorder poisoned");
-        let _ = writeln!(s.out, "{line}");
+        let trace = span.and_then(|p| s.open.get(&p)).and_then(|sp| sp.trace);
+        let mut line = event_line(name, span, trace, &own_attrs(attrs));
+        line.push('\n');
+        let _ = s.out.write_all(line.as_bytes());
+    }
+
+    fn set_trace(&self, span: SpanId, trace: TraceId) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        if let Some(sp) = s.open.get_mut(&span) {
+            sp.trace = Some(trace);
+        }
+    }
+
+    fn trace_of(&self, span: SpanId) -> Option<TraceId> {
+        let s = self.state.lock().expect("recorder poisoned");
+        s.open.get(&span).and_then(|sp| sp.trace)
     }
 
     fn flush(&self) {
@@ -669,6 +835,140 @@ mod tests {
         json::parse(text.lines().next().unwrap()).unwrap();
         drop(rec);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_id_roundtrips_and_rejects_garbage() {
+        let t = TraceId::mint();
+        assert_eq!(TraceId::parse(&t.to_hex()), Some(t));
+        assert_eq!(t.to_hex().len(), 32);
+        assert_ne!(TraceId::mint(), TraceId::mint());
+        for bad in [
+            "",
+            "xyz",
+            "0123",
+            "0123456789abcdef0123456789abcdeg",  // non-hex
+            "00000000000000000000000000000000",  // zero reserved
+            "0123456789abcdef0123456789abcdef0", // 33 chars
+            " 123456789abcdef0123456789abcdef",  // space
+        ] {
+            assert_eq!(TraceId::parse(bad), None, "{bad:?}");
+        }
+        // Case-insensitive parse.
+        assert_eq!(
+            TraceId::parse("00000000000000000000000000000ABC"),
+            Some(TraceId(0xabc))
+        );
+    }
+
+    #[test]
+    fn memory_recorder_inherits_trace_parent_to_child_and_events() {
+        let rec = MemoryRecorder::new();
+        let trace = TraceId::mint();
+        let root = rec.span_start("serve.request", None);
+        rec.set_trace(root, trace);
+        let tune = rec.span_start("tune", Some(root));
+        let launch = rec.span_start("launch", Some(tune));
+        rec.event("decision", Some(tune), &[]);
+        rec.event("orphan", None, &[]);
+        rec.span_end(launch);
+        rec.span_end(tune);
+        rec.span_end(root);
+
+        assert_eq!(rec.trace_of(launch), Some(trace));
+        let snap = rec.snapshot();
+        for name in ["serve.request", "tune", "launch"] {
+            assert_eq!(snap.span(name).unwrap().trace, Some(trace), "{name}");
+        }
+        assert_eq!(snap.events_named("decision")[0].trace, Some(trace));
+        assert_eq!(snap.events_named("orphan")[0].trace, None);
+    }
+
+    #[test]
+    fn jsonl_lines_carry_trace_span_and_parent_ids() {
+        let rec = JsonlRecorder::new(Vec::new());
+        let trace = TraceId(0xdead_beef);
+        let root = rec.span_start("serve.request", None);
+        rec.set_trace(root, trace);
+        let child = rec.span_start("launch", Some(root));
+        rec.event("worker", Some(child), &[]);
+        rec.span_end(child);
+        rec.span_end(root);
+
+        let out = {
+            let s = rec.state.lock().unwrap();
+            String::from_utf8(s.out.clone()).unwrap()
+        };
+        let hex = trace.to_hex();
+        for line in out.lines() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.str_of("trace_id"), Some(hex.as_str()), "{line}");
+            assert!(v.get("span_id").is_some(), "{line}");
+        }
+        let spans: Vec<_> = out
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .filter(|v| v.str_of("type") == Some("span"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Child's parent_id names the root's span_id.
+        assert_eq!(spans[0].u64_of("parent_id"), spans[1].u64_of("span_id"));
+        assert_eq!(spans[1].get("parent_id"), Some(&json::Json::Null));
+    }
+
+    /// A writer that panics unless every single `write` call it receives
+    /// is one (or more) complete, newline-terminated JSON lines — a torn
+    /// line (an emission split across two `write` calls) fails the test
+    /// even though the test never inspects the final buffer.
+    struct WholeLineWriter {
+        lines: std::sync::Arc<AtomicU64>,
+    }
+
+    impl Write for WholeLineWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let text = std::str::from_utf8(buf).expect("utf-8 write");
+            assert!(
+                text.ends_with('\n'),
+                "torn write (no trailing newline): {text:?}"
+            );
+            for line in text.lines() {
+                json::parse(line).unwrap_or_else(|e| panic!("torn JSON line `{line}`: {e}"));
+                self.lines.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_jsonl_lines() {
+        let lines = std::sync::Arc::new(AtomicU64::new(0));
+        let rec = JsonlRecorder::new(WholeLineWriter {
+            lines: lines.clone(),
+        });
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let id = rec.span_start("w", None);
+                        rec.set_trace(id, TraceId::mint());
+                        rec.span_attr(id, "pad", "y".repeat(64).into());
+                        rec.event(
+                            "tick",
+                            Some(id),
+                            &[("t", (t as u64).into()), ("i", (i as u64).into())],
+                        );
+                        rec.span_end(id);
+                    }
+                });
+            }
+        });
+        // 8 threads × 100 iterations × (1 event + 1 span) lines.
+        assert_eq!(lines.load(Ordering::Relaxed), 1600);
     }
 
     #[test]

@@ -212,6 +212,9 @@ struct Edge {
     /// instruction counter without spending budget, like the
     /// interpreter's block-head phi batch.
     n_phis: u32,
+    /// Successor block (the block whose phis this edge feeds); the
+    /// profiler attributes the edge's phi executions to it.
+    succ: u32,
     /// Set when some phi of the successor has no incoming entry for this
     /// edge's predecessor: taking the edge raises this error.
     fail: Option<ExecError>,
@@ -222,6 +225,7 @@ impl Edge {
         Edge {
             moves: Box::new([]),
             n_phis: 0,
+            succ: 0,
             fail: None,
         }
     }
@@ -236,6 +240,13 @@ pub(crate) struct CompiledKernel {
     regs_base: Vec<Val>,
     /// Op index execution starts at.
     entry: u32,
+    /// First op index of each block, in block order (non-decreasing): the
+    /// profiler's op-index → block map. Ops past the last entry (the
+    /// entry-phi / invalid-entry failure tail) belong to no block.
+    block_start: Vec<u32>,
+    /// Original IR value id of each block's first instruction (the
+    /// block's stable label in profiles), `u32::MAX` for empty blocks.
+    block_first_value: Vec<u32>,
 }
 
 /// A compiled kernel plus the launch's parameter seeds already applied to
@@ -257,6 +268,233 @@ impl LaunchProgram {
         LaunchProgram {
             compiled,
             regs_init,
+        }
+    }
+}
+
+/// Raw profiling counters of one worker: dynamic execution counts per
+/// bytecode op index and per phi edge. Merging is plain addition, so the
+/// launch-wide totals are bit-identical under any work-group schedule.
+#[derive(Default)]
+pub(crate) struct ProfBuf {
+    op_counts: Vec<u64>,
+    edge_counts: Vec<u64>,
+}
+
+impl ProfBuf {
+    /// A zeroed buffer sized for `prog`.
+    pub(crate) fn for_program(prog: &LaunchProgram) -> ProfBuf {
+        ProfBuf {
+            op_counts: vec![0; prog.compiled.ops.len()],
+            edge_counts: vec![0; prog.compiled.edges.len()],
+        }
+    }
+
+    /// Add another worker's counts into this buffer.
+    pub(crate) fn merge(&mut self, other: &ProfBuf) {
+        for (a, b) in self.op_counts.iter_mut().zip(&other.op_counts) {
+            *a += b;
+        }
+        for (a, b) in self.edge_counts.iter_mut().zip(&other.edge_counts) {
+            *a += b;
+        }
+    }
+}
+
+/// One row of the per-opcode profile table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpKindProfile {
+    /// Stable opcode-kind tag (the profiler's op taxonomy — see
+    /// DESIGN.md §17): `bin`, `cmp`, `select`, `cast`, `query`, `call`,
+    /// `gep`, `load`, `gep.load`, `store`, `gep.store`, `extract`,
+    /// `insert`, `bvec`, `phi`, `jump`, `cjump`, `barrier`, `ret`.
+    pub kind: &'static str,
+    /// Dynamic executions of ops of this kind, summed over all work-items.
+    pub count: u64,
+    /// Charge units attributed — the contribution to
+    /// [`LaunchStats::instructions`](crate::LaunchStats): 2 per fused
+    /// `gep.load`/`gep.store` execution, 1 per phi, 1 otherwise.
+    pub charged: u64,
+}
+
+/// One row of the per-basic-block profile table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Block index in the original IR's block order.
+    pub block: u32,
+    /// Original IR value id of the block's first instruction (`None` for
+    /// an empty block) — the stable label tying the row back to the IR
+    /// and the golden disassembly.
+    pub first_value: Option<u32>,
+    /// Dynamic op executions attributed to this block (phis included).
+    pub count: u64,
+    /// Charge units attributed to this block.
+    pub charged: u64,
+}
+
+/// The aggregated per-opcode/per-block execution profile of one bytecode
+/// launch. `total_charged` reconciles exactly with
+/// [`LaunchStats::instructions`](crate::LaunchStats) for a successful
+/// launch — every budget charge unit (including the double charge of
+/// fused memory ops and the no-spend phi count) is attributed to exactly
+/// one opcode kind and one block.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Per-opcode-kind rows, in taxonomy order, zero-count kinds omitted.
+    pub ops: Vec<OpKindProfile>,
+    /// Per-basic-block rows, in block order, zero-count blocks omitted.
+    pub blocks: Vec<BlockProfile>,
+    /// Total dynamic op executions (phis counted individually).
+    pub total_count: u64,
+    /// Total charge units — equals `LaunchStats::instructions`.
+    pub total_charged: u64,
+}
+
+/// Taxonomy order of the profile table (hot kinds first).
+const KIND_ORDER: [&str; 22] = [
+    "gep.load",
+    "gep.store",
+    "load",
+    "store",
+    "bin",
+    "cmp",
+    "select",
+    "cast",
+    "query",
+    "call",
+    "gep",
+    "extract",
+    "insert",
+    "bvec",
+    "phi",
+    "jump",
+    "cjump",
+    "barrier",
+    "ret",
+    "gep.bad",
+    "fail",
+    "fail.nospend",
+];
+
+impl Op {
+    /// Stable kind tag (profile taxonomy; a subset of [`KIND_ORDER`]).
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Bin { .. } => "bin",
+            Op::Cmp { .. } => "cmp",
+            Op::Select { .. } => "select",
+            Op::Cast { .. } => "cast",
+            Op::Query { .. } => "query",
+            Op::Call { .. } => "call",
+            Op::Gep { .. } => "gep",
+            Op::GepNoPointee { .. } => "gep.bad",
+            Op::Load { .. } => "load",
+            Op::GepLoad { .. } => "gep.load",
+            Op::Store { .. } => "store",
+            Op::GepStore { .. } => "gep.store",
+            Op::ExtractLane { .. } => "extract",
+            Op::InsertLane { .. } => "insert",
+            Op::BuildVector { .. } => "bvec",
+            Op::Jump { .. } => "jump",
+            Op::CondJump { .. } => "cjump",
+            Op::Barrier => "barrier",
+            Op::Ret => "ret",
+            Op::Fail(_) => "fail",
+            Op::FailNoSpend(_) => "fail.nospend",
+        }
+    }
+
+    /// Budget charge units one execution of this op contributes to
+    /// `LaunchStats::instructions`: fused memory ops charge for both
+    /// original IR instructions; `FailNoSpend` errors out before the
+    /// charge.
+    fn charge_units(&self) -> u64 {
+        match self {
+            Op::GepLoad { .. } | Op::GepStore { .. } => 2,
+            Op::FailNoSpend(_) => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl LaunchProgram {
+    /// Fold merged raw counters into the launch's [`OpProfile`].
+    pub(crate) fn aggregate(&self, prof: &ProfBuf) -> OpProfile {
+        let ck = &self.compiled;
+        let nb = ck.block_start.len();
+        let mut by_kind: std::collections::HashMap<&'static str, (u64, u64)> =
+            std::collections::HashMap::new();
+        let mut by_block: Vec<(u64, u64)> = vec![(0, 0); nb];
+
+        // The op index → block map: block_start is non-decreasing, so the
+        // owning block is the *last* one starting at or before the index
+        // (empty blocks share their successor's start and own no ops).
+        let block_of = |i: usize| -> Option<usize> {
+            let p = ck.block_start.partition_point(|&s| (s as usize) <= i);
+            p.checked_sub(1)
+        };
+
+        for (i, n) in prof.op_counts.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let op = &ck.ops[i];
+            let charged = n * op.charge_units();
+            let e = by_kind.entry(op.kind_name()).or_insert((0, 0));
+            e.0 += n;
+            e.1 += charged;
+            if let Some(b) = block_of(i) {
+                by_block[b].0 += n;
+                by_block[b].1 += charged;
+            }
+        }
+        // Phi executions: attributed to the edge's successor block, one
+        // charge unit per phi (counted into `instructions` without a
+        // budget spend, like the interpreter's block-head batch).
+        for (j, n) in prof.edge_counts.iter().enumerate() {
+            let e = &ck.edges[j];
+            if *n == 0 || e.n_phis == 0 {
+                continue;
+            }
+            let phis = n * u64::from(e.n_phis);
+            let k = by_kind.entry("phi").or_insert((0, 0));
+            k.0 += phis;
+            k.1 += phis;
+            if (e.succ as usize) < nb {
+                by_block[e.succ as usize].0 += phis;
+                by_block[e.succ as usize].1 += phis;
+            }
+        }
+
+        let ops: Vec<OpKindProfile> = KIND_ORDER
+            .iter()
+            .filter_map(|&kind| {
+                by_kind.get(kind).map(|&(count, charged)| OpKindProfile {
+                    kind,
+                    count,
+                    charged,
+                })
+            })
+            .collect();
+        let blocks: Vec<BlockProfile> = by_block
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, _))| c > 0)
+            .map(|(b, &(count, charged))| BlockProfile {
+                block: b as u32,
+                first_value: match ck.block_first_value[b] {
+                    u32::MAX => None,
+                    v => Some(v),
+                },
+                count,
+                charged,
+            })
+            .collect();
+        OpProfile {
+            total_count: ops.iter().map(|o| o.count).sum(),
+            total_charged: ops.iter().map(|o| o.charged).sum(),
+            ops,
+            blocks,
         }
     }
 }
@@ -329,7 +567,7 @@ fn count_uses(f: &Function) -> Vec<u32> {
 
 /// Build the phi parallel-copy edge from `pred` into a block whose
 /// prologue phis are `phis`.
-fn make_edge(phis: &[(ValueId, &[(BlockId, ValueId)])], pred: BlockId) -> Edge {
+fn make_edge(phis: &[(ValueId, &[(BlockId, ValueId)])], pred: BlockId, succ: BlockId) -> Edge {
     let mut moves = Vec::with_capacity(phis.len());
     for (iv, incoming) in phis {
         match incoming.iter().find(|(b, _)| *b == pred) {
@@ -338,6 +576,7 @@ fn make_edge(phis: &[(ValueId, &[(BlockId, ValueId)])], pred: BlockId) -> Edge {
                 return Edge {
                     moves: Box::new([]),
                     n_phis: 0,
+                    succ: succ.0,
                     fail: Some(ExecError::Internal("phi missing incoming edge".into())),
                 }
             }
@@ -346,6 +585,7 @@ fn make_edge(phis: &[(ValueId, &[(BlockId, ValueId)])], pred: BlockId) -> Edge {
     Edge {
         n_phis: moves.len() as u32,
         moves: moves.into(),
+        succ: succ.0,
         fail: None,
     }
 }
@@ -395,7 +635,7 @@ fn compile(f: &Function) -> CompiledKernel {
         if sb >= nb || block_phis[sb].is_empty() {
             return 0;
         }
-        edges.push(make_edge(&block_phis[sb], pred));
+        edges.push(make_edge(&block_phis[sb], pred, succ));
         (edges.len() - 1) as u32
     };
 
@@ -668,11 +908,22 @@ fn compile(f: &Function) -> CompiledKernel {
         }
     }
 
+    let block_first_value: Vec<u32> = (0..nb)
+        .map(|b| {
+            f.block(BlockId(b as u32))
+                .insts
+                .first()
+                .map_or(u32::MAX, |iv| iv.0)
+        })
+        .collect();
+
     CompiledKernel {
         ops,
         edges,
         regs_base,
         entry,
+        block_start,
+        block_first_value,
     }
 }
 
@@ -707,10 +958,14 @@ fn apply_edge(
     idx: u32,
     wi: &mut BcItem,
     copy_buf: &mut Vec<Val>,
+    prof: Option<&mut ProfBuf>,
 ) -> Result<(), ExecError> {
     let e = &edges[idx as usize];
     if let Some(err) = &e.fail {
         return Err(err.clone());
+    }
+    if let Some(p) = prof {
+        p.edge_counts[idx as usize] += 1;
     }
     if !e.moves.is_empty() {
         // Parallel-copy semantics: read every source before writing any
@@ -728,6 +983,7 @@ fn apply_edge(
 /// Execute one work-group of a compiled launch. The exact mirror of the
 /// interpreter's `run_group`: same deadline/fault hooks, local-memory
 /// reset, barrier rendezvous rules and trace/statistics protocol.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_group(
     prog: &LaunchProgram,
     launch: &LaunchCtx<'_>,
@@ -736,6 +992,7 @@ pub(crate) fn run_group(
     sink: &mut dyn TraceSink,
     budget: &mut LocalBudget<'_>,
     scratch: &mut BcScratch,
+    mut prof: Option<&mut ProfBuf>,
 ) -> Result<GroupStats, ExecError> {
     let nd = launch.nd;
 
@@ -842,7 +1099,16 @@ pub(crate) fn run_group(
             if wi.done {
                 continue;
             }
-            let stop = run_item(&prog.compiled, &mut run, wi, copy_buf, sink, budget, wants)?;
+            let stop = run_item(
+                &prog.compiled,
+                &mut run,
+                wi,
+                copy_buf,
+                sink,
+                budget,
+                wants,
+                prof.as_deref_mut(),
+            )?;
             match stop {
                 BcStop::Done => {
                     wi.done = true;
@@ -886,6 +1152,7 @@ fn run_item(
     sink: &mut dyn TraceSink,
     budget: &mut LocalBudget<'_>,
     wants: bool,
+    mut prof: Option<&mut ProfBuf>,
 ) -> Result<BcStop, ExecError> {
     let ops = &prog.ops;
     let edges = &prog.edges;
@@ -893,6 +1160,9 @@ fn run_item(
         let op = &ops[wi.pc as usize];
         if let Op::FailNoSpend(e) = op {
             return Err(e.clone());
+        }
+        if let Some(p) = prof.as_deref_mut() {
+            p.op_counts[wi.pc as usize] += 1;
         }
         wi.insts += 1;
         budget.spend()?;
@@ -1099,7 +1369,7 @@ fn run_item(
                 wi.regs[*dst as usize] = build_vector(vals)?;
             }
             Op::Jump { target, edge } => {
-                apply_edge(edges, *edge, wi, copy_buf)?;
+                apply_edge(edges, *edge, wi, copy_buf, prof.as_deref_mut())?;
                 wi.pc = *target;
                 continue;
             }
@@ -1118,7 +1388,7 @@ fn run_item(
                 } else {
                     (*else_target, *else_edge)
                 };
-                apply_edge(edges, e, wi, copy_buf)?;
+                apply_edge(edges, e, wi, copy_buf, prof.as_deref_mut())?;
                 wi.pc = t;
                 continue;
             }

@@ -502,6 +502,7 @@ pub fn enqueue_with_policy(
         policy,
         Backend::Interp,
         None,
+        None,
     )
 }
 
@@ -522,14 +523,58 @@ pub fn enqueue_with_backend(
     policy: ExecPolicy,
     backend: Backend,
 ) -> Result<LaunchStats, ExecError> {
-    enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, backend, None)
+    enqueue_impl(
+        ctx, kernel, args, nd, sink, limits, policy, backend, None, None,
+    )
+}
+
+/// Launch a kernel like [`enqueue_with_backend`] while collecting a
+/// per-opcode execution profile.
+///
+/// Profiling is only implemented by the bytecode backend: with
+/// [`Backend::Bytecode`] and a successful launch, the returned profile is
+/// `Some` and its `total_charged` equals the launch's
+/// [`LaunchStats::instructions`] exactly; with [`Backend::Interp`] (or on
+/// a failed launch) it is `None`. Counts are aggregated by plain addition
+/// across work-items and workers, so the profile is bit-identical under
+/// [`ExecPolicy::Serial`] and [`ExecPolicy::Parallel`].
+#[allow(clippy::too_many_arguments)]
+pub fn enqueue_profiled(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+    backend: Backend,
+) -> Result<(LaunchStats, Option<bytecode::OpProfile>), ExecError> {
+    let mut profile = None;
+    let stats = enqueue_impl(
+        ctx,
+        kernel,
+        args,
+        nd,
+        sink,
+        limits,
+        policy,
+        backend,
+        None,
+        Some(&mut profile),
+    )?;
+    Ok((stats, profile))
 }
 
 /// The launch engine behind [`enqueue_with_policy`] and
 /// [`crate::obs::enqueue_observed`]. When `workers_out` is `Some`, each
 /// worker additionally times its group executions and pushes one
 /// [`WorkerStat`] (the serial engine pushes exactly one); when `None` —
-/// the production path — no clock is read and no stat is kept.
+/// the production path — no clock is read and no stat is kept. When
+/// `profile_out` is `Some` and the backend is [`Backend::Bytecode`], each
+/// worker counts op/edge executions into a private buffer; the buffers are
+/// merged and aggregated into an [`bytecode::OpProfile`] written through
+/// `profile_out` iff the launch succeeds. With the interpreter backend, or
+/// on any error, `profile_out` is left untouched.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn enqueue_impl(
     ctx: &mut Context,
@@ -541,6 +586,7 @@ pub(crate) fn enqueue_impl(
     policy: ExecPolicy,
     backend: Backend,
     workers_out: Option<&mut Vec<WorkerStat>>,
+    profile_out: Option<&mut Option<bytecode::OpProfile>>,
 ) -> Result<LaunchStats, ExecError> {
     nd.validate()?;
     validate_args(ctx, kernel, args)?;
@@ -595,6 +641,11 @@ pub(crate) fn enqueue_impl(
     if policy == ExecPolicy::Serial {
         let mut budget = LocalBudget::new(&launch, BUDGET_CHUNK);
         let mut scratch = AnyScratch::new(program.is_some());
+        let mut prof = if profile_out.is_some() {
+            program.map(bytecode::ProfBuf::for_program)
+        } else {
+            None
+        };
         let mut stats = LaunchStats::default();
         let mut wstat = WorkerStat::default();
         for gl in 0..n_groups {
@@ -607,6 +658,7 @@ pub(crate) fn enqueue_impl(
                 sink,
                 &mut budget,
                 &mut scratch,
+                prof.as_mut(),
             )?;
             if let Some(t0) = t0 {
                 wstat.note(t0.elapsed());
@@ -620,11 +672,17 @@ pub(crate) fn enqueue_impl(
         if let Some(out) = workers_out {
             out.push(wstat);
         }
+        if let Some(out) = profile_out {
+            if let (Some(buf), Some(p)) = (&prof, program) {
+                *out = Some(p.aggregate(buf));
+            }
+        }
         return Ok(stats);
     }
 
     let workers = policy.worker_count().clamp(1, n_groups);
     let wants_access = sink.wants_events();
+    let profile = profile_out.is_some();
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let launch_ref = &launch;
@@ -635,61 +693,68 @@ pub(crate) fn enqueue_impl(
     // claimed earlier by some worker that finishes it before exiting —
     // which is what makes the first-error-in-group-order guarantee hold.
     let mut escaped_panic: Option<String> = None;
-    let worker_outputs: Vec<(Vec<GroupOutcome>, WorkerStat)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    let mut wstat = WorkerStat::default();
-                    let mut budget = LocalBudget::new(launch_ref, BUDGET_CHUNK);
-                    let mut scratch = AnyScratch::new(program.is_some());
-                    while !stop.load(Ordering::Relaxed) {
-                        let gl = next.fetch_add(1, Ordering::Relaxed);
-                        if gl >= n_groups {
-                            break;
-                        }
-                        let mut buf = GroupBuf {
-                            wants_access,
-                            events: Vec::new(),
+    let worker_outputs: Vec<(Vec<GroupOutcome>, WorkerStat, Option<bytecode::ProfBuf>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        let mut wstat = WorkerStat::default();
+                        let mut budget = LocalBudget::new(launch_ref, BUDGET_CHUNK);
+                        let mut scratch = AnyScratch::new(program.is_some());
+                        let mut prof = if profile {
+                            program.map(bytecode::ProfBuf::for_program)
+                        } else {
+                            None
                         };
-                        let t0 = observe.then(Instant::now);
-                        let r = run_group_any(
-                            launch_ref,
-                            program,
-                            delinearize(gl, ng),
-                            gl as u32,
-                            &mut buf,
-                            &mut budget,
-                            &mut scratch,
-                        );
-                        if let Some(t0) = t0 {
-                            wstat.note(t0.elapsed());
+                        while !stop.load(Ordering::Relaxed) {
+                            let gl = next.fetch_add(1, Ordering::Relaxed);
+                            if gl >= n_groups {
+                                break;
+                            }
+                            let mut buf = GroupBuf {
+                                wants_access,
+                                events: Vec::new(),
+                            };
+                            let t0 = observe.then(Instant::now);
+                            let r = run_group_any(
+                                launch_ref,
+                                program,
+                                delinearize(gl, ng),
+                                gl as u32,
+                                &mut buf,
+                                &mut budget,
+                                &mut scratch,
+                                prof.as_mut(),
+                            );
+                            if let Some(t0) = t0 {
+                                wstat.note(t0.elapsed());
+                            }
+                            let failed = r.is_err();
+                            out.push((gl, r.map(|gs| (gs, buf))));
+                            if failed {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
                         }
-                        let failed = r.is_err();
-                        out.push((gl, r.map(|gs| (gs, buf))));
-                        if failed {
-                            stop.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    (out, wstat)
+                        (out, wstat, prof)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(out) => out,
-                // Per-group isolation catches every panic inside the
-                // worker loop, so this arm is unreachable short of a bug
-                // in the loop itself; degrade to an error regardless.
-                Err(p) => {
-                    escaped_panic = Some(panic_message(p.as_ref()));
-                    (Vec::new(), WorkerStat::default())
-                }
-            })
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    // Per-group isolation catches every panic inside the
+                    // worker loop, so this arm is unreachable short of a bug
+                    // in the loop itself; degrade to an error regardless.
+                    Err(p) => {
+                        escaped_panic = Some(panic_message(p.as_ref()));
+                        (Vec::new(), WorkerStat::default(), None)
+                    }
+                })
+                .collect()
+        });
     if let Some(message) = escaped_panic {
         return Err(ExecError::WorkerPanic {
             group: u32::MAX,
@@ -700,8 +765,18 @@ pub(crate) fn enqueue_impl(
     let mut slots: Vec<Option<Result<(GroupStats, GroupBuf), ExecError>>> = Vec::new();
     slots.resize_with(n_groups, || None);
     let mut worker_stats = Vec::with_capacity(worker_outputs.len());
-    for (outcomes, wstat) in worker_outputs {
+    // Merging the per-worker counters is element-wise addition, so the
+    // launch-wide profile is independent of which worker ran which group.
+    let mut merged_prof = if profile {
+        program.map(bytecode::ProfBuf::for_program)
+    } else {
+        None
+    };
+    for (outcomes, wstat, wprof) in worker_outputs {
         worker_stats.push(wstat);
+        if let (Some(m), Some(w)) = (merged_prof.as_mut(), wprof.as_ref()) {
+            m.merge(w);
+        }
         for (gl, r) in outcomes {
             slots[gl] = Some(r);
         }
@@ -727,6 +802,11 @@ pub(crate) fn enqueue_impl(
                     "work-group skipped without a preceding error".into(),
                 ))
             }
+        }
+    }
+    if let Some(out) = profile_out {
+        if let (Some(buf), Some(p)) = (&merged_prof, program) {
+            *out = Some(p.aggregate(buf));
         }
     }
     Ok(stats)
@@ -834,6 +914,7 @@ impl AnyScratch {
 /// injected fault — becomes [`ExecError::WorkerPanic`] instead of
 /// unwinding through the launch machinery (and, on a worker thread,
 /// aborting the process via `std::thread::scope`).
+#[allow(clippy::too_many_arguments)]
 fn run_group_any(
     launch: &LaunchCtx<'_>,
     program: Option<&bytecode::LaunchProgram>,
@@ -842,11 +923,12 @@ fn run_group_any(
     sink: &mut dyn TraceSink,
     budget: &mut LocalBudget<'_>,
     scratch: &mut AnyScratch,
+    prof: Option<&mut bytecode::ProfBuf>,
 ) -> Result<GroupStats, ExecError> {
     match catch_unwind(AssertUnwindSafe(|| match (program, &mut *scratch) {
         (None, AnyScratch::Interp(s)) => run_group(launch, wg, group_linear, sink, budget, s),
         (Some(p), AnyScratch::Bytecode(s)) => {
-            bytecode::run_group(p, launch, wg, group_linear, sink, budget, s)
+            bytecode::run_group(p, launch, wg, group_linear, sink, budget, s, prof)
         }
         _ => Err(ExecError::Internal(
             "worker scratch does not match the launch backend".into(),

@@ -52,12 +52,12 @@ pub mod trace;
 pub mod val;
 
 pub use buffer::{Buffer, BufferData, Context};
-pub use bytecode::{disassemble, Backend};
+pub use bytecode::{disassemble, Backend, BlockProfile, OpKindProfile, OpProfile};
 pub use interp::{
-    enqueue, enqueue_with_backend, enqueue_with_policy, ArgValue, ExecPolicy, LaunchStats, Limits,
-    NdRange, WorkerStat,
+    enqueue, enqueue_profiled, enqueue_with_backend, enqueue_with_policy, ArgValue, ExecPolicy,
+    LaunchStats, Limits, NdRange, WorkerStat,
 };
-pub use obs::{enqueue_observed, enqueue_observed_backend};
+pub use obs::{enqueue_observed, enqueue_observed_backend, enqueue_observed_profiled};
 pub use trace::{AccessEvent, CountingSink, NullSink, SpaceBytes, TraceOp, TraceSink, VecSink};
 pub use val::{PtrVal, Val};
 

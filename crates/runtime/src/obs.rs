@@ -13,7 +13,7 @@ use grover_ir::Function;
 use grover_obs::{Recorder, SpanId, Value};
 
 use crate::buffer::Context;
-use crate::bytecode::Backend;
+use crate::bytecode::{Backend, OpProfile};
 use crate::interp::{enqueue_impl, ArgValue, ExecPolicy, LaunchStats, Limits, NdRange, WorkerStat};
 use crate::trace::{AccessEvent, CountingSink, TraceSink};
 use crate::ExecError;
@@ -105,8 +105,47 @@ pub fn enqueue_observed_backend(
     recorder: &dyn Recorder,
     parent: Option<SpanId>,
 ) -> Result<LaunchStats, ExecError> {
+    enqueue_observed_profiled(
+        ctx, kernel, args, nd, sink, limits, policy, backend, recorder, parent, None,
+    )
+}
+
+/// [`enqueue_observed_backend`] with optional per-opcode profiling.
+///
+/// When `profile_out` is `Some` and the backend is [`Backend::Bytecode`],
+/// a successful launch writes its [`OpProfile`] through `profile_out` and
+/// (when the recorder is enabled) emits one `profile` event on the launch
+/// span with `total_count`/`total_charged` plus `count.<kind>` and
+/// `charged.<kind>` attributes per executed opcode kind — the `profile`
+/// section tune spans carry. With the interpreter backend, or on a failed
+/// launch, `profile_out` is left as it was.
+#[allow(clippy::too_many_arguments)]
+pub fn enqueue_observed_profiled(
+    ctx: &mut Context,
+    kernel: &Function,
+    args: &[ArgValue],
+    nd: &NdRange,
+    sink: &mut dyn TraceSink,
+    limits: &Limits,
+    policy: ExecPolicy,
+    backend: Backend,
+    recorder: &dyn Recorder,
+    parent: Option<SpanId>,
+    profile_out: Option<&mut Option<OpProfile>>,
+) -> Result<LaunchStats, ExecError> {
     if !recorder.enabled() {
-        return enqueue_impl(ctx, kernel, args, nd, sink, limits, policy, backend, None);
+        return enqueue_impl(
+            ctx,
+            kernel,
+            args,
+            nd,
+            sink,
+            limits,
+            policy,
+            backend,
+            None,
+            profile_out,
+        );
     }
 
     let span = recorder.span_start("launch", parent);
@@ -124,6 +163,7 @@ pub fn enqueue_observed_backend(
         counts: CountingSink::default(),
     };
     let mut worker_stats: Vec<WorkerStat> = Vec::new();
+    let mut profile: Option<OpProfile> = None;
     let t0 = Instant::now();
     let result = enqueue_impl(
         ctx,
@@ -135,6 +175,7 @@ pub fn enqueue_observed_backend(
         policy,
         backend,
         Some(&mut worker_stats),
+        profile_out.is_some().then_some(&mut profile),
     );
     let wall = t0.elapsed();
 
@@ -202,6 +243,22 @@ pub fn enqueue_observed_backend(
                 ("util", Value::from(busy_us as f64 / wall_us)),
             ],
         );
+    }
+    if let Some(p) = &profile {
+        let mut attrs: Vec<(String, Value)> = vec![
+            ("total_count".to_string(), Value::from(p.total_count)),
+            ("total_charged".to_string(), Value::from(p.total_charged)),
+        ];
+        for row in &p.ops {
+            attrs.push((format!("count.{}", row.kind), Value::from(row.count)));
+            attrs.push((format!("charged.{}", row.kind), Value::from(row.charged)));
+        }
+        let borrowed: Vec<(&str, Value)> =
+            attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        recorder.event("profile", Some(span), &borrowed);
+    }
+    if let (Some(out), Some(p)) = (profile_out, profile) {
+        *out = Some(p);
     }
     recorder.span_end(span);
     result

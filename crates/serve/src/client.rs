@@ -88,6 +88,25 @@ pub fn request_with(
     body: Option<&str>,
     config: &ClientConfig,
 ) -> Result<(u16, String), ClientError> {
+    request_full(addr, method, path, body, &[], config).map(|(status, _, body)| (status, body))
+}
+
+/// A full response: status, headers (lowercased names), body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// [`request_with`] plus request/response headers: sends the extra
+/// `(name, value)` pairs and returns the response's headers (lowercased
+/// names) alongside status and body. The tracing layer rides on this —
+/// it is how a client propagates `x-grover-trace-id` in and reads the
+/// echoed id back out.
+pub fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+    config: &ClientConfig,
+) -> Result<FullResponse, ClientError> {
     let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(|e| {
         if is_timeout(&e) {
             ClientError::ConnectTimedOut(addr, config.connect_timeout)
@@ -104,10 +123,17 @@ pub fn request_with(
         .map_err(ClientError::Io)?;
 
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let write_phase = |e: std::io::Error| {
         if is_timeout(&e) {
             ClientError::TimedOut {
@@ -139,11 +165,19 @@ pub fn request_with(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Malformed(format!("{text:.60}")))?;
-    let payload = match text.split_once("\r\n\r\n") {
-        Some((_, b)) => b.to_string(),
-        None => String::new(),
+    let (head, payload) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h.to_string(), b.to_string()),
+        None => (text.into_owned(), String::new()),
     };
-    Ok((status, payload))
+    let headers = head
+        .split("\r\n")
+        .skip(1)
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, payload))
 }
 
 /// [`request_with`] under [`ClientConfig::default`], flattened to

@@ -1,0 +1,441 @@
+//! The crash flight recorder: a bounded in-memory ring of the most
+//! recent spans and events, kept *always on* in the serving layer and
+//! dumped to `flight-<ts>.jsonl` when a handler panics or the server
+//! shuts down — so a crash report carries the traffic that led up to it
+//! even when JSONL tracing was never enabled.
+//!
+//! [`FlightRecorder`] wraps the configured [`Recorder`] (possibly the
+//! no-op one) and forwards every call, while independently rendering
+//! finished spans and events — via [`grover_obs::span_line`] /
+//! [`grover_obs::event_line`], so the dump is byte-compatible with the
+//! `--trace-out` JSONL format — into a [`FlightRing`]. It allocates its
+//! own span ids: the inner recorder may be `NoopRecorder` (which returns
+//! id 0 for every span), so inner ids cannot key the in-flight table.
+//!
+//! A sibling [`RequestLog`] ring keeps one summary line per finished
+//! request (trace id, method, path, status, latency, cache disposition)
+//! behind `GET /debug/requests`; the span ring itself is live at
+//! `GET /debug/flight`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use grover_obs::{event_line, span_line, Recorder, SpanId, TraceId, Value};
+
+/// A bounded ring of rendered JSONL lines: pushing past capacity drops
+/// the oldest line. Cheap enough to stay on for every request.
+pub struct FlightRing {
+    cap: usize,
+    lines: Mutex<VecDeque<String>>,
+}
+
+impl FlightRing {
+    /// An empty ring holding at most `cap` lines.
+    pub fn new(cap: usize) -> FlightRing {
+        FlightRing {
+            cap: cap.max(1),
+            lines: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append one line, evicting the oldest when full.
+    pub fn push(&self, line: String) {
+        let mut lines = self.lines.lock().expect("flight ring poisoned");
+        while lines.len() >= self.cap {
+            lines.pop_front();
+        }
+        lines.push_back(line);
+    }
+
+    /// Lines currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .expect("flight ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of lines currently held.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render as a JSONL document (one line per entry, trailing newline).
+    pub fn render(&self) -> String {
+        let lines = self.lines.lock().expect("flight ring poisoned");
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dump the ring to `dir/flight-<unix-secs>.jsonl` and return the
+    /// path. A best-effort crash artifact: the caller ignores errors on
+    /// the panic path.
+    pub fn dump_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        // Suffix with a counter when the second collides (two dumps in
+        // one second must not clobber each other).
+        let mut path = dir.join(format!("flight-{ts}.jsonl"));
+        let mut n = 1;
+        while path.exists() {
+            path = dir.join(format!("flight-{ts}-{n}.jsonl"));
+            n += 1;
+        }
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.render().as_bytes())?;
+        f.sync_all()?;
+        Ok(path)
+    }
+}
+
+/// One finished (or rejected) request, as shown by `GET /debug/requests`.
+#[derive(Clone, Debug)]
+pub struct RequestEntry {
+    /// The request's trace id (none when the request died before one was
+    /// minted — e.g. a malformed request line).
+    pub trace: Option<TraceId>,
+    /// HTTP method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Wall time from first byte read to response written, µs.
+    pub latency_us: u64,
+    /// How the tune cache answered: `hit`, `miss`, `coalesced`,
+    /// `degraded`, `rejected`, `error`, or `-` for non-tune routes.
+    pub disposition: &'static str,
+}
+
+impl RequestEntry {
+    fn to_json(&self) -> String {
+        let obj = grover_obs::json::Obj::new();
+        let obj = match self.trace {
+            Some(t) => obj.str("trace_id", &t.to_hex()),
+            None => obj.null("trace_id"),
+        };
+        obj.str("method", &self.method)
+            .str("path", &self.path)
+            .u64("status", u64::from(self.status))
+            .u64("latency_us", self.latency_us)
+            .str("disposition", self.disposition)
+            .finish()
+    }
+}
+
+/// A bounded ring of recent [`RequestEntry`]s.
+pub struct RequestLog {
+    cap: usize,
+    entries: Mutex<VecDeque<RequestEntry>>,
+}
+
+impl RequestLog {
+    /// An empty log holding at most `cap` requests.
+    pub fn new(cap: usize) -> RequestLog {
+        RequestLog {
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one finished request, evicting the oldest when full.
+    pub fn push(&self, entry: RequestEntry) {
+        let mut entries = self.entries.lock().expect("request log poisoned");
+        while entries.len() >= self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Render as `{"requests": [...]}`, oldest first.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries.lock().expect("request log poisoned");
+        let items = grover_obs::json::array(entries.iter().map(|e| e.to_json()));
+        grover_obs::json::Obj::new()
+            .raw("requests", &items)
+            .finish()
+    }
+
+    /// Number of requests currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("request log poisoned").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Book-keeping for one span that is still open.
+struct OpenSpan {
+    name: String,
+    parent: Option<SpanId>,
+    trace: Option<TraceId>,
+    started: Instant,
+    start_us: u64,
+    attrs: Vec<(String, Value)>,
+    /// The wrapped recorder's id for this span, used when forwarding.
+    inner_id: SpanId,
+}
+
+/// A [`Recorder`] that tees everything into a [`FlightRing`] while
+/// forwarding to the wrapped recorder. Always enabled — the ring is the
+/// point — so observed code paths record spans even when the inner
+/// recorder is the no-op one.
+pub struct FlightRecorder {
+    inner: Arc<dyn Recorder>,
+    ring: FlightRing,
+    /// Our own id source; never hands out 0 so ids stay distinguishable
+    /// from the no-op recorder's constant.
+    next_id: AtomicU64,
+    open: Mutex<HashMap<SpanId, OpenSpan>>,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// Wrap `inner`, keeping the most recent `cap` rendered lines.
+    pub fn new(inner: Arc<dyn Recorder>, cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner,
+            ring: FlightRing::new(cap),
+            next_id: AtomicU64::new(1),
+            open: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The ring of rendered lines.
+    pub fn ring(&self) -> &FlightRing {
+        &self.ring
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut open = self.open.lock().expect("flight recorder poisoned");
+        let (trace, inner_parent) = match parent.and_then(|p| open.get(&p)) {
+            Some(p) => (p.trace, Some(p.inner_id)),
+            None => (None, None),
+        };
+        let inner_id = self.inner.span_start(name, inner_parent);
+        open.insert(
+            id,
+            OpenSpan {
+                name: name.to_string(),
+                parent,
+                trace,
+                started: Instant::now(),
+                start_us: self.now_us(),
+                attrs: Vec::new(),
+                inner_id,
+            },
+        );
+        id
+    }
+
+    fn span_attr(&self, span: SpanId, key: &str, value: Value) {
+        let mut open = self.open.lock().expect("flight recorder poisoned");
+        if let Some(s) = open.get_mut(&span) {
+            s.attrs.push((key.to_string(), value.clone()));
+            let inner_id = s.inner_id;
+            drop(open);
+            self.inner.span_attr(inner_id, key, value);
+        }
+    }
+
+    fn span_end(&self, span: SpanId) {
+        let Some(s) = self
+            .open
+            .lock()
+            .expect("flight recorder poisoned")
+            .remove(&span)
+        else {
+            return;
+        };
+        let dur_us = s.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.ring.push(span_line(
+            span, &s.name, s.parent, s.trace, s.start_us, dur_us, &s.attrs,
+        ));
+        self.inner.span_end(s.inner_id);
+    }
+
+    fn event(&self, name: &str, span: Option<SpanId>, attrs: &[(&str, Value)]) {
+        let (trace, inner_span) = {
+            let open = self.open.lock().expect("flight recorder poisoned");
+            match span.and_then(|p| open.get(&p)) {
+                Some(s) => (s.trace, Some(s.inner_id)),
+                None => (None, None),
+            }
+        };
+        let owned: Vec<(String, Value)> = attrs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        self.ring.push(event_line(name, span, trace, &owned));
+        self.inner.event(name, inner_span, attrs);
+    }
+
+    fn set_trace(&self, span: SpanId, trace: TraceId) {
+        let inner_id = {
+            let mut open = self.open.lock().expect("flight recorder poisoned");
+            match open.get_mut(&span) {
+                Some(s) => {
+                    s.trace = Some(trace);
+                    Some(s.inner_id)
+                }
+                None => None,
+            }
+        };
+        if let Some(id) = inner_id {
+            self.inner.set_trace(id, trace);
+        }
+    }
+
+    fn trace_of(&self, span: SpanId) -> Option<TraceId> {
+        self.open
+            .lock()
+            .expect("flight recorder poisoned")
+            .get(&span)
+            .and_then(|s| s.trace)
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_obs::{MemoryRecorder, NoopRecorder};
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let ring = FlightRing::new(3);
+        for i in 0..5 {
+            ring.push(format!("line-{i}"));
+        }
+        assert_eq!(ring.snapshot(), vec!["line-2", "line-3", "line-4"]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.render(), "line-2\nline-3\nline-4\n");
+    }
+
+    #[test]
+    fn records_spans_with_trace_ids_over_a_noop_inner() {
+        let fr = FlightRecorder::new(Arc::new(NoopRecorder), 16);
+        let trace = TraceId::mint();
+        let root = fr.span_start("serve.request", None);
+        fr.set_trace(root, trace);
+        let child = fr.span_start("serve.tune", Some(root));
+        fr.event(
+            "decision",
+            Some(child),
+            &[("choice", Value::from("similar"))],
+        );
+        fr.span_end(child);
+        fr.span_end(root);
+
+        let lines = fr.ring().snapshot();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        let hex = trace.to_hex();
+        for line in &lines {
+            assert!(
+                line.contains(&format!("\"trace_id\":\"{hex}\"")),
+                "trace id missing from {line}"
+            );
+        }
+        // Distinct wrapper ids even though the no-op inner returns 0.
+        assert!(lines[1].contains("\"name\":\"serve.tune\""), "{lines:?}");
+        assert!(lines[2].contains("\"name\":\"serve.request\""), "{lines:?}");
+        assert_ne!(root, child);
+        assert_ne!(root, 0);
+    }
+
+    #[test]
+    fn forwards_everything_to_the_inner_recorder() {
+        let inner = Arc::new(MemoryRecorder::new());
+        let fr = FlightRecorder::new(inner.clone(), 16);
+        let trace = TraceId::mint();
+        let root = fr.span_start("serve.request", None);
+        fr.set_trace(root, trace);
+        let child = fr.span_start("serve.tune", Some(root));
+        fr.span_end(child);
+        fr.span_end(root);
+
+        let snap = inner.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let tune = snap.span("serve.tune").unwrap();
+        assert_eq!(tune.trace, Some(trace), "trace must reach the inner spans");
+        assert!(tune.parent.is_some(), "parent link must be forwarded");
+    }
+
+    #[test]
+    fn dump_writes_a_jsonl_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "grover-flight-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ring = FlightRing::new(8);
+        ring.push("{\"type\":\"span\"}".to_string());
+        ring.push("{\"type\":\"event\"}".to_string());
+        let path = ring.dump_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        // A second dump in the same second gets a distinct name.
+        let path2 = ring.dump_to(&dir).unwrap();
+        assert_ne!(path, path2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn request_log_renders_and_evicts() {
+        let log = RequestLog::new(2);
+        for (i, disp) in ["hit", "miss", "coalesced"].iter().enumerate() {
+            log.push(RequestEntry {
+                trace: Some(TraceId(i as u128 + 1)),
+                method: "POST".to_string(),
+                path: "/v1/tune".to_string(),
+                status: 200,
+                latency_us: 42,
+                disposition: disp,
+            });
+        }
+        assert_eq!(log.len(), 2);
+        let doc = log.render_json();
+        assert!(!doc.contains("\"disposition\":\"hit\""), "{doc}");
+        assert!(doc.contains("\"disposition\":\"miss\""), "{doc}");
+        assert!(doc.contains("\"disposition\":\"coalesced\""), "{doc}");
+        assert!(doc.contains("\"latency_us\":42"), "{doc}");
+    }
+}

@@ -20,6 +20,9 @@ pub struct Request {
     pub method: String,
     /// Path without the query string.
     pub path: String,
+    /// Headers as `(lowercased-name, trimmed-value)` pairs, in arrival
+    /// order — the tracing layer reads `x-grover-trace-id` from here.
+    pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -29,6 +32,14 @@ impl Request {
     pub fn body_str(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::BadRequest("body is not valid UTF-8".into()))
+    }
+
+    /// First value of header `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -91,6 +102,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -99,6 +111,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                     .parse()
                     .map_err(|_| HttpError::BadRequest("invalid Content-Length".into()))?;
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY {
@@ -115,7 +128,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         body.extend_from_slice(&buf[..n]);
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -233,6 +251,9 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/tune");
         assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("Content-Length"), Some("5"));
+        assert_eq!(req.header("x-grover-trace-id"), None);
     }
 
     #[test]

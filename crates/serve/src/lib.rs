@@ -12,8 +12,10 @@
 //! |------------------------|--------|-------------------------------------------------|
 //! | `/v1/compile`          | POST   | OpenCL-C source → transformed IR + pass report  |
 //! | `/v1/tune`             | POST   | source + device + launch → explainable decision |
-//! | `/metrics`             | GET    | text counters and latency histogram             |
+//! | `/metrics`             | GET    | typed metrics registry (counters/gauges/histos) |
 //! | `/healthz`             | GET    | liveness probe                                  |
+//! | `/debug/flight`        | GET    | flight-recorder ring: recent spans/events JSONL |
+//! | `/debug/requests`      | GET    | recent requests: trace id, status, disposition  |
 //! | `/admin/shutdown`      | POST   | graceful shutdown (flushes cache and recorder)  |
 //!
 //! ## Cache identity
@@ -47,6 +49,7 @@
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod journal;
 pub mod metrics;
@@ -55,8 +58,11 @@ pub mod singleflight;
 
 pub use breaker::{Admit, CircuitBreaker};
 pub use cache::{DecisionCache, DecisionRecord, DecisionStore, LoadStats};
-pub use client::{http_request, ClientConfig, ClientError};
+pub use client::{
+    http_request, request_full, request_with, ClientConfig, ClientError, FullResponse,
+};
+pub use flight::{FlightRecorder, FlightRing, RequestEntry, RequestLog};
 pub use grover_runtime::Backend;
 pub use metrics::Metrics;
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, TRACE_HEADER};
 pub use singleflight::{FlightOutcome, Singleflight};

@@ -37,6 +37,7 @@
 //! normally. A cooldown later, one half-open probe decides whether to
 //! close the circuit again.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,15 +53,20 @@ use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
 use grover_ir::{Function, Scalar, Type};
 use grover_obs::json::{self, array, Json, Obj};
-use grover_obs::{Recorder, SpanId, Value};
+use grover_obs::{Recorder, SpanId, TraceId, Value};
 use grover_runtime::{ArgValue, Backend, Context, ExecPolicy, Limits, NdRange};
 use grover_tuner::{Choice, FallbackReason, TuneError, Tuner, Workload};
 
 use crate::breaker::{Admit, CircuitBreaker};
 use crate::cache::{DecisionCache, DecisionRecord, DecisionStore};
+use crate::flight::{FlightRecorder, RequestEntry, RequestLog};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::singleflight::{FlightOutcome, Join, Singleflight};
+
+/// The header a client sets to propagate its trace into the server, and
+/// the header every response echoes the request's trace id back on.
+pub const TRACE_HEADER: &str = "x-grover-trace-id";
 
 /// Server configuration (CLI flags map onto this 1:1).
 #[derive(Clone, Debug)]
@@ -81,6 +87,10 @@ pub struct ServeConfig {
     /// Test hook: sleep this long at the start of every handled request,
     /// making queue-overflow (429) tests deterministic.
     pub handler_delay: Option<Duration>,
+    /// Test hook: requests to this exact path panic inside the handler
+    /// isolation boundary, making the panic → flight-dump path
+    /// deterministic to test.
+    pub panic_path: Option<String>,
     /// Execution backend cache-miss tunes run on.
     pub backend: Backend,
     /// Consecutive tuner failures that trip the circuit breaker open.
@@ -92,6 +102,12 @@ pub struct ServeConfig {
     pub io_timeout: Option<Duration>,
     /// Journal dead-record count that triggers an atomic compaction.
     pub compact_threshold: usize,
+    /// Capacity of the flight-recorder ring and the `/debug/requests`
+    /// log (entries each).
+    pub flight_capacity: usize,
+    /// Attach per-opcode profiles (`profile` events) to the launch spans
+    /// of cache-miss tunes. Bytecode backend only; off by default.
+    pub profile_ops: bool,
 }
 
 impl Default for ServeConfig {
@@ -104,11 +120,14 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             max_deadline: Some(Duration::from_secs(30)),
             handler_delay: None,
+            panic_path: None,
             backend: Backend::Interp,
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_secs(2),
             io_timeout: Some(Duration::from_secs(10)),
             compact_threshold: 512,
+            flight_capacity: 512,
+            profile_ops: false,
         }
     }
 }
@@ -118,7 +137,13 @@ struct Shared {
     config: ServeConfig,
     epoch: String,
     metrics: Arc<Metrics>,
+    /// The request-facing recorder: always the [`FlightRecorder`] (so the
+    /// crash ring sees everything), wrapping whatever the caller passed.
     recorder: Arc<dyn Recorder>,
+    /// The same object as `recorder`, concretely typed for ring access.
+    flight: Arc<FlightRecorder>,
+    /// Recent finished requests for `GET /debug/requests`.
+    requests: RequestLog,
     cache: Mutex<DecisionCache>,
     store: Mutex<DecisionStore>,
     singleflight: Arc<Singleflight>,
@@ -142,12 +167,15 @@ impl Shared {
 
     /// Mirror the breaker's state into the `/metrics` gauges.
     fn sync_breaker_metrics(&self) {
-        self.metrics
-            .breaker_state
-            .store(self.breaker.state_code(), Ordering::Relaxed);
-        self.metrics
-            .breaker_opens
-            .store(self.breaker.opens(), Ordering::Relaxed);
+        self.metrics.breaker_state.set(self.breaker.state_code());
+        self.metrics.breaker_opens.set(self.breaker.opens());
+    }
+
+    /// Dump the flight ring to the cache directory (crash / shutdown
+    /// artifact). Best-effort: failures are swallowed — the dump must
+    /// never turn a survivable panic into an abort.
+    fn dump_flight(&self) {
+        let _ = self.flight.ring().dump_to(&self.config.cache_dir);
     }
 }
 
@@ -167,6 +195,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let epoch = pass_fingerprint();
 
+        // Every span the server records goes through the flight recorder,
+        // which tees into the crash ring and forwards to the caller's
+        // recorder (possibly the no-op one).
+        let flight = Arc::new(FlightRecorder::new(recorder, config.flight_capacity));
+        let recorder: Arc<dyn Recorder> = flight.clone();
+
         let recovery = recorder.span_start("serve.recovery", None);
         let (store, stats) =
             DecisionStore::open(&config.cache_dir, &epoch, config.compact_threshold)?;
@@ -175,21 +209,11 @@ impl Server {
             cache.insert(rec.clone());
         }
         let metrics = Arc::new(Metrics::new());
-        metrics
-            .journal_recovered
-            .store(stats.loaded as u64, Ordering::Relaxed);
-        metrics
-            .journal_stale_epoch
-            .store(stats.stale_epoch as u64, Ordering::Relaxed);
-        metrics
-            .journal_corrupt
-            .store(stats.corrupt as u64, Ordering::Relaxed);
-        metrics
-            .journal_torn
-            .store(stats.torn as u64, Ordering::Relaxed);
-        metrics
-            .journal_legacy
-            .store(stats.legacy as u64, Ordering::Relaxed);
+        metrics.journal_recovered.set(stats.loaded as u64);
+        metrics.journal_stale_epoch.set(stats.stale_epoch as u64);
+        metrics.journal_corrupt.set(stats.corrupt as u64);
+        metrics.journal_torn.set(stats.torn as u64);
+        metrics.journal_legacy.set(stats.legacy as u64);
         if recorder.enabled() {
             recorder.span_attr(recovery, "loaded", Value::from(stats.loaded));
             recorder.span_attr(recovery, "stale_epoch", Value::from(stats.stale_epoch));
@@ -216,6 +240,8 @@ impl Server {
             epoch,
             metrics,
             recorder,
+            requests: RequestLog::new(config.flight_capacity),
+            flight,
             cache: Mutex::new(cache),
             store: Mutex::new(store),
             singleflight: Arc::new(Singleflight::default()),
@@ -277,6 +303,9 @@ impl Server {
         if let Ok(mut store) = self.shared.store.lock() {
             let _ = store.flush();
         }
+        // The graceful-shutdown flight dump: the last `flight_capacity`
+        // spans/events land next to the journal as `flight-<ts>.jsonl`.
+        self.shared.dump_flight();
         self.shared.recorder.flush();
     }
 
@@ -287,7 +316,7 @@ impl Server {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for conn in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -298,17 +327,34 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         let mut q = shared.queue.lock().expect("queue poisoned");
         if q.len() >= shared.config.queue_depth {
             drop(q);
-            shared.metrics.inc(&shared.metrics.rejected_busy);
+            shared.metrics.rejected_busy.inc();
             // Answer on a detached thread: the request must be drained
             // before responding (closing with unread bytes RSTs the
             // socket and the client never sees the 429), and the
             // acceptor must not block on a slow client.
+            let shared = shared.clone();
             let _ = std::thread::Builder::new()
                 .name("serve-reject".to_string())
                 .spawn(move || {
-                    let _ = read_request(&mut stream);
-                    let resp = error_response(429, "backpressure", "request queue is full")
+                    let start = Instant::now();
+                    // Even a rejected request keeps its trace: the 429
+                    // carries (and echoes) the caller's trace id so the
+                    // retry can be correlated with the rejection.
+                    let req = read_request(&mut stream);
+                    let trace = req.as_ref().ok().map(trace_of_request);
+                    let mut resp = error_response(429, "backpressure", "request queue is full")
                         .with_header("Retry-After", "1");
+                    if let Some(t) = trace {
+                        resp = stamp_trace(resp, t);
+                    }
+                    shared.requests.push(RequestEntry {
+                        trace,
+                        method: req.as_ref().map(|r| r.method.clone()).unwrap_or_default(),
+                        path: req.as_ref().map(|r| r.path.clone()).unwrap_or_default(),
+                        status: 429,
+                        latency_us: elapsed_us(start),
+                        disposition: "rejected",
+                    });
                     let _ = write_response(&mut stream, &resp);
                 });
         } else {
@@ -317,6 +363,37 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
             shared.available.notify_one();
         }
     }
+}
+
+/// The request's trace id: the client's `x-grover-trace-id` header when
+/// it parses as 32 hex digits, a freshly minted id otherwise.
+fn trace_of_request(req: &Request) -> TraceId {
+    req.header(TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::mint)
+}
+
+/// Stamp the request's trace onto a response: every response echoes the
+/// id in the `x-grover-trace-id` header, and structured 4xx/5xx JSON
+/// bodies additionally carry it as a `trace_id` field so an error report
+/// pasted into a bug can be joined against the trace without the
+/// transport headers.
+fn stamp_trace(mut resp: Response, trace: TraceId) -> Response {
+    let hex = trace.to_hex();
+    if resp.status >= 400 && resp.content_type == "application/json" {
+        if let Ok(text) = std::str::from_utf8(&resp.body) {
+            if let Some(rest) = text.strip_prefix('{') {
+                if !rest.trim_start().starts_with('}') {
+                    resp.body = format!("{{\"trace_id\":\"{hex}\",{rest}").into_bytes();
+                }
+            }
+        }
+    }
+    resp.with_header(TRACE_HEADER, hex)
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 fn worker_loop(shared: &Shared) {
@@ -365,7 +442,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
                 e.kind(),
                 std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
             ) {
-                m.inc(&m.slow_client_drops);
+                m.slow_client_drops.inc();
             }
             return false;
         }
@@ -374,61 +451,106 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
                 HttpError::TooLarge => (413, "too_large"),
                 _ => (400, "bad_request"),
             };
-            m.inc(&m.requests_total);
-            m.inc(&m.errors_total);
+            m.requests_total.inc();
+            m.errors_total.inc();
             m.observe_latency(start.elapsed());
+            // The request never parsed, so no trace header was read: the
+            // request-log entry has a null trace id.
+            shared.requests.push(RequestEntry {
+                trace: None,
+                method: String::new(),
+                path: String::new(),
+                status,
+                latency_us: elapsed_us(start),
+                disposition: "error",
+            });
             let _ = write_response(&mut stream, &error_response(status, kind, e.to_string()));
             return false;
         }
     };
 
-    m.inc(&m.in_flight);
+    m.in_flight.inc();
+    // Mint (or adopt) the request's trace id before any child span
+    // starts: trace inheritance is parent → child at span_start, so
+    // setting it on the root covers the whole request tree.
+    let trace = trace_of_request(&req);
     let rec = &*shared.recorder;
     let span = rec.span_start("serve.request", None);
+    rec.set_trace(span, trace);
     rec.span_attr(span, "method", Value::from(req.method.as_str()));
     rec.span_attr(span, "path", Value::from(req.path.as_str()));
 
-    let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req, span))) {
+    let disposition = Cell::new("-");
+    let mut panicked = false;
+    let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req, span, &disposition))) {
         Ok(r) => r,
         Err(_) => {
-            m.inc(&m.panics_total);
+            m.panics_total.inc();
+            panicked = true;
+            disposition.set("error");
             error_response(500, "panic", "handler panicked; request isolated")
         }
     };
+    let resp = stamp_trace(resp, trace);
 
     rec.span_attr(span, "status", Value::from(resp.status as u64));
+    if resp.status >= 400 && disposition.get() == "-" {
+        disposition.set("error");
+    }
+    rec.span_attr(span, "disposition", Value::from(disposition.get()));
     rec.span_end(span);
-    m.inc(&m.requests_total);
+    if panicked {
+        // A handler panic is exactly what the flight recorder exists
+        // for: persist the ring (which now includes this request's
+        // span) before answering.
+        shared.dump_flight();
+    }
+    m.requests_total.inc();
     if resp.status >= 400 {
-        m.inc(&m.errors_total);
+        m.errors_total.inc();
     }
     m.observe_latency(start.elapsed());
-    m.in_flight.fetch_sub(1, Ordering::Relaxed);
+    m.in_flight.dec();
+    shared.requests.push(RequestEntry {
+        trace: Some(trace),
+        method: req.method.clone(),
+        path: req.path.clone(),
+        status: resp.status,
+        latency_us: elapsed_us(start),
+        disposition: disposition.get(),
+    });
     if write_response(&mut stream, &resp).is_err() {
         // The peer stopped reading (or the write timeout fired) — the
         // response is lost, but the worker is free again.
-        m.inc(&m.slow_client_drops);
+        m.slow_client_drops.inc();
     }
     req.method == "POST" && req.path == "/admin/shutdown" && resp.status == 200
 }
 
-const ROUTES: [&str; 5] = [
+const ROUTES: [&str; 7] = [
     "/healthz",
     "/metrics",
+    "/debug/flight",
+    "/debug/requests",
     "/admin/shutdown",
     "/v1/compile",
     "/v1/tune",
 ];
 
-fn route(shared: &Shared, req: &Request, span: SpanId) -> Response {
+fn route(shared: &Shared, req: &Request, span: SpanId, disp: &Cell<&'static str>) -> Response {
+    if shared.config.panic_path.as_deref() == Some(req.path.as_str()) {
+        panic!("test-induced handler panic at {}", req.path);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("GET", "/debug/flight") => Response::text(200, shared.flight.ring().render()),
+        ("GET", "/debug/requests") => Response::json(200, shared.requests.render_json()),
         ("POST", "/admin/shutdown") => {
             Response::json(200, Obj::new().bool("shutting_down", true).finish())
         }
         ("POST", "/v1/compile") => handle_compile(shared, req, span),
-        ("POST", "/v1/tune") => handle_tune(shared, req, span),
+        ("POST", "/v1/tune") => handle_tune(shared, req, span, disp),
         (_, path) if ROUTES.contains(&path) => {
             error_response(405, "method_not_allowed", "method not allowed")
         }
@@ -536,7 +658,7 @@ fn report_json(report: &GroverReport) -> String {
 }
 
 fn handle_compile(shared: &Shared, req: &Request, span: SpanId) -> Response {
-    shared.metrics.inc(&shared.metrics.compile_requests);
+    shared.metrics.compile_requests.inc();
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -694,7 +816,7 @@ fn tune_error_response(shared: &Shared, e: &TuneError) -> Response {
         TuneError::UnknownDevice(_) => (400, "unknown_device"),
         TuneError::NothingToDisable(_) => (422, "pass_refusal"),
         TuneError::Deadline => {
-            shared.metrics.inc(&shared.metrics.deadline_timeouts);
+            shared.metrics.deadline_timeouts.inc();
             (504, "deadline")
         }
         TuneError::Execution(_) => (500, "execution"),
@@ -772,9 +894,14 @@ fn degraded_response(shared: &Shared, fingerprint: &str, device: &str, kernel: &
     )
 }
 
-fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
+fn handle_tune(
+    shared: &Shared,
+    req: &Request,
+    span: SpanId,
+    disp: &Cell<&'static str>,
+) -> Response {
     let m = &shared.metrics;
-    m.inc(&m.tune_requests);
+    m.tune_requests.inc();
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -837,11 +964,12 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
         .expect("cache poisoned")
         .get(&fingerprint)
     {
-        m.inc(&m.cache_hits);
+        m.cache_hits.inc();
+        disp.set("hit");
         rec.span_attr(span, "cache", Value::from("hit"));
         return decision_response(&hit, Served::Hit);
     }
-    m.inc(&m.cache_misses);
+    m.cache_misses.inc();
 
     // The effective deadline is needed up front: it bounds the tuner on
     // the leader path and the wait on the follower path.
@@ -858,16 +986,30 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
     let admit = shared.breaker.admit();
     shared.sync_breaker_metrics();
     if admit == Admit::Degrade {
-        m.inc(&m.degraded);
+        m.degraded.inc();
+        disp.set("degraded");
         rec.span_attr(span, "cache", Value::from("degraded"));
         return degraded_response(shared, &fingerprint, device, &key_kernel);
     }
 
-    // Singleflight: identical concurrent misses share one race.
-    match shared.singleflight.join(&fingerprint) {
+    // Singleflight: identical concurrent misses share one race. The
+    // joiner's trace id rides along so followers can link to the trace
+    // that actually did the work.
+    match shared.singleflight.join(&fingerprint, rec.trace_of(span)) {
         Join::Follower(follower) => {
-            m.inc(&m.tune_coalesced);
+            m.tune_coalesced.inc();
+            disp.set("coalesced");
             rec.span_attr(span, "cache", Value::from("coalesced"));
+            // Cross-trace link: this request's answer was computed under
+            // the leader's trace, not its own.
+            if let Some(leader_trace) = follower.leader_trace() {
+                let hex = leader_trace.to_hex();
+                rec.event(
+                    "coalesce.link",
+                    Some(span),
+                    &[("leader_trace_id", Value::from(hex.as_str()))],
+                );
+            }
             // The leader is bounded by the tune deadline; the margin
             // covers its compile + persist overhead.
             let wait =
@@ -878,7 +1020,7 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
                 }
                 Some(FlightOutcome::Fail { status, body }) => Response::json(status, body),
                 None => {
-                    m.inc(&m.coalesce_timeouts);
+                    m.coalesce_timeouts.inc();
                     error_response(
                         504,
                         "coalesce_timeout",
@@ -899,12 +1041,14 @@ fn handle_tune(shared: &Shared, req: &Request, span: SpanId) -> Response {
             {
                 // This request still shared another's race — count it as
                 // coalesced so hits + misses stays one-per-request.
-                m.inc(&m.tune_coalesced);
+                m.tune_coalesced.inc();
+                disp.set("coalesced");
                 rec.span_attr(span, "cache", Value::from("coalesced"));
                 let resp = decision_response(&hit, Served::Coalesced);
                 leader.publish(FlightOutcome::Decision(hit));
                 return resp;
             }
+            disp.set("miss");
             rec.span_attr(span, "cache", Value::from("miss"));
             let (resp, record) = run_miss(
                 shared,
@@ -1002,6 +1146,10 @@ fn run_miss(
     let mut tuner = Tuner::new();
     tuner.recorder = shared.recorder.clone();
     tuner.backend = shared.config.backend;
+    // Nest the tuner's spans under this request's tune span so every
+    // span down to the launches carries the request's trace id.
+    tuner.parent = Some(tune_span);
+    tuner.profile_ops = shared.config.profile_ops;
     if let Some(threads) = body.u64_of("threads") {
         tuner.policy = ExecPolicy::Parallel {
             threads: threads as usize,
@@ -1013,7 +1161,7 @@ fn run_miss(
     };
 
     let outcome = tuner.tune_pair(&kernel, &transformed, report, device, &workload);
-    m.tune_races.fetch_add(tuner.races_run(), Ordering::Relaxed);
+    m.tune_races.add(tuner.races_run());
     rec.span_end(tune_span);
     let decision = match outcome {
         Ok(d) => {
@@ -1045,12 +1193,11 @@ fn run_miss(
     let persisted = {
         let mut store = shared.store.lock().expect("store poisoned");
         let r = store.append(&record);
-        m.journal_compactions
-            .store(store.compactions(), Ordering::Relaxed);
+        m.journal_compactions.set(store.compactions());
         r
     };
     if let Err(e) = persisted {
-        m.inc(&m.persist_failures);
+        m.persist_failures.inc();
         return (
             error_response(
                 500,
@@ -1065,7 +1212,7 @@ fn run_miss(
         cache.insert(record.clone());
         let evictions = cache.evictions();
         drop(cache);
-        m.cache_evictions.store(evictions, Ordering::Relaxed);
+        m.cache_evictions.set(evictions);
     }
     (decision_response(&record, Served::Fresh), Some(record))
 }

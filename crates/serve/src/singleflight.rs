@@ -18,6 +18,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use grover_obs::TraceId;
+
 /// What a flight resolved to; cloned to every follower.
 #[derive(Clone, Debug)]
 pub enum FlightOutcome {
@@ -35,6 +37,9 @@ pub enum FlightOutcome {
 }
 
 struct Flight {
+    /// Trace id of the leader's request, so coalesced followers can record
+    /// a link from their own trace to the one that did the work.
+    leader_trace: Option<TraceId>,
     outcome: Mutex<Option<FlightOutcome>>,
     done: Condvar,
 }
@@ -83,6 +88,12 @@ impl FollowerHandle {
     /// served).
     pub fn wait(&self, deadline: Duration) -> Option<FlightOutcome> {
         self.flight.wait(deadline)
+    }
+
+    /// The leader's trace id, if its request was traced — the follower
+    /// records it as a cross-trace link.
+    pub fn leader_trace(&self) -> Option<TraceId> {
+        self.flight.leader_trace
     }
 }
 
@@ -142,7 +153,9 @@ impl Drop for LeaderGuard {
 
 impl Singleflight {
     /// Join the flight for `key`: the first joiner leads, the rest follow.
-    pub fn join(self: &Arc<Self>, key: &str) -> Join {
+    /// `trace` is the joiner's trace id; the leader's is published to
+    /// followers via [`FollowerHandle::leader_trace`].
+    pub fn join(self: &Arc<Self>, key: &str, trace: Option<TraceId>) -> Join {
         let mut flights = self.flights.lock().expect("singleflight poisoned");
         if let Some(flight) = flights.get(key) {
             return Join::Follower(FollowerHandle {
@@ -150,6 +163,7 @@ impl Singleflight {
             });
         }
         let flight = Arc::new(Flight {
+            leader_trace: trace,
             outcome: Mutex::new(None),
             done: Condvar::new(),
         });
@@ -191,12 +205,12 @@ mod tests {
     #[test]
     fn followers_receive_the_leaders_outcome() {
         let sf = Arc::new(Singleflight::default());
-        let Join::Leader(leader) = sf.join("k1") else {
+        let Join::Leader(leader) = sf.join("k1", None) else {
             panic!("first joiner must lead");
         };
         let followers: Vec<_> = (0..4)
             .map(|_| {
-                let Join::Follower(f) = sf.join("k1") else {
+                let Join::Follower(f) = sf.join("k1", None) else {
                     panic!("later joiners must follow");
                 };
                 std::thread::spawn(move || f.wait(Duration::from_secs(5)))
@@ -215,10 +229,10 @@ mod tests {
     #[test]
     fn failure_does_not_poison_the_key() {
         let sf = Arc::new(Singleflight::default());
-        let Join::Leader(leader) = sf.join("k") else {
+        let Join::Leader(leader) = sf.join("k", None) else {
             panic!()
         };
-        let Join::Follower(follower) = sf.join("k") else {
+        let Join::Follower(follower) = sf.join("k", None) else {
             panic!()
         };
         leader.publish(FlightOutcome::Fail {
@@ -230,18 +244,18 @@ mod tests {
             other => panic!("expected the failure, got {other:?}"),
         }
         // The very next join leads a fresh flight.
-        assert!(matches!(sf.join("k"), Join::Leader(_)));
+        assert!(matches!(sf.join("k", None), Join::Leader(_)));
         // (Dropping that leader unpublished resolves as leader_lost.)
     }
 
     #[test]
     fn dropped_leader_resolves_followers_with_a_structured_500() {
         let sf = Arc::new(Singleflight::default());
-        let leader = match sf.join("k") {
+        let leader = match sf.join("k", None) {
             Join::Leader(l) => l,
             Join::Follower(_) => panic!(),
         };
-        let Join::Follower(follower) = sf.join("k") else {
+        let Join::Follower(follower) = sf.join("k", None) else {
             panic!()
         };
         drop(leader); // simulates a panic unwinding through the leader
@@ -258,11 +272,11 @@ mod tests {
     #[test]
     fn follower_wait_times_out_without_an_outcome() {
         let sf = Arc::new(Singleflight::default());
-        let _leader = match sf.join("k") {
+        let _leader = match sf.join("k", None) {
             Join::Leader(l) => l,
             Join::Follower(_) => panic!(),
         };
-        let Join::Follower(follower) = sf.join("k") else {
+        let Join::Follower(follower) = sf.join("k", None) else {
             panic!()
         };
         assert!(follower.wait(Duration::from_millis(50)).is_none());

@@ -15,7 +15,6 @@
 //! The fault guards hold global locks, so scenarios serialise themselves.
 
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -78,14 +77,14 @@ fn failed_journal_append_is_a_500_and_the_decision_is_not_acknowledged() {
         assert_eq!(resp.str_of("kind"), Some("persist_failed"));
     }
     let m = server.metrics();
-    assert_eq!(m.persist_failures.load(Ordering::Relaxed), 1);
+    assert_eq!(m.persist_failures.get(), 1);
 
     // The un-persisted decision must not have been cached: the retry is
     // a fresh miss that races again and succeeds.
     let (status, resp) = post(&server, &body);
     assert_eq!(status, 200, "{resp:?}");
     assert_eq!(resp.bool_of("cached"), Some(false), "{resp:?}");
-    assert_eq!(m.tune_races.load(Ordering::Relaxed), 2);
+    assert_eq!(m.tune_races.get(), 2);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -119,8 +118,8 @@ fn torn_append_is_not_acknowledged_and_a_restart_repairs_the_tail() {
     // (the 500-answered decision must NOT reappear as a cache hit).
     let second_run = start(cfg);
     let m = second_run.metrics();
-    assert_eq!(m.journal_torn.load(Ordering::Relaxed), 1);
-    assert_eq!(m.journal_recovered.load(Ordering::Relaxed), 0);
+    assert_eq!(m.journal_torn.get(), 1);
+    assert_eq!(m.journal_recovered.get(), 0);
     let (status, resp) = post(&second_run, &body);
     assert_eq!(status, 200);
     assert_eq!(
@@ -160,17 +159,14 @@ fn fsync_failure_during_compaction_is_contained() {
     }
     let m = server.metrics();
     assert_eq!(
-        m.journal_compactions.load(Ordering::Relaxed),
+        m.journal_compactions.get(),
         0,
         "failed compactions must not be counted as performed"
     );
     server.shutdown();
 
     let revived = start(cfg);
-    assert_eq!(
-        revived.metrics().journal_recovered.load(Ordering::Relaxed),
-        2
-    );
+    assert_eq!(revived.metrics().journal_recovered.get(), 2);
     for b in &bodies {
         let (_, resp) = post(&revived, b);
         assert_eq!(resp.bool_of("cached"), Some(true), "{resp:?}");
@@ -218,9 +214,9 @@ fn breaker_degrades_after_repeated_tuner_panics_and_probe_heals_it() {
                 "{resp:?}"
             );
         }
-        assert_eq!(m.breaker_state.load(Ordering::Relaxed), 1, "open");
-        assert_eq!(m.breaker_opens.load(Ordering::Relaxed), 1);
-        assert_eq!(m.degraded.load(Ordering::Relaxed), 3);
+        assert_eq!(m.breaker_state.get(), 1, "open");
+        assert_eq!(m.breaker_opens.get(), 1);
+        assert_eq!(m.degraded.get(), 3);
     }
     // Degraded answers are placeholders: nothing was cached or persisted.
     assert!(
@@ -237,7 +233,7 @@ fn breaker_degrades_after_repeated_tuner_panics_and_probe_heals_it() {
     assert_eq!(status, 200, "{resp:?}");
     assert_eq!(resp.bool_of("degraded"), Some(false), "{resp:?}");
     assert_eq!(resp.bool_of("cached"), Some(false));
-    assert_eq!(m.breaker_state.load(Ordering::Relaxed), 0, "closed again");
+    assert_eq!(m.breaker_state.get(), 0, "closed again");
 
     // And the healed decision is a normal cache hit afterwards.
     let (_, resp) = post(&server, &body);
@@ -265,14 +261,14 @@ fn failed_probe_reopens_the_circuit() {
             max_fires: 0,
         });
         assert_eq!(post(&server, &body).0, 500);
-        assert_eq!(m.breaker_state.load(Ordering::Relaxed), 1);
+        assert_eq!(m.breaker_state.get(), 1);
         std::thread::sleep(Duration::from_millis(300));
         // The probe runs against the still-failing tuner: structured 500,
         // circuit re-opens.
         let (status, resp) = post(&server, &body);
         assert_eq!(status, 500, "{resp:?}");
-        assert_eq!(m.breaker_state.load(Ordering::Relaxed), 1, "re-opened");
-        assert_eq!(m.breaker_opens.load(Ordering::Relaxed), 2);
+        assert_eq!(m.breaker_state.get(), 1, "re-opened");
+        assert_eq!(m.breaker_opens.get(), 2);
         // Back to degrading, not 500ing.
         let (status, resp) = post(&server, &body);
         assert_eq!((status, resp.bool_of("degraded")), (200, Some(true)));
@@ -303,7 +299,7 @@ fn slowloris_client_is_dropped_and_the_server_stays_responsive() {
     let (status, text) = http_request(addr, "GET", "/healthz", None).unwrap();
     assert_eq!((status, text.as_str()), (200, "ok\n"));
     assert_eq!(
-        server.metrics().slow_client_drops.load(Ordering::Relaxed),
+        server.metrics().slow_client_drops.get(),
         1,
         "the stalled connection was dropped by the io timeout"
     );

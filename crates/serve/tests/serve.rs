@@ -3,7 +3,6 @@
 //! (queue overflow) use the injected handler delay.
 
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -148,10 +147,10 @@ fn tune_caches_and_never_races_twice() {
     assert_eq!(fourth.bool_of("cached"), Some(false));
 
     let m = server.metrics();
-    assert_eq!(m.cache_hits.load(Ordering::Relaxed), 2);
-    assert_eq!(m.cache_misses.load(Ordering::Relaxed), 2);
+    assert_eq!(m.cache_hits.get(), 2);
+    assert_eq!(m.cache_misses.get(), 2);
     assert_eq!(
-        m.tune_races.load(Ordering::Relaxed),
+        m.tune_races.get(),
         2,
         "exactly one race per distinct key — hits never re-measure"
     );
@@ -218,7 +217,7 @@ fn cache_warm_starts_across_restart() {
     assert_eq!(second.str_of("choice"), first.str_of("choice"));
     let m = second_run.metrics();
     assert_eq!(
-        m.tune_races.load(Ordering::Relaxed),
+        m.tune_races.get(),
         0,
         "warm-started entry must not re-measure"
     );
@@ -268,7 +267,7 @@ fn epoch_bump_invalidates_persisted_decisions() {
         Some(false),
         "stale-epoch entries must be invalidated on load"
     );
-    assert_eq!(second_run.metrics().tune_races.load(Ordering::Relaxed), 1);
+    assert_eq!(second_run.metrics().tune_races.get(), 1);
     second_run.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -301,8 +300,8 @@ fn lru_eviction_is_counted_and_survives_in_store() {
         Some(false)
     );
     let m = server.metrics();
-    assert!(m.cache_evictions.load(Ordering::Relaxed) >= 1);
-    assert_eq!(m.cache_misses.load(Ordering::Relaxed), 3);
+    assert!(m.cache_evictions.get() >= 1);
+    assert_eq!(m.cache_misses.get(), 3);
     server.shutdown();
 
     // The store kept every decision; a restart with default capacity
@@ -352,7 +351,7 @@ fn error_400_on_malformed_requests() {
     );
     assert_eq!(status, 400);
     assert!(resp.str_of("error").unwrap().contains("compile error"));
-    assert_eq!(server.metrics().errors_total.load(Ordering::Relaxed), 5);
+    assert_eq!(server.metrics().errors_total.get(), 5);
     std::fs::remove_dir_all(temp_dir("err400")).ok();
     server.shutdown();
 }
@@ -417,10 +416,7 @@ fn error_429_when_the_queue_is_full() {
         assert!(r.contains("\"kind\":\"backpressure\""), "{r}");
         assert!(r.contains("\"status\":429"), "{r}");
     }
-    assert_eq!(
-        server.metrics().rejected_busy.load(Ordering::Relaxed),
-        rejected.len() as u64
-    );
+    assert_eq!(server.metrics().rejected_busy.get(), rejected.len() as u64);
     std::fs::remove_dir_all(temp_dir("err429")).ok();
     server.shutdown();
 }
@@ -435,10 +431,7 @@ fn error_504_when_the_deadline_expires() {
     let (status, resp) = post(&server, "/v1/tune", &body);
     assert_eq!(status, 504, "{resp:?}");
     assert_eq!(resp.str_of("kind"), Some("deadline"));
-    assert_eq!(
-        server.metrics().deadline_timeouts.load(Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.metrics().deadline_timeouts.get(), 1);
     std::fs::remove_dir_all(temp_dir("err504")).ok();
     server.shutdown();
 }
@@ -496,14 +489,11 @@ fn concurrent_clients_get_deterministic_decisions() {
     assert_eq!(total, 40);
     assert_eq!(by_key.len(), 2, "two distinct tune keys");
     let m = server.metrics();
-    assert_eq!(
-        m.cache_hits.load(Ordering::Relaxed) + m.cache_misses.load(Ordering::Relaxed),
-        40
-    );
+    assert_eq!(m.cache_hits.get() + m.cache_misses.get(), 40);
     // Singleflight coalescing: concurrent identical misses share one
     // race, so the race count equals the number of unique keys exactly.
     assert_eq!(
-        m.tune_races.load(Ordering::Relaxed),
+        m.tune_races.get(),
         2,
         "races-per-unique-key must be exactly 1"
     );
@@ -549,19 +539,16 @@ fn identical_misses_coalesce_to_one_race_per_key() {
     );
     let m = server.metrics();
     assert_eq!(
-        m.tune_races.load(Ordering::Relaxed),
+        m.tune_races.get(),
         1,
         "8 identical concurrent misses must run exactly 1 race"
     );
-    assert_eq!(
-        m.cache_hits.load(Ordering::Relaxed) + m.cache_misses.load(Ordering::Relaxed),
-        8
-    );
-    assert_eq!(m.coalesce_timeouts.load(Ordering::Relaxed), 0);
+    assert_eq!(m.cache_hits.get() + m.cache_misses.get(), 8);
+    assert_eq!(m.coalesce_timeouts.get(), 0);
     // At least the requests that arrived while the leader raced were
     // coalesced (some may arrive after it finished and hit the cache).
-    let coalesced = m.tune_coalesced.load(Ordering::Relaxed);
-    let hits = m.cache_hits.load(Ordering::Relaxed);
+    let coalesced = m.tune_coalesced.get();
+    let hits = m.cache_hits.get();
     assert_eq!(
         coalesced + hits,
         7,
@@ -613,9 +600,9 @@ fn damaged_journal_salvages_every_intact_record_on_restart() {
 
     let second_run = start(cfg);
     let m = second_run.metrics();
-    assert_eq!(m.journal_recovered.load(Ordering::Relaxed), 2);
-    assert_eq!(m.journal_corrupt.load(Ordering::Relaxed), 1);
-    assert_eq!(m.journal_torn.load(Ordering::Relaxed), 1);
+    assert_eq!(m.journal_recovered.get(), 2);
+    assert_eq!(m.journal_corrupt.get(), 1);
+    assert_eq!(m.journal_torn.get(), 1);
     // Records 0 and 2 warm-started; record 1 must re-tune.
     assert_eq!(
         post(&second_run, "/v1/tune", &bodies[0])
@@ -693,7 +680,7 @@ fn bytecode_backend_misses_tune_to_the_same_decision() {
     assert_eq!(b.u64_of("cycles_with"), a.u64_of("cycles_with"));
     assert_eq!(b.u64_of("cycles_without"), a.u64_of("cycles_without"));
     assert_eq!(
-        bytecode.metrics().tune_races.load(Ordering::Relaxed),
+        bytecode.metrics().tune_races.get(),
         1,
         "miss raced exactly once on the bytecode backend"
     );

@@ -1,0 +1,381 @@
+//! End-to-end tracing tests: one trace id minted (or adopted) at the
+//! serve edge must be present on every span down to the launches, echoed
+//! back to the client, injected into structured errors, linked across
+//! coalesced requests, and captured by the flight recorder — including
+//! the dump written when a handler panics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grover_obs::json::{self, Json};
+use grover_obs::{MemoryRecorder, NoopRecorder, TraceId, Value};
+use grover_serve::{request_full, ClientConfig, ServeConfig, Server, TRACE_HEADER};
+
+const STAGE: &str = "__kernel void stage(__global float* in, __global float* out) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[63 - lx];
+}";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grover-trace-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tune_body(source: &str, device: &str, global: u64, local: u64) -> String {
+    format!(
+        "{{\"source\": {}, \"device\": \"{device}\", \"global\": [{global}], \"local\": [{local}]}}",
+        json::escape(source)
+    )
+}
+
+/// POST with a trace header; returns (status, echoed trace id, body).
+fn traced_post(
+    server: &Server,
+    path: &str,
+    body: &str,
+    trace_hex: &str,
+) -> (u16, Option<String>, Json) {
+    let (status, headers, text) = request_full(
+        server.addr(),
+        "POST",
+        path,
+        Some(body),
+        &[(TRACE_HEADER, trace_hex)],
+        &ClientConfig::default(),
+    )
+    .expect("request succeeds");
+    let echoed = headers
+        .iter()
+        .find(|(n, _)| n == TRACE_HEADER)
+        .map(|(_, v)| v.clone());
+    (status, echoed, json::parse(&text).unwrap_or(Json::Null))
+}
+
+fn hex_of(i: u64) -> String {
+    format!("{:032x}", 0xabc0_0000_u128 + u128::from(i))
+}
+
+#[test]
+fn one_trace_id_covers_every_span_down_to_the_launches() {
+    let rec = Arc::new(MemoryRecorder::new());
+    let dir = temp_dir("e2e");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            ..ServeConfig::default()
+        },
+        rec.clone(),
+    )
+    .unwrap();
+
+    let trace_hex = "0123456789abcdef0123456789abcdef";
+    let (status, echoed, resp) = traced_post(
+        &server,
+        "/v1/tune",
+        &tune_body(STAGE, "SNB", 256, 64),
+        trace_hex,
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(
+        echoed.as_deref(),
+        Some(trace_hex),
+        "the response must echo the client's trace id"
+    );
+    server.shutdown();
+
+    let trace = TraceId::parse(trace_hex).unwrap();
+    let snap = rec.snapshot();
+    // The whole request tree — edge, tune orchestration, the tuner's own
+    // span, and every kernel launch — shares the one inbound trace id.
+    for name in ["serve.request", "serve.tune", "tune", "launch"] {
+        let spans = snap.spans_named(name);
+        assert!(!spans.is_empty(), "no `{name}` span recorded");
+        for s in &spans {
+            assert_eq!(
+                s.trace,
+                Some(trace),
+                "`{name}` span lost the request trace: {s:?}"
+            );
+        }
+    }
+    // A miss runs at least two launches (with/without local memory).
+    assert!(snap.spans_named("launch").len() >= 2);
+    // Events under the trace inherit it too.
+    let decisions = snap.events_named("decision");
+    assert!(!decisions.is_empty(), "tuner must record a decision event");
+    for e in &decisions {
+        assert_eq!(e.trace, Some(trace), "{e:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_mints_a_trace_when_the_client_sends_none() {
+    let dir = temp_dir("mint");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let (_, headers, _) = request_full(
+        server.addr(),
+        "GET",
+        "/healthz",
+        None,
+        &[],
+        &ClientConfig::default(),
+    )
+    .unwrap();
+    let echoed = headers
+        .iter()
+        .find(|(n, _)| n == TRACE_HEADER)
+        .map(|(_, v)| v.as_str())
+        .expect("every response carries a trace id");
+    assert!(
+        TraceId::parse(echoed).is_some(),
+        "minted id is 32 hex: {echoed}"
+    );
+    assert_ne!(echoed, "00000000000000000000000000000000");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn structured_errors_carry_the_request_trace_id() {
+    let dir = temp_dir("errtrace");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let trace_hex = "feedfacefeedfacefeedfacefeedface";
+
+    // A 400 (missing required field) carries the id in body and header.
+    let (status, echoed, body) = traced_post(&server, "/v1/tune", "{}", trace_hex);
+    assert_eq!(status, 400);
+    assert_eq!(echoed.as_deref(), Some(trace_hex));
+    assert_eq!(body.str_of("trace_id"), Some(trace_hex), "{body:?}");
+    assert_eq!(body.str_of("kind"), Some("bad_request"));
+
+    // So does a 404.
+    let (status, echoed, body) = traced_post(&server, "/no/such", "{}", trace_hex);
+    assert_eq!(status, 404);
+    assert_eq!(echoed.as_deref(), Some(trace_hex));
+    assert_eq!(body.str_of("trace_id"), Some(trace_hex), "{body:?}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coalesced_followers_link_to_the_leaders_trace() {
+    let rec = Arc::new(MemoryRecorder::new());
+    let dir = temp_dir("link");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            workers: 8,
+            handler_delay: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        },
+        rec.clone(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let body = Arc::new(tune_body(STAGE, "SNB", 256, 64));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let body = body.clone();
+            let trace_hex = hex_of(i);
+            std::thread::spawn(move || {
+                let (status, headers, _) = request_full(
+                    addr,
+                    "POST",
+                    "/v1/tune",
+                    Some(&body),
+                    &[(TRACE_HEADER, &trace_hex)],
+                    &ClientConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(status, 200);
+                // Each client gets its OWN trace echoed, even when its
+                // answer was computed under the leader's.
+                let echoed = headers
+                    .iter()
+                    .find(|(n, _)| n == TRACE_HEADER)
+                    .map(|(_, v)| v.clone());
+                assert_eq!(echoed.as_deref(), Some(trace_hex.as_str()));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let m = server.metrics();
+    assert_eq!(m.tune_races.get(), 1, "identical misses share one race");
+    server.shutdown();
+
+    let snap = rec.snapshot();
+    let links = snap.events_named("coalesce.link");
+    assert!(
+        !links.is_empty(),
+        "followers must record a link to the leader's trace"
+    );
+    for link in &links {
+        let leader_hex = link
+            .attr("leader_trace_id")
+            .and_then(Value::as_str)
+            .expect("link event carries leader_trace_id");
+        assert!(TraceId::parse(leader_hex).is_some(), "{leader_hex}");
+        // The follower's own trace differs from the leader's — that is
+        // the point of the link.
+        let own = link.trace.expect("link event is traced");
+        assert_ne!(own.to_hex(), leader_hex, "{link:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flight_ring_is_live_and_dumped_on_shutdown() {
+    let dir = temp_dir("flightring");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let body = tune_body(STAGE, "SNB", 256, 64);
+    let trace_hex = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let (s1, _, _) = traced_post(&server, "/v1/tune", &body, trace_hex); // miss
+    let (s2, _, _) = traced_post(&server, "/v1/tune", &body, trace_hex); // hit
+    assert_eq!((s1, s2), (200, 200));
+
+    // The ring is live even though the inner recorder is the no-op one.
+    let (status, _, flight) = request_full(
+        server.addr(),
+        "GET",
+        "/debug/flight",
+        None,
+        &[],
+        &ClientConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = flight.lines().collect();
+    assert!(!lines.is_empty(), "flight ring must hold entries");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"name\":\"serve.request\"")
+                && l.contains(&format!("\"trace_id\":\"{trace_hex}\""))),
+        "request spans with trace ids must be in the ring: {flight}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"name\":\"launch\"")),
+        "the miss's launches must be in the ring"
+    );
+
+    // /debug/requests summarises both requests with their dispositions.
+    let (status, _, reqs) = request_full(
+        server.addr(),
+        "GET",
+        "/debug/requests",
+        None,
+        &[],
+        &ClientConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(reqs.contains("\"disposition\":\"miss\""), "{reqs}");
+    assert!(reqs.contains("\"disposition\":\"hit\""), "{reqs}");
+    assert!(
+        reqs.contains(&format!("\"trace_id\":\"{trace_hex}\"")),
+        "{reqs}"
+    );
+
+    // Graceful shutdown writes the flight dump next to the journal.
+    server.shutdown();
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let n = e.file_name().to_string_lossy().into_owned();
+            n.starts_with("flight-") && n.ends_with(".jsonl")
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "shutdown must dump the flight ring");
+    let text = std::fs::read_to_string(dumps[0].path()).unwrap();
+    assert!(
+        text.lines().any(|l| l.contains("serve.request")),
+        "dump holds the recent request spans: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn handler_panic_dumps_the_flight_ring() {
+    let dir = temp_dir("panicdump");
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir.clone(),
+            panic_path: Some("/boom".to_string()),
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .unwrap();
+    let trace_hex = "0000000000000000000000000000beef";
+    let (status, echoed, body) = traced_post(&server, "/boom", "{}", trace_hex);
+    assert_eq!(status, 500);
+    assert_eq!(body.str_of("kind"), Some("panic"), "{body:?}");
+    assert_eq!(
+        body.str_of("trace_id"),
+        Some(trace_hex),
+        "panic 500s are traced too: {body:?}"
+    );
+    assert_eq!(echoed.as_deref(), Some(trace_hex));
+    assert_eq!(server.metrics().panics_total.get(), 1);
+
+    // The dump exists immediately — before shutdown — and contains the
+    // panicked request's span under its trace id.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one dump for one panic");
+    let text = std::fs::read_to_string(dumps[0].path()).unwrap();
+    assert!(
+        text.lines().any(|l| {
+            l.contains("\"name\":\"serve.request\"")
+                && l.contains(&format!("\"trace_id\":\"{trace_hex}\""))
+        }),
+        "the panicked request's span is in the dump: {text}"
+    );
+    // The server keeps serving after the isolated panic.
+    let (status, _, _) = request_full(
+        server.addr(),
+        "GET",
+        "/healthz",
+        None,
+        &[],
+        &ClientConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

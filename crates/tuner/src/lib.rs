@@ -54,7 +54,7 @@ use grover_devsim::Device;
 use grover_ir::Function;
 use grover_obs::{NoopRecorder, Recorder, SpanId, Value};
 use grover_runtime::{
-    enqueue_observed_backend, enqueue_with_backend, ArgValue, Backend, BufferData, Context,
+    enqueue_observed_profiled, enqueue_with_backend, ArgValue, Backend, BufferData, Context,
     ExecError, ExecPolicy, Limits, NdRange, NullSink,
 };
 
@@ -293,6 +293,16 @@ pub struct Tuner {
     /// event; cache hits record a `decision` event with `cached: true`.
     /// Defaults to the no-op recorder: nothing is constructed or stored.
     pub recorder: Arc<dyn Recorder>,
+    /// Parent span for the `tune` spans this tuner records. A serving
+    /// layer that traces requests sets this to the request's span so the
+    /// whole tune — race launches included — nests under it and inherits
+    /// its trace id; standalone callers leave it `None` (root spans).
+    pub parent: Option<SpanId>,
+    /// Attach a per-opcode execution profile to race measurements: each
+    /// nested `launch` span gains a `profile` event with per-opcode-kind
+    /// count/charge attributes. Only the bytecode backend can profile, so
+    /// this has no effect under [`Backend::Interp`]. Default off.
+    pub profile_ops: bool,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<String, Function>,
     races: u64,
@@ -316,6 +326,8 @@ impl Tuner {
             verify_outputs: true,
             buffers: None,
             recorder: Arc::new(NoopRecorder),
+            parent: None,
+            profile_ops: false,
             cache: HashMap::new(),
             transformed: HashMap::new(),
             races: 0,
@@ -355,7 +367,7 @@ impl Tuner {
         if let Some(d) = self.cache.get(&key) {
             if self.recorder.enabled() {
                 self.recorder
-                    .event("decision", None, &decision_attrs(&key.0, d, true));
+                    .event("decision", self.parent, &decision_attrs(&key.0, d, true));
             }
             return Ok(d.clone());
         }
@@ -382,7 +394,7 @@ impl Tuner {
         let key = (kernel.name.clone(), device.to_string());
         if let Some(d) = self.cache.get(&key) {
             if rec.enabled() {
-                rec.event("decision", None, &decision_attrs(&key.0, d, true));
+                rec.event("decision", self.parent, &decision_attrs(&key.0, d, true));
             }
             return Ok(d.clone());
         }
@@ -391,7 +403,7 @@ impl Tuner {
             return Err(TuneError::UnknownDevice(device.to_string()));
         }
 
-        let span = rec.enabled().then(|| rec.span_start("tune", None));
+        let span = rec.enabled().then(|| rec.span_start("tune", self.parent));
         if let Some(span) = span {
             rec.span_attr(span, "kernel", Value::from(kernel.name.as_str()));
             rec.span_attr(span, "device", Value::from(device));
@@ -435,6 +447,7 @@ impl Tuner {
         let backend = self.backend;
         let limits = self.limits;
         let retry = self.retry;
+        let profile_ops = self.profile_ops;
         self.races += 1;
 
         // Race the two versions on two scoped threads. The workloads are
@@ -455,9 +468,20 @@ impl Tuner {
                     &limits,
                     rec,
                     span,
+                    profile_ops,
                 )
             });
-            let with = simulate_caught(kernel, device, w_with, policy, backend, &limits, rec, span);
+            let with = simulate_caught(
+                kernel,
+                device,
+                w_with,
+                policy,
+                backend,
+                &limits,
+                rec,
+                span,
+                profile_ops,
+            );
             // `simulate_caught` already catches panics; `join` only fails if
             // one escapes the isolation (a bug) — still convert, never abort.
             let without = without
@@ -483,6 +507,7 @@ impl Tuner {
                 &limits,
                 rec,
                 span,
+                profile_ops,
             )
         });
         let attempts_without = Cell::new(1u32);
@@ -504,6 +529,7 @@ impl Tuner {
                 &limits,
                 rec,
                 span,
+                profile_ops,
             )
         });
         if rec.enabled() {
@@ -809,6 +835,7 @@ fn simulate(
     limits: &Limits,
     rec: &dyn Recorder,
     parent: Option<SpanId>,
+    profile_ops: bool,
 ) -> Result<u64, MeasureFailure> {
     // The device name is validated by `tune_pair` before any measurement;
     // a lookup failure here means the registry changed under us.
@@ -818,8 +845,21 @@ fn simulate(
         )))
     })?;
     let (mut ctx, args, nd) = workload;
-    enqueue_observed_backend(
-        &mut ctx, kernel, &args, &nd, &mut dev, limits, policy, backend, rec, parent,
+    // With profiling on, the launch span gains a `profile` event; the
+    // aggregate itself is not needed here, the recorder carries it.
+    let mut profile = None;
+    enqueue_observed_profiled(
+        &mut ctx,
+        kernel,
+        &args,
+        &nd,
+        &mut dev,
+        limits,
+        policy,
+        backend,
+        rec,
+        parent,
+        profile_ops.then_some(&mut profile),
     )
     .map_err(MeasureFailure::Exec)?;
     Ok(dev.finish().cycles)
@@ -838,10 +878,19 @@ fn simulate_caught(
     limits: &Limits,
     rec: &dyn Recorder,
     parent: Option<SpanId>,
+    profile_ops: bool,
 ) -> Result<u64, MeasureFailure> {
     catch_unwind(AssertUnwindSafe(|| {
         simulate(
-            kernel, device, workload, policy, backend, limits, rec, parent,
+            kernel,
+            device,
+            workload,
+            policy,
+            backend,
+            limits,
+            rec,
+            parent,
+            profile_ops,
         )
     }))
     .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))))
