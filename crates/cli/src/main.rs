@@ -1,18 +1,25 @@
 //! `grover` — command-line driver for the local-memory-removal toolchain.
 //!
 //! ```text
-//! grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]
-//!     Compile, run the Grover pass, print the report and the before/after IR.
+//! grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers] [--passes SEQ]
+//!     Compile, run the Grover pass, print the report and the before/after
+//!     IR. `--passes` names an explicit comma-separated pass sequence
+//!     (e.g. `local-removal,barrier-elim,remap`) run through the
+//!     composable pipeline, with a per-pass report.
 //!
 //! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper] [--threads N]
 //!                 [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]
-//!     Tune a bundled benchmark on a device via the hardened pipeline: both
-//!     kernel versions race under the measurement watchdog, transient
-//!     failures are retried, and output buffers are bit-compared. A failing
-//!     or divergent transformed kernel gracefully falls back to the
-//!     original (exit 0) unless `--strict` is given (exit 8). `--threads N`
-//!     runs work-groups on N host threads (0 = one per CPU); the simulated
-//!     cycle counts are identical to a serial run.
+//!                 [--passes SEQ[;SEQ...]]
+//!     Tune a bundled benchmark on a device via the hardened pipeline: the
+//!     original kernel races a device-seeded set of candidate pass
+//!     sequences (or the `--passes` override, `;`-separated) under the
+//!     measurement watchdog; transient failures are retried, and the
+//!     winner's output buffers are bit-compared against the original. The
+//!     decision records the winning sequence. A failing or divergent
+//!     winner gracefully falls back to the original (exit 0) unless
+//!     `--strict` is given (exit 8). `--threads N` runs work-groups on N
+//!     host threads (0 = one per CPU); the simulated cycle counts are
+//!     identical to a serial run.
 //!
 //! grover profile <app-id> [--scale test|small|paper] [--threads N] [--json] [--ops]
 //!     Run both kernel versions of a bundled benchmark and print a
@@ -162,11 +169,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: grover <transform|autotune|profile|classify|fuzz|serve|list> [--trace-out FILE] [--backend interp|bytecode] ..."
             );
-            eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers]");
+            eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers] [--passes SEQ]");
             eprintln!(
                 "  grover autotune <app-id> [--device NAME] [--scale test|small|paper] [--threads N]"
             );
-            eprintln!("                  [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]");
+            eprintln!("                  [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N] [--passes SEQ[;SEQ...]]");
             eprintln!(
                 "  grover profile <app-id> [--scale test|small|paper] [--threads N] [--json] [--ops]"
             );
@@ -221,6 +228,7 @@ fn cmd_transform(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fa
     let mut opts = BuildOptions::new();
     let mut kernel_name: Option<String> = None;
     let mut keep_barriers = false;
+    let mut passes: Option<grover_core::Sequence> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -239,6 +247,15 @@ fn cmd_transform(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fa
                 )
             }
             "--keep-barriers" => keep_barriers = true,
+            "--passes" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--passes needs a comma-separated sequence"))?;
+                passes = Some(
+                    grover_core::Sequence::parse(spec)
+                        .map_err(|e| Failure::usage(format!("--passes: {e}")))?,
+                );
+            }
             other if other.starts_with("-D") => {
                 let d = &other[2..];
                 let (n, v) = d.split_once('=').unwrap_or((d, "1"));
@@ -263,11 +280,26 @@ fn cmd_transform(args: &[String], recorder: &Arc<dyn Recorder>) -> Result<(), Fa
         println!("==== original: {} ====", kernel.name);
         println!("{}", function_to_string(kernel));
         let mut transformed = kernel.clone();
-        let grover = Grover::with_options(grover_core::GroverOptions {
+        let options = grover_core::GroverOptions {
             buffers: None,
             keep_barriers,
-        });
-        let report = grover.run_on_observed(&mut transformed, &**recorder, None);
+        };
+        let report = match &passes {
+            // An explicit sequence runs the composable pipeline directly
+            // and reports per pass.
+            Some(seq) => {
+                let pr = grover_core::PassManager::new(seq.clone(), options).run(&mut transformed);
+                println!("==== pipeline: {} ====", pr.sequence);
+                for p in &pr.passes {
+                    println!("  {:<16} {}", p.pass.name(), p.detail);
+                }
+                pr.report
+            }
+            None => {
+                let grover = Grover::with_options(options);
+                grover.run_on_observed(&mut transformed, &**recorder, None)
+            }
+        };
         println!("==== grover report ====");
         print!("{}", report.to_text());
         println!("==== transformed: {} ====", transformed.name);
@@ -298,9 +330,28 @@ fn cmd_autotune(
     let mut deadline: Option<Duration> = None;
     let mut retries: Option<u32> = None;
     let mut backoff = Duration::ZERO;
+    let mut sequences: Option<Vec<String>> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--passes" => {
+                // `;`-separated list of candidate sequence specs; each spec
+                // is validated up front so a typo is a usage error, not a
+                // mid-race failure.
+                let raw = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--passes needs sequence spec(s)"))?;
+                let mut specs = Vec::new();
+                for part in raw.split(';').filter(|s| !s.trim().is_empty()) {
+                    let seq = grover_core::Sequence::parse(part)
+                        .map_err(|e| Failure::usage(format!("--passes: {e}")))?;
+                    specs.push(seq.spec());
+                }
+                if specs.is_empty() {
+                    return Err(Failure::usage("--passes needs at least one sequence"));
+                }
+                sequences = Some(specs);
+            }
             "--device" => {
                 device = it
                     .next()
@@ -366,15 +417,12 @@ fn cmd_autotune(
         backoff,
     };
     tuner.verify_outputs = verify;
+    tuner.sequences = sequences;
 
+    // `tune` races the original against every candidate sequence — the
+    // device-seeded set, or the `--passes` override.
     let d = tuner
-        .tune_pair(
-            &pair.original,
-            &pair.transformed,
-            pair.report,
-            &device,
-            &workload,
-        )
+        .tune(&pair.original, &device, &workload)
         .map_err(tune_failure)?;
 
     if json {
@@ -399,6 +447,7 @@ fn cmd_autotune(
 fn tune_failure(e: TuneError) -> Failure {
     let code = match &e {
         TuneError::UnknownDevice(_) => EXIT_UNKNOWN_TARGET,
+        TuneError::InvalidSequence(_) => EXIT_USAGE,
         TuneError::NothingToDisable(_) => EXIT_COMPILE,
         TuneError::Execution(_) => EXIT_EXEC,
         TuneError::Panicked(_) => EXIT_PANIC,
@@ -416,6 +465,7 @@ fn print_decision(d: &Decision) {
         println!("  without local memory:   (no completed measurement)");
     }
     println!("  normalized performance np = {:.3}", d.np);
+    println!("  winning sequence: {}", d.sequence);
     if let Some(reason) = &d.fallback {
         println!("  fallback: {reason}");
         println!("  verdict: keep the ORIGINAL kernel (graceful fallback)");
@@ -774,8 +824,10 @@ fn print_profile(
         o.barriers.saturating_sub(t.barriers)
     );
     println!(
-        "  pass: {} barrier(s), {} instruction(s) removed statically",
-        pair.report.barriers_removed, pair.report.insts_removed
+        "  pass: {} barrier(s), {} instruction(s) removed statically (sequence {})",
+        pair.report.barriers_removed,
+        pair.report.insts_removed,
+        grover_core::Sequence::default_pipeline()
     );
     println!("  buffers:");
     for b in &pair.report.buffers {
@@ -889,6 +941,12 @@ fn profile_json(
         .str("backend", backend.name())
         .str("kernel", &pair.original.name)
         .str("pass_fingerprint", &grover_core::pass_fingerprint())
+        // `prepare_pair` applies the default pipeline; record it so the
+        // profile names the sequence the deltas belong to.
+        .str(
+            "sequence",
+            &grover_core::Sequence::default_pipeline().spec(),
+        )
         .raw("original", &counts_json(o))
         .raw("transformed", &counts_json(t))
         .raw("delta", &delta_obj)
@@ -923,6 +981,7 @@ fn decision_json(app_id: &str, scale: Scale, backend: Backend, d: &Decision) -> 
         .u64("cycles_without", d.cycles_without)
         .f64("np", d.np)
         .str("choice", d.choice.kind())
+        .str("sequence", &d.sequence)
         .raw("fallback", &fallback)
         .finish()
 }

@@ -29,15 +29,26 @@ use std::fmt;
 /// tuning caches (keyed by the same epoch) are invalidated in lock-step.
 pub const TRANSFORM_REVISION: u32 = 1;
 
-/// The pass-version epoch: `grover-<crate version>+rev<revision>`.
+/// The pass-version epoch:
+/// `grover-<crate version>+rev<revision>+pp<per-pass revisions>`.
 ///
 /// Used as the cache-invalidation epoch by the `grover-serve` decision
-/// store and surfaced in CLI `--json` outputs and `grover version`.
+/// store and surfaced in CLI `--json` outputs and `grover version`. Since
+/// PR 9 the epoch also carries the per-pass revision of every composable
+/// pipeline pass ([`crate::pipeline::PassId::revision`], in
+/// [`crate::pipeline::PassId::ALL`] order), so bumping any single pass's
+/// revision invalidates persisted decisions — regardless of which
+/// sequence produced them.
 pub fn pass_fingerprint() -> String {
+    let per_pass: Vec<String> = crate::pipeline::PassId::ALL
+        .iter()
+        .map(|p| p.revision().to_string())
+        .collect();
     format!(
-        "grover-{}+rev{}",
+        "grover-{}+rev{}+pp{}",
         env!("CARGO_PKG_VERSION"),
-        TRANSFORM_REVISION
+        TRANSFORM_REVISION,
+        per_pass.join(".")
     )
 }
 
@@ -213,6 +224,10 @@ pub fn source_fingerprint(src: &str) -> Fingerprint {
 /// profile and launch geometry. The pass-version epoch is deliberately
 /// *not* hashed in — it is stored alongside each cache entry so an epoch
 /// bump invalidates entries observably instead of silently orphaning them.
+///
+/// This is the sequence-agnostic key; `grover-serve` keys its cache with
+/// [`tune_key_with_sequences`] so decisions for different candidate
+/// sequence sets never collide.
 pub fn tune_key(
     source: &str,
     kernel: &str,
@@ -226,6 +241,33 @@ pub fn tune_key(
         .part("device", device.as_bytes())
         .part_u64s("global", global)
         .part_u64s("local", local)
+        .finish()
+}
+
+/// [`tune_key`] extended with the identity of the candidate pass-sequence
+/// set the decision was tuned over.
+///
+/// `sequences` is a free-form identity string — for an explicit request,
+/// the sequence's revision-carrying token
+/// ([`crate::pipeline::Sequence::token`]); for the device-default search,
+/// the joined tokens of the seeded candidate set. Hashing it as its own
+/// labelled part guarantees two different sequences (or candidate sets)
+/// over the same source can never collide in a decision cache.
+pub fn tune_key_with_sequences(
+    source: &str,
+    kernel: &str,
+    device: &str,
+    global: &[u64],
+    local: &[u64],
+    sequences: &str,
+) -> Fingerprint {
+    FingerprintBuilder::new()
+        .part("source", canonicalize_source(source).as_bytes())
+        .part("kernel", kernel.as_bytes())
+        .part("device", device.as_bytes())
+        .part_u64s("global", global)
+        .part_u64s("local", local)
+        .part("sequences", sequences.as_bytes())
         .finish()
 }
 
@@ -305,5 +347,21 @@ mod tests {
         let fp = pass_fingerprint();
         assert!(fp.starts_with("grover-"), "{fp}");
         assert!(fp.contains("+rev"), "{fp}");
+        // One revision digit per composable pass, in canonical order.
+        assert!(fp.contains("+pp1.1.1.1"), "{fp}");
+    }
+
+    #[test]
+    fn tune_key_varies_by_sequence_set() {
+        let src = "__kernel void f(__global float* x) { x[0] = 1.0f; }";
+        let a = tune_key_with_sequences(src, "f", "SNB", &[256], &[16], "local-removal@1");
+        let b = tune_key_with_sequences(src, "f", "SNB", &[256], &[16], "local-removal@1,remap@1");
+        assert_ne!(a, b, "two sequence sets must never collide");
+        // A per-pass revision bump changes the token, hence the key.
+        let c = tune_key_with_sequences(src, "f", "SNB", &[256], &[16], "local-removal@2");
+        assert_ne!(a, c);
+        // And the sequence-aware key never collides with the legacy key's
+        // space by accident of concatenation.
+        assert_ne!(a, tune_key(src, "f", "SNB", &[256], &[16]));
     }
 }

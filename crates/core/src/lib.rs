@@ -53,6 +53,7 @@ pub mod classify;
 pub mod fingerprint;
 pub mod linsys;
 pub mod pass;
+pub mod pipeline;
 pub mod rational;
 pub mod transform;
 pub mod tree;
@@ -61,11 +62,15 @@ pub use affine::{Affine, Atom};
 pub use candidates::{detect, CandidateError, StagingPattern};
 pub use classify::{classify, BufferClass, UsagePattern};
 pub use fingerprint::{
-    canonicalize_source, pass_fingerprint, source_fingerprint, tune_key, Fingerprint,
-    FingerprintBuilder, TRANSFORM_REVISION,
+    canonicalize_source, pass_fingerprint, source_fingerprint, tune_key, tune_key_with_sequences,
+    Fingerprint, FingerprintBuilder, TRANSFORM_REVISION,
 };
 pub use linsys::{solve, Solution, SolveError};
 pub use pass::{BufferOutcome, BufferReport, Grover, GroverOptions, GroverReport};
+pub use pipeline::{
+    apply_sequence, Pass, PassCtx, PassId, PassManager, PassReport, PipelineReport, Sequence,
+    SequenceError,
+};
 pub use rational::Rational;
 pub use transform::{Decline, LlRewrite};
 pub use tree::{ExprTree, LeafKind, NodeId};

@@ -2,7 +2,7 @@
 //! for every `__local` buffer of a kernel, and produces the symbolic report
 //! behind the paper's Table III.
 
-use grover_ir::passes::{DeadCodeElim, FunctionPass, PassManager};
+use grover_ir::passes::FunctionPass;
 use grover_ir::{AddressSpace, BarrierScope, Function, Inst, LocalBufId, ValueId};
 
 use crate::affine::Affine;
@@ -240,123 +240,91 @@ impl Grover {
         report
     }
 
+    /// Since PR 9 this routes through the composable pipeline: the default
+    /// sequence (`local-removal, barrier-elim, index-simplify`, minus
+    /// `barrier-elim` under `keep_barriers`) reproduces the pre-split
+    /// monolithic transform byte-for-byte — gated by the golden snapshots
+    /// under `tests/golden/passes/`.
     fn run_on_inner(&self, f: &mut Function) -> GroverReport {
-        let mut report = GroverReport {
-            kernel: f.name.clone(),
-            ..Default::default()
-        };
-        let n_bufs = f.local_bufs().len();
-        for i in 0..n_bufs {
-            let buf = LocalBufId(i as u32);
-            let name = f.local_buf(buf).name.clone();
-            if f.local_buf(buf).is_empty() {
-                continue; // already removed
-            }
-            if let Some(sel) = &self.options.buffers {
-                if !sel.contains(&name) {
-                    report.buffers.push(BufferReport {
-                        buffer: name,
-                        outcome: BufferOutcome::Skipped,
-                        gl: None,
-                        ls_dims: Vec::new(),
-                        ll_dims: Vec::new(),
-                        ll_display: Vec::new(),
-                        solutions: Vec::new(),
-                        ngl: Vec::new(),
-                    });
-                    continue;
-                }
-            }
-            let br = self.disable_buffer(f, buf, name);
-            report.buffers.push(br);
-        }
-
-        // Cleanup only when something changed: a fully-declined kernel must
-        // be returned untouched (paper §VI-D — Grover never alters kernels
-        // it cannot reverse).
-        if report.buffers.iter().any(BufferReport::changed) {
-            let mut dce = DeadCodeElim::default();
-            dce.run(f);
-            report.insts_removed = dce.removed;
-            if !self.options.keep_barriers && !has_local_traffic(f) {
-                report.barriers_removed = remove_local_barriers(f);
-            }
-            // A final cleanup round folds the constants the rewrites introduced.
-            PassManager::cleanup_pipeline().run_to_fixpoint(f, 8);
-        }
-        report
+        let sequence = crate::pipeline::Sequence::for_options(&self.options);
+        crate::pipeline::PassManager::new(sequence, self.options.clone())
+            .run(f)
+            .report
     }
+}
 
-    fn disable_buffer(&self, f: &mut Function, buf: LocalBufId, name: String) -> BufferReport {
-        let mut br = BufferReport {
-            buffer: name,
-            outcome: BufferOutcome::Removed,
-            gl: None,
-            ls_dims: Vec::new(),
-            ll_dims: Vec::new(),
-            ll_display: Vec::new(),
-            solutions: Vec::new(),
-            ngl: Vec::new(),
-        };
-        let pattern = match detect(f, buf) {
-            Ok(p) => p,
-            Err(e) => {
-                br.outcome = BufferOutcome::NotCandidate(e);
+/// Disable one buffer: detect the staging pattern, solve, rewrite every LL
+/// and commit — or return the structured refusal. The kernel is untouched
+/// unless every LL rewrite succeeds (scratch-clone commit).
+pub(crate) fn disable_buffer(f: &mut Function, buf: LocalBufId, name: String) -> BufferReport {
+    let mut br = BufferReport {
+        buffer: name,
+        outcome: BufferOutcome::Removed,
+        gl: None,
+        ls_dims: Vec::new(),
+        ll_dims: Vec::new(),
+        ll_display: Vec::new(),
+        solutions: Vec::new(),
+        ngl: Vec::new(),
+    };
+    let pattern = match detect(f, buf) {
+        Ok(p) => p,
+        Err(e) => {
+            br.outcome = BufferOutcome::NotCandidate(e);
+            return br;
+        }
+    };
+    // Symbolic GL for the report.
+    let gl_ptr = match f.inst(pattern.gl) {
+        Some(Inst::Load { ptr }) => *ptr,
+        _ => unreachable!(),
+    };
+    br.gl = Some(ExprTree::build(f, gl_ptr).display_root(f));
+
+    // LS data index (per dimension).
+    let dims = f.local_buf(buf).dims.clone();
+    let ls_flat = ExprTree::build(f, pattern.ls_index).affine(f);
+    let Some(ls_dims) = split_dims(&ls_flat, &dims) else {
+        br.outcome = BufferOutcome::Declined(Decline::SplitFailed);
+        return br;
+    };
+    br.ls_dims = ls_dims.clone();
+
+    let tainted = lid_tainted(f);
+
+    // Rewrite every LL. Collect rewrites; if any declines, the kernel
+    // must stay untouched — run on a scratch clone first.
+    let mut scratch = f.clone();
+    let mut rewrites: Vec<LlRewrite> = Vec::new();
+    for &ll in &pattern.lls {
+        match rewrite_ll(&mut scratch, &pattern, &ls_dims, ll, &tainted) {
+            Ok(r) => rewrites.push(r),
+            Err(d) => {
+                br.outcome = BufferOutcome::Declined(d);
                 return br;
             }
-        };
-        // Symbolic GL for the report.
-        let gl_ptr = match f.inst(pattern.gl) {
-            Some(Inst::Load { ptr }) => *ptr,
-            _ => unreachable!(),
-        };
-        br.gl = Some(ExprTree::build(f, gl_ptr).display_root(f));
-
-        // LS data index (per dimension).
-        let dims = f.local_buf(buf).dims.clone();
-        let ls_flat = ExprTree::build(f, pattern.ls_index).affine(f);
-        let Some(ls_dims) = split_dims(&ls_flat, &dims) else {
-            br.outcome = BufferOutcome::Declined(Decline::SplitFailed);
-            return br;
-        };
-        br.ls_dims = ls_dims.clone();
-
-        let tainted = lid_tainted(f);
-
-        // Rewrite every LL. Collect rewrites; if any declines, the kernel
-        // must stay untouched — run on a scratch clone first.
-        let mut scratch = f.clone();
-        let mut rewrites: Vec<LlRewrite> = Vec::new();
-        for &ll in &pattern.lls {
-            match rewrite_ll(&mut scratch, &pattern, &ls_dims, ll, &tainted) {
-                Ok(r) => rewrites.push(r),
-                Err(d) => {
-                    br.outcome = BufferOutcome::Declined(d);
-                    return br;
-                }
-            }
         }
-        // All succeeded: remove the staging stores and the buffer, commit.
-        for &st in &pattern.all_stores {
-            scratch.remove_inst(st);
-        }
-        scratch.mark_local_buf_removed(buf);
-        *f = scratch;
-
-        for r in rewrites {
-            br.solutions.push(r.solution.display_in(f));
-            br.ll_display.push(
-                r.ll_dims
-                    .iter()
-                    .map(|a| a.display_in(f))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            );
-            br.ll_dims.push(r.ll_dims);
-            br.ngl.push(r.ngl_display);
-        }
-        br
     }
+    // All succeeded: remove the staging stores and the buffer, commit.
+    for &st in &pattern.all_stores {
+        scratch.remove_inst(st);
+    }
+    scratch.mark_local_buf_removed(buf);
+    *f = scratch;
+
+    for r in rewrites {
+        br.solutions.push(r.solution.display_in(f));
+        br.ll_display.push(
+            r.ll_dims
+                .iter()
+                .map(|a| a.display_in(f))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        br.ll_dims.push(r.ll_dims);
+        br.ngl.push(r.ngl_display);
+    }
+    br
 }
 
 impl FunctionPass for Grover {
@@ -387,7 +355,7 @@ pub fn has_local_traffic(f: &Function) -> bool {
 }
 
 /// Remove local barriers (Both-scope barriers are narrowed to Global).
-fn remove_local_barriers(f: &mut Function) -> usize {
+pub(crate) fn remove_local_barriers(f: &mut Function) -> usize {
     let mut removed = 0;
     let targets: Vec<ValueId> = f
         .iter_insts()

@@ -1,0 +1,758 @@
+//! The composable pass pipeline.
+//!
+//! PR 9 splits the monolithic Grover transform into four independent
+//! passes behind the [`Pass`] trait, each with declared preconditions and
+//! its own behaviour revision:
+//!
+//! * `local-removal` — the per-buffer staging-pattern reversal (detect →
+//!   solve → rewrite, paper §IV), followed by dead-code elimination of the
+//!   GL/LS chains it orphaned;
+//! * `barrier-elim` — removes local barriers once no local traffic
+//!   remains (Both-scope barriers are narrowed to Global);
+//! * `index-simplify` — the standard cleanup fixpoint (constant folding,
+//!   DCE, CFG simplification) folding the constants the rewrites
+//!   introduced;
+//! * `remap` — the coalescing-friendly remapping fixpoint (GVN + LICM on
+//!   top of cleanup), hoisting and deduplicating the nGL address
+//!   arithmetic the rewrites multiplied.
+//!
+//! A [`Sequence`] is a validated ordering of passes; [`PassManager`] runs
+//! one and produces a [`PipelineReport`] with a per-pass [`PassReport`]
+//! next to the aggregate [`GroverReport`] the rest of the system already
+//! consumes. The *default* sequence (`local-removal, barrier-elim,
+//! index-simplify`) reproduces the pre-split monolithic transform
+//! byte-for-byte — the golden per-pass snapshots under
+//! `tests/golden/passes/` gate that equivalence.
+//!
+//! Legality is validated at [`Sequence`] construction with stable error
+//! kinds ([`SequenceError::kind`]): every sequence must be non-empty
+//! (`empty`), name only known passes (`unknown_pass`), and satisfy each
+//! pass's preconditions — the three cleanup passes require a preceding
+//! `local-removal` (`missing_dependency`). Repeating a pass is legal:
+//! every pass is idempotent (property-tested in `tests/properties.rs`).
+//!
+//! Every pass refuses to touch a kernel the local-removal stage did not
+//! change, preserving the paper's §VI-D invariant — a kernel Grover
+//! cannot reverse is returned byte-identical no matter which legal
+//! sequence runs.
+
+use std::fmt;
+
+use grover_ir::passes::{DeadCodeElim, FunctionPass, PassManager as IrPassManager};
+use grover_ir::{Function, LocalBufId};
+
+use crate::pass::{
+    disable_buffer, has_local_traffic, remove_local_barriers, BufferOutcome, BufferReport,
+    GroverOptions, GroverReport,
+};
+
+/// Identity of one composable pass.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PassId {
+    /// Per-buffer local-memory removal (+ DCE of the orphaned chains).
+    LocalRemoval,
+    /// Local-barrier elimination once no local traffic remains.
+    BarrierElim,
+    /// Cleanup fixpoint: constant folding, DCE, CFG simplification.
+    IndexSimplify,
+    /// Coalescing-friendly remapping fixpoint: GVN + LICM on top of
+    /// cleanup.
+    Remap,
+}
+
+impl PassId {
+    /// Every pass, in canonical order.
+    pub const ALL: [PassId; 4] = [
+        PassId::LocalRemoval,
+        PassId::BarrierElim,
+        PassId::IndexSimplify,
+        PassId::Remap,
+    ];
+
+    /// Stable machine-readable name (the `--passes` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::LocalRemoval => "local-removal",
+            PassId::BarrierElim => "barrier-elim",
+            PassId::IndexSimplify => "index-simplify",
+            PassId::Remap => "remap",
+        }
+    }
+
+    /// Monotonic revision of this pass's observable behaviour. Bump when
+    /// the pass produces different IR; the revision feeds
+    /// [`crate::fingerprint::pass_fingerprint`], so a bump invalidates
+    /// every persisted tuning decision in lock-step.
+    pub fn revision(self) -> u32 {
+        match self {
+            PassId::LocalRemoval => 1,
+            PassId::BarrierElim => 1,
+            PassId::IndexSimplify => 1,
+            PassId::Remap => 1,
+        }
+    }
+
+    /// Passes that must appear *earlier* in any legal sequence. The three
+    /// cleanup passes are gated on local-removal having run: without it
+    /// they would rewrite kernels Grover declined, breaking the
+    /// untouched-kernel invariant.
+    pub fn preconditions(self) -> &'static [PassId] {
+        match self {
+            PassId::LocalRemoval => &[],
+            PassId::BarrierElim | PassId::IndexSimplify | PassId::Remap => &[PassId::LocalRemoval],
+        }
+    }
+
+    /// Parse a stable name back into a pass id.
+    pub fn parse(name: &str) -> Option<PassId> {
+        PassId::ALL.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for PassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An illegal pass sequence, with a stable machine-readable kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SequenceError {
+    /// The sequence names no passes at all.
+    Empty,
+    /// An unknown pass name (carried verbatim).
+    UnknownPass(String),
+    /// `pass` appears before its precondition `requires`.
+    MissingDependency {
+        /// The pass whose precondition is unmet.
+        pass: PassId,
+        /// The pass that must run earlier.
+        requires: PassId,
+    },
+}
+
+impl SequenceError {
+    /// Stable tag: `empty`, `unknown_pass` or `missing_dependency`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SequenceError::Empty => "empty",
+            SequenceError::UnknownPass(_) => "unknown_pass",
+            SequenceError::MissingDependency { .. } => "missing_dependency",
+        }
+    }
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::Empty => f.write_str("empty pass sequence"),
+            SequenceError::UnknownPass(name) => write!(
+                f,
+                "unknown pass `{name}` (known: {})",
+                PassId::ALL.map(PassId::name).join(", ")
+            ),
+            SequenceError::MissingDependency { pass, requires } => {
+                write!(
+                    f,
+                    "pass `{pass}` requires `{requires}` earlier in the sequence"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// A validated ordering of passes. Construction enforces legality, so a
+/// `Sequence` value is legal by type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Sequence(Vec<PassId>);
+
+impl Sequence {
+    /// Validate and wrap an explicit ordering.
+    pub fn new(ids: Vec<PassId>) -> Result<Sequence, SequenceError> {
+        if ids.is_empty() {
+            return Err(SequenceError::Empty);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            for &req in id.preconditions() {
+                if !ids[..i].contains(&req) {
+                    return Err(SequenceError::MissingDependency {
+                        pass: *id,
+                        requires: req,
+                    });
+                }
+            }
+        }
+        Ok(Sequence(ids))
+    }
+
+    /// Parse a comma-separated spec (`local-removal,barrier-elim,...`).
+    /// Whitespace around names is ignored.
+    pub fn parse(spec: &str) -> Result<Sequence, SequenceError> {
+        let names: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            return Err(SequenceError::Empty);
+        }
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            ids.push(PassId::parse(name).ok_or_else(|| SequenceError::UnknownPass(name.into()))?);
+        }
+        Sequence::new(ids)
+    }
+
+    /// The default pipeline — byte-identical to the pre-split monolithic
+    /// transform: `local-removal, barrier-elim, index-simplify`.
+    pub fn default_pipeline() -> Sequence {
+        Sequence(vec![
+            PassId::LocalRemoval,
+            PassId::BarrierElim,
+            PassId::IndexSimplify,
+        ])
+    }
+
+    /// The tuner's traditional candidate pipeline: the default plus the
+    /// remapping fixpoint (what `prepare_pair` and the pre-PR-9 tuner
+    /// applied to the transformed kernel before racing it).
+    pub fn tuned_pipeline() -> Sequence {
+        Sequence(vec![
+            PassId::LocalRemoval,
+            PassId::BarrierElim,
+            PassId::IndexSimplify,
+            PassId::Remap,
+        ])
+    }
+
+    /// The default pipeline for the given options: `keep_barriers` drops
+    /// `barrier-elim` (the barrier-elision ablation).
+    pub fn for_options(options: &GroverOptions) -> Sequence {
+        if options.keep_barriers {
+            Sequence(vec![PassId::LocalRemoval, PassId::IndexSimplify])
+        } else {
+            Sequence::default_pipeline()
+        }
+    }
+
+    /// The passes, in run order.
+    pub fn passes(&self) -> &[PassId] {
+        &self.0
+    }
+
+    /// The comma-separated spec (`Display` renders the same).
+    pub fn spec(&self) -> String {
+        self.to_string()
+    }
+
+    /// Identity token carrying per-pass revisions
+    /// (`local-removal@1,barrier-elim@1,...`) — the string hashed into
+    /// sequence-aware tune keys so a per-pass revision bump changes
+    /// identity even when the spec does not.
+    pub fn token(&self) -> String {
+        self.0
+            .iter()
+            .map(|p| format!("{}@{}", p.name(), p.revision()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.0.iter().map(|p| p.name()).collect();
+        f.write_str(&names.join(","))
+    }
+}
+
+/// Shared state threaded through one pipeline run.
+#[derive(Debug, Default)]
+pub struct PassCtx {
+    /// The aggregate report, accumulated across passes.
+    pub report: GroverReport,
+    /// Whether local-removal changed the kernel this run. Every later
+    /// pass gates on it: an unreversed kernel stays byte-identical.
+    pub removed_any: bool,
+}
+
+/// Per-pass outcome of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PassReport {
+    /// Which pass ran.
+    pub pass: PassId,
+    /// Whether the pass changed the IR.
+    pub changed: bool,
+    /// One-line human summary of what it did.
+    pub detail: String,
+}
+
+/// A composable transformation stage. Unlike
+/// [`grover_ir::passes::FunctionPass`], a pipeline pass sees the shared
+/// [`PassCtx`] (so cleanup stages can refuse to touch unreversed kernels)
+/// and produces a structured [`PassReport`].
+pub trait Pass {
+    /// The pass's identity (name, revision, preconditions).
+    fn id(&self) -> PassId;
+    /// Run on `f`, updating the shared context.
+    fn run(&mut self, f: &mut Function, ctx: &mut PassCtx) -> PassReport;
+}
+
+/// `local-removal`: the per-buffer staging-pattern reversal plus DCE of
+/// the orphaned GL/LS chains.
+pub struct LocalRemovalPass {
+    /// Buffer selection (and the unused-here `keep_barriers` flag).
+    pub options: GroverOptions,
+}
+
+impl Pass for LocalRemovalPass {
+    fn id(&self) -> PassId {
+        PassId::LocalRemoval
+    }
+
+    fn run(&mut self, f: &mut Function, ctx: &mut PassCtx) -> PassReport {
+        if ctx.report.kernel.is_empty() {
+            ctx.report.kernel = f.name.clone();
+        }
+        let mut removed_here = 0usize;
+        let n_bufs = f.local_bufs().len();
+        for i in 0..n_bufs {
+            let buf = LocalBufId(i as u32);
+            let name = f.local_buf(buf).name.clone();
+            if f.local_buf(buf).is_empty() {
+                continue; // already removed
+            }
+            if let Some(sel) = &self.options.buffers {
+                if !sel.contains(&name) {
+                    ctx.report.buffers.push(BufferReport {
+                        buffer: name,
+                        outcome: BufferOutcome::Skipped,
+                        gl: None,
+                        ls_dims: Vec::new(),
+                        ll_dims: Vec::new(),
+                        ll_display: Vec::new(),
+                        solutions: Vec::new(),
+                        ngl: Vec::new(),
+                    });
+                    continue;
+                }
+            }
+            let br = disable_buffer(f, buf, name);
+            if br.changed() {
+                removed_here += 1;
+            }
+            ctx.report.buffers.push(br);
+        }
+        // DCE only when something changed: a fully-declined kernel must be
+        // returned untouched (paper §VI-D).
+        let mut insts_removed = 0;
+        if removed_here > 0 {
+            let mut dce = DeadCodeElim::default();
+            dce.run(f);
+            insts_removed = dce.removed;
+            ctx.report.insts_removed += insts_removed;
+            ctx.removed_any = true;
+        }
+        PassReport {
+            pass: PassId::LocalRemoval,
+            changed: removed_here > 0,
+            detail: format!("{removed_here} buffer(s) removed, {insts_removed} inst(s) DCE'd"),
+        }
+    }
+}
+
+/// `barrier-elim`: removes local barriers once no local traffic remains.
+#[derive(Default)]
+pub struct BarrierElimPass;
+
+impl Pass for BarrierElimPass {
+    fn id(&self) -> PassId {
+        PassId::BarrierElim
+    }
+
+    fn run(&mut self, f: &mut Function, ctx: &mut PassCtx) -> PassReport {
+        let mut removed = 0;
+        if ctx.removed_any && !has_local_traffic(f) {
+            removed = remove_local_barriers(f);
+            ctx.report.barriers_removed += removed;
+        }
+        PassReport {
+            pass: PassId::BarrierElim,
+            changed: removed > 0,
+            detail: format!("{removed} barrier(s) removed"),
+        }
+    }
+}
+
+/// `index-simplify`: the standard cleanup fixpoint.
+#[derive(Default)]
+pub struct IndexSimplifyPass;
+
+impl Pass for IndexSimplifyPass {
+    fn id(&self) -> PassId {
+        PassId::IndexSimplify
+    }
+
+    fn run(&mut self, f: &mut Function, ctx: &mut PassCtx) -> PassReport {
+        let mut changed = false;
+        if ctx.removed_any {
+            changed = IrPassManager::cleanup_pipeline().run_to_fixpoint(f, 8);
+        }
+        PassReport {
+            pass: PassId::IndexSimplify,
+            changed,
+            detail: if changed {
+                "cleanup fixpoint simplified the kernel".into()
+            } else {
+                "no change".into()
+            },
+        }
+    }
+}
+
+/// `remap`: the coalescing-friendly remapping fixpoint (GVN + LICM).
+#[derive(Default)]
+pub struct RemapPass;
+
+impl Pass for RemapPass {
+    fn id(&self) -> PassId {
+        PassId::Remap
+    }
+
+    fn run(&mut self, f: &mut Function, ctx: &mut PassCtx) -> PassReport {
+        let mut changed = false;
+        if ctx.removed_any {
+            changed = IrPassManager::optimize_pipeline().run_to_fixpoint(f, 8);
+        }
+        PassReport {
+            pass: PassId::Remap,
+            changed,
+            detail: if changed {
+                "remapping fixpoint rewrote the kernel".into()
+            } else {
+                "no change".into()
+            },
+        }
+    }
+}
+
+/// Instantiate the pass behind an id.
+pub fn pass_for(id: PassId, options: &GroverOptions) -> Box<dyn Pass> {
+    match id {
+        PassId::LocalRemoval => Box::new(LocalRemovalPass {
+            options: options.clone(),
+        }),
+        PassId::BarrierElim => Box::new(BarrierElimPass),
+        PassId::IndexSimplify => Box::new(IndexSimplifyPass),
+        PassId::Remap => Box::new(RemapPass),
+    }
+}
+
+/// Outcome of one pipeline run: per-pass reports plus the aggregate
+/// [`GroverReport`] existing consumers expect.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// The sequence that ran.
+    pub sequence: Sequence,
+    /// One entry per pass, in run order.
+    pub passes: Vec<PassReport>,
+    /// The aggregate report (buffers, barriers removed, DCE count).
+    pub report: GroverReport,
+}
+
+impl PipelineReport {
+    /// Render the per-pass reports as a human-readable block.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "sequence {}:", self.sequence);
+        for p in &self.passes {
+            let _ = writeln!(
+                s,
+                "  {:<16} {} — {}",
+                p.pass.name(),
+                if p.changed { "changed " } else { "no-op   " },
+                p.detail
+            );
+        }
+        s
+    }
+}
+
+/// Runs a validated [`Sequence`] over a function, producing per-pass
+/// reports. Distinct from [`grover_ir::passes::PassManager`] (the generic
+/// fixpoint driver the cleanup stages use internally): this manager knows
+/// pass identity, preconditions and the shared [`PassCtx`] gating.
+pub struct PassManager {
+    sequence: Sequence,
+    options: GroverOptions,
+}
+
+impl PassManager {
+    /// A manager for a validated sequence.
+    pub fn new(sequence: Sequence, options: GroverOptions) -> PassManager {
+        PassManager { sequence, options }
+    }
+
+    /// Run the sequence over `f`.
+    pub fn run(&self, f: &mut Function) -> PipelineReport {
+        let mut ctx = PassCtx {
+            report: GroverReport {
+                kernel: f.name.clone(),
+                ..Default::default()
+            },
+            removed_any: false,
+        };
+        let mut passes = Vec::with_capacity(self.sequence.passes().len());
+        for &id in self.sequence.passes() {
+            let mut pass = pass_for(id, &self.options);
+            passes.push(pass.run(f, &mut ctx));
+        }
+        PipelineReport {
+            sequence: self.sequence.clone(),
+            passes,
+            report: ctx.report,
+        }
+    }
+}
+
+/// Convenience: run `sequence` over `f` with `options`.
+pub fn apply_sequence(
+    f: &mut Function,
+    sequence: &Sequence,
+    options: &GroverOptions,
+) -> PipelineReport {
+    PassManager::new(sequence.clone(), options.clone()).run(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grover_frontend::{compile, BuildOptions};
+    use grover_ir::printer::function_to_string;
+
+    fn kernel(src: &str) -> Function {
+        compile(src, &BuildOptions::new())
+            .unwrap()
+            .kernels
+            .remove(0)
+    }
+
+    const MT: &str = "__kernel void mt(__global float* in, __global float* out, int w) {
+        __local float lm[16][16];
+        int lx = get_local_id(0);
+        int ly = get_local_id(1);
+        int wx = get_group_id(0);
+        int wy = get_group_id(1);
+        lm[ly][lx] = in[(wy * 16 + ly) * w + (wx * 16 + lx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[(wx * 16 + lx) * w + (wy * 16 + ly)] = lm[lx][ly];
+    }";
+
+    /// A reduction Grover must refuse — every legal sequence must leave it
+    /// byte-identical.
+    const RED: &str = "__kernel void red(__global float* in, __global float* out) {
+        __local float acc[16];
+        int lx = get_local_id(0);
+        acc[lx] = in[lx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc[lx] = acc[lx] + 1.0f;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[lx] = acc[lx];
+    }";
+
+    /// Every legal order over the four passes (local-removal first, then
+    /// any permutation of any subset of the cleanup passes).
+    fn all_legal_sequences() -> Vec<Sequence> {
+        let tail = [PassId::BarrierElim, PassId::IndexSimplify, PassId::Remap];
+        let mut out = Vec::new();
+        // Subsets by bitmask, orders by the two permutations of each pair
+        // and six of each triple — enumerate by recursive permutation.
+        fn perms(items: &[PassId]) -> Vec<Vec<PassId>> {
+            if items.is_empty() {
+                return vec![Vec::new()];
+            }
+            let mut out = Vec::new();
+            for (i, &x) in items.iter().enumerate() {
+                let mut rest = items.to_vec();
+                rest.remove(i);
+                for mut p in perms(&rest) {
+                    p.insert(0, x);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        for mask in 0..8u32 {
+            let subset: Vec<PassId> = tail
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            for perm in perms(&subset) {
+                let mut ids = vec![PassId::LocalRemoval];
+                ids.extend(perm);
+                out.push(Sequence::new(ids).unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn default_sequence_matches_monolithic_run_on() {
+        // The refactor-is-a-no-op gate at unit scope (the golden per-pass
+        // snapshots gate it across all 12 apps): running the default
+        // sequence must equal `Grover::run_on`, which now routes through
+        // the pipeline — so also check against a hand-run of the stages.
+        let mut via_grover = kernel(MT);
+        let report = crate::Grover::new().run_on(&mut via_grover);
+        let mut via_seq = kernel(MT);
+        let pr = apply_sequence(
+            &mut via_seq,
+            &Sequence::default_pipeline(),
+            &GroverOptions::default(),
+        );
+        assert_eq!(
+            function_to_string(&via_grover),
+            function_to_string(&via_seq)
+        );
+        assert_eq!(report.barriers_removed, pr.report.barriers_removed);
+        assert_eq!(report.insts_removed, pr.report.insts_removed);
+        assert_eq!(report.to_text(), pr.report.to_text());
+        assert_eq!(pr.passes.len(), 3);
+        assert!(pr.passes.iter().all(|p| p.changed), "{}", pr.to_text());
+    }
+
+    #[test]
+    fn sequence_legality_stable_error_kinds() {
+        assert_eq!(Sequence::parse("").unwrap_err().kind(), "empty");
+        assert_eq!(Sequence::parse(" , ,").unwrap_err().kind(), "empty");
+        assert_eq!(
+            Sequence::parse("local-removal,frobnicate")
+                .unwrap_err()
+                .kind(),
+            "unknown_pass"
+        );
+        assert_eq!(
+            Sequence::parse("barrier-elim").unwrap_err().kind(),
+            "missing_dependency"
+        );
+        assert_eq!(
+            Sequence::parse("index-simplify,local-removal")
+                .unwrap_err()
+                .kind(),
+            "missing_dependency"
+        );
+        assert_eq!(
+            Sequence::parse("remap,local-removal").unwrap_err().kind(),
+            "missing_dependency"
+        );
+        // Legal orders parse, and roundtrip through spec().
+        for spec in [
+            "local-removal",
+            "local-removal,barrier-elim,index-simplify",
+            "local-removal,remap,barrier-elim",
+            "local-removal, index-simplify , remap",
+            "local-removal,local-removal,index-simplify",
+        ] {
+            let seq = Sequence::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(Sequence::parse(&seq.spec()).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn every_pass_is_idempotent_on_mt() {
+        for seq in all_legal_sequences() {
+            let mut once = kernel(MT);
+            apply_sequence(&mut once, &seq, &GroverOptions::default());
+            // Doubling the sequence (run it again on the result) must be a
+            // no-op — pass idempotence composed.
+            let mut twice = once.clone();
+            let mut ids: Vec<PassId> = seq.passes().to_vec();
+            ids.extend(seq.passes().iter().copied());
+            let doubled = Sequence::new(ids).unwrap();
+            apply_sequence(&mut twice, &doubled, &GroverOptions::default());
+            // `twice` started from the already-transformed kernel: nothing
+            // is left to remove, so removed_any stays false and the IR must
+            // be untouched.
+            assert_eq!(
+                function_to_string(&once),
+                function_to_string(&twice),
+                "sequence {seq} not idempotent"
+            );
+        }
+    }
+
+    #[test]
+    fn no_change_report_means_byte_identical_ir() {
+        // Report/IR consistency: on a kernel every pass refuses, each pass
+        // must report changed=false AND leave the IR byte-identical.
+        for seq in all_legal_sequences() {
+            let original = kernel(RED);
+            let mut f = original.clone();
+            let pr = apply_sequence(&mut f, &seq, &GroverOptions::default());
+            assert!(
+                pr.passes.iter().all(|p| !p.changed),
+                "sequence {seq}: {}",
+                pr.to_text()
+            );
+            assert_eq!(
+                function_to_string(&original),
+                function_to_string(&f),
+                "sequence {seq} modified a refused kernel"
+            );
+            assert_eq!(pr.report.removed_count(), 0);
+        }
+    }
+
+    #[test]
+    fn changed_flags_agree_with_ir_diffs() {
+        // On a kernel that does transform, run pass-by-pass and check each
+        // PassReport.changed against an actual before/after byte compare.
+        let seq = Sequence::tuned_pipeline();
+        let mut f = kernel(MT);
+        let opts = GroverOptions::default();
+        let mut ctx = PassCtx::default();
+        for &id in seq.passes() {
+            let before = function_to_string(&f);
+            let rep = pass_for(id, &opts).run(&mut f, &mut ctx);
+            let after = function_to_string(&f);
+            assert_eq!(
+                rep.changed,
+                before != after,
+                "{}: changed flag disagrees with IR diff",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn token_carries_revisions() {
+        let t = Sequence::default_pipeline().token();
+        assert!(t.contains("local-removal@1"), "{t}");
+        assert_ne!(
+            Sequence::default_pipeline().token(),
+            Sequence::tuned_pipeline().token()
+        );
+    }
+
+    #[test]
+    fn keep_barriers_maps_to_sequence_without_barrier_elim() {
+        let opts = GroverOptions {
+            buffers: None,
+            keep_barriers: true,
+        };
+        let seq = Sequence::for_options(&opts);
+        assert!(!seq.passes().contains(&PassId::BarrierElim));
+        let mut via_grover = kernel(MT);
+        crate::Grover::with_options(opts.clone()).run_on(&mut via_grover);
+        let mut via_seq = kernel(MT);
+        apply_sequence(&mut via_seq, &seq, &opts);
+        assert_eq!(
+            function_to_string(&via_grover),
+            function_to_string(&via_seq)
+        );
+    }
+}

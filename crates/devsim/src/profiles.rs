@@ -217,6 +217,50 @@ pub const CPU_DEVICES: [&str; 3] = ["SNB", "Nehalem", "MIC"];
 /// All six devices of Fig. 2.
 pub const ALL_DEVICES: [&str; 6] = ["Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"];
 
+/// Candidate pass sequences raced by the tuner on CPU devices.
+///
+/// CPUs pay a heavy per-work-item fiber switch at every barrier
+/// (`barrier_switch_cycles`), so all three candidates eliminate barriers;
+/// they differ in how much post-removal rewriting they do. The third skips
+/// the standalone cleanup fixpoint and goes straight to the remapping
+/// fixpoint (which subsumes cleanup plus GVN/LICM) — on in-order cores
+/// like MIC, hoisting the nGL address arithmetic out of loops is the lever
+/// that matters.
+const CPU_SEQUENCES: [&str; 3] = [
+    "local-removal,barrier-elim,index-simplify",
+    "local-removal,barrier-elim,index-simplify,remap",
+    "local-removal,barrier-elim,remap",
+];
+
+/// Candidate pass sequences raced by the tuner on GPU devices.
+///
+/// GPU barriers are cheap (`barrier_cycles` per warp, hidden by the warp
+/// scheduler), so the search also explores *keeping* them: the third
+/// candidate leaves barriers in place and spends the budget on the
+/// coalescing-friendly remap instead — testing whether barrier removal
+/// matters at all once local traffic is gone.
+const GPU_SEQUENCES: [&str; 3] = [
+    "local-removal,barrier-elim,index-simplify",
+    "local-removal,barrier-elim,index-simplify,remap",
+    "local-removal,index-simplify,remap",
+];
+
+/// The candidate pass-sequence set seeded for a device profile.
+///
+/// Returned as spec strings (the `--passes` vocabulary) so `devsim` stays
+/// dependency-free; `grover-core` parses and validates them. Unknown
+/// devices get an empty set — the tuner rejects them before sequence
+/// selection anyway.
+pub fn candidate_sequences(device: &str) -> &'static [&'static str] {
+    if cpu_by_name(device).is_some() {
+        &CPU_SEQUENCES
+    } else if gpu_by_name(device).is_some() {
+        &GPU_SEQUENCES
+    } else {
+        &[]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +279,22 @@ mod tests {
         assert!(mic().llc_distributed);
         assert!(!snb().llc_distributed);
         assert!(!nehalem().llc_distributed);
+    }
+
+    #[test]
+    fn every_device_has_candidate_sequences() {
+        for d in ALL_DEVICES {
+            let seqs = candidate_sequences(d);
+            assert!(!seqs.is_empty(), "{d} has no candidate sequences");
+            // The default pipeline is always candidate 0, so the search can
+            // only improve on the fixed transform.
+            assert_eq!(seqs[0], "local-removal,barrier-elim,index-simplify");
+            // Every candidate starts with local-removal (the legality root).
+            for s in seqs {
+                assert!(s.starts_with("local-removal"), "{d}: {s}");
+            }
+        }
+        assert!(candidate_sequences("GTX9000").is_empty());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! cases already seen.
 
 use crate::gen::Gen;
-use crate::oracle::{check_spec_backend, FailureKind};
+use crate::oracle::{check_spec_seqs, random_sequence, FailureKind};
 use crate::shrink::shrink;
 use crate::spec::{KernelSpec, ALL_POISONS};
+use grover_core::Sequence;
 use grover_obs::json::{array, Obj};
 use grover_obs::{Recorder, SpanGuard};
 use grover_runtime::Backend;
@@ -54,6 +55,9 @@ pub struct Summary {
     pub transformed: u64,
     /// Must-reject cases refused with the expected outcome.
     pub rejected: u64,
+    /// Total random-sequence legs judged across all cases (each case
+    /// draws 1–2 legal sequences on top of the default transform).
+    pub sequences_raced: u64,
     pub failures: Vec<CaseFailure>,
 }
 
@@ -98,6 +102,11 @@ impl Summary {
             )
             .u64("wrong_outcomes", self.count(FailureKind::WrongOutcome))
             .u64("ir_changes", self.count(FailureKind::IrChanged))
+            .u64("sequences_raced", self.sequences_raced)
+            .u64(
+                "sequence_mismatches",
+                self.count(FailureKind::SequenceMismatch),
+            )
             .raw("regressions", &regressions)
             .finish()
     }
@@ -107,13 +116,15 @@ impl Summary {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "fuzz: seed {} ({}) — {} cases: {} transformed, {} rejected, {} failed",
+            "fuzz: seed {} ({}) — {} cases: {} transformed, {} rejected, {} failed \
+             ({} sequence legs)",
             self.seed,
             self.backend,
             self.cases,
             self.transformed,
             self.rejected,
-            self.failures.len()
+            self.failures.len(),
+            self.sequences_raced
         );
         for f in &self.failures {
             let _ = writeln!(s, "  case {}: {} — {}", f.case, f.kind.name(), f.detail);
@@ -160,6 +171,11 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
     };
     for i in 0..opts.cases {
         let spec = draw_case(&mut g, i);
+        // 1–2 random legal sequences ride along on every case, racing the
+        // composable pipeline against the same interpreter baseline.
+        let n_seqs = if g.chance(1, 2) { 2 } else { 1 };
+        let seqs: Vec<Sequence> = (0..n_seqs).map(|_| random_sequence(&mut g)).collect();
+        summary.sequences_raced += seqs.len() as u64;
         let span = SpanGuard::open(rec, "fuzz.case", Some(root.id()));
         span.attr("case", i);
         span.attr(
@@ -169,7 +185,15 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
                 Some(p) => p.name(),
             },
         );
-        let outcome = check_spec_backend(&spec, opts.backend);
+        span.attr(
+            "sequences",
+            seqs.iter()
+                .map(|s| s.spec())
+                .collect::<Vec<_>>()
+                .join(";")
+                .as_str(),
+        );
+        let outcome = check_spec_seqs(&spec, opts.backend, &seqs);
         match outcome.failure() {
             None => {
                 if spec.poison.is_none() {
@@ -185,16 +209,24 @@ pub fn run_campaign(opts: &CampaignOptions, rec: &dyn Recorder) -> Summary {
                 // re-derive the detail from the minimized spec.
                 let kind = f.kind;
                 let (min, steps) = shrink(&spec, |s| {
-                    check_spec_backend(s, opts.backend)
+                    check_spec_seqs(s, opts.backend, &seqs)
                         .failure()
                         .map(|f| f.kind)
                         == Some(kind)
                 });
-                let detail = check_spec_backend(&min, opts.backend)
+                let detail = check_spec_seqs(&min, opts.backend, &seqs)
                     .failure()
                     .map(|f| f.detail.clone())
                     .unwrap_or_else(|| f.detail.clone());
-                let source = min.render();
+                // The reproducer records the raced sequences so a replay
+                // re-runs the same legs (`// fuzz: passes=` directives).
+                let mut source = min.render();
+                if !source.ends_with('\n') {
+                    source.push('\n');
+                }
+                for s in &seqs {
+                    source.push_str(&format!("// fuzz: passes={}\n", s.spec()));
+                }
                 let reproducer = opts
                     .out_dir
                     .as_deref()
@@ -236,6 +268,11 @@ mod tests {
         assert!(a.ok(), "{}", a.to_text());
         assert_eq!(a.transformed + a.rejected, 20);
         assert_eq!(a.rejected, 4, "every 5th case is a must-reject");
+        assert!(
+            (20..=40).contains(&a.sequences_raced),
+            "each case races 1-2 sequence legs: {}",
+            a.sequences_raced
+        );
         let b = run_campaign(&opts, &NOOP);
         assert_eq!(a.to_json(), b.to_json());
     }
@@ -308,6 +345,8 @@ mod tests {
             "\"backend\":\"interp\"",
             "\"failures\":0",
             "\"mismatches\":0",
+            "\"sequences_raced\":",
+            "\"sequence_mismatches\":0",
             "\"regressions\":[]",
         ] {
             assert!(j.contains(key), "{key} missing in {j}");

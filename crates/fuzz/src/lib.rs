@@ -37,8 +37,8 @@ pub use campaign::{run_campaign, CampaignOptions, CaseFailure, Summary};
 pub use gen::Gen;
 pub use grover_runtime::Backend;
 pub use oracle::{
-    check_source, check_source_backend, check_spec, check_spec_backend, CaseOutcome, Expectation,
-    Failure, FailureKind,
+    check_source, check_source_backend, check_source_seqs, check_spec, check_spec_backend,
+    check_spec_seqs, random_sequence, CaseOutcome, Expectation, Failure, FailureKind,
 };
 pub use replay::{
     parse_directives, replay_dir, replay_dir_backend, replay_source, replay_source_backend,

@@ -12,8 +12,9 @@
 //! kernels are never executed — several are deliberately out-of-bounds or
 //! UB under divergence.
 
+use crate::gen::Gen;
 use crate::spec::{ExecShape, KernelSpec};
-use grover_core::Grover;
+use grover_core::{apply_sequence, Grover, GroverOptions, PassId, Sequence};
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
 use grover_ir::Function;
@@ -48,6 +49,9 @@ pub enum FailureKind {
     WrongOutcome,
     /// A refusal modified the IR.
     IrChanged,
+    /// A randomly drawn pass sequence produced output that differs from
+    /// the interpreter baseline of the original kernel.
+    SequenceMismatch,
 }
 
 impl FailureKind {
@@ -60,8 +64,25 @@ impl FailureKind {
             FailureKind::AcceptedMustReject => "accepted-must-reject",
             FailureKind::WrongOutcome => "wrong-outcome",
             FailureKind::IrChanged => "ir-changed",
+            FailureKind::SequenceMismatch => "sequence-mismatch",
         }
     }
+}
+
+/// Draw one random *legal* pass sequence: `local-removal` first (the
+/// legality root every cleanup pass declares as a precondition), then a
+/// uniformly shuffled prefix of the cleanup passes. Covers all 16 legal
+/// shapes, from bare `local-removal` to every 4-pass permutation.
+pub fn random_sequence(g: &mut Gen) -> Sequence {
+    let mut tail = [PassId::BarrierElim, PassId::IndexSimplify, PassId::Remap];
+    for i in (1..tail.len()).rev() {
+        let j = (g.next_u64() % (i as u64 + 1)) as usize;
+        tail.swap(i, j);
+    }
+    let keep = g.int(0, tail.len() as i64 + 1) as usize;
+    let mut ids = vec![PassId::LocalRemoval];
+    ids.extend(tail.into_iter().take(keep));
+    Sequence::new(ids).expect("local-removal-first sequences are legal")
 }
 
 /// A failed case: the broken invariant plus a human-readable detail line.
@@ -179,6 +200,21 @@ pub fn check_source_backend(
     shape: Option<&ExecShape>,
     backend: Backend,
 ) -> CaseOutcome {
+    check_source_seqs(src, expect, shape, backend, &[])
+}
+
+/// [`check_source_backend`] plus extra *sequence legs*: each sequence in
+/// `seqs` is applied to a fresh copy of the original kernel and must agree
+/// bit-exactly with the interpreter baseline under both schedules
+/// (transform cases) or leave the IR byte-identical (reject cases — every
+/// cleanup pass gates on a removal actually happening).
+pub fn check_source_seqs(
+    src: &str,
+    expect: &Expectation,
+    shape: Option<&ExecShape>,
+    backend: Backend,
+    seqs: &[Sequence],
+) -> CaseOutcome {
     let module = match compile(src, &BuildOptions::new()) {
         Ok(m) => m,
         Err(e) => return fail(FailureKind::CompileError, e.to_string()),
@@ -228,6 +264,19 @@ pub fn check_source_backend(
                     FailureKind::IrChanged,
                     format!("pass modified IR of a refused kernel (`{}`)", buf.buffer),
                 );
+            }
+            // And so must every legal sequence: cleanup passes gate on a
+            // removal having happened, so a refused kernel stays untouched
+            // no matter which passes run after local-removal.
+            for seq in seqs {
+                let mut seq_kernel = original.clone();
+                apply_sequence(&mut seq_kernel, seq, &GroverOptions::default());
+                if function_to_string(&seq_kernel) != function_to_string(original) {
+                    return fail(
+                        FailureKind::IrChanged,
+                        format!("sequence `{seq}` modified IR of a refused kernel"),
+                    );
+                }
             }
             CaseOutcome::Rejected
         }
@@ -294,7 +343,7 @@ pub fn check_source_backend(
             // Third leg: re-execute both kernels on the requested backend
             // and demand bit-identity with the interpreter reference.
             if backend != Backend::Interp {
-                let reference = reference.expect("policies is non-empty");
+                let reference = reference.as_deref().expect("policies is non-empty");
                 for (which, kernel) in [("original", original), ("transformed", &transformed)] {
                     let alt = match run_kernel_backend(kernel, shape, ExecPolicy::Serial, backend) {
                         Ok(v) => v,
@@ -305,13 +354,48 @@ pub fn check_source_backend(
                             )
                         }
                     };
-                    if let Some(i) = first_bit_diff(&reference, &alt) {
+                    if let Some(i) = first_bit_diff(reference, &alt) {
                         return fail(
                             FailureKind::Mismatch,
                             format!(
                                 "backends differ: {which} interp vs {backend} at [{i}]: {} vs {}",
                                 reference.get(i).copied().unwrap_or(f32::NAN),
                                 alt.get(i).copied().unwrap_or(f32::NAN),
+                            ),
+                        );
+                    }
+                }
+            }
+            // Sequence legs: every drawn legal sequence must compute the
+            // interpreter baseline bit-exactly under both schedules.
+            let reference = reference.expect("policies is non-empty");
+            for seq in seqs {
+                let mut seq_kernel = original.clone();
+                let pr = apply_sequence(&mut seq_kernel, seq, &GroverOptions::default());
+                if !pr.report.all_removed() {
+                    return fail(
+                        FailureKind::Declined,
+                        format!("sequence `{seq}` declined a must-transform kernel"),
+                    );
+                }
+                for policy in policies {
+                    let out = match run_kernel(&seq_kernel, shape, policy) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            return fail(
+                                FailureKind::ExecError,
+                                format!("sequence `{seq}` ({policy:?}): {e}"),
+                            )
+                        }
+                    };
+                    if let Some(i) = first_bit_diff(&reference, &out) {
+                        return fail(
+                            FailureKind::SequenceMismatch,
+                            format!(
+                                "sequence `{seq}` differs from baseline at [{i}] under \
+                                 {policy:?}: {} vs {}",
+                                reference.get(i).copied().unwrap_or(f32::NAN),
+                                out.get(i).copied().unwrap_or(f32::NAN),
                             ),
                         );
                     }
@@ -340,8 +424,20 @@ pub fn check_spec(spec: &KernelSpec) -> CaseOutcome {
 
 /// Render and judge a spec on an explicit execution backend.
 pub fn check_spec_backend(spec: &KernelSpec, backend: Backend) -> CaseOutcome {
+    check_spec_seqs(spec, backend, &[])
+}
+
+/// [`check_spec_backend`] with extra sequence legs (see
+/// [`check_source_seqs`]).
+pub fn check_spec_seqs(spec: &KernelSpec, backend: Backend, seqs: &[Sequence]) -> CaseOutcome {
     let shape = spec.exec_shape();
-    check_source_backend(&spec.render(), &expectation_of(spec), Some(&shape), backend)
+    check_source_seqs(
+        &spec.render(),
+        &expectation_of(spec),
+        Some(&shape),
+        backend,
+        seqs,
+    )
 }
 
 #[cfg(test)]
@@ -445,6 +541,45 @@ mod tests {
                 spec.render()
             );
         }
+    }
+
+    #[test]
+    fn random_sequences_are_legal_and_cover_lengths() {
+        let mut g = Gen::new(17);
+        let mut lengths = [0u32; 5];
+        for _ in 0..200 {
+            let seq = random_sequence(&mut g);
+            assert_eq!(seq.passes()[0], grover_core::PassId::LocalRemoval);
+            lengths[seq.passes().len()] += 1;
+        }
+        // Every legal length 1..=4 is drawn.
+        assert!(lengths[1..].iter().all(|&c| c > 0), "{lengths:?}");
+    }
+
+    #[test]
+    fn sequence_legs_agree_on_the_feature_spec() {
+        // Every legal sequence leg must match the baseline on a healthy
+        // kernel — exercised here with all four lengths at once.
+        let spec = base_spec();
+        let seqs: Vec<_> = [
+            "local-removal",
+            "local-removal,remap",
+            "local-removal,index-simplify,barrier-elim",
+            "local-removal,remap,barrier-elim,index-simplify",
+        ]
+        .iter()
+        .map(|s| grover_core::Sequence::parse(s).unwrap())
+        .collect();
+        let out = check_spec_seqs(&spec, Backend::Interp, &seqs);
+        assert!(matches!(out, CaseOutcome::Transformed), "{out:?}");
+    }
+
+    #[test]
+    fn sequence_legs_leave_rejected_kernels_untouched() {
+        let spec = KernelSpec::random(&mut Gen::new(5), Some(ALL_POISONS[0]));
+        let seqs = vec![grover_core::Sequence::tuned_pipeline()];
+        let out = check_spec_seqs(&spec, Backend::Interp, &seqs);
+        assert!(matches!(out, CaseOutcome::Rejected), "{out:?}");
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! Replaying a file runs the same oracle the campaign uses — corpus files
 //! are ordinary fuzz cases that happen to live in git.
 
-use crate::oracle::{check_source_backend, CaseOutcome, Expectation};
+use crate::oracle::{check_source_seqs, CaseOutcome, Expectation};
 use crate::spec::ExecShape;
+use grover_core::Sequence;
 use grover_runtime::Backend;
 use std::path::Path;
 
@@ -30,6 +31,9 @@ pub struct Directives {
     pub expect: Expectation,
     /// Launch geometry; required when `expect` is `Transform`.
     pub shape: Option<ExecShape>,
+    /// Pass sequences to race as extra legs (`// fuzz: passes=SPEC`, one
+    /// directive per sequence). Empty for pre-pipeline corpus files.
+    pub sequences: Vec<Sequence>,
 }
 
 fn parse_nd(v: &str) -> Result<([usize; 2], [usize; 2]), String> {
@@ -53,6 +57,7 @@ pub fn parse_directives(src: &str) -> Result<Directives, String> {
     let mut expect: Option<Expectation> = None;
     let mut nd: Option<([usize; 2], [usize; 2])> = None;
     let mut sizes: Option<(usize, usize, i64)> = None;
+    let mut sequences: Vec<Sequence> = Vec::new();
     for line in src.lines() {
         let Some(rest) = line.trim().strip_prefix("// fuzz:") else {
             continue;
@@ -82,6 +87,10 @@ pub fn parse_directives(src: &str) -> Result<Directives, String> {
             }
         } else if let Some(v) = rest.strip_prefix("nd=") {
             nd = Some(parse_nd(v.trim())?);
+        } else if let Some(v) = rest.strip_prefix("passes=") {
+            sequences.push(
+                Sequence::parse(v.trim()).map_err(|e| format!("passes directive `{v}`: {e}"))?,
+            );
         } else if rest.starts_with("in=") {
             let mut in_len = None;
             let mut out_len = None;
@@ -115,7 +124,11 @@ pub fn parse_directives(src: &str) -> Result<Directives, String> {
     if matches!(expect, Expectation::Transform) && shape.is_none() {
         return Err("expect=transform needs `nd=` and `in=/out=/w=` directives".to_string());
     }
-    Ok(Directives { expect, shape })
+    Ok(Directives {
+        expect,
+        shape,
+        sequences,
+    })
 }
 
 /// Replay one corpus kernel source. `Err` carries the failure description.
@@ -126,7 +139,7 @@ pub fn replay_source(src: &str) -> Result<(), String> {
 /// [`replay_source`] judging on an explicit execution backend.
 pub fn replay_source_backend(src: &str, backend: Backend) -> Result<(), String> {
     let d = parse_directives(src)?;
-    match check_source_backend(src, &d.expect, d.shape.as_ref(), backend) {
+    match check_source_seqs(src, &d.expect, d.shape.as_ref(), backend, &d.sequences) {
         CaseOutcome::Transformed | CaseOutcome::Rejected => Ok(()),
         CaseOutcome::Failed(f) => Err(format!("{}: {}", f.kind.name(), f.detail)),
     }
@@ -187,6 +200,21 @@ mod tests {
         assert!(parse_directives("__kernel void k() {}").is_err());
         assert!(parse_directives("// fuzz: expect=transform\n").is_err()); // no nd
         assert!(parse_directives("// fuzz: expect=reject kind=declined\n").is_err());
+    }
+
+    #[test]
+    fn passes_directives_parse_and_replay() {
+        let spec = KernelSpec::random(&mut Gen::new(5), None);
+        let mut src = spec.render();
+        src.push_str("// fuzz: passes=local-removal,barrier-elim,remap\n");
+        src.push_str("// fuzz: passes=local-removal\n");
+        let d = parse_directives(&src).unwrap();
+        assert_eq!(d.sequences.len(), 2);
+        assert_eq!(d.sequences[0].spec(), "local-removal,barrier-elim,remap");
+        replay_source(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // An illegal sequence is a parse error, not a silent skip.
+        let bad = format!("{src}// fuzz: passes=barrier-elim\n");
+        assert!(parse_directives(&bad).is_err());
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct Licm {
 /// A natural loop: header, body blocks (including header), preheader.
 struct NaturalLoop {
     body: HashSet<BlockId>,
+    /// `body` in block-index order — hoisting must visit blocks in a
+    /// deterministic order or the preheader's instruction order (and any
+    /// golden snapshot of it) varies from process to process.
+    body_ordered: Vec<BlockId>,
     preheader: BlockId,
 }
 
@@ -70,8 +74,11 @@ fn find_loops(f: &Function) -> Vec<NaturalLoop> {
         if outside.len() != 1 {
             continue;
         }
+        let mut body_ordered: Vec<BlockId> = body.iter().copied().collect();
+        body_ordered.sort_by_key(|b| b.index());
         loops.push(NaturalLoop {
             body,
+            body_ordered,
             preheader: outside[0],
         });
     }
@@ -112,7 +119,7 @@ impl FunctionPass for Licm {
                     inside.extend(f.block(b).insts.iter().copied());
                 }
                 let mut moved = false;
-                for &b in &lp.body {
+                for &b in &lp.body_ordered {
                     let insts = f.block(b).insts.clone();
                     for iv in insts {
                         let Some(inst) = f.inst(iv) else { continue };

@@ -42,6 +42,9 @@ pub struct DecisionRecord {
     pub kernel: String,
     /// `Choice::kind()` tag.
     pub choice: String,
+    /// The winning pass sequence (spec form, [`Decision::sequence`]).
+    /// Empty on records persisted before sequence search existed.
+    pub sequence: String,
     /// Normalised performance `t_with / t_without`.
     pub np: f64,
     /// Simulated cycles with local memory.
@@ -68,6 +71,7 @@ impl DecisionRecord {
             device: d.device.clone(),
             kernel: kernel.to_string(),
             choice: d.choice.kind().to_string(),
+            sequence: d.sequence.clone(),
             np: d.np,
             cycles_with: d.cycles_with,
             cycles_without: d.cycles_without,
@@ -84,6 +88,7 @@ impl DecisionRecord {
             .str("device", &self.device)
             .str("kernel", &self.kernel)
             .str("choice", &self.choice)
+            .str("sequence", &self.sequence)
             .f64("np", self.np)
             .u64("cycles_with", self.cycles_with)
             .u64("cycles_without", self.cycles_without);
@@ -120,6 +125,8 @@ impl DecisionRecord {
             device: field("device")?,
             kernel: field("kernel")?,
             choice: field("choice")?,
+            // Tolerant: records from before sequence search have no field.
+            sequence: v.str_of("sequence").unwrap_or("").to_string(),
             np: v.f64_of("np").ok_or("missing field `np`")?,
             cycles_with: v
                 .u64_of("cycles_with")
@@ -451,6 +458,7 @@ mod tests {
             device: "SNB".to_string(),
             kernel: "k".to_string(),
             choice: "without_local_memory".to_string(),
+            sequence: "local-removal,barrier-elim,index-simplify".to_string(),
             np: 1.25,
             cycles_with: 100,
             cycles_without: 80,

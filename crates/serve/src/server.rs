@@ -47,7 +47,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use grover_core::{pass_fingerprint, tune_key, Grover, GroverOptions, GroverReport};
+use grover_core::{
+    pass_fingerprint, tune_key_with_sequences, Grover, GroverOptions, GroverReport, Sequence,
+};
 use grover_devsim::Device;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
@@ -814,6 +816,7 @@ fn pad3(dims: &[u64]) -> [u64; 3] {
 fn tune_error_response(shared: &Shared, e: &TuneError) -> Response {
     let (status, kind) = match e {
         TuneError::UnknownDevice(_) => (400, "unknown_device"),
+        TuneError::InvalidSequence(_) => (400, "invalid_sequence"),
         TuneError::NothingToDisable(_) => (422, "pass_refusal"),
         TuneError::Deadline => {
             shared.metrics.deadline_timeouts.inc();
@@ -848,6 +851,7 @@ fn decision_response(rec: &DecisionRecord, served: Served) -> Response {
         .str("device", &rec.device)
         .str("kernel", &rec.kernel)
         .str("choice", &rec.choice)
+        .str("sequence", &rec.sequence)
         .f64("np", rec.np)
         .u64("cycles_with", rec.cycles_with)
         .u64("cycles_without", rec.cycles_without);
@@ -880,6 +884,7 @@ fn degraded_response(shared: &Shared, fingerprint: &str, device: &str, kernel: &
             .str("device", device)
             .str("kernel", kernel)
             .str("choice", Choice::WithLocalMemory.kind())
+            .null("sequence")
             .null("np")
             .null("cycles_with")
             .null("cycles_without")
@@ -934,6 +939,38 @@ fn handle_tune(
         return bad_request("each `local` dimension must divide its `global` dimension");
     }
 
+    // Optional `passes`: one explicit pass-sequence spec that replaces the
+    // device-seeded candidate race. Validated here so an illegal sequence
+    // is a 400 before any cache or tuner work.
+    let passes = match body.str_of("passes") {
+        Some(raw) => match Sequence::parse(raw) {
+            Ok(seq) => Some(seq),
+            Err(e) => {
+                return error_response(400, "invalid_sequence", format!("invalid `passes`: {e}"))
+            }
+        },
+        None => None,
+    };
+    // The sequence-set identity is part of the tune key: an explicit
+    // sequence keys by its revision-carrying token, the default search
+    // keys by the device's seeded candidate set — so decisions for
+    // different sequence sets can never collide, and reseeding the
+    // candidates invalidates exactly the affected device's entries.
+    let sequences_id = match &passes {
+        Some(seq) => seq.token(),
+        None => {
+            let tokens: Vec<String> = grover_devsim::candidate_sequences(device)
+                .iter()
+                .map(|s| {
+                    Sequence::parse(s)
+                        .expect("seeded candidate sequences are legal")
+                        .token()
+                })
+                .collect();
+            format!("auto:{}", tokens.join(";"))
+        }
+    };
+
     // Resolve the kernel name for the fingerprint: explicit, or the
     // first kernel of the (not yet compiled) source. Compilation is
     // deferred to the miss path, but the name must be part of the key —
@@ -944,14 +981,16 @@ fn handle_tune(
     let key_kernel;
     if let Some(name) = &kernel_field {
         key_kernel = name.clone();
-        fingerprint = tune_key(source, name, device, &g3, &l3).to_hex();
+        fingerprint =
+            tune_key_with_sequences(source, name, device, &g3, &l3, &sequences_id).to_hex();
     } else {
         let (_, name) = match compiled_kernel(&body) {
             Ok(k) => k,
             Err(resp) => return resp,
         };
         key_kernel = name;
-        fingerprint = tune_key(source, &key_kernel, device, &g3, &l3).to_hex();
+        fingerprint =
+            tune_key_with_sequences(source, &key_kernel, device, &g3, &l3, &sequences_id).to_hex();
     }
     rec.span_attr(span, "fingerprint", Value::from(fingerprint.as_str()));
     rec.span_attr(span, "device", Value::from(device));
@@ -1060,6 +1099,7 @@ fn handle_tune(
                 g3,
                 l3,
                 effective_deadline,
+                passes.as_ref(),
             );
             match record {
                 Some(r) => leader.publish(FlightOutcome::Decision(r)),
@@ -1087,6 +1127,7 @@ fn run_miss(
     g3: [u64; 3],
     l3: [u64; 3],
     effective_deadline: Option<Duration>,
+    passes: Option<&Sequence>,
 ) -> (Response, Option<DecisionRecord>) {
     let m = &shared.metrics;
     let rec = &*shared.recorder;
@@ -1100,13 +1141,16 @@ fn run_miss(
             None,
         );
     }
-    let mut transformed = kernel.clone();
+    // Refusal pre-check: local removal is the root of every legal
+    // sequence, so if it declines here it declines for all candidates —
+    // answer 422 with the full report before spinning up a race.
+    let mut probe = kernel.clone();
     let grover = Grover::with_options(GroverOptions {
         buffers: None,
         keep_barriers: false,
     });
     let tune_span = rec.span_start("serve.tune", Some(span));
-    let report = grover.run_on_observed(&mut transformed, rec, Some(tune_span));
+    let report = grover.run_on_observed(&mut probe, rec, Some(tune_span));
     if !report.buffers.iter().any(|b| b.outcome.is_removed()) {
         rec.span_end(tune_span);
         let resp = Response::json(
@@ -1159,8 +1203,13 @@ fn run_miss(
         deadline: effective_deadline,
         ..Limits::default()
     };
+    // An explicit `passes` spec collapses the race to that one candidate;
+    // otherwise the tuner draws the device-seeded set from devsim.
+    if let Some(seq) = passes {
+        tuner.sequences = Some(vec![seq.spec()]);
+    }
 
-    let outcome = tuner.tune_pair(&kernel, &transformed, report, device, &workload);
+    let outcome = tuner.tune(&kernel, device, &workload);
     m.tune_races.add(tuner.races_run());
     rec.span_end(tune_span);
     let decision = match outcome {

@@ -194,6 +194,7 @@ mod tests {
             device: "SNB".to_string(),
             kernel: "k".to_string(),
             choice: "similar".to_string(),
+            sequence: "local-removal,barrier-elim,index-simplify".to_string(),
             np: 1.0,
             cycles_with: 1,
             cycles_without: 1,

@@ -272,6 +272,175 @@ fn epoch_bump_invalidates_persisted_decisions() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression (sequence-aware tune keys): a pass-revision bump changes
+/// only the `+pp` suffix of the epoch — persisted decisions from the old
+/// per-pass revisions must be invalidated exactly like a whole-transform
+/// bump.
+#[test]
+fn pass_revision_bump_invalidates_persisted_decisions() {
+    let dir = temp_dir("ppbump");
+    let cfg = ServeConfig {
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let body = tune_body(STAGE, "SNB", 128, 64);
+
+    let first_run = start(cfg.clone());
+    let (_, first) = post(&first_run, "/v1/tune", &body);
+    assert_eq!(first.bool_of("cached"), Some(false));
+    first_run.shutdown();
+
+    // Rewrite the stored epoch so only one per-pass revision digit
+    // differs — the stale side of a single pass's revision bump.
+    let current = grover_core::pass_fingerprint();
+    let pp = current
+        .find("+pp")
+        .expect("epoch carries per-pass revisions");
+    // Bump the last per-pass revision digit: "…+pp1.1.1.1" → "…+pp1.1.1.9".
+    let stale_epoch = format!("{}9", &current[..current.len() - 1]);
+    assert_ne!(stale_epoch, current);
+    assert!(pp < current.len());
+    let segment = dir.join("decisions.journal");
+    let text = std::fs::read_to_string(&segment).unwrap();
+    let mut stale = String::new();
+    for line in text.lines() {
+        let grover_serve::journal::Line::Record(payload) =
+            grover_serve::journal::classify(line, true)
+        else {
+            panic!("journal line must be intact: {line}");
+        };
+        let edited = payload.replace(&current, &stale_epoch);
+        assert_ne!(payload, edited, "epoch must appear in the persisted record");
+        stale.push_str(&grover_serve::journal::frame(&edited));
+    }
+    std::fs::write(&segment, stale).unwrap();
+
+    let second_run = start(cfg);
+    let (status, second) = post(&second_run, "/v1/tune", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        second.bool_of("cached"),
+        Some(false),
+        "a per-pass revision bump must invalidate old decisions"
+    );
+    second_run.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression (sequence-aware tune keys): two explicit `passes` values for
+/// the same source/device/geometry must key separately — each gets its own
+/// race, its own cache entry, and neither ever answers for the other.
+#[test]
+fn two_sequences_for_the_same_source_never_collide() {
+    let server = start(config("seqkeys"));
+    let with_passes = |spec: &str| {
+        format!(
+            "{{\"source\": {}, \"device\": \"SNB\", \"global\": [256], \"local\": [64], \"passes\": \"{spec}\"}}",
+            json::escape(STAGE)
+        )
+    };
+    let a = with_passes("local-removal,barrier-elim,index-simplify");
+    let b = with_passes("local-removal,barrier-elim,index-simplify,remap");
+
+    let (status, ra) = post(&server, "/v1/tune", &a);
+    assert_eq!(status, 200, "{ra:?}");
+    assert_eq!(ra.bool_of("cached"), Some(false));
+    assert_eq!(
+        ra.str_of("sequence"),
+        Some("local-removal,barrier-elim,index-simplify")
+    );
+    let (status, rb) = post(&server, "/v1/tune", &b);
+    assert_eq!(status, 200, "{rb:?}");
+    assert_eq!(
+        rb.bool_of("cached"),
+        Some(false),
+        "b must not hit a's entry"
+    );
+    assert_eq!(
+        rb.str_of("sequence"),
+        Some("local-removal,barrier-elim,index-simplify,remap")
+    );
+    assert_ne!(
+        ra.str_of("fingerprint"),
+        rb.str_of("fingerprint"),
+        "sequence identity must be part of the tune key"
+    );
+
+    // The default (auto-search) key is a third identity: the candidate-set
+    // race is not interchangeable with any single explicit sequence.
+    let auto = tune_body(STAGE, "SNB", 256, 64);
+    let (_, rauto) = post(&server, "/v1/tune", &auto);
+    assert_eq!(rauto.bool_of("cached"), Some(false));
+    assert_ne!(rauto.str_of("fingerprint"), ra.str_of("fingerprint"));
+    assert_ne!(rauto.str_of("fingerprint"), rb.str_of("fingerprint"));
+
+    // Each entry answers only its own key.
+    assert_eq!(
+        post(&server, "/v1/tune", &a).1.bool_of("cached"),
+        Some(true)
+    );
+    assert_eq!(
+        post(&server, "/v1/tune", &b).1.bool_of("cached"),
+        Some(true)
+    );
+    assert_eq!(
+        post(&server, "/v1/tune", &auto).1.bool_of("cached"),
+        Some(true)
+    );
+    let m = server.metrics();
+    assert_eq!(m.cache_misses.get(), 3);
+    assert_eq!(m.cache_hits.get(), 3);
+
+    // An illegal sequence is a 400 before any tuner work.
+    let (status, resp) = post(
+        &server,
+        "/v1/tune",
+        &with_passes("barrier-elim,local-removal"),
+    );
+    assert_eq!(status, 400, "{resp:?}");
+    assert_eq!(resp.str_of("kind"), Some("invalid_sequence"));
+
+    std::fs::remove_dir_all(temp_dir("seqkeys")).ok();
+    server.shutdown();
+}
+
+/// The winning sequence is part of the decision: reported on the fresh
+/// response, on cache hits, and after a restart from the journal.
+#[test]
+fn winning_sequence_is_reported_and_survives_restart() {
+    let dir = temp_dir("seqrestart");
+    let cfg = ServeConfig {
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let body = tune_body(STAGE, "SNB", 256, 64);
+
+    let first_run = start(cfg.clone());
+    let (_, fresh) = post(&first_run, "/v1/tune", &body);
+    let winner = fresh
+        .str_of("sequence")
+        .expect("sequence present")
+        .to_string();
+    assert!(
+        winner.starts_with("local-removal"),
+        "winner must be a legal sequence: {winner}"
+    );
+    let (_, hit) = post(&first_run, "/v1/tune", &body);
+    assert_eq!(hit.str_of("sequence"), Some(winner.as_str()));
+    first_run.shutdown();
+
+    let second_run = start(cfg);
+    let (_, warm) = post(&second_run, "/v1/tune", &body);
+    assert_eq!(warm.bool_of("cached"), Some(true));
+    assert_eq!(
+        warm.str_of("sequence"),
+        Some(winner.as_str()),
+        "the winning sequence must survive the journal round-trip"
+    );
+    second_run.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn lru_eviction_is_counted_and_survives_in_store() {
     let dir = temp_dir("eviction");

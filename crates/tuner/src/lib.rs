@@ -49,7 +49,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use grover_core::{Grover, GroverReport};
+use grover_core::{apply_sequence, GroverOptions, GroverReport, Sequence};
 use grover_devsim::Device;
 use grover_ir::Function;
 use grover_obs::{NoopRecorder, Recorder, SpanId, Value};
@@ -172,6 +172,11 @@ pub struct Decision {
     pub device: String,
     /// The winning version.
     pub choice: Choice,
+    /// The pass sequence (spec form, e.g.
+    /// `local-removal,barrier-elim,index-simplify`) that produced the
+    /// winning transformed candidate. Recorded even when `choice` keeps
+    /// the original: it names the best candidate the race found.
+    pub sequence: String,
     /// `np = t_with / t_without` (paper §VI-B). `0.0` when the transformed
     /// version never completed a measurement (see `fallback`).
     pub np: f64,
@@ -216,6 +221,9 @@ impl Workload {
 pub enum TuneError {
     /// Grover could not remove any local memory — there is nothing to tune.
     NothingToDisable(String),
+    /// A requested pass sequence failed to parse or validate
+    /// ([`grover_core::SequenceError`], rendered).
+    InvalidSequence(String),
     /// No device model of that name exists.
     UnknownDevice(String),
     /// The interpreter failed while measuring.
@@ -236,6 +244,7 @@ impl std::fmt::Display for TuneError {
             TuneError::NothingToDisable(r) => {
                 write!(f, "kernel has no removable local memory:\n{r}")
             }
+            TuneError::InvalidSequence(e) => write!(f, "invalid pass sequence: {e}"),
             TuneError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
             TuneError::Execution(e) => write!(f, "execution failed: {e}"),
             TuneError::Panicked(m) => write!(f, "measurement panicked: {m}"),
@@ -249,11 +258,16 @@ impl std::error::Error for TuneError {}
 
 /// The auto-tuner. Decisions are cached per `(kernel name, device)`.
 ///
-/// The two kernel versions of one tuning run are *raced on two scoped
-/// threads*: each measurement owns its device model, context and trace, so
-/// they are independent and the measured cycle counts are identical to a
-/// back-to-back run. `policy` additionally selects the work-group schedule
-/// used inside each measurement.
+/// Since PR 9 a tuning run is an *N-way sequence race*: the original
+/// kernel plus one transformed candidate per pass sequence (seeded per
+/// device profile from `grover_devsim::candidate_sequences`, or overridden
+/// via [`Tuner::sequences`]) are measured concurrently on scoped threads —
+/// each measurement owns its device model, context and trace, so they are
+/// independent and the measured cycle counts are identical to a
+/// back-to-back run. The fastest candidate becomes the transformed side of
+/// the decision, and its sequence is recorded in [`Decision::sequence`].
+/// `policy` additionally selects the work-group schedule used inside each
+/// measurement.
 ///
 /// # Hardening
 ///
@@ -287,6 +301,11 @@ pub struct Tuner {
     /// Restrict the Grover transform to these `__local` buffers
     /// (`None` = remove all).
     pub buffers: Option<Vec<String>>,
+    /// Candidate pass sequences (spec strings) to race. `None` seeds the
+    /// bounded per-device set from
+    /// `grover_devsim::candidate_sequences`; an explicit list (e.g. the
+    /// CLI's `--passes`) restricts the race to exactly those sequences.
+    pub sequences: Option<Vec<String>>,
     /// Telemetry sink. Each uncached [`Tuner::tune_pair`] records one
     /// `tune` span (both race measurements appear as nested `launch`
     /// spans), `retry`/`measure`/`verify` events, and a final `decision`
@@ -304,8 +323,18 @@ pub struct Tuner {
     /// this has no effect under [`Backend::Interp`]. Default off.
     pub profile_ops: bool,
     cache: HashMap<(String, String), Decision>,
-    transformed: HashMap<String, Function>,
+    transformed: HashMap<(String, String), Function>,
     races: u64,
+}
+
+/// One transformed contender in a sequence race.
+struct Candidate {
+    /// The sequence spec that produced it.
+    sequence: String,
+    /// The transformed kernel.
+    kernel: Function,
+    /// What the pipeline did.
+    report: GroverReport,
 }
 
 impl Default for Tuner {
@@ -325,6 +354,7 @@ impl Tuner {
             retry: RetryPolicy::default(),
             verify_outputs: true,
             buffers: None,
+            sequences: None,
             recorder: Arc::new(NoopRecorder),
             parent: None,
             profile_ops: false,
@@ -356,7 +386,9 @@ impl Tuner {
     }
 
     /// Tune `kernel` for `device` using `workload`; cached after the first
-    /// call.
+    /// call. Runs the sequence race: one transformed candidate per spec in
+    /// [`Tuner::sequences`] (or the device-seeded default set) against the
+    /// original kernel.
     pub fn tune(
         &mut self,
         kernel: &Function,
@@ -371,21 +403,88 @@ impl Tuner {
             }
             return Ok(d.clone());
         }
-        let (transformed, report) = self.transform(kernel)?;
-        self.tune_pair(kernel, &transformed, report, device, workload)
+        // Fail fast on a bad device name before any transform work.
+        if Device::by_name(device).is_none() {
+            return Err(TuneError::UnknownDevice(device.to_string()));
+        }
+        let candidates = self.build_candidates(kernel, device)?;
+        self.tune_candidates(kernel, candidates, device, workload)
     }
 
     /// Tune an externally-prepared `(original, transformed)` pair — for
     /// callers that run their own transform/optimisation pipeline (e.g. the
     /// CLI's benchmark harness, which may restrict Grover to a subset of
-    /// buffers). Caches under `(kernel.name, device)` exactly like
-    /// [`Tuner::tune`], and registers `transformed` so
-    /// [`Tuner::best_kernel`] resolves it.
+    /// buffers). The pair races exactly as before PR 9 (two launches); the
+    /// decision records the tuned pipeline's sequence, which is what
+    /// `prepare_pair`-style callers apply. Caches under
+    /// `(kernel.name, device)` exactly like [`Tuner::tune`], and registers
+    /// `transformed` so [`Tuner::best_kernel`] resolves it.
     pub fn tune_pair(
         &mut self,
         kernel: &Function,
         transformed: &Function,
         report: GroverReport,
+        device: &str,
+        workload: &Workload,
+    ) -> Result<Decision, TuneError> {
+        // Fail fast on a bad device name before spending any measurement.
+        if Device::by_name(device).is_none() {
+            return Err(TuneError::UnknownDevice(device.to_string()));
+        }
+        let candidate = Candidate {
+            sequence: Sequence::tuned_pipeline().spec(),
+            kernel: transformed.clone(),
+            report,
+        };
+        self.tune_candidates(kernel, vec![candidate], device, workload)
+    }
+
+    /// Build one transformed candidate per sequence spec: parse + validate
+    /// the sequence, apply it to a fresh clone, refuse kernels with nothing
+    /// to disable. Every candidate set starts from the same pristine
+    /// kernel, so all candidates report the same removals and differ only
+    /// in cleanup.
+    fn build_candidates(
+        &self,
+        kernel: &Function,
+        device: &str,
+    ) -> Result<Vec<Candidate>, TuneError> {
+        let specs: Vec<String> = match &self.sequences {
+            Some(s) => s.clone(),
+            None => grover_devsim::candidate_sequences(device)
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        };
+        if specs.is_empty() {
+            return Err(TuneError::InvalidSequence(
+                "empty candidate sequence set".into(),
+            ));
+        }
+        let options = self.grover_options();
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let seq = Sequence::parse(&spec)
+                .map_err(|e| TuneError::InvalidSequence(format!("`{spec}`: {e}")))?;
+            let mut k = kernel.clone();
+            let pr = apply_sequence(&mut k, &seq, &options);
+            if pr.report.removed_count() == 0 {
+                return Err(TuneError::NothingToDisable(pr.report.to_text()));
+            }
+            out.push(Candidate {
+                sequence: seq.spec(),
+                kernel: k,
+                report: pr.report,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The cache-check + telemetry shell around the race.
+    fn tune_candidates(
+        &mut self,
+        kernel: &Function,
+        candidates: Vec<Candidate>,
         device: &str,
         workload: &Workload,
     ) -> Result<Decision, TuneError> {
@@ -398,10 +497,6 @@ impl Tuner {
             }
             return Ok(d.clone());
         }
-        // Fail fast on a bad device name before spending any measurement.
-        if Device::by_name(device).is_none() {
-            return Err(TuneError::UnknownDevice(device.to_string()));
-        }
 
         let span = rec.enabled().then(|| rec.span_start("tune", self.parent));
         if let Some(span) = span {
@@ -411,8 +506,11 @@ impl Tuner {
             rec.span_attr(span, "backend", Value::from(self.backend.name()));
             rec.span_attr(span, "threshold", Value::from(self.threshold));
             rec.span_attr(span, "verify_outputs", Value::from(self.verify_outputs));
+            rec.span_attr(span, "candidates", Value::from(candidates.len()));
+            let seqs: Vec<&str> = candidates.iter().map(|c| c.sequence.as_str()).collect();
+            rec.span_attr(span, "sequences", Value::from(seqs.join(";")));
         }
-        let result = self.tune_pair_measured(kernel, transformed, report, device, workload, span);
+        let result = self.race_candidates(kernel, &candidates, device, workload, span);
         if let Some(span) = span {
             match &result {
                 Ok(d) => {
@@ -429,14 +527,13 @@ impl Tuner {
         result
     }
 
-    /// The uncached measurement body of [`Tuner::tune_pair`]: race, retry,
-    /// verify, decide. `span` is the enclosing `tune` span (`None` when the
-    /// recorder is disabled).
-    fn tune_pair_measured(
+    /// The uncached measurement body: race the original against every
+    /// candidate, retry transients, verify the winner, decide. `span` is
+    /// the enclosing `tune` span (`None` when the recorder is disabled).
+    fn race_candidates(
         &mut self,
         kernel: &Function,
-        transformed: &Function,
-        report: GroverReport,
+        candidates: &[Candidate],
         device: &str,
         workload: &Workload,
         span: Option<SpanId>,
@@ -450,27 +547,35 @@ impl Tuner {
         let profile_ops = self.profile_ops;
         self.races += 1;
 
-        // Race the two versions on two scoped threads. The workloads are
-        // instantiated up front on this thread (the factory need not be
+        // Race the original plus every candidate: the original on this
+        // thread, each candidate on its own scoped thread. The workloads
+        // are instantiated up front on this thread (the factory need not be
         // `Sync`); each measurement then runs fully independently. Each is
         // wrapped in `catch_unwind`, so a panicking measurement is isolated
         // to its race thread and converted instead of aborting the tuner.
         let w_with = workload.instantiate();
-        let w_without = workload.instantiate();
-        let (res_with, res_without) = std::thread::scope(|s| {
-            let without = s.spawn(move || {
-                simulate_caught(
-                    transformed,
-                    device,
-                    w_without,
-                    policy,
-                    backend,
-                    &limits,
-                    rec,
-                    span,
-                    profile_ops,
-                )
-            });
+        let w_cands: Vec<_> = candidates.iter().map(|_| workload.instantiate()).collect();
+        let (res_with, cand_results) = std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .iter()
+                .zip(w_cands)
+                .map(|(c, w)| {
+                    let ck = &c.kernel;
+                    s.spawn(move || {
+                        simulate_caught(
+                            ck,
+                            device,
+                            w,
+                            policy,
+                            backend,
+                            &limits,
+                            rec,
+                            span,
+                            profile_ops,
+                        )
+                    })
+                })
+                .collect();
             let with = simulate_caught(
                 kernel,
                 device,
@@ -484,10 +589,15 @@ impl Tuner {
             );
             // `simulate_caught` already catches panics; `join` only fails if
             // one escapes the isolation (a bug) — still convert, never abort.
-            let without = without
-                .join()
-                .unwrap_or_else(|p| Err(MeasureFailure::Panicked(panic_message(p.as_ref()))));
-            (with, without)
+            let cands: Vec<Result<u64, MeasureFailure>> = handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(MeasureFailure::Panicked(panic_message(p.as_ref())))
+                    })
+                })
+                .collect();
+            (with, cands)
         });
 
         // Transient failures (panics, deadline overruns) are retried
@@ -496,7 +606,11 @@ impl Tuner {
         let res_with = retry_measure(res_with, retry, || {
             attempts_with.set(attempts_with.get() + 1);
             if rec.enabled() {
-                rec.event("retry", span, &retry_attrs("original", attempts_with.get()));
+                rec.event(
+                    "retry",
+                    span,
+                    &retry_attrs("original", None, attempts_with.get()),
+                );
             }
             simulate_caught(
                 kernel,
@@ -510,38 +624,45 @@ impl Tuner {
                 profile_ops,
             )
         });
-        let attempts_without = Cell::new(1u32);
-        let res_without = retry_measure(res_without, retry, || {
-            attempts_without.set(attempts_without.get() + 1);
+        let mut cand_cycles: Vec<Result<u64, MeasureFailure>> =
+            Vec::with_capacity(candidates.len());
+        for (c, first) in candidates.iter().zip(cand_results) {
+            let attempts = Cell::new(1u32);
+            let res = retry_measure(first, retry, || {
+                attempts.set(attempts.get() + 1);
+                if rec.enabled() {
+                    rec.event(
+                        "retry",
+                        span,
+                        &retry_attrs("transformed", Some(&c.sequence), attempts.get()),
+                    );
+                }
+                simulate_caught(
+                    &c.kernel,
+                    device,
+                    workload.instantiate(),
+                    policy,
+                    backend,
+                    &limits,
+                    rec,
+                    span,
+                    profile_ops,
+                )
+            });
             if rec.enabled() {
                 rec.event(
-                    "retry",
+                    "measure",
                     span,
-                    &retry_attrs("transformed", attempts_without.get()),
+                    &measure_attrs("transformed", Some(&c.sequence), &res, attempts.get()),
                 );
             }
-            simulate_caught(
-                transformed,
-                device,
-                workload.instantiate(),
-                policy,
-                backend,
-                &limits,
-                rec,
-                span,
-                profile_ops,
-            )
-        });
+            cand_cycles.push(res);
+        }
         if rec.enabled() {
             rec.event(
                 "measure",
                 span,
-                &measure_attrs("original", &res_with, attempts_with.get()),
-            );
-            rec.event(
-                "measure",
-                span,
-                &measure_attrs("transformed", &res_without, attempts_without.get()),
+                &measure_attrs("original", None, &res_with, attempts_with.get()),
             );
         }
 
@@ -549,21 +670,46 @@ impl Tuner {
         // there is nothing to fall back to.
         let cycles_with = res_with.map_err(fatal)?;
 
+        // Winner: the fastest candidate that measured (earliest wins ties,
+        // so with equal cycles the default sequence is preferred — it is
+        // always candidate 0 of the seeded sets).
+        let mut best: Option<(usize, u64)> = None;
+        for (i, r) in cand_cycles.iter().enumerate() {
+            if let Ok(c) = r {
+                if best.is_none_or(|(_, bc)| *c < bc) {
+                    best = Some((i, *c));
+                }
+            }
+        }
+
         let mut fallback: Option<FallbackReason> = None;
-        let cycles_without = match res_without {
-            Ok(c) => c,
-            Err(f) => {
-                fallback = Some(reason_of(f));
-                0
+        let (winner_idx, cycles_without) = match best {
+            Some((i, c)) => (i, c),
+            None => {
+                // Every candidate failed: demote, reporting the first
+                // failure (candidate 0 is the default sequence).
+                let first = cand_cycles
+                    .into_iter()
+                    .next()
+                    .unwrap_or(Err(MeasureFailure::Panicked("no candidates".into())));
+                fallback = Some(match first {
+                    Err(f) => reason_of(f),
+                    Ok(_) => unreachable!("best is None but a candidate measured"),
+                });
+                (0, 0)
             }
         };
+        let winner = &candidates[winner_idx];
 
-        // Differential-output guard: re-run both versions serially on fresh
-        // instantiations and bit-compare every buffer. A reference failure
-        // is fatal; a candidate failure or any differing bit demotes.
+        // Differential-output guard: re-run the original and the winning
+        // candidate serially on fresh instantiations and bit-compare every
+        // buffer. A reference failure is fatal; a winner failure or any
+        // differing bit demotes the whole decision to the original —
+        // conservative by design: a search that produced even one
+        // wrong-output candidate is not trusted for this kernel.
         if fallback.is_none() && self.verify_outputs {
             let reference = run_for_outputs(kernel, workload, &limits, backend).map_err(fatal)?;
-            match run_for_outputs(transformed, workload, &limits, backend) {
+            match run_for_outputs(&winner.kernel, workload, &limits, backend) {
                 Err(f) => fallback = Some(reason_of(f)),
                 Ok(candidate) => {
                     if let Some((buffer, index)) = first_bit_mismatch(&reference, &candidate) {
@@ -572,7 +718,10 @@ impl Tuner {
                 }
             }
             if rec.enabled() {
-                let mut attrs = vec![("ok", Value::from(fallback.is_none()))];
+                let mut attrs = vec![
+                    ("ok", Value::from(fallback.is_none())),
+                    ("sequence", Value::from(winner.sequence.as_str())),
+                ];
                 if let Some(reason) = &fallback {
                     attrs.push(("reason", Value::from(reason.to_string())));
                 }
@@ -595,15 +744,16 @@ impl Tuner {
             Choice::Similar
         };
         self.transformed
-            .entry(kernel.name.clone())
-            .or_insert_with(|| transformed.clone());
+            .entry((kernel.name.clone(), device.to_string()))
+            .or_insert_with(|| winner.kernel.clone());
         let d = Decision {
             device: device.to_string(),
             choice,
+            sequence: winner.sequence.clone(),
             np,
             cycles_with,
             cycles_without,
-            report,
+            report: winner.report.clone(),
             fallback,
         };
         self.cache
@@ -624,11 +774,13 @@ impl Tuner {
     ) -> Result<Function, TuneError> {
         let d = self.tune(kernel, device, workload)?;
         Ok(match d.choice {
-            Choice::WithoutLocalMemory => {
-                self.transformed.get(&kernel.name).cloned().ok_or_else(|| {
+            Choice::WithoutLocalMemory => self
+                .transformed
+                .get(&(kernel.name.clone(), device.to_string()))
+                .cloned()
+                .ok_or_else(|| {
                     TuneError::Internal("transformed kernel not cached by tune()".into())
-                })?
-            }
+                })?,
             _ => kernel.clone(),
         })
     }
@@ -647,32 +799,11 @@ impl Tuner {
             .collect()
     }
 
-    fn grover(&self) -> Grover {
-        match &self.buffers {
-            Some(names) => {
-                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                Grover::for_buffers(&refs)
-            }
-            None => Grover::new(),
+    fn grover_options(&self) -> GroverOptions {
+        GroverOptions {
+            buffers: self.buffers.clone(),
+            keep_barriers: false,
         }
-    }
-
-    fn transform(&mut self, kernel: &Function) -> Result<(Function, GroverReport), TuneError> {
-        if let Some(t) = self.transformed.get(&kernel.name) {
-            // Re-run for the report only on a scratch copy (cheap).
-            let mut scratch = kernel.clone();
-            let report = self.grover().run_on(&mut scratch);
-            return Ok((t.clone(), report));
-        }
-        let mut transformed = kernel.clone();
-        let report = self.grover().run_on(&mut transformed);
-        if report.removed_count() == 0 {
-            return Err(TuneError::NothingToDisable(report.to_text()));
-        }
-        grover_ir::passes::PassManager::optimize_pipeline().run_to_fixpoint(&mut transformed, 8);
-        self.transformed
-            .insert(kernel.name.clone(), transformed.clone());
-        Ok((transformed, report))
     }
 }
 
@@ -740,15 +871,24 @@ fn failure_tag(f: &MeasureFailure) -> (&'static str, String) {
     }
 }
 
-fn retry_attrs(version: &'static str, attempt: u32) -> Vec<(&'static str, Value)> {
-    vec![
+fn retry_attrs(
+    version: &'static str,
+    sequence: Option<&str>,
+    attempt: u32,
+) -> Vec<(&'static str, Value)> {
+    let mut attrs = vec![
         ("version", Value::from(version)),
         ("attempt", Value::from(attempt)),
-    ]
+    ];
+    if let Some(seq) = sequence {
+        attrs.push(("sequence", Value::from(seq.to_string())));
+    }
+    attrs
 }
 
 fn measure_attrs(
     version: &'static str,
+    sequence: Option<&str>,
     result: &Result<u64, MeasureFailure>,
     attempts: u32,
 ) -> Vec<(&'static str, Value)> {
@@ -756,6 +896,9 @@ fn measure_attrs(
         ("version", Value::from(version)),
         ("attempts", Value::from(attempts)),
     ];
+    if let Some(seq) = sequence {
+        attrs.push(("sequence", Value::from(seq.to_string())));
+    }
     match result {
         Ok(cycles) => {
             attrs.push(("ok", Value::from(true)));
@@ -779,6 +922,7 @@ fn decision_attrs(kernel: &str, d: &Decision, cached: bool) -> Vec<(&'static str
         ("kernel", Value::from(kernel.to_string())),
         ("device", Value::from(d.device.as_str())),
         ("choice", Value::from(d.choice.kind())),
+        ("sequence", Value::from(d.sequence.as_str())),
         ("np", Value::from(d.np)),
         ("cycles_with", Value::from(d.cycles_with)),
         ("cycles_without", Value::from(d.cycles_without)),
@@ -1105,21 +1249,27 @@ mod tests {
         let tune = snap.span("tune").expect("tune span recorded");
         assert_eq!(tune.attr_str("kernel"), Some("rev"));
         assert_eq!(tune.attr_str("device"), Some("SNB"));
-        // Both race measurements appear as launch spans nested in the
-        // tune span.
+        // The original plus every seeded candidate appear as launch spans
+        // nested in the tune span.
+        let n_cands = grover_devsim::candidate_sequences("SNB").len();
+        assert!(n_cands >= 2, "seeded set should be a real search space");
         let launches = snap.spans_named("launch");
-        assert_eq!(launches.len(), 2);
+        assert_eq!(launches.len(), 1 + n_cands);
         for l in &launches {
             assert_eq!(l.parent, Some(tune.id));
             assert!(l.attr_u64("instructions").unwrap() > 0);
         }
         let measures = snap.events_named("measure");
-        assert_eq!(measures.len(), 2);
+        assert_eq!(measures.len(), 1 + n_cands);
         let decisions = snap.events_named("decision");
         assert_eq!(decisions.len(), 1);
         assert_eq!(
             decisions[0].attr("choice").and_then(Value::as_str),
             Some(d.choice.kind())
+        );
+        assert_eq!(
+            decisions[0].attr("sequence").and_then(Value::as_str),
+            Some(d.sequence.as_str())
         );
         assert_eq!(
             decisions[0].attr("cached").and_then(|v| match v {
@@ -1140,6 +1290,54 @@ mod tests {
         ));
         // No second tune span was opened.
         assert_eq!(snap.spans_named("tune").len(), 1);
+    }
+
+    #[test]
+    fn decision_records_winning_sequence_from_seeded_set() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        let d = t.tune(&k, "SNB", &w).unwrap();
+        let specs = grover_devsim::candidate_sequences("SNB");
+        assert!(
+            specs.contains(&d.sequence.as_str()),
+            "winning sequence `{}` not in the seeded set",
+            d.sequence
+        );
+        assert_eq!(t.races_run(), 1, "one race covers the whole candidate set");
+    }
+
+    #[test]
+    fn explicit_sequences_restrict_the_race() {
+        let k = staged_kernel();
+        let w = workload();
+        let mut t = Tuner::new();
+        t.sequences = Some(vec!["local-removal".into()]);
+        let d = t.tune(&k, "SNB", &w).unwrap();
+        assert_eq!(d.sequence, "local-removal");
+        assert!(d.fallback.is_none(), "{:?}", d.fallback);
+        // An illegal explicit sequence is rejected before any measurement.
+        let mut t2 = Tuner::new();
+        t2.sequences = Some(vec!["barrier-elim".into()]);
+        assert!(matches!(
+            t2.tune(&k, "SNB", &w),
+            Err(TuneError::InvalidSequence(_))
+        ));
+        assert_eq!(t2.races_run(), 0);
+    }
+
+    #[test]
+    fn tune_pair_still_races_two_and_labels_the_tuned_pipeline() {
+        let k = staged_kernel();
+        let w = workload();
+        let rec = Arc::new(grover_obs::MemoryRecorder::new());
+        let mut t = Tuner::new();
+        t.recorder = rec.clone();
+        let mut transformed = k.clone();
+        let report = grover_core::Grover::new().run_on(&mut transformed);
+        let d = t.tune_pair(&k, &transformed, report, "SNB", &w).unwrap();
+        assert_eq!(d.sequence, Sequence::tuned_pipeline().spec());
+        assert_eq!(rec.snapshot().spans_named("launch").len(), 2);
     }
 
     #[test]

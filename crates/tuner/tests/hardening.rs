@@ -134,6 +134,12 @@ fn single_panic_demotes_without_retry() {
         max_fires: 1,
     });
     let mut t = Tuner::new();
+    // A single-fire fault must hit the only transformed measurement, so
+    // restrict the race to one candidate sequence — with the full seeded
+    // set, the surviving candidates would (correctly) absorb the fault.
+    t.sequences = Some(vec![
+        "local-removal,barrier-elim,index-simplify,remap".into()
+    ]);
     t.retry = RetryPolicy {
         max_attempts: 1,
         backoff: Duration::ZERO,
@@ -180,6 +186,11 @@ fn injected_exec_error_demotes_with_reason() {
         max_fires: 1, // would be masked by a retry if errors were retried
     });
     let mut t = Tuner::new();
+    // Single-fire fault: pin the race to one transformed candidate (see
+    // single_panic_demotes_without_retry).
+    t.sequences = Some(vec![
+        "local-removal,barrier-elim,index-simplify,remap".into()
+    ]);
     let d = t.tune(&k, "SNB", &w).unwrap();
     assert_eq!(d.choice, Choice::WithLocalMemory);
     match &d.fallback {

@@ -1,0 +1,160 @@
+//! Per-pass golden IR snapshots of the composable pipeline over every
+//! bundled app.
+//!
+//! Where `tests/golden.rs` snapshots the whole transform, this suite
+//! snapshots the IR after every *prefix* of the tuned pipeline
+//! (`local-removal`, then `barrier-elim`, then `index-simplify`, then
+//! `remap`), one file per pass under `tests/golden/passes/<app>/` — so a
+//! change to a single pass diffs exactly the files of the passes it
+//! affects, with the earlier prefixes pinning where the change begins.
+//!
+//! `default.ir` snapshots the default sequence and doubles as the
+//! refactor-is-a-no-op gate: it must byte-match the `==== transformed ====`
+//! section of the monolithic snapshot in `tests/golden/<app>.txt`.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! GROVER_BLESS=1 cargo test -q --test golden_passes
+//! ```
+
+use grover::frontend::compile;
+use grover::ir::printer::function_to_string;
+use grover::ir::Function;
+use grover::kernels::{all_apps, extension_apps, App, Scale};
+use grover::pass::{apply_sequence, pass_fingerprint, GroverOptions, PassId, Sequence};
+use std::path::PathBuf;
+
+fn passes_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("passes")
+}
+
+fn monolithic_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn original_kernel(app: &App) -> Function {
+    let opts = (app.options)(Scale::Test);
+    let module = compile(app.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", app.id));
+    module
+        .kernel(app.kernel)
+        .unwrap_or_else(|| panic!("{}: kernel {} missing", app.id, app.kernel))
+        .clone()
+}
+
+fn grover_options(app: &App) -> GroverOptions {
+    GroverOptions {
+        buffers: app
+            .disable
+            .map(|names| names.iter().map(|s| s.to_string()).collect()),
+        keep_barriers: false,
+    }
+}
+
+/// IR after running the given sequence prefix on a fresh copy of the
+/// app's kernel. Passes are deterministic, so the prefix run equals the
+/// cumulative state of a single full-pipeline run after that pass.
+fn ir_after(app: &App, original: &Function, ids: &[PassId]) -> String {
+    let seq = Sequence::new(ids.to_vec()).expect("prefixes of the tuned pipeline are legal");
+    let mut f = original.clone();
+    apply_sequence(&mut f, &seq, &grover_options(app));
+    format!(
+        "pass: {}\nsequence: {}\n{}",
+        pass_fingerprint(),
+        seq.spec(),
+        function_to_string(&f)
+    )
+}
+
+/// The tuned pipeline's pass order — each prefix is one snapshot file.
+const ORDER: [PassId; 4] = [
+    PassId::LocalRemoval,
+    PassId::BarrierElim,
+    PassId::IndexSimplify,
+    PassId::Remap,
+];
+
+#[test]
+fn per_pass_ir_matches_golden_snapshots() {
+    let bless = std::env::var_os("GROVER_BLESS").is_some();
+    let mut apps = all_apps();
+    apps.extend(extension_apps());
+    assert!(apps.len() >= 12, "expected all bundled apps");
+    let mut stale = Vec::new();
+    for app in &apps {
+        let original = original_kernel(app);
+        let dir = passes_dir().join(app.id);
+        let mut files: Vec<(String, String)> = (1..=ORDER.len())
+            .map(|k| {
+                let name = format!("{}.ir", ORDER[k - 1].name());
+                (name, ir_after(app, &original, &ORDER[..k]))
+            })
+            .collect();
+        // The default sequence gets its own snapshot — the no-op gate
+        // compares it against the monolithic golden.
+        let default_ids: Vec<PassId> = Sequence::default_pipeline().passes().to_vec();
+        files.push((
+            "default.ir".to_string(),
+            ir_after(app, &original, &default_ids),
+        ));
+        for (name, got) in files {
+            let path = dir.join(&name);
+            if bless {
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(want) if want == got => {}
+                Ok(want) => {
+                    let line = want
+                        .lines()
+                        .zip(got.lines())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| want.lines().count().min(got.lines().count()));
+                    stale.push(format!("{}/{name}: differs at line {line}", app.id));
+                }
+                Err(_) => stale.push(format!("{}/{name}: missing {}", app.id, path.display())),
+            }
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale per-pass golden snapshots:\n{}\nRegenerate with GROVER_BLESS=1 cargo test --test golden_passes",
+        stale.join("\n")
+    );
+}
+
+/// Refactor-is-a-no-op gate: the default pipeline's output must byte-match
+/// the `==== transformed ====` section of the committed monolithic golden
+/// snapshot for every app. This is the hard promise that splitting the
+/// transform into composable passes changed nothing — compared against the
+/// files in git, not against a fresh run of the monolithic code path.
+#[test]
+fn default_sequence_reproduces_monolithic_golden_output() {
+    let mut apps = all_apps();
+    apps.extend(extension_apps());
+    let seq = Sequence::default_pipeline();
+    for app in &apps {
+        let txt = monolithic_dir().join(format!("{}.txt", app.id));
+        let committed = std::fs::read_to_string(&txt)
+            .unwrap_or_else(|e| panic!("{}: missing monolithic golden: {e}", app.id));
+        let want = committed
+            .split("==== transformed ====\n")
+            .nth(1)
+            .unwrap_or_else(|| panic!("{}: golden has no transformed section", app.id));
+        let mut f = original_kernel(app);
+        apply_sequence(&mut f, &seq, &grover_options(app));
+        let got = function_to_string(&f);
+        assert!(
+            got == want,
+            "{}: default pipeline output differs from the committed monolithic snapshot",
+            app.id
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Acceptance gate for the per-device sequence search (PR 9).
+//!
+//! Sweeps the bundled apps across every devsim profile and asserts the
+//! search is *live*: every winning sequence is drawn from the device's
+//! seeded candidate set, and at least one (app, device) pair settles on a
+//! non-default sequence — i.e. the race is not a constant function that
+//! always returns `local-removal,barrier-elim,index-simplify`.
+
+use grover::devsim::{candidate_sequences, ALL_DEVICES};
+use grover::kernels::{all_apps, prepare_pair, Scale};
+use grover::pass::Sequence;
+use grover::tuner::{TuneError, Tuner, Workload};
+
+#[test]
+fn some_app_wins_with_a_non_default_sequence() {
+    let default = Sequence::default_pipeline().spec();
+    let mut non_default: Vec<(String, String, String)> = Vec::new();
+    let mut tuned = 0usize;
+    for app in all_apps() {
+        let pair = match prepare_pair(&app, Scale::Test) {
+            Ok(p) => p,
+            Err(e) => panic!("{}: {e}", app.id),
+        };
+        let prepare = app.prepare;
+        let workload = Workload::new(move || {
+            let p = prepare(Scale::Test);
+            (p.ctx, p.args, p.nd)
+        });
+        let mut tuner = Tuner::new();
+        tuner.buffers = app
+            .disable
+            .map(|names| names.iter().map(|s| s.to_string()).collect());
+        for device in ALL_DEVICES {
+            let d = match tuner.tune(&pair.original, device, &workload) {
+                Ok(d) => d,
+                // A kernel the pass refuses is a valid sweep member with
+                // nothing to race; anything else is a real failure.
+                Err(TuneError::NothingToDisable(_)) => continue,
+                Err(e) => panic!("{} on {device}: {e}", app.id),
+            };
+            tuned += 1;
+            let seeded = candidate_sequences(device);
+            assert!(
+                seeded.contains(&d.sequence.as_str()),
+                "{} on {device}: winning sequence `{}` not in the seeded set {seeded:?}",
+                app.id,
+                d.sequence
+            );
+            if d.sequence != default {
+                non_default.push((app.id.to_string(), device.to_string(), d.sequence.clone()));
+            }
+        }
+    }
+    assert!(tuned > 0, "no app tuned on any device");
+    for (app, device, seq) in &non_default {
+        eprintln!("non-default winner: {app} on {device} -> {seq}");
+    }
+    assert!(
+        !non_default.is_empty(),
+        "sequence search never beat the default pipeline on any (app, device) \
+         pair — the race is dead weight"
+    );
+}
