@@ -22,6 +22,15 @@
 //! `coalesced`) instead of guessing from the client side. Requests that
 //! aged out of the server's bounded request log are counted as
 //! `unclassified`, never silently dropped.
+//!
+//! With `--predict` the tool instead measures the zero-launch serving
+//! path: it races the staging kernel's geometries once in-process to
+//! build a training corpus, trains a model, boots the server with
+//! `--model`, and hammers `POST /v1/predict`. The report asserts
+//! `grover_serve_launches_total` and `grover_serve_tune_races_total`
+//! stayed flat across the run (a predict hit performs zero launches)
+//! and reports the launch count the model saved versus measuring every
+//! request.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -192,6 +201,7 @@ fn main() -> ExitCode {
     let mut requests = 200u64;
     let mut distinct = 4u64;
     let mut workers = 2usize;
+    let mut predict = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -209,6 +219,7 @@ fn main() -> ExitCode {
             "--requests" => requests = next("--requests").parse().expect("--requests: integer"),
             "--distinct" => distinct = next("--distinct").parse().expect("--distinct: integer"),
             "--workers" => workers = next("--workers").parse().expect("--workers: integer"),
+            "--predict" => predict = true,
             other => {
                 eprintln!("unexpected argument `{other}`");
                 return ExitCode::from(2);
@@ -216,6 +227,9 @@ fn main() -> ExitCode {
         }
     }
     let distinct = distinct.max(1).min(requests.max(1));
+    if predict {
+        return run_predict_mode(clients, requests, distinct, workers);
+    }
 
     // An in-process server unless an external one was named. The flight
     // capacity is sized to the campaign so the disposition join below
@@ -360,6 +374,224 @@ fn main() -> ExitCode {
             .finish()
     );
     if errors > 0 || echo_mismatches > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Scrape one counter from `GET /metrics` (the `name value` line of the
+/// Prometheus-style text format). `u64::MAX` on any failure so a broken
+/// scrape can never satisfy a flatness assertion by accident.
+fn metric_value(addr: SocketAddr, name: &str) -> u64 {
+    let Ok((200, text)) = http_request(addr, "GET", "/metrics", None) else {
+        return u64::MAX;
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            let rest = rest.trim_start();
+            if rest.len() < line.len() - name.len() {
+                if let Ok(v) = rest.trim().parse::<f64>() {
+                    return v as u64;
+                }
+            }
+        }
+    }
+    u64::MAX
+}
+
+/// One traced POST to `/v1/predict`; counts hit (`predicted: true`) vs
+/// abstain into the tally's hit/miss slots.
+fn predict_once(addr: SocketAddr, body: &str, tally: &Tally) {
+    let trace = next_trace();
+    let resp = request_full(
+        addr,
+        "POST",
+        "/v1/predict",
+        Some(body),
+        &[(TRACE_HEADER, &trace)],
+        &ClientConfig::default(),
+    );
+    match resp {
+        Ok((200, headers, text)) => {
+            if !headers
+                .iter()
+                .any(|(n, v)| n == TRACE_HEADER && *v == trace)
+            {
+                tally.echo_mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+            tally.ok.fetch_add(1, Ordering::Relaxed);
+            match json::parse(&text).ok().and_then(|v| v.bool_of("predicted")) {
+                Some(true) => tally.hits.fetch_add(1, Ordering::Relaxed),
+                Some(false) => tally.misses.fetch_add(1, Ordering::Relaxed),
+                None => tally.errors.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        _ => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The `--predict` scenario: corpus → train → serve with the model →
+/// hammer `/v1/predict` → assert the launch counters never moved.
+fn run_predict_mode(clients: usize, requests: u64, distinct: u64, workers: usize) -> ExitCode {
+    use grover_frontend::{compile, BuildOptions};
+    use grover_predict::{CorpusRow, FeatureVector, Model, TrainConfig, Verdict};
+    use grover_runtime::{ArgValue, Context, NdRange};
+    use grover_tuner::{Tuner, Workload};
+
+    let module = compile(KERNEL, &BuildOptions::new()).expect("staging kernel compiles");
+    let kernel = module.kernels.first().expect("one kernel").clone();
+    let epoch = grover_core::pass_fingerprint();
+
+    // Phase 1 — corpus: race each distinct geometry once, in-process.
+    // These are the only launches of the whole scenario; their count is
+    // also the per-decision price a measured tune would pay, which is
+    // what every later predict hit saves.
+    let mut rows = Vec::new();
+    let mut corpus_launches = 0u64;
+    let mut corpus_races = 0u64;
+    for i in 0..distinct {
+        let g = 64 * (i + 1);
+        let workload = Workload::new(move || {
+            let mut ctx = Context::new();
+            let len = (g as usize) * 2 + 64;
+            let input: Vec<f32> = (0..len).map(|j| ((j * 13 + 7) % 61) as f32).collect();
+            let a = ctx.buffer_f32(&input);
+            let b = ctx.buffer_f32(&vec![0.0; len]);
+            (
+                ctx,
+                vec![ArgValue::Buffer(a), ArgValue::Buffer(b)],
+                NdRange::d3([g, 1, 1], [64, 1, 1]),
+            )
+        });
+        let mut tuner = Tuner::new();
+        let d = tuner
+            .tune(&kernel, "SNB", &workload)
+            .expect("corpus race succeeds");
+        corpus_launches += tuner.launches_run();
+        corpus_races += tuner.races_run();
+        rows.push(CorpusRow {
+            app: format!("stage-{g}"),
+            kernel: kernel.name.clone(),
+            device: "SNB".to_string(),
+            choice: Verdict::parse(d.choice.kind()).expect("choice tags coincide"),
+            np: d.np,
+            cycles_with: d.cycles_with,
+            cycles_without: d.cycles_without,
+            features: FeatureVector::extract(&kernel, [g, 1, 1], [64, 1, 1]),
+        });
+    }
+
+    // Phase 2 — train and persist the model next to the throwaway cache.
+    let train: Vec<_> = rows.iter().map(CorpusRow::to_train_row).collect();
+    let model = Model::train(&train, &epoch, &TrainConfig::default());
+    let dir = std::env::temp_dir().join(format!("grover-serve-predict-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, model.to_json() + "\n").expect("model written");
+
+    // Phase 3 — the server, armed with the model. The 0.9 threshold sits
+    // below the exact-match confidence, so every request (its features
+    // match a training row bit-for-bit) must hit.
+    let server = Server::start(
+        ServeConfig {
+            cache_dir: dir,
+            workers,
+            flight_capacity: (requests as usize * 2).max(512),
+            model_path: Some(model_path),
+            predict_threshold: 0.9,
+            ..ServeConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    )
+    .expect("in-process server starts");
+    let target = server.addr();
+    let launches_before = metric_value(target, "grover_serve_launches_total");
+    let races_before = metric_value(target, "grover_serve_tune_races_total");
+
+    // Phase 4 — hammer `/v1/predict`.
+    let bodies: Vec<Arc<String>> = (0..distinct)
+        .map(|i| Arc::new(tune_body(64 * (i + 1))))
+        .collect();
+    let tally = Arc::new(Tally {
+        ok: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        echo_mismatches: AtomicU64::new(0),
+        latencies_us: Mutex::new(Vec::with_capacity(requests as usize)),
+    });
+    let start = Instant::now();
+    let per_client = requests / clients as u64;
+    let extra = requests % clients as u64;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = bodies.clone();
+            let tally = tally.clone();
+            let n = per_client + u64::from((c as u64) < extra);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    let body = &bodies[((c as u64 + i) % bodies.len() as u64) as usize];
+                    predict_once(target, body, &tally);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+
+    // Phase 5 — the zero-launch proof: both counters flat.
+    let launches_after = metric_value(target, "grover_serve_launches_total");
+    let races_after = metric_value(target, "grover_serve_tune_races_total");
+    let hits_metric = metric_value(target, "grover_serve_predict_hits_total");
+    server.shutdown();
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let hits = tally.hits.load(Ordering::Relaxed);
+    let abstains = tally.misses.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let echo_mismatches = tally.echo_mismatches.load(Ordering::Relaxed);
+    let launches_flat = launches_before != u64::MAX && launches_after == launches_before;
+    let races_flat = races_before != u64::MAX && races_after == races_before;
+    // What one measured decision costs, amortised over the corpus build —
+    // and therefore what each predict hit saved.
+    let launches_per_decision = corpus_launches / distinct.max(1);
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "{}",
+        Obj::new()
+            .str("mode", "predict")
+            .u64("requests", requests)
+            .u64("clients", clients as u64)
+            .u64("distinct", distinct)
+            .u64("ok", ok)
+            .u64("predict_hits", hits)
+            .u64("predict_abstains", abstains)
+            .u64("errors", errors)
+            .bool("trace_id_echoed", echo_mismatches == 0)
+            .u64("corpus_races", corpus_races)
+            .u64("corpus_launches", corpus_launches)
+            .u64("launches_before", launches_before)
+            .u64("launches_after", launches_after)
+            .bool("launches_flat", launches_flat)
+            .u64("tune_races_before", races_before)
+            .u64("tune_races_after", races_after)
+            .bool("tune_races_flat", races_flat)
+            .u64("predict_hits_metric", hits_metric)
+            .u64("launches_saved", hits * launches_per_decision)
+            .f64("elapsed_s", secs)
+            .f64(
+                "throughput_rps",
+                if secs > 0.0 { ok as f64 / secs } else { 0.0 }
+            )
+            .finish()
+    );
+    let all_hit = ok == requests && hits == ok;
+    if errors > 0 || echo_mismatches > 0 || !launches_flat || !races_flat || !all_hit {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

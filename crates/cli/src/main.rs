@@ -9,7 +9,7 @@
 //!
 //! grover autotune <app-id> [--device SNB|Nehalem|MIC|Fermi|Kepler|Tahiti] [--scale test|small|paper] [--threads N]
 //!                 [--strict] [--json] [--no-verify] [--deadline-ms N] [--retries N] [--backoff-ms N]
-//!                 [--passes SEQ[;SEQ...]]
+//!                 [--passes SEQ[;SEQ...]] [--predict model.json] [--predict-threshold X]
 //!     Tune a bundled benchmark on a device via the hardened pipeline: the
 //!     original kernel races a device-seeded set of candidate pass
 //!     sequences (or the `--passes` override, `;`-separated) under the
@@ -57,6 +57,31 @@
 //!     only). Runs until `POST /admin/shutdown`; shutdown flushes the
 //!     cache and the trace recorder.
 //!
+//! grover predict <app-id> --model model.json [--device NAME] [--scale test|small|paper]
+//!                [--predict-threshold X] [--threads N] [--json]
+//!     Answer the tuning question for a bundled benchmark from a trained
+//!     model using only static kernel features — zero launches on a
+//!     confident prediction. Below the confidence threshold the tuner
+//!     falls back to the measured race and reports whether the model's
+//!     abstained guess agreed with the measurement.
+//!
+//! grover train --corpus FILE --out model.json [--iters N] [--l2 X] [--learning-rate X]
+//!              [--threshold X] [--eval]
+//!     Fit the interpretable per-device scorer (ridge regression on
+//!     ln(np) + nearest-neighbour fallback) from a JSONL corpus produced
+//!     by `grover corpus export`. The emitted model bakes in the feature
+//!     schema hash and the pass-fingerprint epoch, so a stale model is
+//!     observably rejected at load. `--eval` additionally runs a
+//!     leave-one-kernel-out evaluation and prints the accuracy table.
+//!
+//! grover corpus export [--out FILE] [--cache-dir DIR] [--scale test|small|paper]
+//!                      [--devices A,B,...] [--apps A,B,...] [--threads N] [--no-verify]
+//!     Dump a JSONL training table of measured decisions joined with
+//!     feature vectors. With `--cache-dir` the rows come from a serve
+//!     journal (decisions persisted with their features); otherwise the
+//!     bundled suite is raced on the spot — the fixture generator for
+//!     the predict tests. Every row carries the schema hash + epoch.
+//!
 //! grover list
 //!     List the bundled benchmark applications.
 //! ```
@@ -99,10 +124,15 @@ use grover_core::Grover;
 use grover_frontend::{compile, BuildOptions};
 use grover_ir::printer::function_to_string;
 use grover_kernels::{
-    all_apps, app_by_id, prepare_pair, run_prepared_observed_backend, KernelPair, Scale,
+    all_apps, app_by_id, extension_apps, prepare_pair, run_prepared_observed_backend, App,
+    KernelPair, Scale,
 };
 use grover_obs::json::{array, Obj};
 use grover_obs::{JsonlRecorder, NoopRecorder, Recorder, Value};
+use grover_predict::{
+    evaluate_loo, parse_corpus, schema_hash, train_rows, CorpusRow, FeatureVector,
+    Model as PredictModel, TrainConfig, Verdict,
+};
 use grover_runtime::{Backend, CountingSink, ExecPolicy, Limits};
 use grover_tuner::{Choice, Decision, RetryPolicy, TuneError, Tuner, Workload};
 
@@ -164,10 +194,13 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..], &recorder, backend),
         Some("serve") => cmd_serve(&args[1..], &recorder, backend),
+        Some("predict") => cmd_predict(&args[1..], &recorder, backend),
+        Some("train") => cmd_train(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..], &recorder, backend),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage: grover <transform|autotune|profile|classify|fuzz|serve|list> [--trace-out FILE] [--backend interp|bytecode] ..."
+                "usage: grover <transform|autotune|profile|classify|fuzz|serve|predict|train|corpus|list> [--trace-out FILE] [--backend interp|bytecode] ..."
             );
             eprintln!("  grover transform <kernel.cl> [-D NAME=VAL ...] [--kernel NAME] [--keep-barriers] [--passes SEQ]");
             eprintln!(
@@ -182,6 +215,10 @@ fn main() -> ExitCode {
             eprintln!("  grover serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--queue-depth N]");
             eprintln!("               [--breaker-threshold N] [--breaker-cooldown-ms MS] [--io-timeout-ms MS] [--compact-threshold N]");
             eprintln!("               [--cache-capacity N] [--max-deadline-ms N] [--flight-capacity N] [--profile-ops]");
+            eprintln!("               [--model model.json] [--predict-threshold X]");
+            eprintln!("  grover predict <app-id> --model model.json [--device NAME] [--scale test|small|paper] [--predict-threshold X] [--threads N] [--json]");
+            eprintln!("  grover train --corpus FILE --out model.json [--iters N] [--l2 X] [--learning-rate X] [--threshold X] [--eval]");
+            eprintln!("  grover corpus export [--out FILE] [--cache-dir DIR] [--scale test|small|paper] [--devices A,B] [--apps A,B] [--threads N] [--no-verify]");
             eprintln!("  grover list");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -315,6 +352,37 @@ fn parse_u64(it: &mut std::slice::Iter<String>, flag: &str) -> Result<u64, Failu
         .map_err(|_| Failure::usage(format!("{flag} needs an integer")))
 }
 
+fn parse_f64(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, Failure> {
+    it.next()
+        .ok_or_else(|| Failure::usage(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| Failure::usage(format!("{flag} needs a number")))
+}
+
+/// Load and validate a trained predict model against this binary's
+/// feature schema and pass-fingerprint epoch. A stale model is a hard
+/// error here — the CLI asked for it explicitly (the server, by
+/// contrast, degrades to always-abstain).
+fn load_model(path: &str) -> Result<PredictModel, Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("cannot read model {path}: {e}")))?;
+    PredictModel::load(&text, &grover_core::pass_fingerprint())
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("model {path} rejected: {e}")))
+}
+
+/// Look up an app across the full 12-app suite (the 11 paper apps plus
+/// the extension apps).
+fn suite_app_by_id(id: &str) -> Option<App> {
+    app_by_id(id).or_else(|| extension_apps().into_iter().find(|a| a.id == id))
+}
+
+/// The full 12-app suite in deterministic order.
+fn suite_apps() -> Vec<App> {
+    let mut apps = all_apps();
+    apps.extend(extension_apps());
+    apps
+}
+
 fn cmd_autotune(
     args: &[String],
     recorder: &Arc<dyn Recorder>,
@@ -331,9 +399,21 @@ fn cmd_autotune(
     let mut retries: Option<u32> = None;
     let mut backoff = Duration::ZERO;
     let mut sequences: Option<Vec<String>> = None;
+    let mut model_path: Option<String> = None;
+    let mut predict_threshold: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--predict" => {
+                model_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--predict needs a model.json path"))?
+                        .clone(),
+                )
+            }
+            "--predict-threshold" => {
+                predict_threshold = Some(parse_f64(&mut it, "--predict-threshold")?)
+            }
             "--passes" => {
                 // `;`-separated list of candidate sequence specs; each spec
                 // is validated up front so a typo is a usage error, not a
@@ -418,6 +498,15 @@ fn cmd_autotune(
     };
     tuner.verify_outputs = verify;
     tuner.sequences = sequences;
+    // `--predict`: consult the trained model first and race only when it
+    // abstains below the confidence threshold.
+    if let Some(path) = &model_path {
+        tuner.predictor = Some(Arc::new(load_model(path)?));
+        tuner.predict_first = true;
+        if let Some(t) = predict_threshold {
+            tuner.predict_threshold = t;
+        }
+    }
 
     // `tune` races the original against every candidate sequence — the
     // device-seeded set, or the `--passes` override.
@@ -458,6 +547,9 @@ fn tune_failure(e: TuneError) -> Failure {
 }
 
 fn print_decision(d: &Decision) {
+    if let Some(conf) = d.predicted {
+        println!("  predicted by model (confidence {conf:.3}); np is the model's estimate — zero launches");
+    }
     println!("  with local memory   : {:>12} cycles", d.cycles_with);
     if d.cycles_without > 0 {
         println!("  without local memory: {:>12} cycles", d.cycles_without);
@@ -971,7 +1063,7 @@ fn decision_json(app_id: &str, scale: Scale, backend: Backend, d: &Decision) -> 
             .str("detail", &reason.to_string())
             .finish(),
     };
-    Obj::new()
+    let obj = Obj::new()
         .str("app", app_id)
         .str("device", &d.device)
         .str("scale", scale_name(scale))
@@ -982,8 +1074,12 @@ fn decision_json(app_id: &str, scale: Scale, backend: Backend, d: &Decision) -> 
         .f64("np", d.np)
         .str("choice", d.choice.kind())
         .str("sequence", &d.sequence)
-        .raw("fallback", &fallback)
-        .finish()
+        .raw("fallback", &fallback);
+    let obj = match d.predicted {
+        Some(conf) => obj.bool("predicted", true).f64("confidence", conf),
+        None => obj.bool("predicted", false).null("confidence"),
+    };
+    obj.finish()
 }
 
 fn cmd_classify(args: &[String]) -> Result<(), Failure> {
@@ -1088,6 +1184,396 @@ fn cmd_fuzz(
     }
 }
 
+/// `grover predict <app-id>`: answer the tuning question from a trained
+/// model. Runs the tuner in predict-first mode — a confident prediction
+/// is served with zero launches; an abstention falls back to the
+/// measured race and the decision reports whether the model agreed.
+fn cmd_predict(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
+    let mut app_id = None;
+    let mut device = "SNB".to_string();
+    let mut scale = Scale::Small;
+    let mut policy = ExecPolicy::Serial;
+    let mut model_path: Option<String> = None;
+    let mut threshold: Option<f64> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => {
+                model_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--model needs a model.json path"))?
+                        .clone(),
+                )
+            }
+            "--device" => {
+                device = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--device needs a name"))?
+                    .clone()
+            }
+            "--scale" => scale = parse_scale(&mut it)?,
+            "--predict-threshold" => threshold = Some(parse_f64(&mut it, "--predict-threshold")?),
+            "--threads" => {
+                let n = parse_u64(&mut it, "--threads")? as usize;
+                policy = ExecPolicy::Parallel { threads: n };
+            }
+            "--json" => json = true,
+            other if app_id.is_none() => app_id = Some(other.to_string()),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let app_id = app_id.ok_or_else(|| Failure::usage("no application id (try `grover list`)"))?;
+    let model_path = model_path.ok_or_else(|| Failure::usage("--model is required"))?;
+    let app = suite_app_by_id(&app_id).ok_or_else(|| {
+        Failure::new(
+            EXIT_UNKNOWN_TARGET,
+            format!("unknown app `{app_id}` (try `grover list`)"),
+        )
+    })?;
+    let model = load_model(&model_path)?;
+    let pair = prepare_pair(&app, scale).map_err(|e| Failure::new(EXIT_COMPILE, e))?;
+    let prepare = app.prepare;
+    let workload = Workload::new(move || {
+        let p = prepare(scale);
+        (p.ctx, p.args, p.nd)
+    });
+
+    let mut tuner = Tuner::with_policy(policy);
+    tuner.backend = backend;
+    tuner.recorder = recorder.clone();
+    tuner.predictor = Some(Arc::new(model));
+    tuner.predict_first = true;
+    if let Some(t) = threshold {
+        tuner.predict_threshold = t;
+    }
+    let d = tuner
+        .tune(&pair.original, &device, &workload)
+        .map_err(tune_failure)?;
+
+    if json {
+        println!("{}", decision_json(&app_id, scale, backend, &d));
+    } else {
+        if d.predicted.is_none() {
+            println!(
+                "model abstained below threshold {:.3}; fell back to the measured race ({} launch(es))",
+                tuner.predict_threshold,
+                tuner.launches_run()
+            );
+        }
+        print_decision(&d);
+    }
+    Ok(())
+}
+
+fn parse_scale(it: &mut std::slice::Iter<String>) -> Result<Scale, Failure> {
+    match it
+        .next()
+        .ok_or_else(|| Failure::usage("--scale needs a value"))?
+        .as_str()
+    {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "paper" => Ok(Scale::Paper),
+        other => Err(Failure::usage(format!("unknown scale `{other}`"))),
+    }
+}
+
+/// `grover train`: fit the per-device scorer from a JSONL corpus and
+/// write the versioned `model.json`.
+fn cmd_train(args: &[String]) -> Result<(), Failure> {
+    let mut corpus_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut cfg = TrainConfig::default();
+    let mut eval = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => {
+                corpus_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--corpus needs a file"))?
+                        .clone(),
+                )
+            }
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--out needs a file"))?
+                        .clone(),
+                )
+            }
+            "--iters" => cfg.iterations = parse_u64(&mut it, "--iters")? as u32,
+            "--l2" => cfg.l2 = parse_f64(&mut it, "--l2")?,
+            "--learning-rate" => cfg.learning_rate = parse_f64(&mut it, "--learning-rate")?,
+            "--threshold" => cfg.threshold = parse_f64(&mut it, "--threshold")?,
+            "--eval" => eval = true,
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let corpus_path = corpus_path.ok_or_else(|| Failure::usage("--corpus is required"))?;
+    let out_path = out_path.ok_or_else(|| Failure::usage("--out is required"))?;
+    let epoch = grover_core::pass_fingerprint();
+    let text = std::fs::read_to_string(&corpus_path)
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("cannot read {corpus_path}: {e}")))?;
+    let rows = parse_corpus(&text, &epoch)
+        .map_err(|e| Failure::new(EXIT_COMPILE, format!("{corpus_path}: {e}")))?;
+    if rows.is_empty() {
+        return Err(Failure::new(EXIT_COMPILE, "corpus contains no rows"));
+    }
+    let training = train_rows(&rows);
+    let model = PredictModel::train(&training, &epoch, &cfg);
+    std::fs::write(&out_path, model.to_json() + "\n")
+        .map_err(|e| Failure::new(1, format!("cannot write {out_path}: {e}")))?;
+    println!(
+        "trained {} device model(s) from {} rows -> {out_path}",
+        model.devices.len(),
+        rows.len()
+    );
+    println!(
+        "  feature schema: v{} {}",
+        model.schema_version, model.schema_hash
+    );
+    println!("  pass fingerprint epoch: {}", model.epoch);
+    for (dev, dm) in &model.devices {
+        println!("  {dev}: {} training rows", dm.training_rows());
+    }
+    if eval {
+        let report = evaluate_loo(&training, &epoch, &cfg);
+        println!("leave-one-kernel-out evaluation:");
+        println!(
+            "  {:<10}{:>8}{:>8}{:>10}",
+            "device", "agree", "total", "accuracy"
+        );
+        for (dev, agree, total) in report.by_device() {
+            let acc = if total == 0 {
+                1.0
+            } else {
+                agree as f64 / total as f64
+            };
+            println!("  {:<10}{:>8}{:>8}{:>10.3}", dev, agree, total, acc);
+        }
+        println!(
+            "  overall accuracy {:.3} over {} cases; max wrong-case confidence {:.3}",
+            report.accuracy(),
+            report.cases.len(),
+            report.max_wrong_confidence()
+        );
+    }
+    Ok(())
+}
+
+/// `grover corpus export`: dump the JSONL training table — from a serve
+/// journal (`--cache-dir`) or by racing the bundled suite on the spot.
+fn cmd_corpus(
+    args: &[String],
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+) -> Result<(), Failure> {
+    let Some(("export", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
+        return Err(Failure::usage(
+            "usage: grover corpus export [--out FILE] ...",
+        ));
+    };
+    let mut out_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut scale = Scale::Test;
+    let mut policy = ExecPolicy::Serial;
+    let mut verify = true;
+    let mut devices: Option<Vec<String>> = None;
+    let mut apps_filter: Option<Vec<String>> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--out needs a file"))?
+                        .clone(),
+                )
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--cache-dir needs a path"))?
+                        .clone(),
+                )
+            }
+            "--scale" => scale = parse_scale(&mut it)?,
+            "--threads" => {
+                let n = parse_u64(&mut it, "--threads")? as usize;
+                policy = ExecPolicy::Parallel { threads: n };
+            }
+            "--no-verify" => verify = false,
+            "--devices" => {
+                devices = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--devices needs a comma-separated list"))?
+                        .split(',')
+                        .filter(|s| !s.trim().is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--apps" => {
+                apps_filter = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--apps needs a comma-separated list"))?
+                        .split(',')
+                        .filter(|s| !s.trim().is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let epoch = grover_core::pass_fingerprint();
+    let lines = match cache_dir {
+        Some(dir) => export_journal_corpus(&dir, &epoch)?,
+        None => export_suite_corpus(
+            recorder,
+            backend,
+            scale,
+            policy,
+            verify,
+            devices.as_deref(),
+            apps_filter.as_deref(),
+            &epoch,
+        )?,
+    };
+    if lines.is_empty() {
+        return Err(Failure::new(EXIT_COMPILE, "corpus export produced no rows"));
+    }
+    let text = lines.join("\n") + "\n";
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &text)
+                .map_err(|e| Failure::new(1, format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {} corpus row(s) to {path}", lines.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Journal mode: every live record that carries a feature vector under
+/// this binary's schema becomes a corpus row (app = the tune-key
+/// fingerprint). Rows persisted before predictive tuning, or under a
+/// different schema, are skipped and counted.
+fn export_journal_corpus(dir: &str, epoch: &str) -> Result<Vec<String>, Failure> {
+    // A compact threshold of usize::MAX guarantees the export never
+    // rewrites the journal it is reading.
+    let (store, _stats) = grover_serve::DecisionStore::open(dir.as_ref(), epoch, usize::MAX)
+        .map_err(|e| Failure::new(1, format!("cannot open journal in {dir}: {e}")))?;
+    let ours = schema_hash();
+    let mut lines = Vec::new();
+    let mut skipped = 0usize;
+    for rec in store.live_records() {
+        let row = match (&rec.feature_schema_hash, &rec.features) {
+            (Some(hash), Some(values)) if *hash == ours => {
+                match (
+                    Verdict::parse(&rec.choice),
+                    FeatureVector::from_values(values.clone()),
+                ) {
+                    (Some(choice), Ok(features)) => Some(CorpusRow {
+                        app: rec.fingerprint.clone(),
+                        kernel: rec.kernel.clone(),
+                        device: rec.device.clone(),
+                        choice,
+                        np: rec.np,
+                        cycles_with: rec.cycles_with,
+                        cycles_without: rec.cycles_without,
+                        features,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match row {
+            Some(r) => lines.push(r.to_json(epoch)),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("skipped {skipped} journal record(s) without a matching feature vector");
+    }
+    Ok(lines)
+}
+
+/// Suite mode: race every requested app × device pair and join the
+/// measured decision with the original kernel's static features — the
+/// fixture generator for the predict tests.
+#[allow(clippy::too_many_arguments)]
+fn export_suite_corpus(
+    recorder: &Arc<dyn Recorder>,
+    backend: Backend,
+    scale: Scale,
+    policy: ExecPolicy,
+    verify: bool,
+    devices: Option<&[String]>,
+    apps_filter: Option<&[String]>,
+    epoch: &str,
+) -> Result<Vec<String>, Failure> {
+    let device_names: Vec<String> = match devices {
+        Some(list) => list.to_vec(),
+        None => grover_predict::known_devices()
+            .iter()
+            .map(|d| d.to_string())
+            .collect(),
+    };
+    let apps: Vec<App> = match apps_filter {
+        Some(ids) => ids
+            .iter()
+            .map(|id| {
+                suite_app_by_id(id)
+                    .ok_or_else(|| Failure::new(EXIT_UNKNOWN_TARGET, format!("unknown app `{id}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => suite_apps(),
+    };
+    let mut lines = Vec::new();
+    for app in &apps {
+        let pair = prepare_pair(app, scale)
+            .map_err(|e| Failure::new(EXIT_COMPILE, format!("{}: {e}", app.id)))?;
+        let nd = (app.prepare)(scale).nd;
+        let features = FeatureVector::extract(&pair.original, nd.global, nd.local);
+        for device in &device_names {
+            let prepare = app.prepare;
+            let workload = Workload::new(move || {
+                let p = prepare(scale);
+                (p.ctx, p.args, p.nd)
+            });
+            let mut tuner = Tuner::with_policy(policy);
+            tuner.backend = backend;
+            tuner.recorder = recorder.clone();
+            tuner.verify_outputs = verify;
+            let d = tuner
+                .tune(&pair.original, device, &workload)
+                .map_err(tune_failure)?;
+            let choice = Verdict::parse(d.choice.kind())
+                .expect("tuner choice tags and predict verdict tags coincide");
+            let row = CorpusRow {
+                app: app.id.to_string(),
+                kernel: pair.original.name.clone(),
+                device: device.clone(),
+                choice,
+                np: d.np,
+                cycles_with: d.cycles_with,
+                cycles_without: d.cycles_without,
+                features: features.clone(),
+            };
+            lines.push(row.to_json(epoch));
+        }
+    }
+    Ok(lines)
+}
+
 /// `grover serve`: run the tuning-cache service until a graceful
 /// shutdown is requested over HTTP.
 fn cmd_serve(
@@ -1144,6 +1630,16 @@ fn cmd_serve(
                 config.flight_capacity = parse_u64(&mut it, "--flight-capacity")? as usize
             }
             "--profile-ops" => config.profile_ops = true,
+            "--model" => {
+                config.model_path = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--model needs a model.json path"))?
+                        .into(),
+                )
+            }
+            "--predict-threshold" => {
+                config.predict_threshold = parse_f64(&mut it, "--predict-threshold")?
+            }
             other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }

@@ -1,0 +1,723 @@
+//! Static, architecture-independent kernel features.
+//!
+//! The extractor walks the IR of the *original* (local-memory-using)
+//! kernel plus its launch geometry and produces a versioned
+//! [`FeatureVector`] — no launch, no device model, no trace. The feature
+//! taxonomy follows the AIWC school (Chilukuri et al., PAPERS.md):
+//! everything is a property of the program and its index maps, never of a
+//! target machine, so one vector serves every device column of the model.
+//!
+//! Determinism is a schema property: the same IR and geometry produce the
+//! same bytes from [`FeatureVector::to_json`] in every process — values
+//! are quantised to `1e-6` before serialisation and the field order is
+//! fixed by [`FEATURE_NAMES`].
+
+use std::collections::HashMap;
+
+use grover_core::FingerprintBuilder;
+use grover_ir::{
+    AddressSpace, BinOp, BlockId, Builtin, CastKind, CmpPred, Function, Inst, Type, ValueDef,
+    ValueId,
+};
+use grover_obs::json::{self, Json, Obj};
+
+/// Version of the feature schema. Bump whenever a feature is added,
+/// removed, reordered, or its definition changes — the hash in every
+/// corpus row and model file carries it, so stale artifacts are rejected
+/// instead of silently mis-scored.
+pub const FEATURES_VERSION: u32 = 1;
+
+/// The feature taxonomy, in vector order. See DESIGN.md §19 for the
+/// prose definitions.
+pub const FEATURE_NAMES: [&str; 14] = [
+    "insts_log2",       // log2(1 + static instruction count)
+    "barrier_density",  // barrier sites / instructions (trip-weighted)
+    "global_load_frac", // per-space memory-op mix, trip-weighted sites
+    "global_store_frac",
+    "local_load_frac",
+    "local_store_frac",
+    "local_reuse",          // local loads per local store (clamped, /8)
+    "reuse_distance",       // staging-store → last-local-load span / insts
+    "gl_coalesced_frac",    // GL index maps with unit/broadcast fast stride
+    "gl_strided_frac",      // GL index maps with non-unit or unknown stride
+    "local_bytes_per_item", // log2(1 + __local bytes / work-group items)
+    "wg_items_log2",        // log2(work-group items)
+    "groups_log2",          // log2(number of work-groups)
+    "loop_trip_class",      // 0 none / 1 short / 2 medium / 3 long, /3
+];
+
+/// Content hash of the feature schema (version + ordered names), baked
+/// into every corpus row and model file. A model trained under one schema
+/// can never score vectors of another: the serving layer compares hashes
+/// before trusting a single weight.
+pub fn schema_hash() -> String {
+    let mut b = FingerprintBuilder::new().part("predict-features", &FEATURES_VERSION.to_le_bytes());
+    for name in FEATURE_NAMES {
+        b = b.part("feature", name.as_bytes());
+    }
+    b.finish().to_hex()
+}
+
+/// A stable, versioned vector of architecture-independent features.
+/// Values are quantised to `1e-6` at construction, so equality and
+/// serialisation are exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+/// Quantise to `1e-6`: the resolution floor that makes extraction
+/// byte-stable across processes and platforms.
+fn quantise(v: f64) -> f64 {
+    if !v.is_finite() {
+        return 0.0;
+    }
+    (v * 1e6).round() / 1e6
+}
+
+impl FeatureVector {
+    /// Wrap raw values (e.g. parsed back from a corpus row). The length
+    /// must match the schema.
+    pub fn from_values(values: Vec<f64>) -> Result<FeatureVector, String> {
+        if values.len() != FEATURE_NAMES.len() {
+            return Err(format!(
+                "feature vector has {} values, schema v{FEATURES_VERSION} has {}",
+                values.len(),
+                FEATURE_NAMES.len()
+            ));
+        }
+        Ok(FeatureVector {
+            values: values.into_iter().map(quantise).collect(),
+        })
+    }
+
+    /// The raw values, in [`FEATURE_NAMES`] order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Look a feature up by schema name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// Euclidean distance to another vector, normalised by the feature
+    /// count so the scale is schema-independent.
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        let sum: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / FEATURE_NAMES.len() as f64).sqrt()
+    }
+
+    /// The named-feature object:
+    /// `{"schema_version":V,"schema_hash":"..","features":{name:value,..}}`.
+    /// Byte-identical for identical inputs — the determinism contract.
+    pub fn to_json(&self) -> String {
+        let mut features = Obj::new();
+        for (name, v) in FEATURE_NAMES.iter().zip(&self.values) {
+            features = features.f64(name, *v);
+        }
+        Obj::new()
+            .u64("schema_version", u64::from(FEATURES_VERSION))
+            .str("schema_hash", &schema_hash())
+            .raw("features", &features.finish())
+            .finish()
+    }
+
+    /// The bare value array (`[v0,v1,..]`) for embedding in corpus rows.
+    pub fn values_json(&self) -> String {
+        json::array(self.values.iter().map(|v| json::number(*v)))
+    }
+
+    /// Parse a bare value array produced by [`FeatureVector::values_json`].
+    pub fn from_values_json(v: &Json) -> Result<FeatureVector, String> {
+        let arr = v.as_arr().ok_or("`features` must be an array")?;
+        let values: Option<Vec<f64>> = arr.iter().map(Json::as_f64).collect();
+        FeatureVector::from_values(values.ok_or("`features` entries must be numbers")?)
+    }
+
+    /// Extract the feature vector from a kernel and its launch geometry.
+    /// Pure and deterministic: no launch is performed.
+    pub fn extract(f: &Function, global: [u64; 3], local: [u64; 3]) -> FeatureVector {
+        let weights = block_weights(f);
+        let loops = loop_summary(f);
+
+        let mut insts = 0u64;
+        let mut barriers = 0f64;
+        let mut mem = SpaceMix::default();
+        let mut first_local_store: Option<usize> = None;
+        let mut last_local_load: Option<usize> = None;
+        let mut gl_total = 0f64;
+        let mut gl_coalesced = 0f64;
+        let mut gl_strided = 0f64;
+        let mut affine = AffineCtx::new(f);
+
+        for (pos, (block, v)) in f.iter_insts().enumerate() {
+            insts += 1;
+            let w = weights.get(&block).copied().unwrap_or(1.0);
+            let Some(inst) = f.inst(v) else { continue };
+            match inst {
+                Inst::Barrier { .. } => barriers += w,
+                Inst::Load { ptr } => {
+                    let space = pointer_space(f, *ptr);
+                    mem.load(space, w);
+                    if space == Some(AddressSpace::Local) {
+                        last_local_load = Some(pos);
+                    }
+                    if space == Some(AddressSpace::Global) {
+                        gl_total += w;
+                        match affine.classify(*ptr) {
+                            Stride::Unit | Stride::Broadcast => gl_coalesced += w,
+                            Stride::Strided | Stride::Opaque => gl_strided += w,
+                        }
+                    }
+                }
+                Inst::Store { ptr, .. } => {
+                    let space = pointer_space(f, *ptr);
+                    mem.store(space, w);
+                    if space == Some(AddressSpace::Local) && first_local_store.is_none() {
+                        first_local_store = Some(pos);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mem_total = mem.total().max(1.0);
+        let wg_items: u64 = local.iter().product::<u64>().max(1);
+        let global_items: u64 = global.iter().product::<u64>().max(1);
+        let groups = (global_items / wg_items).max(1);
+        let reuse_distance = match (first_local_store, last_local_load) {
+            (Some(s), Some(l)) if l > s => (l - s) as f64 / insts.max(1) as f64,
+            _ => 0.0,
+        };
+        let local_reuse = if mem.local_stores > 0.0 {
+            (mem.local_loads / mem.local_stores).clamp(0.0, 8.0) / 8.0
+        } else {
+            0.0
+        };
+        let bytes_per_item = f.local_mem_bytes() as f64 / wg_items as f64;
+
+        let values = vec![
+            ((insts + 1) as f64).log2(),
+            barriers / insts.max(1) as f64,
+            mem.global_loads / mem_total,
+            mem.global_stores / mem_total,
+            mem.local_loads / mem_total,
+            mem.local_stores / mem_total,
+            local_reuse,
+            reuse_distance,
+            if gl_total > 0.0 {
+                gl_coalesced / gl_total
+            } else {
+                1.0
+            },
+            if gl_total > 0.0 {
+                gl_strided / gl_total
+            } else {
+                0.0
+            },
+            (1.0 + bytes_per_item).log2(),
+            (wg_items as f64).log2(),
+            (groups as f64).log2(),
+            loops.trip_class() / 3.0,
+        ];
+        FeatureVector {
+            values: values.into_iter().map(quantise).collect(),
+        }
+    }
+}
+
+/// Trip-weighted per-space memory-operation counts.
+#[derive(Default)]
+struct SpaceMix {
+    global_loads: f64,
+    global_stores: f64,
+    local_loads: f64,
+    local_stores: f64,
+    other: f64,
+}
+
+impl SpaceMix {
+    fn load(&mut self, space: Option<AddressSpace>, w: f64) {
+        match space {
+            Some(AddressSpace::Global) => self.global_loads += w,
+            Some(AddressSpace::Local) => self.local_loads += w,
+            _ => self.other += w,
+        }
+    }
+
+    fn store(&mut self, space: Option<AddressSpace>, w: f64) {
+        match space {
+            Some(AddressSpace::Global) => self.global_stores += w,
+            Some(AddressSpace::Local) => self.local_stores += w,
+            _ => self.other += w,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.global_loads + self.global_stores + self.local_loads + self.local_stores + self.other
+    }
+}
+
+/// Address space behind a pointer-typed value.
+fn pointer_space(f: &Function, ptr: ValueId) -> Option<AddressSpace> {
+    match f.ty(ptr) {
+        Type::Ptr { space, .. } => Some(space),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop analysis: back-edge detection, constant trip estimation, weights.
+// ---------------------------------------------------------------------------
+
+/// Default trip estimate when a loop bound cannot be resolved statically.
+const UNKNOWN_TRIP: u64 = 16;
+/// Cap on the product of nested trip estimates (keeps the weighting
+/// bounded for pathological nests).
+const MAX_WEIGHT: f64 = 4096.0;
+
+struct LoopInfo {
+    header: BlockId,
+    latch: BlockId,
+    /// `Some(trip)` when resolved from a constant-bound induction,
+    /// `None` when unknown.
+    trip: Option<u64>,
+}
+
+struct LoopSummary {
+    loops: Vec<LoopInfo>,
+}
+
+impl LoopSummary {
+    /// The loop trip-count class: `0` no loops, `1` every loop is a short
+    /// constant trip (≤ 16), `2` constant trips ≤ 256, `3` long or
+    /// statically unknown.
+    fn trip_class(&self) -> f64 {
+        if self.loops.is_empty() {
+            return 0.0;
+        }
+        let mut class = 1.0f64;
+        for l in &self.loops {
+            let c = match l.trip {
+                Some(t) if t <= 16 => 1.0,
+                Some(t) if t <= 256 => 2.0,
+                _ => 3.0,
+            };
+            class = class.max(c);
+        }
+        class
+    }
+}
+
+/// Detect loops via the ordered-block back-edge heuristic (the frontend
+/// emits headers before latches) and estimate constant trip counts from
+/// `phi`-based inductions compared against constants.
+fn loop_summary(f: &Function) -> LoopSummary {
+    let mut loops = Vec::new();
+    for b in f.blocks() {
+        for succ in f.successors(b) {
+            if succ.index() <= b.index() {
+                let trip = estimate_trip(f, succ, b);
+                loops.push(LoopInfo {
+                    header: succ,
+                    latch: b,
+                    trip,
+                });
+            }
+        }
+    }
+    LoopSummary { loops }
+}
+
+/// Estimate the trip count of the loop `header..=latch`: find the
+/// header's conditional exit `cmp(ind, bound)` where `ind` is a `phi` in
+/// the header incremented by a constant along the back edge and `bound`
+/// is a constant. Any unresolved piece yields `None`.
+fn estimate_trip(f: &Function, header: BlockId, latch: BlockId) -> Option<u64> {
+    let term = f.terminator(header)?;
+    let cond = match term {
+        Inst::CondBr { cond, .. } => *cond,
+        _ => return None,
+    };
+    let (pred, lhs, rhs) = match f.inst(cond)? {
+        Inst::Cmp { pred, lhs, rhs } => (*pred, *lhs, *rhs),
+        _ => return None,
+    };
+    // Normalise to (induction, bound).
+    let (ind, bound, pred) = if f.as_const_int(rhs).is_some() {
+        (lhs, f.as_const_int(rhs)?, pred)
+    } else if f.as_const_int(lhs).is_some() {
+        (rhs, f.as_const_int(lhs)?, flip(pred))
+    } else {
+        return None;
+    };
+    let Some(Inst::Phi { incoming }) = f.inst(ind) else {
+        return None;
+    };
+    let mut init = None;
+    let mut step = None;
+    for (from, val) in incoming {
+        if *from == latch {
+            // Back-edge value: must be `ind + const` (or `ind - const`).
+            if let Some(Inst::Bin { op, lhs, rhs }) = f.inst(*val) {
+                let (other, sign) = match op {
+                    BinOp::Add => (*rhs, 1i64),
+                    BinOp::Sub => (*rhs, -1i64),
+                    _ => return None,
+                };
+                if *lhs != ind {
+                    return None;
+                }
+                step = Some(sign * f.as_const_int(other)?);
+            } else {
+                return None;
+            }
+        } else {
+            init = Some(f.as_const_int(*val)?);
+        }
+    }
+    let (init, step) = (init?, step?);
+    if step == 0 {
+        return None;
+    }
+    let span = match pred {
+        CmpPred::Slt | CmpPred::Ult => bound - init,
+        CmpPred::Sle | CmpPred::Ule => bound - init + 1,
+        CmpPred::Sgt | CmpPred::Ugt => init - bound,
+        CmpPred::Sge | CmpPred::Uge => init - bound + 1,
+        CmpPred::Ne => bound - init,
+        _ => return None,
+    };
+    let trips = (span as f64 / step.abs() as f64).ceil();
+    if trips.is_finite() && trips >= 1.0 {
+        Some(trips as u64)
+    } else {
+        None
+    }
+}
+
+fn flip(p: CmpPred) -> CmpPred {
+    match p {
+        CmpPred::Slt => CmpPred::Sgt,
+        CmpPred::Sle => CmpPred::Sge,
+        CmpPred::Sgt => CmpPred::Slt,
+        CmpPred::Sge => CmpPred::Sle,
+        CmpPred::Ult => CmpPred::Ugt,
+        CmpPred::Ule => CmpPred::Uge,
+        CmpPred::Ugt => CmpPred::Ult,
+        CmpPred::Uge => CmpPred::Ule,
+        other => other,
+    }
+}
+
+/// Per-block execution weight: the product of the (estimated) trip counts
+/// of every loop whose `header..=latch` block range contains the block.
+fn block_weights(f: &Function) -> HashMap<BlockId, f64> {
+    let loops = loop_summary(f);
+    let mut weights = HashMap::new();
+    for b in f.blocks() {
+        let mut w = 1.0f64;
+        for l in &loops.loops {
+            if b.index() >= l.header.index() && b.index() <= l.latch.index() {
+                w *= l.trip.unwrap_or(UNKNOWN_TRIP) as f64;
+            }
+        }
+        weights.insert(b, w.min(MAX_WEIGHT));
+    }
+    weights
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing analysis: affine index maps over the work-item atoms.
+// ---------------------------------------------------------------------------
+
+/// Linear-form atoms: `get_global_id(d)`, `get_local_id(d)`,
+/// `get_group_id(d)` for d = 0..3. Everything else (params, constants,
+/// uniform builtins, loop counters) folds into the uniform bucket.
+const N_ATOMS: usize = 9;
+const GID0: usize = 0;
+const LID0: usize = 3;
+const GROUP0: usize = 6;
+
+/// An atom's coefficient in a linear index form.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Coeff {
+    Zero,
+    Known(i64),
+    /// Non-zero but not statically known (e.g. scaled by a runtime
+    /// uniform such as a width parameter).
+    Unknown,
+}
+
+impl Coeff {
+    fn add(self, other: Coeff) -> Coeff {
+        match (self, other) {
+            (Coeff::Zero, c) | (c, Coeff::Zero) => c,
+            (Coeff::Known(a), Coeff::Known(b)) => {
+                if a + b == 0 {
+                    Coeff::Zero
+                } else {
+                    Coeff::Known(a + b)
+                }
+            }
+            _ => Coeff::Unknown,
+        }
+    }
+
+    fn negate(self) -> Coeff {
+        match self {
+            Coeff::Known(a) => Coeff::Known(-a),
+            c => c,
+        }
+    }
+
+    fn scale(self, k: i64) -> Coeff {
+        match self {
+            Coeff::Zero => Coeff::Zero,
+            _ if k == 0 => Coeff::Zero,
+            Coeff::Known(a) => Coeff::Known(a * k),
+            Coeff::Unknown => Coeff::Unknown,
+        }
+    }
+
+    fn scale_unknown(self) -> Coeff {
+        match self {
+            Coeff::Zero => Coeff::Zero,
+            _ => Coeff::Unknown,
+        }
+    }
+}
+
+/// A value expressed as a linear combination of work-item atoms plus a
+/// uniform remainder. `opaque` marks values outside the affine fragment
+/// (data-dependent indices, non-linear arithmetic over ids).
+#[derive(Clone, Copy, Debug)]
+struct Lin {
+    coeffs: [Coeff; N_ATOMS],
+    opaque: bool,
+}
+
+impl Lin {
+    fn uniform() -> Lin {
+        Lin {
+            coeffs: [Coeff::Zero; N_ATOMS],
+            opaque: false,
+        }
+    }
+
+    fn opaque() -> Lin {
+        Lin {
+            coeffs: [Coeff::Zero; N_ATOMS],
+            opaque: true,
+        }
+    }
+
+    fn atom(i: usize) -> Lin {
+        let mut l = Lin::uniform();
+        l.coeffs[i] = Coeff::Known(1);
+        l
+    }
+
+    fn is_uniform(&self) -> bool {
+        !self.opaque && self.coeffs.iter().all(|c| *c == Coeff::Zero)
+    }
+}
+
+/// How a global-load index map varies with the fastest work-item
+/// dimension.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Stride {
+    /// Consecutive work-items touch consecutive elements.
+    Unit,
+    /// Uniform across the fast dimension (one transaction, broadcast).
+    Broadcast,
+    /// A known non-unit or unknown non-zero stride.
+    Strided,
+    /// Outside the affine fragment entirely.
+    Opaque,
+}
+
+struct AffineCtx<'a> {
+    f: &'a Function,
+    memo: HashMap<ValueId, Lin>,
+    visiting: Vec<ValueId>,
+}
+
+impl<'a> AffineCtx<'a> {
+    fn new(f: &'a Function) -> AffineCtx<'a> {
+        AffineCtx {
+            f,
+            memo: HashMap::new(),
+            visiting: Vec::new(),
+        }
+    }
+
+    /// Classify the index map of a global-load pointer.
+    fn classify(&mut self, ptr: ValueId) -> Stride {
+        let lin = match self.f.inst(ptr) {
+            Some(Inst::Gep { index, .. }) => self.linearise(*index),
+            // A bare base pointer (no GEP): element 0 for every item.
+            _ => Lin::uniform(),
+        };
+        if lin.opaque {
+            return Stride::Opaque;
+        }
+        // The fastest-varying atoms: dimension-0 global and local ids
+        // (`gid0 = group0·ls0 + lid0`, so both move with the fast lane).
+        let fast = lin.coeffs[GID0].add(lin.coeffs[LID0]);
+        match fast {
+            Coeff::Zero => Stride::Broadcast,
+            Coeff::Known(1) | Coeff::Known(-1) => Stride::Unit,
+            _ => Stride::Strided,
+        }
+    }
+
+    fn linearise(&mut self, v: ValueId) -> Lin {
+        if let Some(l) = self.memo.get(&v) {
+            return *l;
+        }
+        if self.visiting.contains(&v) {
+            // A recursive def (loop phi): uniform across work-items.
+            return Lin::uniform();
+        }
+        self.visiting.push(v);
+        let lin = self.linearise_inner(v);
+        self.visiting.pop();
+        self.memo.insert(v, lin);
+        lin
+    }
+
+    fn linearise_inner(&mut self, v: ValueId) -> Lin {
+        let f = self.f;
+        match &f.value(v).def {
+            ValueDef::Const(_) | ValueDef::Param(_) => Lin::uniform(),
+            ValueDef::LocalBuf(_) => Lin::opaque(),
+            ValueDef::Inst(inst) => match inst {
+                Inst::Call { builtin, args } => {
+                    let dim = args
+                        .first()
+                        .and_then(|a| f.as_const_int(*a))
+                        .unwrap_or(0)
+                        .clamp(0, 2) as usize;
+                    match builtin {
+                        Builtin::GlobalId => Lin::atom(GID0 + dim),
+                        Builtin::LocalId => Lin::atom(LID0 + dim),
+                        Builtin::GroupId => Lin::atom(GROUP0 + dim),
+                        Builtin::LocalSize | Builtin::GlobalSize | Builtin::NumGroups => {
+                            Lin::uniform()
+                        }
+                        _ => self.fold_uniform(args.clone()),
+                    }
+                }
+                Inst::Bin { op, lhs, rhs } => self.linearise_bin(*op, *lhs, *rhs),
+                Inst::Cast {
+                    kind: CastKind::SExt | CastKind::ZExt | CastKind::Trunc,
+                    value,
+                    ..
+                } => self.linearise(*value),
+                Inst::Phi { incoming } => {
+                    let vals: Vec<ValueId> = incoming.iter().map(|(_, v)| *v).collect();
+                    self.fold_uniform(vals)
+                }
+                Inst::Load { .. } => Lin::opaque(),
+                Inst::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => self.fold_uniform(vec![*cond, *then_val, *else_val]),
+                _ => Lin::opaque(),
+            },
+        }
+    }
+
+    /// Values built from uniform inputs are uniform; anything touching a
+    /// work-item id through a non-affine operation is opaque.
+    fn fold_uniform(&mut self, args: Vec<ValueId>) -> Lin {
+        for a in args {
+            if !self.linearise(a).is_uniform() {
+                return Lin::opaque();
+            }
+        }
+        Lin::uniform()
+    }
+
+    fn linearise_bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> Lin {
+        let f = self.f;
+        let (l, r) = (self.linearise(lhs), self.linearise(rhs));
+        if l.opaque || r.opaque {
+            return Lin::opaque();
+        }
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                let mut out = Lin::uniform();
+                for i in 0..N_ATOMS {
+                    let rc = if op == BinOp::Sub {
+                        r.coeffs[i].negate()
+                    } else {
+                        r.coeffs[i]
+                    };
+                    out.coeffs[i] = l.coeffs[i].add(rc);
+                }
+                out
+            }
+            BinOp::Mul => self.linearise_mul(lhs, l, rhs, r),
+            BinOp::Shl => {
+                // `x << c` is `x * 2^c` for a constant shift.
+                if let Some(c) = f.as_const_int(rhs) {
+                    if (0..63).contains(&c) {
+                        let mut out = l;
+                        for co in &mut out.coeffs {
+                            *co = co.scale(1i64 << c);
+                        }
+                        return out;
+                    }
+                }
+                if l.is_uniform() && r.is_uniform() {
+                    Lin::uniform()
+                } else {
+                    Lin::opaque()
+                }
+            }
+            // Non-linear over ids; fine over uniforms.
+            _ => {
+                if l.is_uniform() && r.is_uniform() {
+                    Lin::uniform()
+                } else {
+                    Lin::opaque()
+                }
+            }
+        }
+    }
+
+    fn linearise_mul(&mut self, lhs: ValueId, l: Lin, rhs: ValueId, r: Lin) -> Lin {
+        let f = self.f;
+        let scale_by = |lin: Lin, k: Option<i64>| -> Lin {
+            let mut out = lin;
+            for c in &mut out.coeffs {
+                *c = match k {
+                    Some(k) => c.scale(k),
+                    None => c.scale_unknown(),
+                };
+            }
+            out
+        };
+        match (l.is_uniform(), r.is_uniform()) {
+            (true, true) => Lin::uniform(),
+            // affine × uniform: known constant scales exactly, a runtime
+            // uniform turns every non-zero coefficient unknown.
+            (true, false) => scale_by(r, f.as_const_int(lhs)),
+            (false, true) => scale_by(l, f.as_const_int(rhs)),
+            // id × id: quadratic, outside the fragment.
+            (false, false) => Lin::opaque(),
+        }
+    }
+}

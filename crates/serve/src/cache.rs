@@ -55,6 +55,14 @@ pub struct DecisionRecord {
     pub fallback_kind: Option<String>,
     /// Human-readable fallback detail, when demoted.
     pub fallback_detail: Option<String>,
+    /// Hash of the feature schema `features` was extracted under.
+    /// `None` on records persisted before predictive tuning existed.
+    pub feature_schema_hash: Option<String>,
+    /// The static feature vector of the tuned kernel + geometry, in
+    /// `grover_predict::FEATURE_NAMES` order. Persisting it alongside
+    /// the measured decision makes every journal line a training row —
+    /// `grover corpus export` joins on these fields.
+    pub features: Option<Vec<f64>>,
 }
 
 impl DecisionRecord {
@@ -77,7 +85,17 @@ impl DecisionRecord {
             cycles_without: d.cycles_without,
             fallback_kind: d.fallback.as_ref().map(|f| f.kind().to_string()),
             fallback_detail: d.fallback.as_ref().map(|f| f.to_string()),
+            feature_schema_hash: None,
+            features: None,
         }
+    }
+
+    /// Attach the static feature vector (and its schema hash), turning
+    /// this record into a corpus training row.
+    pub fn with_features(mut self, schema_hash: &str, values: &[f64]) -> DecisionRecord {
+        self.feature_schema_hash = Some(schema_hash.to_string());
+        self.features = Some(values.to_vec());
+        self
     }
 
     /// Render as one JSON object (one store line).
@@ -99,6 +117,11 @@ impl DecisionRecord {
             ),
             _ => obj.null("fallback"),
         };
+        if let (Some(h), Some(f)) = (&self.feature_schema_hash, &self.features) {
+            obj = obj
+                .str("feature_schema_hash", h)
+                .raw("features", &json::array(f.iter().map(|v| json::number(*v))));
+        }
         obj.finish()
     }
 
@@ -136,6 +159,12 @@ impl DecisionRecord {
                 .ok_or("missing field `cycles_without`")?,
             fallback_kind,
             fallback_detail,
+            // Tolerant: records from before predictive tuning have none.
+            feature_schema_hash: v.str_of("feature_schema_hash").map(str::to_string),
+            features: v
+                .get("features")
+                .and_then(Json::as_arr)
+                .and_then(|a| a.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>()),
         })
     }
 }
@@ -464,6 +493,8 @@ mod tests {
             cycles_without: 80,
             fallback_kind: None,
             fallback_detail: None,
+            feature_schema_hash: None,
+            features: None,
         }
     }
 

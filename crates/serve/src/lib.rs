@@ -12,6 +12,7 @@
 //! |------------------------|--------|-------------------------------------------------|
 //! | `/v1/compile`          | POST   | OpenCL-C source → transformed IR + pass report  |
 //! | `/v1/tune`             | POST   | source + device + launch → explainable decision |
+//! | `/v1/predict`          | POST   | model answer with zero launches, or measured fallback |
 //! | `/metrics`             | GET    | typed metrics registry (counters/gauges/histos) |
 //! | `/healthz`             | GET    | liveness probe                                  |
 //! | `/debug/flight`        | GET    | flight-recorder ring: recent spans/events JSONL |

@@ -191,6 +191,21 @@ pub struct Metrics {
     pub cache_evictions: Arc<Counter>,
     /// Tuning races actually executed (misses that measured).
     pub tune_races: Arc<Counter>,
+    /// Individual kernel launches the tuner executed (race measurements,
+    /// retries, differential-output verification runs). A predict-hit
+    /// request performs none — `serve_load --predict` asserts this stays
+    /// flat across a predicted run.
+    pub launches: Arc<Counter>,
+    /// `POST /v1/predict` requests.
+    pub predict_requests: Arc<Counter>,
+    /// Predict requests answered from the model with zero launches.
+    pub predict_hits: Arc<Counter>,
+    /// Predict requests where the model abstained (below threshold, no
+    /// model, or unknown device) and the measured race ran instead.
+    pub predict_abstains: Arc<Counter>,
+    /// Predictions later contradicted by a measurement (a fallback race
+    /// or a cached measured decision disagreed with the model's verdict).
+    pub predict_wrong: Arc<Counter>,
     /// Connections rejected with 429 because the queue was full.
     pub rejected_busy: Arc<Counter>,
     /// Requests that ended with a 4xx/5xx status.
@@ -250,6 +265,11 @@ impl Metrics {
             cache_misses: r.counter("grover_serve_cache_misses_total"),
             cache_evictions: r.counter("grover_serve_cache_evictions_total"),
             tune_races: r.counter("grover_serve_tune_races_total"),
+            launches: r.counter("grover_serve_launches_total"),
+            predict_requests: r.counter("grover_serve_predict_requests_total"),
+            predict_hits: r.counter("grover_serve_predict_hits_total"),
+            predict_abstains: r.counter("grover_serve_predict_abstains_total"),
+            predict_wrong: r.counter("grover_serve_predict_wrong_total"),
             rejected_busy: r.counter("grover_serve_rejected_busy_total"),
             errors_total: r.counter("grover_serve_errors_total"),
             panics_total: r.counter("grover_serve_panics_total"),

@@ -36,6 +36,19 @@
 //! never persisted) instead of 500s, while cache hits keep being served
 //! normally. A cooldown later, one half-open probe decides whether to
 //! close the circuit again.
+//!
+//! ## Prediction
+//!
+//! With `--model`, `POST /v1/predict` answers from a trained
+//! [`grover_predict::Model`] using only static features of the compiled
+//! kernel — zero launches, proven by `grover_serve_launches_total`
+//! staying flat. Below the confidence threshold the request falls back
+//! to the measured flow (cache → singleflight → race), and the measured
+//! decision is journalled *with its feature vector*, so every fallback
+//! becomes a training row for the next `grover train` — a closed loop.
+//! A model whose feature schema or pass-fingerprint epoch does not match
+//! this binary is rejected at startup (observably: an event plus a
+//! stderr line) and the server degrades to always-abstain.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -56,6 +69,7 @@ use grover_ir::printer::function_to_string;
 use grover_ir::{Function, Scalar, Type};
 use grover_obs::json::{self, array, Json, Obj};
 use grover_obs::{Recorder, SpanId, TraceId, Value};
+use grover_predict::{schema_hash, FeatureVector, Model as PredictModel};
 use grover_runtime::{ArgValue, Backend, Context, ExecPolicy, Limits, NdRange};
 use grover_tuner::{Choice, FallbackReason, TuneError, Tuner, Workload};
 
@@ -110,6 +124,13 @@ pub struct ServeConfig {
     /// Attach per-opcode profiles (`profile` events) to the launch spans
     /// of cache-miss tunes. Bytecode backend only; off by default.
     pub profile_ops: bool,
+    /// Path to a trained `model.json` serving `POST /v1/predict`. `None`
+    /// (and a stale or unreadable model) means every predict abstains
+    /// into the measured fallback.
+    pub model_path: Option<PathBuf>,
+    /// Confidence below which `/v1/predict` falls back to the measured
+    /// race. Requests may override per-call via a `threshold` field.
+    pub predict_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +151,8 @@ impl Default for ServeConfig {
             compact_threshold: 512,
             flight_capacity: 512,
             profile_ops: false,
+            model_path: None,
+            predict_threshold: 0.7,
         }
     }
 }
@@ -148,6 +171,9 @@ struct Shared {
     requests: RequestLog,
     cache: Mutex<DecisionCache>,
     store: Mutex<DecisionStore>,
+    /// The trained predict model, when one loaded cleanly. `None` makes
+    /// every `/v1/predict` abstain into the measured fallback.
+    predictor: Option<Arc<PredictModel>>,
     singleflight: Arc<Singleflight>,
     breaker: CircuitBreaker,
     stop: AtomicBool,
@@ -237,6 +263,46 @@ impl Server {
         }
         recorder.span_end(recovery);
 
+        // Model loading is observable in both directions: a clean load
+        // records the model's epoch, a rejection (stale schema, stale
+        // transform revision, unreadable file) records why and degrades
+        // to always-abstain rather than serving mispredictions.
+        let predictor = config.model_path.as_ref().and_then(|path| {
+            let outcome = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| PredictModel::load(&text, &epoch).map_err(|e| e.to_string()));
+            match outcome {
+                Ok(model) => {
+                    recorder.event(
+                        "predict.model_loaded",
+                        None,
+                        &[
+                            ("path", Value::from(path.display().to_string())),
+                            ("devices", Value::from(model.devices.len())),
+                            ("epoch", Value::from(epoch.as_str())),
+                        ],
+                    );
+                    Some(Arc::new(model))
+                }
+                Err(e) => {
+                    recorder.event(
+                        "predict.model_rejected",
+                        None,
+                        &[
+                            ("path", Value::from(path.display().to_string())),
+                            ("error", Value::from(e.as_str())),
+                        ],
+                    );
+                    eprintln!(
+                        "grover-serve: predict model {} rejected ({e}); \
+                         /v1/predict will abstain into the measured fallback",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+
         let shared = Arc::new(Shared {
             addr,
             epoch,
@@ -246,6 +312,7 @@ impl Server {
             flight,
             cache: Mutex::new(cache),
             store: Mutex::new(store),
+            predictor,
             singleflight: Arc::new(Singleflight::default()),
             breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             stop: AtomicBool::new(false),
@@ -529,7 +596,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
     req.method == "POST" && req.path == "/admin/shutdown" && resp.status == 200
 }
 
-const ROUTES: [&str; 7] = [
+const ROUTES: [&str; 8] = [
     "/healthz",
     "/metrics",
     "/debug/flight",
@@ -537,6 +604,7 @@ const ROUTES: [&str; 7] = [
     "/admin/shutdown",
     "/v1/compile",
     "/v1/tune",
+    "/v1/predict",
 ];
 
 fn route(shared: &Shared, req: &Request, span: SpanId, disp: &Cell<&'static str>) -> Response {
@@ -553,6 +621,7 @@ fn route(shared: &Shared, req: &Request, span: SpanId, disp: &Cell<&'static str>
         }
         ("POST", "/v1/compile") => handle_compile(shared, req, span),
         ("POST", "/v1/tune") => handle_tune(shared, req, span, disp),
+        ("POST", "/v1/predict") => handle_predict(shared, req, span, disp),
         (_, path) if ROUTES.contains(&path) => {
             error_response(405, "method_not_allowed", "method not allowed")
         }
@@ -899,44 +968,45 @@ fn degraded_response(shared: &Shared, fingerprint: &str, device: &str, kernel: &
     )
 }
 
-fn handle_tune(
-    shared: &Shared,
-    req: &Request,
-    span: SpanId,
-    disp: &Cell<&'static str>,
-) -> Response {
-    let m = &shared.metrics;
-    m.tune_requests.inc();
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
+/// The request fields `/v1/tune` and `/v1/predict` share, validated and
+/// resolved down to the content-addressed tune fingerprint.
+struct TuneParams {
+    device: String,
+    g3: [u64; 3],
+    l3: [u64; 3],
+    passes: Option<Sequence>,
+    fingerprint: String,
+    key_kernel: String,
+}
+
+/// Validate the common tune/predict request shape and compute the tune
+/// key. Stamps the fingerprint/device/kernel attrs onto the request span
+/// so both endpoints trace identically.
+fn parse_tune_params(shared: &Shared, body: &Json, span: SpanId) -> Result<TuneParams, Response> {
     let Some(source) = body.str_of("source") else {
-        return bad_request("missing required field `source`");
+        return Err(bad_request("missing required field `source`"));
     };
     let Some(device) = body.str_of("device") else {
-        return bad_request("missing required field `device`");
+        return Err(bad_request("missing required field `device`"));
     };
     if Device::by_name(device).is_none() {
-        return bad_request(format!(
+        return Err(bad_request(format!(
             "unknown device `{device}` (known: {})",
             grover_devsim::ALL_DEVICES.join(", ")
-        ));
+        )));
     }
-    let global = match parse_dims(body.get("global"), "global") {
-        Ok(d) => d,
-        Err(e) => return bad_request(e),
-    };
-    let local = match parse_dims(body.get("local"), "local") {
-        Ok(d) => d,
-        Err(e) => return bad_request(e),
-    };
+    let global = parse_dims(body.get("global"), "global").map_err(bad_request)?;
+    let local = parse_dims(body.get("local"), "local").map_err(bad_request)?;
     if local.len() != global.len() {
-        return bad_request("`global` and `local` must have the same dimensionality");
+        return Err(bad_request(
+            "`global` and `local` must have the same dimensionality",
+        ));
     }
     let (g3, l3) = (pad3(&global), pad3(&local));
     if g3.iter().zip(&l3).any(|(g, l)| g % l != 0) {
-        return bad_request("each `local` dimension must divide its `global` dimension");
+        return Err(bad_request(
+            "each `local` dimension must divide its `global` dimension",
+        ));
     }
 
     // Optional `passes`: one explicit pass-sequence spec that replaces the
@@ -946,7 +1016,11 @@ fn handle_tune(
         Some(raw) => match Sequence::parse(raw) {
             Ok(seq) => Some(seq),
             Err(e) => {
-                return error_response(400, "invalid_sequence", format!("invalid `passes`: {e}"))
+                return Err(error_response(
+                    400,
+                    "invalid_sequence",
+                    format!("invalid `passes`: {e}"),
+                ))
             }
         },
         None => None,
@@ -984,10 +1058,7 @@ fn handle_tune(
         fingerprint =
             tune_key_with_sequences(source, name, device, &g3, &l3, &sequences_id).to_hex();
     } else {
-        let (_, name) = match compiled_kernel(&body) {
-            Ok(k) => k,
-            Err(resp) => return resp,
-        };
+        let (_, name) = compiled_kernel(body)?;
         key_kernel = name;
         fingerprint =
             tune_key_with_sequences(source, &key_kernel, device, &g3, &l3, &sequences_id).to_hex();
@@ -995,13 +1066,56 @@ fn handle_tune(
     rec.span_attr(span, "fingerprint", Value::from(fingerprint.as_str()));
     rec.span_attr(span, "device", Value::from(device));
     rec.span_attr(span, "kernel", Value::from(key_kernel.as_str()));
+    Ok(TuneParams {
+        device: device.to_string(),
+        g3,
+        l3,
+        passes,
+        fingerprint,
+        key_kernel,
+    })
+}
+
+fn handle_tune(
+    shared: &Shared,
+    req: &Request,
+    span: SpanId,
+    disp: &Cell<&'static str>,
+) -> Response {
+    shared.metrics.tune_requests.inc();
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let params = match parse_tune_params(shared, &body, span) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    measured_flow(shared, &body, span, disp, &params)
+}
+
+/// The measured decision flow: LRU → breaker → singleflight → race.
+/// `/v1/tune` always lands here; `/v1/predict` lands here when the model
+/// abstains (its fallback path).
+fn measured_flow(
+    shared: &Shared,
+    body: &Json,
+    span: SpanId,
+    disp: &Cell<&'static str>,
+    p: &TuneParams,
+) -> Response {
+    let m = &shared.metrics;
+    let rec = &*shared.recorder;
+    let (fingerprint, device, key_kernel) = (&p.fingerprint, &p.device, &p.key_kernel);
+    let (g3, l3) = (p.g3, p.l3);
+    let passes = p.passes.as_ref();
 
     // Cache hit: answer without constructing a tuner at all.
     if let Some(hit) = shared
         .cache
         .lock()
         .expect("cache poisoned")
-        .get(&fingerprint)
+        .get(fingerprint)
     {
         m.cache_hits.inc();
         disp.set("hit");
@@ -1028,13 +1142,13 @@ fn handle_tune(
         m.degraded.inc();
         disp.set("degraded");
         rec.span_attr(span, "cache", Value::from("degraded"));
-        return degraded_response(shared, &fingerprint, device, &key_kernel);
+        return degraded_response(shared, fingerprint, device, key_kernel);
     }
 
     // Singleflight: identical concurrent misses share one race. The
     // joiner's trace id rides along so followers can link to the trace
     // that actually did the work.
-    match shared.singleflight.join(&fingerprint, rec.trace_of(span)) {
+    match shared.singleflight.join(fingerprint, rec.trace_of(span)) {
         Join::Follower(follower) => {
             m.tune_coalesced.inc();
             disp.set("coalesced");
@@ -1076,7 +1190,7 @@ fn handle_tune(
                 .cache
                 .lock()
                 .expect("cache poisoned")
-                .get(&fingerprint)
+                .get(fingerprint)
             {
                 // This request still shared another's race — count it as
                 // coalesced so hits + misses stays one-per-request.
@@ -1084,31 +1198,197 @@ fn handle_tune(
                 disp.set("coalesced");
                 rec.span_attr(span, "cache", Value::from("coalesced"));
                 let resp = decision_response(&hit, Served::Coalesced);
-                leader.publish(FlightOutcome::Decision(hit));
+                leader.publish(FlightOutcome::Decision(Box::new(hit)));
                 return resp;
             }
             disp.set("miss");
             rec.span_attr(span, "cache", Value::from("miss"));
             let (resp, record) = run_miss(
                 shared,
-                &body,
+                body,
                 span,
-                &fingerprint,
-                &key_kernel,
+                fingerprint,
+                key_kernel,
                 device,
                 g3,
                 l3,
                 effective_deadline,
-                passes.as_ref(),
+                passes,
             );
             match record {
-                Some(r) => leader.publish(FlightOutcome::Decision(r)),
+                Some(r) => leader.publish(FlightOutcome::Decision(Box::new(r))),
                 None => leader.publish(FlightOutcome::Fail {
                     status: resp.status,
                     body: String::from_utf8_lossy(&resp.body).into_owned(),
                 }),
             }
             resp
+        }
+    }
+}
+
+/// Inject `predicted:false` plus the abstained confidence into a
+/// measured fallback's 200 decision body, the same prefix trick
+/// `stamp_trace` uses — the fallback response stays byte-compatible with
+/// `/v1/tune` apart from the two leading fields.
+fn annotate_abstain(mut resp: Response, confidence: Option<f64>) -> Response {
+    if resp.status == 200 && resp.content_type == "application/json" {
+        if let Ok(text) = std::str::from_utf8(&resp.body) {
+            if let Some(rest) = text.strip_prefix('{') {
+                if !rest.trim_start().starts_with('}') {
+                    let conf = match confidence {
+                        Some(c) => json::number(c),
+                        None => "null".to_string(),
+                    };
+                    resp.body =
+                        format!("{{\"predicted\":false,\"confidence\":{conf},{rest}").into_bytes();
+                }
+            }
+        }
+    }
+    resp
+}
+
+/// `POST /v1/predict`: answer the tuning question from the trained model
+/// with zero launches, or abstain below the confidence threshold and
+/// fall back to the measured flow. Either way the request's `predict`
+/// span carries the feature vector, the confidence and the outcome.
+fn handle_predict(
+    shared: &Shared,
+    req: &Request,
+    span: SpanId,
+    disp: &Cell<&'static str>,
+) -> Response {
+    let m = &shared.metrics;
+    m.predict_requests.inc();
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let p = match parse_tune_params(shared, &body, span) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    // The model scores static features of the *original* kernel, so the
+    // compile happens up front on both the hit and the abstain path.
+    // Compilation is host work — still zero launches.
+    let (kernel, _) = match compiled_kernel(&body) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    if kernel.name != p.key_kernel {
+        return bad_request(format!("no kernel named `{}` in source", p.key_kernel));
+    }
+    let features = FeatureVector::extract(&kernel, p.g3, p.l3);
+    let threshold = body
+        .f64_of("threshold")
+        .map(|t| t.clamp(0.0, 1.0))
+        .unwrap_or(shared.config.predict_threshold);
+
+    let rec = &*shared.recorder;
+    let pspan = rec.span_start("predict", Some(span));
+    if rec.enabled() {
+        rec.span_attr(pspan, "kernel", Value::from(p.key_kernel.as_str()));
+        rec.span_attr(pspan, "device", Value::from(p.device.as_str()));
+        rec.span_attr(pspan, "threshold", Value::from(threshold));
+        rec.span_attr(pspan, "features", Value::from(features.values_json()));
+    }
+    let prediction = shared
+        .predictor
+        .as_deref()
+        .and_then(|mdl| mdl.predict(&p.device, &features));
+
+    match prediction {
+        Some(pred) if pred.confidence >= threshold => {
+            m.predict_hits.inc();
+            disp.set("predicted");
+            rec.event(
+                "outcome",
+                Some(pspan),
+                &[
+                    ("outcome", Value::from("hit")),
+                    ("verdict", Value::from(pred.verdict.kind())),
+                    ("confidence", Value::from(pred.confidence)),
+                    ("np_est", Value::from(pred.np_est)),
+                    ("exact_match", Value::from(pred.exact_match)),
+                ],
+            );
+            // Grade against a measured decision when the cache already
+            // holds one for this exact fingerprint: a disagreement is an
+            // observable misprediction even though the hit is served.
+            if let Some(measured) = shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .get(&p.fingerprint)
+            {
+                if measured.choice != pred.verdict.kind() {
+                    m.predict_wrong.inc();
+                    rec.event(
+                        "predict.wrong",
+                        Some(pspan),
+                        &[
+                            ("predicted", Value::from(pred.verdict.kind())),
+                            ("measured", Value::from(measured.choice.as_str())),
+                            ("confidence", Value::from(pred.confidence)),
+                        ],
+                    );
+                }
+            }
+            rec.span_end(pspan);
+            Response::json(
+                200,
+                Obj::new()
+                    .bool("predicted", true)
+                    .f64("confidence", pred.confidence)
+                    .str("fingerprint", &p.fingerprint)
+                    .str("pass_fingerprint", &shared.epoch)
+                    .str("device", &p.device)
+                    .str("kernel", &p.key_kernel)
+                    .str("choice", pred.verdict.kind())
+                    .f64("np_est", pred.np_est)
+                    .bool("exact_match", pred.exact_match)
+                    .str("neighbor", &pred.neighbor_kernel)
+                    .u64("launches", 0)
+                    .finish(),
+            )
+        }
+        other => {
+            m.predict_abstains.inc();
+            let confidence = other.as_ref().map(|pr| pr.confidence);
+            let mut attrs: Vec<(&str, Value)> = vec![("outcome", Value::from("abstain"))];
+            match &other {
+                Some(pr) => {
+                    attrs.push(("verdict", Value::from(pr.verdict.kind())));
+                    attrs.push(("confidence", Value::from(pr.confidence)));
+                }
+                None => attrs.push(("reason", Value::from("no model for device"))),
+            }
+            rec.event("outcome", Some(pspan), &attrs);
+            rec.span_end(pspan);
+            // Fallback: the measured flow. Its journal row carries the
+            // feature vector, feeding the next training round — the
+            // closed loop that makes abstains self-correcting.
+            let resp = measured_flow(shared, &body, span, disp, &p);
+            if let (Some(pr), 200) = (&other, resp.status) {
+                if let Ok(Ok(decided)) = std::str::from_utf8(&resp.body).map(json::parse) {
+                    if let Some(choice) = decided.str_of("choice") {
+                        if choice != pr.verdict.kind() {
+                            m.predict_wrong.inc();
+                            rec.event(
+                                "predict.wrong",
+                                Some(span),
+                                &[
+                                    ("predicted", Value::from(pr.verdict.kind())),
+                                    ("measured", Value::from(choice)),
+                                    ("confidence", Value::from(pr.confidence)),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+            annotate_abstain(resp, confidence)
         }
     }
 }
@@ -1211,6 +1491,7 @@ fn run_miss(
 
     let outcome = tuner.tune(&kernel, device, &workload);
     m.tune_races.add(tuner.races_run());
+    m.launches.add(tuner.launches_run());
     rec.span_end(tune_span);
     let decision = match outcome {
         Ok(d) => {
@@ -1235,7 +1516,13 @@ fn run_miss(
         }
     };
 
-    let record = DecisionRecord::from_decision(fingerprint, &shared.epoch, key_kernel, &decision);
+    // Journal the decision *with* the original kernel's static features:
+    // every measured row is then a ready-made training example, and
+    // `grover corpus export` is a join-free dump. This is the closed
+    // loop — predict fallbacks land here and improve the next model.
+    let features = FeatureVector::extract(&kernel, g3, l3);
+    let record = DecisionRecord::from_decision(fingerprint, &shared.epoch, key_kernel, &decision)
+        .with_features(&schema_hash(), features.values());
     // Persist before publishing: a decision a client saw is durable. A
     // failed append means the client gets a 500 and nothing is cached —
     // better a retryable error than an acknowledged-then-lost decision.

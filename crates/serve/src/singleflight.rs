@@ -24,8 +24,9 @@ use grover_obs::TraceId;
 #[derive(Clone, Debug)]
 pub enum FlightOutcome {
     /// The leader produced (and persisted) a decision — followers serve
-    /// the serialised record as a cache hit.
-    Decision(crate::cache::DecisionRecord),
+    /// the serialised record as a cache hit. Boxed: a record (with its
+    /// feature vector) dwarfs the `Fail` variant.
+    Decision(Box<crate::cache::DecisionRecord>),
     /// The leader failed; followers repeat the same structured error
     /// body. Never cached.
     Fail {
@@ -200,6 +201,8 @@ mod tests {
             cycles_without: 1,
             fallback_kind: None,
             fallback_detail: None,
+            feature_schema_hash: None,
+            features: None,
         }
     }
 
@@ -217,7 +220,7 @@ mod tests {
                 std::thread::spawn(move || f.wait(Duration::from_secs(5)))
             })
             .collect();
-        leader.publish(FlightOutcome::Decision(record("k1")));
+        leader.publish(FlightOutcome::Decision(Box::new(record("k1"))));
         for f in followers {
             match f.join().unwrap() {
                 Some(FlightOutcome::Decision(r)) => assert_eq!(r.fingerprint, "k1"),

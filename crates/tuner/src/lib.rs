@@ -53,6 +53,7 @@ use grover_core::{apply_sequence, GroverOptions, GroverReport, Sequence};
 use grover_devsim::Device;
 use grover_ir::Function;
 use grover_obs::{NoopRecorder, Recorder, SpanId, Value};
+use grover_predict::{FeatureVector, Model as PredictModel, Prediction, Verdict};
 use grover_runtime::{
     enqueue_observed_profiled, enqueue_with_backend, ArgValue, Backend, BufferData, Context,
     ExecError, ExecPolicy, Limits, NdRange, NullSink,
@@ -190,6 +191,10 @@ pub struct Decision {
     /// `Some` when the decision was demoted to [`Choice::WithLocalMemory`]
     /// by the hardening pipeline rather than by the cycle race.
     pub fallback: Option<FallbackReason>,
+    /// `Some(confidence)` when the decision came from the predictive model
+    /// with **zero launches** (`cycles_with`/`cycles_without` are then `0`
+    /// and `np` is the model's estimate); `None` when it was measured.
+    pub predicted: Option<f64>,
 }
 
 /// A representative workload: a factory producing a fresh context,
@@ -322,9 +327,24 @@ pub struct Tuner {
     /// count/charge attributes. Only the bytecode backend can profile, so
     /// this has no effect under [`Backend::Interp`]. Default off.
     pub profile_ops: bool,
+    /// Predictive model consulted by [`Tuner::predict_first`] mode.
+    /// `None` means every tune is measured.
+    pub predictor: Option<Arc<PredictModel>>,
+    /// Answer from [`Tuner::predictor`] before measuring: when the model's
+    /// confidence clears [`Tuner::predict_threshold`] the decision is
+    /// served with zero launches; otherwise the model abstains and the
+    /// measured race runs as usual (and a disagreeing measured outcome
+    /// increments [`Tuner::predict_wrong`]). Default off.
+    pub predict_first: bool,
+    /// Minimum model confidence for a zero-launch predicted decision.
+    pub predict_threshold: f64,
     cache: HashMap<(String, String), Decision>,
     transformed: HashMap<(String, String), Function>,
     races: u64,
+    launches: u64,
+    predict_hits: u64,
+    predict_abstains: u64,
+    predict_wrong: u64,
 }
 
 /// One transformed contender in a sequence race.
@@ -358,9 +378,16 @@ impl Tuner {
             recorder: Arc::new(NoopRecorder),
             parent: None,
             profile_ops: false,
+            predictor: None,
+            predict_first: false,
+            predict_threshold: 0.7,
             cache: HashMap::new(),
             transformed: HashMap::new(),
             races: 0,
+            launches: 0,
+            predict_hits: 0,
+            predict_abstains: 0,
+            predict_wrong: 0,
         }
     }
 
@@ -383,6 +410,34 @@ impl Tuner {
     /// that repeated tunes do not re-measure.
     pub fn races_run(&self) -> u64 {
         self.races
+    }
+
+    /// Number of individual kernel launches this tuner has executed —
+    /// race measurements, retries, and differential-output verification
+    /// runs all count. A predicted decision performs none; callers (the
+    /// `grover-serve` `grover_serve_launches_total` metric, the
+    /// `serve_load --predict` scenario) use this to *prove* the
+    /// zero-launch property rather than assert it.
+    pub fn launches_run(&self) -> u64 {
+        self.launches
+    }
+
+    /// Decisions served from the model with zero launches.
+    pub fn predict_hits(&self) -> u64 {
+        self.predict_hits
+    }
+
+    /// Predict-first tunes where the model abstained (no model, unknown
+    /// device, or confidence below [`Tuner::predict_threshold`]) and the
+    /// measured race ran instead.
+    pub fn predict_abstains(&self) -> u64 {
+        self.predict_abstains
+    }
+
+    /// Abstained predictions whose verdict disagreed with the measured
+    /// race that followed — the model's observable error counter.
+    pub fn predict_wrong(&self) -> u64 {
+        self.predict_wrong
     }
 
     /// Tune `kernel` for `device` using `workload`; cached after the first
@@ -408,7 +463,131 @@ impl Tuner {
             return Err(TuneError::UnknownDevice(device.to_string()));
         }
         let candidates = self.build_candidates(kernel, device)?;
-        self.tune_candidates(kernel, candidates, device, workload)
+
+        // Predict-first: consult the model before spending any launch.
+        // A confident answer is served directly (zero launches); an
+        // abstention falls through to the measured race, whose outcome is
+        // then compared against the abstained verdict.
+        let mut abstained: Option<Prediction> = None;
+        if self.predict_first {
+            match self.predict_decision(kernel, device, &candidates, workload) {
+                (Some(d), _) => return Ok(d),
+                (None, p) => abstained = p,
+            }
+        }
+        let d = self.tune_candidates(kernel, candidates, device, workload)?;
+        if let Some(p) = abstained {
+            if choice_of(p.verdict) != d.choice {
+                self.predict_wrong += 1;
+                if self.recorder.enabled() {
+                    self.recorder.event(
+                        "predict.wrong",
+                        self.parent,
+                        &[
+                            ("kernel", Value::from(kernel.name.as_str())),
+                            ("device", Value::from(device)),
+                            ("predicted", Value::from(p.verdict.kind())),
+                            ("measured", Value::from(d.choice.kind())),
+                            ("confidence", Value::from(p.confidence)),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok(d)
+    }
+
+    /// The model half of predict-first mode: extract features (static,
+    /// no launch), score, and either build a zero-launch [`Decision`] or
+    /// abstain. Returns `(hit decision, prediction)` — the prediction is
+    /// returned even on abstain so the caller can grade it against the
+    /// measured race.
+    fn predict_decision(
+        &mut self,
+        kernel: &Function,
+        device: &str,
+        candidates: &[Candidate],
+        workload: &Workload,
+    ) -> (Option<Decision>, Option<Prediction>) {
+        let Some(model) = self.predictor.clone() else {
+            self.predict_abstains += 1;
+            return (None, None);
+        };
+        let recorder = self.recorder.clone();
+        let rec: &dyn Recorder = &*recorder;
+        // Geometry comes from one workload instantiation; building a
+        // context is pure host work, not a launch.
+        let (_ctx, _args, nd) = workload.instantiate();
+        let fv = FeatureVector::extract(kernel, nd.global, nd.local);
+
+        let span = rec
+            .enabled()
+            .then(|| rec.span_start("predict", self.parent));
+        if let Some(span) = span {
+            rec.span_attr(span, "kernel", Value::from(kernel.name.as_str()));
+            rec.span_attr(span, "device", Value::from(device));
+            rec.span_attr(span, "threshold", Value::from(self.predict_threshold));
+            rec.span_attr(span, "features", Value::from(fv.values_json()));
+        }
+        let p = model.predict(device, &fv);
+        let result = match p {
+            Some(p) if p.confidence >= self.predict_threshold => {
+                self.predict_hits += 1;
+                if let Some(span) = span {
+                    rec.event(
+                        "outcome",
+                        Some(span),
+                        &[
+                            ("outcome", Value::from("hit")),
+                            ("verdict", Value::from(p.verdict.kind())),
+                            ("confidence", Value::from(p.confidence)),
+                            ("np_est", Value::from(p.np_est)),
+                            ("exact_match", Value::from(p.exact_match)),
+                            ("neighbor", Value::from(p.neighbor_kernel.as_str())),
+                        ],
+                    );
+                }
+                // The default-sequence candidate stands in as the
+                // transformed side; a predicted decision names it so
+                // `best_kernel` resolves without a race.
+                let winner = &candidates[0];
+                self.transformed
+                    .entry((kernel.name.clone(), device.to_string()))
+                    .or_insert_with(|| winner.kernel.clone());
+                let d = Decision {
+                    device: device.to_string(),
+                    choice: choice_of(p.verdict),
+                    sequence: winner.sequence.clone(),
+                    np: p.np_est,
+                    cycles_with: 0,
+                    cycles_without: 0,
+                    report: winner.report.clone(),
+                    fallback: None,
+                    predicted: Some(p.confidence),
+                };
+                self.cache
+                    .insert((kernel.name.clone(), device.to_string()), d.clone());
+                (Some(d), Some(p))
+            }
+            p => {
+                self.predict_abstains += 1;
+                if let Some(span) = span {
+                    let mut attrs = vec![("outcome", Value::from("abstain"))];
+                    if let Some(p) = &p {
+                        attrs.push(("verdict", Value::from(p.verdict.kind())));
+                        attrs.push(("confidence", Value::from(p.confidence)));
+                    } else {
+                        attrs.push(("reason", Value::from("no model for device")));
+                    }
+                    rec.event("outcome", Some(span), &attrs);
+                }
+                (None, p)
+            }
+        };
+        if let Some(span) = span {
+            rec.span_end(span);
+        }
+        result
     }
 
     /// Tune an externally-prepared `(original, transformed)` pair — for
@@ -599,11 +778,15 @@ impl Tuner {
                 .collect();
             (with, cands)
         });
+        // Every simulate above was one launch: the original plus each
+        // candidate.
+        self.launches += 1 + candidates.len() as u64;
 
         // Transient failures (panics, deadline overruns) are retried
         // serially on fresh workload instantiations.
         let attempts_with = Cell::new(1u32);
         let res_with = retry_measure(res_with, retry, || {
+            self.launches += 1;
             attempts_with.set(attempts_with.get() + 1);
             if rec.enabled() {
                 rec.event(
@@ -629,6 +812,7 @@ impl Tuner {
         for (c, first) in candidates.iter().zip(cand_results) {
             let attempts = Cell::new(1u32);
             let res = retry_measure(first, retry, || {
+                self.launches += 1;
                 attempts.set(attempts.get() + 1);
                 if rec.enabled() {
                     rec.event(
@@ -708,7 +892,9 @@ impl Tuner {
         // conservative by design: a search that produced even one
         // wrong-output candidate is not trusted for this kernel.
         if fallback.is_none() && self.verify_outputs {
+            self.launches += 1;
             let reference = run_for_outputs(kernel, workload, &limits, backend).map_err(fatal)?;
+            self.launches += 1;
             match run_for_outputs(&winner.kernel, workload, &limits, backend) {
                 Err(f) => fallback = Some(reason_of(f)),
                 Ok(candidate) => {
@@ -755,6 +941,7 @@ impl Tuner {
             cycles_without,
             report: winner.report.clone(),
             fallback,
+            predicted: None,
         };
         self.cache
             .insert((kernel.name.clone(), device.to_string()), d.clone());
@@ -848,6 +1035,17 @@ fn reason_of(f: MeasureFailure) -> FallbackReason {
         }
         MeasureFailure::Exec(ExecError::DeadlineExceeded) => FallbackReason::DeadlineExceeded,
         MeasureFailure::Exec(e) => FallbackReason::ExecFailed(e.to_string()),
+    }
+}
+
+/// Map a model verdict onto the tuner's choice vocabulary (they share
+/// the same wire names; the types stay separate so `grover-predict`
+/// remains dependency-free of the tuner).
+fn choice_of(v: Verdict) -> Choice {
+    match v {
+        Verdict::WithLocalMemory => Choice::WithLocalMemory,
+        Verdict::WithoutLocalMemory => Choice::WithoutLocalMemory,
+        Verdict::Similar => Choice::Similar,
     }
 }
 

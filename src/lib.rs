@@ -26,6 +26,7 @@
 //! * [`tuner`] — the auto-tuning framework of §VIII (future work, implemented)
 //! * [`obs`] — telemetry: spans, events, launch metrics, JSONL export
 //! * [`serve`] — persistent tuning-cache service with an HTTP compile/tune API
+//! * [`predict`] — architecture-independent features + zero-launch predictive tuning
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use grover_fuzz as fuzz;
 pub use grover_ir as ir;
 pub use grover_kernels as kernels;
 pub use grover_obs as obs;
+pub use grover_predict as predict;
 pub use grover_runtime as runtime;
 pub use grover_serve as serve;
 pub use grover_tuner as tuner;
